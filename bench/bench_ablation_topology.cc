@@ -1,0 +1,54 @@
+// Ablation: the paper's cross-validation topology search (Section 3) vs
+// fixed topologies. For the aggregation operator (4 inputs) the sweep runs
+// layer-1 in [4, 8] and layer-2 in [3, max(3, layer1/2)], scores each on
+// the 30% held-out split, and compares the winner against the extreme
+// fixed choices.
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "ml/cross_validation.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::Section;
+using bench::Unwrap;
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 1801);
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000, 4000000, 8000000};
+  wopts.record_sizes = {40, 100, 250, 500, 1000};
+  auto queries = Unwrap(rel::GenerateAggWorkload(wopts), "workload");
+  auto run = Unwrap(core::CollectAggTraining(hive.get(), queries),
+                    "collect");
+
+  Section("Ablation: cross-validation topology search (aggregation, d=4)");
+  ml::TopologySearchOptions opts;
+  opts.search_iterations = 4000;
+  opts.layer1_step = 1;
+  opts.seed = 18;
+  auto result = Unwrap(ml::SearchTopology(run.data, opts), "search");
+  CsvTable t({"hidden1", "hidden2", "heldout_rmse_seconds"});
+  for (const auto& s : result.scores) {
+    t.AddRow({static_cast<double>(s.hidden1), static_cast<double>(s.hidden2),
+              s.rmse});
+  }
+  t.Print(std::cout);
+  std::printf("selected topology: %dx%d (held-out RMSE %.3f s)\n",
+              result.best.hidden1, result.best.hidden2, result.best_rmse);
+  double worst = result.best_rmse;
+  for (const auto& s : result.scores) worst = std::max(worst, s.rmse);
+  std::printf("worst candidate RMSE: %.3f s (search saves %.1f%%)\n", worst,
+              100.0 * (worst - result.best_rmse) / worst);
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

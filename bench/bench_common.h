@@ -1,0 +1,86 @@
+// Shared helpers for the experiment harnesses that regenerate the paper's
+// tables and figures. Each bench binary prints CSV blocks (one per panel)
+// plus summary lines with fitted slope/intercept/R^2/RMSE%, mirroring the
+// annotations on the paper's plots. EXPERIMENTS.md records paper-vs-measured
+// for every experiment.
+
+#ifndef INTELLISPHERE_BENCH_BENCH_COMMON_H_
+#define INTELLISPHERE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/formulas.h"
+#include "core/sub_op.h"
+#include "remote/sim_engine_base.h"
+#include "util/csv.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace intellisphere::bench {
+
+/// Aborts the bench with a readable message on an unexpected error. The
+/// harnesses run in a controlled environment; any failure is a bug worth a
+/// loud crash rather than a silent partial figure.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "FATAL [" << what << "]: " << status.ToString() << "\n";
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Prints a section header: the figure/table this block reproduces.
+inline void Section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Prints the paper-style fitted-line annotation for a
+/// predicted-vs-actual scatter.
+inline void PrintFit(const std::string& label,
+                     const std::vector<double>& actual,
+                     const std::vector<double>& predicted) {
+  FittedLine line = Unwrap(FitLine(actual, predicted), "fit line");
+  double rp = Unwrap(RmsePercent(actual, predicted), "rmse%");
+  std::printf("%s: y = %.4fx %c %.4f, R^2 = %.5f, RMSE%% = %.2f (n=%zu)\n",
+              label.c_str(), line.slope, line.intercept < 0 ? '-' : '+',
+              std::abs(line.intercept), line.r2, rp, actual.size());
+}
+
+/// Builds the openbox profile info for a simulated engine, as the expert
+/// registering the system would.
+inline core::OpenboxInfo InfoFor(const remote::SimulatedEngineBase& engine,
+                                 double broadcast_threshold_factor,
+                                 double skew_threshold = 0.30) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = engine.cluster().config().dfs_block_bytes;
+  info.total_slots = engine.cluster().config().TotalSlots();
+  info.num_worker_nodes = engine.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = engine.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      broadcast_threshold_factor * info.task_memory_bytes;
+  info.skew_threshold = skew_threshold;
+  return info;
+}
+
+/// Downsamples a series to about `target` evenly spaced points so the
+/// printed CSV stays readable; always keeps the final point.
+template <typename F>
+void PrintSampledSeries(size_t n, size_t target, F&& print_row) {
+  if (n == 0) return;
+  size_t stride = n <= target ? 1 : n / target;
+  for (size_t i = 0; i < n; i += stride) print_row(i);
+  if ((n - 1) % stride != 0) print_row(n - 1);
+}
+
+}  // namespace intellisphere::bench
+
+#endif  // INTELLISPHERE_BENCH_BENCH_COMMON_H_

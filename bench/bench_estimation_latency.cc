@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the query-time cost of the
+// estimators themselves. The estimation module sits inside the optimizer's
+// plan enumeration loop, so its own latency matters: the paper's design
+// keeps both the NN forward pass and the sub-op formulas in the
+// microsecond range, with the online remedy an order of magnitude above
+// (it fits a regression on the fly).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "engine/local_cost_model.h"
+#include "federation/intellisphere.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::InfoFor;
+using bench::Unwrap;
+
+// Shared fixtures built once.
+struct Fixtures {
+  std::unique_ptr<remote::HiveEngine> hive;
+  std::unique_ptr<core::LogicalOpModel> model;
+  std::unique_ptr<core::SubOpCostEstimator> subop;
+  rel::JoinQuery in_range;
+  rel::JoinQuery out_of_range;
+
+  Fixtures() {
+    hive = remote::HiveEngine::CreateDefault("hive", 2101);
+    rel::JoinWorkloadOptions wopts;
+    wopts.left_record_counts = {1000000, 4000000, 8000000};
+    wopts.right_record_counts = {1000000, 4000000};
+    wopts.record_sizes = {100, 500};
+    wopts.output_selectivities = {1.0, 0.25};
+    wopts.projection_levels = {1};
+    auto queries = Unwrap(rel::GenerateJoinWorkload(wopts), "workload");
+    auto run = Unwrap(core::CollectJoinTraining(hive.get(), queries),
+                      "collect");
+    core::LogicalOpOptions lopts;
+    lopts.mlp.iterations = 3000;
+    model = std::make_unique<core::LogicalOpModel>(
+        Unwrap(core::LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                           run.data,
+                                           core::JoinDimensionNames(), lopts),
+               "train"));
+    core::CalibrationOptions copts;
+    copts.record_sizes = {40, 250, 1000};
+    copts.record_counts = {1000000, 4000000};
+    auto cal = Unwrap(
+        core::CalibrateSubOps(
+            hive.get(),
+            InfoFor(*hive, hive->options().broadcast_threshold_factor), copts),
+        "calibration");
+    subop = std::make_unique<core::SubOpCostEstimator>(
+        Unwrap(core::SubOpCostEstimator::ForHive(cal.catalog), "estimator"));
+
+    auto l = Unwrap(rel::SyntheticTableDef(4000000, 500), "table");
+    auto r = Unwrap(rel::SyntheticTableDef(1000000, 100), "table");
+    in_range = Unwrap(rel::MakeJoinQuery(l, r, 32, 32, 0.5), "query");
+    auto lo = Unwrap(rel::SyntheticTableDef(40000000, 500), "table");
+    out_of_range = Unwrap(rel::MakeJoinQuery(lo, r, 32, 32, 0.5), "query");
+  }
+};
+
+Fixtures& F() {
+  static Fixtures fixtures;
+  return fixtures;
+}
+
+void BM_NnPredictInRange(benchmark::State& state) {
+  auto features = F().in_range.LogicalOpFeatures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(F().model->Estimate(features).value().seconds);
+  }
+}
+BENCHMARK(BM_NnPredictInRange);
+
+void BM_NnWithOnlineRemedy(benchmark::State& state) {
+  auto features = F().out_of_range.LogicalOpFeatures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(F().model->Estimate(features).value().seconds);
+  }
+}
+BENCHMARK(BM_NnWithOnlineRemedy);
+
+void BM_SubOpJoinEstimate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        F().subop->EstimateJoin(F().in_range).value().seconds);
+  }
+}
+BENCHMARK(BM_SubOpJoinEstimate);
+
+void BM_SubOpSingleFormula(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        F().subop->EstimateJoinAlgorithm(F().in_range, "shuffle_join")
+            .value());
+  }
+}
+BENCHMARK(BM_SubOpSingleFormula);
+
+void BM_LocalCostModel(benchmark::State& state) {
+  eng::LocalCostModel local;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local.EstimateJoinSeconds(F().in_range).value());
+  }
+}
+BENCHMARK(BM_LocalCostModel);
+
+void BM_SimulatedRemoteExecution(benchmark::State& state) {
+  // For scale: actually "running" the operator on the simulator — the cost
+  // of labeling one training point.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        F().hive->ExecuteJoin(F().in_range).value().elapsed_seconds);
+  }
+}
+BENCHMARK(BM_SimulatedRemoteExecution);
+
+}  // namespace
+}  // namespace intellisphere
+
+BENCHMARK_MAIN();

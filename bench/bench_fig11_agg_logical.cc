@@ -1,0 +1,96 @@
+// Reproduces Figure 11: logical-operator costing for the aggregation
+// operator on the simulated Hive cluster.
+//  (a) cumulative training time of the ~3,700-query grid (paper: ~4.3 h);
+//  (b) neural-network convergence: RMSE% vs training iterations (20k);
+//  (c) NN predicted-vs-actual on the held-out 30% (paper:
+//      y = 0.9587x + 0.2445, R^2 = 0.98573);
+//  (d) linear-regression baseline on the same split (paper:
+//      y = 0.9149x + 0.5307, R^2 = 0.93038).
+
+#include <chrono>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/logical_op.h"
+#include "core/trainer.h"
+#include "ml/linear_regression.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::PrintFit;
+using bench::PrintSampledSeries;
+using bench::Section;
+using bench::Unwrap;
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 1101);
+
+  // The Figure-10 aggregation grid. The full 120-table grid gives 4,200
+  // configurations; the paper executed ~3,700 of them.
+  rel::AggWorkloadOptions wopts;
+  auto queries = Unwrap(rel::GenerateAggWorkload(wopts), "agg workload");
+  auto run = Unwrap(core::CollectAggTraining(hive.get(), queries),
+                    "training collection");
+
+  Section("Figure 11(a): aggregation training cost over the remote system");
+  CsvTable a({"num_remote_queries", "cumulative_training_minutes"});
+  PrintSampledSeries(run.cumulative_seconds.size(), 20, [&](size_t i) {
+    a.AddRow({static_cast<double>(i + 1), run.cumulative_seconds[i] / 60.0});
+  });
+  a.Print(std::cout);
+  std::printf("total: %zu queries, %.2f simulated hours (paper: ~3,700 "
+              "queries, ~4.3 h)\n",
+              run.data.size(), run.total_seconds() / 3600.0);
+
+  // 70/30 split, as in the paper.
+  Rng rng(7);
+  auto split = Unwrap(ml::Split(run.data, 0.7, &rng), "split");
+
+  Section("Figure 11(b): neural network convergence error");
+  ml::MlpConfig cfg;
+  cfg.iterations = 20000;
+  cfg.eval_every = 250;
+  auto t0 = std::chrono::steady_clock::now();
+  auto mlp = Unwrap(ml::MlpRegressor::Train(split.train, cfg), "train NN");
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  CsvTable b({"iteration", "training_rmse_percent"});
+  PrintSampledSeries(mlp.history().size(), 40, [&](size_t i) {
+    b.AddRow({static_cast<double>(mlp.history()[i].iteration),
+              mlp.history()[i].rmse_percent});
+  });
+  b.Print(std::cout);
+  std::printf("network training wall time: %.1f s for 20,000 iterations "
+              "(paper: ~70 s)\n",
+              wall);
+
+  Section("Figure 11(c): NN model accuracy (30% test set)");
+  std::vector<double> actual, nn_pred;
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    actual.push_back(split.test.y[i]);
+    nn_pred.push_back(Unwrap(mlp.Predict(split.test.x[i]), "predict"));
+  }
+  PrintFit("NN   (paper: y = 0.9587x + 0.2445, R^2 = 0.98573)", actual,
+           nn_pred);
+
+  Section("Figure 11(d): linear regression model accuracy (30% test set)");
+  auto lr = Unwrap(ml::LinearRegression::Fit(split.train), "fit LR");
+  std::vector<double> lr_pred;
+  for (size_t i = 0; i < split.test.size(); ++i) {
+    lr_pred.push_back(Unwrap(lr.Predict(split.test.x[i]), "LR predict"));
+  }
+  PrintFit("LR   (paper: y = 0.9149x + 0.5307, R^2 = 0.93038)", actual,
+           lr_pred);
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

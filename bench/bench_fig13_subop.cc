@@ -1,0 +1,175 @@
+// Reproduces Figure 13: the sub-operator costing approach end to end.
+//  (a) sub-op training (probe) cost vs number of queries (minutes);
+//  (b) WriteDFS per-record cost flat across record counts;
+//  (c) WriteDFS linear model   (paper: y = 0.0314x + 0.7403, R^2 = 0.99875);
+//  (d) Shuffle linear model    (paper: y = 0.0126x + 5.2551, R^2 = 0.99787);
+//  (e) RecMerge linear model   (paper: y = 0.0344x + 36.701, R^2 = 0.96743);
+//  (f) HashBuild two-regime model (paper: in-memory y = 0.0248x + 18.241,
+//      spill y = 0.1821x - 51.614);
+//  (g) composed-formula accuracy for the merge (shuffle) join algorithm
+//      (paper: y = 1.5781x + 3.6834, R^2 = 0.92901, slight overestimate).
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/formulas.h"
+#include "core/sub_op.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::InfoFor;
+using bench::PrintFit;
+using bench::Section;
+using bench::Unwrap;
+
+void PrintSubOpLine(const core::CalibrationRun& run, core::SubOpKind kind,
+                    const char* figure, const char* paper_line) {
+  Section(figure);
+  CsvTable t({"record_size_bytes", "avg_time_us_per_record"});
+  std::map<int64_t, std::pair<double, int>> by_size;
+  for (const auto& p : run.points.at(kind)) {
+    by_size[p.record_bytes].first += p.seconds_per_record * 1e6;
+    by_size[p.record_bytes].second++;
+  }
+  std::vector<double> xs, ys;
+  for (const auto& [size, acc] : by_size) {
+    double avg = acc.first / acc.second;
+    t.AddRow({static_cast<double>(size), avg});
+    xs.push_back(static_cast<double>(size));
+    ys.push_back(avg);
+  }
+  t.Print(std::cout);
+  FittedLine line = Unwrap(FitLine(xs, ys), "fit");
+  std::printf("fitted: y = %.4fx + %.4f us, R^2 = %.5f   (paper: %s)\n",
+              line.slope, line.intercept, line.r2, paper_line);
+}
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 1301);
+  core::OpenboxInfo info =
+      InfoFor(*hive, hive->options().broadcast_threshold_factor);
+
+  Section("Figure 13(a): sub-op training cost");
+  // Sweep the probe budget the way the paper's x-axis does (6..32 queries)
+  // by growing the calibration grid.
+  struct GridStep {
+    std::vector<int64_t> sizes;
+    std::vector<int64_t> counts;
+  };
+  std::vector<GridStep> steps = {
+      {{40, 1000}, {1000000}},
+      {{40, 250, 1000}, {1000000}},
+      {{40, 100, 250, 1000}, {1000000, 4000000}},
+      {{40, 70, 100, 250, 500, 1000}, {1000000, 4000000}},
+      {{40, 70, 100, 250, 500, 1000},
+       {1000000, 2000000, 4000000, 8000000}},
+  };
+  CsvTable a({"probe_queries", "training_minutes"});
+  for (const auto& step : steps) {
+    auto probe_engine = remote::HiveEngine::CreateDefault("hive", 1302);
+    core::CalibrationOptions copts;
+    copts.record_sizes = step.sizes;
+    copts.record_counts = step.counts;
+    auto r = Unwrap(core::CalibrateSubOps(probe_engine.get(), info, copts),
+                    "calibration step");
+    a.AddRow({static_cast<double>(r.probe_queries), r.total_seconds / 60.0});
+  }
+  a.Print(std::cout);
+  std::printf("(paper: 6..32 queries per sub-op, minutes of training; vs "
+              "hours for logical-op)\n");
+
+  // Full calibration used by the remaining panels.
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 70, 100, 250, 500, 1000};
+  copts.record_counts = {1000000, 2000000, 4000000, 8000000};
+  auto run = Unwrap(core::CalibrateSubOps(hive.get(), info, copts),
+                    "full calibration");
+
+  Section("Figure 13(b): WriteDFS cost per record, 1000-byte records");
+  CsvTable b({"num_records_millions", "write_dfs_us_per_record"});
+  for (const auto& p : run.points.at(core::SubOpKind::kWriteDfs)) {
+    if (p.record_bytes != 1000) continue;
+    b.AddRow({static_cast<double>(p.record_count) / 1e6,
+              p.seconds_per_record * 1e6});
+  }
+  b.Print(std::cout);
+
+  PrintSubOpLine(run, core::SubOpKind::kWriteDfs,
+                 "Figure 13(c): WriteDFS sub-op linear regression model",
+                 "y = 0.0314x + 0.7403, R^2 = 0.99875");
+  PrintSubOpLine(run, core::SubOpKind::kShuffle,
+                 "Figure 13(d): Shuffle sub-op linear regression model",
+                 "y = 0.0126x + 5.2551, R^2 = 0.99787");
+  PrintSubOpLine(run, core::SubOpKind::kRecMerge,
+                 "Figure 13(e): RecMerge sub-op linear regression model",
+                 "y = 0.0344x + 36.701, R^2 = 0.96743");
+
+  Section("Figure 13(f): HashBuild sub-op two-regime model");
+  CsvTable f({"record_size_bytes", "avg_time_us_per_record", "regime"});
+  std::map<std::pair<int64_t, bool>, std::pair<double, int>> hb;
+  for (const auto& p : run.points.at(core::SubOpKind::kHashBuild)) {
+    auto& acc = hb[{p.record_bytes, p.fits_in_memory}];
+    acc.first += p.seconds_per_record * 1e6;
+    acc.second++;
+  }
+  for (const auto& [key, acc] : hb) {
+    f.AddTextRow({FormatNumber(static_cast<double>(key.first)),
+                  FormatNumber(acc.first / acc.second),
+                  key.second ? "fits_in_memory" : "spills"});
+  }
+  f.Print(std::cout);
+  auto model = Unwrap(run.catalog.Get(core::SubOpKind::kHashBuild),
+                      "hash build model");
+  std::printf("two_regime = %s\n", (*model).two_regime() ? "yes" : "no");
+  std::printf(
+      "in-memory line: y = %.4fx + %.4f us   (paper: y = 0.0248x + 18.241)\n",
+      (*model).line().weights()[0] * 1e6, (*model).line().intercept() * 1e6);
+  if ((*model).two_regime()) {
+    std::printf(
+        "spill line:     y = %.4fx %c %.4f us  (paper: y = 0.1821x - "
+        "51.614)\n",
+        (*model).spill_line().weights()[0] * 1e6,
+        (*model).spill_line().intercept() < 0 ? '-' : '+',
+        std::abs((*model).spill_line().intercept() * 1e6));
+  }
+
+  Section("Figure 13(g): sub-op model accuracy, merge (shuffle) join");
+  auto estimator = Unwrap(core::SubOpCostEstimator::ForHive(run.catalog),
+                          "estimator");
+  CsvTable g({"actual_seconds", "predicted_seconds"});
+  std::vector<double> actual, pred;
+  for (int64_t lrows : {1000000LL, 2000000LL, 4000000LL, 8000000LL,
+                        20000000LL}) {
+    for (int64_t srows : {lrows / 4, lrows / 2, lrows}) {
+      for (int64_t bytes : {100LL, 250LL, 500LL}) {
+        auto l = Unwrap(rel::SyntheticTableDef(lrows, bytes), "table");
+        auto s = Unwrap(rel::SyntheticTableDef(srows, bytes), "table");
+        auto q = Unwrap(rel::MakeJoinQuery(l, s, 32, 32, 0.5), "query");
+        double act =
+            Unwrap(hive->ExecuteJoinWithAlgorithm(
+                       q, remote::HiveJoinAlgorithm::kShuffleJoin),
+                   "execute")
+                .elapsed_seconds;
+        double est = Unwrap(estimator.EstimateJoinAlgorithm(q, "shuffle_join"),
+                            "estimate");
+        g.AddRow({act, est});
+        actual.push_back(act);
+        pred.push_back(est);
+      }
+    }
+  }
+  g.Print(std::cout);
+  PrintFit("merge join (paper: y = 1.5781x + 3.6834, R^2 = 0.92901)", actual,
+           pred);
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

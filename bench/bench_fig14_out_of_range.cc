@@ -1,0 +1,152 @@
+// Reproduces Figure 14: out-of-range prediction for the merge (shuffle)
+// join algorithm. Both costing approaches are trained on datasets of up to
+// 8x10^6 records; the 45 evaluation queries have 20x10^6 records (one or
+// both sides out of range, record sizes in range). Four estimators are
+// compared:
+//   sub-op formula            — extrapolates easily (near the optimal zone);
+//   raw NN                    — saturates, cannot extrapolate;
+//   NN + online remedy        — alpha fixed at 0.5, as in the paper;
+//   NN + offline tuning       — 70% of the new queries fed back, 30% tested.
+
+#include "bench/bench_common.h"
+#include "core/logical_op.h"
+#include "core/sub_op.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::InfoFor;
+using bench::PrintFit;
+using bench::Section;
+using bench::Unwrap;
+
+// Executes a join on the engine with the merge (shuffle) join algorithm.
+double RunShuffle(remote::HiveEngine* hive, const rel::JoinQuery& q) {
+  return Unwrap(hive->ExecuteJoinWithAlgorithm(
+                    q, remote::HiveJoinAlgorithm::kShuffleJoin),
+                "execute shuffle join")
+      .elapsed_seconds;
+}
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 1401);
+
+  // --- Training phase: both approaches see only data up to 8x10^6 rows.
+  Section("Training (both approaches limited to <= 8x10^6 records)");
+  rel::JoinWorkloadOptions wopts;
+  wopts.left_record_counts = {1000000, 2000000, 4000000, 6000000, 8000000};
+  wopts.right_record_counts = {1000000, 2000000, 4000000, 6000000, 8000000};
+  wopts.output_selectivities = {1.0, 0.25};
+  wopts.projection_levels = {1};
+  wopts.max_queries = 1500;
+  wopts.seed = 14;
+  auto train_queries = Unwrap(rel::GenerateJoinWorkload(wopts), "workload");
+  ml::Dataset train_data;
+  for (const auto& q : train_queries) {
+    train_data.Add(q.LogicalOpFeatures(), RunShuffle(hive.get(), q));
+  }
+  std::printf("logical-op training: %zu merge-join queries\n",
+              train_data.size());
+
+  core::LogicalOpOptions lopts;
+  lopts.mlp.iterations = 20000;
+  lopts.mlp.hidden1 = 14;
+  lopts.mlp.hidden2 = 7;
+  lopts.mlp.batch_size = 256;
+  lopts.mlp.learning_rate = 3e-3;
+  lopts.initial_alpha = 0.5;  // fixed, as in the figure
+  auto model = Unwrap(core::LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                                  train_data,
+                                                  core::JoinDimensionNames(),
+                                                  lopts),
+                      "train logical-op model");
+
+  core::CalibrationOptions copts;  // default grid also tops out at 8x10^6
+  auto cal = Unwrap(
+      core::CalibrateSubOps(
+          hive.get(), InfoFor(*hive, hive->options().broadcast_threshold_factor),
+          copts),
+      "sub-op calibration");
+  auto subop = Unwrap(core::SubOpCostEstimator::ForHive(cal.catalog),
+                      "sub-op estimator");
+
+  // --- The 45 out-of-range queries at 20x10^6 records.
+  std::vector<rel::JoinQuery> tests;
+  Rng rng(45);
+  std::vector<int64_t> in_range_counts = {1000000, 2000000, 4000000,
+                                          6000000, 8000000};
+  std::vector<int64_t> sizes = {40, 100, 250, 500, 1000};
+  std::vector<double> sels = {1.0, 0.5, 0.25};
+  while (tests.size() < 45) {
+    bool both_out = rng.Bernoulli(0.4);
+    int64_t lrows = 20000000;
+    int64_t rrows =
+        both_out ? 20000000
+                 : in_range_counts[static_cast<size_t>(
+                       rng.UniformInt(0, in_range_counts.size() - 1))];
+    int64_t lb = sizes[static_cast<size_t>(rng.UniformInt(0, 4))];
+    int64_t rb = sizes[static_cast<size_t>(rng.UniformInt(0, 4))];
+    double sel = sels[static_cast<size_t>(rng.UniformInt(0, 2))];
+    auto l = Unwrap(rel::SyntheticTableDef(lrows, lb), "table");
+    auto r = Unwrap(rel::SyntheticTableDef(rrows, rb), "table");
+    tests.push_back(Unwrap(rel::MakeJoinQuery(l, r, 32, 32, sel), "query"));
+  }
+
+  Section("Figure 14: out-of-range prediction, merge join (alpha = 0.5)");
+  CsvTable t({"actual_seconds", "sub_op", "nn", "nn_online_remedy"});
+  std::vector<double> actual, sub_pred, nn_pred, remedy_pred;
+  for (const auto& q : tests) {
+    double act = RunShuffle(hive.get(), q);
+    auto est = Unwrap(model.Estimate(q.LogicalOpFeatures()), "estimate");
+    double sub =
+        Unwrap(subop.EstimateJoinAlgorithm(q, "shuffle_join"), "sub-op");
+    t.AddRow({act, sub, est.nn_seconds, est.seconds});
+    actual.push_back(act);
+    sub_pred.push_back(sub);
+    nn_pred.push_back(est.nn_seconds);
+    remedy_pred.push_back(est.seconds);
+    if (!est.used_remedy) {
+      std::printf("WARNING: query did not trigger the remedy path\n");
+    }
+  }
+  t.Print(std::cout);
+  PrintFit("sub-op            ", actual, sub_pred);
+  PrintFit("NN (raw)          ", actual, nn_pred);
+  PrintFit("NN + online remedy", actual, remedy_pred);
+
+  // --- Offline tuning: 70% of the new queries are logged and fed back,
+  // the remaining 30% are re-estimated.
+  Section("Figure 14 (cont.): NN + offline tuning (70% absorbed, 30% tested)");
+  auto perm = rng.Permutation(tests.size());
+  size_t n_tune = tests.size() * 7 / 10;
+  for (size_t i = 0; i < n_tune; ++i) {
+    const auto& q = tests[perm[i]];
+    Unwrap(model.Estimate(q.LogicalOpFeatures()), "estimate");
+    bench::Check(model.LogExecution(q.LogicalOpFeatures(),
+                                    actual[perm[i]]),
+                 "log execution");
+  }
+  bench::Check(model.OfflineTune(), "offline tune");
+  CsvTable t2({"actual_seconds", "nn_after_offline_tuning"});
+  std::vector<double> tuned_actual, tuned_pred;
+  for (size_t i = n_tune; i < tests.size(); ++i) {
+    const auto& q = tests[perm[i]];
+    auto est = Unwrap(model.Estimate(q.LogicalOpFeatures()), "estimate");
+    t2.AddRow({actual[perm[i]], est.nn_seconds});
+    tuned_actual.push_back(actual[perm[i]]);
+    tuned_pred.push_back(est.nn_seconds);
+  }
+  t2.Print(std::cout);
+  PrintFit("NN + offline tuning", tuned_actual, tuned_pred);
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 7: the ReadDFS sub-op cost model.
+//  (a) per-record ReadDFS time for 1,000-byte records under varying record
+//      counts (1/2/4/8 million) — flat, so counts can be averaged out;
+//  (b) the linear regression model of average per-record time vs record
+//      size. The paper's fit: y = 0.0041x + 0.6323 (microseconds).
+
+#include "bench/bench_common.h"
+#include "core/sub_op.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::InfoFor;
+using bench::PrintSampledSeries;
+using bench::Section;
+using bench::Unwrap;
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 1001);
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 70, 100, 250, 500, 1000};
+  opts.record_counts = {1000000, 2000000, 4000000, 8000000};
+  auto run = Unwrap(core::CalibrateSubOps(
+                        hive.get(),
+                        InfoFor(*hive, hive->options().broadcast_threshold_factor),
+                        opts),
+                    "calibration");
+
+  Section("Figure 7(a): ReadDFS cost per record, 1000-byte records");
+  CsvTable a({"num_records_millions", "read_dfs_us_per_record"});
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& p : run.points.at(core::SubOpKind::kReadDfs)) {
+    if (p.record_bytes != 1000) continue;
+    a.AddRow({static_cast<double>(p.record_count) / 1e6,
+              p.seconds_per_record * 1e6});
+    sum += p.seconds_per_record * 1e6;
+    ++n;
+  }
+  a.Print(std::cout);
+  std::printf("average value: %.3f us/record (flat across counts)\n",
+              sum / n);
+
+  Section("Figure 7(b): ReadDFS linear regression model");
+  CsvTable b({"record_size_bytes", "avg_read_dfs_us"});
+  std::map<int64_t, std::pair<double, int>> by_size;
+  for (const auto& p : run.points.at(core::SubOpKind::kReadDfs)) {
+    by_size[p.record_bytes].first += p.seconds_per_record * 1e6;
+    by_size[p.record_bytes].second++;
+  }
+  std::vector<double> xs, ys;
+  for (const auto& [size, acc] : by_size) {
+    double avg = acc.first / acc.second;
+    b.AddRow({static_cast<double>(size), avg});
+    xs.push_back(static_cast<double>(size));
+    ys.push_back(avg);
+  }
+  b.Print(std::cout);
+  FittedLine line = Unwrap(FitLine(xs, ys), "fit");
+  std::printf(
+      "fitted: y = %.4fx + %.4f us, R^2 = %.5f   (paper: y = 0.0041x + "
+      "0.6323)\n",
+      line.slope, line.intercept, line.r2);
+  std::printf("calibration cost: %lld probe queries, %.1f simulated "
+              "seconds\n",
+              static_cast<long long>(run.probe_queries), run.total_seconds);
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Hybrid costing demonstration (Section 5, Figure 9): a little-known
+// system registers with an approximate sub-op profile immediately and
+// switches to the logical-op model once its long training completes, and a
+// heterogeneous pair of systems (Hive-like and Spark-like) shows why
+// profiles must be per-system.
+
+#include "bench/bench_common.h"
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::InfoFor;
+using bench::Section;
+using bench::Unwrap;
+
+void Run() {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 2001);
+  auto spark = remote::SparkEngine::CreateDefault("spark", 2002);
+
+  // Sub-op profiles for both engines (same formula family, per-system
+  // calibration).
+  auto cal_hive = Unwrap(
+      core::CalibrateSubOps(
+          hive.get(), InfoFor(*hive, hive->options().broadcast_threshold_factor),
+          core::CalibrationOptions{}),
+      "hive calibration");
+  auto cal_spark = Unwrap(
+      core::CalibrateSubOps(
+          spark.get(),
+          InfoFor(*spark, spark->options().broadcast_threshold_factor),
+          core::CalibrationOptions{}),
+      "spark calibration");
+
+  // Logical-op aggregation model for the "system C" switch.
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000, 4000000, 8000000};
+  wopts.record_sizes = {40, 100, 250, 500, 1000};
+  auto queries = Unwrap(rel::GenerateAggWorkload(wopts), "workload");
+  auto run = Unwrap(core::CollectAggTraining(hive.get(), queries),
+                    "collect");
+  core::LogicalOpOptions lopts;
+  lopts.mlp.iterations = 16000;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 Unwrap(core::LogicalOpModel::Train(
+                            rel::OperatorType::kAggregation, run.data,
+                            core::AggDimensionNames(), lopts),
+                        "train"));
+  double t1 = run.total_seconds();  // the switch time: training completed
+
+  core::CostEstimator registry;
+  bench::Check(
+      registry.RegisterSystem(
+          "system-c",
+          core::CostingProfile::SubOpThenLogicalOp(
+              Unwrap(core::SubOpCostEstimator::ForHive(cal_hive.catalog),
+                     "est"),
+              std::move(models), t1)),
+      "register system-c");
+  bench::Check(
+      registry.RegisterSystem(
+          "spark", core::CostingProfile::SubOpOnly(Unwrap(
+                       core::SubOpCostEstimator::ForHive(cal_spark.catalog),
+                       "est"))),
+      "register spark");
+
+  Section("Hybrid: system C switches from sub-op to logical-op at t1");
+  std::printf("switch time t1 = %.1f simulated hours (logical-op training "
+              "duration)\n",
+              t1 / 3600.0);
+  CsvTable t({"clock_vs_t1", "approach_used", "estimate_s", "actual_s",
+              "relative_error"});
+  for (double clock : {0.0, t1 * 0.5, t1 * 1.01, t1 * 2.0}) {
+    auto table = Unwrap(rel::SyntheticTableDef(6000000, 250), "table");
+    auto agg = Unwrap(rel::MakeAggQuery(table, 20, 3), "query");
+    auto op = rel::SqlOperator::MakeAgg(agg);
+    auto est = Unwrap(registry.Estimate("system-c", op, clock), "estimate");
+    double actual =
+        Unwrap(hive->ExecuteAgg(agg), "execute").elapsed_seconds;
+    t.AddTextRow({FormatNumber(clock / std::max(1.0, t1)),
+                  core::CostingApproachName(est.approach_used),
+                  FormatNumber(est.seconds), FormatNumber(actual),
+                  FormatNumber(std::abs(est.seconds - actual) / actual)});
+  }
+  t.Print(std::cout);
+
+  Section("Hybrid: heterogeneity across engines (same operator, two CPs)");
+  CsvTable h({"left_rows_millions", "hive_estimate_s", "spark_estimate_s",
+              "hive_actual_s", "spark_actual_s"});
+  for (int64_t rows : {4000000LL, 8000000LL, 20000000LL}) {
+    auto l = Unwrap(rel::SyntheticTableDef(rows, 500), "table");
+    auto r = Unwrap(rel::SyntheticTableDef(rows / 2, 500), "table");
+    auto q = Unwrap(rel::MakeJoinQuery(l, r, 32, 32, 0.5), "query");
+    auto op = rel::SqlOperator::MakeJoin(q);
+    double hive_est =
+        Unwrap(registry.Estimate("system-c", op, 0.0), "estimate").seconds;
+    double spark_est =
+        Unwrap(registry.Estimate("spark", op, 0.0), "estimate").seconds;
+    double hive_act =
+        Unwrap(hive->ExecuteJoin(q), "execute").elapsed_seconds;
+    double spark_act =
+        Unwrap(spark->ExecuteJoin(q), "execute").elapsed_seconds;
+    h.AddRow({static_cast<double>(rows) / 1e6, hive_est, spark_est,
+              hive_act, spark_act});
+  }
+  h.Print(std::cout);
+  std::printf("expectation: the Spark-like engine is consistently cheaper, "
+              "and each profile tracks its own engine\n");
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Onboarding a blackbox remote system (Section 3): no internals, no probe
+// queries — only a SQL interface and elapsed times. The full logical-op
+// lifecycle:
+//
+//   1. Run a training workload on the blackbox and label feature vectors.
+//   2. Train the neural cost model (with the paper's topology search).
+//   3. Estimate in-range queries (network only).
+//   4. Hit an out-of-range query: the online remedy combines the network
+//      with an on-the-fly pivot regression.
+//   5. Log actual executions, auto-adjust alpha, run the offline tuning
+//      phase, and watch the out-of-range error shrink.
+//
+// Build and run:  ./build/examples/blackbox_onboarding
+
+#include <cstdio>
+
+#include "core/logical_op.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/blackbox.h"
+#include "remote/hive_engine.h"
+
+using namespace intellisphere;
+
+int main() {
+  // The vendor gave us an endpoint. We do not know it is Hive inside.
+  remote::BlackboxSystem mystery(
+      remote::HiveEngine::CreateDefault("vendor-x", 33));
+  std::printf("onboarding blackbox system '%s'\n", mystery.name().c_str());
+
+  // 1. Training workload: an aggregation grid over tables of up to 4x10^6
+  //    rows (what the vendor let us touch).
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000, 2000000, 4000000};
+  wopts.record_sizes = {40, 100, 250, 500, 1000};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(&mystery, queries).value();
+  std::printf("executed %zu training queries in %.1f simulated hours\n",
+              run.data.size(), run.total_seconds() / 3600.0);
+
+  // 2. Train, letting cross-validation pick the topology between d and 2d.
+  core::LogicalOpOptions opts;
+  opts.run_topology_search = true;
+  opts.search.search_iterations = 2500;
+  opts.mlp.iterations = 16000;
+  auto model = core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                           run.data,
+                                           core::AggDimensionNames(), opts)
+                   .value();
+  auto [h1, h2] = model.topology();
+  std::printf("cross-validation selected a %dx%d network\n", h1, h2);
+
+  // 3. An in-range estimate goes straight through the network.
+  auto table = rel::SyntheticTableDef(2000000, 250).value();
+  auto in_range = rel::MakeAggQuery(table, 10, 2).value();
+  auto est = model.Estimate(in_range.LogicalOpFeatures()).value();
+  double actual = mystery.ExecuteAgg(in_range).value().elapsed_seconds;
+  std::printf("in-range query: estimate %.1f s, actual %.1f s, remedy=%s\n",
+              est.seconds, actual, est.used_remedy ? "yes" : "no");
+
+  // 4. A 40M-row table is way off the trained range: the remedy fires.
+  auto big = rel::SyntheticTableDef(40000000, 250).value();
+  auto out_of_range = rel::MakeAggQuery(big, 10, 2).value();
+  auto far = model.Estimate(out_of_range.LogicalOpFeatures()).value();
+  double far_actual =
+      mystery.ExecuteAgg(out_of_range).value().elapsed_seconds;
+  std::printf(
+      "out-of-range query: NN alone %.1f s, remedy-combined %.1f s "
+      "(alpha=%.2f), actual %.1f s\n",
+      far.nn_seconds, far.seconds, model.alpha(), far_actual);
+
+  // 5. Keep executing out-of-range queries, logging actuals; adjust alpha
+  //    and then run the offline tuning phase.
+  for (int64_t rows : {30000000LL, 35000000LL, 40000000LL, 45000000LL,
+                       50000000LL}) {
+    auto t = rel::SyntheticTableDef(rows, 250).value();
+    auto q = rel::MakeAggQuery(t, 10, 2).value();
+    double a = mystery.ExecuteAgg(q).value().elapsed_seconds;
+    if (auto s = model.LogExecution(q.LogicalOpFeatures(), a); !s.ok()) {
+      std::fprintf(stderr, "log: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  double alpha = model.AdjustAlpha().value();
+  std::printf("alpha auto-adjusted to %.2f from %zu logged executions\n",
+              alpha, model.log_size());
+  if (auto s = model.OfflineTune(); !s.ok()) {
+    std::fprintf(stderr, "offline tune: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto after = model.Estimate(out_of_range.LogicalOpFeatures()).value();
+  std::printf(
+      "after offline tuning: estimate %.1f s (actual %.1f s); error went "
+      "%.0f%% -> %.0f%%\n",
+      after.seconds, far_actual,
+      100.0 * std::abs(far.seconds - far_actual) / far_actual,
+      100.0 * std::abs(after.seconds - far_actual) / far_actual);
+  return 0;
+}

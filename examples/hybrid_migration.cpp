@@ -1,0 +1,93 @@
+// Hybrid costing & profile persistence (Section 5): system C has little
+// known about it and cannot spare a multi-day training window, so it
+// starts with an approximate sub-op profile immediately, trains the
+// logical-op model in the background, and switches at t1. The example also
+// persists the sub-op costing profile to the Properties text format and
+// reloads it, as a production registration would.
+//
+// Build and run:  ./build/examples/hybrid_migration
+
+#include <cstdio>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+using namespace intellisphere;
+
+int main() {
+  auto engine = remote::HiveEngine::CreateDefault("system-c", 44);
+
+  // --- Day 0: approximate sub-op profile from a few probe queries.
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = engine->cluster().config().dfs_block_bytes;
+  info.total_slots = engine->cluster().config().TotalSlots();
+  info.num_worker_nodes = engine->cluster().config().num_worker_nodes;
+  info.task_memory_bytes = engine->cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      engine->options().broadcast_threshold_factor * info.task_memory_bytes;
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};  // deliberately coarse
+  copts.record_counts = {1000000};
+  auto cal = core::CalibrateSubOps(engine.get(), info, copts).value();
+  std::printf("day 0: coarse sub-op profile from %lld probes (%.1f min)\n",
+              static_cast<long long>(cal.probe_queries),
+              cal.total_seconds / 60.0);
+
+  // Persist the costing profile, reload it, and verify it round-trips.
+  Properties props;
+  cal.catalog.Save("cp_", &props);
+  std::string serialized = props.Serialize();
+  auto reloaded = core::SubOpCatalog::Load(
+                      "cp_", Properties::Parse(serialized).value())
+                      .value();
+  std::printf("costing profile serialized to %zu bytes and reloaded (%s)\n",
+              serialized.size(),
+              reloaded.HasAllBasic() ? "all basic sub-ops present"
+                                     : "incomplete");
+
+  // --- Background: the prolonged logical-op training runs meanwhile.
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000, 4000000, 8000000};
+  wopts.record_sizes = {40, 100, 250, 500, 1000};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(engine.get(), queries).value();
+  double t1 = run.total_seconds();
+  core::LogicalOpOptions lopts;
+  lopts.mlp.iterations = 16000;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                             run.data,
+                                             core::AggDimensionNames(), lopts)
+                     .value());
+  std::printf("logical-op training completes after t1 = %.1f simulated "
+              "hours\n",
+              t1 / 3600.0);
+
+  // --- Register the time-phased profile and query it across the switch.
+  core::CostEstimator registry;
+  auto sub_estimator =
+      core::SubOpCostEstimator::ForHive(std::move(reloaded)).value();
+  if (auto s = registry.RegisterSystem(
+          "system-c", core::CostingProfile::SubOpThenLogicalOp(
+                          std::move(sub_estimator), std::move(models), t1));
+      !s.ok()) {
+    std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto table = rel::SyntheticTableDef(4000000, 500).value();
+  auto agg = rel::MakeAggQuery(table, 20, 3).value();
+  auto op = rel::SqlOperator::MakeAgg(agg);
+  double actual = engine->ExecuteAgg(agg).value().elapsed_seconds;
+  for (double clock : {0.0, t1 + 1.0}) {
+    auto est = registry.Estimate("system-c", op, clock).value();
+    std::printf("clock %s t1: %-22s estimate %.1f s (actual %.1f s)\n",
+                clock < t1 ? "<" : ">",
+                core::CostingApproachName(est.approach_used), est.seconds,
+                actual);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: cost a SQL operator on a remote system in five steps.
+//
+//   1. Stand up a (simulated) Hive-like remote system.
+//   2. Describe its openbox structure, as the registering expert would.
+//   3. Calibrate the Figure-5 sub-operators with a handful of probe queries.
+//   4. Estimate the elapsed time of a join it has never executed.
+//   5. Execute the join and compare the estimate with the observed time.
+//
+// Build and run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/formulas.h"
+#include "core/sub_op.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+using namespace intellisphere;
+
+int main() {
+  // 1. The remote system. In production this is a live cluster endpoint;
+  //    here it is the bundled simulator configured like the paper's
+  //    testbed (3 workers x 2 cores, 8 GB each).
+  auto hive = remote::HiveEngine::CreateDefault("hive-prod", /*seed=*/7);
+
+  // 2. Openbox knowledge from the system's profile: block size, slots,
+  //    task memory, and the planner's broadcast threshold.
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = hive->cluster().config().dfs_block_bytes;
+  info.total_slots = hive->cluster().config().TotalSlots();
+  info.num_worker_nodes = hive->cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive->cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive->options().broadcast_threshold_factor * info.task_memory_bytes;
+
+  // 3. Calibration: ~100 primitive probe queries, minutes of cluster time
+  //    (vs hours for the blackbox logical-op training).
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 100, 250, 500, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto calibration = core::CalibrateSubOps(hive.get(), info, copts);
+  if (!calibration.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 calibration.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("calibrated %lld probe queries in %.1f simulated minutes\n",
+              static_cast<long long>(calibration.value().probe_queries),
+              calibration.value().total_seconds / 60.0);
+
+  auto estimator = core::SubOpCostEstimator::ForHive(
+      calibration.value().catalog, core::ChoicePolicy::kInHouseComparable);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "estimator: %s\n",
+                 estimator.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. A join the system has never run: T20000000_250 (20M x 250 B) with
+  //    T2000000_100 (2M x 100 B), joined on a1, half the matches surviving.
+  auto big = rel::SyntheticTableDef(20000000, 250).value();
+  auto small = rel::SyntheticTableDef(2000000, 100).value();
+  auto join = rel::MakeJoinQuery(big, small, /*left_projected_bytes=*/32,
+                                 /*right_projected_bytes=*/32,
+                                 /*output_selectivity=*/0.5)
+                  .value();
+  auto estimate = estimator.value().EstimateJoin(join);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "estimate: %s\n",
+                 estimate.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("estimate: %.1f s via %s (%zu applicable algorithm(s))\n",
+              estimate.value().seconds,
+              estimate.value().chosen_algorithm.c_str(),
+              estimate.value().candidates.size());
+
+  // 5. Ground truth: actually run it on the remote system.
+  auto actual = hive->ExecuteJoin(join);
+  if (!actual.ok()) {
+    std::fprintf(stderr, "execute: %s\n", actual.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("actual:   %.1f s via %s\n", actual.value().elapsed_seconds,
+              actual.value().physical_algorithm.c_str());
+  std::printf("relative error: %.1f%%\n",
+              100.0 *
+                  std::abs(estimate.value().seconds -
+                           actual.value().elapsed_seconds) /
+                  actual.value().elapsed_seconds);
+  return 0;
+}

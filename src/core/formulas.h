@@ -1,0 +1,144 @@
+// Analytical cost formulas composing sub-op models per physical algorithm
+// (Section 4, Figure 6), plus the query-time machinery of the sub-op
+// approach: applicability rules to eliminate inapplicable algorithms and a
+// choice policy (worst-case / average / in-house-comparable) among the
+// survivors.
+//
+// Each formula is the paper-style closed form: fixed driver-side work plus
+// NumTaskWaves * (per-task work), plus the calibrated job-overhead model.
+// The formulas deliberately use the idealized full-wave/full-block
+// accounting of Figure 6 — the resulting slight overestimation relative to
+// the real (simulated) engine matches the paper's observation that "the
+// sub-op approach slightly tends to overestimate the cost".
+
+#ifndef INTELLISPHERE_CORE_FORMULAS_H_
+#define INTELLISPHERE_CORE_FORMULAS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sub_op.h"
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::core {
+
+/// A cost formula for one physical join algorithm.
+class JoinFormula {
+ public:
+  virtual ~JoinFormula() = default;
+  virtual std::string name() const = 0;
+  /// Applicability rule (Section 4 "Usage"): can the remote system run this
+  /// algorithm for this query?
+  virtual bool Applicable(const rel::JoinQuery& q,
+                          const OpenboxInfo& info) const = 0;
+  /// Estimated elapsed seconds from the calibrated sub-ops.
+  virtual Result<double> Estimate(const rel::JoinQuery& q,
+                                  const SubOpCatalog& catalog) const = 0;
+};
+
+/// A cost formula for one aggregation algorithm.
+class AggFormula {
+ public:
+  virtual ~AggFormula() = default;
+  virtual std::string name() const = 0;
+  virtual bool Applicable(const rel::AggQuery& q,
+                          const OpenboxInfo& info) const = 0;
+  virtual Result<double> Estimate(const rel::AggQuery& q,
+                                  const SubOpCatalog& catalog) const = 0;
+};
+
+/// A cost formula for one selection/projection algorithm.
+class ScanFormula {
+ public:
+  virtual ~ScanFormula() = default;
+  virtual std::string name() const = 0;
+  virtual bool Applicable(const rel::ScanQuery& q,
+                          const OpenboxInfo& info) const = 0;
+  virtual Result<double> Estimate(const rel::ScanQuery& q,
+                                  const SubOpCatalog& catalog) const = 0;
+};
+
+/// Builds the Hive formula set (the paper's proof-of-concept engine):
+/// shuffle, broadcast, bucket-map, sort-merge-bucket, and skew joins.
+std::vector<std::unique_ptr<JoinFormula>> HiveJoinFormulas();
+
+/// Hash and sort aggregation formulas.
+std::vector<std::unique_ptr<AggFormula>> HiveAggFormulas();
+
+/// The map-only selection/projection formula.
+std::vector<std::unique_ptr<ScanFormula>> HiveScanFormulas();
+
+/// How to resolve multiple applicable algorithms (Section 4): assume the
+/// worst case, the average, or what the in-house (Teradata) optimizer
+/// would pick — its cheapest candidate.
+enum class ChoicePolicy {
+  kWorstCase,
+  kAverage,
+  kInHouseComparable,
+};
+
+const char* ChoicePolicyName(ChoicePolicy policy);
+
+/// One candidate algorithm's estimate.
+struct AlgorithmEstimate {
+  std::string algorithm;
+  double seconds = 0.0;
+};
+
+/// The sub-op approach's final estimate with diagnostics.
+struct SubOpEstimate {
+  double seconds = 0.0;
+  /// The algorithm the policy settled on ("" for kAverage over several).
+  std::string chosen_algorithm;
+  std::vector<AlgorithmEstimate> candidates;
+};
+
+/// Query-time estimator of the sub-op costing approach.
+class SubOpCostEstimator {
+ public:
+  /// Takes the calibrated catalog and the formula sets for the remote
+  /// system's engine family.
+  SubOpCostEstimator(SubOpCatalog catalog,
+                     std::vector<std::unique_ptr<JoinFormula>> join_formulas,
+                     std::vector<std::unique_ptr<AggFormula>> agg_formulas,
+                     std::vector<std::unique_ptr<ScanFormula>> scan_formulas,
+                     ChoicePolicy policy);
+
+  /// Convenience: Hive formula set.
+  static Result<SubOpCostEstimator> ForHive(
+      SubOpCatalog catalog, ChoicePolicy policy = ChoicePolicy::kWorstCase);
+
+  /// Applies applicability rules, estimates every surviving algorithm, and
+  /// resolves with the policy. FailedPrecondition when no algorithm
+  /// survives.
+  Result<SubOpEstimate> EstimateJoin(const rel::JoinQuery& q) const;
+  Result<SubOpEstimate> EstimateAgg(const rel::AggQuery& q) const;
+  Result<SubOpEstimate> EstimateScan(const rel::ScanQuery& q) const;
+  Result<SubOpEstimate> Estimate(const rel::SqlOperator& op) const;
+
+  /// Estimates one named algorithm regardless of the policy (used by the
+  /// per-algorithm accuracy benchmarks, e.g. Fig 13(g)).
+  Result<double> EstimateJoinAlgorithm(const rel::JoinQuery& q,
+                                       const std::string& algorithm) const;
+  Result<double> EstimateAggAlgorithm(const rel::AggQuery& q,
+                                      const std::string& algorithm) const;
+
+  const SubOpCatalog& catalog() const { return catalog_; }
+  ChoicePolicy policy() const { return policy_; }
+  void set_policy(ChoicePolicy policy) { policy_ = policy; }
+
+ private:
+  Result<SubOpEstimate> Resolve(std::vector<AlgorithmEstimate> candidates) const;
+
+  SubOpCatalog catalog_;
+  std::vector<std::unique_ptr<JoinFormula>> join_formulas_;
+  std::vector<std::unique_ptr<AggFormula>> agg_formulas_;
+  std::vector<std::unique_ptr<ScanFormula>> scan_formulas_;
+  ChoicePolicy policy_;
+};
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_FORMULAS_H_

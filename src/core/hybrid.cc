@@ -1,0 +1,294 @@
+#include "core/hybrid.h"
+
+namespace intellisphere::core {
+
+const char* CostingApproachName(CostingApproach approach) {
+  switch (approach) {
+    case CostingApproach::kSubOp:
+      return "sub_op";
+    case CostingApproach::kLogicalOp:
+      return "logical_op";
+    case CostingApproach::kSubOpThenLogicalOp:
+      return "sub_op_then_logical_op";
+    case CostingApproach::kPerOperator:
+      return "per_operator";
+  }
+  return "unknown";
+}
+
+CostingProfile CostingProfile::SubOpOnly(SubOpCostEstimator estimator) {
+  CostingProfile p;
+  p.approach_ = CostingApproach::kSubOp;
+  p.sub_op_.emplace(std::move(estimator));
+  return p;
+}
+
+CostingProfile CostingProfile::LogicalOpOnly(
+    std::map<rel::OperatorType, LogicalOpModel> models) {
+  CostingProfile p;
+  p.approach_ = CostingApproach::kLogicalOp;
+  p.logical_ = std::move(models);
+  return p;
+}
+
+CostingProfile CostingProfile::SubOpThenLogicalOp(
+    SubOpCostEstimator estimator,
+    std::map<rel::OperatorType, LogicalOpModel> models, double switch_time) {
+  CostingProfile p;
+  p.approach_ = CostingApproach::kSubOpThenLogicalOp;
+  p.sub_op_.emplace(std::move(estimator));
+  p.logical_ = std::move(models);
+  p.switch_time_ = switch_time;
+  return p;
+}
+
+Result<CostingProfile> CostingProfile::PerOperator(
+    SubOpCostEstimator estimator,
+    std::map<rel::OperatorType, LogicalOpModel> models,
+    std::map<rel::OperatorType, CostingApproach> approaches) {
+  for (const auto& [type, approach] : approaches) {
+    if (approach != CostingApproach::kSubOp &&
+        approach != CostingApproach::kLogicalOp) {
+      return Status::InvalidArgument(
+          std::string("per-operator routing for ") +
+          rel::OperatorTypeName(type) +
+          " must be sub_op or logical_op");
+    }
+    if (approach == CostingApproach::kLogicalOp && !models.count(type)) {
+      return Status::InvalidArgument(
+          std::string("per-operator routing sends ") +
+          rel::OperatorTypeName(type) +
+          " to logical-op but no model was provided");
+    }
+  }
+  CostingProfile p;
+  p.approach_ = CostingApproach::kPerOperator;
+  p.sub_op_.emplace(std::move(estimator));
+  p.logical_ = std::move(models);
+  p.per_operator_ = std::move(approaches);
+  return p;
+}
+
+Result<const SubOpCostEstimator*> CostingProfile::sub_op() const {
+  if (!sub_op_.has_value()) {
+    return Status::FailedPrecondition("profile has no sub-op estimator");
+  }
+  return &*sub_op_;
+}
+
+Result<const LogicalOpModel*> CostingProfile::logical_model(
+    rel::OperatorType type) const {
+  auto it = logical_.find(type);
+  if (it == logical_.end()) {
+    return Status::NotFound(std::string("no logical-op model for ") +
+                            rel::OperatorTypeName(type));
+  }
+  return &it->second;
+}
+
+Result<LogicalOpModel*> CostingProfile::logical_model_mutable(
+    rel::OperatorType type) {
+  auto it = logical_.find(type);
+  if (it == logical_.end()) {
+    return Status::NotFound(std::string("no logical-op model for ") +
+                            rel::OperatorTypeName(type));
+  }
+  return &it->second;
+}
+
+Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
+                                                double now) const {
+  ISPHERE_RETURN_NOT_OK(op.Validate());
+  bool use_logical = false;
+  switch (approach_) {
+    case CostingApproach::kSubOp:
+      use_logical = false;
+      break;
+    case CostingApproach::kLogicalOp:
+      use_logical = true;
+      break;
+    case CostingApproach::kSubOpThenLogicalOp:
+      use_logical = now >= switch_time_;
+      break;
+    case CostingApproach::kPerOperator: {
+      auto it = per_operator_.find(op.type);
+      use_logical = it != per_operator_.end() &&
+                    it->second == CostingApproach::kLogicalOp;
+      break;
+    }
+  }
+  // A profile may lack a logical model for this operator type even when the
+  // logical path is active (training is per operator); fall back to sub-op.
+  if (use_logical && !has_logical_model(op.type) && sub_op_.has_value()) {
+    use_logical = false;
+  }
+
+  HybridEstimate est;
+  if (use_logical) {
+    ISPHERE_ASSIGN_OR_RETURN(const LogicalOpModel* model,
+                             logical_model(op.type));
+    ISPHERE_ASSIGN_OR_RETURN(LogicalOpEstimate le,
+                             model->Estimate(op.LogicalOpFeatures()));
+    est.seconds = le.seconds;
+    est.approach_used = CostingApproach::kLogicalOp;
+    est.used_remedy = le.used_remedy;
+    return est;
+  }
+  ISPHERE_ASSIGN_OR_RETURN(const SubOpCostEstimator* sub, sub_op());
+  ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se, sub->Estimate(op));
+  est.seconds = se.seconds;
+  est.approach_used = CostingApproach::kSubOp;
+  est.algorithm = se.chosen_algorithm;
+  return est;
+}
+
+Status CostingProfile::LogActual(const rel::SqlOperator& op,
+                                 double actual_seconds) {
+  auto it = logical_.find(op.type);
+  if (it == logical_.end()) return Status::OK();
+  return it->second.LogExecution(op.LogicalOpFeatures(), actual_seconds);
+}
+
+Status CostingProfile::OfflineTune() {
+  for (auto& [type, model] : logical_) {
+    if (model.log_size() == 0) continue;
+    ISPHERE_RETURN_NOT_OK(model.OfflineTune());
+  }
+  return Status::OK();
+}
+
+void CostingProfile::Save(const std::string& prefix,
+                          Properties* props) const {
+  props->SetInt(prefix + "approach", static_cast<int64_t>(approach_));
+  props->SetDouble(prefix + "switch_time", switch_time_);
+  props->SetBool(prefix + "has_sub_op", sub_op_.has_value());
+  if (sub_op_.has_value()) {
+    // The formula family is currently always Hive-shaped (Section 7's
+    // proof of concept); record it so Load can reconstruct the formulas.
+    props->SetString(prefix + "formula_family", "hive");
+    props->SetInt(prefix + "policy",
+                  static_cast<int64_t>(sub_op_->policy()));
+    sub_op_->catalog().Save(prefix + "catalog_", props);
+  }
+  props->SetInt(prefix + "num_logical",
+                static_cast<int64_t>(logical_.size()));
+  int i = 0;
+  for (const auto& [type, model] : logical_) {
+    model.Save(prefix + "model" + std::to_string(i++) + "_", props);
+  }
+  std::vector<double> routing;
+  for (const auto& [type, approach] : per_operator_) {
+    routing.push_back(static_cast<double>(type));
+    routing.push_back(static_cast<double>(approach));
+  }
+  props->SetDoubleList(prefix + "per_operator", routing);
+}
+
+Result<CostingProfile> CostingProfile::Load(const std::string& prefix,
+                                            const Properties& props) {
+  CostingProfile p;
+  ISPHERE_ASSIGN_OR_RETURN(int64_t approach,
+                           props.GetInt(prefix + "approach"));
+  if (approach < 0 ||
+      approach > static_cast<int64_t>(CostingApproach::kPerOperator)) {
+    return Status::InvalidArgument("invalid serialized costing approach");
+  }
+  p.approach_ = static_cast<CostingApproach>(approach);
+  ISPHERE_ASSIGN_OR_RETURN(p.switch_time_,
+                           props.GetDouble(prefix + "switch_time"));
+  ISPHERE_ASSIGN_OR_RETURN(bool has_sub_op,
+                           props.GetBool(prefix + "has_sub_op"));
+  if (has_sub_op) {
+    ISPHERE_ASSIGN_OR_RETURN(std::string family,
+                             props.GetString(prefix + "formula_family"));
+    if (family != "hive") {
+      return Status::Unsupported("unknown formula family '" + family + "'");
+    }
+    ISPHERE_ASSIGN_OR_RETURN(int64_t policy,
+                             props.GetInt(prefix + "policy"));
+    ISPHERE_ASSIGN_OR_RETURN(SubOpCatalog catalog,
+                             SubOpCatalog::Load(prefix + "catalog_", props));
+    ISPHERE_ASSIGN_OR_RETURN(
+        SubOpCostEstimator est,
+        SubOpCostEstimator::ForHive(std::move(catalog),
+                                    static_cast<ChoicePolicy>(policy)));
+    p.sub_op_.emplace(std::move(est));
+  }
+  ISPHERE_ASSIGN_OR_RETURN(int64_t n, props.GetInt(prefix + "num_logical"));
+  for (int64_t i = 0; i < n; ++i) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        LogicalOpModel model,
+        LogicalOpModel::Load(prefix + "model" + std::to_string(i) + "_",
+                             props));
+    rel::OperatorType type = model.type();
+    p.logical_.emplace(type, std::move(model));
+  }
+  ISPHERE_ASSIGN_OR_RETURN(std::vector<double> routing,
+                           props.GetDoubleList(prefix + "per_operator"));
+  if (routing.size() % 2 != 0) {
+    return Status::InvalidArgument("invalid per-operator routing");
+  }
+  for (size_t i = 0; i < routing.size(); i += 2) {
+    p.per_operator_[static_cast<rel::OperatorType>(
+        static_cast<int>(routing[i]))] =
+        static_cast<CostingApproach>(static_cast<int>(routing[i + 1]));
+  }
+  return p;
+}
+
+Status CostEstimator::RegisterSystem(const std::string& system_name,
+                                     CostingProfile profile) {
+  if (profiles_.count(system_name)) {
+    return Status::AlreadyExists("system '" + system_name +
+                                 "' already has a costing profile");
+  }
+  profiles_.emplace(system_name, std::move(profile));
+  return Status::OK();
+}
+
+bool CostEstimator::HasSystem(const std::string& system_name) const {
+  return profiles_.count(system_name) > 0;
+}
+
+Result<HybridEstimate> CostEstimator::Estimate(const std::string& system_name,
+                                               const rel::SqlOperator& op,
+                                               double now) const {
+  ISPHERE_ASSIGN_OR_RETURN(const CostingProfile* p, GetProfile(system_name));
+  return p->Estimate(op, now);
+}
+
+Status CostEstimator::LogActual(const std::string& system_name,
+                                const rel::SqlOperator& op,
+                                double actual_seconds) {
+  ISPHERE_ASSIGN_OR_RETURN(CostingProfile * p,
+                           GetProfileMutable(system_name));
+  return p->LogActual(op, actual_seconds);
+}
+
+Status CostEstimator::OfflineTune(const std::string& system_name) {
+  ISPHERE_ASSIGN_OR_RETURN(CostingProfile * p,
+                           GetProfileMutable(system_name));
+  return p->OfflineTune();
+}
+
+Result<const CostingProfile*> CostEstimator::GetProfile(
+    const std::string& system_name) const {
+  auto it = profiles_.find(system_name);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no costing profile for system '" + system_name +
+                            "'");
+  }
+  return &it->second;
+}
+
+Result<CostingProfile*> CostEstimator::GetProfileMutable(
+    const std::string& system_name) {
+  auto it = profiles_.find(system_name);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no costing profile for system '" + system_name +
+                            "'");
+  }
+  return &it->second;
+}
+
+}  // namespace intellisphere::core

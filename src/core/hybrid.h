@@ -1,0 +1,150 @@
+// Hybrid-operator costing (Section 5): every remote system registers a
+// Costing Profile (CP) holding everything needed to cost its operators —
+// a sub-op catalog + formulas, logical-op neural models + range metadata,
+// or both with a time-phased switch ("sub-op costing [0...t1], logical-op
+// costing [t1...]" in Figure 9). The CostEstimator facade is the registry
+// the (Teradata) optimizer queries.
+
+#ifndef INTELLISPHERE_CORE_HYBRID_H_
+#define INTELLISPHERE_CORE_HYBRID_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/formulas.h"
+#include "core/logical_op.h"
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::core {
+
+/// Which costing approach a profile applies.
+enum class CostingApproach {
+  kSubOp,
+  kLogicalOp,
+  /// Approximate sub-op costing until `switch_time`, then logical-op
+  /// (system C in Figure 9).
+  kSubOpThenLogicalOp,
+  /// Different approaches per operator type within one system — the
+  /// extension Section 5 sketches ("some operators, e.g., selection and
+  /// aggregation, can be trained using the logical-op approach, while
+  /// other higher-dimensional operators such as joins can be trained using
+  /// the sub-op approach").
+  kPerOperator,
+};
+
+const char* CostingApproachName(CostingApproach approach);
+
+/// A remote-cost estimate with provenance diagnostics.
+struct HybridEstimate {
+  double seconds = 0.0;
+  CostingApproach approach_used = CostingApproach::kSubOp;
+  /// Chosen physical algorithm (sub-op path) or empty.
+  std::string algorithm;
+  /// Whether the logical-op path went through the online remedy.
+  bool used_remedy = false;
+};
+
+/// A remote system's costing profile.
+class CostingProfile {
+ public:
+  /// Openbox system: sub-op costing only.
+  static CostingProfile SubOpOnly(SubOpCostEstimator estimator);
+
+  /// Blackbox system: logical-op costing only. Pass one model per operator
+  /// type the system supports.
+  static CostingProfile LogicalOpOnly(
+      std::map<rel::OperatorType, LogicalOpModel> models);
+
+  /// Little-known system: sub-op costing until `switch_time` (seconds on
+  /// the deployment clock), logical-op afterwards.
+  static CostingProfile SubOpThenLogicalOp(
+      SubOpCostEstimator estimator,
+      std::map<rel::OperatorType, LogicalOpModel> models, double switch_time);
+
+  /// Mixed system: a per-operator-type approach selection. Types missing
+  /// from `approaches` default to kSubOp. InvalidArgument when a type is
+  /// routed to kLogicalOp without a model, or when an approach other than
+  /// kSubOp / kLogicalOp is requested for a type.
+  static Result<CostingProfile> PerOperator(
+      SubOpCostEstimator estimator,
+      std::map<rel::OperatorType, LogicalOpModel> models,
+      std::map<rel::OperatorType, CostingApproach> approaches);
+
+  CostingProfile(CostingProfile&&) = default;
+  CostingProfile& operator=(CostingProfile&&) = default;
+
+  /// Estimates the operator's remote elapsed time. `now` is the deployment
+  /// clock consulted by time-phased profiles.
+  Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
+                                  double now = 0.0) const;
+
+  /// Logging phase: records an actual remote execution into the active
+  /// logical-op model (no-op result when the profile has none for the
+  /// type — sub-op models need no continuous tuning, Figure 8).
+  Status LogActual(const rel::SqlOperator& op, double actual_seconds);
+
+  /// Runs the offline tuning phase on every logical-op model with a
+  /// non-empty log.
+  Status OfflineTune();
+
+  /// Persists the whole profile (approach, switch time, per-operator
+  /// routing, the sub-op catalog, and every logical-op model). Loading
+  /// reconstructs the formula set for the stored engine family.
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<CostingProfile> Load(const std::string& prefix,
+                                     const Properties& props);
+
+  CostingApproach approach() const { return approach_; }
+  double switch_time() const { return switch_time_; }
+  bool has_sub_op() const { return sub_op_.has_value(); }
+  bool has_logical_model(rel::OperatorType type) const {
+    return logical_.count(type) > 0;
+  }
+  Result<const LogicalOpModel*> logical_model(rel::OperatorType type) const;
+  Result<LogicalOpModel*> logical_model_mutable(rel::OperatorType type);
+  Result<const SubOpCostEstimator*> sub_op() const;
+
+ private:
+  CostingProfile() = default;
+
+  CostingApproach approach_ = CostingApproach::kSubOp;
+  std::optional<SubOpCostEstimator> sub_op_;
+  std::map<rel::OperatorType, LogicalOpModel> logical_;
+  std::map<rel::OperatorType, CostingApproach> per_operator_;
+  double switch_time_ = 0.0;
+};
+
+/// The remote-system cost estimation module: profile registry + dispatch.
+class CostEstimator {
+ public:
+  /// AlreadyExists on duplicate registration.
+  Status RegisterSystem(const std::string& system_name,
+                        CostingProfile profile);
+  bool HasSystem(const std::string& system_name) const;
+
+  /// Estimates an operator's cost on the named system.
+  Result<HybridEstimate> Estimate(const std::string& system_name,
+                                  const rel::SqlOperator& op,
+                                  double now = 0.0) const;
+
+  /// Feedback entry points.
+  Status LogActual(const std::string& system_name, const rel::SqlOperator& op,
+                   double actual_seconds);
+  Status OfflineTune(const std::string& system_name);
+
+  Result<const CostingProfile*> GetProfile(
+      const std::string& system_name) const;
+  Result<CostingProfile*> GetProfileMutable(const std::string& system_name);
+
+  size_t num_systems() const { return profiles_.size(); }
+
+ private:
+  std::map<std::string, CostingProfile> profiles_;
+};
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_HYBRID_H_

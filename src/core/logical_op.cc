@@ -1,0 +1,271 @@
+#include "core/logical_op.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ml/linear_regression.h"
+
+namespace intellisphere::core {
+
+namespace {
+
+// Floor for any returned cost: a remote query can never be free.
+constexpr double kMinCostSeconds = 1e-3;
+
+std::vector<double> PivotValues(const std::vector<double>& features,
+                                const std::vector<size_t>& pivots) {
+  std::vector<double> v;
+  v.reserve(pivots.size());
+  for (size_t p : pivots) v.push_back(features[p]);
+  return v;
+}
+
+}  // namespace
+
+Result<LogicalOpModel> LogicalOpModel::Train(rel::OperatorType type,
+                                             const ml::Dataset& data,
+                                             std::vector<std::string> dim_names,
+                                             const LogicalOpOptions& opts) {
+  ISPHERE_RETURN_NOT_OK(data.Validate());
+  LogicalOpModel model;
+  model.type_ = type;
+  model.opts_ = opts;
+  model.alpha_ = opts.initial_alpha;
+  model.data_ = data;
+  ISPHERE_ASSIGN_OR_RETURN(
+      model.metadata_, TrainingMetadata::FromDataset(data, std::move(dim_names)));
+
+  ml::MlpConfig cfg = opts.mlp;
+  if (opts.run_topology_search) {
+    ml::TopologySearchOptions search = opts.search;
+    search.base = opts.mlp;
+    ISPHERE_ASSIGN_OR_RETURN(ml::TopologySearchResult found,
+                             ml::SearchTopology(data, search));
+    cfg.hidden1 = found.best.hidden1;
+    cfg.hidden2 = found.best.hidden2;
+  }
+  ISPHERE_ASSIGN_OR_RETURN(model.mlp_, ml::MlpRegressor::Train(data, cfg));
+  return model;
+}
+
+Result<LogicalOpEstimate> LogicalOpModel::Estimate(
+    const std::vector<double>& features) const {
+  ISPHERE_ASSIGN_OR_RETURN(std::vector<size_t> pivots,
+                           metadata_.PivotDimensions(features, opts_.beta));
+  LogicalOpEstimate est;
+  ISPHERE_ASSIGN_OR_RETURN(est.nn_seconds, mlp_.Predict(features));
+  est.nn_seconds = std::max(kMinCostSeconds, est.nn_seconds);
+  if (pivots.empty()) {
+    est.seconds = est.nn_seconds;
+    return est;
+  }
+  est.used_remedy = true;
+  est.pivot_dims = pivots;
+  ISPHERE_ASSIGN_OR_RETURN(est.remedy_seconds,
+                           PivotRegressionEstimate(features, pivots));
+  est.remedy_seconds = std::max(kMinCostSeconds, est.remedy_seconds);
+  est.seconds = std::max(kMinCostSeconds,
+                         alpha_ * est.nn_seconds +
+                             (1.0 - alpha_) * est.remedy_seconds);
+  return est;
+}
+
+double LogicalOpModel::NonPivotDistance(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const std::vector<size_t>& pivots) const {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::find(pivots.begin(), pivots.end(), i) != pivots.end()) continue;
+    const DimensionMeta& m = metadata_.dimension(i);
+    double span = m.max - m.min;
+    if (span <= 0.0) span = 1.0;
+    double delta = (a[i] - b[i]) / span;
+    d += delta * delta;
+  }
+  return d;
+}
+
+Result<double> LogicalOpModel::PivotRegressionEstimate(
+    const std::vector<double>& features,
+    const std::vector<size_t>& pivots) const {
+  if (data_.size() == 0) {
+    return Status::FailedPrecondition("no retained training data for remedy");
+  }
+  // Group training rows by their pivot-value tuple; within each group keep
+  // the row whose non-pivot dimensions best match the query ("their values
+  // in the D_inRange dimensions are matching or very close").
+  std::map<std::vector<double>, size_t> best_per_tuple;
+  for (size_t r = 0; r < data_.size(); ++r) {
+    std::vector<double> tuple = PivotValues(data_.x[r], pivots);
+    auto it = best_per_tuple.find(tuple);
+    if (it == best_per_tuple.end()) {
+      best_per_tuple.emplace(std::move(tuple), r);
+    } else if (NonPivotDistance(features, data_.x[r], pivots) <
+               NonPivotDistance(features, data_.x[it->second], pivots)) {
+      it->second = r;
+    }
+  }
+  // Rank pivot tuples by proximity to the query's pivot values ("immediate
+  // successors and/or predecessors") and keep the closest k groups.
+  std::vector<double> qp = PivotValues(features, pivots);
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(best_per_tuple.size());
+  for (const auto& [tuple, row] : best_per_tuple) {
+    double d = 0.0;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const DimensionMeta& m = metadata_.dimension(pivots[i]);
+      double span = m.max - m.min;
+      if (span <= 0.0) span = 1.0;
+      double delta = (tuple[i] - qp[i]) / span;
+      d += delta * delta;
+    }
+    ranked.emplace_back(d, row);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  size_t k = std::max<size_t>(pivots.size() + 2,
+                              static_cast<size_t>(opts_.remedy_neighbors));
+  if (ranked.size() > k) ranked.resize(k);
+
+  ml::Dataset pivot_data;
+  for (const auto& [d, row] : ranked) {
+    pivot_data.Add(PivotValues(data_.x[row], pivots), data_.y[row]);
+  }
+  auto lr = ml::LinearRegression::Fit(pivot_data);
+  if (!lr.ok()) {
+    // Degenerate neighborhood (e.g. a single pivot value): extrapolate a
+    // flat line through the closest point.
+    return pivot_data.y.empty() ? Status::Internal("no remedy neighbors")
+                                : Result<double>(pivot_data.y[0]);
+  }
+  return lr.value().Predict(qp);
+}
+
+void LogicalOpModel::Save(const std::string& prefix,
+                          Properties* props) const {
+  props->SetInt(prefix + "type", static_cast<int64_t>(type_));
+  props->SetDouble(prefix + "alpha", alpha_);
+  props->SetDouble(prefix + "beta", opts_.beta);
+  props->SetInt(prefix + "remedy_neighbors", opts_.remedy_neighbors);
+  props->SetDouble(prefix + "initial_alpha", opts_.initial_alpha);
+  props->SetDouble(prefix + "continuity_factor", opts_.continuity_factor);
+  props->SetInt(prefix + "tuning_iterations", opts_.tuning_iterations);
+  metadata_.Save(prefix + "meta_", props);
+  mlp_.Save(prefix + "nn_", props);
+  // Retained training points, flattened row-major (the remedy phase needs
+  // them to extract pivot-regression neighborhoods).
+  props->SetInt(prefix + "data_rows", static_cast<int64_t>(data_.size()));
+  props->SetInt(prefix + "data_cols",
+                static_cast<int64_t>(data_.num_features()));
+  std::vector<double> flat;
+  flat.reserve(data_.size() * data_.num_features());
+  for (const auto& row : data_.x) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  props->SetDoubleList(prefix + "data_x", flat);
+  props->SetDoubleList(prefix + "data_y", data_.y);
+}
+
+Result<LogicalOpModel> LogicalOpModel::Load(const std::string& prefix,
+                                            const Properties& props) {
+  LogicalOpModel model;
+  ISPHERE_ASSIGN_OR_RETURN(int64_t type, props.GetInt(prefix + "type"));
+  if (type < 0 || type > static_cast<int64_t>(rel::OperatorType::kScan)) {
+    return Status::InvalidArgument("invalid serialized operator type");
+  }
+  model.type_ = static_cast<rel::OperatorType>(type);
+  ISPHERE_ASSIGN_OR_RETURN(model.alpha_, props.GetDouble(prefix + "alpha"));
+  ISPHERE_ASSIGN_OR_RETURN(model.opts_.beta, props.GetDouble(prefix + "beta"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t k,
+                           props.GetInt(prefix + "remedy_neighbors"));
+  model.opts_.remedy_neighbors = static_cast<int>(k);
+  ISPHERE_ASSIGN_OR_RETURN(model.opts_.initial_alpha,
+                           props.GetDouble(prefix + "initial_alpha"));
+  ISPHERE_ASSIGN_OR_RETURN(model.opts_.continuity_factor,
+                           props.GetDouble(prefix + "continuity_factor"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t ti,
+                           props.GetInt(prefix + "tuning_iterations"));
+  model.opts_.tuning_iterations = static_cast<int>(ti);
+  ISPHERE_ASSIGN_OR_RETURN(model.metadata_,
+                           TrainingMetadata::Load(prefix + "meta_", props));
+  ISPHERE_ASSIGN_OR_RETURN(model.mlp_,
+                           ml::MlpRegressor::Load(prefix + "nn_", props));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t rows, props.GetInt(prefix + "data_rows"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t cols, props.GetInt(prefix + "data_cols"));
+  ISPHERE_ASSIGN_OR_RETURN(std::vector<double> flat,
+                           props.GetDoubleList(prefix + "data_x"));
+  ISPHERE_ASSIGN_OR_RETURN(model.data_.y,
+                           props.GetDoubleList(prefix + "data_y"));
+  if (rows < 0 || cols <= 0 ||
+      flat.size() != static_cast<size_t>(rows * cols) ||
+      model.data_.y.size() != static_cast<size_t>(rows)) {
+    return Status::InvalidArgument("inconsistent serialized training data");
+  }
+  model.data_.x.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    model.data_.x.emplace_back(flat.begin() + r * cols,
+                               flat.begin() + (r + 1) * cols);
+  }
+  if (model.metadata_.num_dimensions() != static_cast<size_t>(cols)) {
+    return Status::InvalidArgument(
+        "serialized metadata width does not match the training data");
+  }
+  return model;
+}
+
+Status LogicalOpModel::LogExecution(const std::vector<double>& features,
+                                    double actual_seconds) {
+  if (actual_seconds < 0.0) {
+    return Status::InvalidArgument("negative actual cost");
+  }
+  ISPHERE_ASSIGN_OR_RETURN(LogicalOpEstimate est, Estimate(features));
+  LogRecord rec;
+  rec.features = features;
+  rec.actual_seconds = actual_seconds;
+  rec.used_remedy = est.used_remedy;
+  rec.nn_seconds = est.nn_seconds;
+  rec.remedy_seconds = est.remedy_seconds;
+  log_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status LogicalOpModel::OfflineTune() {
+  if (log_.empty()) {
+    return Status::FailedPrecondition("offline tuning with an empty log");
+  }
+  ml::Dataset new_data;
+  std::vector<std::vector<double>> rows;
+  for (const LogRecord& rec : log_) {
+    new_data.Add(rec.features, rec.actual_seconds);
+    rows.push_back(rec.features);
+  }
+  ISPHERE_RETURN_NOT_OK(
+      mlp_.ContinueTraining(new_data, opts_.tuning_iterations));
+  ISPHERE_RETURN_NOT_OK(data_.Append(new_data));
+  ISPHERE_RETURN_NOT_OK(
+      metadata_.Absorb(rows, opts_.continuity_factor).status());
+  log_.clear();
+  return Status::OK();
+}
+
+Result<double> LogicalOpModel::AdjustAlpha() {
+  // alpha* = sum((y - c2)(c1 - c2)) / sum((c1 - c2)^2) minimizes the
+  // squared error of alpha*c1 + (1-alpha)*c2 over the remedy executions.
+  double num = 0.0, den = 0.0;
+  size_t used = 0;
+  for (const LogRecord& rec : log_) {
+    if (!rec.used_remedy) continue;
+    double d = rec.nn_seconds - rec.remedy_seconds;
+    num += (rec.actual_seconds - rec.remedy_seconds) * d;
+    den += d * d;
+    ++used;
+  }
+  if (used == 0) {
+    return Status::FailedPrecondition("no remedy executions logged");
+  }
+  double a = den > 0.0 ? num / den : alpha_;
+  alpha_ = std::clamp(a, 0.05, 0.95);
+  return alpha_;
+}
+
+}  // namespace intellisphere::core

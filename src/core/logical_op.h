@@ -1,0 +1,147 @@
+// Logical-operator costing (Section 3): a neural-network cost model per
+// logical operator trained from queries executed on the (blackbox) remote
+// system, plus the paper's two quality phases:
+//
+//  * Online remedy (Figures 3 and 4): when one or more input parameters are
+//    way off the trained range (pivot dimensions), build an on-the-fly
+//    regression over the pivot dimension(s) from the closest training
+//    points and combine its extrapolation c2 with the network's estimate c1
+//    as alpha*c1 + (1-alpha)*c2. Alpha starts at 0.5 and is auto-adjusted
+//    from observed executions (Table 1).
+//
+//  * Offline tuning: every remotely executed operator's actual cost is
+//    logged; periodically the log is fed back into the network
+//    (ContinueTraining) and the range metadata absorbs new values under the
+//    continuity rule.
+
+#ifndef INTELLISPHERE_CORE_LOGICAL_OP_H_
+#define INTELLISPHERE_CORE_LOGICAL_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/training.h"
+#include "ml/cross_validation.h"
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::core {
+
+/// Tunables of the logical-op approach.
+struct LogicalOpOptions {
+  /// Out-of-range threshold multiplier (beta > 1, Section 3).
+  double beta = 2.0;
+  /// Distinct pivot-value groups used to fit the remedy regression.
+  int remedy_neighbors = 8;
+  /// Initial cost-combining weight on the network estimate.
+  double initial_alpha = 0.5;
+  /// Continuity slack (in step sizes) for offline range expansion.
+  double continuity_factor = 2.0;
+  /// Gradient steps per offline tuning pass.
+  int tuning_iterations = 4000;
+  /// Network hyperparameters (topology overridden by the search if run).
+  ml::MlpConfig mlp;
+  /// Run the paper's cross-validation topology search before training.
+  bool run_topology_search = false;
+  ml::TopologySearchOptions search;
+};
+
+/// One estimate, with the remedy diagnostics the benchmarks report.
+struct LogicalOpEstimate {
+  double seconds = 0.0;
+  bool used_remedy = false;
+  std::vector<size_t> pivot_dims;
+  double nn_seconds = 0.0;       ///< c1
+  double remedy_seconds = 0.0;   ///< c2 (meaningful when used_remedy)
+};
+
+/// A trained logical-operator cost model (one per operator type).
+class LogicalOpModel {
+ public:
+  /// Trains on a dataset of (feature vector -> observed elapsed seconds).
+  /// `dim_names` labels the training dimensions (Figure 2's seven for join,
+  /// four for aggregation).
+  static Result<LogicalOpModel> Train(rel::OperatorType type,
+                                      const ml::Dataset& data,
+                                      std::vector<std::string> dim_names,
+                                      const LogicalOpOptions& opts);
+
+  /// The Figure-3 flowchart: in-range inputs go through the network;
+  /// way-off inputs trigger QueryTime-Remedy().
+  Result<LogicalOpEstimate> Estimate(const std::vector<double>& features) const;
+
+  /// Logging phase: records the actual cost of a remotely executed
+  /// operator (with the estimates recomputed for alpha fitting).
+  Status LogExecution(const std::vector<double>& features,
+                      double actual_seconds);
+
+  /// Offline tuning phase: feeds the accumulated log to the network,
+  /// absorbs new ranges under the continuity rule, and clears the log.
+  /// FailedPrecondition when the log is empty.
+  Status OfflineTune();
+
+  /// Re-fits alpha to minimize the squared error of the combined estimate
+  /// over all logged remedy executions (closed form, clamped to
+  /// [0.05, 0.95]); returns the new alpha. Used after each query batch
+  /// (Table 1). FailedPrecondition when no remedy executions are logged.
+  Result<double> AdjustAlpha();
+
+  /// Serializes the full costing-profile payload for this operator: the
+  /// network, the range metadata (including islands), alpha, the options,
+  /// and the retained training points (required by the remedy's neighbor
+  /// extraction). Everything goes under `prefix` in `props`.
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<LogicalOpModel> Load(const std::string& prefix,
+                                     const Properties& props);
+
+  rel::OperatorType type() const { return type_; }
+  double alpha() const { return alpha_; }
+  void set_alpha(double a) { alpha_ = a; }
+  const TrainingMetadata& metadata() const { return metadata_; }
+  /// Mutable metadata access for experimentation (e.g. ablating the
+  /// continuity rule); production flows go through OfflineTune.
+  TrainingMetadata& metadata_mutable() { return metadata_; }
+  const ml::MlpRegressor& network() const { return mlp_; }
+  const LogicalOpOptions& options() const { return opts_; }
+  size_t log_size() const { return log_.size(); }
+  /// Selected topology (after the optional search).
+  std::pair<int, int> topology() const {
+    return {mlp_.config().hidden1, mlp_.config().hidden2};
+  }
+
+ private:
+  LogicalOpModel() = default;
+
+  struct LogRecord {
+    std::vector<double> features;
+    double actual_seconds = 0.0;
+    bool used_remedy = false;
+    double nn_seconds = 0.0;
+    double remedy_seconds = 0.0;
+  };
+
+  /// QueryTime-Remedy(): extracts the closest training points, fits a
+  /// regression over the pivot dimensions, and extrapolates.
+  Result<double> PivotRegressionEstimate(
+      const std::vector<double>& features,
+      const std::vector<size_t>& pivots) const;
+
+  /// Normalized distance over the non-pivot dimensions.
+  double NonPivotDistance(const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const std::vector<size_t>& pivots) const;
+
+  rel::OperatorType type_ = rel::OperatorType::kJoin;
+  LogicalOpOptions opts_;
+  ml::MlpRegressor mlp_;
+  TrainingMetadata metadata_;
+  ml::Dataset data_;  ///< retained training points for neighbor extraction
+  double alpha_ = 0.5;
+  std::vector<LogRecord> log_;
+};
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_LOGICAL_OP_H_

@@ -1,0 +1,69 @@
+#include "core/trainer.h"
+
+namespace intellisphere::core {
+
+Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
+                                    const std::vector<rel::SqlOperator>& ops) {
+  if (system == nullptr) return Status::InvalidArgument("null remote system");
+  if (ops.empty()) return Status::InvalidArgument("empty training workload");
+  TrainingRun run;
+  double cumulative = 0.0;
+  for (const rel::SqlOperator& op : ops) {
+    auto result = system->Execute(op);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kUnsupported) continue;
+      return result.status();
+    }
+    cumulative += result.value().elapsed_seconds;
+    run.data.Add(op.LogicalOpFeatures(), result.value().elapsed_seconds);
+    run.cumulative_seconds.push_back(cumulative);
+  }
+  if (run.data.size() == 0) {
+    return Status::FailedPrecondition(
+        "remote system '" + system->name() +
+        "' supported none of the training operators");
+  }
+  return run;
+}
+
+Result<TrainingRun> CollectJoinTraining(
+    remote::RemoteSystem* system, const std::vector<rel::JoinQuery>& queries) {
+  std::vector<rel::SqlOperator> ops;
+  ops.reserve(queries.size());
+  for (const auto& q : queries) ops.push_back(rel::SqlOperator::MakeJoin(q));
+  return CollectTraining(system, ops);
+}
+
+Result<TrainingRun> CollectAggTraining(
+    remote::RemoteSystem* system, const std::vector<rel::AggQuery>& queries) {
+  std::vector<rel::SqlOperator> ops;
+  ops.reserve(queries.size());
+  for (const auto& q : queries) ops.push_back(rel::SqlOperator::MakeAgg(q));
+  return CollectTraining(system, ops);
+}
+
+Result<TrainingRun> CollectScanTraining(
+    remote::RemoteSystem* system, const std::vector<rel::ScanQuery>& queries) {
+  std::vector<rel::SqlOperator> ops;
+  ops.reserve(queries.size());
+  for (const auto& q : queries) ops.push_back(rel::SqlOperator::MakeScan(q));
+  return CollectTraining(system, ops);
+}
+
+std::vector<std::string> JoinDimensionNames() {
+  return {"left_row_bytes",      "left_num_rows",       "right_row_bytes",
+          "right_num_rows",      "left_projected_bytes", "right_projected_bytes",
+          "output_rows"};
+}
+
+std::vector<std::string> AggDimensionNames() {
+  return {"input_num_rows", "input_row_bytes", "output_rows",
+          "output_row_bytes"};
+}
+
+std::vector<std::string> ScanDimensionNames() {
+  return {"input_num_rows", "input_row_bytes", "output_rows",
+          "projected_bytes"};
+}
+
+}  // namespace intellisphere::core

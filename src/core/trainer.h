@@ -1,0 +1,52 @@
+// Training drivers for the logical-op approach: execute a workload of
+// training queries on the remote system (the expensive step the paper's
+// Figures 11(a) and 12(a) measure) and collect the labeled dataset.
+
+#ifndef INTELLISPHERE_CORE_TRAINER_H_
+#define INTELLISPHERE_CORE_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "relational/query.h"
+#include "remote/remote_system.h"
+#include "util/status.h"
+
+namespace intellisphere::core {
+
+/// Outcome of a training-collection run.
+struct TrainingRun {
+  ml::Dataset data;
+  /// Cumulative simulated training seconds after each executed query — the
+  /// series plotted in Figures 11(a)/12(a).
+  std::vector<double> cumulative_seconds;
+
+  double total_seconds() const {
+    return cumulative_seconds.empty() ? 0.0 : cumulative_seconds.back();
+  }
+};
+
+/// Executes every operator on `system` and labels its logical-op feature
+/// vector with the observed elapsed time. Operators the system cannot run
+/// are skipped (a remote system may lack capabilities); at least one must
+/// succeed.
+Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
+                                    const std::vector<rel::SqlOperator>& ops);
+
+/// Convenience wrappers over CollectTraining.
+Result<TrainingRun> CollectJoinTraining(
+    remote::RemoteSystem* system, const std::vector<rel::JoinQuery>& queries);
+Result<TrainingRun> CollectAggTraining(
+    remote::RemoteSystem* system, const std::vector<rel::AggQuery>& queries);
+Result<TrainingRun> CollectScanTraining(
+    remote::RemoteSystem* system, const std::vector<rel::ScanQuery>& queries);
+
+/// The paper's dimension names for each operator's training set.
+std::vector<std::string> JoinDimensionNames();
+std::vector<std::string> AggDimensionNames();
+std::vector<std::string> ScanDimensionNames();
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_TRAINER_H_

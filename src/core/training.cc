@@ -1,0 +1,137 @@
+#include "core/training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace intellisphere::core {
+
+bool DimensionMeta::WayOff(double v, double beta) const {
+  if (InRange(v)) return false;
+  double slack = beta * step_size;
+  if (v < min) return min - v > slack;
+  return v - max > slack;
+}
+
+Result<TrainingMetadata> TrainingMetadata::FromDataset(
+    const ml::Dataset& data, std::vector<std::string> names) {
+  ISPHERE_RETURN_NOT_OK(data.Validate());
+  if (data.size() == 0) return Status::InvalidArgument("empty dataset");
+  size_t d = data.num_features();
+  if (names.size() != d) {
+    return Status::InvalidArgument("dimension name count mismatch");
+  }
+  std::vector<DimensionMeta> dims(d);
+  for (size_t i = 0; i < d; ++i) {
+    std::set<double> values;
+    for (const auto& row : data.x) values.insert(row[i]);
+    DimensionMeta& m = dims[i];
+    m.name = std::move(names[i]);
+    m.min = *values.begin();
+    m.max = *values.rbegin();
+    // Largest gap between consecutive distinct training values; a constant
+    // dimension gets step 0 (any deviation is immediately out of range).
+    double max_gap = 0.0;
+    double prev = *values.begin();
+    for (double v : values) {
+      max_gap = std::max(max_gap, v - prev);
+      prev = v;
+    }
+    m.step_size = max_gap;
+  }
+  return TrainingMetadata(std::move(dims));
+}
+
+Result<std::vector<size_t>> TrainingMetadata::PivotDimensions(
+    const std::vector<double>& features, double beta) const {
+  if (features.size() != dims_.size()) {
+    return Status::InvalidArgument("feature width mismatch with metadata");
+  }
+  if (beta <= 1.0) {
+    return Status::InvalidArgument("beta must exceed 1");
+  }
+  std::vector<size_t> pivots;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].WayOff(features[i], beta)) pivots.push_back(i);
+  }
+  return pivots;
+}
+
+Result<int> TrainingMetadata::Absorb(
+    const std::vector<std::vector<double>>& rows, double continuity_factor) {
+  if (continuity_factor <= 0.0) {
+    return Status::InvalidArgument("continuity_factor must be positive");
+  }
+  int expanded = 0;
+  for (const auto& row : rows) {
+    if (row.size() != dims_.size()) {
+      return Status::InvalidArgument("feature width mismatch with metadata");
+    }
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      DimensionMeta& m = dims_[i];
+      double v = row[i];
+      if (m.InRange(v)) continue;
+      double slack = continuity_factor * m.step_size;
+      // Connect through islands: repeatedly absorb any island adjacent to
+      // the current range, then test the new value.
+      auto connect = [&]() {
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (auto it = m.islands.begin(); it != m.islands.end(); ++it) {
+            if ((*it >= m.min - slack && *it <= m.max + slack)) {
+              m.min = std::min(m.min, *it);
+              m.max = std::max(m.max, *it);
+              m.islands.erase(it);
+              changed = true;
+              break;
+            }
+          }
+        }
+      };
+      connect();
+      if (v >= m.min - slack && v <= m.max + slack) {
+        m.min = std::min(m.min, v);
+        m.max = std::max(m.max, v);
+        ++expanded;
+        connect();  // the expansion may have reached further islands
+      } else if (std::find(m.islands.begin(), m.islands.end(), v) ==
+                 m.islands.end()) {
+        m.islands.push_back(v);
+        std::sort(m.islands.begin(), m.islands.end());
+      }
+    }
+  }
+  return expanded;
+}
+
+void TrainingMetadata::Save(const std::string& prefix,
+                            Properties* props) const {
+  props->SetInt(prefix + "num_dims", static_cast<int64_t>(dims_.size()));
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    std::string p = prefix + "dim" + std::to_string(i) + "_";
+    props->SetString(p + "name", dims_[i].name);
+    props->SetDouble(p + "min", dims_[i].min);
+    props->SetDouble(p + "max", dims_[i].max);
+    props->SetDouble(p + "step", dims_[i].step_size);
+    props->SetDoubleList(p + "islands", dims_[i].islands);
+  }
+}
+
+Result<TrainingMetadata> TrainingMetadata::Load(const std::string& prefix,
+                                                const Properties& props) {
+  ISPHERE_ASSIGN_OR_RETURN(int64_t n, props.GetInt(prefix + "num_dims"));
+  std::vector<DimensionMeta> dims(static_cast<size_t>(n));
+  for (size_t i = 0; i < dims.size(); ++i) {
+    std::string p = prefix + "dim" + std::to_string(i) + "_";
+    ISPHERE_ASSIGN_OR_RETURN(dims[i].name, props.GetString(p + "name"));
+    ISPHERE_ASSIGN_OR_RETURN(dims[i].min, props.GetDouble(p + "min"));
+    ISPHERE_ASSIGN_OR_RETURN(dims[i].max, props.GetDouble(p + "max"));
+    ISPHERE_ASSIGN_OR_RETURN(dims[i].step_size, props.GetDouble(p + "step"));
+    ISPHERE_ASSIGN_OR_RETURN(dims[i].islands,
+                             props.GetDoubleList(p + "islands"));
+  }
+  return TrainingMetadata(std::move(dims));
+}
+
+}  // namespace intellisphere::core

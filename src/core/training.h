@@ -1,0 +1,87 @@
+// Training-set metadata for the logical-operator costing approach
+// (Section 3): each training dimension carries the covered [min, max] range
+// and a stepSize (Figure 2's "Min=100, Max=1,000, stepSize=100"). At query
+// time a dimension whose value lies outside the range by more than
+// beta * stepSize is a *pivot* dimension and triggers the online remedy
+// phase. The offline tuning phase expands ranges only when continuity of
+// the training points is maintained; disconnected observations are kept as
+// "islands" in the metadata (Section 3, "Offline Tuning Phase").
+
+#ifndef INTELLISPHERE_CORE_TRAINING_H_
+#define INTELLISPHERE_CORE_TRAINING_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::core {
+
+/// Metadata of one training dimension.
+struct DimensionMeta {
+  std::string name;
+  double min = 0.0;
+  double max = 0.0;
+  /// Representative spacing between adjacent training values near the top
+  /// of the range; the out-of-range test and the continuity rule are
+  /// expressed in multiples of it.
+  double step_size = 0.0;
+  /// Out-of-range values observed (via the execution log) that could NOT be
+  /// connected to the range: "more information is added to the metadata to
+  /// indicate that training dataset of 8,000 and 10,000 bytes" exists.
+  std::vector<double> islands;
+
+  /// Whether `v` lies within [min, max].
+  bool InRange(double v) const { return v >= min && v <= max; }
+
+  /// Whether `v` is way off the trained range: outside [min, max] by more
+  /// than beta * step_size (beta > 1 per the paper).
+  bool WayOff(double v, double beta) const;
+};
+
+/// Metadata for all dimensions of one operator's training set.
+class TrainingMetadata {
+ public:
+  TrainingMetadata() = default;
+  explicit TrainingMetadata(std::vector<DimensionMeta> dims)
+      : dims_(std::move(dims)) {}
+
+  /// Derives metadata from a training dataset: per dimension, min, max, and
+  /// the largest gap between consecutive distinct values as the step size.
+  static Result<TrainingMetadata> FromDataset(
+      const ml::Dataset& data, std::vector<std::string> names);
+
+  size_t num_dimensions() const { return dims_.size(); }
+  const std::vector<DimensionMeta>& dimensions() const { return dims_; }
+  DimensionMeta& dimension(size_t i) { return dims_[i]; }
+  const DimensionMeta& dimension(size_t i) const { return dims_[i]; }
+
+  /// Indices of dimensions for which `features[i]` is way off its range —
+  /// the pivot dimensions of the online remedy phase. InvalidArgument on
+  /// width mismatch.
+  Result<std::vector<size_t>> PivotDimensions(
+      const std::vector<double>& features, double beta) const;
+
+  /// Offline-tuning range maintenance for newly observed feature rows:
+  /// for each dimension, the [min, max] range absorbs an out-of-range value
+  /// only if it lies within `continuity_factor * step_size` of the current
+  /// boundary (or of a previously recorded island that is itself connected);
+  /// otherwise the value is recorded as an island. Returns the number of
+  /// dimensions whose range actually expanded.
+  Result<int> Absorb(const std::vector<std::vector<double>>& rows,
+                     double continuity_factor);
+
+  /// Persists under "<prefix>dim<i>_*".
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<TrainingMetadata> Load(const std::string& prefix,
+                                       const Properties& props);
+
+ private:
+  std::vector<DimensionMeta> dims_;
+};
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_TRAINING_H_

@@ -1,0 +1,145 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace intellisphere::eng {
+
+using rel::Column;
+using rel::Row;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+using rel::ValueHash;
+
+Result<Table> Filter(const Table& input,
+                     const std::function<bool(const Row&)>& pred) {
+  if (!pred) return Status::InvalidArgument("null predicate");
+  Table out(input.schema());
+  for (const Row& row : input.rows()) {
+    if (pred(row)) ISPHERE_RETURN_NOT_OK(out.Append(row));
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("projection needs at least one column");
+  }
+  std::vector<size_t> idx;
+  std::vector<Column> cols;
+  for (const auto& name : columns) {
+    ISPHERE_ASSIGN_OR_RETURN(size_t i, input.schema().FindColumn(name));
+    idx.push_back(i);
+    cols.push_back(input.schema().column(i));
+  }
+  Table out{Schema(std::move(cols))};
+  out.Reserve(input.num_rows());
+  for (const Row& row : input.rows()) {
+    Row r;
+    r.reserve(idx.size());
+    for (size_t i : idx) r.push_back(row[i]);
+    ISPHERE_RETURN_NOT_OK(out.Append(std::move(r)));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_key,
+                       const std::string& right_key) {
+  ISPHERE_ASSIGN_OR_RETURN(size_t li, left.schema().FindColumn(left_key));
+  ISPHERE_ASSIGN_OR_RETURN(size_t ri, right.schema().FindColumn(right_key));
+
+  // Output schema: left columns then right columns, de-colliding names.
+  std::vector<Column> cols = left.schema().columns();
+  for (const Column& c : right.schema().columns()) {
+    Column rc = c;
+    if (left.schema().FindColumn(c.name).ok()) rc.name = "r_" + c.name;
+    cols.push_back(rc);
+  }
+  Table out{Schema(std::move(cols))};
+
+  // Build on the smaller input, probe with the larger.
+  bool build_right = right.num_rows() <= left.num_rows();
+  const Table& build = build_right ? right : left;
+  const Table& probe = build_right ? left : right;
+  size_t build_key = build_right ? ri : li;
+  size_t probe_key = build_right ? li : ri;
+
+  std::unordered_multimap<Value, size_t, ValueHash> ht;
+  ht.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    ht.emplace(build.rows()[r][build_key], r);
+  }
+  for (const Row& prow : probe.rows()) {
+    auto [lo, hi] = ht.equal_range(prow[probe_key]);
+    for (auto it = lo; it != hi; ++it) {
+      const Row& brow = build.rows()[it->second];
+      const Row& lrow = build_right ? prow : brow;
+      const Row& rrow = build_right ? brow : prow;
+      Row joined;
+      joined.reserve(lrow.size() + rrow.size());
+      joined.insert(joined.end(), lrow.begin(), lrow.end());
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      ISPHERE_RETURN_NOT_OK(out.Append(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+Result<Table> HashAggregateSum(const Table& input,
+                               const std::string& group_column,
+                               const std::vector<std::string>& sum_columns) {
+  if (sum_columns.empty()) {
+    return Status::InvalidArgument("need at least one SUM column");
+  }
+  ISPHERE_ASSIGN_OR_RETURN(size_t gi, input.schema().FindColumn(group_column));
+  std::vector<size_t> si;
+  for (const auto& name : sum_columns) {
+    ISPHERE_ASSIGN_OR_RETURN(size_t i, input.schema().FindColumn(name));
+    if (input.schema().column(i).type != rel::DataType::kInt64) {
+      return Status::InvalidArgument("SUM column '" + name +
+                                     "' is not an integer column");
+    }
+    si.push_back(i);
+  }
+
+  std::unordered_map<Value, std::vector<int64_t>, ValueHash> groups;
+  for (const Row& row : input.rows()) {
+    auto [it, inserted] = groups.try_emplace(
+        row[gi], std::vector<int64_t>(si.size(), 0));
+    for (size_t k = 0; k < si.size(); ++k) {
+      it->second[k] += std::get<int64_t>(row[si[k]]);
+    }
+  }
+
+  std::vector<Column> cols;
+  cols.push_back(input.schema().column(gi));
+  for (const auto& name : sum_columns) {
+    cols.push_back({"sum_" + name, rel::DataType::kInt64, 8});
+  }
+  Table out{Schema(std::move(cols))};
+  out.Reserve(groups.size());
+  for (const auto& [key, sums] : groups) {
+    Row row;
+    row.reserve(1 + sums.size());
+    row.push_back(key);
+    for (int64_t s : sums) row.emplace_back(s);
+    ISPHERE_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> SortBy(const Table& input, const std::string& column) {
+  ISPHERE_ASSIGN_OR_RETURN(size_t ci, input.schema().FindColumn(column));
+  std::vector<Row> rows = input.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [ci](const Row& a, const Row& b) { return a[ci] < b[ci]; });
+  Table out(input.schema());
+  out.Reserve(rows.size());
+  for (Row& r : rows) ISPHERE_RETURN_NOT_OK(out.Append(std::move(r)));
+  return out;
+}
+
+}  // namespace intellisphere::eng

@@ -1,0 +1,47 @@
+// The local (Teradata-side) in-memory relational executor.
+//
+// The federation layer uses it to actually run operators placed on the
+// master engine, and the examples use it to verify that remote and local
+// placements compute the same answers at small scale. It is a straight
+// row-at-a-time engine: filter, project, hash join, hash aggregation, sort.
+
+#ifndef INTELLISPHERE_ENGINE_EXECUTOR_H_
+#define INTELLISPHERE_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace intellisphere::eng {
+
+/// Rows satisfying `predicate`.
+Result<rel::Table> Filter(const rel::Table& input,
+                          const std::function<bool(const rel::Row&)>& pred);
+
+/// The named columns, in the given order.
+Result<rel::Table> Project(const rel::Table& input,
+                           const std::vector<std::string>& columns);
+
+/// Inner equi-join on left.left_key == right.right_key. Output schema is
+/// the left columns followed by the right columns (right key column
+/// renamed with a "r_" prefix when names collide).
+Result<rel::Table> HashJoin(const rel::Table& left, const rel::Table& right,
+                            const std::string& left_key,
+                            const std::string& right_key);
+
+/// GROUP BY `group_column` computing SUM() of each column in `sum_columns`
+/// (which must be integer columns). Output: group key, then one sum per
+/// aggregate.
+Result<rel::Table> HashAggregateSum(
+    const rel::Table& input, const std::string& group_column,
+    const std::vector<std::string>& sum_columns);
+
+/// Rows ordered ascending by the named column.
+Result<rel::Table> SortBy(const rel::Table& input, const std::string& column);
+
+}  // namespace intellisphere::eng
+
+#endif  // INTELLISPHERE_ENGINE_EXECUTOR_H_

@@ -1,0 +1,81 @@
+#include "engine/local_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::eng {
+
+namespace {
+constexpr double kMicro = 1e-6;
+}  // namespace
+
+double LocalCostModel::PerRecord(double base_us, int64_t rec_bytes) const {
+  return (base_us + params_.per_byte_us * static_cast<double>(rec_bytes)) *
+         kMicro;
+}
+
+Result<double> LocalCostModel::EstimateJoinSeconds(
+    const rel::JoinQuery& q) const {
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  double amps = static_cast<double>(std::max(1, params_.num_amps));
+  double lrows = static_cast<double>(q.left.num_rows);
+  double rrows = static_cast<double>(q.right.num_rows);
+  double orows = static_cast<double>(q.output_rows);
+  // Redistribute both sides on the join key, hash the smaller, probe the
+  // larger, spool the result — all spread over the AMPs.
+  double build_rows = std::min(lrows, rrows);
+  double probe_rows = std::max(lrows, rrows);
+  int64_t build_bytes = lrows <= rrows ? q.left.row_bytes : q.right.row_bytes;
+  int64_t probe_bytes = lrows <= rrows ? q.right.row_bytes : q.left.row_bytes;
+  double work =
+      lrows * PerRecord(params_.read_us + params_.redistribution_us,
+                        q.left.row_bytes) +
+      rrows * PerRecord(params_.read_us + params_.redistribution_us,
+                        q.right.row_bytes) +
+      build_rows * PerRecord(params_.hash_build_us, build_bytes) +
+      probe_rows * PerRecord(params_.hash_probe_us, probe_bytes) +
+      orows * PerRecord(params_.write_us, q.OutputRowBytes());
+  return params_.query_overhead_seconds + work / amps;
+}
+
+Result<double> LocalCostModel::EstimateAggSeconds(
+    const rel::AggQuery& q) const {
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  double amps = static_cast<double>(std::max(1, params_.num_amps));
+  double rows = static_cast<double>(q.input.num_rows);
+  double orows = static_cast<double>(q.output_rows);
+  double work =
+      rows * PerRecord(params_.read_us +
+                           params_.agg_update_us *
+                               static_cast<double>(q.num_aggregates),
+                       q.input.row_bytes) +
+      orows * PerRecord(params_.write_us + params_.redistribution_us,
+                        q.output_row_bytes);
+  return params_.query_overhead_seconds + work / amps;
+}
+
+Result<double> LocalCostModel::EstimateScanSeconds(
+    const rel::ScanQuery& q) const {
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  double amps = static_cast<double>(std::max(1, params_.num_amps));
+  double rows = static_cast<double>(q.input.num_rows);
+  double orows = static_cast<double>(q.output_rows);
+  double work = rows * PerRecord(params_.read_us, q.input.row_bytes) +
+                orows * PerRecord(params_.write_us, q.projected_bytes);
+  return params_.query_overhead_seconds + work / amps;
+}
+
+Result<double> LocalCostModel::EstimateSeconds(
+    const rel::SqlOperator& op) const {
+  switch (op.type) {
+    case rel::OperatorType::kJoin:
+      return EstimateJoinSeconds(op.join);
+    case rel::OperatorType::kAggregation:
+      return EstimateAggSeconds(op.agg);
+    case rel::OperatorType::kScan:
+      return EstimateScanSeconds(op.scan);
+  }
+  return Status::Internal("unknown operator type");
+}
+
+}  // namespace intellisphere::eng

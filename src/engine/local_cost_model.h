@@ -1,0 +1,52 @@
+// The master engine's own cost model. Teradata costs its local operators
+// with a detailed sub-operator model (Section 4: "Teradata costing
+// mechanism is based on the sub-op costing approach"); this is a compact
+// analytic stand-in producing elapsed-time estimates for operators executed
+// locally, so the placement optimizer can compare local vs remote plans in
+// the same unit (seconds).
+
+#ifndef INTELLISPHERE_ENGINE_LOCAL_COST_MODEL_H_
+#define INTELLISPHERE_ENGINE_LOCAL_COST_MODEL_H_
+
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::eng {
+
+/// Per-record constants of the local MPP engine, in microseconds.
+struct LocalCostParams {
+  int num_amps = 8;            ///< parallel units (AMPs)
+  double read_us = 0.20;       ///< read a cached/spooled record
+  double write_us = 0.35;      ///< write a spool record
+  double hash_build_us = 0.60;
+  double hash_probe_us = 0.25;
+  double sort_us_per_cmp = 0.05;
+  double agg_update_us = 0.15;  ///< per aggregate function per record
+  double redistribution_us = 0.80;  ///< move a record between AMPs
+  double per_byte_us = 0.0015;  ///< added per record byte for any touch
+  double query_overhead_seconds = 0.05;  ///< parsing/dispatch
+};
+
+/// Analytic local cost model.
+class LocalCostModel {
+ public:
+  LocalCostModel() = default;
+  explicit LocalCostModel(const LocalCostParams& params) : params_(params) {}
+
+  /// Estimated elapsed seconds of running the operator locally.
+  Result<double> EstimateJoinSeconds(const rel::JoinQuery& q) const;
+  Result<double> EstimateAggSeconds(const rel::AggQuery& q) const;
+  Result<double> EstimateScanSeconds(const rel::ScanQuery& q) const;
+  Result<double> EstimateSeconds(const rel::SqlOperator& op) const;
+
+  const LocalCostParams& params() const { return params_; }
+
+ private:
+  double PerRecord(double base_us, int64_t rec_bytes) const;
+
+  LocalCostParams params_;
+};
+
+}  // namespace intellisphere::eng
+
+#endif  // INTELLISPHERE_ENGINE_LOCAL_COST_MODEL_H_

@@ -1,0 +1,369 @@
+#include "federation/intellisphere.h"
+
+#include <algorithm>
+#include <set>
+
+namespace intellisphere::fed {
+
+namespace {
+
+constexpr int64_t kKeyBytes = 4;       // a1 width
+constexpr int64_t kAggregateBytes = 8;  // one SUM() output
+
+}  // namespace
+
+Status IntelliSphere::RegisterRemoteSystem(
+    std::unique_ptr<remote::RemoteSystem> system, core::CostingProfile profile,
+    ConnectorParams connector) {
+  if (system == nullptr) return Status::InvalidArgument("null remote system");
+  std::string name = system->name();
+  if (name == kTeradataSystemName) {
+    return Status::InvalidArgument(
+        "'teradata' is reserved for the master engine");
+  }
+  if (systems_.count(name)) {
+    return Status::AlreadyExists("remote system '" + name + "'");
+  }
+  ISPHERE_RETURN_NOT_OK(estimator_.RegisterSystem(name, std::move(profile)));
+  ISPHERE_RETURN_NOT_OK(grid_.RegisterConnector(name, connector));
+  systems_.emplace(std::move(name), std::move(system));
+  return Status::OK();
+}
+
+Status IntelliSphere::RegisterTable(rel::TableDef def) {
+  if (def.location != kTeradataSystemName && !systems_.count(def.location)) {
+    return Status::InvalidArgument("table '" + def.name +
+                                   "' placed on unregistered system '" +
+                                   def.location + "'");
+  }
+  return catalog_.Add(std::move(def));
+}
+
+Result<rel::TableDef> IntelliSphere::GetTable(const std::string& name) const {
+  return catalog_.Get(name);
+}
+
+Result<remote::RemoteSystem*> IntelliSphere::GetSystem(
+    const std::string& name) const {
+  auto it = systems_.find(name);
+  if (it == systems_.end()) {
+    return Status::NotFound("remote system '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> IntelliSphere::SystemNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, sys] : systems_) names.push_back(name);
+  return names;
+}
+
+Result<double> IntelliSphere::OperatorSeconds(const std::string& system,
+                                              const rel::SqlOperator& op,
+                                              double now) const {
+  if (system == kTeradataSystemName) {
+    return local_model_.EstimateSeconds(op);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(core::HybridEstimate est,
+                           estimator_.Estimate(system, op, now));
+  return est.seconds;
+}
+
+Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
+                                              const std::string& right_table,
+                                              int64_t left_projected_bytes,
+                                              int64_t right_projected_bytes,
+                                              double extra_selectivity,
+                                              double now) const {
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
+  // Orient so the right side of the operator is the smaller relation
+  // (engine planners and formulas assume S is the build/broadcast side).
+  if (l.stats.num_rows < r.stats.num_rows) {
+    std::swap(l, r);
+    std::swap(left_projected_bytes, right_projected_bytes);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(
+      int64_t out_rows,
+      rel::EstimateJoinCardinality(l, r, "a1", extra_selectivity));
+
+  rel::JoinQuery q;
+  q.left = {l.stats.num_rows, l.stats.row_bytes};
+  q.right = {r.stats.num_rows, r.stats.row_bytes};
+  q.left_projected_bytes = left_projected_bytes;
+  q.right_projected_bytes = right_projected_bytes;
+  q.output_rows = out_rows;
+  rel::SqlOperator op = rel::SqlOperator::MakeJoin(q);
+  ISPHERE_RETURN_NOT_OK(op.Validate());
+
+  // Candidate hosts: every system owning an input, plus Teradata
+  // (Section 2, "Query Plans").
+  std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                 l.location, r.location};
+  PlacementPlan plan;
+  plan.op = op;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    // Inputs not already on the host are relayed through Teradata.
+    if (l.location != host) {
+      ISPHERE_ASSIGN_OR_RETURN(
+          double t, grid_.RelaySeconds(l.location, host, l.stats.num_rows,
+                                       l.stats.row_bytes));
+      option.transfer_seconds += t;
+    }
+    if (r.location != host) {
+      ISPHERE_ASSIGN_OR_RETURN(
+          double t, grid_.RelaySeconds(r.location, host, r.stats.num_rows,
+                                       r.stats.row_bytes));
+      option.transfer_seconds += t;
+    }
+    auto op_cost = OperatorSeconds(host, op, now);
+    if (!op_cost.ok()) {
+      // A host that cannot run the operator (Unsupported / no applicable
+      // algorithm) is simply not a candidate.
+      if (op_cost.status().code() == StatusCode::kUnsupported ||
+          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+        continue;
+      }
+      return op_cost.status();
+    }
+    option.operator_seconds = op_cost.value();
+    plan.options.push_back(option);
+  }
+  if (plan.options.empty()) {
+    return Status::FailedPrecondition("no system can execute this join");
+  }
+  std::sort(plan.options.begin(), plan.options.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  return plan;
+}
+
+Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
+                                             const std::string& group_column,
+                                             int num_aggregates,
+                                             double now) const {
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t groups,
+                           rel::EstimateGroupCardinality(t, group_column));
+  rel::AggQuery q;
+  q.input = {t.stats.num_rows, t.stats.row_bytes};
+  q.output_rows = groups;
+  q.output_row_bytes = kKeyBytes + kAggregateBytes * num_aggregates;
+  q.num_aggregates = num_aggregates;
+  rel::SqlOperator op = rel::SqlOperator::MakeAgg(q);
+  ISPHERE_RETURN_NOT_OK(op.Validate());
+
+  std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                 t.location};
+  PlacementPlan plan;
+  plan.op = op;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    if (t.location != host) {
+      ISPHERE_ASSIGN_OR_RETURN(
+          double tr, grid_.RelaySeconds(t.location, host, t.stats.num_rows,
+                                        t.stats.row_bytes));
+      option.transfer_seconds += tr;
+    }
+    auto op_cost = OperatorSeconds(host, op, now);
+    if (!op_cost.ok()) {
+      if (op_cost.status().code() == StatusCode::kUnsupported ||
+          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+        continue;
+      }
+      return op_cost.status();
+    }
+    option.operator_seconds = op_cost.value();
+    plan.options.push_back(option);
+  }
+  if (plan.options.empty()) {
+    return Status::FailedPrecondition("no system can execute this aggregation");
+  }
+  std::sort(plan.options.begin(), plan.options.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  return plan;
+}
+
+Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
+                                              double selectivity,
+                                              int64_t projected_bytes,
+                                              double now) const {
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t out_rows,
+                           rel::EstimateFilterCardinality(t, selectivity));
+  rel::ScanQuery q;
+  q.input = {t.stats.num_rows, t.stats.row_bytes};
+  q.selectivity = selectivity;
+  q.projected_bytes = projected_bytes;
+  q.output_rows = out_rows;
+  rel::SqlOperator op = rel::SqlOperator::MakeScan(q);
+  ISPHERE_RETURN_NOT_OK(op.Validate());
+
+  std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                 t.location};
+  PlacementPlan plan;
+  plan.op = op;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    if (t.location != host) {
+      // QueryGrid evaluates simple predicates on the fly: only survivors
+      // travel, already projected.
+      ISPHERE_ASSIGN_OR_RETURN(
+          double tr,
+          grid_.RelaySeconds(t.location, host, out_rows, projected_bytes));
+      option.transfer_seconds += tr;
+    }
+    auto op_cost = OperatorSeconds(host, op, now);
+    if (!op_cost.ok()) {
+      if (op_cost.status().code() == StatusCode::kUnsupported ||
+          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+        continue;
+      }
+      return op_cost.status();
+    }
+    option.operator_seconds = op_cost.value();
+    plan.options.push_back(option);
+  }
+  if (plan.options.empty()) {
+    return Status::FailedPrecondition("no system can execute this scan");
+  }
+  std::sort(plan.options.begin(), plan.options.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  return plan;
+}
+
+Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
+    const std::string& left_table, const std::string& right_table,
+    int64_t left_projected_bytes, int64_t right_projected_bytes,
+    double extra_selectivity, const std::string& group_column,
+    int num_aggregates, double now) const {
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
+  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
+  if (l.stats.num_rows < r.stats.num_rows) {
+    std::swap(l, r);
+    std::swap(left_projected_bytes, right_projected_bytes);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(
+      int64_t join_out,
+      rel::EstimateJoinCardinality(l, r, "a1", extra_selectivity));
+
+  rel::JoinQuery jq;
+  jq.left = {l.stats.num_rows, l.stats.row_bytes};
+  jq.right = {r.stats.num_rows, r.stats.row_bytes};
+  jq.left_projected_bytes = left_projected_bytes;
+  jq.right_projected_bytes = right_projected_bytes;
+  jq.output_rows = join_out;
+  rel::SqlOperator join_op = rel::SqlOperator::MakeJoin(jq);
+  ISPHERE_RETURN_NOT_OK(join_op.Validate());
+
+  // Group cardinality over the join result: the group column's distinct
+  // count (from the owning base table), capped by the join cardinality.
+  int64_t groups =
+      std::min(join_out, l.stats.DistinctOr(group_column, join_out));
+  rel::AggQuery aq;
+  aq.input = {join_out, jq.OutputRowBytes()};
+  aq.output_rows = std::max<int64_t>(1, groups);
+  aq.output_row_bytes = kKeyBytes + kAggregateBytes * num_aggregates;
+  aq.num_aggregates = num_aggregates;
+  rel::SqlOperator agg_op = rel::SqlOperator::MakeAgg(aq);
+  ISPHERE_RETURN_NOT_OK(agg_op.Validate());
+
+  std::set<std::string> join_hosts = {std::string(kTeradataSystemName),
+                                      l.location, r.location};
+  PipelinePlan plan;
+  plan.join_op = join_op;
+  plan.agg_op = agg_op;
+  for (const std::string& jh : join_hosts) {
+    auto join_cost = OperatorSeconds(jh, join_op, now);
+    if (!join_cost.ok()) {
+      if (join_cost.status().code() == StatusCode::kUnsupported ||
+          join_cost.status().code() == StatusCode::kFailedPrecondition) {
+        continue;
+      }
+      return join_cost.status();
+    }
+    double input_transfer = 0.0;
+    if (l.location != jh) {
+      ISPHERE_ASSIGN_OR_RETURN(
+          double t, grid_.RelaySeconds(l.location, jh, l.stats.num_rows,
+                                       l.stats.row_bytes));
+      input_transfer += t;
+    }
+    if (r.location != jh) {
+      ISPHERE_ASSIGN_OR_RETURN(
+          double t, grid_.RelaySeconds(r.location, jh, r.stats.num_rows,
+                                       r.stats.row_bytes));
+      input_transfer += t;
+    }
+    // The aggregation runs where the intermediate lies, or on Teradata.
+    std::set<std::string> agg_hosts = {jh,
+                                       std::string(kTeradataSystemName)};
+    for (const std::string& ah : agg_hosts) {
+      auto agg_cost = OperatorSeconds(ah, agg_op, now);
+      if (!agg_cost.ok()) {
+        if (agg_cost.status().code() == StatusCode::kUnsupported ||
+            agg_cost.status().code() == StatusCode::kFailedPrecondition) {
+          continue;
+        }
+        return agg_cost.status();
+      }
+      PipelinePlacement p;
+      p.join_system = jh;
+      p.agg_system = ah;
+      p.input_transfer_seconds = input_transfer;
+      p.join_seconds = join_cost.value();
+      p.agg_seconds = agg_cost.value();
+      if (ah != jh) {
+        ISPHERE_ASSIGN_OR_RETURN(
+            p.interm_transfer_seconds,
+            grid_.RelaySeconds(jh, ah, join_out, jq.OutputRowBytes()));
+      }
+      if (ah != kTeradataSystemName) {
+        ISPHERE_ASSIGN_OR_RETURN(
+            p.result_transfer_seconds,
+            grid_.RelaySeconds(ah, kTeradataSystemName, aq.output_rows,
+                               aq.output_row_bytes));
+      }
+      plan.options.push_back(p);
+    }
+  }
+  if (plan.options.empty()) {
+    return Status::FailedPrecondition("no placement can run this pipeline");
+  }
+  std::sort(plan.options.begin(), plan.options.end(),
+            [](const PipelinePlacement& a, const PipelinePlacement& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  return plan;
+}
+
+Result<double> IntelliSphere::ExecuteBest(const PlacementPlan& plan) {
+  if (plan.options.empty()) {
+    return Status::InvalidArgument("empty placement plan");
+  }
+  const PlacementOption& best = plan.best();
+  if (best.system == kTeradataSystemName) {
+    // Local execution: the analytic estimate stands in for the elapsed
+    // time (the master engine is not simulated at task granularity).
+    return local_model_.EstimateSeconds(plan.op);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(remote::RemoteSystem * sys,
+                           GetSystem(best.system));
+  ISPHERE_ASSIGN_OR_RETURN(remote::QueryResult result,
+                           sys->Execute(plan.op));
+  // Logging phase: feed the observation back into the costing profile.
+  ISPHERE_RETURN_NOT_OK(
+      estimator_.LogActual(best.system, plan.op, result.elapsed_seconds));
+  return result.elapsed_seconds;
+}
+
+}  // namespace intellisphere::fed

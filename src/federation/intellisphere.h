@@ -1,0 +1,154 @@
+// The IntelliSphere federation facade (Figure 1): Teradata as the master
+// engine, remote systems registered with costing profiles and QueryGrid
+// connectors, foreign tables registered with their location, and a
+// cost-based placement optimizer that enumerates the paper's candidate
+// placements for an operator — each remote system owning (part of) the
+// input data, or Teradata itself — and costs each as
+//   transfer-in (QueryGrid relay) + estimated operator elapsed time.
+
+#ifndef INTELLISPHERE_FEDERATION_INTELLISPHERE_H_
+#define INTELLISPHERE_FEDERATION_INTELLISPHERE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "engine/local_cost_model.h"
+#include "federation/querygrid.h"
+#include "relational/cardinality.h"
+#include "relational/catalog.h"
+#include "relational/query.h"
+#include "remote/remote_system.h"
+
+namespace intellisphere::fed {
+
+/// One candidate placement of an operator.
+struct PlacementOption {
+  std::string system;  ///< executing system ("teradata" or a remote name)
+  double transfer_seconds = 0.0;  ///< QueryGrid cost to stage the inputs
+  double operator_seconds = 0.0;  ///< estimated elapsed time of the operator
+  double total_seconds() const { return transfer_seconds + operator_seconds; }
+};
+
+/// The optimizer's decision: all costed options, cheapest first.
+struct PlacementPlan {
+  std::vector<PlacementOption> options;
+  const PlacementOption& best() const { return options.front(); }
+  /// The operator descriptor the plan was costed for.
+  rel::SqlOperator op;
+};
+
+/// One candidate placement of a two-operator pipeline (join then
+/// aggregation over the join result). The intermediate result may remain
+/// on the system that produced it (Section 2, "Query Plans").
+struct PipelinePlacement {
+  std::string join_system;
+  std::string agg_system;
+  double input_transfer_seconds = 0.0;    ///< staging the base tables
+  double join_seconds = 0.0;
+  double interm_transfer_seconds = 0.0;   ///< moving the join result
+  double agg_seconds = 0.0;
+  double result_transfer_seconds = 0.0;   ///< final answer back to Teradata
+  double total_seconds() const {
+    return input_transfer_seconds + join_seconds + interm_transfer_seconds +
+           agg_seconds + result_transfer_seconds;
+  }
+};
+
+/// All costed pipeline placements, cheapest first.
+struct PipelinePlan {
+  std::vector<PipelinePlacement> options;
+  const PipelinePlacement& best() const { return options.front(); }
+  rel::SqlOperator join_op;
+  rel::SqlOperator agg_op;
+};
+
+/// The federation facade.
+class IntelliSphere {
+ public:
+  IntelliSphere() = default;
+  explicit IntelliSphere(const eng::LocalCostParams& local_params)
+      : local_model_(local_params) {}
+
+  /// Registers a remote system: the live engine handle, its costing
+  /// profile, and its QueryGrid connector.
+  Status RegisterRemoteSystem(std::unique_ptr<remote::RemoteSystem> system,
+                              core::CostingProfile profile,
+                              ConnectorParams connector);
+
+  /// Registers a (possibly foreign) table; `def.location` must be
+  /// "teradata" or a registered remote system.
+  Status RegisterTable(rel::TableDef def);
+
+  Result<rel::TableDef> GetTable(const std::string& name) const;
+  Result<remote::RemoteSystem*> GetSystem(const std::string& name) const;
+  std::vector<std::string> SystemNames() const;
+
+  /// Costs all placements of joining two registered tables on `a1` with an
+  /// extra predicate selectivity, projecting the given byte widths.
+  /// Candidates: each distinct system owning one of the inputs, plus
+  /// Teradata. Options are sorted cheapest-first.
+  Result<PlacementPlan> PlanJoin(const std::string& left_table,
+                                 const std::string& right_table,
+                                 int64_t left_projected_bytes,
+                                 int64_t right_projected_bytes,
+                                 double extra_selectivity = 1.0,
+                                 double now = 0.0) const;
+
+  /// Costs all placements of aggregating a registered table by
+  /// `group_column` with `num_aggregates` SUMs.
+  Result<PlacementPlan> PlanAgg(const std::string& table,
+                                const std::string& group_column,
+                                int num_aggregates, double now = 0.0) const;
+
+  /// Costs all placements of a selection + projection over a registered
+  /// table. When the scan would run on Teradata, QueryGrid's predicate
+  /// pushdown already reduces the transferred volume to the survivors.
+  Result<PlacementPlan> PlanScan(const std::string& table, double selectivity,
+                                 int64_t projected_bytes,
+                                 double now = 0.0) const;
+
+  /// Costs every placement pair of a two-operator pipeline: join the two
+  /// tables on a1 (projecting the given widths, applying
+  /// `extra_selectivity`), then GROUP BY `group_column` (a column of the
+  /// left table surviving the projection) computing `num_aggregates` SUMs
+  /// over the join result. The join may run on either owner or Teradata;
+  /// the aggregation on the join's host (keeping the intermediate in
+  /// place) or on Teradata; the final answer always returns to Teradata.
+  Result<PipelinePlan> PlanJoinThenAgg(const std::string& left_table,
+                                       const std::string& right_table,
+                                       int64_t left_projected_bytes,
+                                       int64_t right_projected_bytes,
+                                       double extra_selectivity,
+                                       const std::string& group_column,
+                                       int num_aggregates,
+                                       double now = 0.0) const;
+
+  /// Executes the plan's best placement on the actual (simulated) system
+  /// and feeds the observed cost back into the costing profile's log.
+  /// Returns the observed elapsed seconds of the operator itself.
+  Result<double> ExecuteBest(const PlacementPlan& plan);
+
+  core::CostEstimator& cost_estimator() { return estimator_; }
+  const core::CostEstimator& cost_estimator() const { return estimator_; }
+  QueryGrid& query_grid() { return grid_; }
+  const eng::LocalCostModel& local_model() const { return local_model_; }
+
+ private:
+  /// Estimated operator time on a candidate system (local model for
+  /// Teradata, costing profile otherwise).
+  Result<double> OperatorSeconds(const std::string& system,
+                                 const rel::SqlOperator& op, double now) const;
+
+  eng::LocalCostModel local_model_;
+  core::CostEstimator estimator_;
+  QueryGrid grid_;
+  rel::Catalog catalog_;
+  std::map<std::string, std::unique_ptr<remote::RemoteSystem>> systems_;
+};
+
+}  // namespace intellisphere::fed
+
+#endif  // INTELLISPHERE_FEDERATION_INTELLISPHERE_H_

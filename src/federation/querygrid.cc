@@ -1,0 +1,58 @@
+#include "federation/querygrid.h"
+
+namespace intellisphere::fed {
+
+Status QueryGrid::RegisterConnector(const std::string& system_name,
+                                    ConnectorParams params) {
+  if (system_name == kTeradataSystemName) {
+    return Status::InvalidArgument(
+        "teradata is the master engine, not a connector endpoint");
+  }
+  if (connectors_.count(system_name)) {
+    return Status::AlreadyExists("connector to '" + system_name + "'");
+  }
+  connectors_.emplace(system_name, params);
+  return Status::OK();
+}
+
+bool QueryGrid::HasConnector(const std::string& system_name) const {
+  return connectors_.count(system_name) > 0;
+}
+
+Result<double> QueryGrid::TransferSeconds(const std::string& system_name,
+                                          int64_t num_rows,
+                                          int64_t row_bytes) const {
+  auto it = connectors_.find(system_name);
+  if (it == connectors_.end()) {
+    return Status::NotFound("connector to '" + system_name + "'");
+  }
+  if (num_rows < 0 || row_bytes < 0) {
+    return Status::InvalidArgument("negative transfer volume");
+  }
+  const ConnectorParams& p = it->second;
+  double rows = static_cast<double>(num_rows) * p.pushdown_selectivity;
+  double bytes = rows * static_cast<double>(row_bytes);
+  return p.setup_seconds + rows * p.per_record_us * 1e-6 +
+         bytes / p.bandwidth_bytes_per_sec;
+}
+
+Result<double> QueryGrid::RelaySeconds(const std::string& from_system,
+                                       const std::string& to_system,
+                                       int64_t num_rows,
+                                       int64_t row_bytes) const {
+  if (from_system == to_system) return 0.0;
+  double total = 0.0;
+  if (from_system != kTeradataSystemName) {
+    ISPHERE_ASSIGN_OR_RETURN(double hop,
+                             TransferSeconds(from_system, num_rows, row_bytes));
+    total += hop;
+  }
+  if (to_system != kTeradataSystemName) {
+    ISPHERE_ASSIGN_OR_RETURN(double hop,
+                             TransferSeconds(to_system, num_rows, row_bytes));
+    total += hop;
+  }
+  return total;
+}
+
+}  // namespace intellisphere::fed

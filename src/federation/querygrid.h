@@ -1,0 +1,58 @@
+// QueryGrid (Section 2): the connector layer moving data between Teradata
+// and the remote systems. The paper assumes network/transfer costs "are
+// learned through some other mechanisms"; this is that mechanism — a simple
+// calibrated per-connector transfer model. Data never moves directly
+// between two remote systems: it always relays through Teradata.
+
+#ifndef INTELLISPHERE_FEDERATION_QUERYGRID_H_
+#define INTELLISPHERE_FEDERATION_QUERYGRID_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace intellisphere::fed {
+
+/// Transfer characteristics of one QueryGrid connector.
+struct ConnectorParams {
+  double setup_seconds = 0.5;        ///< session establishment
+  double per_record_us = 0.8;        ///< per-record marshalling
+  double bandwidth_bytes_per_sec = 120e6;  ///< sustained link throughput
+  /// Fraction of records surviving connector-side predicate pushdown
+  /// (QueryGrid can evaluate simple predicates on the fly; 1 = no filter).
+  double pushdown_selectivity = 1.0;
+};
+
+/// The QueryGrid connector registry and transfer-cost model.
+class QueryGrid {
+ public:
+  /// Registers a connector between Teradata and `system_name`.
+  /// AlreadyExists on duplicates.
+  Status RegisterConnector(const std::string& system_name,
+                           ConnectorParams params);
+  bool HasConnector(const std::string& system_name) const;
+
+  /// Seconds to move `num_rows` records of `row_bytes` each across the
+  /// named connector (either direction; the model is symmetric).
+  Result<double> TransferSeconds(const std::string& system_name,
+                                 int64_t num_rows, int64_t row_bytes) const;
+
+  /// Seconds to relay data from `from_system` to `to_system` through
+  /// Teradata ("data cannot be transferred directly between two remote
+  /// systems"). Either endpoint may be "teradata", costing only one hop.
+  Result<double> RelaySeconds(const std::string& from_system,
+                              const std::string& to_system, int64_t num_rows,
+                              int64_t row_bytes) const;
+
+ private:
+  std::map<std::string, ConnectorParams> connectors_;
+};
+
+/// The reserved name of the master engine.
+inline const char kTeradataSystemName[] = "teradata";
+
+}  // namespace intellisphere::fed
+
+#endif  // INTELLISPHERE_FEDERATION_QUERYGRID_H_

@@ -1,0 +1,53 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+
+#include "util/metrics.h"
+
+namespace intellisphere::ml {
+
+Result<TopologySearchResult> SearchTopology(
+    const Dataset& data, const TopologySearchOptions& opts) {
+  ISPHERE_RETURN_NOT_OK(data.Validate());
+  int d = static_cast<int>(data.num_features());
+  if (d == 0) return Status::InvalidArgument("no features");
+  if (opts.layer1_step < 1) {
+    return Status::InvalidArgument("layer1_step must be >= 1");
+  }
+
+  Rng rng(opts.seed);
+  ISPHERE_ASSIGN_OR_RETURN(TrainTestSplit split,
+                           Split(data, opts.train_fraction, &rng));
+
+  TopologySearchResult result;
+  bool first = true;
+  for (int h1 = d; h1 <= 2 * d; h1 += opts.layer1_step) {
+    int h2_max = std::max(3, h1 / 2);
+    for (int h2 = 3; h2 <= h2_max; ++h2) {
+      MlpConfig cfg = opts.base;
+      cfg.hidden1 = h1;
+      cfg.hidden2 = h2;
+      cfg.iterations = opts.search_iterations;
+      ISPHERE_ASSIGN_OR_RETURN(MlpRegressor mlp,
+                               MlpRegressor::Train(split.train, cfg));
+      std::vector<double> preds;
+      preds.reserve(split.test.size());
+      for (const auto& row : split.test.x) {
+        ISPHERE_ASSIGN_OR_RETURN(double p, mlp.Predict(row));
+        preds.push_back(p);
+      }
+      ISPHERE_ASSIGN_OR_RETURN(double rmse, Rmse(split.test.y, preds));
+      result.scores.push_back({h1, h2, rmse});
+      if (first || rmse < result.best_rmse) {
+        first = false;
+        result.best_rmse = rmse;
+        result.best = opts.base;
+        result.best.hidden1 = h1;
+        result.best.hidden2 = h2;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace intellisphere::ml

@@ -1,0 +1,55 @@
+// The paper's neural-network topology search (Section 3):
+//
+//   "we vary the number of nodes in the 1st layer between the number of
+//    inputs and the double of that number, and vary the number of nodes in
+//    the 2nd layer between three and half the number of the 1st layer's
+//    nodes. Then, for each topology, we use a cross validation test
+//    involving 70% of data as training and 30% as a test ... we select the
+//    topology that introduces the least root-mean-square error."
+
+#ifndef INTELLISPHERE_ML_CROSS_VALIDATION_H_
+#define INTELLISPHERE_ML_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// Options for the topology sweep.
+struct TopologySearchOptions {
+  /// Gradient steps used per candidate during the search (kept smaller than
+  /// the final training budget so the sweep stays cheap).
+  int search_iterations = 4000;
+  /// Stride when sweeping the first layer from d to 2d.
+  int layer1_step = 2;
+  double train_fraction = 0.7;
+  uint64_t seed = 7;
+  /// Template for the non-topology hyperparameters.
+  MlpConfig base;
+};
+
+/// Outcome of evaluating a single candidate topology.
+struct TopologyScore {
+  int hidden1 = 0;
+  int hidden2 = 0;
+  double rmse = 0.0;
+};
+
+/// Result of the search: the winning topology plus all evaluated scores.
+struct TopologySearchResult {
+  MlpConfig best;          ///< base config with winning hidden1/hidden2
+  double best_rmse = 0.0;  ///< held-out RMSE of the winner
+  std::vector<TopologyScore> scores;
+};
+
+/// Runs the paper's sweep and returns the topology with least held-out RMSE.
+/// Requires a dataset large enough to split.
+Result<TopologySearchResult> SearchTopology(const Dataset& data,
+                                            const TopologySearchOptions& opts);
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_CROSS_VALIDATION_H_

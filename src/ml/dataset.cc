@@ -1,0 +1,48 @@
+#include "ml/dataset.h"
+
+namespace intellisphere::ml {
+
+Status Dataset::Append(const Dataset& other) {
+  ISPHERE_RETURN_NOT_OK(other.Validate());
+  if (!x.empty() && !other.x.empty() &&
+      other.num_features() != num_features()) {
+    return Status::InvalidArgument("appending dataset with different width");
+  }
+  x.insert(x.end(), other.x.begin(), other.x.end());
+  y.insert(y.end(), other.y.begin(), other.y.end());
+  return Status::OK();
+}
+
+Status Dataset::Validate() const {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("dataset feature/target count mismatch");
+  }
+  for (const auto& row : x) {
+    if (row.size() != x[0].size()) {
+      return Status::InvalidArgument("ragged dataset features");
+    }
+  }
+  return Status::OK();
+}
+
+Result<TrainTestSplit> Split(const Dataset& data, double train_fraction,
+                             Rng* rng) {
+  ISPHERE_RETURN_NOT_OK(data.Validate());
+  if (data.size() < 2) return Status::InvalidArgument("dataset too small");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  auto perm = rng->Permutation(data.size());
+  size_t n_train = static_cast<size_t>(train_fraction *
+                                       static_cast<double>(data.size()));
+  if (n_train == 0) n_train = 1;
+  if (n_train == data.size()) n_train = data.size() - 1;
+  TrainTestSplit split;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    Dataset& dst = i < n_train ? split.train : split.test;
+    dst.Add(data.x[perm[i]], data.y[perm[i]]);
+  }
+  return split;
+}
+
+}  // namespace intellisphere::ml

@@ -1,0 +1,48 @@
+// Supervised regression dataset plus train/test splitting.
+
+#ifndef INTELLISPHERE_ML_DATASET_H_
+#define INTELLISPHERE_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// Feature matrix + target vector; rows(X) == size(y).
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  size_t size() const { return y.size(); }
+  size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+
+  void Add(std::vector<double> features, double target) {
+    x.push_back(std::move(features));
+    y.push_back(target);
+  }
+
+  /// Appends all rows of `other`; InvalidArgument on feature-width mismatch.
+  Status Append(const Dataset& other);
+
+  /// Verifies rectangular features and matching sizes.
+  Status Validate() const;
+};
+
+/// A shuffled train/test split (the paper uses 70% / 30%).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Splits with `train_fraction` of rows in train, shuffled by `rng`.
+/// InvalidArgument when the dataset is invalid, empty, or the fraction is
+/// outside (0, 1).
+Result<TrainTestSplit> Split(const Dataset& data, double train_fraction,
+                             Rng* rng);
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_DATASET_H_

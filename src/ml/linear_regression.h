@@ -1,0 +1,54 @@
+// Ordinary least squares (optionally ridge-stabilized) linear regression.
+//
+// This is the workhorse of the sub-operator costing approach (Section 4):
+// every sub-op gets a tight linear model in record size, and the online
+// remedy phase fits small pivot-dimension regressions on the fly (Figure 4).
+// It also serves as the baseline the paper compares the neural network
+// against in Figures 11(d) and 12(d).
+
+#ifndef INTELLISPHERE_ML_LINEAR_REGRESSION_H_
+#define INTELLISPHERE_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// y = w . x + b fitted by least squares.
+class LinearRegression {
+ public:
+  /// Fits on the dataset; `ridge` adds L2 regularization on the weights
+  /// (not the intercept) for numeric stability with collinear features.
+  /// Requires at least num_features + 1 rows.
+  static Result<LinearRegression> Fit(const Dataset& data, double ridge = 0.0);
+
+  /// Convenience for 1-D data (the sub-op models).
+  static Result<LinearRegression> Fit1D(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+  /// Predicts one row; InvalidArgument on width mismatch.
+  Result<double> Predict(const std::vector<double>& row) const;
+
+  /// Predicts for 1-D models.
+  Result<double> Predict1D(double x) const;
+
+  size_t num_features() const { return weights_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+  /// Persists under "<prefix>weights" / "<prefix>intercept".
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<LinearRegression> Load(const std::string& prefix,
+                                       const Properties& props);
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,84 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace intellisphere::ml {
+
+Result<Matrix> Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("no rows");
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      return Status::InvalidArgument("ragged rows in Matrix::FromRows");
+    }
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Result<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix multiply dimension mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Result<std::vector<double>> Matrix::Solve(const std::vector<double>& b) const {
+  if (rows_ != cols_) return Status::InvalidArgument("Solve needs square A");
+  if (b.size() != rows_) return Status::InvalidArgument("Solve b size mismatch");
+  size_t n = rows_;
+  // Augmented working copy.
+  Matrix a = *this;
+  std::vector<double> x = b;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return Status::InvalidArgument("singular matrix");
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.At(pivot, c), a.At(col, c));
+      std::swap(x[pivot], x[col]);
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a.At(r, col) / a.At(col, col);
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.At(r, c) -= f * a.At(col, c);
+      x[r] -= f * x[col];
+    }
+  }
+  // Back substitution.
+  for (size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a.At(ri, c) * x[c];
+    x[ri] = s / a.At(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace intellisphere::ml

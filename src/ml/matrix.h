@@ -1,0 +1,49 @@
+// Minimal dense matrix used by the learned cost models. The models in the
+// paper are tiny (<= 14 neurons per layer, <= 8 features), so a simple
+// row-major double matrix with a pivoting Gaussian solver is all we need.
+
+#ifndef INTELLISPHERE_ML_MATRIX_H_
+#define INTELLISPHERE_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer-style rows; all rows must have
+  /// equal length.
+  static Result<Matrix> FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix product; InvalidArgument on inner-dimension mismatch.
+  Result<Matrix> Multiply(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  /// Solves A x = b via Gaussian elimination with partial pivoting.
+  /// A must be square with rows()==b.size(); InvalidArgument when singular.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_MATRIX_H_

@@ -1,0 +1,327 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "util/metrics.h"
+
+namespace intellisphere::ml {
+
+namespace {
+
+double SignedLog1p(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+double SignedExpm1(double v) {
+  return v >= 0.0 ? std::expm1(v) : -std::expm1(-v);
+}
+
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+void AdamInit(std::vector<double>* m, std::vector<double>* v, size_t n) {
+  m->assign(n, 0.0);
+  v->assign(n, 0.0);
+}
+
+void AdamStep(std::vector<double>* params, const std::vector<double>& grad,
+              std::vector<double>* m, std::vector<double>* v, int64_t t,
+              double lr) {
+  double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(t));
+  double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(t));
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*m)[i] = kAdamBeta1 * (*m)[i] + (1.0 - kAdamBeta1) * grad[i];
+    (*v)[i] = kAdamBeta2 * (*v)[i] + (1.0 - kAdamBeta2) * grad[i] * grad[i];
+    double mh = (*m)[i] / bc1;
+    double vh = (*v)[i] / bc2;
+    (*params)[i] -= lr * mh / (std::sqrt(vh) + kAdamEps);
+  }
+}
+
+}  // namespace
+
+Result<MlpRegressor> MlpRegressor::Train(const Dataset& data,
+                                         const MlpConfig& cfg) {
+  ISPHERE_RETURN_NOT_OK(data.Validate());
+  if (data.size() < 4) return Status::InvalidArgument("MLP needs >= 4 rows");
+  if (data.num_features() == 0) {
+    return Status::InvalidArgument("MLP needs >= 1 feature");
+  }
+  if (cfg.hidden1 < 1 || cfg.hidden2 < 1) {
+    return Status::InvalidArgument("hidden layer sizes must be >= 1");
+  }
+  if (cfg.iterations < 1 || cfg.batch_size < 1 || cfg.eval_every < 1) {
+    return Status::InvalidArgument("invalid MLP training config");
+  }
+  MlpRegressor mlp;
+  mlp.config_ = cfg;
+  mlp.data_ = data;
+  Dataset pre = mlp.PreTransform(data);
+  ISPHERE_ASSIGN_OR_RETURN(mlp.input_scaler_, MinMaxScaler::Fit(pre.x));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.target_scaler_, TargetScaler::Fit(pre.y));
+  Rng rng(cfg.seed);
+  mlp.InitWeights(data.num_features(), &rng);
+  ISPHERE_RETURN_NOT_OK(mlp.RunTraining(cfg.iterations, &rng));
+  return mlp;
+}
+
+Status MlpRegressor::ContinueTraining(const Dataset& new_data,
+                                      int iterations) {
+  if (iterations < 1) return Status::InvalidArgument("iterations must be >= 1");
+  ISPHERE_RETURN_NOT_OK(new_data.Validate());
+  if (new_data.size() > 0) {
+    if (new_data.num_features() != num_features()) {
+      return Status::InvalidArgument("offline-tuning feature width mismatch");
+    }
+    Dataset pre = PreTransform(new_data);
+    for (const auto& row : pre.x) {
+      ISPHERE_RETURN_NOT_OK(input_scaler_.Extend(row));
+    }
+    for (double t : pre.y) target_scaler_.Extend(t);
+    ISPHERE_RETURN_NOT_OK(data_.Append(new_data));
+  }
+  // Decorrelate the resumed batch sampling from the original run while
+  // keeping it reproducible.
+  Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL +
+          static_cast<uint64_t>(total_iterations_));
+  return RunTraining(iterations, &rng);
+}
+
+void MlpRegressor::InitWeights(size_t num_features, Rng* rng) {
+  size_t in = num_features;
+  size_t h1 = static_cast<size_t>(config_.hidden1);
+  size_t h2 = static_cast<size_t>(config_.hidden2);
+  auto xavier = [&](size_t fan_in, size_t fan_out, std::vector<double>* w,
+                    size_t n) {
+    double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    w->resize(n);
+    for (double& x : *w) x = rng->Uniform(-limit, limit);
+  };
+  xavier(in, h1, &w1_, h1 * in);
+  b1_.assign(h1, 0.0);
+  xavier(h1, h2, &w2_, h2 * h1);
+  b2_.assign(h2, 0.0);
+  xavier(h2, 1, &w3_, h2);
+  b3_.assign(1, 0.0);
+  AdamInit(&aw1_.m, &aw1_.v, w1_.size());
+  AdamInit(&ab1_.m, &ab1_.v, b1_.size());
+  AdamInit(&aw2_.m, &aw2_.v, w2_.size());
+  AdamInit(&ab2_.m, &ab2_.v, b2_.size());
+  AdamInit(&aw3_.m, &aw3_.v, w3_.size());
+  AdamInit(&ab3_.m, &ab3_.v, b3_.size());
+  adam_t_ = 0;
+}
+
+double MlpRegressor::Forward(const std::vector<double>& xs,
+                             std::vector<double>* a1,
+                             std::vector<double>* a2) const {
+  size_t in = xs.size();
+  size_t h1 = b1_.size();
+  size_t h2 = b2_.size();
+  a1->resize(h1);
+  for (size_t j = 0; j < h1; ++j) {
+    double s = b1_[j];
+    for (size_t i = 0; i < in; ++i) s += w1_[j * in + i] * xs[i];
+    (*a1)[j] = std::tanh(s);
+  }
+  a2->resize(h2);
+  for (size_t j = 0; j < h2; ++j) {
+    double s = b2_[j];
+    for (size_t i = 0; i < h1; ++i) s += w2_[j * h1 + i] * (*a1)[i];
+    (*a2)[j] = std::tanh(s);
+  }
+  double out = b3_[0];
+  for (size_t i = 0; i < h2; ++i) out += w3_[i] * (*a2)[i];
+  return out;
+}
+
+Status MlpRegressor::RunTraining(int steps, Rng* rng) {
+  size_t n = data_.size();
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "no retained training data (model was loaded for inference only)");
+  }
+  size_t in = data_.num_features();
+  size_t h1 = b1_.size();
+  size_t h2 = b2_.size();
+  size_t batch = std::min<size_t>(static_cast<size_t>(config_.batch_size), n);
+
+  // Pre-scale the retained data once per training run (scalers are fixed
+  // during a run).
+  Dataset pre = PreTransform(data_);
+  std::vector<std::vector<double>> xs(n);
+  std::vector<double> ys(n);
+  for (size_t r = 0; r < n; ++r) {
+    ISPHERE_ASSIGN_OR_RETURN(xs[r], input_scaler_.Transform(pre.x[r]));
+    ys[r] = target_scaler_.Transform(pre.y[r]);
+  }
+
+  std::vector<double> gw1(w1_.size()), gb1(b1_.size());
+  std::vector<double> gw2(w2_.size()), gb2(b2_.size());
+  std::vector<double> gw3(w3_.size()), gb3(b3_.size());
+  std::vector<double> a1, a2, d1(h1), d2(h2);
+
+  for (int step = 0; step < steps; ++step) {
+    std::fill(gw1.begin(), gw1.end(), 0.0);
+    std::fill(gb1.begin(), gb1.end(), 0.0);
+    std::fill(gw2.begin(), gw2.end(), 0.0);
+    std::fill(gb2.begin(), gb2.end(), 0.0);
+    std::fill(gw3.begin(), gw3.end(), 0.0);
+    std::fill(gb3.begin(), gb3.end(), 0.0);
+
+    for (size_t b = 0; b < batch; ++b) {
+      size_t r = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+      const std::vector<double>& x = xs[r];
+      double pred = Forward(x, &a1, &a2);
+      double err = pred - ys[r];  // d(0.5*err^2)/dpred
+
+      // Output layer.
+      for (size_t i = 0; i < h2; ++i) gw3[i] += err * a2[i];
+      gb3[0] += err;
+      // Hidden layer 2 (tanh').
+      for (size_t j = 0; j < h2; ++j) {
+        d2[j] = err * w3_[j] * (1.0 - a2[j] * a2[j]);
+        gb2[j] += d2[j];
+        for (size_t i = 0; i < h1; ++i) gw2[j * h1 + i] += d2[j] * a1[i];
+      }
+      // Hidden layer 1.
+      for (size_t j = 0; j < h1; ++j) {
+        double s = 0.0;
+        for (size_t k = 0; k < h2; ++k) s += d2[k] * w2_[k * h1 + j];
+        d1[j] = s * (1.0 - a1[j] * a1[j]);
+        gb1[j] += d1[j];
+        for (size_t i = 0; i < in; ++i) gw1[j * in + i] += d1[j] * x[i];
+      }
+    }
+    double inv = 1.0 / static_cast<double>(batch);
+    for (double& g : gw1) g *= inv;
+    for (double& g : gb1) g *= inv;
+    for (double& g : gw2) g *= inv;
+    for (double& g : gb2) g *= inv;
+    for (double& g : gw3) g *= inv;
+    for (double& g : gb3) g *= inv;
+
+    ++adam_t_;
+    AdamStep(&w1_, gw1, &aw1_.m, &aw1_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b1_, gb1, &ab1_.m, &ab1_.v, adam_t_, config_.learning_rate);
+    AdamStep(&w2_, gw2, &aw2_.m, &aw2_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b2_, gb2, &ab2_.m, &ab2_.v, adam_t_, config_.learning_rate);
+    AdamStep(&w3_, gw3, &aw3_.m, &aw3_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b3_, gb3, &ab3_.m, &ab3_.v, adam_t_, config_.learning_rate);
+
+    ++total_iterations_;
+    if (total_iterations_ % config_.eval_every == 0 || step == steps - 1) {
+      ISPHERE_ASSIGN_OR_RETURN(double rp, TrainingRmsePercent());
+      history_.push_back({total_iterations_, rp});
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> MlpRegressor::TrainingRmsePercent() const {
+  std::vector<double> preds;
+  preds.reserve(data_.size());
+  for (const auto& row : data_.x) {
+    ISPHERE_ASSIGN_OR_RETURN(double p, Predict(row));
+    preds.push_back(p);
+  }
+  return RmsePercent(data_.y, preds);
+}
+
+Dataset MlpRegressor::PreTransform(const Dataset& data) const {
+  if (!config_.log_scale) return data;
+  Dataset out;
+  out.x.reserve(data.x.size());
+  out.y.reserve(data.y.size());
+  for (size_t r = 0; r < data.size(); ++r) {
+    std::vector<double> row(data.x[r].size());
+    for (size_t i = 0; i < row.size(); ++i) row[i] = SignedLog1p(data.x[r][i]);
+    out.x.push_back(std::move(row));
+    out.y.push_back(SignedLog1p(data.y[r]));
+  }
+  return out;
+}
+
+Result<double> MlpRegressor::Predict(const std::vector<double>& row) const {
+  std::vector<double> pre = row;
+  if (config_.log_scale) {
+    for (double& v : pre) v = SignedLog1p(v);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(std::vector<double> xs,
+                           input_scaler_.Transform(pre));
+  std::vector<double> a1, a2;
+  double scaled = Forward(xs, &a1, &a2);
+  double out = target_scaler_.Inverse(scaled);
+  return config_.log_scale ? SignedExpm1(out) : out;
+}
+
+void MlpRegressor::Save(const std::string& prefix, Properties* props) const {
+  props->SetInt(prefix + "hidden1", config_.hidden1);
+  props->SetInt(prefix + "hidden2", config_.hidden2);
+  props->SetInt(prefix + "iterations", config_.iterations);
+  props->SetInt(prefix + "batch_size", config_.batch_size);
+  props->SetDouble(prefix + "learning_rate", config_.learning_rate);
+  props->SetInt(prefix + "eval_every", config_.eval_every);
+  props->SetInt(prefix + "seed", static_cast<int64_t>(config_.seed));
+  props->SetBool(prefix + "log_scale", config_.log_scale);
+  input_scaler_.Save(prefix + "in_", props);
+  target_scaler_.Save(prefix + "out_", props);
+  props->SetDoubleList(prefix + "w1", w1_);
+  props->SetDoubleList(prefix + "b1", b1_);
+  props->SetDoubleList(prefix + "w2", w2_);
+  props->SetDoubleList(prefix + "b2", b2_);
+  props->SetDoubleList(prefix + "w3", w3_);
+  props->SetDoubleList(prefix + "b3", b3_);
+}
+
+Result<MlpRegressor> MlpRegressor::Load(const std::string& prefix,
+                                        const Properties& props) {
+  MlpRegressor mlp;
+  ISPHERE_ASSIGN_OR_RETURN(int64_t h1, props.GetInt(prefix + "hidden1"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t h2, props.GetInt(prefix + "hidden2"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t iters, props.GetInt(prefix + "iterations"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t bs, props.GetInt(prefix + "batch_size"));
+  ISPHERE_ASSIGN_OR_RETURN(double lr, props.GetDouble(prefix + "learning_rate"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t ee, props.GetInt(prefix + "eval_every"));
+  ISPHERE_ASSIGN_OR_RETURN(int64_t seed, props.GetInt(prefix + "seed"));
+  mlp.config_.hidden1 = static_cast<int>(h1);
+  mlp.config_.hidden2 = static_cast<int>(h2);
+  mlp.config_.iterations = static_cast<int>(iters);
+  mlp.config_.batch_size = static_cast<int>(bs);
+  mlp.config_.learning_rate = lr;
+  mlp.config_.eval_every = static_cast<int>(ee);
+  mlp.config_.seed = static_cast<uint64_t>(seed);
+  if (props.Contains(prefix + "log_scale")) {
+    ISPHERE_ASSIGN_OR_RETURN(mlp.config_.log_scale,
+                             props.GetBool(prefix + "log_scale"));
+  }
+  ISPHERE_ASSIGN_OR_RETURN(mlp.input_scaler_,
+                           MinMaxScaler::Load(prefix + "in_", props));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.target_scaler_,
+                           TargetScaler::Load(prefix + "out_", props));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.w1_, props.GetDoubleList(prefix + "w1"));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.b1_, props.GetDoubleList(prefix + "b1"));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.w2_, props.GetDoubleList(prefix + "w2"));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.b2_, props.GetDoubleList(prefix + "b2"));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.w3_, props.GetDoubleList(prefix + "w3"));
+  ISPHERE_ASSIGN_OR_RETURN(mlp.b3_, props.GetDoubleList(prefix + "b3"));
+  size_t in = mlp.input_scaler_.num_features();
+  if (mlp.w1_.size() != static_cast<size_t>(h1) * in ||
+      mlp.b1_.size() != static_cast<size_t>(h1) ||
+      mlp.w2_.size() != static_cast<size_t>(h2 * h1) ||
+      mlp.b2_.size() != static_cast<size_t>(h2) ||
+      mlp.w3_.size() != static_cast<size_t>(h2) || mlp.b3_.size() != 1) {
+    return Status::InvalidArgument("inconsistent serialized MLP shapes");
+  }
+  AdamInit(&mlp.aw1_.m, &mlp.aw1_.v, mlp.w1_.size());
+  AdamInit(&mlp.ab1_.m, &mlp.ab1_.v, mlp.b1_.size());
+  AdamInit(&mlp.aw2_.m, &mlp.aw2_.v, mlp.w2_.size());
+  AdamInit(&mlp.ab2_.m, &mlp.ab2_.v, mlp.b2_.size());
+  AdamInit(&mlp.aw3_.m, &mlp.aw3_.v, mlp.w3_.size());
+  AdamInit(&mlp.ab3_.m, &mlp.ab3_.v, mlp.b3_.size());
+  return mlp;
+}
+
+}  // namespace intellisphere::ml

@@ -1,0 +1,118 @@
+// A small two-hidden-layer multilayer perceptron for cost regression,
+// written from scratch (no external DL framework).
+//
+// This is the "deep learning model" of the paper's logical-operator costing
+// (Section 3, Figure 2): 7 inputs for join, 4 for aggregation, two hidden
+// layers whose widths are chosen by cross validation, one linear output
+// (elapsed time). Hidden units use tanh, which reproduces the paper's key
+// observation that the network interpolates well but saturates instead of
+// extrapolating for out-of-range inputs (Figure 14).
+
+#ifndef INTELLISPHERE_ML_MLP_H_
+#define INTELLISPHERE_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// Training hyperparameters for MlpRegressor.
+struct MlpConfig {
+  int hidden1 = 10;          ///< neurons in the first hidden layer
+  int hidden2 = 5;           ///< neurons in the second hidden layer
+  int iterations = 20000;    ///< mini-batch gradient steps (paper: 20k)
+  int batch_size = 64;       ///< mini-batch size
+  double learning_rate = 2e-3;  ///< Adam step size
+  int eval_every = 250;      ///< convergence-history sampling interval
+  uint64_t seed = 42;        ///< weight init + batch sampling seed
+  /// Apply a signed log1p transform to inputs and target before min-max
+  /// scaling. Off by default: raw min-max scaling reproduces the paper's
+  /// networks, including their sharp tanh saturation on out-of-range
+  /// inputs (the phenomenon Figure 14 studies). Log scaling conditions
+  /// wide-range features better in range but extrapolates more gracefully,
+  /// which would understate the remedy phase's benefit.
+  bool log_scale = false;
+};
+
+/// One point on the paper's convergence plots (Figures 11(b), 12(b)):
+/// RMSE% over the training set after `iteration` steps.
+struct ConvergencePoint {
+  int iteration = 0;
+  double rmse_percent = 0.0;
+};
+
+/// Two-hidden-layer tanh MLP regressor with Adam optimization and built-in
+/// min-max input/target scaling.
+class MlpRegressor {
+ public:
+  /// Creates an empty (untrained) regressor; Predict on it is invalid.
+  /// Obtain usable instances via Train or Load.
+  MlpRegressor() = default;
+
+  /// Trains a fresh network. Requires >= 4 rows and >= 1 feature.
+  static Result<MlpRegressor> Train(const Dataset& data, const MlpConfig& cfg);
+
+  /// Offline-tuning entry point (Section 3): appends newly logged
+  /// executions to the retained training data, widens the scalers to cover
+  /// them, and resumes training for `iterations` further steps.
+  Status ContinueTraining(const Dataset& new_data, int iterations);
+
+  /// Predicts the (unscaled) target for one raw feature row.
+  Result<double> Predict(const std::vector<double>& row) const;
+
+  /// RMSE%-vs-iteration samples accumulated across Train and
+  /// ContinueTraining calls.
+  const std::vector<ConvergencePoint>& history() const { return history_; }
+
+  const MlpConfig& config() const { return config_; }
+  size_t num_features() const { return input_scaler_.num_features(); }
+  /// Rows currently retained for (re)training.
+  size_t training_rows() const { return data_.size(); }
+
+  /// Serializes weights, scalers, and config under `prefix`.
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<MlpRegressor> Load(const std::string& prefix,
+                                   const Properties& props);
+
+ private:
+  /// Allocates and Xavier-initializes weights for the configured topology.
+  void InitWeights(size_t num_features, Rng* rng);
+  /// Runs `steps` Adam steps over the retained data.
+  Status RunTraining(int steps, Rng* rng);
+  /// Forward pass on a scaled input; fills per-layer activations.
+  double Forward(const std::vector<double>& xs, std::vector<double>* a1,
+                 std::vector<double>* a2) const;
+  /// RMSE% over the retained training data (unscaled targets).
+  Result<double> TrainingRmsePercent() const;
+  /// Applies the optional signed-log1p pre-transform to a dataset copy.
+  Dataset PreTransform(const Dataset& data) const;
+
+  MlpConfig config_;
+  MinMaxScaler input_scaler_;
+  TargetScaler target_scaler_;
+  Dataset data_;  ///< retained raw training data for offline tuning
+
+  // Layer weights, row-major: w1_[j*in+i] connects input i to hidden-1 j.
+  std::vector<double> w1_, b1_;
+  std::vector<double> w2_, b2_;
+  std::vector<double> w3_, b3_;  // w3_ has hidden2 entries (single output)
+
+  // Adam state (first and second moments per parameter group).
+  struct AdamState {
+    std::vector<double> m, v;
+  };
+  AdamState aw1_, ab1_, aw2_, ab2_, aw3_, ab3_;
+  int64_t adam_t_ = 0;
+
+  std::vector<ConvergencePoint> history_;
+  int total_iterations_ = 0;
+};
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_MLP_H_

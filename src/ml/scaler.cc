@@ -1,0 +1,104 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+
+namespace intellisphere::ml {
+
+Result<MinMaxScaler> MinMaxScaler::Fit(
+    const std::vector<std::vector<double>>& x) {
+  if (x.empty()) return Status::InvalidArgument("scaler fit on empty data");
+  MinMaxScaler s;
+  s.mins_ = x[0];
+  s.maxs_ = x[0];
+  for (const auto& row : x) {
+    if (row.size() != s.mins_.size()) {
+      return Status::InvalidArgument("ragged features in scaler fit");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      s.mins_[i] = std::min(s.mins_[i], row[i]);
+      s.maxs_[i] = std::max(s.maxs_[i], row[i]);
+    }
+  }
+  return s;
+}
+
+Result<std::vector<double>> MinMaxScaler::Transform(
+    const std::vector<double>& row) const {
+  if (row.size() != mins_.size()) {
+    return Status::InvalidArgument("scaler transform width mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    double span = maxs_[i] - mins_[i];
+    if (span <= 0.0) span = 1.0;
+    out[i] = (row[i] - mins_[i]) / span;
+  }
+  return out;
+}
+
+Status MinMaxScaler::Extend(const std::vector<double>& row) {
+  if (row.size() != mins_.size()) {
+    return Status::InvalidArgument("scaler extend width mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    mins_[i] = std::min(mins_[i], row[i]);
+    maxs_[i] = std::max(maxs_[i], row[i]);
+  }
+  return Status::OK();
+}
+
+void MinMaxScaler::Save(const std::string& prefix, Properties* props) const {
+  props->SetDoubleList(prefix + "mins", mins_);
+  props->SetDoubleList(prefix + "maxs", maxs_);
+}
+
+Result<MinMaxScaler> MinMaxScaler::Load(const std::string& prefix,
+                                        const Properties& props) {
+  MinMaxScaler s;
+  ISPHERE_ASSIGN_OR_RETURN(s.mins_, props.GetDoubleList(prefix + "mins"));
+  ISPHERE_ASSIGN_OR_RETURN(s.maxs_, props.GetDoubleList(prefix + "maxs"));
+  if (s.mins_.size() != s.maxs_.size()) {
+    return Status::InvalidArgument("scaler mins/maxs size mismatch");
+  }
+  return s;
+}
+
+Result<TargetScaler> TargetScaler::Fit(const std::vector<double>& y) {
+  if (y.empty()) return Status::InvalidArgument("target scaler on empty data");
+  TargetScaler s;
+  s.min_ = *std::min_element(y.begin(), y.end());
+  s.max_ = *std::max_element(y.begin(), y.end());
+  return s;
+}
+
+double TargetScaler::Transform(double v) const {
+  double span = max_ - min_;
+  if (span <= 0.0) span = 1.0;
+  return (v - min_) / span;
+}
+
+double TargetScaler::Inverse(double scaled) const {
+  double span = max_ - min_;
+  if (span <= 0.0) span = 1.0;
+  return scaled * span + min_;
+}
+
+void TargetScaler::Extend(double v) {
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void TargetScaler::Save(const std::string& prefix, Properties* props) const {
+  props->SetDouble(prefix + "target_min", min_);
+  props->SetDouble(prefix + "target_max", max_);
+}
+
+Result<TargetScaler> TargetScaler::Load(const std::string& prefix,
+                                        const Properties& props) {
+  TargetScaler s;
+  ISPHERE_ASSIGN_OR_RETURN(s.min_, props.GetDouble(prefix + "target_min"));
+  ISPHERE_ASSIGN_OR_RETURN(s.max_, props.GetDouble(prefix + "target_max"));
+  return s;
+}
+
+}  // namespace intellisphere::ml

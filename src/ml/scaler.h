@@ -1,0 +1,68 @@
+// Min-max feature/target scaling. The paper's training dimensions span many
+// orders of magnitude (record counts up to 8x10^7 against record sizes of
+// 40..1000 bytes), so the MLP trains on [0, 1]-normalized inputs.
+
+#ifndef INTELLISPHERE_ML_SCALER_H_
+#define INTELLISPHERE_ML_SCALER_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::ml {
+
+/// Per-feature min-max scaler mapping each feature into [0, 1].
+///
+/// Values outside the fitted range map outside [0, 1] proportionally; the
+/// scaler never clamps, because out-of-range behaviour is exactly what the
+/// online-remedy experiments probe.
+class MinMaxScaler {
+ public:
+  /// Fits per-feature mins/maxes; constant features get span 1 so they map
+  /// to 0 (fitted min) everywhere.
+  static Result<MinMaxScaler> Fit(const std::vector<std::vector<double>>& x);
+
+  /// Scales one row; InvalidArgument on width mismatch.
+  Result<std::vector<double>> Transform(const std::vector<double>& row) const;
+
+  /// Widens the fitted range to cover `row` (used by offline tuning when new
+  /// log records extend the trained domain).
+  Status Extend(const std::vector<double>& row);
+
+  size_t num_features() const { return mins_.size(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+  /// Persists under "<prefix>mins" / "<prefix>maxs".
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<MinMaxScaler> Load(const std::string& prefix,
+                                   const Properties& props);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// Scalar min-max scaler for the regression target.
+class TargetScaler {
+ public:
+  static Result<TargetScaler> Fit(const std::vector<double>& y);
+
+  double Transform(double v) const;
+  double Inverse(double scaled) const;
+  void Extend(double v);
+
+  void Save(const std::string& prefix, Properties* props) const;
+  static Result<TargetScaler> Load(const std::string& prefix,
+                                   const Properties& props);
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+};
+
+}  // namespace intellisphere::ml
+
+#endif  // INTELLISPHERE_ML_SCALER_H_

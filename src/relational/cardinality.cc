@@ -1,0 +1,43 @@
+#include "relational/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::rel {
+
+Result<int64_t> EstimateJoinCardinality(const TableDef& left,
+                                        const TableDef& right,
+                                        const std::string& key_column,
+                                        double extra_selectivity) {
+  if (extra_selectivity <= 0.0 || extra_selectivity > 1.0) {
+    return Status::InvalidArgument("extra_selectivity must be in (0, 1]");
+  }
+  int64_t dl = left.stats.DistinctOr(key_column, left.stats.num_rows);
+  int64_t dr = right.stats.DistinctOr(key_column, right.stats.num_rows);
+  if (dl <= 0 || dr <= 0) {
+    return Status::InvalidArgument("non-positive distinct count");
+  }
+  double denom = static_cast<double>(std::max(dl, dr));
+  double est = static_cast<double>(left.stats.num_rows) *
+               static_cast<double>(right.stats.num_rows) / denom *
+               extra_selectivity;
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(est)));
+}
+
+Result<int64_t> EstimateGroupCardinality(const TableDef& table,
+                                         const std::string& group_column) {
+  int64_t d = table.stats.DistinctOr(group_column, table.stats.num_rows);
+  if (d <= 0) return Status::InvalidArgument("non-positive distinct count");
+  return std::min(d, table.stats.num_rows);
+}
+
+Result<int64_t> EstimateFilterCardinality(const TableDef& table,
+                                          double selectivity) {
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0, 1]");
+  }
+  return static_cast<int64_t>(
+      std::llround(selectivity * static_cast<double>(table.stats.num_rows)));
+}
+
+}  // namespace intellisphere::rel

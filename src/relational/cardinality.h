@@ -1,0 +1,37 @@
+// Cardinality estimation from table statistics. The paper assumes "another
+// module in the IntelliSphere system" provides cardinalities and statistics
+// to the costing module (Section 4, "Usage"); this is that module.
+
+#ifndef INTELLISPHERE_RELATIONAL_CARDINALITY_H_
+#define INTELLISPHERE_RELATIONAL_CARDINALITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/catalog.h"
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// Estimates the output cardinality of an equi-join on `key_column` between
+/// two tables using the standard containment assumption:
+///   |R join S| = |R| * |S| / max(distinct_R(key), distinct_S(key)),
+/// scaled by an extra predicate selectivity in (0, 1]. Unknown distinct
+/// counts default to the table cardinality (unique key).
+Result<int64_t> EstimateJoinCardinality(const TableDef& left,
+                                        const TableDef& right,
+                                        const std::string& key_column,
+                                        double extra_selectivity = 1.0);
+
+/// Estimates the group count of GROUP BY `group_column`, capped at the
+/// table cardinality.
+Result<int64_t> EstimateGroupCardinality(const TableDef& table,
+                                         const std::string& group_column);
+
+/// Estimates rows surviving a filter of the given selectivity.
+Result<int64_t> EstimateFilterCardinality(const TableDef& table,
+                                          double selectivity);
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_CARDINALITY_H_

@@ -1,0 +1,133 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+
+namespace intellisphere::rel {
+
+namespace {
+
+constexpr int64_t kIntWidth = 4;  // accounting width of the a_i / z columns
+constexpr int kNumIntColumns = 8;  // a1..a100 (7) plus z
+
+}  // namespace
+
+int64_t TableStats::DistinctOr(const std::string& column,
+                               int64_t fallback) const {
+  auto it = column_distinct.find(column);
+  return it == column_distinct.end() ? fallback : it->second;
+}
+
+Status Catalog::Add(TableDef def) {
+  if (tables_.count(def.name)) {
+    return Status::AlreadyExists("table '" + def.name + "'");
+  }
+  std::string name = def.name;
+  tables_.emplace(std::move(name), std::move(def));
+  return Status::OK();
+}
+
+Result<TableDef> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<Schema> SyntheticSchema(int64_t record_bytes) {
+  int64_t int_bytes = kIntWidth * kNumIntColumns;
+  if (record_bytes < int_bytes + 1) {
+    return Status::InvalidArgument(
+        "record size " + std::to_string(record_bytes) +
+        " cannot fit the synthetic schema (needs >= " +
+        std::to_string(int_bytes + 1) + " bytes)");
+  }
+  std::vector<Column> cols;
+  for (int f : kDuplicationFactors) {
+    cols.push_back({"a" + std::to_string(f), DataType::kInt64, kIntWidth});
+  }
+  cols.push_back({"z", DataType::kInt64, kIntWidth});
+  cols.push_back({"dummy", DataType::kChar, record_bytes - int_bytes});
+  return Schema(std::move(cols));
+}
+
+std::string SyntheticTableName(int64_t num_records, int64_t record_bytes) {
+  return "T" + std::to_string(num_records) + "_" +
+         std::to_string(record_bytes);
+}
+
+Result<TableDef> SyntheticTableDef(int64_t num_records, int64_t record_bytes) {
+  if (num_records <= 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  TableDef def;
+  def.name = SyntheticTableName(num_records, record_bytes);
+  ISPHERE_ASSIGN_OR_RETURN(def.schema, SyntheticSchema(record_bytes));
+  def.stats.num_rows = num_records;
+  def.stats.row_bytes = record_bytes;
+  for (int f : kDuplicationFactors) {
+    // Column a_f holds row/f, so it has ceil(rows/f) distinct values.
+    def.stats.column_distinct["a" + std::to_string(f)] =
+        (num_records + f - 1) / f;
+  }
+  def.stats.column_distinct["z"] = 1;
+  return def;
+}
+
+std::vector<int64_t> SyntheticRecordCounts() {
+  std::vector<int64_t> counts;
+  for (int64_t scale : {int64_t{10000}, int64_t{100000}, int64_t{1000000},
+                        int64_t{10000000}}) {
+    for (int64_t k : {1, 2, 4, 6, 8}) counts.push_back(k * scale);
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+std::vector<int64_t> SyntheticRecordSizes() {
+  return {40, 70, 100, 250, 500, 1000};
+}
+
+Result<Catalog> BuildSyntheticCatalog() {
+  Catalog catalog;
+  for (int64_t rows : SyntheticRecordCounts()) {
+    for (int64_t bytes : SyntheticRecordSizes()) {
+      ISPHERE_ASSIGN_OR_RETURN(TableDef def, SyntheticTableDef(rows, bytes));
+      ISPHERE_RETURN_NOT_OK(catalog.Add(std::move(def)));
+    }
+  }
+  return catalog;
+}
+
+Result<Table> MaterializePrefix(const TableDef& def, int64_t max_rows) {
+  if (max_rows < 0) return Status::InvalidArgument("max_rows must be >= 0");
+  int64_t n = std::min(max_rows, def.stats.num_rows);
+  Table table(def.schema);
+  table.Reserve(static_cast<size_t>(n));
+  // Width of the dummy pad column, if present.
+  int64_t pad_width = 0;
+  for (const auto& c : def.schema.columns()) {
+    if (c.name == "dummy") pad_width = c.byte_width;
+  }
+  std::string pad(static_cast<size_t>(pad_width), 'x');
+  for (int64_t r = 0; r < n; ++r) {
+    Row row;
+    row.reserve(def.schema.num_columns());
+    for (int f : kDuplicationFactors) row.emplace_back(int64_t{r / f});
+    row.emplace_back(int64_t{0});  // z
+    row.emplace_back(pad);        // dummy
+    ISPHERE_RETURN_NOT_OK(table.Append(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace intellisphere::rel

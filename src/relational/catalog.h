@@ -1,0 +1,91 @@
+// Table statistics, table definitions, and the paper's synthetic dataset
+// catalog (Figure 10): 120 tables named Tx_y where
+//   x (number of records) in {k*10^4, k*10^5, k*10^6, k*10^7}, k in
+//     {1, 2, 4, 6, 8}  -> 20 configurations, and
+//   y (record size in bytes) in {40, 70, 100, 250, 500, 1000} -> 6.
+// All tables share the schema (a1, a2, a5, a10, a20, a50, a100, z, dummy)
+// where each integer column a_i has duplication rate i, z is all zeros, and
+// dummy is a fixed-width char column padding the row to the target size.
+
+#ifndef INTELLISPHERE_RELATIONAL_CATALOG_H_
+#define INTELLISPHERE_RELATIONAL_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// Basic statistics Teradata collects on (possibly remote) tables.
+struct TableStats {
+  int64_t num_rows = 0;
+  int64_t row_bytes = 0;  ///< average record size
+  /// Number of distinct values per column, keyed by column name.
+  std::map<std::string, int64_t> column_distinct;
+
+  /// Distinct count for a column, or `num_rows` (unique) when unknown.
+  int64_t DistinctOr(const std::string& column, int64_t fallback) const;
+};
+
+/// A registered table: schema + statistics + owning system.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  TableStats stats;
+  /// Name of the IntelliSphere system holding the data ("teradata" or a
+  /// remote system name); assigned at registration.
+  std::string location;
+};
+
+/// A name -> TableDef registry.
+class Catalog {
+ public:
+  /// AlreadyExists if a table of that name is registered.
+  Status Add(TableDef def);
+  Result<TableDef> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+/// The duplication factors of the Fig-10 integer columns a1..a100.
+inline constexpr int kDuplicationFactors[] = {1, 2, 5, 10, 20, 50, 100};
+
+/// Builds the Fig-10 schema for a target record size. Integer columns are
+/// 4 bytes wide (so the minimal 40-byte record leaves an 8-byte dummy pad).
+/// InvalidArgument when `record_bytes` cannot fit the 8 integer columns plus
+/// at least 1 pad byte.
+Result<Schema> SyntheticSchema(int64_t record_bytes);
+
+/// Builds the statistics of table Tx_y without materializing it.
+Result<TableDef> SyntheticTableDef(int64_t num_records, int64_t record_bytes);
+
+/// The canonical "T<records>_<bytes>" name.
+std::string SyntheticTableName(int64_t num_records, int64_t record_bytes);
+
+/// The 20 Fig-10 record-count configurations.
+std::vector<int64_t> SyntheticRecordCounts();
+
+/// The 6 Fig-10 record sizes.
+std::vector<int64_t> SyntheticRecordSizes();
+
+/// Registers all 120 Fig-10 tables into a catalog.
+Result<Catalog> BuildSyntheticCatalog();
+
+/// Materializes actual rows for a table definition, capped at `max_rows`
+/// (the full catalog reaches 8x10^7 rows; tests and the local executor work
+/// on prefixes). Column a_i of row r holds r / i; z holds 0; dummy holds a
+/// pad string of the declared width.
+Result<Table> MaterializePrefix(const TableDef& def, int64_t max_rows);
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_CATALOG_H_

@@ -1,0 +1,103 @@
+#include "relational/query.h"
+
+namespace intellisphere::rel {
+
+const char* OperatorTypeName(OperatorType t) {
+  switch (t) {
+    case OperatorType::kJoin:
+      return "join";
+    case OperatorType::kAggregation:
+      return "aggregation";
+    case OperatorType::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
+
+std::vector<double> JoinQuery::LogicalOpFeatures() const {
+  return {static_cast<double>(left.row_bytes),
+          static_cast<double>(left.num_rows),
+          static_cast<double>(right.row_bytes),
+          static_cast<double>(right.num_rows),
+          static_cast<double>(left_projected_bytes),
+          static_cast<double>(right_projected_bytes),
+          static_cast<double>(output_rows)};
+}
+
+Status JoinQuery::Validate() const {
+  if (left.num_rows <= 0 || right.num_rows <= 0) {
+    return Status::InvalidArgument("join inputs must be non-empty");
+  }
+  if (left.row_bytes <= 0 || right.row_bytes <= 0) {
+    return Status::InvalidArgument("join input row sizes must be positive");
+  }
+  if (left_projected_bytes < 0 || right_projected_bytes < 0) {
+    return Status::InvalidArgument("negative projected size");
+  }
+  if (left_projected_bytes + right_projected_bytes <= 0) {
+    return Status::InvalidArgument("join must project at least one byte");
+  }
+  if (output_rows < 0) return Status::InvalidArgument("negative output rows");
+  if (hot_key_fraction < 0.0 || hot_key_fraction > 1.0) {
+    return Status::InvalidArgument("hot_key_fraction outside [0, 1]");
+  }
+  // A cross product can output |R|*|S| rows; an equi-join on a key column
+  // cannot exceed that either, so only the product bound applies generally.
+  double bound = static_cast<double>(left.num_rows) *
+                 static_cast<double>(right.num_rows);
+  if (static_cast<double>(output_rows) > bound) {
+    return Status::InvalidArgument("output exceeds |R| x |S|");
+  }
+  return Status::OK();
+}
+
+std::vector<double> AggQuery::LogicalOpFeatures() const {
+  return {static_cast<double>(input.num_rows),
+          static_cast<double>(input.row_bytes),
+          static_cast<double>(output_rows),
+          static_cast<double>(output_row_bytes)};
+}
+
+std::vector<double> ScanQuery::LogicalOpFeatures() const {
+  return {static_cast<double>(input.num_rows),
+          static_cast<double>(input.row_bytes),
+          static_cast<double>(output_rows),
+          static_cast<double>(projected_bytes)};
+}
+
+Status ScanQuery::Validate() const {
+  if (input.num_rows <= 0 || input.row_bytes <= 0) {
+    return Status::InvalidArgument("scan input must be non-empty");
+  }
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("scan selectivity outside [0, 1]");
+  }
+  if (projected_bytes <= 0 || projected_bytes > input.row_bytes) {
+    return Status::InvalidArgument(
+        "projected bytes must be in [1, input row size]");
+  }
+  if (output_rows < 0 || output_rows > input.num_rows) {
+    return Status::InvalidArgument(
+        "scan output rows must be in [0, input rows]");
+  }
+  return Status::OK();
+}
+
+Status AggQuery::Validate() const {
+  if (input.num_rows <= 0 || input.row_bytes <= 0) {
+    return Status::InvalidArgument("aggregation input must be non-empty");
+  }
+  if (output_rows <= 0 || output_rows > input.num_rows) {
+    return Status::InvalidArgument(
+        "aggregation output rows must be in [1, input rows]");
+  }
+  if (output_row_bytes <= 0) {
+    return Status::InvalidArgument("output row size must be positive");
+  }
+  if (num_aggregates < 1) {
+    return Status::InvalidArgument("need at least one aggregate function");
+  }
+  return Status::OK();
+}
+
+}  // namespace intellisphere::rel

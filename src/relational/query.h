@@ -1,0 +1,160 @@
+// SQL operator descriptors exchanged between the federation layer, the cost
+// estimation module, and the remote-system engines. A descriptor carries the
+// statistics a cost model needs, not data: the remote engines simulate
+// execution from these statistics, exactly as the real cluster's elapsed
+// time is a function of them.
+
+#ifndef INTELLISPHERE_RELATIONAL_QUERY_H_
+#define INTELLISPHERE_RELATIONAL_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// Statistics of one join/aggregation input relation.
+struct RelationStats {
+  int64_t num_rows = 0;
+  int64_t row_bytes = 0;
+};
+
+/// An equi-join (or cross product) between relations R (left) and S (right).
+///
+/// Mirrors the paper's seven join training dimensions (Figure 2): row size
+/// and cardinality of each side, projected byte sums, and output
+/// cardinality. The extra flags feed the sub-op applicability rules
+/// (Section 4): bucketing of the inputs on the join key decides whether
+/// Hive's Bucket Map / Sort-Merge-Bucket joins are candidates, and skew
+/// enables Skew Join.
+struct JoinQuery {
+  RelationStats left;   ///< R, conventionally the larger side
+  RelationStats right;  ///< S, conventionally the smaller side
+  int64_t left_projected_bytes = 0;
+  int64_t right_projected_bytes = 0;
+  int64_t output_rows = 0;
+
+  bool is_equi_join = true;           ///< false -> cartesian/theta join
+  bool left_bucketed_on_key = false;  ///< R bucketed/partitioned on the key
+  bool right_bucketed_on_key = false;
+  /// Fraction of left rows owned by the hottest join key (0 = uniform).
+  double hot_key_fraction = 0.0;
+
+  /// Output record size: sum of both projected byte sums.
+  int64_t OutputRowBytes() const {
+    return left_projected_bytes + right_projected_bytes;
+  }
+
+  /// The 7-dimensional logical-op feature vector of Figure 2, in the
+  /// paper's order: rowsize(R), |R|, rowsize(S), |S|, proj(R), proj(S),
+  /// |output|.
+  std::vector<double> LogicalOpFeatures() const;
+
+  /// InvalidArgument on non-positive cardinalities/sizes or an output
+  /// larger than an equi-join can produce.
+  Status Validate() const;
+};
+
+/// A group-by aggregation.
+///
+/// Mirrors the paper's four aggregation training dimensions: input rows,
+/// input row size, output rows, output row size.
+struct AggQuery {
+  RelationStats input;
+  int64_t output_rows = 0;
+  int64_t output_row_bytes = 0;
+  /// Number of aggregate functions computed (the paper varies 1..5 SUMs).
+  int num_aggregates = 1;
+
+  /// The 4-dimensional logical-op feature vector, in the paper's order:
+  /// |input|, input rowsize, |output|, output rowsize.
+  std::vector<double> LogicalOpFeatures() const;
+
+  Status Validate() const;
+};
+
+/// A selection + projection over one relation ("scan" for short): the
+/// filter/projection operators Section 2 lists among the operations remote
+/// systems receive. Simple predicates may also be pushed into QueryGrid;
+/// this descriptor covers the remote-executed form.
+struct ScanQuery {
+  RelationStats input;
+  /// Fraction of input rows satisfying the predicate.
+  double selectivity = 1.0;
+  /// Output record width after projection.
+  int64_t projected_bytes = 0;
+  int64_t output_rows = 0;
+
+  /// The 4-dimensional logical-op feature vector: |input|, input rowsize,
+  /// |output|, projected rowsize.
+  std::vector<double> LogicalOpFeatures() const;
+
+  Status Validate() const;
+};
+
+/// Discriminates the operator kinds the cost module models.
+enum class OperatorType {
+  kJoin,
+  kAggregation,
+  kScan,
+};
+
+const char* OperatorTypeName(OperatorType t);
+
+/// A type-erased operator descriptor: exactly one of the payloads is active
+/// (tagged by `type`). This is what flows through the CostEstimator facade.
+struct SqlOperator {
+  OperatorType type = OperatorType::kJoin;
+  JoinQuery join;
+  AggQuery agg;
+  ScanQuery scan;
+
+  static SqlOperator MakeJoin(JoinQuery j) {
+    SqlOperator op;
+    op.type = OperatorType::kJoin;
+    op.join = std::move(j);
+    return op;
+  }
+  static SqlOperator MakeAgg(AggQuery a) {
+    SqlOperator op;
+    op.type = OperatorType::kAggregation;
+    op.agg = std::move(a);
+    return op;
+  }
+  static SqlOperator MakeScan(ScanQuery s) {
+    SqlOperator op;
+    op.type = OperatorType::kScan;
+    op.scan = std::move(s);
+    return op;
+  }
+
+  std::vector<double> LogicalOpFeatures() const {
+    switch (type) {
+      case OperatorType::kJoin:
+        return join.LogicalOpFeatures();
+      case OperatorType::kAggregation:
+        return agg.LogicalOpFeatures();
+      case OperatorType::kScan:
+        return scan.LogicalOpFeatures();
+    }
+    return {};
+  }
+
+  Status Validate() const {
+    switch (type) {
+      case OperatorType::kJoin:
+        return join.Validate();
+      case OperatorType::kAggregation:
+        return agg.Validate();
+      case OperatorType::kScan:
+        return scan.Validate();
+    }
+    return Status::Internal("unknown operator type");
+  }
+};
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_QUERY_H_

@@ -1,0 +1,40 @@
+#include "relational/schema.h"
+
+namespace intellisphere::rel {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kChar:
+      return "CHAR";
+  }
+  return "UNKNOWN";
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("column '" + name + "'");
+}
+
+int64_t Schema::RowBytes() const {
+  int64_t total = 0;
+  for (const auto& c : columns_) total += c.byte_width;
+  return total;
+}
+
+Result<int64_t> Schema::ProjectedBytes(
+    const std::vector<std::string>& names) const {
+  int64_t total = 0;
+  for (const auto& n : names) {
+    ISPHERE_ASSIGN_OR_RETURN(size_t i, FindColumn(n));
+    total += columns_[i].byte_width;
+  }
+  return total;
+}
+
+}  // namespace intellisphere::rel

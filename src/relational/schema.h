@@ -1,0 +1,59 @@
+// Column and schema definitions, with the byte-width accounting the cost
+// models train on (record size is a first-class training dimension).
+
+#ifndef INTELLISPHERE_RELATIONAL_SCHEMA_H_
+#define INTELLISPHERE_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// Supported column types.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kChar,  ///< fixed-width character data (the Fig-10 "dummy" pad column)
+};
+
+const char* DataTypeName(DataType t);
+
+/// A named, typed column with a fixed byte width.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Storage bytes per value: 8 for kInt64/kDouble, the declared width for
+  /// kChar.
+  int64_t byte_width = 8;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<Column>& columns() const { return columns_; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name; NotFound when absent.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  /// Sum of column byte widths: the record size the paper's models use.
+  int64_t RowBytes() const;
+
+  /// Sum of byte widths of the named columns (the "projected size"
+  /// dimensions of the join model, Figure 2); NotFound on a bad name.
+  Result<int64_t> ProjectedBytes(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_SCHEMA_H_

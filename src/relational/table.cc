@@ -1,0 +1,13 @@
+#include "relational/table.h"
+
+namespace intellisphere::rel {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace intellisphere::rel

@@ -1,0 +1,41 @@
+// An in-memory table: schema + rows. Used by the local (Teradata-side)
+// executor and by small-scale materializations of the synthetic catalog.
+
+#ifndef INTELLISPHERE_RELATIONAL_TABLE_H_
+#define INTELLISPHERE_RELATIONAL_TABLE_H_
+
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// One tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// A row-store table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; InvalidArgument if the arity does not match the schema.
+  Status Append(Row row);
+
+  /// Reserves capacity for bulk loads.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_TABLE_H_

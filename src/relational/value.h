@@ -1,0 +1,41 @@
+// Runtime value representation for the in-memory relational substrate.
+
+#ifndef INTELLISPHERE_RELATIONAL_VALUE_H_
+#define INTELLISPHERE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace intellisphere::rel {
+
+/// A SQL value: 64-bit integer, double, or character string.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Hash functor so values can key hash joins and hash aggregations.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return std::visit(
+        [](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          return std::hash<T>{}(x);
+        },
+        v);
+  }
+};
+
+/// Renders a value for debugging/CSV output.
+inline std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return std::to_string(std::get<double>(v));
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_VALUE_H_

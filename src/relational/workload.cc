@@ -1,0 +1,222 @@
+#include "relational/workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace intellisphere::rel {
+
+namespace {
+
+constexpr int64_t kKeyBytes = 4;      // a1 column width
+constexpr int64_t kIntColumnBytes = 32;  // a1..a100 + z at 4 bytes each
+constexpr int64_t kAggregateBytes = 8;   // one SUM() result
+
+bool IsDuplicationFactor(int f) {
+  for (int d : kDuplicationFactors) {
+    if (d == f) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AggQuery> MakeAggQuery(const TableDef& table, int shrink_factor,
+                              int num_aggregates) {
+  if (!IsDuplicationFactor(shrink_factor)) {
+    return Status::InvalidArgument("shrink factor " +
+                                   std::to_string(shrink_factor) +
+                                   " is not a synthetic duplication factor");
+  }
+  if (num_aggregates < 1 || num_aggregates > 5) {
+    return Status::InvalidArgument("num_aggregates must be in [1, 5]");
+  }
+  AggQuery q;
+  q.input.num_rows = table.stats.num_rows;
+  q.input.row_bytes = table.stats.row_bytes;
+  q.output_rows = table.stats.DistinctOr("a" + std::to_string(shrink_factor),
+                                         table.stats.num_rows);
+  q.output_row_bytes = kKeyBytes + kAggregateBytes * num_aggregates;
+  q.num_aggregates = num_aggregates;
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<JoinQuery> MakeJoinQuery(const TableDef& left, const TableDef& right,
+                                int64_t left_projected_bytes,
+                                int64_t right_projected_bytes,
+                                double output_selectivity) {
+  if (output_selectivity <= 0.0 || output_selectivity > 1.0) {
+    return Status::InvalidArgument("output selectivity must be in (0, 1]");
+  }
+  auto check_proj = [](int64_t proj, int64_t row_bytes) {
+    return proj >= kKeyBytes && proj <= row_bytes;
+  };
+  if (!check_proj(left_projected_bytes, left.stats.row_bytes) ||
+      !check_proj(right_projected_bytes, right.stats.row_bytes)) {
+    return Status::InvalidArgument("projected bytes outside [4, row_bytes]");
+  }
+  JoinQuery q;
+  q.left.num_rows = left.stats.num_rows;
+  q.left.row_bytes = left.stats.row_bytes;
+  q.right.num_rows = right.stats.num_rows;
+  q.right.row_bytes = right.stats.row_bytes;
+  q.left_projected_bytes = left_projected_bytes;
+  q.right_projected_bytes = right_projected_bytes;
+  // a1 is unique on both sides and the smaller table's values are contained
+  // in the larger's, so the equi-join yields min(|R|, |S|) rows before the
+  // selectivity predicate.
+  int64_t smaller = std::min(q.left.num_rows, q.right.num_rows);
+  q.output_rows = std::max<int64_t>(
+      1, static_cast<int64_t>(output_selectivity *
+                              static_cast<double>(smaller)));
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<ScanQuery> MakeScanQuery(const TableDef& table, double selectivity,
+                                int64_t projected_bytes) {
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0, 1]");
+  }
+  ScanQuery q;
+  q.input.num_rows = table.stats.num_rows;
+  q.input.row_bytes = table.stats.row_bytes;
+  q.selectivity = selectivity;
+  q.projected_bytes = projected_bytes;
+  q.output_rows = static_cast<int64_t>(
+      selectivity * static_cast<double>(table.stats.num_rows));
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<std::vector<ScanQuery>> GenerateScanWorkload(
+    const ScanWorkloadOptions& opts) {
+  std::vector<int64_t> counts =
+      opts.record_counts.empty() ? SyntheticRecordCounts() : opts.record_counts;
+  std::vector<int64_t> sizes =
+      opts.record_sizes.empty() ? SyntheticRecordSizes() : opts.record_sizes;
+  std::vector<double> sels = opts.selectivities.empty()
+                                 ? std::vector<double>{1.0, 0.5, 0.25, 0.01}
+                                 : opts.selectivities;
+  std::vector<int> levels = opts.projection_levels.empty()
+                                ? std::vector<int>{0, 1, 2}
+                                : opts.projection_levels;
+  std::vector<ScanQuery> out;
+  for (int64_t rows : counts) {
+    for (int64_t bytes : sizes) {
+      ISPHERE_ASSIGN_OR_RETURN(TableDef def, SyntheticTableDef(rows, bytes));
+      for (int level : levels) {
+        ISPHERE_ASSIGN_OR_RETURN(int64_t proj,
+                                 ProjectionBytesForLevel(level, bytes));
+        for (double sel : sels) {
+          ISPHERE_ASSIGN_OR_RETURN(ScanQuery q,
+                                   MakeScanQuery(def, sel, proj));
+          out.push_back(q);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<int64_t> ProjectionBytesForLevel(int level, int64_t row_bytes) {
+  switch (level) {
+    case 0:
+      return kKeyBytes;
+    case 1:
+      return std::min(kIntColumnBytes, row_bytes);
+    case 2:
+      return row_bytes;
+    default:
+      return Status::InvalidArgument("projection level must be 0, 1, or 2");
+  }
+}
+
+Result<std::vector<AggQuery>> GenerateAggWorkload(
+    const AggWorkloadOptions& opts) {
+  std::vector<int64_t> counts =
+      opts.record_counts.empty() ? SyntheticRecordCounts() : opts.record_counts;
+  std::vector<int64_t> sizes =
+      opts.record_sizes.empty() ? SyntheticRecordSizes() : opts.record_sizes;
+  std::vector<int> factors = opts.shrink_factors;
+  if (factors.empty()) {
+    // The identity factor 1 (grouping by the unique key) does not shrink
+    // and is excluded from the default grid; the remaining 6 factors give
+    // 120 x 6 x 5 = 3,600 queries, the paper's "approximately 3,700".
+    for (int f : kDuplicationFactors) {
+      if (f != 1) factors.push_back(f);
+    }
+  }
+  std::vector<int> aggs =
+      opts.num_aggregates.empty() ? std::vector<int>{1, 2, 3, 4, 5}
+                                  : opts.num_aggregates;
+  std::vector<AggQuery> out;
+  for (int64_t rows : counts) {
+    for (int64_t bytes : sizes) {
+      ISPHERE_ASSIGN_OR_RETURN(TableDef def, SyntheticTableDef(rows, bytes));
+      for (int f : factors) {
+        for (int a : aggs) {
+          ISPHERE_ASSIGN_OR_RETURN(AggQuery q, MakeAggQuery(def, f, a));
+          out.push_back(q);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<JoinQuery>> GenerateJoinWorkload(
+    const JoinWorkloadOptions& opts) {
+  std::vector<int64_t> left_counts = opts.left_record_counts.empty()
+                                         ? SyntheticRecordCounts()
+                                         : opts.left_record_counts;
+  std::vector<int64_t> right_counts = opts.right_record_counts.empty()
+                                          ? SyntheticRecordCounts()
+                                          : opts.right_record_counts;
+  std::vector<int64_t> sizes =
+      opts.record_sizes.empty() ? SyntheticRecordSizes() : opts.record_sizes;
+  std::vector<double> sels = opts.output_selectivities.empty()
+                                 ? std::vector<double>{1.0, 0.5, 0.25, 0.01}
+                                 : opts.output_selectivities;
+  std::vector<int> levels = opts.projection_levels.empty()
+                                ? std::vector<int>{0, 1, 2}
+                                : opts.projection_levels;
+
+  std::vector<JoinQuery> out;
+  for (int64_t lrows : left_counts) {
+    for (int64_t rrows : right_counts) {
+      if (rrows > lrows) continue;  // orient: right side is the smaller one
+      for (int64_t lbytes : sizes) {
+        for (int64_t rbytes : sizes) {
+          ISPHERE_ASSIGN_OR_RETURN(TableDef l, SyntheticTableDef(lrows, lbytes));
+          ISPHERE_ASSIGN_OR_RETURN(TableDef r, SyntheticTableDef(rrows, rbytes));
+          for (int llevel : levels) {
+            ISPHERE_ASSIGN_OR_RETURN(int64_t lproj,
+                                     ProjectionBytesForLevel(llevel, lbytes));
+            for (int rlevel : levels) {
+              ISPHERE_ASSIGN_OR_RETURN(
+                  int64_t rproj, ProjectionBytesForLevel(rlevel, rbytes));
+              for (double sel : sels) {
+                ISPHERE_ASSIGN_OR_RETURN(
+                    JoinQuery q, MakeJoinQuery(l, r, lproj, rproj, sel));
+                out.push_back(q);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (opts.max_queries > 0 && out.size() > opts.max_queries) {
+    Rng rng(opts.seed);
+    auto perm = rng.Permutation(out.size());
+    std::vector<JoinQuery> sampled;
+    sampled.reserve(opts.max_queries);
+    for (size_t i = 0; i < opts.max_queries; ++i) sampled.push_back(out[perm[i]]);
+    out = std::move(sampled);
+  }
+  return out;
+}
+
+}  // namespace intellisphere::rel

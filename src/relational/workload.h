@@ -1,0 +1,97 @@
+// Training-workload generators following the query-design rules of Figure 10:
+//
+//   Aggregation queries: aggregate table Tx_y over column a_i (shrink factor
+//   i), computing 1..5 SUM() aggregates.
+//
+//   Join queries: R join S on R.a1 = S.a1 (unique keys; the smaller table's
+//   key values are a subset of the larger's, so the raw join yields the
+//   smaller cardinality), plus the paper's zero-column trick
+//   (R.a1 + S.z < threshold) to dial output selectivity to 100%, 50%, 25%,
+//   or 1% of the smaller table's cardinality.
+
+#ifndef INTELLISPHERE_RELATIONAL_WORKLOAD_H_
+#define INTELLISPHERE_RELATIONAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::rel {
+
+/// Builds an AggQuery over a synthetic table: GROUP BY a_<shrink_factor>
+/// computing `num_aggregates` SUMs. The output row holds the 4-byte group
+/// key plus 8 bytes per aggregate.
+Result<AggQuery> MakeAggQuery(const TableDef& table, int shrink_factor,
+                              int num_aggregates);
+
+/// Builds a JoinQuery between two synthetic tables joined on a1 with the
+/// given output selectivity in (0, 1] of the smaller cardinality.
+/// `left_projected_bytes` / `right_projected_bytes` select how much of each
+/// row survives projection (must be in [4, row_bytes]).
+Result<JoinQuery> MakeJoinQuery(const TableDef& left, const TableDef& right,
+                                int64_t left_projected_bytes,
+                                int64_t right_projected_bytes,
+                                double output_selectivity);
+
+/// Parameters of the aggregation training grid. Empty vectors mean "use the
+/// full Fig-10 domain".
+struct AggWorkloadOptions {
+  std::vector<int64_t> record_counts;
+  std::vector<int64_t> record_sizes;
+  std::vector<int> shrink_factors;    ///< default: {1,2,5,10,20,50,100}
+  std::vector<int> num_aggregates;    ///< default: {1,2,3,4,5}
+};
+
+/// Enumerates the aggregation training workload (the paper's ~3,700
+/// queries come from this grid).
+Result<std::vector<AggQuery>> GenerateAggWorkload(
+    const AggWorkloadOptions& opts);
+
+/// Parameters of the join training grid.
+struct JoinWorkloadOptions {
+  std::vector<int64_t> left_record_counts;
+  std::vector<int64_t> right_record_counts;
+  std::vector<int64_t> record_sizes;          ///< both sides
+  std::vector<double> output_selectivities;   ///< default {1, .5, .25, .01}
+  /// Projection levels applied to each side: key-only (4 B), all integer
+  /// columns (32 B), and the full row. Encoded as an enum index list so
+  /// callers can restrict the grid.
+  std::vector<int> projection_levels;         ///< default {0, 1, 2}
+  /// When non-zero, uniformly subsample the grid down to this many queries
+  /// (the paper used ~4,000 of the much larger full grid).
+  size_t max_queries = 0;
+  uint64_t seed = 1;
+};
+
+/// Enumerates (optionally subsamples) the join training workload. Pairs are
+/// oriented so the right side is never larger than the left.
+Result<std::vector<JoinQuery>> GenerateJoinWorkload(
+    const JoinWorkloadOptions& opts);
+
+/// Builds a ScanQuery over a synthetic table: a predicate of the given
+/// selectivity (the zero-column trick again) plus a projection.
+Result<ScanQuery> MakeScanQuery(const TableDef& table, double selectivity,
+                                int64_t projected_bytes);
+
+/// Parameters of the selection/projection training grid.
+struct ScanWorkloadOptions {
+  std::vector<int64_t> record_counts;
+  std::vector<int64_t> record_sizes;
+  std::vector<double> selectivities;   ///< default {1, .5, .25, .01}
+  std::vector<int> projection_levels;  ///< default {0, 1, 2}
+};
+
+/// Enumerates the selection/projection training workload.
+Result<std::vector<ScanQuery>> GenerateScanWorkload(
+    const ScanWorkloadOptions& opts);
+
+/// Resolves a projection-level index (0 = key only, 1 = integer columns,
+/// 2 = full row) to bytes for a given record size.
+Result<int64_t> ProjectionBytesForLevel(int level, int64_t row_bytes);
+
+}  // namespace intellisphere::rel
+
+#endif  // INTELLISPHERE_RELATIONAL_WORKLOAD_H_

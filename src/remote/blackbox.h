@@ -1,0 +1,61 @@
+// A blackbox view over any remote system: the wrapper forwards the SQL-like
+// interface but rejects calibration probes and exposes no engine internals.
+// This is how IntelliSphere models systems it knows nothing about — the
+// logical-operator costing approach is the only one applicable to them.
+
+#ifndef INTELLISPHERE_REMOTE_BLACKBOX_H_
+#define INTELLISPHERE_REMOTE_BLACKBOX_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "remote/remote_system.h"
+
+namespace intellisphere::remote {
+
+/// Wraps a remote system, hiding everything except query submission.
+class BlackboxSystem : public RemoteSystem {
+ public:
+  /// Takes ownership of the wrapped engine. The blackbox keeps the wrapped
+  /// system's name (it is the same endpoint, just less knowledge about it).
+  explicit BlackboxSystem(std::unique_ptr<RemoteSystem> inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override {
+    return Strip(inner_->ExecuteJoin(query));
+  }
+  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override {
+    return Strip(inner_->ExecuteAgg(query));
+  }
+  Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override {
+    return Strip(inner_->ExecuteScan(query));
+  }
+
+  // ExecuteProbe keeps the base-class Unsupported behaviour: a blackbox
+  // accepts no instrumentation queries.
+
+  double total_simulated_seconds() const override {
+    return inner_->total_simulated_seconds();
+  }
+  int64_t queries_executed() const override {
+    return inner_->queries_executed();
+  }
+
+ private:
+  /// A blackbox does not reveal which physical algorithm ran.
+  static Result<QueryResult> Strip(Result<QueryResult> r) {
+    if (!r.ok()) return r;
+    QueryResult out = std::move(r).value();
+    out.physical_algorithm.clear();
+    return out;
+  }
+
+  std::unique_ptr<RemoteSystem> inner_;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_BLACKBOX_H_

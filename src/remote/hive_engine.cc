@@ -1,0 +1,382 @@
+#include "remote/hive_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::remote {
+
+namespace {
+
+using rel::AggQuery;
+using rel::JoinQuery;
+using rel::RelationStats;
+
+// Bytes of one shuffled/merged join record: the projected payload (never
+// less than the 4-byte key that must travel with it).
+int64_t JoinShuffleBytes(int64_t projected_bytes) {
+  return std::max<int64_t>(4, projected_bytes);
+}
+
+}  // namespace
+
+const char* HiveJoinAlgorithmName(HiveJoinAlgorithm algo) {
+  switch (algo) {
+    case HiveJoinAlgorithm::kShuffleJoin:
+      return "shuffle_join";
+    case HiveJoinAlgorithm::kBroadcastJoin:
+      return "broadcast_join";
+    case HiveJoinAlgorithm::kBucketMapJoin:
+      return "bucket_map_join";
+    case HiveJoinAlgorithm::kSortMergeBucketJoin:
+      return "sort_merge_bucket_join";
+    case HiveJoinAlgorithm::kSkewJoin:
+      return "skew_join";
+  }
+  return "unknown";
+}
+
+const char* HiveAggAlgorithmName(HiveAggAlgorithm algo) {
+  switch (algo) {
+    case HiveAggAlgorithm::kHashAggregation:
+      return "hash_aggregation";
+    case HiveAggAlgorithm::kSortAggregation:
+      return "sort_aggregation";
+  }
+  return "unknown";
+}
+
+HiveEngine::HiveEngine(std::string name,
+                       const sim::ClusterConfig& cluster_config,
+                       const sim::GroundTruthParams& ground_truth,
+                       const HiveEngineOptions& options, uint64_t seed)
+    : SimulatedEngineBase(std::move(name), cluster_config, ground_truth, seed),
+      options_(options) {}
+
+std::unique_ptr<HiveEngine> HiveEngine::CreateDefault(std::string name,
+                                                      uint64_t seed) {
+  return std::make_unique<HiveEngine>(std::move(name), sim::ClusterConfig{},
+                                      sim::GroundTruthParams{},
+                                      HiveEngineOptions{}, seed);
+}
+
+int HiveEngine::NumReducers() const {
+  return options_.num_reducers > 0 ? options_.num_reducers
+                                   : cluster().config().TotalSlots();
+}
+
+Result<HiveJoinAlgorithm> HiveEngine::PlanJoin(const JoinQuery& q) const {
+  if (!q.is_equi_join) {
+    return Status::Unsupported("hive engine does not execute non-equi joins");
+  }
+  double s_bytes = static_cast<double>(q.right.num_rows) *
+                   static_cast<double>(q.right.row_bytes);
+  if (s_bytes <= options_.broadcast_threshold_factor *
+                     cluster().config().TaskMemoryBytes()) {
+    return HiveJoinAlgorithm::kBroadcastJoin;
+  }
+  if (q.left_bucketed_on_key && q.right_bucketed_on_key) {
+    return HiveJoinAlgorithm::kSortMergeBucketJoin;
+  }
+  if (q.right_bucketed_on_key) return HiveJoinAlgorithm::kBucketMapJoin;
+  if (q.hot_key_fraction >= options_.skew_threshold) {
+    return HiveJoinAlgorithm::kSkewJoin;
+  }
+  return HiveJoinAlgorithm::kShuffleJoin;
+}
+
+Result<HiveAggAlgorithm> HiveEngine::PlanAgg(const AggQuery& q) const {
+  double group_table_bytes = static_cast<double>(q.output_rows) *
+                             static_cast<double>(q.output_row_bytes);
+  return cluster().HashTableFits(group_table_bytes)
+             ? HiveAggAlgorithm::kHashAggregation
+             : HiveAggAlgorithm::kSortAggregation;
+}
+
+Result<QueryResult> HiveEngine::ExecuteJoin(const JoinQuery& query) {
+  ISPHERE_ASSIGN_OR_RETURN(HiveJoinAlgorithm algo, PlanJoin(query));
+  return ExecuteJoinWithAlgorithm(query, algo);
+}
+
+Result<QueryResult> HiveEngine::ExecuteJoinWithAlgorithm(
+    const JoinQuery& query, HiveJoinAlgorithm algo) {
+  ISPHERE_RETURN_NOT_OK(query.Validate());
+  if (!query.is_equi_join) {
+    return Status::Unsupported("hive engine does not execute non-equi joins");
+  }
+  Result<double> elapsed = Status::Internal("unreached");
+  switch (algo) {
+    case HiveJoinAlgorithm::kShuffleJoin:
+      elapsed = RunShuffleJoin(query);
+      break;
+    case HiveJoinAlgorithm::kBroadcastJoin:
+      elapsed = RunBroadcastJoin(query);
+      break;
+    case HiveJoinAlgorithm::kBucketMapJoin:
+      if (!query.right_bucketed_on_key) {
+        return Status::Unsupported(
+            "bucket map join requires the right side bucketed on the key");
+      }
+      elapsed = RunBucketMapJoin(query);
+      break;
+    case HiveJoinAlgorithm::kSortMergeBucketJoin:
+      if (!query.right_bucketed_on_key || !query.left_bucketed_on_key) {
+        return Status::Unsupported(
+            "sort-merge-bucket join requires both sides bucketed on the key");
+      }
+      elapsed = RunSortMergeBucketJoin(query);
+      break;
+    case HiveJoinAlgorithm::kSkewJoin:
+      elapsed = RunSkewJoin(query);
+      break;
+  }
+  if (!elapsed.ok()) return elapsed.status();
+  CountQuery();
+  return QueryResult{elapsed.value(), HiveJoinAlgorithmName(algo)};
+}
+
+Result<QueryResult> HiveEngine::ExecuteAgg(const AggQuery& query) {
+  ISPHERE_ASSIGN_OR_RETURN(HiveAggAlgorithm algo, PlanAgg(query));
+  return ExecuteAggWithAlgorithm(query, algo);
+}
+
+Result<QueryResult> HiveEngine::ExecuteAggWithAlgorithm(
+    const AggQuery& query, HiveAggAlgorithm algo) {
+  ISPHERE_RETURN_NOT_OK(query.Validate());
+  Result<double> elapsed = algo == HiveAggAlgorithm::kHashAggregation
+                               ? RunHashAgg(query)
+                               : RunSortAgg(query);
+  if (!elapsed.ok()) return elapsed.status();
+  CountQuery();
+  return QueryResult{elapsed.value(), HiveAggAlgorithmName(algo)};
+}
+
+Result<double> HiveEngine::RunBroadcastJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  double s_raw_bytes = static_cast<double>(q.right.num_rows) *
+                       static_cast<double>(q.right.row_bytes);
+  bool fits = cluster().HashTableFits(s_raw_bytes);
+  double s_rows = static_cast<double>(q.right.num_rows);
+
+  // Driver side: read S from the DFS and broadcast it to every worker.
+  double serial =
+      s_rows * gt.ReadDfsSec(q.right.row_bytes) +
+      s_rows * gt.BroadcastSec(q.right.row_bytes,
+                               cluster().config().num_worker_nodes);
+
+  // One map task per block of R (Figure 6's loop body): read the local copy
+  // of S, build its hash table, stream the task's R block through it.
+  int64_t r_bytes_total = q.left.num_rows * q.left.row_bytes;
+  int64_t num_tasks = cluster().MapTasksFor(r_bytes_total);
+  std::vector<int64_t> task_rows = SplitRows(q.left.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(q.output_rows, num_tasks);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  double build = s_rows * (gt.ReadLocalSec(q.right.row_bytes) +
+                           gt.HashBuildSec(q.right.row_bytes, fits));
+  sim::JobSpec map_stage;
+  map_stage.serial_seconds = serial;
+  map_stage.task_seconds.reserve(task_rows.size());
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double rows = static_cast<double>(task_rows[i]);
+    map_stage.task_seconds.push_back(
+        build + rows * BlockReadSec(q.left.row_bytes) +
+        rows * gt.HashProbeSec(q.left.row_bytes) +
+        static_cast<double>(task_out[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage});
+}
+
+Result<double> HiveEngine::RunShuffleJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t l_shuffle_bytes = JoinShuffleBytes(q.left_projected_bytes);
+  int64_t r_shuffle_bytes = JoinShuffleBytes(q.right_projected_bytes);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  // Map stage: scan both relations, project, spill locally, shuffle.
+  sim::JobSpec map_stage;
+  auto add_map_tasks = [&](const RelationStats& r, int64_t shuffle_bytes) {
+    int64_t num_tasks = cluster().MapTasksFor(r.num_rows * r.row_bytes);
+    for (int64_t rows : SplitRows(r.num_rows, num_tasks)) {
+      double rr = static_cast<double>(rows);
+      map_stage.task_seconds.push_back(
+          rr * (BlockReadSec(r.row_bytes) + gt.WriteLocalSec(shuffle_bytes) +
+                gt.ShuffleSec(shuffle_bytes)));
+    }
+  };
+  add_map_tasks(q.left, l_shuffle_bytes);
+  add_map_tasks(q.right, r_shuffle_bytes);
+
+  // Reduce stage: sort each side's partition, merge-join, write output.
+  int reducers = NumReducers();
+  std::vector<int64_t> l_rows = SplitRows(q.left.num_rows, reducers);
+  std::vector<int64_t> r_rows = SplitRows(q.right.num_rows, reducers);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, reducers);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(reducers); ++i) {
+    double lr = static_cast<double>(l_rows[i]);
+    double rr = static_cast<double>(r_rows[i]);
+    double orows = static_cast<double>(out_rows[i]);
+    reduce_stage.task_seconds.push_back(
+        lr * gt.SortSec(l_shuffle_bytes, l_rows[i]) +
+        rr * gt.SortSec(r_shuffle_bytes, r_rows[i]) +
+        orows * gt.MergeSec(out_bytes) + orows * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+Result<double> HiveEngine::RunBucketMapJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t s_total_bytes = q.right.num_rows * q.right.row_bytes;
+  int64_t num_buckets =
+      std::max<int64_t>(1, cluster().MapTasksFor(s_total_bytes));
+  int64_t bucket_rows = std::max<int64_t>(1, q.right.num_rows / num_buckets);
+  double bucket_bytes = static_cast<double>(bucket_rows) *
+                        static_cast<double>(q.right.row_bytes);
+  bool fits = cluster().HashTableFits(bucket_bytes);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  int64_t num_tasks =
+      cluster().MapTasksFor(q.left.num_rows * q.left.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(q.left.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(q.output_rows, num_tasks);
+  sim::JobSpec stage;
+  double per_bucket = static_cast<double>(bucket_rows) *
+                      (gt.ReadDfsSec(q.right.row_bytes) +
+                       gt.HashBuildSec(q.right.row_bytes, fits));
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double rows = static_cast<double>(task_rows[i]);
+    stage.task_seconds.push_back(
+        per_bucket + rows * BlockReadSec(q.left.row_bytes) +
+        rows * gt.HashProbeSec(q.left.row_bytes) +
+        static_cast<double>(task_out[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({stage});
+}
+
+Result<double> HiveEngine::RunSortMergeBucketJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t s_total_bytes = q.right.num_rows * q.right.row_bytes;
+  int64_t num_buckets =
+      std::max<int64_t>(1, cluster().MapTasksFor(s_total_bytes));
+  int64_t bucket_rows = std::max<int64_t>(1, q.right.num_rows / num_buckets);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  int64_t num_tasks =
+      cluster().MapTasksFor(q.left.num_rows * q.left.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(q.left.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(q.output_rows, num_tasks);
+  sim::JobSpec stage;
+  // Both sides are already sorted within buckets: a pure merge pass.
+  double per_bucket = static_cast<double>(bucket_rows) *
+                      (gt.ReadDfsSec(q.right.row_bytes) +
+                       gt.ScanSec(q.right.row_bytes));
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double rows = static_cast<double>(task_rows[i]);
+    double orows = static_cast<double>(task_out[i]);
+    stage.task_seconds.push_back(
+        per_bucket + rows * BlockReadSec(q.left.row_bytes) +
+        rows * gt.ScanSec(q.left.row_bytes) + orows * gt.MergeSec(out_bytes) +
+        orows * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({stage});
+}
+
+Result<double> HiveEngine::RunSkewJoin(const JoinQuery& q) {
+  // Hive's skew join: the non-skewed keys flow through a shuffle join; the
+  // hot keys are handled by a follow-up map join.
+  double h = std::clamp(q.hot_key_fraction, 0.0, 0.95);
+  auto scaled = [&](double f, const JoinQuery& base) {
+    JoinQuery s = base;
+    s.left.num_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(f * static_cast<double>(base.left.num_rows)));
+    s.right.num_rows = std::max<int64_t>(
+        1,
+        static_cast<int64_t>(f * static_cast<double>(base.right.num_rows)));
+    s.output_rows = std::max<int64_t>(
+        1, static_cast<int64_t>(f * static_cast<double>(base.output_rows)));
+    s.hot_key_fraction = 0.0;
+    return s;
+  };
+  ISPHERE_ASSIGN_OR_RETURN(double cold, RunShuffleJoin(scaled(1.0 - h, q)));
+  ISPHERE_ASSIGN_OR_RETURN(double hot, RunBroadcastJoin(scaled(h, q)));
+  return cold + hot;
+}
+
+Result<double> HiveEngine::RunHashAgg(const AggQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t in_bytes_total = q.input.num_rows * q.input.row_bytes;
+  int64_t num_tasks = cluster().MapTasksFor(in_bytes_total);
+  std::vector<int64_t> task_rows = SplitRows(q.input.num_rows, num_tasks);
+
+  // Per-record aggregate maintenance: one group-table probe plus one update
+  // per aggregate function.
+  double update = gt.HashProbeSec(q.output_row_bytes) +
+                  static_cast<double>(q.num_aggregates) * gt.ScanSec(8);
+
+  sim::JobSpec map_stage;
+  for (int64_t rows : task_rows) {
+    double r = static_cast<double>(rows);
+    // A mapper emits at most one partial row per group it saw.
+    double partial =
+        static_cast<double>(std::min<int64_t>(rows, q.output_rows));
+    map_stage.task_seconds.push_back(
+        r * (BlockReadSec(q.input.row_bytes) + update) +
+        partial * gt.ShuffleSec(q.output_row_bytes));
+  }
+
+  int reducers = NumReducers();
+  int64_t total_partials = std::min<int64_t>(
+      q.input.num_rows, q.output_rows * static_cast<int64_t>(num_tasks));
+  std::vector<int64_t> red_rows = SplitRows(total_partials, reducers);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, reducers);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(reducers); ++i) {
+    double partials = static_cast<double>(red_rows[i]);
+    double orows = static_cast<double>(out_rows[i]);
+    // Combining two partial aggregates is a group-table probe plus one
+    // update per aggregate — far cheaper than a full record merge.
+    reduce_stage.task_seconds.push_back(
+        partials * (gt.HashProbeSec(q.output_row_bytes) +
+                    static_cast<double>(q.num_aggregates) * gt.ScanSec(8)) +
+        orows * gt.WriteDfsSec(q.output_row_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+Result<double> HiveEngine::RunSortAgg(const AggQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t in_bytes_total = q.input.num_rows * q.input.row_bytes;
+  int64_t num_tasks = cluster().MapTasksFor(in_bytes_total);
+  std::vector<int64_t> task_rows = SplitRows(q.input.num_rows, num_tasks);
+
+  // Sort-based aggregation shuffles every input record (projected to the
+  // group key + aggregate inputs) after a local sort.
+  sim::JobSpec map_stage;
+  for (int64_t rows : task_rows) {
+    double r = static_cast<double>(rows);
+    map_stage.task_seconds.push_back(
+        r * (BlockReadSec(q.input.row_bytes) +
+             gt.SortSec(q.output_row_bytes, rows) +
+             gt.ShuffleSec(q.output_row_bytes)));
+  }
+
+  int reducers = NumReducers();
+  std::vector<int64_t> red_rows = SplitRows(q.input.num_rows, reducers);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, reducers);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(reducers); ++i) {
+    int64_t rows_i = red_rows[i];
+    double r = static_cast<double>(rows_i);
+    double orows = static_cast<double>(out_rows[i]);
+    reduce_stage.task_seconds.push_back(
+        r * gt.SortSec(q.output_row_bytes, rows_i) +
+        r * static_cast<double>(q.num_aggregates) * gt.ScanSec(8) +
+        orows * gt.WriteDfsSec(q.output_row_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+}  // namespace intellisphere::remote

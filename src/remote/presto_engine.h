@@ -1,0 +1,77 @@
+// A Presto-like remote engine: an MPP SQL engine with long-lived workers,
+// pipelined in-memory execution, and *no spilling* — queries whose hash
+// tables exceed the per-worker memory budget fail, as Presto's memory
+// limits kill them. This gives the federation a system with a genuine
+// capability gap (Section 2: "a remote system may not have the capability
+// to perform a join operation" — here, not an oversized one), which the
+// placement optimizer must route around.
+
+#ifndef INTELLISPHERE_REMOTE_PRESTO_ENGINE_H_
+#define INTELLISPHERE_REMOTE_PRESTO_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "remote/sim_engine_base.h"
+
+namespace intellisphere::remote {
+
+/// Presto's join distribution strategies.
+enum class PrestoJoinAlgorithm {
+  kBroadcastHashJoin,    ///< build side replicated to every worker
+  kPartitionedHashJoin,  ///< both sides repartitioned on the key
+};
+
+const char* PrestoJoinAlgorithmName(PrestoJoinAlgorithm algo);
+
+/// Engine knobs.
+struct PrestoEngineOptions {
+  /// Largest build side (raw bytes, multiple of task memory) the planner
+  /// broadcasts (join_distribution_type = AUTOMATIC).
+  double broadcast_threshold_factor = 0.02;
+  /// Fraction of a worker's task memory one query's hash state may use
+  /// before the memory limit kills it (query.max-memory-per-node is far
+  /// below the machine's RAM in production).
+  double query_memory_limit_factor = 0.2;
+};
+
+/// Ground-truth constants of the Presto-like engine: the leanest compute
+/// path of the three engines (pipelined, vectorized), same storage costs.
+sim::GroundTruthParams PrestoGroundTruthDefaults();
+
+/// Long-lived workers: negligible task startup, small per-query overhead.
+sim::ClusterConfig PrestoClusterDefaults();
+
+/// The Presto-like engine.
+class PrestoEngine : public SimulatedEngineBase {
+ public:
+  PrestoEngine(std::string name, const sim::ClusterConfig& cluster_config,
+               const sim::GroundTruthParams& ground_truth,
+               const PrestoEngineOptions& options, uint64_t seed);
+
+  static std::unique_ptr<PrestoEngine> CreateDefault(std::string name,
+                                                     uint64_t seed);
+
+  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
+  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
+
+  /// The strategy the planner would pick; Unsupported when the query
+  /// cannot run within the engine's memory limits at all.
+  Result<PrestoJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
+
+  const PrestoEngineOptions& options() const { return options_; }
+
+ private:
+  Result<double> RunBroadcastHashJoin(const rel::JoinQuery& q);
+  Result<double> RunPartitionedHashJoin(const rel::JoinQuery& q);
+
+  /// Memory check for the partitioned strategy: the build side split
+  /// across all workers must fit their memory.
+  bool PartitionedBuildFits(const rel::JoinQuery& q) const;
+
+  PrestoEngineOptions options_;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_PRESTO_ENGINE_H_

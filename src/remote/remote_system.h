@@ -1,0 +1,118 @@
+// The remote-system abstraction of the IntelliSphere architecture
+// (Section 2): every underlying data source exposes a SQL-like interface
+// that accepts an operator (join, aggregation, ...) and returns results; the
+// costing module observes only the elapsed execution time.
+//
+// The interface also carries the primitive "probe" queries of Figure 5 that
+// the sub-operator calibration submits ("we avoided instrumenting ... we
+// submitted primitive queries that execute specific type of operations").
+// Blackbox systems reject probes.
+
+#ifndef INTELLISPHERE_REMOTE_REMOTE_SYSTEM_H_
+#define INTELLISPHERE_REMOTE_REMOTE_SYSTEM_H_
+
+#include <string>
+
+#include "relational/query.h"
+#include "util/status.h"
+
+namespace intellisphere::remote {
+
+/// Outcome of executing an operator on a remote system.
+struct QueryResult {
+  /// Simulated wall-clock elapsed time inside the remote system — the
+  /// paper's costing metric.
+  double elapsed_seconds = 0.0;
+  /// The physical algorithm the remote planner chose (diagnostic; the
+  /// costing module must not rely on it at estimation time).
+  std::string physical_algorithm;
+};
+
+/// Primitive probe queries used for sub-op calibration (Figure 5 footnotes).
+enum class ProbeKind {
+  /// An empty job touching the same number of blocks but doing no
+  /// per-record work; measures fixed job/task overheads so the calibration
+  /// can subtract them.
+  kNoOp,
+  /// Query that reads from the DFS and produces no output -> measures rD.
+  kReadOnly,
+  /// Reads from DFS and writes back to DFS -> wD after subtracting rD.
+  kReadWriteDfs,
+  /// Reads from DFS and writes to local files -> wL after subtracting rD.
+  kReadWriteLocal,
+  /// Reads from DFS, writes locally, and reads the local copy back ->
+  /// rL after subtracting the read+write-local probe.
+  kReadWriteReadLocal,
+  /// Reads from DFS and broadcasts to all nodes -> b after subtracting rD.
+  kReadBroadcast,
+  /// Reads from DFS and builds per-block hash tables -> hI after
+  /// subtracting rD.
+  kReadHashBuild,
+  /// Reads from DFS and re-distributes every record -> f after
+  /// subtracting rD.
+  kReadShuffle,
+  /// Reads from DFS and sorts each block in memory -> o after subtracting
+  /// rD (per-record cost normalized by the comparison depth).
+  kReadSort,
+  /// Reads from DFS and scans an in-memory copy -> c after subtracting rD.
+  kReadScan,
+  /// Reads two co-located sorted inputs and merges them -> m after
+  /// subtracting the reads.
+  kReadMerge,
+  /// Reads from DFS, builds a hash table, and probes it with the same data
+  /// -> hP after subtracting rD and hI.
+  kReadHashProbe,
+};
+
+const char* ProbeKindName(ProbeKind kind);
+
+/// Abstract remote system.
+class RemoteSystem {
+ public:
+  virtual ~RemoteSystem() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Executes a join; Unsupported when the system cannot join (the paper
+  /// allows remote systems lacking operations).
+  virtual Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) = 0;
+
+  /// Executes a group-by aggregation.
+  virtual Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) = 0;
+
+  /// Executes a selection + projection.
+  virtual Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) = 0;
+
+  /// Executes a type-erased operator.
+  Result<QueryResult> Execute(const rel::SqlOperator& op) {
+    ISPHERE_RETURN_NOT_OK(op.Validate());
+    switch (op.type) {
+      case rel::OperatorType::kJoin:
+        return ExecuteJoin(op.join);
+      case rel::OperatorType::kAggregation:
+        return ExecuteAgg(op.agg);
+      case rel::OperatorType::kScan:
+        return ExecuteScan(op.scan);
+    }
+    return Status::Internal("unknown operator type");
+  }
+
+  /// Executes a calibration probe over an input with the given statistics.
+  /// Default: Unsupported (blackbox systems).
+  virtual Result<QueryResult> ExecuteProbe(ProbeKind kind,
+                                           const rel::RelationStats& input) {
+    (void)kind;
+    (void)input;
+    return Status::Unsupported("system '" + name() +
+                               "' does not accept probe queries");
+  }
+
+  /// Cumulative simulated busy time; training drivers report it as the
+  /// paper's "total training time".
+  virtual double total_simulated_seconds() const = 0;
+  virtual int64_t queries_executed() const = 0;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_REMOTE_SYSTEM_H_

@@ -1,0 +1,167 @@
+#include "remote/sim_engine_base.h"
+
+#include <algorithm>
+
+namespace intellisphere::remote {
+
+const char* ProbeKindName(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::kNoOp:
+      return "noop";
+    case ProbeKind::kReadOnly:
+      return "read_only";
+    case ProbeKind::kReadWriteDfs:
+      return "read_write_dfs";
+    case ProbeKind::kReadWriteLocal:
+      return "read_write_local";
+    case ProbeKind::kReadWriteReadLocal:
+      return "read_write_read_local";
+    case ProbeKind::kReadBroadcast:
+      return "read_broadcast";
+    case ProbeKind::kReadHashBuild:
+      return "read_hash_build";
+    case ProbeKind::kReadShuffle:
+      return "read_shuffle";
+    case ProbeKind::kReadSort:
+      return "read_sort";
+    case ProbeKind::kReadScan:
+      return "read_scan";
+    case ProbeKind::kReadMerge:
+      return "read_merge";
+    case ProbeKind::kReadHashProbe:
+      return "read_hash_probe";
+  }
+  return "unknown";
+}
+
+SimulatedEngineBase::SimulatedEngineBase(
+    std::string name, const sim::ClusterConfig& cluster_config,
+    const sim::GroundTruthParams& ground_truth, uint64_t seed)
+    : name_(std::move(name)), cluster_(cluster_config, ground_truth, seed) {}
+
+double SimulatedEngineBase::BlockReadSec(int64_t rec_bytes) const {
+  const auto& gt = cluster_.ground_truth();
+  double loc = cluster_.config().data_locality_fraction;
+  // Non-local map tasks pull the block over the network (shuffle-priced).
+  return loc * gt.ReadLocalSec(rec_bytes) +
+         (1.0 - loc) * (gt.ReadLocalSec(rec_bytes) + gt.ShuffleSec(rec_bytes));
+}
+
+int64_t SimulatedEngineBase::RowsPerBlock(const rel::RelationStats& r) const {
+  int64_t per_block = cluster_.config().dfs_block_bytes /
+                      std::max<int64_t>(1, r.row_bytes);
+  per_block = std::max<int64_t>(1, per_block);
+  return std::min(per_block, r.num_rows);
+}
+
+std::vector<int64_t> SimulatedEngineBase::SplitRows(int64_t total_rows,
+                                                    int64_t num_tasks) const {
+  num_tasks = std::max<int64_t>(1, num_tasks);
+  std::vector<int64_t> rows(static_cast<size_t>(num_tasks), 0);
+  int64_t base = total_rows / num_tasks;
+  int64_t extra = total_rows % num_tasks;
+  for (int64_t i = 0; i < num_tasks; ++i) {
+    rows[static_cast<size_t>(i)] = base + (i < extra ? 1 : 0);
+  }
+  return rows;
+}
+
+Result<QueryResult> SimulatedEngineBase::ExecuteScan(
+    const rel::ScanQuery& query) {
+  ISPHERE_RETURN_NOT_OK(query.Validate());
+  const auto& gt = cluster_.ground_truth();
+  int64_t num_tasks =
+      cluster_.MapTasksFor(query.input.num_rows * query.input.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(query.input.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(query.output_rows, num_tasks);
+  sim::JobSpec stage;
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double rows = static_cast<double>(task_rows[i]);
+    stage.task_seconds.push_back(
+        rows * (BlockReadSec(query.input.row_bytes) +
+                gt.ScanSec(query.input.row_bytes)) +
+        static_cast<double>(task_out[i]) *
+            gt.WriteDfsSec(query.projected_bytes));
+  }
+  ISPHERE_ASSIGN_OR_RETURN(double elapsed, cluster_.RunStages({stage}));
+  CountQuery();
+  return QueryResult{elapsed, "map_only_scan"};
+}
+
+Result<QueryResult> SimulatedEngineBase::ExecuteProbe(
+    ProbeKind kind, const rel::RelationStats& input) {
+  if (input.num_rows <= 0 || input.row_bytes <= 0) {
+    return Status::InvalidArgument("probe input must be non-empty");
+  }
+  const auto& gt = cluster_.ground_truth();
+  int64_t total_bytes = input.num_rows * input.row_bytes;
+  int64_t num_tasks = cluster_.MapTasksFor(total_bytes);
+  std::vector<int64_t> task_rows = SplitRows(input.num_rows, num_tasks);
+  int64_t b = input.row_bytes;
+
+  sim::JobSpec stage;
+  double per_record = 0.0;
+  switch (kind) {
+    case ProbeKind::kNoOp:
+      per_record = 0.0;
+      break;
+    case ProbeKind::kReadOnly:
+      per_record = gt.ReadDfsSec(b);
+      break;
+    case ProbeKind::kReadWriteDfs:
+      per_record = gt.ReadDfsSec(b) + gt.WriteDfsSec(b);
+      break;
+    case ProbeKind::kReadWriteLocal:
+      per_record = gt.ReadDfsSec(b) + gt.WriteLocalSec(b);
+      break;
+    case ProbeKind::kReadWriteReadLocal:
+      per_record =
+          gt.ReadDfsSec(b) + gt.WriteLocalSec(b) + gt.ReadLocalSec(b);
+      break;
+    case ProbeKind::kReadBroadcast:
+      per_record = gt.ReadDfsSec(b);
+      // The broadcast of the whole file happens once, on the driver.
+      stage.serial_seconds =
+          static_cast<double>(input.num_rows) *
+          gt.BroadcastSec(b, cluster_.config().num_worker_nodes);
+      break;
+    case ProbeKind::kReadHashBuild: {
+      // Builds a hash table over the whole input in each task, as a map
+      // join build side would — this exposes both Fig 13(f) regimes.
+      bool fits = cluster_.HashTableFits(static_cast<double>(total_bytes));
+      per_record = gt.ReadDfsSec(b) + gt.HashBuildSec(b, fits);
+      break;
+    }
+    case ProbeKind::kReadShuffle:
+      per_record = gt.ReadDfsSec(b) + gt.ShuffleSec(b);
+      break;
+    case ProbeKind::kReadSort:
+      // Per-task block sort is added below (depends on the task's rows).
+      per_record = gt.ReadDfsSec(b);
+      break;
+    case ProbeKind::kReadScan:
+      per_record = gt.ReadDfsSec(b) + gt.ScanSec(b);
+      break;
+    case ProbeKind::kReadMerge:
+      per_record = gt.ReadDfsSec(b) + gt.MergeSec(b);
+      break;
+    case ProbeKind::kReadHashProbe: {
+      bool fits = cluster_.HashTableFits(static_cast<double>(total_bytes));
+      per_record =
+          gt.ReadDfsSec(b) + gt.HashBuildSec(b, fits) + gt.HashProbeSec(b);
+      break;
+    }
+  }
+  for (int64_t rows : task_rows) {
+    double t = static_cast<double>(rows) * per_record;
+    if (kind == ProbeKind::kReadSort) {
+      t += static_cast<double>(rows) * gt.SortSec(b, rows);
+    }
+    stage.task_seconds.push_back(t);
+  }
+  ISPHERE_ASSIGN_OR_RETURN(double elapsed, cluster_.RunStages({stage}));
+  CountQuery();
+  return QueryResult{elapsed, ProbeKindName(kind)};
+}
+
+}  // namespace intellisphere::remote

@@ -1,0 +1,64 @@
+// Shared machinery for simulator-backed remote engines: cluster ownership,
+// map-task derivation from DFS blocks, data-locality read costs, and the
+// Figure-5 calibration probes (identical across engines up to the engine's
+// ground-truth constants).
+
+#ifndef INTELLISPHERE_REMOTE_SIM_ENGINE_BASE_H_
+#define INTELLISPHERE_REMOTE_SIM_ENGINE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "remote/remote_system.h"
+#include "simcluster/cluster.h"
+
+namespace intellisphere::remote {
+
+/// Base class for engines executing on a simulated cluster.
+class SimulatedEngineBase : public RemoteSystem {
+ public:
+  SimulatedEngineBase(std::string name,
+                      const sim::ClusterConfig& cluster_config,
+                      const sim::GroundTruthParams& ground_truth,
+                      uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+
+  Result<QueryResult> ExecuteProbe(ProbeKind kind,
+                                   const rel::RelationStats& input) override;
+
+  /// Selection + projection runs as a map-only job in every simulated
+  /// engine: read each block, evaluate the predicate per record, write the
+  /// surviving projected records back to the DFS.
+  Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override;
+
+  double total_simulated_seconds() const override {
+    return cluster_.total_simulated_seconds();
+  }
+  int64_t queries_executed() const override { return queries_executed_; }
+
+  const sim::Cluster& cluster() const { return cluster_; }
+
+ protected:
+  /// Effective per-record read cost of a map task's own block, mixing local
+  /// reads with the non-local fraction that pays a network transfer.
+  double BlockReadSec(int64_t rec_bytes) const;
+
+  /// Rows held by one DFS block of the given relation.
+  int64_t RowsPerBlock(const rel::RelationStats& r) const;
+
+  /// Splits `total_rows` across `num_tasks` tasks as evenly as possible.
+  std::vector<int64_t> SplitRows(int64_t total_rows, int64_t num_tasks) const;
+
+  sim::Cluster& cluster_mutable() { return cluster_; }
+  void CountQuery() { ++queries_executed_; }
+
+ private:
+  std::string name_;
+  sim::Cluster cluster_;
+  int64_t queries_executed_ = 0;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_SIM_ENGINE_BASE_H_

@@ -1,0 +1,344 @@
+#include "remote/spark_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::remote {
+
+namespace {
+
+using rel::AggQuery;
+using rel::JoinQuery;
+using rel::RelationStats;
+
+int64_t JoinShuffleBytes(int64_t projected_bytes) {
+  return std::max<int64_t>(4, projected_bytes);
+}
+
+// Per-pair evaluation cost of the nested-loop strategies relative to a
+// plain scan of the concatenated record.
+constexpr double kNestedLoopPairFactor = 0.25;
+
+}  // namespace
+
+const char* SparkJoinAlgorithmName(SparkJoinAlgorithm algo) {
+  switch (algo) {
+    case SparkJoinAlgorithm::kBroadcastHashJoin:
+      return "broadcast_hash_join";
+    case SparkJoinAlgorithm::kShuffleHashJoin:
+      return "shuffle_hash_join";
+    case SparkJoinAlgorithm::kSortMergeJoin:
+      return "sort_merge_join";
+    case SparkJoinAlgorithm::kBroadcastNestedLoopJoin:
+      return "broadcast_nested_loop_join";
+    case SparkJoinAlgorithm::kCartesianProductJoin:
+      return "cartesian_product_join";
+  }
+  return "unknown";
+}
+
+sim::GroundTruthParams SparkGroundTruthDefaults() {
+  sim::GroundTruthParams p;
+  // Storage costs match the shared DFS; compute-path costs are leaner than
+  // the MapReduce pipeline's.
+  p.shuffle = {2.9, 0.0085};
+  p.merge = {21.5, 0.0210};
+  p.hash_build_fit = {11.3, 0.0165};
+  p.hash_build_spill = {-30.0, 0.1150};
+  p.hash_probe = {0.55, 0.0006};
+  p.sort_per_cmp = {0.038, 0.00026};
+  p.broadcast_per_node = {1.1, 0.0095};
+  p.nonlinearity = 0.05;
+  return p;
+}
+
+sim::ClusterConfig SparkClusterDefaults() {
+  sim::ClusterConfig c;
+  c.job_setup_seconds = 0.7;     // DAG scheduling, no MR job submission
+  c.task_startup_seconds = 0.08; // reused executors, no container launch
+  return c;
+}
+
+SparkEngine::SparkEngine(std::string name,
+                         const sim::ClusterConfig& cluster_config,
+                         const sim::GroundTruthParams& ground_truth,
+                         const SparkEngineOptions& options, uint64_t seed)
+    : SimulatedEngineBase(std::move(name), cluster_config, ground_truth, seed),
+      options_(options) {}
+
+std::unique_ptr<SparkEngine> SparkEngine::CreateDefault(std::string name,
+                                                        uint64_t seed) {
+  return std::make_unique<SparkEngine>(std::move(name), SparkClusterDefaults(),
+                                       SparkGroundTruthDefaults(),
+                                       SparkEngineOptions{}, seed);
+}
+
+int SparkEngine::NumPartitions() const {
+  return options_.shuffle_partitions > 0 ? options_.shuffle_partitions
+                                         : cluster().config().TotalSlots();
+}
+
+Result<SparkJoinAlgorithm> SparkEngine::PlanJoin(const JoinQuery& q) const {
+  double s_bytes = static_cast<double>(q.right.num_rows) *
+                   static_cast<double>(q.right.row_bytes);
+  bool broadcastable = s_bytes <= options_.broadcast_threshold_factor *
+                                      cluster().config().TaskMemoryBytes();
+  if (!q.is_equi_join) {
+    return broadcastable ? SparkJoinAlgorithm::kBroadcastNestedLoopJoin
+                         : SparkJoinAlgorithm::kCartesianProductJoin;
+  }
+  if (broadcastable) return SparkJoinAlgorithm::kBroadcastHashJoin;
+  return options_.prefer_sort_merge_join
+             ? SparkJoinAlgorithm::kSortMergeJoin
+             : SparkJoinAlgorithm::kShuffleHashJoin;
+}
+
+Result<QueryResult> SparkEngine::ExecuteJoin(const JoinQuery& query) {
+  ISPHERE_ASSIGN_OR_RETURN(SparkJoinAlgorithm algo, PlanJoin(query));
+  return ExecuteJoinWithAlgorithm(query, algo);
+}
+
+Result<QueryResult> SparkEngine::ExecuteJoinWithAlgorithm(
+    const JoinQuery& query, SparkJoinAlgorithm algo) {
+  ISPHERE_RETURN_NOT_OK(query.Validate());
+  bool equi_only = algo == SparkJoinAlgorithm::kBroadcastHashJoin ||
+                   algo == SparkJoinAlgorithm::kShuffleHashJoin ||
+                   algo == SparkJoinAlgorithm::kSortMergeJoin;
+  if (equi_only && !query.is_equi_join) {
+    return Status::Unsupported(
+        std::string(SparkJoinAlgorithmName(algo)) +
+        " requires an equi-join condition");
+  }
+  Result<double> elapsed = Status::Internal("unreached");
+  switch (algo) {
+    case SparkJoinAlgorithm::kBroadcastHashJoin:
+      elapsed = RunBroadcastHashJoin(query);
+      break;
+    case SparkJoinAlgorithm::kShuffleHashJoin:
+      elapsed = RunShuffleHashJoin(query);
+      break;
+    case SparkJoinAlgorithm::kSortMergeJoin:
+      elapsed = RunSortMergeJoin(query);
+      break;
+    case SparkJoinAlgorithm::kBroadcastNestedLoopJoin:
+      elapsed = RunBroadcastNestedLoopJoin(query);
+      break;
+    case SparkJoinAlgorithm::kCartesianProductJoin:
+      elapsed = RunCartesianProductJoin(query);
+      break;
+  }
+  if (!elapsed.ok()) return elapsed.status();
+  CountQuery();
+  return QueryResult{elapsed.value(), SparkJoinAlgorithmName(algo)};
+}
+
+Result<QueryResult> SparkEngine::ExecuteAgg(const AggQuery& query) {
+  ISPHERE_RETURN_NOT_OK(query.Validate());
+  ISPHERE_ASSIGN_OR_RETURN(double elapsed, RunHashAgg(query));
+  CountQuery();
+  return QueryResult{elapsed, "hash_aggregation"};
+}
+
+Result<double> SparkEngine::RunBroadcastHashJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  double s_raw_bytes = static_cast<double>(q.right.num_rows) *
+                       static_cast<double>(q.right.row_bytes);
+  bool fits = cluster().HashTableFits(s_raw_bytes);
+  double s_rows = static_cast<double>(q.right.num_rows);
+
+  double serial =
+      s_rows * gt.ReadDfsSec(q.right.row_bytes) +
+      s_rows * gt.BroadcastSec(q.right.row_bytes,
+                               cluster().config().num_worker_nodes);
+
+  int64_t num_tasks = cluster().MapTasksFor(q.left.num_rows * q.left.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(q.left.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(q.output_rows, num_tasks);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  // Spark builds the broadcast hash table once per executor (slot), not per
+  // task: only the first wave pays the build.
+  double build = s_rows * gt.HashBuildSec(q.right.row_bytes, fits);
+  int slots = cluster().config().TotalSlots();
+  sim::JobSpec stage;
+  stage.serial_seconds = serial;
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double rows = static_cast<double>(task_rows[i]);
+    double t = rows * BlockReadSec(q.left.row_bytes) +
+               rows * gt.HashProbeSec(q.left.row_bytes) +
+               static_cast<double>(task_out[i]) * gt.WriteDfsSec(out_bytes);
+    if (i < static_cast<size_t>(slots)) t += build;
+    stage.task_seconds.push_back(t);
+  }
+  return cluster_mutable().RunStages({stage});
+}
+
+Result<double> SparkEngine::RunShuffleHashJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t l_bytes = JoinShuffleBytes(q.left_projected_bytes);
+  int64_t r_bytes = JoinShuffleBytes(q.right_projected_bytes);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  sim::JobSpec map_stage;
+  auto add_map_tasks = [&](const RelationStats& r, int64_t shuffle_bytes) {
+    int64_t num_tasks = cluster().MapTasksFor(r.num_rows * r.row_bytes);
+    for (int64_t rows : SplitRows(r.num_rows, num_tasks)) {
+      map_stage.task_seconds.push_back(
+          static_cast<double>(rows) *
+          (BlockReadSec(r.row_bytes) + gt.ShuffleSec(shuffle_bytes)));
+    }
+  };
+  add_map_tasks(q.left, l_bytes);
+  add_map_tasks(q.right, r_bytes);
+
+  int parts = NumPartitions();
+  std::vector<int64_t> l_rows = SplitRows(q.left.num_rows, parts);
+  std::vector<int64_t> r_rows = SplitRows(q.right.num_rows, parts);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, parts);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(parts); ++i) {
+    double build_rows = static_cast<double>(r_rows[i]);
+    double probe_rows = static_cast<double>(l_rows[i]);
+    double partition_bytes =
+        build_rows * static_cast<double>(q.right.row_bytes);
+    bool fits = cluster().HashTableFits(partition_bytes);
+    reduce_stage.task_seconds.push_back(
+        build_rows * gt.HashBuildSec(r_bytes, fits) +
+        probe_rows * gt.HashProbeSec(l_bytes) +
+        static_cast<double>(out_rows[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+Result<double> SparkEngine::RunSortMergeJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t l_bytes = JoinShuffleBytes(q.left_projected_bytes);
+  int64_t r_bytes = JoinShuffleBytes(q.right_projected_bytes);
+  int64_t out_bytes = q.OutputRowBytes();
+
+  sim::JobSpec map_stage;
+  auto add_map_tasks = [&](const RelationStats& r, int64_t shuffle_bytes) {
+    int64_t num_tasks = cluster().MapTasksFor(r.num_rows * r.row_bytes);
+    for (int64_t rows : SplitRows(r.num_rows, num_tasks)) {
+      map_stage.task_seconds.push_back(
+          static_cast<double>(rows) *
+          (BlockReadSec(r.row_bytes) + gt.ShuffleSec(shuffle_bytes)));
+    }
+  };
+  add_map_tasks(q.left, l_bytes);
+  add_map_tasks(q.right, r_bytes);
+
+  int parts = NumPartitions();
+  std::vector<int64_t> l_rows = SplitRows(q.left.num_rows, parts);
+  std::vector<int64_t> r_rows = SplitRows(q.right.num_rows, parts);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, parts);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(parts); ++i) {
+    reduce_stage.task_seconds.push_back(
+        static_cast<double>(l_rows[i]) * gt.SortSec(l_bytes, l_rows[i]) +
+        static_cast<double>(r_rows[i]) * gt.SortSec(r_bytes, r_rows[i]) +
+        static_cast<double>(out_rows[i]) * gt.MergeSec(out_bytes) +
+        static_cast<double>(out_rows[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+Result<double> SparkEngine::RunBroadcastNestedLoopJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  double s_rows = static_cast<double>(q.right.num_rows);
+  double serial =
+      s_rows * gt.ReadDfsSec(q.right.row_bytes) +
+      s_rows * gt.BroadcastSec(q.right.row_bytes,
+                               cluster().config().num_worker_nodes);
+
+  int64_t num_tasks = cluster().MapTasksFor(q.left.num_rows * q.left.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(q.left.num_rows, num_tasks);
+  std::vector<int64_t> task_out = SplitRows(q.output_rows, num_tasks);
+  int64_t out_bytes = q.OutputRowBytes();
+  int64_t pair_bytes = (q.left.row_bytes + q.right.row_bytes) / 2;
+
+  sim::JobSpec stage;
+  stage.serial_seconds = serial;
+  for (size_t i = 0; i < task_rows.size(); ++i) {
+    double pairs = static_cast<double>(task_rows[i]) * s_rows;
+    stage.task_seconds.push_back(
+        static_cast<double>(task_rows[i]) * BlockReadSec(q.left.row_bytes) +
+        pairs * kNestedLoopPairFactor * gt.ScanSec(pair_bytes) +
+        static_cast<double>(task_out[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({stage});
+}
+
+Result<double> SparkEngine::RunCartesianProductJoin(const JoinQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int parts = NumPartitions();
+  std::vector<int64_t> l_rows = SplitRows(q.left.num_rows, parts);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, parts);
+  int64_t out_bytes = q.OutputRowBytes();
+  int64_t pair_bytes = (q.left.row_bytes + q.right.row_bytes) / 2;
+  double s_rows = static_cast<double>(q.right.num_rows);
+
+  // Each partition streams the full right side against its left slice.
+  sim::JobSpec map_stage;
+  auto add_map_tasks = [&](const RelationStats& r) {
+    int64_t num_tasks = cluster().MapTasksFor(r.num_rows * r.row_bytes);
+    for (int64_t rows : SplitRows(r.num_rows, num_tasks)) {
+      map_stage.task_seconds.push_back(
+          static_cast<double>(rows) *
+          (BlockReadSec(r.row_bytes) + gt.ShuffleSec(r.row_bytes)));
+    }
+  };
+  add_map_tasks(q.left);
+  add_map_tasks(q.right);
+
+  sim::JobSpec pair_stage;
+  pair_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(parts); ++i) {
+    double pairs = static_cast<double>(l_rows[i]) * s_rows;
+    pair_stage.task_seconds.push_back(
+        pairs * kNestedLoopPairFactor * gt.ScanSec(pair_bytes) +
+        static_cast<double>(out_rows[i]) * gt.WriteDfsSec(out_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, pair_stage});
+}
+
+Result<double> SparkEngine::RunHashAgg(const AggQuery& q) {
+  const auto& gt = cluster().ground_truth();
+  int64_t num_tasks =
+      cluster().MapTasksFor(q.input.num_rows * q.input.row_bytes);
+  std::vector<int64_t> task_rows = SplitRows(q.input.num_rows, num_tasks);
+  double update = gt.HashProbeSec(q.output_row_bytes) +
+                  static_cast<double>(q.num_aggregates) * gt.ScanSec(8);
+
+  sim::JobSpec map_stage;
+  for (int64_t rows : task_rows) {
+    double partial =
+        static_cast<double>(std::min<int64_t>(rows, q.output_rows));
+    map_stage.task_seconds.push_back(
+        static_cast<double>(rows) *
+            (BlockReadSec(q.input.row_bytes) + update) +
+        partial * gt.ShuffleSec(q.output_row_bytes));
+  }
+
+  int parts = NumPartitions();
+  int64_t total_partials = std::min<int64_t>(
+      q.input.num_rows, q.output_rows * static_cast<int64_t>(num_tasks));
+  std::vector<int64_t> red_rows = SplitRows(total_partials, parts);
+  std::vector<int64_t> out_rows = SplitRows(q.output_rows, parts);
+  sim::JobSpec reduce_stage;
+  reduce_stage.include_setup = false;
+  for (size_t i = 0; i < static_cast<size_t>(parts); ++i) {
+    // Partial-aggregate combining: group-table probe + per-aggregate update.
+    reduce_stage.task_seconds.push_back(
+        static_cast<double>(red_rows[i]) *
+            (gt.HashProbeSec(q.output_row_bytes) +
+             static_cast<double>(q.num_aggregates) * gt.ScanSec(8)) +
+        static_cast<double>(out_rows[i]) *
+            gt.WriteDfsSec(q.output_row_bytes));
+  }
+  return cluster_mutable().RunStages({map_stage, reduce_stage});
+}
+
+}  // namespace intellisphere::remote

@@ -1,0 +1,56 @@
+#include "simcluster/cluster.h"
+
+namespace intellisphere::sim {
+
+namespace {
+// In-memory expansion of a hash table relative to the raw build input.
+constexpr double kHashTableExpansion = 1.5;
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config,
+                 const GroundTruthParams& ground_truth, uint64_t seed)
+    : config_(config),
+      ground_truth_(ground_truth),
+      dfs_(config.num_worker_nodes, config.dfs_block_bytes,
+           config.dfs_replication, seed ^ 0xd1f5ULL),
+      rng_(seed) {}
+
+Result<double> Cluster::RunJob(const JobSpec& job) {
+  std::vector<double> noisy;
+  noisy.reserve(job.task_seconds.size());
+  for (double t : job.task_seconds) {
+    if (t < 0.0) return Status::InvalidArgument("negative task duration");
+    double d = (t + config_.task_startup_seconds) *
+               rng_.NoiseFactor(config_.task_noise_rel_stddev);
+    noisy.push_back(d);
+  }
+  double elapsed = job.serial_seconds;
+  if (!noisy.empty()) {
+    ISPHERE_ASSIGN_OR_RETURN(ScheduleResult sched,
+                             ScheduleTasks(noisy, config_.TotalSlots()));
+    elapsed += sched.makespan_seconds;
+  }
+  if (job.include_setup) elapsed += config_.job_setup_seconds;
+  elapsed *= rng_.NoiseFactor(config_.job_noise_rel_stddev);
+  total_simulated_seconds_ += elapsed;
+  ++jobs_run_;
+  return elapsed;
+}
+
+Result<double> Cluster::RunStages(const std::vector<JobSpec>& stages) {
+  double total = 0.0;
+  bool first = true;
+  for (JobSpec stage : stages) {
+    stage.include_setup = first && stage.include_setup;
+    first = false;
+    ISPHERE_ASSIGN_OR_RETURN(double t, RunJob(stage));
+    total += t;
+  }
+  return total;
+}
+
+bool Cluster::HashTableFits(double bytes) const {
+  return bytes * kHashTableExpansion <= config_.TaskMemoryBytes();
+}
+
+}  // namespace intellisphere::sim

@@ -1,0 +1,76 @@
+// The simulated cluster: configuration + ground-truth cost model + DFS +
+// job execution (scheduling, overheads, noise). Remote engines translate a
+// SQL operator into one or more JobSpecs and ask the cluster to "run" them;
+// the returned value is the simulated elapsed wall-clock time, which is the
+// paper's costing metric.
+
+#ifndef INTELLISPHERE_SIMCLUSTER_CLUSTER_H_
+#define INTELLISPHERE_SIMCLUSTER_CLUSTER_H_
+
+#include <vector>
+
+#include "simcluster/config.h"
+#include "simcluster/dfs.h"
+#include "simcluster/ground_truth.h"
+#include "simcluster/scheduler.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace intellisphere::sim {
+
+/// One schedulable stage of work.
+struct JobSpec {
+  /// Noise-free per-task compute durations, seconds. Task startup overhead
+  /// is added by the cluster.
+  std::vector<double> task_seconds;
+  /// Serial work done once before/after the parallel stage (e.g. the
+  /// driver-side broadcast of a small relation), seconds.
+  double serial_seconds = 0.0;
+  /// Whether the fixed job setup cost applies (true for the first stage of
+  /// a query, false for follow-on stages of the same query).
+  bool include_setup = true;
+};
+
+/// A simulated shared-nothing cluster.
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& config, const GroundTruthParams& ground_truth,
+          uint64_t seed);
+
+  const ClusterConfig& config() const { return config_; }
+  const GroundTruth& ground_truth() const { return ground_truth_; }
+  Dfs& dfs() { return dfs_; }
+  const Dfs& dfs() const { return dfs_; }
+
+  /// Runs one stage: schedules tasks over all slots, adds per-task startup
+  /// and per-job setup overheads, applies multiplicative noise, and returns
+  /// elapsed seconds.
+  Result<double> RunJob(const JobSpec& job);
+
+  /// Runs a query made of sequential stages (setup charged once).
+  Result<double> RunStages(const std::vector<JobSpec>& stages);
+
+  /// Number of map tasks for an input of `bytes` (one per DFS block).
+  int64_t MapTasksFor(int64_t bytes) const { return dfs_.NumBlocks(bytes); }
+
+  /// Whether a hash table over `bytes` of raw data fits one task's memory
+  /// (a 1.5x in-memory expansion factor is applied).
+  bool HashTableFits(double bytes) const;
+
+  /// Cumulative simulated seconds across all RunJob calls; the training
+  /// drivers report this as the paper's "total training time".
+  double total_simulated_seconds() const { return total_simulated_seconds_; }
+  int64_t jobs_run() const { return jobs_run_; }
+
+ private:
+  ClusterConfig config_;
+  GroundTruth ground_truth_;
+  Dfs dfs_;
+  Rng rng_;
+  double total_simulated_seconds_ = 0.0;
+  int64_t jobs_run_ = 0;
+};
+
+}  // namespace intellisphere::sim
+
+#endif  // INTELLISPHERE_SIMCLUSTER_CLUSTER_H_

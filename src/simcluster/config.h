@@ -1,0 +1,52 @@
+// Cluster configuration for the simulated shared-nothing remote systems.
+// Defaults mirror the paper's testbed: one master plus three data nodes,
+// 8 GB of memory and two CPU cores per node (Section 7).
+
+#ifndef INTELLISPHERE_SIMCLUSTER_CONFIG_H_
+#define INTELLISPHERE_SIMCLUSTER_CONFIG_H_
+
+#include <cstdint>
+
+namespace intellisphere::sim {
+
+/// Static description of a simulated cluster.
+struct ClusterConfig {
+  int num_worker_nodes = 3;
+  int cores_per_node = 2;
+  int64_t memory_per_node_bytes = 8LL * 1024 * 1024 * 1024;
+  int64_t dfs_block_bytes = 128LL * 1024 * 1024;
+  int dfs_replication = 3;
+
+  /// Fraction of a node's memory one task may use for hash tables before
+  /// spilling (drives the two-regime hash-build behaviour of Fig 13(f)).
+  double task_memory_fraction = 0.35;
+
+  /// Fraction of map tasks achieving data locality; the paper cites
+  /// "more than 90% of times".
+  double data_locality_fraction = 0.92;
+
+  /// Fixed per-job overhead (scheduling, compilation) in seconds.
+  double job_setup_seconds = 2.0;
+  /// Fixed per-task launch overhead in seconds (container/JVM start).
+  double task_startup_seconds = 0.6;
+
+  /// Relative stddev of the multiplicative noise applied to each task.
+  double task_noise_rel_stddev = 0.03;
+  /// Relative stddev of the per-job noise (cluster-wide jitter).
+  double job_noise_rel_stddev = 0.02;
+
+  /// Total task slots across the cluster ("total number of parallelism in
+  /// the system, i.e., the total number of cores" per Section 4).
+  int TotalSlots() const { return num_worker_nodes * cores_per_node; }
+
+  /// Memory budget of a single task.
+  double TaskMemoryBytes() const {
+    return task_memory_fraction *
+           static_cast<double>(memory_per_node_bytes) /
+           static_cast<double>(cores_per_node);
+  }
+};
+
+}  // namespace intellisphere::sim
+
+#endif  // INTELLISPHERE_SIMCLUSTER_CONFIG_H_

@@ -1,0 +1,75 @@
+#include "simcluster/dfs.h"
+
+#include <algorithm>
+
+namespace intellisphere::sim {
+
+Dfs::Dfs(int num_nodes, int64_t block_bytes, int replication, uint64_t seed)
+    : num_nodes_(std::max(1, num_nodes)),
+      block_bytes_(std::max<int64_t>(1, block_bytes)),
+      replication_(std::clamp(replication, 1, std::max(1, num_nodes))),
+      rng_(seed) {}
+
+Status Dfs::AddFile(const std::string& name, int64_t bytes) {
+  if (bytes <= 0) return Status::InvalidArgument("file size must be positive");
+  if (files_.count(name)) return Status::AlreadyExists("file '" + name + "'");
+  DfsFile file;
+  file.name = name;
+  file.bytes = bytes;
+  int64_t blocks = NumBlocks(bytes);
+  file.blocks.reserve(static_cast<size_t>(blocks));
+  for (int64_t b = 0; b < blocks; ++b) {
+    // Pick `replication_` distinct nodes: first replica random (stands in
+    // for the writer's node), the rest from a shuffle of the remainder.
+    BlockPlacement placement;
+    auto perm = rng_.Permutation(static_cast<size_t>(num_nodes_));
+    for (int r = 0; r < replication_; ++r) {
+      placement.replica_nodes.push_back(static_cast<int>(perm[r]));
+    }
+    file.blocks.push_back(std::move(placement));
+  }
+  files_.emplace(name, std::move(file));
+  return Status::OK();
+}
+
+Status Dfs::RemoveFile(const std::string& name) {
+  if (files_.erase(name) == 0) return Status::NotFound("file '" + name + "'");
+  return Status::OK();
+}
+
+Result<DfsFile> Dfs::GetFile(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("file '" + name + "'");
+  return it->second;
+}
+
+bool Dfs::Contains(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+int64_t Dfs::NumBlocks(int64_t bytes) const {
+  if (bytes <= 0) return 0;
+  return std::max<int64_t>(1, (bytes + block_bytes_ - 1) / block_bytes_);
+}
+
+Result<double> Dfs::LocalReplicaFraction(const std::string& name,
+                                         int node) const {
+  ISPHERE_ASSIGN_OR_RETURN(DfsFile file, GetFile(name));
+  if (file.blocks.empty()) return 0.0;
+  int64_t local = 0;
+  for (const auto& b : file.blocks) {
+    if (std::find(b.replica_nodes.begin(), b.replica_nodes.end(), node) !=
+        b.replica_nodes.end()) {
+      ++local;
+    }
+  }
+  return static_cast<double>(local) / static_cast<double>(file.blocks.size());
+}
+
+int64_t Dfs::TotalLogicalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, f] : files_) total += f.bytes;
+  return total;
+}
+
+}  // namespace intellisphere::sim

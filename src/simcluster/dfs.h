@@ -1,0 +1,71 @@
+// A simulated distributed file system: files split into fixed-size blocks,
+// blocks placed with n-way replication across worker nodes. The remote
+// engines use it to derive map-task counts and data locality.
+
+#ifndef INTELLISPHERE_SIMCLUSTER_DFS_H_
+#define INTELLISPHERE_SIMCLUSTER_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace intellisphere::sim {
+
+/// Placement of one block: the nodes holding its replicas.
+struct BlockPlacement {
+  std::vector<int> replica_nodes;
+};
+
+/// Metadata of a stored file.
+struct DfsFile {
+  std::string name;
+  int64_t bytes = 0;
+  std::vector<BlockPlacement> blocks;
+};
+
+/// The simulated DFS namespace.
+class Dfs {
+ public:
+  /// `replication` is clamped to the node count.
+  Dfs(int num_nodes, int64_t block_bytes, int replication, uint64_t seed);
+
+  /// Creates a file of the given size with randomized block placement.
+  /// AlreadyExists on name collision; InvalidArgument on non-positive size.
+  Status AddFile(const std::string& name, int64_t bytes);
+
+  /// Removes a file; NotFound when absent.
+  Status RemoveFile(const std::string& name);
+
+  Result<DfsFile> GetFile(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Blocks needed for `bytes` (ceil division); 1 block minimum.
+  int64_t NumBlocks(int64_t bytes) const;
+
+  /// Fraction of blocks of `name` with a replica on `node`; used by tests
+  /// to validate locality expectations.
+  Result<double> LocalReplicaFraction(const std::string& name,
+                                      int node) const;
+
+  /// Total bytes stored (before replication).
+  int64_t TotalLogicalBytes() const;
+
+  int num_nodes() const { return num_nodes_; }
+  int replication() const { return replication_; }
+  int64_t block_bytes() const { return block_bytes_; }
+
+ private:
+  int num_nodes_;
+  int64_t block_bytes_;
+  int replication_;
+  Rng rng_;
+  std::map<std::string, DfsFile> files_;
+};
+
+}  // namespace intellisphere::sim
+
+#endif  // INTELLISPHERE_SIMCLUSTER_DFS_H_

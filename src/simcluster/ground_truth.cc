@@ -1,0 +1,75 @@
+#include "simcluster/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::sim {
+
+namespace {
+constexpr double kMicro = 1e-6;
+// Reference size for the nonlinear warp so the factor is 1 + nl at
+// 1000-byte records and ~1 + nl/5 at 40-byte records.
+constexpr double kWarpRefBytes = 1000.0;
+}  // namespace
+
+double GroundTruth::Eval(const PrimitiveLine& line, int64_t rec_bytes) const {
+  double base = line.intercept_us +
+                line.slope_us_per_byte * static_cast<double>(rec_bytes);
+  double warp = 1.0 + params_.nonlinearity *
+                          std::sqrt(static_cast<double>(rec_bytes) /
+                                    kWarpRefBytes);
+  return base * warp * kMicro;
+}
+
+double GroundTruth::ReadDfsSec(int64_t rec_bytes) const {
+  return Eval(params_.read_dfs, rec_bytes);
+}
+
+double GroundTruth::WriteDfsSec(int64_t rec_bytes) const {
+  return Eval(params_.write_dfs, rec_bytes);
+}
+
+double GroundTruth::ReadLocalSec(int64_t rec_bytes) const {
+  return Eval(params_.read_local, rec_bytes);
+}
+
+double GroundTruth::WriteLocalSec(int64_t rec_bytes) const {
+  return Eval(params_.write_local, rec_bytes);
+}
+
+double GroundTruth::ShuffleSec(int64_t rec_bytes) const {
+  return Eval(params_.shuffle, rec_bytes);
+}
+
+double GroundTruth::MergeSec(int64_t rec_bytes) const {
+  return Eval(params_.merge, rec_bytes);
+}
+
+double GroundTruth::HashBuildSec(int64_t rec_bytes,
+                                 bool fits_in_memory) const {
+  double fit = Eval(params_.hash_build_fit, rec_bytes);
+  if (fits_in_memory) return fit;
+  double spill = Eval(params_.hash_build_spill, rec_bytes);
+  return std::max(fit, spill);
+}
+
+double GroundTruth::HashProbeSec(int64_t rec_bytes) const {
+  return Eval(params_.hash_probe, rec_bytes);
+}
+
+double GroundTruth::ScanSec(int64_t rec_bytes) const {
+  return Eval(params_.scan, rec_bytes);
+}
+
+double GroundTruth::BroadcastSec(int64_t rec_bytes, int num_nodes) const {
+  return Eval(params_.broadcast_per_node, rec_bytes) *
+         static_cast<double>(std::max(1, num_nodes));
+}
+
+double GroundTruth::SortSec(int64_t rec_bytes, int64_t run_rows) const {
+  double comparisons = std::max(1.0, std::log2(static_cast<double>(
+                                         std::max<int64_t>(2, run_rows))));
+  return Eval(params_.sort_per_cmp, rec_bytes) * comparisons;
+}
+
+}  // namespace intellisphere::sim

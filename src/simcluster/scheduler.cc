@@ -1,0 +1,38 @@
+#include "simcluster/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace intellisphere::sim {
+
+Result<ScheduleResult> ScheduleTasks(const std::vector<double>& task_seconds,
+                                     int slots) {
+  if (slots <= 0) return Status::InvalidArgument("slots must be positive");
+  ScheduleResult result;
+  if (task_seconds.empty()) return result;
+  for (double t : task_seconds) {
+    if (t < 0.0) return Status::InvalidArgument("negative task duration");
+  }
+  // Min-heap of slot-available times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+  for (int i = 0; i < slots; ++i) heap.push(0.0);
+  double makespan = 0.0;
+  for (double t : task_seconds) {
+    double start = heap.top();
+    heap.pop();
+    double end = start + t;
+    makespan = std::max(makespan, end);
+    heap.push(end);
+  }
+  result.makespan_seconds = makespan;
+  result.num_waves = static_cast<int>(
+      NumTaskWaves(static_cast<int64_t>(task_seconds.size()), slots));
+  return result;
+}
+
+int64_t NumTaskWaves(int64_t num_tasks, int slots) {
+  if (num_tasks <= 0 || slots <= 0) return 0;
+  return (num_tasks + slots - 1) / slots;
+}
+
+}  // namespace intellisphere::sim

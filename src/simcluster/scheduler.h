@@ -1,0 +1,33 @@
+// Greedy list scheduling of tasks onto cluster slots. This is what turns
+// per-task work into the elapsed (wall-clock) time the paper's cost metric
+// measures, and it is the source of the "NumTaskWaves" quantization in the
+// sub-op cost formulas (Figure 6).
+
+#ifndef INTELLISPHERE_SIMCLUSTER_SCHEDULER_H_
+#define INTELLISPHERE_SIMCLUSTER_SCHEDULER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace intellisphere::sim {
+
+/// Result of scheduling one stage of tasks.
+struct ScheduleResult {
+  double makespan_seconds = 0.0;
+  int num_waves = 0;  ///< ceil(num_tasks / slots)
+};
+
+/// Assigns each task (in order) to the earliest-available of `slots`
+/// identical slots and returns the makespan. Task durations must be
+/// non-negative and slots positive.
+Result<ScheduleResult> ScheduleTasks(const std::vector<double>& task_seconds,
+                                     int slots);
+
+/// The closed-form wave count used by the analytical formulas:
+/// ceil(num_tasks / slots).
+int64_t NumTaskWaves(int64_t num_tasks, int slots);
+
+}  // namespace intellisphere::sim
+
+#endif  // INTELLISPHERE_SIMCLUSTER_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace intellisphere {
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvTable::AddRow(std::initializer_list<double> values) {
+  AddRow(std::vector<double>(values));
+}
+
+void CsvTable::AddRow(const std::vector<double>& values) {
+  assert(values.size() == header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatNumber(v));
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::AddTextRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::Print(std::ostream& os) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace intellisphere

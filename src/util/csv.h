@@ -1,0 +1,47 @@
+// Small CSV table builder used by the benchmark harnesses to print the
+// rows/series each paper table and figure reports.
+
+#ifndef INTELLISPHERE_UTIL_CSV_H_
+#define INTELLISPHERE_UTIL_CSV_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intellisphere {
+
+/// Accumulates a header plus rows and streams them as CSV.
+///
+///   CsvTable t({"record_size_bytes", "avg_time_us"});
+///   t.AddRow({40, 1.9});
+///   t.Print(std::cout);
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Appends a numeric row; must match the header width.
+  void AddRow(std::initializer_list<double> values);
+  void AddRow(const std::vector<double>& values);
+
+  /// Appends a row of preformatted cells; must match the header width.
+  void AddTextRow(std::vector<std::string> cells);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Streams "header\nrow\nrow..." with doubles rendered at 6 significant
+  /// digits (trailing zeros trimmed).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with up to 6 significant digits, trimming trailing
+/// zeros ("2.5", "0.0314", "120").
+std::string FormatNumber(double v);
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_CSV_H_

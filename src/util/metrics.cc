@@ -1,0 +1,100 @@
+#include "util/metrics.h"
+
+#include <cmath>
+
+namespace intellisphere {
+
+namespace {
+
+Status CheckPaired(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty()) return Status::InvalidArgument("empty metric input");
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("metric input size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Mean(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("mean of empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted) {
+  ISPHERE_RETURN_NOT_OK(CheckPaired(actual, predicted));
+  double ss = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double d = predicted[i] - actual[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(actual.size()));
+}
+
+Result<double> RmsePercent(const std::vector<double>& actual,
+                           const std::vector<double>& predicted) {
+  ISPHERE_ASSIGN_OR_RETURN(double e, Rmse(actual, predicted));
+  ISPHERE_ASSIGN_OR_RETURN(double v, Mean(actual));
+  if (v == 0.0) return Status::InvalidArgument("zero mean actual cost");
+  return e * 100.0 / v;
+}
+
+Result<FittedLine> FitLine(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  ISPHERE_RETURN_NOT_OK(CheckPaired(x, y));
+  if (x.size() < 2) return Status::InvalidArgument("need >= 2 points to fit");
+  double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return Status::InvalidArgument("constant x in line fit");
+  FittedLine line;
+  line.slope = (n * sxy - sx * sy) / denom;
+  line.intercept = (sy - line.slope * sx) / n;
+  // R^2 of the fitted line.
+  double ybar = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double fit = line.slope * x[i] + line.intercept;
+    ss_res += (y[i] - fit) * (y[i] - fit);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  line.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return line;
+}
+
+Result<double> RSquared(const std::vector<double>& actual,
+                        const std::vector<double>& predicted) {
+  ISPHERE_RETURN_NOT_OK(CheckPaired(actual, predicted));
+  ISPHERE_ASSIGN_OR_RETURN(double abar, Mean(actual));
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - abar) * (actual[i] - abar);
+  }
+  if (ss_tot == 0.0) return Status::InvalidArgument("constant actuals");
+  return 1.0 - ss_res / ss_tot;
+}
+
+Result<double> MeanRelativeError(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted) {
+  ISPHERE_RETURN_NOT_OK(CheckPaired(actual, predicted));
+  double s = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] <= 0.0) {
+      return Status::InvalidArgument("non-positive actual in relative error");
+    }
+    s += std::abs(predicted[i] - actual[i]) / actual[i];
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+}  // namespace intellisphere

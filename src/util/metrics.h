@@ -1,0 +1,54 @@
+// Accuracy metrics used throughout the paper's evaluation:
+// RMSE, RMSE% (the paper's e*100/v), R^2, and fitted y = a*x + b lines for
+// the predicted-vs-actual scatter plots of Figures 11-14.
+
+#ifndef INTELLISPHERE_UTIL_METRICS_H_
+#define INTELLISPHERE_UTIL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace intellisphere {
+
+/// A fitted line y = slope * x + intercept with its coefficient of
+/// determination, as the paper annotates on its scatter plots
+/// (e.g. "y = 0.9587x + 0.2445, R^2 = 0.98573" in Figure 11(c)).
+struct FittedLine {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Root mean square error between predictions and actuals.
+/// Returns InvalidArgument when the vectors are empty or of different sizes.
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted);
+
+/// The paper's error percentage: RMSE * 100 / mean(actual).
+/// Returns InvalidArgument on size mismatch or zero mean.
+Result<double> RmsePercent(const std::vector<double>& actual,
+                           const std::vector<double>& predicted);
+
+/// Mean of a vector; InvalidArgument when empty.
+Result<double> Mean(const std::vector<double>& v);
+
+/// Ordinary least squares fit of predicted = slope*actual + intercept,
+/// with R^2 of that fit. Requires >= 2 points and non-constant x.
+Result<FittedLine> FitLine(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// R^2 of predictions against actuals relative to the mean model
+/// (1 - SS_res/SS_tot). Requires non-constant actuals.
+Result<double> RSquared(const std::vector<double>& actual,
+                        const std::vector<double>& predicted);
+
+/// Mean absolute percentage-style relative error: mean(|p-a| / a).
+/// Actuals must be strictly positive.
+Result<double> MeanRelativeError(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted);
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_METRICS_H_

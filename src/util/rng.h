@@ -1,0 +1,79 @@
+// Seeded random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Rng so that simulations, training runs, and benchmarks are reproducible.
+
+#ifndef INTELLISPHERE_UTIL_RNG_H_
+#define INTELLISPHERE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace intellisphere {
+
+/// A reproducible pseudo-random source (Mersenne Twister under the hood).
+///
+/// Deliberately not thread-safe: components own their Rng or receive one by
+/// pointer and are single-threaded per simulation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(gen_);
+  }
+
+  /// Multiplicative noise factor: max(floor, 1 + N(0, rel_stddev)).
+  ///
+  /// Used by the cluster simulator to perturb ground-truth costs; the floor
+  /// keeps simulated durations positive.
+  double NoiseFactor(double rel_stddev, double floor = 0.05) {
+    double f = 1.0 + Normal(0.0, rel_stddev);
+    return f < floor ? floor : f;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = n; i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+  }
+
+  /// Derives an independent child generator; useful to give each component a
+  /// decorrelated stream from one master seed.
+  Rng Fork() { return Rng(gen_()); }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_RNG_H_

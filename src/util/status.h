@@ -1,0 +1,151 @@
+// Status / Result error handling, in the style of Arrow and RocksDB.
+//
+// Library code never throws for anticipated failures; fallible functions
+// return Status (void results) or Result<T> (value-or-error).
+
+#ifndef INTELLISPHERE_UTIL_STATUS_H_
+#define INTELLISPHERE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace intellisphere {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction allocates
+/// for the message. Use the static factories:
+///
+///   Status MaybeRegister(...) {
+///     if (exists) return Status::AlreadyExists("system 'hive' registered");
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-Status result.
+///
+///   Result<Model> Train(...);
+///   auto r = Train(...);
+///   if (!r.ok()) return r.status();
+///   Model m = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (error). An OK status is a logic error and
+  /// is converted to an Internal error to keep the invariant visible.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK when holding a value, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define ISPHERE_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::intellisphere::Status _st = (expr);      \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define ISPHERE_CONCAT_IMPL(a, b) a##b
+#define ISPHERE_CONCAT(a, b) ISPHERE_CONCAT_IMPL(a, b)
+
+#define ISPHERE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+/// Assigns a Result's value to `lhs` or propagates its error status.
+#define ISPHERE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ISPHERE_ASSIGN_OR_RETURN_IMPL(ISPHERE_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_STATUS_H_

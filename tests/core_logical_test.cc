@@ -1,0 +1,230 @@
+// Unit tests for logical-operator costing: the Figure-3 estimation
+// flowchart, the online remedy phase, offline tuning, and alpha adjustment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/logical_op.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "util/metrics.h"
+
+namespace intellisphere::core {
+namespace {
+
+// A synthetic 2-D cost surface: near-linear in x1 with a mild interaction,
+// trained on a grid like the paper's training sets.
+ml::Dataset SurfaceGrid(double x1_max) {
+  ml::Dataset d;
+  for (double x1 = 1; x1 <= x1_max; x1 += 1) {
+    for (double x2 = 10; x2 <= 100; x2 += 10) {
+      d.Add({x1, x2}, 5.0 * x1 + 0.2 * x2 + 0.01 * x1 * x2);
+    }
+  }
+  return d;
+}
+
+LogicalOpOptions FastOptions() {
+  LogicalOpOptions opts;
+  opts.mlp.iterations = 5000;
+  opts.tuning_iterations = 3000;
+  return opts;
+}
+
+TEST(LogicalOpModelTest, InRangeEstimatesUseNetworkOnly) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  auto est = model.Estimate({4, 50}).value();
+  EXPECT_FALSE(est.used_remedy);
+  EXPECT_TRUE(est.pivot_dims.empty());
+  double truth = 5.0 * 4 + 0.2 * 50 + 0.01 * 4 * 50;
+  EXPECT_NEAR(est.seconds, truth, 0.25 * truth);
+}
+
+TEST(LogicalOpModelTest, WayOffInputTriggersRemedy) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  auto est = model.Estimate({20, 50}).value();  // x1 trained to 8, step 1
+  EXPECT_TRUE(est.used_remedy);
+  ASSERT_EQ(est.pivot_dims.size(), 1u);
+  EXPECT_EQ(est.pivot_dims[0], 0u);
+  EXPECT_GT(est.remedy_seconds, 0.0);
+  // The combined estimate is the alpha blend of the two components.
+  EXPECT_NEAR(est.seconds,
+              0.5 * est.nn_seconds + 0.5 * est.remedy_seconds, 1e-9);
+}
+
+TEST(LogicalOpModelTest, RemedyBeatsRawNetworkOutOfRange) {
+  // The paper's Figure 14: the NN saturates at 20x10^6 records while the
+  // pivot regression extrapolates.
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  double err_nn = 0.0, err_combined = 0.0;
+  int n = 0;
+  for (double x2 = 20; x2 <= 80; x2 += 20) {
+    double truth = 5.0 * 20 + 0.2 * x2 + 0.01 * 20 * x2;
+    auto est = model.Estimate({20, x2}).value();
+    ASSERT_TRUE(est.used_remedy);
+    err_nn += std::abs(est.nn_seconds - truth);
+    err_combined += std::abs(est.seconds - truth);
+    ++n;
+  }
+  EXPECT_LT(err_combined, err_nn);
+}
+
+TEST(LogicalOpModelTest, TwoPivotRemedy) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  auto est = model.Estimate({20, 500}).value();  // both dims way off
+  EXPECT_TRUE(est.used_remedy);
+  EXPECT_EQ(est.pivot_dims.size(), 2u);
+  double truth = 5.0 * 20 + 0.2 * 500 + 0.01 * 20 * 500;
+  // The two-dimensional pivot regression still lands the right order of
+  // magnitude where the saturated NN cannot.
+  EXPECT_LT(std::abs(est.remedy_seconds - truth),
+            std::abs(est.nn_seconds - truth));
+}
+
+TEST(LogicalOpModelTest, OfflineTuningLearnsNewRange) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  auto truth = [](double x1, double x2) {
+    return 5.0 * x1 + 0.2 * x2 + 0.01 * x1 * x2;
+  };
+  double before = std::abs(model.Estimate({20, 50}).value().nn_seconds -
+                           truth(20, 50));
+  // Log executions at the new scale (the paper's 70% batch), then tune.
+  for (double x1 = 9; x1 <= 20; x1 += 1) {
+    for (double x2 = 10; x2 <= 100; x2 += 30) {
+      ASSERT_TRUE(model.LogExecution({x1, x2}, truth(x1, x2)).ok());
+    }
+  }
+  EXPECT_GT(model.log_size(), 0u);
+  ASSERT_TRUE(model.OfflineTune().ok());
+  EXPECT_EQ(model.log_size(), 0u);
+  double after = std::abs(model.Estimate({20, 50}).value().nn_seconds -
+                          truth(20, 50));
+  EXPECT_LT(after, before);
+  // Contiguous log values expanded the trained range: 20 is in range now.
+  EXPECT_TRUE(model.Estimate({20, 50}).value().pivot_dims.empty());
+}
+
+TEST(LogicalOpModelTest, OfflineTuneRequiresLog) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(4), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  EXPECT_EQ(model.OfflineTune().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LogicalOpModelTest, AlphaAdjustmentReducesError) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  EXPECT_DOUBLE_EQ(model.alpha(), 0.5);
+  auto truth = [](double x1, double x2) {
+    return 5.0 * x1 + 0.2 * x2 + 0.01 * x1 * x2;
+  };
+  // Execute an out-of-range batch (Table 1's protocol).
+  std::vector<std::vector<double>> batch;
+  for (double x2 = 10; x2 <= 100; x2 += 10) batch.push_back({16, x2});
+  double rmse_before = 0.0;
+  for (const auto& f : batch) {
+    double est = model.Estimate(f).value().seconds;
+    rmse_before += (est - truth(f[0], f[1])) * (est - truth(f[0], f[1]));
+    ASSERT_TRUE(model.LogExecution(f, truth(f[0], f[1])).ok());
+  }
+  double alpha = model.AdjustAlpha().value();
+  EXPECT_GE(alpha, 0.05);
+  EXPECT_LE(alpha, 0.95);
+  double rmse_after = 0.0;
+  for (const auto& f : batch) {
+    double est = model.Estimate(f).value().seconds;
+    rmse_after += (est - truth(f[0], f[1])) * (est - truth(f[0], f[1]));
+  }
+  EXPECT_LE(rmse_after, rmse_before + 1e-9);
+}
+
+TEST(LogicalOpModelTest, AlphaAdjustmentNeedsRemedyLog) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(8), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  ASSERT_TRUE(model.LogExecution({4, 50}, 25.0).ok());  // in range
+  EXPECT_EQ(model.AdjustAlpha().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LogicalOpModelTest, TopologySearchPicksWithinPaperBounds) {
+  LogicalOpOptions opts = FastOptions();
+  opts.run_topology_search = true;
+  opts.search.search_iterations = 400;
+  opts.search.layer1_step = 2;
+  opts.mlp.iterations = 1500;
+  auto model = LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     SurfaceGrid(8), {"x1", "x2"}, opts)
+                   .value();
+  auto [h1, h2] = model.topology();
+  EXPECT_GE(h1, 2);
+  EXPECT_LE(h1, 4);  // between d and 2d for d = 2
+  EXPECT_GE(h2, 3);
+}
+
+TEST(LogicalOpModelTest, EstimatesAreFloored) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(4), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  // Far below the trained range, the raw components could go negative; the
+  // estimate never does.
+  auto est = model.Estimate({-50, -500}).value();
+  EXPECT_GT(est.seconds, 0.0);
+}
+
+TEST(LogicalOpModelTest, RejectsBadLogEntries) {
+  auto model = LogicalOpModel::Train(rel::OperatorType::kJoin,
+                                     SurfaceGrid(4), {"x1", "x2"},
+                                     FastOptions())
+                   .value();
+  EXPECT_FALSE(model.LogExecution({1, 10}, -1.0).ok());
+  EXPECT_FALSE(model.LogExecution({1}, 1.0).ok());  // width mismatch
+}
+
+TEST(LogicalOpEndToEndTest, AggregationModelOnSimulatedHive) {
+  // Small-scale version of the Figure-11 pipeline: generate the workload,
+  // execute on the simulated cluster, train, and check in-range accuracy.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 42);
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 200000, 400000, 800000};
+  wopts.record_sizes = {100, 250, 500};
+  wopts.num_aggregates = {1, 3, 5};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = CollectAggTraining(hive.get(), queries).value();
+  LogicalOpOptions opts = FastOptions();
+  opts.mlp.iterations = 8000;
+  auto model = LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     run.data, AggDimensionNames(), opts)
+                   .value();
+  std::vector<double> actual, predicted;
+  for (size_t i = 0; i < run.data.size(); i += 5) {
+    actual.push_back(run.data.y[i]);
+    predicted.push_back(model.Estimate(run.data.x[i]).value().seconds);
+  }
+  EXPECT_GT(RSquared(actual, predicted).value(), 0.9);
+}
+
+}  // namespace
+}  // namespace intellisphere::core

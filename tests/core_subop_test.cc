@@ -1,0 +1,338 @@
+// Unit tests for sub-operator costing: calibration via probes with the
+// subtraction scheme, catalog persistence, formulas, applicability rules,
+// and choice policies.
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.h"
+#include "core/sub_op.h"
+#include "relational/workload.h"
+#include "remote/blackbox.h"
+#include "remote/hive_engine.h"
+#include "util/metrics.h"
+
+namespace intellisphere::core {
+namespace {
+
+OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive.options().broadcast_threshold_factor * info.task_memory_bytes;
+  info.skew_threshold = hive.options().skew_threshold;
+  return info;
+}
+
+class SubOpCalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hive_ = remote::HiveEngine::CreateDefault("hive", 77).release();
+    auto run =
+        CalibrateSubOps(hive_, InfoFor(*hive_), CalibrationOptions{});
+    ASSERT_TRUE(run.ok()) << run.status();
+    run_ = new CalibrationRun(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    delete hive_;
+    run_ = nullptr;
+    hive_ = nullptr;
+  }
+
+  static remote::HiveEngine* hive_;
+  static CalibrationRun* run_;
+};
+
+remote::HiveEngine* SubOpCalibrationTest::hive_ = nullptr;
+CalibrationRun* SubOpCalibrationTest::run_ = nullptr;
+
+TEST_F(SubOpCalibrationTest, AllSubOpsAreModeled) {
+  for (SubOpKind kind : AllSubOpKinds()) {
+    EXPECT_TRUE(run_->catalog.Contains(kind)) << SubOpKindName(kind);
+  }
+  EXPECT_TRUE(run_->catalog.HasAllBasic());
+}
+
+TEST_F(SubOpCalibrationTest, RecoversGroundTruthWithinTolerance) {
+  // The simulator's ReadDFS truth at 1000 B is ~4.73 us plus a 5% warp;
+  // calibration observes it through schedulers, overheads, and noise, and
+  // must land within ~15%.
+  auto& gt = hive_->cluster().ground_truth();
+  // Cheap sub-ops recovered by double subtraction (rL, scan) carry more
+  // measurement noise relative to their magnitude, so they get a looser
+  // tolerance, as in any real calibration.
+  struct Case {
+    SubOpKind kind;
+    double truth;
+    double tolerance;
+  } cases[] = {
+      {SubOpKind::kReadDfs, gt.ReadDfsSec(1000), 0.15},
+      {SubOpKind::kWriteDfs, gt.WriteDfsSec(1000), 0.15},
+      {SubOpKind::kWriteLocal, gt.WriteLocalSec(1000), 0.15},
+      {SubOpKind::kReadLocal, gt.ReadLocalSec(1000), 0.35},
+      {SubOpKind::kShuffle, gt.ShuffleSec(1000), 0.15},
+      {SubOpKind::kScan, gt.ScanSec(1000), 0.35},
+      {SubOpKind::kRecMerge, gt.MergeSec(1000), 0.15},
+  };
+  for (const auto& c : cases) {
+    double est = run_->catalog.Cost(c.kind, 1000).value();
+    EXPECT_NEAR(est, c.truth, c.tolerance * c.truth) << SubOpKindName(c.kind);
+  }
+}
+
+TEST_F(SubOpCalibrationTest, PerRecordCostIsFlatAcrossRecordCounts) {
+  // Figure 7(a)/13(b): at a fixed record size, per-record cost barely moves
+  // with the dataset size.
+  const auto& pts = run_->points.at(SubOpKind::kReadDfs);
+  std::map<int64_t, std::vector<double>> by_size;
+  for (const auto& p : pts) by_size[p.record_bytes].push_back(p.seconds_per_record);
+  for (const auto& [size, vals] : by_size) {
+    double mn = *std::min_element(vals.begin(), vals.end());
+    double mx = *std::max_element(vals.begin(), vals.end());
+    EXPECT_LT((mx - mn) / mx, 0.35) << "size " << size;
+  }
+}
+
+TEST_F(SubOpCalibrationTest, LinearModelsFitTightly) {
+  // The paper reports R^2 >= 0.95 for the sub-op lines (Fig 13(c,d,e)).
+  for (SubOpKind kind : {SubOpKind::kWriteDfs, SubOpKind::kShuffle,
+                         SubOpKind::kRecMerge, SubOpKind::kReadDfs}) {
+    const auto& pts = run_->points.at(kind);
+    std::map<int64_t, std::pair<double, int>> by_size;
+    for (const auto& p : pts) {
+      by_size[p.record_bytes].first += p.seconds_per_record;
+      by_size[p.record_bytes].second++;
+    }
+    std::vector<double> xs, ys;
+    for (auto& [s, acc] : by_size) {
+      xs.push_back(double(s));
+      ys.push_back(acc.first / acc.second);
+    }
+    auto line = FitLine(xs, ys).value();
+    EXPECT_GT(line.r2, 0.95) << SubOpKindName(kind);
+  }
+}
+
+TEST_F(SubOpCalibrationTest, HashBuildIsTwoRegime) {
+  auto model = run_->catalog.Get(SubOpKind::kHashBuild).value();
+  ASSERT_TRUE(model->two_regime());
+  // The spill regime costs more at large record sizes (Fig 13(f)).
+  double fit = model->PerRecordSeconds(1000, true).value();
+  double spill = model->PerRecordSeconds(1000, false).value();
+  EXPECT_GT(spill, 1.5 * fit);
+}
+
+TEST_F(SubOpCalibrationTest, OverheadModelCalibrated) {
+  EXPECT_GT(run_->catalog.info().job_overhead_intercept, 0.5);
+  EXPECT_GT(run_->catalog.info().job_overhead_per_wave, 0.1);
+}
+
+TEST_F(SubOpCalibrationTest, TrainingIsOrdersOfMagnitudeCheaperThanLogicalOp) {
+  // The paper: sub-op training needs 10s of queries per sub-op and minutes
+  // of cluster time vs thousands of queries / many hours for logical-op.
+  EXPECT_LT(run_->probe_queries, 300);
+  EXPECT_LT(run_->total_seconds, 3 * 3600.0);
+}
+
+TEST_F(SubOpCalibrationTest, CatalogSaveLoadRoundTrip) {
+  Properties props;
+  run_->catalog.Save("cp_", &props);
+  auto loaded = SubOpCatalog::Load("cp_", Properties::Parse(
+                                              props.Serialize()).value())
+                    .value();
+  for (SubOpKind kind : AllSubOpKinds()) {
+    ASSERT_TRUE(loaded.Contains(kind));
+    EXPECT_DOUBLE_EQ(loaded.Cost(kind, 500).value(),
+                     run_->catalog.Cost(kind, 500).value());
+  }
+  EXPECT_EQ(loaded.info().total_slots, run_->catalog.info().total_slots);
+}
+
+TEST_F(SubOpCalibrationTest, ShuffleJoinFormulaTracksEngine) {
+  auto est = SubOpCostEstimator::ForHive(run_->catalog).value();
+  std::vector<double> actual, pred;
+  for (int64_t lrows : {2000000LL, 8000000LL}) {
+    for (int64_t bytes : {100LL, 500LL}) {
+      auto l = rel::SyntheticTableDef(lrows, bytes).value();
+      auto r = rel::SyntheticTableDef(lrows / 2, bytes).value();
+      auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+      actual.push_back(
+          hive_->ExecuteJoinWithAlgorithm(
+                   q, remote::HiveJoinAlgorithm::kShuffleJoin)
+              .value()
+              .elapsed_seconds);
+      pred.push_back(est.EstimateJoinAlgorithm(q, "shuffle_join").value());
+    }
+  }
+  EXPECT_GT(RSquared(actual, pred).value(), 0.8);
+}
+
+TEST_F(SubOpCalibrationTest, BroadcastJoinFormulaTracksEngine) {
+  auto est = SubOpCostEstimator::ForHive(run_->catalog).value();
+  std::vector<double> actual, pred;
+  for (int64_t lrows : {4000000LL, 16000000LL}) {
+    for (int64_t srows : {100000LL, 1000000LL}) {
+      auto l = rel::SyntheticTableDef(lrows, 250).value();
+      auto r = rel::SyntheticTableDef(srows, 100).value();
+      auto q = rel::MakeJoinQuery(l, r, 32, 32, 1.0).value();
+      actual.push_back(
+          hive_->ExecuteJoinWithAlgorithm(
+                   q, remote::HiveJoinAlgorithm::kBroadcastJoin)
+              .value()
+              .elapsed_seconds);
+      pred.push_back(est.EstimateJoinAlgorithm(q, "broadcast_join").value());
+    }
+  }
+  EXPECT_GT(RSquared(actual, pred).value(), 0.8);
+}
+
+TEST_F(SubOpCalibrationTest, ApplicabilityRulesEliminateCandidates) {
+  auto est = SubOpCostEstimator::ForHive(run_->catalog).value();
+  auto l = rel::SyntheticTableDef(8000000, 500).value();
+  auto r = rel::SyntheticTableDef(8000000, 500).value();  // 4 GB: no bcast
+  auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+  auto res = est.EstimateJoin(q).value();
+  for (const auto& c : res.candidates) {
+    EXPECT_NE(c.algorithm, "broadcast_join");
+    EXPECT_NE(c.algorithm, "bucket_map_join");       // not bucketed
+    EXPECT_NE(c.algorithm, "sort_merge_bucket_join");
+    EXPECT_NE(c.algorithm, "skew_join");             // no skew
+  }
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(res.chosen_algorithm, "shuffle_join");
+
+  // Bucketing widens the candidate set.
+  q.right_bucketed_on_key = true;
+  q.left_bucketed_on_key = true;
+  auto res2 = est.EstimateJoin(q).value();
+  EXPECT_EQ(res2.candidates.size(), 3u);
+}
+
+TEST_F(SubOpCalibrationTest, ChoicePoliciesOrderAsExpected) {
+  auto l = rel::SyntheticTableDef(8000000, 500).value();
+  auto r = rel::SyntheticTableDef(8000000, 500).value();
+  auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+  q.right_bucketed_on_key = true;
+  q.left_bucketed_on_key = true;
+  auto worst =
+      SubOpCostEstimator::ForHive(run_->catalog, ChoicePolicy::kWorstCase)
+          .value()
+          .EstimateJoin(q)
+          .value();
+  auto avg =
+      SubOpCostEstimator::ForHive(run_->catalog, ChoicePolicy::kAverage)
+          .value()
+          .EstimateJoin(q)
+          .value();
+  auto inhouse = SubOpCostEstimator::ForHive(
+                     run_->catalog, ChoicePolicy::kInHouseComparable)
+                     .value()
+                     .EstimateJoin(q)
+                     .value();
+  EXPECT_GE(worst.seconds, avg.seconds);
+  EXPECT_GE(avg.seconds, inhouse.seconds);
+  EXPECT_FALSE(worst.chosen_algorithm.empty());
+  EXPECT_FALSE(inhouse.chosen_algorithm.empty());
+}
+
+TEST_F(SubOpCalibrationTest, AggFormulasRespectMemoryRule) {
+  auto est = SubOpCostEstimator::ForHive(run_->catalog).value();
+  auto t = rel::SyntheticTableDef(8000000, 250).value();
+  auto small_groups = rel::MakeAggQuery(t, 100, 2).value();
+  auto res = est.EstimateAgg(small_groups).value();
+  ASSERT_EQ(res.candidates.size(), 1u);
+  EXPECT_EQ(res.chosen_algorithm, "hash_aggregation");
+  auto big = rel::SyntheticTableDef(80000000, 100).value();
+  auto huge_groups = rel::MakeAggQuery(big, 1, 5).value();
+  auto res2 = est.EstimateAgg(huge_groups).value();
+  ASSERT_EQ(res2.candidates.size(), 1u);
+  EXPECT_EQ(res2.chosen_algorithm, "sort_aggregation");
+}
+
+TEST_F(SubOpCalibrationTest, UnknownAlgorithmIsNotFound) {
+  auto est = SubOpCostEstimator::ForHive(run_->catalog).value();
+  auto l = rel::SyntheticTableDef(1000000, 100).value();
+  auto q = rel::MakeJoinQuery(l, l, 32, 32, 1.0).value();
+  EXPECT_EQ(est.EstimateJoinAlgorithm(q, "quantum_join").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SubOpModelTest, CostsNeverNegative) {
+  // A spill line with a negative intercept (Fig 13(f)) must clamp at 0.
+  auto fit = ml::LinearRegression::Fit1D({100, 1000}, {1e-6, 2e-6}).value();
+  auto spill =
+      ml::LinearRegression::Fit1D({100, 1000}, {-5e-6, 2e-5}).value();
+  SubOpModel m(fit, spill);
+  EXPECT_GE(m.PerRecordSeconds(10, false).value(), 0.0);
+}
+
+TEST(SubOpCatalogTest, MissingSpecificSubOpsFallBackToDefaults) {
+  // Section 4: Specific sub-ops are optional — "IntelliSphere can provide
+  // rough default values for them". A catalog with only the Basic six must
+  // still cost every formula.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 7);
+  OpenboxInfo info = InfoFor(*hive);
+  auto run = CalibrateSubOps(hive.get(), info, CalibrationOptions{}).value();
+  SubOpCatalog basic_only(run.catalog.info());
+  for (SubOpKind kind : AllSubOpKinds()) {
+    if (IsBasicSubOp(kind)) {
+      basic_only.Put(kind, *run.catalog.Get(kind).value());
+    }
+  }
+  EXPECT_TRUE(basic_only.HasAllBasic());
+  EXPECT_FALSE(basic_only.Contains(SubOpKind::kRecMerge));
+  // Specific sub-ops resolve to the rough defaults...
+  EXPECT_GT(basic_only.Cost(SubOpKind::kRecMerge, 500).value(), 0.0);
+  EXPECT_GT(basic_only.Cost(SubOpKind::kHashBuild, 500, false).value(), 0.0);
+  // ...and the default is within an order of magnitude of the calibrated
+  // truth ("rough").
+  double calibrated = run.catalog.Cost(SubOpKind::kRecMerge, 500).value();
+  double fallback = basic_only.Cost(SubOpKind::kRecMerge, 500).value();
+  EXPECT_GT(fallback, calibrated / 10);
+  EXPECT_LT(fallback, calibrated * 10);
+  // Whole-formula estimation works on the basic-only catalog.
+  auto est = SubOpCostEstimator::ForHive(basic_only).value();
+  auto l = rel::SyntheticTableDef(4000000, 250).value();
+  auto r = rel::SyntheticTableDef(1000000, 100).value();
+  auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+  EXPECT_GT(est.EstimateJoin(q).value().seconds, 0.0);
+  // Basic sub-ops have no default: a truly empty catalog still fails.
+  SubOpCatalog empty(run.catalog.info());
+  EXPECT_EQ(empty.Cost(SubOpKind::kReadDfs, 500).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(
+      SubOpCatalog::DefaultSpecificCost(SubOpKind::kReadDfs, 500).ok());
+}
+
+TEST(SubOpCatalogTest, MissingBasicBlocksEstimator) {
+  SubOpCatalog catalog;  // empty
+  EXPECT_EQ(
+      SubOpCostEstimator::ForHive(std::move(catalog)).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(SubOpCalibrationErrorsTest, BlackboxRefusesCalibration) {
+  auto inner = remote::HiveEngine::CreateDefault("hive", 5);
+  OpenboxInfo info = InfoFor(*inner);
+  remote::BlackboxSystem blackbox(std::move(inner));
+  auto run = CalibrateSubOps(&blackbox, info, CalibrationOptions{});
+  EXPECT_EQ(run.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SubOpCalibrationErrorsTest, NeedsEnoughGrid) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 6);
+  CalibrationOptions opts;
+  opts.record_sizes = {100};
+  EXPECT_FALSE(CalibrateSubOps(hive.get(), InfoFor(*hive), opts).ok());
+  opts = CalibrationOptions{};
+  opts.record_counts = {};
+  EXPECT_FALSE(CalibrateSubOps(hive.get(), InfoFor(*hive), opts).ok());
+  EXPECT_FALSE(
+      CalibrateSubOps(nullptr, OpenboxInfo{}, CalibrationOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace intellisphere::core

@@ -1,0 +1,178 @@
+// Unit tests for training metadata (ranges, pivots, continuity-checked
+// expansion) and the training-collection driver.
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "core/training.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere::core {
+namespace {
+
+ml::Dataset GridDataset() {
+  // One dimension on the Figure-2 grid: 100..1000 step 100; a second
+  // dimension on 1..5 step 1.
+  ml::Dataset d;
+  for (int a = 100; a <= 1000; a += 100) {
+    for (int b = 1; b <= 5; ++b) {
+      d.Add({double(a), double(b)}, a * b * 0.01);
+    }
+  }
+  return d;
+}
+
+TEST(TrainingMetadataTest, FromDatasetRecoversGridShape) {
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  ASSERT_EQ(meta.num_dimensions(), 2u);
+  EXPECT_EQ(meta.dimension(0).name, "row_size");
+  EXPECT_DOUBLE_EQ(meta.dimension(0).min, 100);
+  EXPECT_DOUBLE_EQ(meta.dimension(0).max, 1000);
+  EXPECT_DOUBLE_EQ(meta.dimension(0).step_size, 100);
+  EXPECT_DOUBLE_EQ(meta.dimension(1).step_size, 1);
+}
+
+TEST(TrainingMetadataTest, RejectsNameMismatch) {
+  EXPECT_FALSE(TrainingMetadata::FromDataset(GridDataset(), {"one"}).ok());
+}
+
+TEST(TrainingMetadataTest, WayOffUsesBetaTimesStep) {
+  DimensionMeta m{"d", 100, 1000, 100, {}};
+  EXPECT_FALSE(m.WayOff(500, 2.0));    // in range
+  EXPECT_FALSE(m.WayOff(1150, 2.0));   // outside but within beta*step
+  EXPECT_TRUE(m.WayOff(1201, 2.0));    // beyond beta*step
+  EXPECT_TRUE(m.WayOff(-150, 2.0));    // below, beyond slack
+  EXPECT_FALSE(m.WayOff(-50, 2.0));
+}
+
+TEST(TrainingMetadataTest, PivotDetection) {
+  // The paper's example: row size trained on [100, 1000]; a query at
+  // 10,000 bytes is way off and pivots.
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  auto pivots = meta.PivotDimensions({10000, 3}, 2.0).value();
+  ASSERT_EQ(pivots.size(), 1u);
+  EXPECT_EQ(pivots[0], 0u);
+  EXPECT_TRUE(meta.PivotDimensions({500, 3}, 2.0).value().empty());
+  auto both = meta.PivotDimensions({10000, 50}, 2.0).value();
+  EXPECT_EQ(both.size(), 2u);
+  EXPECT_FALSE(meta.PivotDimensions({1.0}, 2.0).ok());   // width mismatch
+  EXPECT_FALSE(meta.PivotDimensions({500, 3}, 1.0).ok());  // beta <= 1
+}
+
+TEST(TrainingMetadataTest, AbsorbExpandsContiguousValues) {
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  // 1,100 is within 2*step of the max: the range expands.
+  int expanded = meta.Absorb({{1100, 3}}, 2.0).value();
+  EXPECT_EQ(expanded, 1);
+  EXPECT_DOUBLE_EQ(meta.dimension(0).max, 1100);
+  EXPECT_TRUE(meta.dimension(0).islands.empty());
+}
+
+TEST(TrainingMetadataTest, AbsorbKeepsDisconnectedValuesAsIslands) {
+  // The paper's example: log entries at 8,000 and 10,000 bytes do not
+  // expand the [100, 1000] range because continuity is broken; they are
+  // recorded in the metadata instead.
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  int expanded = meta.Absorb({{8000, 3}, {10000, 2}}, 2.0).value();
+  EXPECT_EQ(expanded, 0);
+  EXPECT_DOUBLE_EQ(meta.dimension(0).max, 1000);
+  EXPECT_EQ(meta.dimension(0).islands,
+            (std::vector<double>{8000, 10000}));
+}
+
+TEST(TrainingMetadataTest, IslandsConnectWhenGapFills) {
+  DimensionMeta m{"d", 100, 1000, 100, {}};
+  TrainingMetadata meta({m});
+  // Islands at 1400 and 1600 (too far alone), then 1200 bridges the gap:
+  // the whole chain should connect up to 1600.
+  ASSERT_TRUE(meta.Absorb({{1400}, {1600}}, 2.0).ok());
+  EXPECT_DOUBLE_EQ(meta.dimension(0).max, 1000);
+  ASSERT_TRUE(meta.Absorb({{1200}}, 2.0).ok());
+  EXPECT_DOUBLE_EQ(meta.dimension(0).max, 1600);
+  EXPECT_TRUE(meta.dimension(0).islands.empty());
+}
+
+TEST(TrainingMetadataTest, AbsorbValidatesInput) {
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  EXPECT_FALSE(meta.Absorb({{1.0}}, 2.0).ok());          // width mismatch
+  EXPECT_FALSE(meta.Absorb({{1100, 3}}, 0.0).ok());      // bad factor
+}
+
+TEST(TrainingMetadataTest, SaveLoadRoundTrip) {
+  auto meta =
+      TrainingMetadata::FromDataset(GridDataset(), {"row_size", "k"}).value();
+  ASSERT_TRUE(meta.Absorb({{8000, 3}}, 2.0).ok());
+  Properties props;
+  meta.Save("m_", &props);
+  auto loaded = TrainingMetadata::Load("m_", props).value();
+  ASSERT_EQ(loaded.num_dimensions(), 2u);
+  EXPECT_EQ(loaded.dimension(0).name, "row_size");
+  EXPECT_DOUBLE_EQ(loaded.dimension(0).step_size, 100);
+  EXPECT_EQ(loaded.dimension(0).islands, (std::vector<double>{8000}));
+}
+
+TEST(TrainerTest, CollectsLabeledDatasetAndCumulativeTime) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 10);
+  rel::AggWorkloadOptions opts;
+  opts.record_counts = {100000, 400000};
+  opts.record_sizes = {100, 500};
+  opts.shrink_factors = {1, 10};
+  opts.num_aggregates = {1};
+  auto queries = rel::GenerateAggWorkload(opts).value();
+  auto run = CollectAggTraining(hive.get(), queries).value();
+  EXPECT_EQ(run.data.size(), queries.size());
+  EXPECT_EQ(run.data.num_features(), 4u);
+  ASSERT_EQ(run.cumulative_seconds.size(), queries.size());
+  // Cumulative time is strictly increasing.
+  for (size_t i = 1; i < run.cumulative_seconds.size(); ++i) {
+    EXPECT_GT(run.cumulative_seconds[i], run.cumulative_seconds[i - 1]);
+  }
+  EXPECT_NEAR(run.total_seconds(), hive->total_simulated_seconds(), 1e-9);
+}
+
+TEST(TrainerTest, JoinFeaturesHaveSevenDimensions) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 11);
+  rel::JoinWorkloadOptions opts;
+  opts.left_record_counts = {1000000};
+  opts.right_record_counts = {100000};
+  opts.record_sizes = {100};
+  opts.output_selectivities = {1.0};
+  opts.projection_levels = {1};
+  auto queries = rel::GenerateJoinWorkload(opts).value();
+  auto run = CollectJoinTraining(hive.get(), queries).value();
+  EXPECT_EQ(run.data.num_features(), 7u);
+  EXPECT_EQ(JoinDimensionNames().size(), 7u);
+  EXPECT_EQ(AggDimensionNames().size(), 4u);
+}
+
+TEST(TrainerTest, SkipsUnsupportedOperators) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 12);
+  auto l = rel::SyntheticTableDef(1000000, 100).value();
+  auto r = rel::SyntheticTableDef(100000, 100).value();
+  auto good = rel::MakeJoinQuery(l, r, 32, 32, 1.0).value();
+  rel::JoinQuery bad = good;
+  bad.is_equi_join = false;  // Hive cannot run it
+  auto run = CollectJoinTraining(hive.get(), {good, bad, good}).value();
+  EXPECT_EQ(run.data.size(), 2u);
+}
+
+TEST(TrainerTest, FailsWhenNothingSupported) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 13);
+  auto l = rel::SyntheticTableDef(1000000, 100).value();
+  auto r = rel::SyntheticTableDef(100000, 100).value();
+  rel::JoinQuery bad = rel::MakeJoinQuery(l, r, 32, 32, 1.0).value();
+  bad.is_equi_join = false;
+  EXPECT_EQ(CollectJoinTraining(hive.get(), {bad}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(CollectJoinTraining(nullptr, {bad}).ok());
+  EXPECT_FALSE(CollectJoinTraining(hive.get(), {}).ok());
+}
+
+}  // namespace
+}  // namespace intellisphere::core

@@ -1,0 +1,252 @@
+// Unit tests for the federation layer: QueryGrid transfer model and the
+// IntelliSphere placement optimizer.
+
+#include <gtest/gtest.h>
+
+#include "core/sub_op.h"
+#include "federation/intellisphere.h"
+#include "federation/querygrid.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+
+namespace intellisphere::fed {
+namespace {
+
+core::OpenboxInfo InfoFor(const remote::SimulatedEngineBase& engine,
+                          double broadcast_factor) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = engine.cluster().config().dfs_block_bytes;
+  info.total_slots = engine.cluster().config().TotalSlots();
+  info.num_worker_nodes = engine.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = engine.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes = broadcast_factor * info.task_memory_bytes;
+  return info;
+}
+
+core::CostingProfile ProfileFor(remote::HiveEngine* hive) {
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(
+                 hive, InfoFor(*hive, hive->options().broadcast_threshold_factor),
+                 copts)
+                 .value();
+  return core::CostingProfile::SubOpOnly(
+      core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value());
+}
+
+TEST(QueryGridTest, TransferCostComponents) {
+  QueryGrid grid;
+  ConnectorParams p;
+  p.setup_seconds = 1.0;
+  p.per_record_us = 1.0;
+  p.bandwidth_bytes_per_sec = 1e6;
+  ASSERT_TRUE(grid.RegisterConnector("hive", p).ok());
+  // 1e6 records x 100 B: 1 + 1 s marshalling + 100 s wire time.
+  EXPECT_NEAR(grid.TransferSeconds("hive", 1000000, 100).value(), 102.0,
+              1e-9);
+  EXPECT_FALSE(grid.TransferSeconds("presto", 1, 1).ok());
+  EXPECT_FALSE(grid.TransferSeconds("hive", -1, 1).ok());
+}
+
+TEST(QueryGridTest, PushdownReducesVolume) {
+  QueryGrid grid;
+  ConnectorParams p;
+  p.pushdown_selectivity = 0.1;
+  ASSERT_TRUE(grid.RegisterConnector("hive", p).ok());
+  ConnectorParams full;
+  QueryGrid grid2;
+  ASSERT_TRUE(grid2.RegisterConnector("hive", full).ok());
+  EXPECT_LT(grid.TransferSeconds("hive", 1000000, 100).value(),
+            grid2.TransferSeconds("hive", 1000000, 100).value());
+}
+
+TEST(QueryGridTest, RelayGoesThroughTeradata) {
+  QueryGrid grid;
+  ASSERT_TRUE(grid.RegisterConnector("hive", ConnectorParams{}).ok());
+  ASSERT_TRUE(grid.RegisterConnector("spark", ConnectorParams{}).ok());
+  double one_hop = grid.TransferSeconds("hive", 1000000, 100).value();
+  // Remote-to-remote pays both hops.
+  EXPECT_NEAR(grid.RelaySeconds("hive", "spark", 1000000, 100).value(),
+              2 * one_hop, 1e-9);
+  // To/from Teradata pays one hop.
+  EXPECT_NEAR(
+      grid.RelaySeconds("hive", kTeradataSystemName, 1000000, 100).value(),
+      one_hop, 1e-9);
+  EXPECT_DOUBLE_EQ(grid.RelaySeconds("hive", "hive", 1000000, 100).value(),
+                   0.0);
+}
+
+TEST(QueryGridTest, RegistrationRules) {
+  QueryGrid grid;
+  EXPECT_FALSE(grid.RegisterConnector(kTeradataSystemName, {}).ok());
+  ASSERT_TRUE(grid.RegisterConnector("hive", {}).ok());
+  EXPECT_EQ(grid.RegisterConnector("hive", {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(grid.HasConnector("hive"));
+}
+
+class IntelliSphereTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto hive = remote::HiveEngine::CreateDefault("hive", 31);
+    hive_ = hive.get();
+    ASSERT_TRUE(sphere_
+                    .RegisterRemoteSystem(std::move(hive),
+                                          ProfileFor(hive_), ConnectorParams{})
+                    .ok());
+    auto big = rel::SyntheticTableDef(8000000, 250).value();
+    big.location = "hive";
+    ASSERT_TRUE(sphere_.RegisterTable(big).ok());
+    auto small = rel::SyntheticTableDef(100000, 100).value();
+    small.location = kTeradataSystemName;
+    ASSERT_TRUE(sphere_.RegisterTable(small).ok());
+  }
+
+  IntelliSphere sphere_;
+  remote::HiveEngine* hive_ = nullptr;
+};
+
+TEST_F(IntelliSphereTest, RegistrationValidation) {
+  auto orphan = rel::SyntheticTableDef(1000, 40).value();
+  orphan.location = "presto";  // unregistered
+  EXPECT_FALSE(sphere_.RegisterTable(orphan).ok());
+  EXPECT_FALSE(sphere_.GetTable("nope").ok());
+  EXPECT_TRUE(sphere_.GetSystem("hive").ok());
+  EXPECT_FALSE(sphere_.GetSystem(kTeradataSystemName).ok());
+  EXPECT_EQ(sphere_.SystemNames(), std::vector<std::string>{"hive"});
+}
+
+TEST_F(IntelliSphereTest, PlanJoinEnumeratesHostsAndSorts) {
+  auto plan = sphere_
+                  .PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0)
+                  .value();
+  // Candidates: hive (owns the big table) and teradata.
+  ASSERT_EQ(plan.options.size(), 2u);
+  for (size_t i = 1; i < plan.options.size(); ++i) {
+    EXPECT_LE(plan.options[i - 1].total_seconds(),
+              plan.options[i].total_seconds());
+  }
+  // Moving the 2 GB table to Teradata is costed as transfer.
+  for (const auto& o : plan.options) {
+    if (o.system == kTeradataSystemName) {
+      EXPECT_GT(o.transfer_seconds, 1.0);
+    } else {
+      EXPECT_EQ(o.system, "hive");
+      // Only the small Teradata-side table moves to hive.
+      EXPECT_LT(o.transfer_seconds, 10.0);
+    }
+  }
+}
+
+TEST_F(IntelliSphereTest, BigRemoteInputFavorsRemoteExecution) {
+  // Shipping 2 GB out of hive to join with a 10 MB table would be absurd;
+  // the optimizer should place the join on hive.
+  auto plan = sphere_
+                  .PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0)
+                  .value();
+  EXPECT_EQ(plan.best().system, "hive");
+}
+
+TEST_F(IntelliSphereTest, TinyLocalInputsFavorTeradata) {
+  auto a = rel::SyntheticTableDef(20000, 40).value();
+  a.location = kTeradataSystemName;
+  a.name = "local_a";
+  auto b = rel::SyntheticTableDef(10000, 40).value();
+  b.location = kTeradataSystemName;
+  b.name = "local_b";
+  ASSERT_TRUE(sphere_.RegisterTable(a).ok());
+  ASSERT_TRUE(sphere_.RegisterTable(b).ok());
+  auto plan = sphere_.PlanJoin("local_a", "local_b", 32, 32, 1.0).value();
+  EXPECT_EQ(plan.best().system, kTeradataSystemName);
+}
+
+TEST_F(IntelliSphereTest, PlanAggConsidersOwnerAndTeradata) {
+  // A strongly shrinking aggregation (80k groups) is far cheaper to run
+  // where the 2 GB input lives than after shipping it to Teradata.
+  auto plan = sphere_.PlanAgg("T8000000_250", "a100", 2).value();
+  ASSERT_EQ(plan.options.size(), 2u);
+  EXPECT_EQ(plan.best().system, "hive");
+  EXPECT_EQ(plan.op.type, rel::OperatorType::kAggregation);
+  EXPECT_EQ(plan.op.agg.output_rows, 80000);
+}
+
+TEST_F(IntelliSphereTest, ExecuteBestRunsOnChosenSystem) {
+  auto plan = sphere_.PlanAgg("T8000000_250", "a100", 1).value();
+  ASSERT_EQ(plan.best().system, "hive");
+  int64_t before = hive_->queries_executed();
+  double elapsed = sphere_.ExecuteBest(plan).value();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(hive_->queries_executed(), before + 1);
+  // The estimate is in the same ballpark as the observed execution.
+  EXPECT_NEAR(plan.best().operator_seconds, elapsed,
+              0.6 * std::max(elapsed, plan.best().operator_seconds));
+}
+
+TEST_F(IntelliSphereTest, RejectsDuplicateAndReservedRegistrations) {
+  auto another = remote::HiveEngine::CreateDefault("hive", 32);
+  auto* raw = another.get();
+  EXPECT_EQ(sphere_
+                .RegisterRemoteSystem(std::move(another), ProfileFor(raw),
+                                      ConnectorParams{})
+                .code(),
+            StatusCode::kAlreadyExists);
+  auto reserved = remote::HiveEngine::CreateDefault(kTeradataSystemName, 33);
+  auto* raw2 = reserved.get();
+  EXPECT_FALSE(sphere_
+                   .RegisterRemoteSystem(std::move(reserved),
+                                         ProfileFor(raw2), ConnectorParams{})
+                   .ok());
+}
+
+TEST(IntelliSphereMultiSystemTest, JoinAcrossTwoRemotes) {
+  // The paper's example: R in Hive, S in another system; candidates are
+  // Hive, the other system, and Teradata.
+  IntelliSphere sphere;
+  auto hive = remote::HiveEngine::CreateDefault("hive", 41);
+  auto* hive_raw = hive.get();
+  ASSERT_TRUE(sphere
+                  .RegisterRemoteSystem(std::move(hive), ProfileFor(hive_raw),
+                                        ConnectorParams{})
+                  .ok());
+  auto spark = remote::SparkEngine::CreateDefault("spark", 42);
+  auto* spark_raw = spark.get();
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(
+                 spark_raw,
+                 InfoFor(*spark_raw,
+                         spark_raw->options().broadcast_threshold_factor),
+                 copts)
+                 .value();
+  ASSERT_TRUE(
+      sphere
+          .RegisterRemoteSystem(
+              std::move(spark),
+              core::CostingProfile::SubOpOnly(
+                  core::SubOpCostEstimator::ForHive(std::move(run.catalog))
+                      .value()),
+              ConnectorParams{})
+          .ok());
+
+  auto r = rel::SyntheticTableDef(8000000, 250).value();
+  r.location = "hive";
+  ASSERT_TRUE(sphere.RegisterTable(r).ok());
+  auto s = rel::SyntheticTableDef(2000000, 100).value();
+  s.location = "spark";
+  ASSERT_TRUE(sphere.RegisterTable(s).ok());
+
+  auto plan = sphere.PlanJoin("T8000000_250", "T2000000_100", 32, 32, 0.5)
+                  .value();
+  EXPECT_EQ(plan.options.size(), 3u);
+  std::set<std::string> hosts;
+  for (const auto& o : plan.options) hosts.insert(o.system);
+  EXPECT_TRUE(hosts.count("hive"));
+  EXPECT_TRUE(hosts.count("spark"));
+  EXPECT_TRUE(hosts.count(kTeradataSystemName));
+}
+
+}  // namespace
+}  // namespace intellisphere::fed

@@ -1,0 +1,221 @@
+// Tests for costing-profile persistence: LogicalOpModel and CostingProfile
+// serialize to the Properties text format and reload with identical
+// behaviour (including remedy neighborhoods, alpha, islands, and the
+// per-operator routing of the hybrid extension).
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere::core {
+namespace {
+
+OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  return info;
+}
+
+LogicalOpModel TrainSmallAggModel(remote::HiveEngine* hive) {
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.num_aggregates = {1, 3};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = CollectAggTraining(hive, queries).value();
+  LogicalOpOptions opts;
+  opts.mlp.iterations = 3000;
+  return LogicalOpModel::Train(rel::OperatorType::kAggregation, run.data,
+                               AggDimensionNames(), opts)
+      .value();
+}
+
+SubOpCostEstimator Calibrate(remote::HiveEngine* hive) {
+  CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = CalibrateSubOps(hive, InfoFor(*hive), copts).value();
+  return SubOpCostEstimator::ForHive(std::move(run.catalog)).value();
+}
+
+rel::SqlOperator SampleAgg(int64_t rows = 400000) {
+  auto t = rel::SyntheticTableDef(rows, 100).value();
+  return rel::SqlOperator::MakeAgg(rel::MakeAggQuery(t, 10, 1).value());
+}
+
+TEST(LogicalOpPersistenceTest, RoundTripPreservesEstimates) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 71);
+  LogicalOpModel model = TrainSmallAggModel(hive.get());
+  model.set_alpha(0.63);
+
+  Properties props;
+  model.Save("m_", &props);
+  // Serialize to text and back, as a stored profile would.
+  auto reparsed = Properties::Parse(props.Serialize()).value();
+  auto loaded = LogicalOpModel::Load("m_", reparsed).value();
+
+  EXPECT_EQ(loaded.type(), rel::OperatorType::kAggregation);
+  EXPECT_DOUBLE_EQ(loaded.alpha(), 0.63);
+  EXPECT_EQ(loaded.metadata().num_dimensions(), 4u);
+
+  // Identical estimates in range and (critically) through the remedy path,
+  // which depends on the retained training points.
+  auto in_range = SampleAgg().LogicalOpFeatures();
+  EXPECT_DOUBLE_EQ(loaded.Estimate(in_range).value().seconds,
+                   model.Estimate(in_range).value().seconds);
+  auto out_of_range = SampleAgg(40000000).LogicalOpFeatures();
+  auto a = model.Estimate(out_of_range).value();
+  auto b = loaded.Estimate(out_of_range).value();
+  ASSERT_TRUE(a.used_remedy);
+  ASSERT_TRUE(b.used_remedy);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.remedy_seconds, b.remedy_seconds);
+}
+
+TEST(LogicalOpPersistenceTest, LoadedModelKeepsLearning) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 72);
+  LogicalOpModel model = TrainSmallAggModel(hive.get());
+  Properties props;
+  model.Save("m_", &props);
+  auto loaded = LogicalOpModel::Load("m_", props).value();
+  // The reloaded model retains its training data, so offline tuning works.
+  auto q = SampleAgg(40000000);
+  double actual = hive->Execute(q).value().elapsed_seconds;
+  ASSERT_TRUE(loaded.LogExecution(q.LogicalOpFeatures(), actual).ok());
+  EXPECT_TRUE(loaded.OfflineTune().ok());
+}
+
+TEST(LogicalOpPersistenceTest, RejectsCorruptedPayloads) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 73);
+  LogicalOpModel model = TrainSmallAggModel(hive.get());
+  Properties props;
+  model.Save("m_", &props);
+  Properties bad = props;
+  bad.SetInt("m_data_rows", 7);  // inconsistent with the flattened data
+  EXPECT_FALSE(LogicalOpModel::Load("m_", bad).ok());
+  bad = props;
+  bad.SetInt("m_type", 99);
+  EXPECT_FALSE(LogicalOpModel::Load("m_", bad).ok());
+  EXPECT_FALSE(LogicalOpModel::Load("missing_", props).ok());
+}
+
+TEST(ProfilePersistenceTest, SubOpProfileRoundTrip) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 74);
+  auto profile = CostingProfile::SubOpOnly(Calibrate(hive.get()));
+  Properties props;
+  profile.Save("p_", &props);
+  auto loaded =
+      CostingProfile::Load("p_", Properties::Parse(props.Serialize()).value())
+          .value();
+  EXPECT_EQ(loaded.approach(), CostingApproach::kSubOp);
+  auto op = SampleAgg();
+  EXPECT_DOUBLE_EQ(loaded.Estimate(op).value().seconds,
+                   profile.Estimate(op).value().seconds);
+}
+
+TEST(ProfilePersistenceTest, TimePhasedProfileRoundTrip) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 75);
+  std::map<rel::OperatorType, LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 TrainSmallAggModel(hive.get()));
+  auto profile = CostingProfile::SubOpThenLogicalOp(
+      Calibrate(hive.get()), std::move(models), 500.0);
+  Properties props;
+  profile.Save("p_", &props);
+  auto loaded = CostingProfile::Load("p_", props).value();
+  EXPECT_EQ(loaded.approach(), CostingApproach::kSubOpThenLogicalOp);
+  EXPECT_DOUBLE_EQ(loaded.switch_time(), 500.0);
+  auto op = SampleAgg();
+  EXPECT_EQ(loaded.Estimate(op, 0.0).value().approach_used,
+            CostingApproach::kSubOp);
+  EXPECT_EQ(loaded.Estimate(op, 1000.0).value().approach_used,
+            CostingApproach::kLogicalOp);
+  EXPECT_DOUBLE_EQ(loaded.Estimate(op, 1000.0).value().seconds,
+                   profile.Estimate(op, 1000.0).value().seconds);
+}
+
+TEST(PerOperatorProfileTest, RoutesByOperatorType) {
+  // The Section-5 extension: aggregations via logical-op, joins via sub-op,
+  // inside a single profile.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 76);
+  std::map<rel::OperatorType, LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 TrainSmallAggModel(hive.get()));
+  std::map<rel::OperatorType, CostingApproach> routing = {
+      {rel::OperatorType::kAggregation, CostingApproach::kLogicalOp},
+      {rel::OperatorType::kJoin, CostingApproach::kSubOp},
+  };
+  auto profile = CostingProfile::PerOperator(Calibrate(hive.get()),
+                                             std::move(models), routing)
+                     .value();
+  EXPECT_EQ(profile.approach(), CostingApproach::kPerOperator);
+  EXPECT_EQ(profile.Estimate(SampleAgg()).value().approach_used,
+            CostingApproach::kLogicalOp);
+  auto l = rel::SyntheticTableDef(4000000, 250).value();
+  auto r = rel::SyntheticTableDef(400000, 100).value();
+  auto join = rel::SqlOperator::MakeJoin(
+      rel::MakeJoinQuery(l, r, 32, 32, 0.5).value());
+  EXPECT_EQ(profile.Estimate(join).value().approach_used,
+            CostingApproach::kSubOp);
+  // Unrouted types default to sub-op.
+  auto scan = rel::SqlOperator::MakeScan(
+      rel::MakeScanQuery(l, 0.5, 32).value());
+  EXPECT_EQ(profile.Estimate(scan).value().approach_used,
+            CostingApproach::kSubOp);
+}
+
+TEST(PerOperatorProfileTest, ValidatesRouting) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 77);
+  // Routing a type to logical-op without a model is rejected.
+  std::map<rel::OperatorType, CostingApproach> routing = {
+      {rel::OperatorType::kJoin, CostingApproach::kLogicalOp},
+  };
+  EXPECT_FALSE(
+      CostingProfile::PerOperator(Calibrate(hive.get()), {}, routing).ok());
+  // Nested time-phased routing is rejected.
+  routing = {{rel::OperatorType::kJoin,
+              CostingApproach::kSubOpThenLogicalOp}};
+  EXPECT_FALSE(
+      CostingProfile::PerOperator(Calibrate(hive.get()), {}, routing).ok());
+}
+
+TEST(PerOperatorProfileTest, RoundTripsThroughProperties) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 78);
+  std::map<rel::OperatorType, LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 TrainSmallAggModel(hive.get()));
+  std::map<rel::OperatorType, CostingApproach> routing = {
+      {rel::OperatorType::kAggregation, CostingApproach::kLogicalOp},
+  };
+  auto profile = CostingProfile::PerOperator(Calibrate(hive.get()),
+                                             std::move(models), routing)
+                     .value();
+  Properties props;
+  profile.Save("p_", &props);
+  auto loaded = CostingProfile::Load("p_", props).value();
+  EXPECT_EQ(loaded.approach(), CostingApproach::kPerOperator);
+  auto op = SampleAgg();
+  EXPECT_EQ(loaded.Estimate(op).value().approach_used,
+            CostingApproach::kLogicalOp);
+  EXPECT_DOUBLE_EQ(loaded.Estimate(op).value().seconds,
+                   profile.Estimate(op).value().seconds);
+}
+
+TEST(ProfilePersistenceTest, LoadRejectsUnknownFamily) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 79);
+  auto profile = CostingProfile::SubOpOnly(Calibrate(hive.get()));
+  Properties props;
+  profile.Save("p_", &props);
+  props.SetString("p_formula_family", "presto");
+  EXPECT_EQ(CostingProfile::Load("p_", props).status().code(),
+            StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace intellisphere::core

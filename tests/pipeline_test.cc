@@ -1,0 +1,144 @@
+// Tests for multi-operator pipeline planning: join followed by aggregation
+// where the intermediate result may stay on the system that produced it.
+
+#include <gtest/gtest.h>
+
+#include "core/sub_op.h"
+#include "federation/intellisphere.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+
+namespace intellisphere::fed {
+namespace {
+
+core::OpenboxInfo InfoFor(const remote::SimulatedEngineBase& e) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = e.cluster().config().dfs_block_bytes;
+  info.total_slots = e.cluster().config().TotalSlots();
+  info.num_worker_nodes = e.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = e.cluster().config().TaskMemoryBytes();
+  // The expert records the engine's auto-broadcast threshold; leaving it
+  // unset would let the worst-case policy price broadcasts the engine
+  // would never attempt.
+  info.broadcast_threshold_bytes = 0.02 * info.task_memory_bytes;
+  return info;
+}
+
+core::CostingProfile ProfileFor(remote::SimulatedEngineBase* engine) {
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(engine, InfoFor(*engine), copts).value();
+  return core::CostingProfile::SubOpOnly(
+      core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value());
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto hive = remote::HiveEngine::CreateDefault("hive", 81);
+    auto* hive_raw = hive.get();
+    ASSERT_TRUE(sphere_
+                    .RegisterRemoteSystem(std::move(hive),
+                                          ProfileFor(hive_raw),
+                                          ConnectorParams{})
+                    .ok());
+    auto spark = remote::SparkEngine::CreateDefault("spark", 82);
+    auto* spark_raw = spark.get();
+    ASSERT_TRUE(sphere_
+                    .RegisterRemoteSystem(std::move(spark),
+                                          ProfileFor(spark_raw),
+                                          ConnectorParams{})
+                    .ok());
+    auto r = rel::SyntheticTableDef(8000000, 250).value();
+    r.location = "hive";
+    ASSERT_TRUE(sphere_.RegisterTable(r).ok());
+    auto s = rel::SyntheticTableDef(2000000, 100).value();
+    s.location = "spark";
+    ASSERT_TRUE(sphere_.RegisterTable(s).ok());
+  }
+
+  IntelliSphere sphere_;
+};
+
+TEST_F(PipelineTest, EnumeratesJoinAggPlacements) {
+  auto plan = sphere_
+                  .PlanJoinThenAgg("T8000000_250", "T2000000_100", 32, 32,
+                                   0.5, "a10", 2)
+                  .value();
+  // Join hosts: hive, spark, teradata; agg hosts: join host or teradata.
+  // (join on teradata collapses the pair, so 5 distinct placements.)
+  EXPECT_EQ(plan.options.size(), 5u);
+  // Sorted cheapest-first.
+  for (size_t i = 1; i < plan.options.size(); ++i) {
+    EXPECT_LE(plan.options[i - 1].total_seconds(),
+              plan.options[i].total_seconds());
+  }
+  // Operator descriptors are consistent.
+  EXPECT_EQ(plan.join_op.type, rel::OperatorType::kJoin);
+  EXPECT_EQ(plan.agg_op.type, rel::OperatorType::kAggregation);
+  EXPECT_EQ(plan.agg_op.agg.input.num_rows, plan.join_op.join.output_rows);
+  EXPECT_EQ(plan.agg_op.agg.input.row_bytes,
+            plan.join_op.join.OutputRowBytes());
+}
+
+TEST_F(PipelineTest, TransferAccountingIsConsistent) {
+  auto plan = sphere_
+                  .PlanJoinThenAgg("T8000000_250", "T2000000_100", 32, 32,
+                                   0.5, "a10", 2)
+                  .value();
+  for (const auto& p : plan.options) {
+    // Keeping the aggregation with the join avoids intermediate transfer.
+    if (p.agg_system == p.join_system) {
+      EXPECT_DOUBLE_EQ(p.interm_transfer_seconds, 0.0);
+    } else {
+      EXPECT_GT(p.interm_transfer_seconds, 0.0);
+    }
+    // A remote final answer must come back to Teradata.
+    if (p.agg_system == kTeradataSystemName) {
+      EXPECT_DOUBLE_EQ(p.result_transfer_seconds, 0.0);
+    } else {
+      EXPECT_GT(p.result_transfer_seconds, 0.0);
+    }
+    EXPECT_GT(p.join_seconds, 0.0);
+    EXPECT_GT(p.agg_seconds, 0.0);
+  }
+}
+
+TEST_F(PipelineTest, ShrinkingAggregationStaysRemote) {
+  // An 80 GB left table makes shipping it to Teradata prohibitive; with
+  // full-row projections the join result is a 2.2 GB intermediate, and
+  // GROUP BY a100 shrinks it 100x: the winning plan joins on the data's
+  // owner and aggregates in place, shipping only the groups.
+  auto big = rel::SyntheticTableDef(80000000, 1000).value();
+  big.location = "hive";
+  ASSERT_TRUE(sphere_.RegisterTable(big).ok());
+  auto plan = sphere_
+                  .PlanJoinThenAgg("T80000000_1000", "T2000000_100", 1000,
+                                   100, 1.0, "a100", 1)
+                  .value();
+  const auto& best = plan.best();
+  EXPECT_EQ(best.join_system, "hive");
+  EXPECT_EQ(best.agg_system, best.join_system);
+}
+
+TEST_F(PipelineTest, GroupCardinalityCappedByJoinOutput) {
+  // At selectivity 0.01 the join result (20k rows) has fewer rows than
+  // a10's distinct count (800k): the estimate must cap.
+  auto plan = sphere_
+                  .PlanJoinThenAgg("T8000000_250", "T2000000_100", 32, 32,
+                                   0.01, "a10", 1)
+                  .value();
+  EXPECT_LE(plan.agg_op.agg.output_rows, plan.join_op.join.output_rows);
+}
+
+TEST_F(PipelineTest, ErrorsOnUnknownTables) {
+  EXPECT_FALSE(sphere_
+                   .PlanJoinThenAgg("nope", "T2000000_100", 32, 32, 0.5,
+                                    "a10", 2)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace intellisphere::fed

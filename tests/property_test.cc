@@ -1,0 +1,279 @@
+// Cross-cutting property tests: invariants that must hold across the whole
+// operator/query space rather than at hand-picked points. Queries are
+// drawn from seeded generators, so failures are reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.h"
+#include "core/hybrid.h"
+#include "core/sub_op.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace intellisphere {
+namespace {
+
+core::OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive.options().broadcast_threshold_factor * info.task_memory_bytes;
+  info.skew_threshold = hive.options().skew_threshold;
+  return info;
+}
+
+// One shared calibrated estimator + engine for the whole suite (the
+// calibration itself is covered elsewhere).
+struct SharedFixture {
+  std::unique_ptr<remote::HiveEngine> hive;
+  std::unique_ptr<core::SubOpCostEstimator> estimator;
+
+  SharedFixture() {
+    hive = remote::HiveEngine::CreateDefault("hive", 555);
+    auto cal = core::CalibrateSubOps(hive.get(), InfoFor(*hive),
+                                     core::CalibrationOptions{});
+    estimator = std::make_unique<core::SubOpCostEstimator>(
+        core::SubOpCostEstimator::ForHive(
+            cal.value().catalog, core::ChoicePolicy::kInHouseComparable)
+            .value());
+  }
+};
+
+SharedFixture& Shared() {
+  static SharedFixture f;
+  return f;
+}
+
+rel::JoinQuery RandomJoin(Rng* rng) {
+  std::vector<int64_t> counts = rel::SyntheticRecordCounts();
+  std::vector<int64_t> sizes = rel::SyntheticRecordSizes();
+  // Stay at or below 2x10^7 rows so each simulated execution is quick.
+  int64_t lrows = counts[static_cast<size_t>(rng->UniformInt(0, 14))];
+  int64_t rrows = counts[static_cast<size_t>(rng->UniformInt(0, 10))];
+  if (rrows > lrows) std::swap(lrows, rrows);
+  auto l = rel::SyntheticTableDef(
+               lrows, sizes[static_cast<size_t>(rng->UniformInt(0, 5))])
+               .value();
+  auto r = rel::SyntheticTableDef(
+               rrows, sizes[static_cast<size_t>(rng->UniformInt(0, 5))])
+               .value();
+  double sel = std::vector<double>{1.0, 0.5, 0.25,
+                                   0.01}[static_cast<size_t>(
+      rng->UniformInt(0, 3))];
+  return rel::MakeJoinQuery(l, r, 32, 32, sel).value();
+}
+
+TEST(SubOpPropertyTest, EstimatesTrackActualsAcrossRandomJoins) {
+  Rng rng(101);
+  std::vector<double> actual, pred;
+  for (int i = 0; i < 40; ++i) {
+    rel::JoinQuery q = RandomJoin(&rng);
+    auto run = Shared().hive->ExecuteJoin(q).value();
+    auto est = Shared().estimator->EstimateJoin(q).value();
+    actual.push_back(run.elapsed_seconds);
+    pred.push_back(est.seconds);
+    // Never absurd: within a factor of 3 for every single query.
+    EXPECT_LT(est.seconds, 3.0 * run.elapsed_seconds) << "query " << i;
+    EXPECT_GT(est.seconds, run.elapsed_seconds / 3.0) << "query " << i;
+  }
+  // And tightly correlated in aggregate.
+  EXPECT_GT(RSquared(actual, pred).value(), 0.85);
+}
+
+TEST(SubOpPropertyTest, EstimatesMonotoneInLeftCardinality) {
+  auto r = rel::SyntheticTableDef(1000000, 100).value();
+  double prev = 0.0;
+  for (int64_t rows = 2000000; rows <= 64000000; rows *= 2) {
+    auto l = rel::SyntheticTableDef(rows, 250).value();
+    auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+    double est = Shared().estimator->EstimateJoin(q).value().seconds;
+    EXPECT_GT(est, prev) << rows;
+    prev = est;
+  }
+}
+
+TEST(SubOpPropertyTest, ScanEstimatesMonotoneInSelectivity) {
+  // More survivors -> more output writes -> higher cost, everything else
+  // fixed. (Cost is NOT monotone in record size at a fixed row count:
+  // larger records mean fewer rows per block and different task splits —
+  // the engine behaves the same way.)
+  auto t = rel::SyntheticTableDef(8000000, 250).value();
+  double prev = 0.0;
+  for (double sel : {0.01, 0.1, 0.25, 0.5, 1.0}) {
+    auto q = rel::MakeScanQuery(t, sel, 250).value();
+    double est = Shared().estimator->EstimateScan(q).value().seconds;
+    EXPECT_GT(est, prev) << sel;
+    prev = est;
+  }
+}
+
+TEST(SubOpPropertyTest, PolicyOrderingHoldsForAnyCandidateSet) {
+  // worst >= average >= in-house for every query, by construction — check
+  // it end to end over random bucketed joins (several candidates each).
+  Rng rng(102);
+  auto cal = core::CalibrateSubOps(Shared().hive.get(),
+                                   InfoFor(*Shared().hive),
+                                   core::CalibrationOptions{})
+                 .value();
+  for (int i = 0; i < 15; ++i) {
+    rel::JoinQuery q = RandomJoin(&rng);
+    q.left_bucketed_on_key = true;
+    q.right_bucketed_on_key = true;
+    double worst = 0, avg = 0, inhouse = 0;
+    for (auto [policy, out] :
+         {std::pair{core::ChoicePolicy::kWorstCase, &worst},
+          std::pair{core::ChoicePolicy::kAverage, &avg},
+          std::pair{core::ChoicePolicy::kInHouseComparable, &inhouse}}) {
+      auto est = core::SubOpCostEstimator::ForHive(cal.catalog, policy)
+                     .value()
+                     .EstimateJoin(q)
+                     .value();
+      *out = est.seconds;
+    }
+    EXPECT_GE(worst, avg);
+    EXPECT_GE(avg, inhouse);
+  }
+}
+
+TEST(EnginePropertyTest, ElapsedAlwaysPositiveAndNoiseBounded) {
+  Rng rng(103);
+  for (int i = 0; i < 25; ++i) {
+    rel::JoinQuery q = RandomJoin(&rng);
+    double a = Shared().hive->ExecuteJoin(q).value().elapsed_seconds;
+    double b = Shared().hive->ExecuteJoin(q).value().elapsed_seconds;
+    EXPECT_GT(a, 0.0);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(std::abs(a - b), 0.4 * std::max(a, b));
+  }
+}
+
+TEST(EnginePropertyTest, PlannerChoiceNeverLosesBadly) {
+  // The engine's rule-based planner should never pick an algorithm that is
+  // hugely worse than the best hinted alternative on the same query.
+  Rng rng(104);
+  for (int i = 0; i < 10; ++i) {
+    rel::JoinQuery q = RandomJoin(&rng);
+    double chosen = Shared().hive->ExecuteJoin(q).value().elapsed_seconds;
+    double best = chosen;
+    for (auto algo : {remote::HiveJoinAlgorithm::kShuffleJoin,
+                      remote::HiveJoinAlgorithm::kBroadcastJoin}) {
+      auto r = Shared().hive->ExecuteJoinWithAlgorithm(q, algo);
+      if (r.ok()) best = std::min(best, r.value().elapsed_seconds);
+    }
+    EXPECT_LT(chosen, 3.0 * best) << "query " << i;
+  }
+}
+
+TEST(LogicalOpPropertyTest, EstimateIsAlphaBlendEverywhere) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 105);
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  auto run = core::CollectAggTraining(
+                 hive.get(), rel::GenerateAggWorkload(wopts).value())
+                 .value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 2000;
+  auto model = core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                           run.data,
+                                           core::AggDimensionNames(), opts)
+                   .value();
+  Rng rng(106);
+  for (int i = 0; i < 30; ++i) {
+    // Random features, in and out of range.
+    std::vector<double> f = {
+        static_cast<double>(rng.UniformInt(10000, 40000000)),
+        static_cast<double>(rng.UniformInt(40, 2000)),
+        static_cast<double>(rng.UniformInt(100, 10000)),
+        static_cast<double>(rng.UniformInt(12, 44))};
+    if (f[2] > f[0]) std::swap(f[0], f[2]);
+    auto est = model.Estimate(f).value();
+    EXPECT_GT(est.seconds, 0.0);
+    if (est.used_remedy) {
+      EXPECT_NEAR(est.seconds,
+                  model.alpha() * est.nn_seconds +
+                      (1 - model.alpha()) * est.remedy_seconds,
+                  1e-9);
+      EXPECT_FALSE(est.pivot_dims.empty());
+    } else {
+      EXPECT_DOUBLE_EQ(est.seconds, est.nn_seconds);
+      EXPECT_TRUE(est.pivot_dims.empty());
+    }
+  }
+}
+
+TEST(SerializationPropertyTest, RandomPropertiesRoundTrip) {
+  Rng rng(107);
+  for (int trial = 0; trial < 20; ++trial) {
+    Properties p;
+    int n = static_cast<int>(rng.UniformInt(1, 25));
+    for (int i = 0; i < n; ++i) {
+      std::string key = "k" + std::to_string(rng.UniformInt(0, 1000));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          p.SetDouble(key, rng.Uniform(-1e12, 1e12));
+          break;
+        case 1:
+          p.SetInt(key, rng.UniformInt(-1000000, 1000000));
+          break;
+        case 2:
+          p.SetBool(key, rng.Bernoulli(0.5));
+          break;
+        default: {
+          std::vector<double> v;
+          for (int j = 0; j < rng.UniformInt(0, 5); ++j) {
+            v.push_back(rng.Uniform(-1e6, 1e6));
+          }
+          p.SetDoubleList(key, v);
+        }
+      }
+    }
+    auto q = Properties::Parse(p.Serialize()).value();
+    EXPECT_EQ(q.map(), p.map()) << "trial " << trial;
+  }
+}
+
+class JoinAlgorithmFormulaSweep
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JoinAlgorithmFormulaSweep, EveryFormulaTracksItsAlgorithm) {
+  // For each physical algorithm, the per-algorithm formula must stay within
+  // a factor of 2.5 of the engine's hinted execution across a size sweep.
+  std::string algo = GetParam();
+  remote::HiveJoinAlgorithm hint =
+      algo == "shuffle_join" ? remote::HiveJoinAlgorithm::kShuffleJoin
+      : algo == "broadcast_join"
+          ? remote::HiveJoinAlgorithm::kBroadcastJoin
+      : algo == "bucket_map_join"
+          ? remote::HiveJoinAlgorithm::kBucketMapJoin
+          : remote::HiveJoinAlgorithm::kSortMergeBucketJoin;
+  for (int64_t lrows : {4000000LL, 16000000LL}) {
+    auto l = rel::SyntheticTableDef(lrows, 250).value();
+    auto r = rel::SyntheticTableDef(lrows / 8, 100).value();
+    auto q = rel::MakeJoinQuery(l, r, 32, 32, 0.5).value();
+    q.left_bucketed_on_key = true;
+    q.right_bucketed_on_key = true;
+    double actual = Shared()
+                        .hive->ExecuteJoinWithAlgorithm(q, hint)
+                        .value()
+                        .elapsed_seconds;
+    double est =
+        Shared().estimator->EstimateJoinAlgorithm(q, algo).value();
+    EXPECT_LT(est, 2.5 * actual) << algo << " " << lrows;
+    EXPECT_GT(est, actual / 2.5) << algo << " " << lrows;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, JoinAlgorithmFormulaSweep,
+                         ::testing::Values("shuffle_join", "broadcast_join",
+                                           "bucket_map_join",
+                                           "sort_merge_bucket_join"));
+
+}  // namespace
+}  // namespace intellisphere

@@ -1,0 +1,271 @@
+// Unit tests for the relational substrate: schema, synthetic catalog
+// (Figure 10), materialization invariants, query descriptors, workload
+// generators, and cardinality estimation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relational/cardinality.h"
+#include "relational/catalog.h"
+#include "relational/query.h"
+#include "relational/workload.h"
+
+namespace intellisphere::rel {
+namespace {
+
+TEST(SchemaTest, RowBytesAndLookup) {
+  Schema s({{"a", DataType::kInt64, 4},
+            {"b", DataType::kInt64, 4},
+            {"pad", DataType::kChar, 32}});
+  EXPECT_EQ(s.RowBytes(), 40);
+  EXPECT_EQ(s.FindColumn("b").value(), 1u);
+  EXPECT_EQ(s.FindColumn("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ProjectedBytes({"a", "pad"}).value(), 36);
+  EXPECT_FALSE(s.ProjectedBytes({"a", "nope"}).ok());
+}
+
+TEST(SyntheticCatalogTest, Has120TablesWithFigure10Domains) {
+  auto catalog = BuildSyntheticCatalog().value();
+  EXPECT_EQ(catalog.size(), 120u);
+  EXPECT_EQ(SyntheticRecordCounts().size(), 20u);
+  EXPECT_EQ(SyntheticRecordSizes().size(), 6u);
+  // Spot checks from Figure 10.
+  EXPECT_TRUE(catalog.Contains("T10000_40"));
+  EXPECT_TRUE(catalog.Contains("T80000000_1000"));
+  EXPECT_FALSE(catalog.Contains("T30000_40"));  // k=3 is not in the grid
+}
+
+TEST(SyntheticCatalogTest, SchemaMatchesFigure10) {
+  auto def = SyntheticTableDef(10000, 100).value();
+  // (a1, a2, a5, a10, a20, a50, a100, z, dummy)
+  ASSERT_EQ(def.schema.num_columns(), 9u);
+  EXPECT_EQ(def.schema.column(0).name, "a1");
+  EXPECT_EQ(def.schema.column(6).name, "a100");
+  EXPECT_EQ(def.schema.column(7).name, "z");
+  EXPECT_EQ(def.schema.column(8).name, "dummy");
+  EXPECT_EQ(def.schema.RowBytes(), 100);
+}
+
+TEST(SyntheticCatalogTest, DuplicationRatesDriveDistinctCounts) {
+  auto def = SyntheticTableDef(1000, 100).value();
+  EXPECT_EQ(def.stats.column_distinct.at("a1"), 1000);
+  EXPECT_EQ(def.stats.column_distinct.at("a5"), 200);
+  EXPECT_EQ(def.stats.column_distinct.at("a100"), 10);
+  EXPECT_EQ(def.stats.column_distinct.at("z"), 1);
+}
+
+TEST(SyntheticCatalogTest, RejectsTooSmallRecords) {
+  EXPECT_FALSE(SyntheticTableDef(10, 32).ok());  // 8 ints need 32B + pad
+  EXPECT_TRUE(SyntheticTableDef(10, 40).ok());
+}
+
+TEST(SyntheticCatalogTest, DuplicateRegistrationFails) {
+  Catalog c;
+  auto def = SyntheticTableDef(100, 40).value();
+  ASSERT_TRUE(c.Add(def).ok());
+  EXPECT_EQ(c.Add(def).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MaterializeTest, ColumnsRealizeDeclaredDuplicationRates) {
+  auto def = SyntheticTableDef(1000, 70).value();
+  auto table = MaterializePrefix(def, 1000).value();
+  ASSERT_EQ(table.num_rows(), 1000u);
+  // Column a_i of row r is r / i: exactly i copies of each value.
+  size_t a5 = table.schema().FindColumn("a5").value();
+  std::map<int64_t, int> counts;
+  for (const auto& row : table.rows()) counts[std::get<int64_t>(row[a5])]++;
+  EXPECT_EQ(counts.size(), 200u);
+  for (const auto& [v, c] : counts) EXPECT_EQ(c, 5);
+  // z is all zeros.
+  size_t z = table.schema().FindColumn("z").value();
+  for (const auto& row : table.rows()) {
+    EXPECT_EQ(std::get<int64_t>(row[z]), 0);
+  }
+}
+
+TEST(MaterializeTest, PrefixCapsRows) {
+  auto def = SyntheticTableDef(1000000, 40).value();
+  auto table = MaterializePrefix(def, 50).value();
+  EXPECT_EQ(table.num_rows(), 50u);
+  EXPECT_FALSE(MaterializePrefix(def, -1).ok());
+}
+
+TEST(MaterializeTest, SmallerTableKeysAreSubsetOfLarger) {
+  // The join-containment property Figure 10's join design relies on.
+  auto small = MaterializePrefix(SyntheticTableDef(100, 40).value(), 100).value();
+  auto large = MaterializePrefix(SyntheticTableDef(500, 40).value(), 500).value();
+  std::set<int64_t> large_keys;
+  size_t a1 = large.schema().FindColumn("a1").value();
+  for (const auto& row : large.rows()) {
+    large_keys.insert(std::get<int64_t>(row[a1]));
+  }
+  for (const auto& row : small.rows()) {
+    EXPECT_TRUE(large_keys.count(std::get<int64_t>(row[a1])));
+  }
+}
+
+TEST(JoinQueryTest, FeatureVectorMatchesFigure2Order) {
+  JoinQuery q;
+  q.left = {1000, 100};
+  q.right = {500, 50};
+  q.left_projected_bytes = 32;
+  q.right_projected_bytes = 16;
+  q.output_rows = 500;
+  auto f = q.LogicalOpFeatures();
+  ASSERT_EQ(f.size(), 7u);  // the paper's seven dimensions
+  EXPECT_EQ(f[0], 100);     // row size R
+  EXPECT_EQ(f[1], 1000);    // num rows R
+  EXPECT_EQ(f[2], 50);      // row size S
+  EXPECT_EQ(f[3], 500);     // num rows S
+  EXPECT_EQ(f[4], 32);      // projected size R
+  EXPECT_EQ(f[5], 16);      // projected size S
+  EXPECT_EQ(f[6], 500);     // num output
+  EXPECT_EQ(q.OutputRowBytes(), 48);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(JoinQueryTest, ValidationCatchesNonsense) {
+  JoinQuery q;
+  q.left = {1000, 100};
+  q.right = {500, 50};
+  q.left_projected_bytes = 32;
+  q.right_projected_bytes = 16;
+  q.output_rows = 500;
+  JoinQuery bad = q;
+  bad.left.num_rows = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = q;
+  bad.output_rows = 1000 * 500 + 1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = q;
+  bad.hot_key_fraction = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = q;
+  bad.left_projected_bytes = 0;
+  bad.right_projected_bytes = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(AggQueryTest, FeatureVectorHasFourDimensions) {
+  AggQuery q;
+  q.input = {10000, 250};
+  q.output_rows = 100;
+  q.output_row_bytes = 20;
+  q.num_aggregates = 2;
+  auto f = q.LogicalOpFeatures();
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], 10000);
+  EXPECT_EQ(f[1], 250);
+  EXPECT_EQ(f[2], 100);
+  EXPECT_EQ(f[3], 20);
+  EXPECT_TRUE(q.Validate().ok());
+  q.output_rows = 20000;  // more groups than rows
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(WorkloadTest, MakeAggQueryAppliesShrinkFactor) {
+  auto def = SyntheticTableDef(100000, 100).value();
+  auto q = MakeAggQuery(def, 10, 3).value();
+  EXPECT_EQ(q.input.num_rows, 100000);
+  EXPECT_EQ(q.output_rows, 10000);
+  EXPECT_EQ(q.output_row_bytes, 4 + 8 * 3);
+  EXPECT_FALSE(MakeAggQuery(def, 7, 1).ok());   // 7 is not a dup factor
+  EXPECT_FALSE(MakeAggQuery(def, 10, 6).ok());  // paper varies 1..5
+}
+
+TEST(WorkloadTest, MakeJoinQuerySelectivityControlsOutput) {
+  auto l = SyntheticTableDef(1000000, 100).value();
+  auto r = SyntheticTableDef(10000, 40).value();
+  for (double sel : {1.0, 0.5, 0.25, 0.01}) {
+    auto q = MakeJoinQuery(l, r, 32, 32, sel).value();
+    EXPECT_EQ(q.output_rows, int64_t(10000 * sel));
+  }
+  EXPECT_FALSE(MakeJoinQuery(l, r, 32, 32, 0.0).ok());
+  EXPECT_FALSE(MakeJoinQuery(l, r, 2, 32, 1.0).ok());    // below key width
+  EXPECT_FALSE(MakeJoinQuery(l, r, 101, 32, 1.0).ok());  // above row bytes
+}
+
+TEST(WorkloadTest, AggWorkloadGridSize) {
+  AggWorkloadOptions opts;
+  opts.record_counts = {10000, 100000};
+  opts.record_sizes = {40, 100};
+  opts.shrink_factors = {1, 10};
+  opts.num_aggregates = {1, 5};
+  auto queries = GenerateAggWorkload(opts).value();
+  EXPECT_EQ(queries.size(), 2u * 2 * 2 * 2);
+}
+
+TEST(WorkloadTest, FullAggGridMatchesPaperScale) {
+  // 120 tables x 6 shrinking factors x 5 aggregate counts = 3,600; the
+  // paper reports "approximately 3,700 aggregation queries".
+  auto queries = GenerateAggWorkload(AggWorkloadOptions{}).value();
+  EXPECT_EQ(queries.size(), 3600u);
+}
+
+TEST(WorkloadTest, JoinWorkloadOrientsSmallerRight) {
+  JoinWorkloadOptions opts;
+  opts.left_record_counts = {10000, 100000};
+  opts.right_record_counts = {10000, 100000};
+  opts.record_sizes = {40};
+  opts.output_selectivities = {1.0};
+  opts.projection_levels = {0};
+  auto queries = GenerateJoinWorkload(opts).value();
+  // Pairs with right > left are skipped: (10k,10k), (100k,10k), (100k,100k).
+  EXPECT_EQ(queries.size(), 3u);
+  for (const auto& q : queries) {
+    EXPECT_LE(q.right.num_rows, q.left.num_rows);
+  }
+}
+
+TEST(WorkloadTest, JoinWorkloadSubsampling) {
+  JoinWorkloadOptions opts;
+  opts.left_record_counts = {10000, 20000, 40000};
+  opts.right_record_counts = {10000, 20000, 40000};
+  opts.record_sizes = {40, 100};
+  opts.max_queries = 50;
+  auto queries = GenerateJoinWorkload(opts).value();
+  EXPECT_EQ(queries.size(), 50u);
+}
+
+TEST(WorkloadTest, ProjectionLevels) {
+  EXPECT_EQ(ProjectionBytesForLevel(0, 1000).value(), 4);
+  EXPECT_EQ(ProjectionBytesForLevel(1, 1000).value(), 32);
+  EXPECT_EQ(ProjectionBytesForLevel(2, 1000).value(), 1000);
+  EXPECT_FALSE(ProjectionBytesForLevel(3, 1000).ok());
+}
+
+TEST(CardinalityTest, JoinContainmentEstimate) {
+  auto l = SyntheticTableDef(1000000, 100).value();
+  auto r = SyntheticTableDef(10000, 40).value();
+  // Unique keys on both sides: |R| * |S| / max(dl, dr) = min cardinality.
+  EXPECT_EQ(EstimateJoinCardinality(l, r, "a1").value(), 10000);
+  EXPECT_EQ(EstimateJoinCardinality(l, r, "a1", 0.25).value(), 2500);
+  EXPECT_FALSE(EstimateJoinCardinality(l, r, "a1", 0.0).ok());
+}
+
+TEST(CardinalityTest, GroupAndFilterEstimates) {
+  auto t = SyntheticTableDef(100000, 100).value();
+  EXPECT_EQ(EstimateGroupCardinality(t, "a20").value(), 5000);
+  EXPECT_EQ(EstimateGroupCardinality(t, "unknown_col").value(), 100000);
+  EXPECT_EQ(EstimateFilterCardinality(t, 0.1).value(), 10000);
+  EXPECT_FALSE(EstimateFilterCardinality(t, 1.5).ok());
+}
+
+class SelectivitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectivitySweepTest, OutputNeverExceedsSmallerTable) {
+  double sel = GetParam();
+  auto l = SyntheticTableDef(4000000, 250).value();
+  auto r = SyntheticTableDef(200000, 70).value();
+  auto q = MakeJoinQuery(l, r, 32, 32, sel).value();
+  EXPECT_LE(q.output_rows, r.stats.num_rows);
+  EXPECT_GE(q.output_rows, 1);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure10Selectivities, SelectivitySweepTest,
+                         ::testing::Values(1.0, 0.5, 0.25, 0.01));
+
+}  // namespace
+}  // namespace intellisphere::rel

@@ -1,0 +1,304 @@
+// Unit tests for the remote engines: planner rules, physical algorithms,
+// probes, capability limits, and the blackbox wrapper.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/workload.h"
+#include "remote/blackbox.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+
+namespace intellisphere::remote {
+namespace {
+
+using rel::JoinQuery;
+using rel::MakeJoinQuery;
+using rel::SyntheticTableDef;
+
+JoinQuery MediumJoin() {
+  auto l = SyntheticTableDef(8000000, 500).value();  // 4 GB
+  auto r = SyntheticTableDef(8000000, 500).value();  // 4 GB: not broadcastable
+  return MakeJoinQuery(l, r, 32, 32, 0.5).value();
+}
+
+JoinQuery SmallRightJoin() {
+  auto l = SyntheticTableDef(8000000, 250).value();
+  auto r = SyntheticTableDef(100000, 100).value();  // 10 MB: broadcastable
+  return MakeJoinQuery(l, r, 32, 32, 1.0).value();
+}
+
+TEST(HiveEnginePlannerTest, BroadcastsSmallRightSide) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  EXPECT_EQ(hive->PlanJoin(SmallRightJoin()).value(),
+            HiveJoinAlgorithm::kBroadcastJoin);
+}
+
+TEST(HiveEnginePlannerTest, LargeUnbucketedGoesToShuffle) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  EXPECT_EQ(hive->PlanJoin(MediumJoin()).value(),
+            HiveJoinAlgorithm::kShuffleJoin);
+}
+
+TEST(HiveEnginePlannerTest, BucketingEnablesBucketJoins) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = MediumJoin();
+  q.right_bucketed_on_key = true;
+  EXPECT_EQ(hive->PlanJoin(q).value(), HiveJoinAlgorithm::kBucketMapJoin);
+  q.left_bucketed_on_key = true;
+  EXPECT_EQ(hive->PlanJoin(q).value(),
+            HiveJoinAlgorithm::kSortMergeBucketJoin);
+}
+
+TEST(HiveEnginePlannerTest, SkewTriggersSkewJoin) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = MediumJoin();
+  q.hot_key_fraction = 0.5;
+  EXPECT_EQ(hive->PlanJoin(q).value(), HiveJoinAlgorithm::kSkewJoin);
+}
+
+TEST(HiveEnginePlannerTest, RejectsNonEquiJoin) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = MediumJoin();
+  q.is_equi_join = false;
+  EXPECT_EQ(hive->PlanJoin(q).status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(hive->ExecuteJoin(q).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(HiveEngineTest, HintsEnforceApplicability) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = MediumJoin();  // not bucketed
+  EXPECT_EQ(hive->ExecuteJoinWithAlgorithm(q,
+                                           HiveJoinAlgorithm::kBucketMapJoin)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(
+      hive->ExecuteJoinWithAlgorithm(q,
+                                     HiveJoinAlgorithm::kSortMergeBucketJoin)
+          .status()
+          .code(),
+      StatusCode::kUnsupported);
+  // Shuffle and broadcast apply to any equi-join.
+  EXPECT_TRUE(
+      hive->ExecuteJoinWithAlgorithm(q, HiveJoinAlgorithm::kShuffleJoin).ok());
+  EXPECT_TRUE(
+      hive->ExecuteJoinWithAlgorithm(q, HiveJoinAlgorithm::kBroadcastJoin)
+          .ok());
+}
+
+TEST(HiveEngineTest, ElapsedGrowsWithInputSize) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  auto r = SyntheticTableDef(1000000, 100).value();
+  double prev = 0.0;
+  for (int64_t rows : {2000000LL, 8000000LL, 40000000LL}) {
+    auto l = SyntheticTableDef(rows, 250).value();
+    auto q = MakeJoinQuery(l, r, 32, 32, 0.5).value();
+    double t = hive->ExecuteJoinWithAlgorithm(q,
+                                              HiveJoinAlgorithm::kShuffleJoin)
+                   .value()
+                   .elapsed_seconds;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HiveEngineTest, BroadcastBeatsShuffleForSmallRightSide) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = SmallRightJoin();
+  double bcast =
+      hive->ExecuteJoinWithAlgorithm(q, HiveJoinAlgorithm::kBroadcastJoin)
+          .value()
+          .elapsed_seconds;
+  double shuffle =
+      hive->ExecuteJoinWithAlgorithm(q, HiveJoinAlgorithm::kShuffleJoin)
+          .value()
+          .elapsed_seconds;
+  EXPECT_LT(bcast, shuffle);
+}
+
+TEST(HiveEngineTest, AggPlannerSwitchesOnGroupTableSize) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  auto t = SyntheticTableDef(8000000, 100).value();
+  auto few_groups = rel::MakeAggQuery(t, 100, 2).value();
+  EXPECT_EQ(hive->PlanAgg(few_groups).value(),
+            HiveAggAlgorithm::kHashAggregation);
+  // 80M groups x 44 bytes x 1.5 > the task memory budget -> sort agg.
+  auto big = SyntheticTableDef(80000000, 100).value();
+  auto many_groups = rel::MakeAggQuery(big, 1, 5).value();
+  EXPECT_EQ(hive->PlanAgg(many_groups).value(),
+            HiveAggAlgorithm::kSortAggregation);
+}
+
+TEST(HiveEngineTest, AggElapsedGrowsWithAggregates) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  auto t = SyntheticTableDef(8000000, 250).value();
+  auto q1 = rel::MakeAggQuery(t, 10, 1).value();
+  auto q5 = rel::MakeAggQuery(t, 10, 5).value();
+  double t1 = hive->ExecuteAgg(q1).value().elapsed_seconds;
+  double t5 = hive->ExecuteAgg(q5).value().elapsed_seconds;
+  EXPECT_GT(t5, t1);
+}
+
+TEST(HiveEngineTest, ExecutionIsNoisyButBounded) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  JoinQuery q = MediumJoin();
+  double a = hive->ExecuteJoin(q).value().elapsed_seconds;
+  double b = hive->ExecuteJoin(q).value().elapsed_seconds;
+  EXPECT_NE(a, b);                    // per-query noise
+  EXPECT_LT(std::abs(a - b) / a, 0.3);  // but tightly bounded
+}
+
+TEST(HiveEngineTest, ReportsChosenAlgorithmAndCounts) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  auto r = hive->ExecuteJoin(SmallRightJoin()).value();
+  EXPECT_EQ(r.physical_algorithm, "broadcast_join");
+  EXPECT_EQ(hive->queries_executed(), 1);
+  EXPECT_GT(hive->total_simulated_seconds(), 0.0);
+}
+
+TEST(HiveEngineTest, ProbesCoverAllKinds) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  rel::RelationStats in{1000000, 100};
+  for (ProbeKind kind :
+       {ProbeKind::kNoOp, ProbeKind::kReadOnly, ProbeKind::kReadWriteDfs,
+        ProbeKind::kReadWriteLocal, ProbeKind::kReadWriteReadLocal,
+        ProbeKind::kReadBroadcast, ProbeKind::kReadHashBuild,
+        ProbeKind::kReadShuffle, ProbeKind::kReadSort, ProbeKind::kReadScan,
+        ProbeKind::kReadMerge, ProbeKind::kReadHashProbe}) {
+    auto r = hive->ExecuteProbe(kind, in);
+    ASSERT_TRUE(r.ok()) << ProbeKindName(kind);
+    EXPECT_GT(r.value().elapsed_seconds, 0.0);
+  }
+  EXPECT_FALSE(hive->ExecuteProbe(ProbeKind::kReadOnly, {0, 100}).ok());
+}
+
+TEST(HiveEngineTest, ProbeOrderingIsConsistent) {
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  rel::RelationStats in{4000000, 500};
+  auto noop = hive->ExecuteProbe(ProbeKind::kNoOp, in).value();
+  auto read = hive->ExecuteProbe(ProbeKind::kReadOnly, in).value();
+  auto rw = hive->ExecuteProbe(ProbeKind::kReadWriteDfs, in).value();
+  EXPECT_LT(noop.elapsed_seconds, read.elapsed_seconds);
+  EXPECT_LT(read.elapsed_seconds, rw.elapsed_seconds);
+}
+
+TEST(SparkEnginePlannerTest, StrategySelection) {
+  auto spark = SparkEngine::CreateDefault("spark", 2);
+  EXPECT_EQ(spark->PlanJoin(SmallRightJoin()).value(),
+            SparkJoinAlgorithm::kBroadcastHashJoin);
+  EXPECT_EQ(spark->PlanJoin(MediumJoin()).value(),
+            SparkJoinAlgorithm::kSortMergeJoin);
+  JoinQuery cross = SmallRightJoin();
+  cross.is_equi_join = false;
+  EXPECT_EQ(spark->PlanJoin(cross).value(),
+            SparkJoinAlgorithm::kBroadcastNestedLoopJoin);
+  JoinQuery big_cross = MediumJoin();
+  big_cross.is_equi_join = false;
+  EXPECT_EQ(spark->PlanJoin(big_cross).value(),
+            SparkJoinAlgorithm::kCartesianProductJoin);
+}
+
+TEST(SparkEnginePlannerTest, ShuffleHashWhenSortMergeNotPreferred) {
+  SparkEngineOptions opts;
+  opts.prefer_sort_merge_join = false;
+  SparkEngine spark("spark", SparkClusterDefaults(),
+                    SparkGroundTruthDefaults(), opts, 2);
+  EXPECT_EQ(spark.PlanJoin(MediumJoin()).value(),
+            SparkJoinAlgorithm::kShuffleHashJoin);
+}
+
+TEST(SparkEngineTest, EquiStrategiesRejectNonEqui) {
+  auto spark = SparkEngine::CreateDefault("spark", 2);
+  JoinQuery q = MediumJoin();
+  q.is_equi_join = false;
+  for (SparkJoinAlgorithm algo :
+       {SparkJoinAlgorithm::kBroadcastHashJoin,
+        SparkJoinAlgorithm::kShuffleHashJoin,
+        SparkJoinAlgorithm::kSortMergeJoin}) {
+    EXPECT_EQ(spark->ExecuteJoinWithAlgorithm(q, algo).status().code(),
+              StatusCode::kUnsupported);
+  }
+  EXPECT_TRUE(spark
+                  ->ExecuteJoinWithAlgorithm(
+                      q, SparkJoinAlgorithm::kCartesianProductJoin)
+                  .ok());
+}
+
+TEST(SparkEngineTest, FasterThanHiveOnSameShuffleJoin) {
+  // Same hardware, leaner engine constants: the heterogeneity the hybrid
+  // costing approach exists for.
+  auto hive = HiveEngine::CreateDefault("hive", 3);
+  auto spark = SparkEngine::CreateDefault("spark", 3);
+  JoinQuery q = MediumJoin();
+  double th = hive->ExecuteJoinWithAlgorithm(q,
+                                             HiveJoinAlgorithm::kShuffleJoin)
+                  .value()
+                  .elapsed_seconds;
+  double ts =
+      spark->ExecuteJoinWithAlgorithm(q, SparkJoinAlgorithm::kSortMergeJoin)
+          .value()
+          .elapsed_seconds;
+  EXPECT_LT(ts, th);
+}
+
+TEST(SparkEngineTest, CartesianIsVastlyMoreExpensive) {
+  auto spark = SparkEngine::CreateDefault("spark", 2);
+  auto l = SyntheticTableDef(1000000, 100).value();
+  auto r = SyntheticTableDef(100000, 100).value();
+  auto q = MakeJoinQuery(l, r, 32, 32, 1.0).value();
+  double equi =
+      spark->ExecuteJoinWithAlgorithm(q, SparkJoinAlgorithm::kSortMergeJoin)
+          .value()
+          .elapsed_seconds;
+  JoinQuery cross = q;
+  cross.is_equi_join = false;
+  double cart = spark
+                    ->ExecuteJoinWithAlgorithm(
+                        cross, SparkJoinAlgorithm::kCartesianProductJoin)
+                    .value()
+                    .elapsed_seconds;
+  EXPECT_GT(cart, 50.0 * equi);
+}
+
+TEST(BlackboxTest, HidesProbesAndAlgorithms) {
+  auto inner = HiveEngine::CreateDefault("mystery", 4);
+  BlackboxSystem blackbox(std::move(inner));
+  EXPECT_EQ(blackbox.name(), "mystery");
+  // Queries pass through...
+  auto r = blackbox.ExecuteJoin(SmallRightJoin()).value();
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  // ...but the physical algorithm is not revealed...
+  EXPECT_TRUE(r.physical_algorithm.empty());
+  // ...and probes are refused.
+  EXPECT_EQ(blackbox.ExecuteProbe(ProbeKind::kReadOnly, {1000, 100})
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+class HiveJoinAlgorithmSweep
+    : public ::testing::TestWithParam<HiveJoinAlgorithm> {};
+
+TEST_P(HiveJoinAlgorithmSweep, AllAlgorithmsProducePositiveElapsed) {
+  auto hive = HiveEngine::CreateDefault("hive", 5);
+  JoinQuery q = MediumJoin();
+  q.left_bucketed_on_key = true;
+  q.right_bucketed_on_key = true;
+  q.hot_key_fraction = 0.4;
+  auto r = hive->ExecuteJoinWithAlgorithm(q, GetParam());
+  ASSERT_TRUE(r.ok()) << HiveJoinAlgorithmName(GetParam());
+  EXPECT_GT(r.value().elapsed_seconds, 0.0);
+  EXPECT_EQ(r.value().physical_algorithm, HiveJoinAlgorithmName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFive, HiveJoinAlgorithmSweep,
+    ::testing::Values(HiveJoinAlgorithm::kShuffleJoin,
+                      HiveJoinAlgorithm::kBroadcastJoin,
+                      HiveJoinAlgorithm::kBucketMapJoin,
+                      HiveJoinAlgorithm::kSortMergeBucketJoin,
+                      HiveJoinAlgorithm::kSkewJoin));
+
+}  // namespace
+}  // namespace intellisphere::remote

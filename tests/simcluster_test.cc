@@ -1,0 +1,211 @@
+// Unit tests for the cluster simulator: ground-truth primitives, the task
+// scheduler, the DFS, and the cluster job runner.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simcluster/cluster.h"
+#include "simcluster/dfs.h"
+#include "simcluster/ground_truth.h"
+#include "simcluster/scheduler.h"
+
+namespace intellisphere::sim {
+namespace {
+
+TEST(GroundTruthTest, AnchoredToPaperConstants) {
+  GroundTruthParams p;
+  p.nonlinearity = 0.0;  // isolate the affine part
+  GroundTruth gt(p);
+  // ReadDFS at 1000 bytes: 0.6323 + 0.0041*1000 = 4.7323 us (Fig 7(b)).
+  EXPECT_NEAR(gt.ReadDfsSec(1000) * 1e6, 4.7323, 1e-9);
+  // WriteDFS at 1000 bytes: 0.7403 + 31.4 = 32.14 us (Fig 13(c)).
+  EXPECT_NEAR(gt.WriteDfsSec(1000) * 1e6, 32.1403, 1e-9);
+  // Shuffle: 5.2551 + 12.6 (Fig 13(d)).
+  EXPECT_NEAR(gt.ShuffleSec(1000) * 1e6, 17.8551, 1e-9);
+}
+
+TEST(GroundTruthTest, CostsIncreaseWithRecordSize) {
+  GroundTruth gt{GroundTruthParams{}};
+  for (int64_t s = 40; s < 1000; s += 60) {
+    EXPECT_LT(gt.ReadDfsSec(s), gt.ReadDfsSec(s + 60));
+    EXPECT_LT(gt.WriteDfsSec(s), gt.WriteDfsSec(s + 60));
+    EXPECT_LT(gt.ShuffleSec(s), gt.ShuffleSec(s + 60));
+    EXPECT_LT(gt.MergeSec(s), gt.MergeSec(s + 60));
+  }
+}
+
+TEST(GroundTruthTest, HashBuildHasTwoRegimes) {
+  GroundTruth gt{GroundTruthParams{}};
+  // At large record sizes, the spill regime is strictly more expensive.
+  EXPECT_GT(gt.HashBuildSec(1000, false), gt.HashBuildSec(1000, true));
+  // At small sizes the spill line would go negative; it is clamped to the
+  // in-memory cost.
+  EXPECT_DOUBLE_EQ(gt.HashBuildSec(40, false), gt.HashBuildSec(40, true));
+}
+
+TEST(GroundTruthTest, BroadcastScalesWithNodes) {
+  GroundTruth gt{GroundTruthParams{}};
+  EXPECT_NEAR(gt.BroadcastSec(100, 6) / gt.BroadcastSec(100, 3), 2.0, 1e-9);
+}
+
+TEST(GroundTruthTest, SortScalesLogarithmically) {
+  GroundTruth gt{GroundTruthParams{}};
+  double r1 = gt.SortSec(100, 1 << 10);
+  double r2 = gt.SortSec(100, 1 << 20);
+  EXPECT_NEAR(r2 / r1, 2.0, 1e-9);  // log2 doubles
+}
+
+TEST(SchedulerTest, WavesMatchCeilDivision) {
+  EXPECT_EQ(NumTaskWaves(12, 6), 2);
+  EXPECT_EQ(NumTaskWaves(13, 6), 3);
+  EXPECT_EQ(NumTaskWaves(1, 6), 1);
+  EXPECT_EQ(NumTaskWaves(0, 6), 0);
+}
+
+TEST(SchedulerTest, EqualTasksMakespanIsWavesTimesDuration) {
+  std::vector<double> tasks(12, 5.0);
+  auto r = ScheduleTasks(tasks, 6).value();
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 10.0);
+  EXPECT_EQ(r.num_waves, 2);
+}
+
+TEST(SchedulerTest, PartialLastWaveIsCheaperThanFullWaveAccounting) {
+  // 7 tasks on 6 slots: the second wave has one task, so the makespan is
+  // below 2 full waves — the source of the sub-op formulas' slight
+  // overestimation.
+  std::vector<double> tasks(7, 5.0);
+  auto r = ScheduleTasks(tasks, 6).value();
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 10.0);
+  std::vector<double> tasks2{5, 5, 5, 5, 5, 5, 1};
+  EXPECT_DOUBLE_EQ(ScheduleTasks(tasks2, 6).value().makespan_seconds, 6.0);
+}
+
+TEST(SchedulerTest, SingleSlotSerializes) {
+  auto r = ScheduleTasks({1, 2, 3}, 1).value();
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 6.0);
+}
+
+TEST(SchedulerTest, RejectsBadInput) {
+  EXPECT_FALSE(ScheduleTasks({1.0}, 0).ok());
+  EXPECT_FALSE(ScheduleTasks({-1.0}, 2).ok());
+  EXPECT_DOUBLE_EQ(ScheduleTasks({}, 4).value().makespan_seconds, 0.0);
+}
+
+TEST(DfsTest, BlockCountCeils) {
+  Dfs dfs(3, 128, 3, 1);
+  EXPECT_EQ(dfs.NumBlocks(1), 1);
+  EXPECT_EQ(dfs.NumBlocks(128), 1);
+  EXPECT_EQ(dfs.NumBlocks(129), 2);
+  EXPECT_EQ(dfs.NumBlocks(0), 0);
+}
+
+TEST(DfsTest, ReplicationPlacesDistinctNodes) {
+  Dfs dfs(5, 64, 3, 2);
+  ASSERT_TRUE(dfs.AddFile("f", 64 * 10).ok());
+  auto f = dfs.GetFile("f").value();
+  EXPECT_EQ(f.blocks.size(), 10u);
+  for (const auto& b : f.blocks) {
+    EXPECT_EQ(b.replica_nodes.size(), 3u);
+    std::set<int> distinct(b.replica_nodes.begin(), b.replica_nodes.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (int n : b.replica_nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 5);
+    }
+  }
+}
+
+TEST(DfsTest, FullReplicationMeansFullLocality) {
+  Dfs dfs(3, 64, 3, 3);
+  ASSERT_TRUE(dfs.AddFile("f", 64 * 20).ok());
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_DOUBLE_EQ(dfs.LocalReplicaFraction("f", node).value(), 1.0);
+  }
+}
+
+TEST(DfsTest, ReplicationClampedToNodeCount) {
+  Dfs dfs(2, 64, 5, 4);
+  EXPECT_EQ(dfs.replication(), 2);
+}
+
+TEST(DfsTest, NamespaceOperations) {
+  Dfs dfs(3, 64, 2, 5);
+  EXPECT_TRUE(dfs.AddFile("a", 100).ok());
+  EXPECT_EQ(dfs.AddFile("a", 100).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(dfs.AddFile("b", 0).ok());
+  EXPECT_EQ(dfs.TotalLogicalBytes(), 100);
+  EXPECT_TRUE(dfs.RemoveFile("a").ok());
+  EXPECT_EQ(dfs.RemoveFile("a").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(dfs.GetFile("a").ok());
+}
+
+TEST(ClusterTest, ConfigDerivedQuantities) {
+  ClusterConfig c;
+  EXPECT_EQ(c.TotalSlots(), 6);  // the paper's 3 workers x 2 cores
+  EXPECT_GT(c.TaskMemoryBytes(), 1e9);
+}
+
+TEST(ClusterTest, JobTimeIncludesSetupAndStartup) {
+  ClusterConfig cfg;
+  cfg.task_noise_rel_stddev = 0.0;
+  cfg.job_noise_rel_stddev = 0.0;
+  Cluster cluster(cfg, GroundTruthParams{}, 7);
+  JobSpec job;
+  job.task_seconds = std::vector<double>(6, 10.0);
+  double t = cluster.RunJob(job).value();
+  EXPECT_NEAR(t, cfg.job_setup_seconds + 10.0 + cfg.task_startup_seconds,
+              1e-9);
+}
+
+TEST(ClusterTest, StagesChargeSetupOnce) {
+  ClusterConfig cfg;
+  cfg.task_noise_rel_stddev = 0.0;
+  cfg.job_noise_rel_stddev = 0.0;
+  Cluster cluster(cfg, GroundTruthParams{}, 7);
+  JobSpec stage;
+  stage.task_seconds = {1.0};
+  double two = cluster.RunStages({stage, stage}).value();
+  double expected = cfg.job_setup_seconds +
+                    2 * (1.0 + cfg.task_startup_seconds);
+  EXPECT_NEAR(two, expected, 1e-9);
+}
+
+TEST(ClusterTest, NoiseIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Cluster cluster(ClusterConfig{}, GroundTruthParams{}, seed);
+    JobSpec job;
+    job.task_seconds = {5.0, 5.0};
+    return cluster.RunJob(job).value();
+  };
+  EXPECT_DOUBLE_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(ClusterTest, AccountsSimulatedTime) {
+  Cluster cluster(ClusterConfig{}, GroundTruthParams{}, 3);
+  JobSpec job;
+  job.task_seconds = {1.0};
+  double t1 = cluster.RunJob(job).value();
+  double t2 = cluster.RunJob(job).value();
+  EXPECT_NEAR(cluster.total_simulated_seconds(), t1 + t2, 1e-9);
+  EXPECT_EQ(cluster.jobs_run(), 2);
+}
+
+TEST(ClusterTest, HashTableFitsHonorsExpansion) {
+  ClusterConfig cfg;
+  Cluster cluster(cfg, GroundTruthParams{}, 3);
+  double budget = cfg.TaskMemoryBytes();
+  EXPECT_TRUE(cluster.HashTableFits(budget / 1.5 - 1));
+  EXPECT_FALSE(cluster.HashTableFits(budget / 1.5 + 1));
+}
+
+TEST(ClusterTest, RejectsNegativeTaskDurations) {
+  Cluster cluster(ClusterConfig{}, GroundTruthParams{}, 3);
+  JobSpec job;
+  job.task_seconds = {-1.0};
+  EXPECT_FALSE(cluster.RunJob(job).ok());
+}
+
+}  // namespace
+}  // namespace intellisphere::sim
