@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_continuity"
+  "../bench/bench_ablation_continuity.pdb"
+  "CMakeFiles/bench_ablation_continuity.dir/bench_ablation_continuity.cc.o"
+  "CMakeFiles/bench_ablation_continuity.dir/bench_ablation_continuity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_continuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_peroperator"
+  "../bench/bench_ablation_peroperator.pdb"
+  "CMakeFiles/bench_ablation_peroperator.dir/bench_ablation_peroperator.cc.o"
+  "CMakeFiles/bench_ablation_peroperator.dir/bench_ablation_peroperator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peroperator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_estimation_latency"
+  "../bench/bench_estimation_latency.pdb"
+  "CMakeFiles/bench_estimation_latency.dir/bench_estimation_latency.cc.o"
+  "CMakeFiles/bench_estimation_latency.dir/bench_estimation_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

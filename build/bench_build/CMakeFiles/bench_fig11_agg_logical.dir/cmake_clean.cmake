@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_agg_logical"
+  "../bench/bench_fig11_agg_logical.pdb"
+  "CMakeFiles/bench_fig11_agg_logical.dir/bench_fig11_agg_logical.cc.o"
+  "CMakeFiles/bench_fig11_agg_logical.dir/bench_fig11_agg_logical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_agg_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

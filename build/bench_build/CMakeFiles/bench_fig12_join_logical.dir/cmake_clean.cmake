@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_join_logical"
+  "../bench/bench_fig12_join_logical.pdb"
+  "CMakeFiles/bench_fig12_join_logical.dir/bench_fig12_join_logical.cc.o"
+  "CMakeFiles/bench_fig12_join_logical.dir/bench_fig12_join_logical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_join_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_subop"
+  "../bench/bench_fig13_subop.pdb"
+  "CMakeFiles/bench_fig13_subop.dir/bench_fig13_subop.cc.o"
+  "CMakeFiles/bench_fig13_subop.dir/bench_fig13_subop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_subop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_out_of_range"
+  "../bench/bench_fig14_out_of_range.pdb"
+  "CMakeFiles/bench_fig14_out_of_range.dir/bench_fig14_out_of_range.cc.o"
+  "CMakeFiles/bench_fig14_out_of_range.dir/bench_fig14_out_of_range.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_out_of_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_readdfs"
+  "../bench/bench_fig7_readdfs.pdb"
+  "CMakeFiles/bench_fig7_readdfs.dir/bench_fig7_readdfs.cc.o"
+  "CMakeFiles/bench_fig7_readdfs.dir/bench_fig7_readdfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_readdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_alpha"
+  "../bench/bench_table1_alpha.pdb"
+  "CMakeFiles/bench_table1_alpha.dir/bench_table1_alpha.cc.o"
+  "CMakeFiles/bench_table1_alpha.dir/bench_table1_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

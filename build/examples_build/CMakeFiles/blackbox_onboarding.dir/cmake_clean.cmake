@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/blackbox_onboarding"
+  "../examples/blackbox_onboarding.pdb"
+  "CMakeFiles/blackbox_onboarding.dir/blackbox_onboarding.cpp.o"
+  "CMakeFiles/blackbox_onboarding.dir/blackbox_onboarding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

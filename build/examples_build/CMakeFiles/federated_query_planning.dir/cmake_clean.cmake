@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/federated_query_planning"
+  "../examples/federated_query_planning.pdb"
+  "CMakeFiles/federated_query_planning.dir/federated_query_planning.cpp.o"
+  "CMakeFiles/federated_query_planning.dir/federated_query_planning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_query_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

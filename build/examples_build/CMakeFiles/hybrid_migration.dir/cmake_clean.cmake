@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hybrid_migration"
+  "../examples/hybrid_migration.pdb"
+  "CMakeFiles/hybrid_migration.dir/hybrid_migration.cpp.o"
+  "CMakeFiles/hybrid_migration.dir/hybrid_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

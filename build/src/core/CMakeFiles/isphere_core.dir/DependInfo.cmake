@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/formulas.cc" "src/core/CMakeFiles/isphere_core.dir/formulas.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/formulas.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/isphere_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/logical_op.cc" "src/core/CMakeFiles/isphere_core.dir/logical_op.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/logical_op.cc.o.d"
+  "/root/repo/src/core/sub_op.cc" "src/core/CMakeFiles/isphere_core.dir/sub_op.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/sub_op.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/isphere_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/isphere_core.dir/training.cc.o" "gcc" "src/core/CMakeFiles/isphere_core.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isphere_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/isphere_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/isphere_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/isphere_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_core.dir/formulas.cc.o"
+  "CMakeFiles/isphere_core.dir/formulas.cc.o.d"
+  "CMakeFiles/isphere_core.dir/hybrid.cc.o"
+  "CMakeFiles/isphere_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/isphere_core.dir/logical_op.cc.o"
+  "CMakeFiles/isphere_core.dir/logical_op.cc.o.d"
+  "CMakeFiles/isphere_core.dir/sub_op.cc.o"
+  "CMakeFiles/isphere_core.dir/sub_op.cc.o.d"
+  "CMakeFiles/isphere_core.dir/trainer.cc.o"
+  "CMakeFiles/isphere_core.dir/trainer.cc.o.d"
+  "CMakeFiles/isphere_core.dir/training.cc.o"
+  "CMakeFiles/isphere_core.dir/training.cc.o.d"
+  "libisphere_core.a"
+  "libisphere_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/isphere_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/isphere_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/local_cost_model.cc" "src/engine/CMakeFiles/isphere_engine.dir/local_cost_model.cc.o" "gcc" "src/engine/CMakeFiles/isphere_engine.dir/local_cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/isphere_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_engine.dir/executor.cc.o"
+  "CMakeFiles/isphere_engine.dir/executor.cc.o.d"
+  "CMakeFiles/isphere_engine.dir/local_cost_model.cc.o"
+  "CMakeFiles/isphere_engine.dir/local_cost_model.cc.o.d"
+  "libisphere_engine.a"
+  "libisphere_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

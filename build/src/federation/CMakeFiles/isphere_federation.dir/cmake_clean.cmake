@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_federation.dir/intellisphere.cc.o"
+  "CMakeFiles/isphere_federation.dir/intellisphere.cc.o.d"
+  "CMakeFiles/isphere_federation.dir/querygrid.cc.o"
+  "CMakeFiles/isphere_federation.dir/querygrid.cc.o.d"
+  "libisphere_federation.a"
+  "libisphere_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

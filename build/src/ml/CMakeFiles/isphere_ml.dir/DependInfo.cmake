@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/isphere_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/isphere_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/isphere_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/isphere_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/isphere_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/isphere_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/isphere_ml.dir/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/isphere_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/isphere_ml.dir/dataset.cc.o"
+  "CMakeFiles/isphere_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/isphere_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/isphere_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/isphere_ml.dir/matrix.cc.o"
+  "CMakeFiles/isphere_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/isphere_ml.dir/mlp.cc.o"
+  "CMakeFiles/isphere_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/isphere_ml.dir/scaler.cc.o"
+  "CMakeFiles/isphere_ml.dir/scaler.cc.o.d"
+  "libisphere_ml.a"
+  "libisphere_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/cardinality.cc" "src/relational/CMakeFiles/isphere_relational.dir/cardinality.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/cardinality.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/isphere_relational.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/isphere_relational.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/query.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/isphere_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/isphere_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/workload.cc" "src/relational/CMakeFiles/isphere_relational.dir/workload.cc.o" "gcc" "src/relational/CMakeFiles/isphere_relational.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

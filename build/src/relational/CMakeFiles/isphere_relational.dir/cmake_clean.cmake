@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_relational.dir/cardinality.cc.o"
+  "CMakeFiles/isphere_relational.dir/cardinality.cc.o.d"
+  "CMakeFiles/isphere_relational.dir/catalog.cc.o"
+  "CMakeFiles/isphere_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/isphere_relational.dir/query.cc.o"
+  "CMakeFiles/isphere_relational.dir/query.cc.o.d"
+  "CMakeFiles/isphere_relational.dir/schema.cc.o"
+  "CMakeFiles/isphere_relational.dir/schema.cc.o.d"
+  "CMakeFiles/isphere_relational.dir/table.cc.o"
+  "CMakeFiles/isphere_relational.dir/table.cc.o.d"
+  "CMakeFiles/isphere_relational.dir/workload.cc.o"
+  "CMakeFiles/isphere_relational.dir/workload.cc.o.d"
+  "libisphere_relational.a"
+  "libisphere_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/hive_engine.cc" "src/remote/CMakeFiles/isphere_remote.dir/hive_engine.cc.o" "gcc" "src/remote/CMakeFiles/isphere_remote.dir/hive_engine.cc.o.d"
+  "/root/repo/src/remote/presto_engine.cc" "src/remote/CMakeFiles/isphere_remote.dir/presto_engine.cc.o" "gcc" "src/remote/CMakeFiles/isphere_remote.dir/presto_engine.cc.o.d"
+  "/root/repo/src/remote/sim_engine_base.cc" "src/remote/CMakeFiles/isphere_remote.dir/sim_engine_base.cc.o" "gcc" "src/remote/CMakeFiles/isphere_remote.dir/sim_engine_base.cc.o.d"
+  "/root/repo/src/remote/spark_engine.cc" "src/remote/CMakeFiles/isphere_remote.dir/spark_engine.cc.o" "gcc" "src/remote/CMakeFiles/isphere_remote.dir/spark_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/isphere_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/isphere_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

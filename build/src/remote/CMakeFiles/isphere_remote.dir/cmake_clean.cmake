@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_remote.dir/hive_engine.cc.o"
+  "CMakeFiles/isphere_remote.dir/hive_engine.cc.o.d"
+  "CMakeFiles/isphere_remote.dir/presto_engine.cc.o"
+  "CMakeFiles/isphere_remote.dir/presto_engine.cc.o.d"
+  "CMakeFiles/isphere_remote.dir/sim_engine_base.cc.o"
+  "CMakeFiles/isphere_remote.dir/sim_engine_base.cc.o.d"
+  "CMakeFiles/isphere_remote.dir/spark_engine.cc.o"
+  "CMakeFiles/isphere_remote.dir/spark_engine.cc.o.d"
+  "libisphere_remote.a"
+  "libisphere_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcluster/cluster.cc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/cluster.cc.o" "gcc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/cluster.cc.o.d"
+  "/root/repo/src/simcluster/dfs.cc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/dfs.cc.o" "gcc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/dfs.cc.o.d"
+  "/root/repo/src/simcluster/ground_truth.cc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/ground_truth.cc.o" "gcc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/ground_truth.cc.o.d"
+  "/root/repo/src/simcluster/scheduler.cc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/scheduler.cc.o" "gcc" "src/simcluster/CMakeFiles/isphere_simcluster.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_simcluster.dir/cluster.cc.o"
+  "CMakeFiles/isphere_simcluster.dir/cluster.cc.o.d"
+  "CMakeFiles/isphere_simcluster.dir/dfs.cc.o"
+  "CMakeFiles/isphere_simcluster.dir/dfs.cc.o.d"
+  "CMakeFiles/isphere_simcluster.dir/ground_truth.cc.o"
+  "CMakeFiles/isphere_simcluster.dir/ground_truth.cc.o.d"
+  "CMakeFiles/isphere_simcluster.dir/scheduler.cc.o"
+  "CMakeFiles/isphere_simcluster.dir/scheduler.cc.o.d"
+  "libisphere_simcluster.a"
+  "libisphere_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

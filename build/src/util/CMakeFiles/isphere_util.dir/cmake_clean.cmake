@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isphere_util.dir/csv.cc.o"
+  "CMakeFiles/isphere_util.dir/csv.cc.o.d"
+  "CMakeFiles/isphere_util.dir/metrics.cc.o"
+  "CMakeFiles/isphere_util.dir/metrics.cc.o.d"
+  "CMakeFiles/isphere_util.dir/properties.cc.o"
+  "CMakeFiles/isphere_util.dir/properties.cc.o.d"
+  "CMakeFiles/isphere_util.dir/status.cc.o"
+  "CMakeFiles/isphere_util.dir/status.cc.o.d"
+  "libisphere_util.a"
+  "libisphere_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isphere_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

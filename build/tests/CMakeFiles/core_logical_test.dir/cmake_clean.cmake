@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_logical_test.dir/core_logical_test.cc.o"
+  "CMakeFiles/core_logical_test.dir/core_logical_test.cc.o.d"
+  "core_logical_test"
+  "core_logical_test.pdb"
+  "core_logical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_logical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

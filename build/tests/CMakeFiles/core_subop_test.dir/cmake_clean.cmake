@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_subop_test.dir/core_subop_test.cc.o"
+  "CMakeFiles/core_subop_test.dir/core_subop_test.cc.o.d"
+  "core_subop_test"
+  "core_subop_test.pdb"
+  "core_subop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_subop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presto_test.dir/presto_test.cc.o"
+  "CMakeFiles/presto_test.dir/presto_test.cc.o.d"
+  "presto_test"
+  "presto_test.pdb"
+  "presto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

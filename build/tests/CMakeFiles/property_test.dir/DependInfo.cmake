@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federation/CMakeFiles/isphere_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/isphere_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/isphere_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/isphere_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/isphere_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/isphere_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isphere_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/isphere_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_test.dir/remote_test.cc.o"
+  "CMakeFiles/remote_test.dir/remote_test.cc.o.d"
+  "remote_test"
+  "remote_test.pdb"
+  "remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
