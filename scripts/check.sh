@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The repo's full correctness gate (tier-2):
+#   1. configure + build the asan-ubsan preset (-Werror on),
+#   2. run the whole test suite under AddressSanitizer + UBSan,
+#   3. run the repo lint pass (tools/lint) over the tree.
+# Exits nonzero on any compiler warning, test failure, sanitizer report, or
+# lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
+# ctest`) stays fast; run this before merging.
+#
+# Usage: scripts/check.sh [-j N]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: scripts/check.sh [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== [1/3] configure + build: asan-ubsan preset (-Werror) =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$JOBS"
+
+echo "== [2/3] ctest under asan+ubsan =="
+# Halt on the first error report instead of trying to continue, and exclude
+# the tier2 label so this gate cannot recurse into itself.
+ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" -LE tier2
+
+echo "== [3/3] repo lint pass =="
+cmake --preset lint
+cmake --build --preset lint -j "$JOBS"
+
+echo "check.sh: all gates passed"

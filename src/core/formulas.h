@@ -34,8 +34,8 @@ class JoinFormula {
   virtual bool Applicable(const rel::JoinQuery& q,
                           const OpenboxInfo& info) const = 0;
   /// Estimated elapsed seconds from the calibrated sub-ops.
-  virtual Result<double> Estimate(const rel::JoinQuery& q,
-                                  const SubOpCatalog& catalog) const = 0;
+  [[nodiscard]] virtual Result<double> Estimate(const rel::JoinQuery& q,
+                                                const SubOpCatalog& catalog) const = 0;
 };
 
 /// A cost formula for one aggregation algorithm.
@@ -45,8 +45,8 @@ class AggFormula {
   virtual std::string name() const = 0;
   virtual bool Applicable(const rel::AggQuery& q,
                           const OpenboxInfo& info) const = 0;
-  virtual Result<double> Estimate(const rel::AggQuery& q,
-                                  const SubOpCatalog& catalog) const = 0;
+  [[nodiscard]] virtual Result<double> Estimate(const rel::AggQuery& q,
+                                                const SubOpCatalog& catalog) const = 0;
 };
 
 /// A cost formula for one selection/projection algorithm.
@@ -56,8 +56,8 @@ class ScanFormula {
   virtual std::string name() const = 0;
   virtual bool Applicable(const rel::ScanQuery& q,
                           const OpenboxInfo& info) const = 0;
-  virtual Result<double> Estimate(const rel::ScanQuery& q,
-                                  const SubOpCatalog& catalog) const = 0;
+  [[nodiscard]] virtual Result<double> Estimate(const rel::ScanQuery& q,
+                                                const SubOpCatalog& catalog) const = 0;
 };
 
 /// Builds the Hive formula set (the paper's proof-of-concept engine):
@@ -107,30 +107,30 @@ class SubOpCostEstimator {
                      ChoicePolicy policy);
 
   /// Convenience: Hive formula set.
-  static Result<SubOpCostEstimator> ForHive(
+  [[nodiscard]] static Result<SubOpCostEstimator> ForHive(
       SubOpCatalog catalog, ChoicePolicy policy = ChoicePolicy::kWorstCase);
 
   /// Applies applicability rules, estimates every surviving algorithm, and
   /// resolves with the policy. FailedPrecondition when no algorithm
   /// survives.
-  Result<SubOpEstimate> EstimateJoin(const rel::JoinQuery& q) const;
-  Result<SubOpEstimate> EstimateAgg(const rel::AggQuery& q) const;
-  Result<SubOpEstimate> EstimateScan(const rel::ScanQuery& q) const;
-  Result<SubOpEstimate> Estimate(const rel::SqlOperator& op) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateJoin(const rel::JoinQuery& q) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateAgg(const rel::AggQuery& q) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateScan(const rel::ScanQuery& q) const;
+  [[nodiscard]] Result<SubOpEstimate> Estimate(const rel::SqlOperator& op) const;
 
   /// Estimates one named algorithm regardless of the policy (used by the
   /// per-algorithm accuracy benchmarks, e.g. Fig 13(g)).
-  Result<double> EstimateJoinAlgorithm(const rel::JoinQuery& q,
-                                       const std::string& algorithm) const;
-  Result<double> EstimateAggAlgorithm(const rel::AggQuery& q,
-                                      const std::string& algorithm) const;
+  [[nodiscard]] Result<double> EstimateJoinAlgorithm(const rel::JoinQuery& q,
+                                                     const std::string& algorithm) const;
+  [[nodiscard]] Result<double> EstimateAggAlgorithm(const rel::AggQuery& q,
+                                                    const std::string& algorithm) const;
 
   const SubOpCatalog& catalog() const { return catalog_; }
   ChoicePolicy policy() const { return policy_; }
   void set_policy(ChoicePolicy policy) { policy_ = policy; }
 
  private:
-  Result<SubOpEstimate> Resolve(std::vector<AlgorithmEstimate> candidates) const;
+  [[nodiscard]] Result<SubOpEstimate> Resolve(std::vector<AlgorithmEstimate> candidates) const;
 
   SubOpCatalog catalog_;
   std::vector<std::unique_ptr<JoinFormula>> join_formulas_;

@@ -68,7 +68,7 @@ class CostingProfile {
   /// from `approaches` default to kSubOp. InvalidArgument when a type is
   /// routed to kLogicalOp without a model, or when an approach other than
   /// kSubOp / kLogicalOp is requested for a type.
-  static Result<CostingProfile> PerOperator(
+  [[nodiscard]] static Result<CostingProfile> PerOperator(
       SubOpCostEstimator estimator,
       std::map<rel::OperatorType, LogicalOpModel> models,
       std::map<rel::OperatorType, CostingApproach> approaches);
@@ -78,24 +78,24 @@ class CostingProfile {
 
   /// Estimates the operator's remote elapsed time. `now` is the deployment
   /// clock consulted by time-phased profiles.
-  Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
-                                  double now = 0.0) const;
+  [[nodiscard]] Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
+                                                double now = 0.0) const;
 
   /// Logging phase: records an actual remote execution into the active
   /// logical-op model (no-op result when the profile has none for the
   /// type — sub-op models need no continuous tuning, Figure 8).
-  Status LogActual(const rel::SqlOperator& op, double actual_seconds);
+  [[nodiscard]] Status LogActual(const rel::SqlOperator& op, double actual_seconds);
 
   /// Runs the offline tuning phase on every logical-op model with a
   /// non-empty log.
-  Status OfflineTune();
+  [[nodiscard]] Status OfflineTune();
 
   /// Persists the whole profile (approach, switch time, per-operator
   /// routing, the sub-op catalog, and every logical-op model). Loading
   /// reconstructs the formula set for the stored engine family.
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<CostingProfile> Load(const std::string& prefix,
-                                     const Properties& props);
+  [[nodiscard]] static Result<CostingProfile> Load(const std::string& prefix,
+                                                   const Properties& props);
 
   CostingApproach approach() const { return approach_; }
   double switch_time() const { return switch_time_; }
@@ -103,9 +103,9 @@ class CostingProfile {
   bool has_logical_model(rel::OperatorType type) const {
     return logical_.count(type) > 0;
   }
-  Result<const LogicalOpModel*> logical_model(rel::OperatorType type) const;
-  Result<LogicalOpModel*> logical_model_mutable(rel::OperatorType type);
-  Result<const SubOpCostEstimator*> sub_op() const;
+  [[nodiscard]] Result<const LogicalOpModel*> logical_model(rel::OperatorType type) const;
+  [[nodiscard]] Result<LogicalOpModel*> logical_model_mutable(rel::OperatorType type);
+  [[nodiscard]] Result<const SubOpCostEstimator*> sub_op() const;
 
  private:
   CostingProfile() = default;
@@ -121,23 +121,23 @@ class CostingProfile {
 class CostEstimator {
  public:
   /// AlreadyExists on duplicate registration.
-  Status RegisterSystem(const std::string& system_name,
-                        CostingProfile profile);
+  [[nodiscard]] Status RegisterSystem(const std::string& system_name,
+                                      CostingProfile profile);
   bool HasSystem(const std::string& system_name) const;
 
   /// Estimates an operator's cost on the named system.
-  Result<HybridEstimate> Estimate(const std::string& system_name,
-                                  const rel::SqlOperator& op,
-                                  double now = 0.0) const;
+  [[nodiscard]] Result<HybridEstimate> Estimate(const std::string& system_name,
+                                                const rel::SqlOperator& op,
+                                                double now = 0.0) const;
 
   /// Feedback entry points.
-  Status LogActual(const std::string& system_name, const rel::SqlOperator& op,
-                   double actual_seconds);
-  Status OfflineTune(const std::string& system_name);
+  [[nodiscard]] Status LogActual(const std::string& system_name, const rel::SqlOperator& op,
+                                 double actual_seconds);
+  [[nodiscard]] Status OfflineTune(const std::string& system_name);
 
-  Result<const CostingProfile*> GetProfile(
+  [[nodiscard]] Result<const CostingProfile*> GetProfile(
       const std::string& system_name) const;
-  Result<CostingProfile*> GetProfileMutable(const std::string& system_name);
+  [[nodiscard]] Result<CostingProfile*> GetProfileMutable(const std::string& system_name);
 
   size_t num_systems() const { return profiles_.size(); }
 

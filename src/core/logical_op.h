@@ -63,38 +63,38 @@ class LogicalOpModel {
   /// Trains on a dataset of (feature vector -> observed elapsed seconds).
   /// `dim_names` labels the training dimensions (Figure 2's seven for join,
   /// four for aggregation).
-  static Result<LogicalOpModel> Train(rel::OperatorType type,
-                                      const ml::Dataset& data,
-                                      std::vector<std::string> dim_names,
-                                      const LogicalOpOptions& opts);
+  [[nodiscard]] static Result<LogicalOpModel> Train(rel::OperatorType type,
+                                                    const ml::Dataset& data,
+                                                    std::vector<std::string> dim_names,
+                                                    const LogicalOpOptions& opts);
 
   /// The Figure-3 flowchart: in-range inputs go through the network;
   /// way-off inputs trigger QueryTime-Remedy().
-  Result<LogicalOpEstimate> Estimate(const std::vector<double>& features) const;
+  [[nodiscard]] Result<LogicalOpEstimate> Estimate(const std::vector<double>& features) const;
 
   /// Logging phase: records the actual cost of a remotely executed
   /// operator (with the estimates recomputed for alpha fitting).
-  Status LogExecution(const std::vector<double>& features,
-                      double actual_seconds);
+  [[nodiscard]] Status LogExecution(const std::vector<double>& features,
+                                    double actual_seconds);
 
   /// Offline tuning phase: feeds the accumulated log to the network,
   /// absorbs new ranges under the continuity rule, and clears the log.
   /// FailedPrecondition when the log is empty.
-  Status OfflineTune();
+  [[nodiscard]] Status OfflineTune();
 
   /// Re-fits alpha to minimize the squared error of the combined estimate
   /// over all logged remedy executions (closed form, clamped to
   /// [0.05, 0.95]); returns the new alpha. Used after each query batch
   /// (Table 1). FailedPrecondition when no remedy executions are logged.
-  Result<double> AdjustAlpha();
+  [[nodiscard]] Result<double> AdjustAlpha();
 
   /// Serializes the full costing-profile payload for this operator: the
   /// network, the range metadata (including islands), alpha, the options,
   /// and the retained training points (required by the remedy's neighbor
   /// extraction). Everything goes under `prefix` in `props`.
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<LogicalOpModel> Load(const std::string& prefix,
-                                     const Properties& props);
+  [[nodiscard]] static Result<LogicalOpModel> Load(const std::string& prefix,
+                                                   const Properties& props);
 
   rel::OperatorType type() const { return type_; }
   double alpha() const { return alpha_; }
@@ -124,7 +124,7 @@ class LogicalOpModel {
 
   /// QueryTime-Remedy(): extracts the closest training points, fits a
   /// regression over the pivot dimensions, and extrapolates.
-  Result<double> PivotRegressionEstimate(
+  [[nodiscard]] Result<double> PivotRegressionEstimate(
       const std::vector<double>& features,
       const std::vector<size_t>& pivots) const;
 

@@ -61,16 +61,16 @@ class SubOpModel {
 
   /// Per-record cost in seconds. `fits_in_memory` selects the regime for
   /// two-regime models and is ignored otherwise. Never negative.
-  Result<double> PerRecordSeconds(int64_t record_bytes,
-                                  bool fits_in_memory = true) const;
+  [[nodiscard]] Result<double> PerRecordSeconds(int64_t record_bytes,
+                                                bool fits_in_memory = true) const;
 
   bool two_regime() const { return two_regime_; }
   const ml::LinearRegression& line() const { return line_; }
   const ml::LinearRegression& spill_line() const { return spill_line_; }
 
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<SubOpModel> Load(const std::string& prefix,
-                                 const Properties& props);
+  [[nodiscard]] static Result<SubOpModel> Load(const std::string& prefix,
+                                               const Properties& props);
 
  private:
   ml::LinearRegression line_;
@@ -105,8 +105,8 @@ struct OpenboxInfo {
   bool HashFits(double raw_bytes) const;
 
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<OpenboxInfo> Load(const std::string& prefix,
-                                  const Properties& props);
+  [[nodiscard]] static Result<OpenboxInfo> Load(const std::string& prefix,
+                                                const Properties& props);
 };
 
 /// The calibrated sub-op models of one remote system plus its openbox info.
@@ -117,20 +117,20 @@ class SubOpCatalog {
 
   void Put(SubOpKind kind, SubOpModel model);
   bool Contains(SubOpKind kind) const;
-  Result<const SubOpModel*> Get(SubOpKind kind) const;
+  [[nodiscard]] Result<const SubOpModel*> Get(SubOpKind kind) const;
 
   /// Per-record seconds of a sub-op at the given record size. When a
   /// Specific (optional) sub-op was never calibrated, a rough built-in
   /// default is used instead — Section 4: missing them "is not a hinder
   /// ... IntelliSphere can provide rough default values for them". Missing
   /// Basic sub-ops remain a NotFound error.
-  Result<double> Cost(SubOpKind kind, int64_t record_bytes,
-                      bool fits_in_memory = true) const;
+  [[nodiscard]] Result<double> Cost(SubOpKind kind, int64_t record_bytes,
+                                    bool fits_in_memory = true) const;
 
   /// The rough built-in default for a Specific sub-op, in seconds per
   /// record; InvalidArgument for Basic sub-ops (they are mandatory).
-  static Result<double> DefaultSpecificCost(SubOpKind kind,
-                                            int64_t record_bytes);
+  [[nodiscard]] static Result<double> DefaultSpecificCost(SubOpKind kind,
+                                                          int64_t record_bytes);
 
   const OpenboxInfo& info() const { return info_; }
   OpenboxInfo& info_mutable() { return info_; }
@@ -140,8 +140,8 @@ class SubOpCatalog {
   bool HasAllBasic() const;
 
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<SubOpCatalog> Load(const std::string& prefix,
-                                   const Properties& props);
+  [[nodiscard]] static Result<SubOpCatalog> Load(const std::string& prefix,
+                                                 const Properties& props);
 
  private:
   OpenboxInfo info_;
@@ -173,9 +173,9 @@ struct CalibrationRun {
 /// Runs the probe workload on an openbox system and fits all sub-op models.
 /// `info` supplies the structural knowledge (block size, slots, memory);
 /// its overhead model fields are filled in by the calibration itself.
-Result<CalibrationRun> CalibrateSubOps(remote::RemoteSystem* system,
-                                       OpenboxInfo info,
-                                       const CalibrationOptions& options);
+[[nodiscard]] Result<CalibrationRun> CalibrateSubOps(remote::RemoteSystem* system,
+                                                     OpenboxInfo info,
+                                                     const CalibrationOptions& options);
 
 }  // namespace intellisphere::core
 

@@ -31,15 +31,15 @@ struct TrainingRun {
 /// vector with the observed elapsed time. Operators the system cannot run
 /// are skipped (a remote system may lack capabilities); at least one must
 /// succeed.
-Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
-                                    const std::vector<rel::SqlOperator>& ops);
+[[nodiscard]] Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
+                                                  const std::vector<rel::SqlOperator>& ops);
 
 /// Convenience wrappers over CollectTraining.
-Result<TrainingRun> CollectJoinTraining(
+[[nodiscard]] Result<TrainingRun> CollectJoinTraining(
     remote::RemoteSystem* system, const std::vector<rel::JoinQuery>& queries);
-Result<TrainingRun> CollectAggTraining(
+[[nodiscard]] Result<TrainingRun> CollectAggTraining(
     remote::RemoteSystem* system, const std::vector<rel::AggQuery>& queries);
-Result<TrainingRun> CollectScanTraining(
+[[nodiscard]] Result<TrainingRun> CollectScanTraining(
     remote::RemoteSystem* system, const std::vector<rel::ScanQuery>& queries);
 
 /// The paper's dimension names for each operator's training set.

@@ -50,7 +50,7 @@ class TrainingMetadata {
 
   /// Derives metadata from a training dataset: per dimension, min, max, and
   /// the largest gap between consecutive distinct values as the step size.
-  static Result<TrainingMetadata> FromDataset(
+  [[nodiscard]] static Result<TrainingMetadata> FromDataset(
       const ml::Dataset& data, std::vector<std::string> names);
 
   size_t num_dimensions() const { return dims_.size(); }
@@ -61,7 +61,7 @@ class TrainingMetadata {
   /// Indices of dimensions for which `features[i]` is way off its range —
   /// the pivot dimensions of the online remedy phase. InvalidArgument on
   /// width mismatch.
-  Result<std::vector<size_t>> PivotDimensions(
+  [[nodiscard]] Result<std::vector<size_t>> PivotDimensions(
       const std::vector<double>& features, double beta) const;
 
   /// Offline-tuning range maintenance for newly observed feature rows:
@@ -70,13 +70,13 @@ class TrainingMetadata {
   /// boundary (or of a previously recorded island that is itself connected);
   /// otherwise the value is recorded as an island. Returns the number of
   /// dimensions whose range actually expanded.
-  Result<int> Absorb(const std::vector<std::vector<double>>& rows,
-                     double continuity_factor);
+  [[nodiscard]] Result<int> Absorb(const std::vector<std::vector<double>>& rows,
+                                   double continuity_factor);
 
   /// Persists under "<prefix>dim<i>_*".
   void Save(const std::string& prefix, Properties* props) const;
-  static Result<TrainingMetadata> Load(const std::string& prefix,
-                                       const Properties& props);
+  [[nodiscard]] static Result<TrainingMetadata> Load(const std::string& prefix,
+                                                     const Properties& props);
 
  private:
   std::vector<DimensionMeta> dims_;

@@ -74,41 +74,41 @@ class IntelliSphere {
 
   /// Registers a remote system: the live engine handle, its costing
   /// profile, and its QueryGrid connector.
-  Status RegisterRemoteSystem(std::unique_ptr<remote::RemoteSystem> system,
-                              core::CostingProfile profile,
-                              ConnectorParams connector);
+  [[nodiscard]] Status RegisterRemoteSystem(std::unique_ptr<remote::RemoteSystem> system,
+                                            core::CostingProfile profile,
+                                            ConnectorParams connector);
 
   /// Registers a (possibly foreign) table; `def.location` must be
   /// "teradata" or a registered remote system.
-  Status RegisterTable(rel::TableDef def);
+  [[nodiscard]] Status RegisterTable(rel::TableDef def);
 
-  Result<rel::TableDef> GetTable(const std::string& name) const;
-  Result<remote::RemoteSystem*> GetSystem(const std::string& name) const;
+  [[nodiscard]] Result<rel::TableDef> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<remote::RemoteSystem*> GetSystem(const std::string& name) const;
   std::vector<std::string> SystemNames() const;
 
   /// Costs all placements of joining two registered tables on `a1` with an
   /// extra predicate selectivity, projecting the given byte widths.
   /// Candidates: each distinct system owning one of the inputs, plus
   /// Teradata. Options are sorted cheapest-first.
-  Result<PlacementPlan> PlanJoin(const std::string& left_table,
-                                 const std::string& right_table,
-                                 int64_t left_projected_bytes,
-                                 int64_t right_projected_bytes,
-                                 double extra_selectivity = 1.0,
-                                 double now = 0.0) const;
+  [[nodiscard]] Result<PlacementPlan> PlanJoin(const std::string& left_table,
+                                               const std::string& right_table,
+                                               int64_t left_projected_bytes,
+                                               int64_t right_projected_bytes,
+                                               double extra_selectivity = 1.0,
+                                               double now = 0.0) const;
 
   /// Costs all placements of aggregating a registered table by
   /// `group_column` with `num_aggregates` SUMs.
-  Result<PlacementPlan> PlanAgg(const std::string& table,
-                                const std::string& group_column,
-                                int num_aggregates, double now = 0.0) const;
+  [[nodiscard]] Result<PlacementPlan> PlanAgg(const std::string& table,
+                                              const std::string& group_column,
+                                              int num_aggregates, double now = 0.0) const;
 
   /// Costs all placements of a selection + projection over a registered
   /// table. When the scan would run on Teradata, QueryGrid's predicate
   /// pushdown already reduces the transferred volume to the survivors.
-  Result<PlacementPlan> PlanScan(const std::string& table, double selectivity,
-                                 int64_t projected_bytes,
-                                 double now = 0.0) const;
+  [[nodiscard]] Result<PlacementPlan> PlanScan(const std::string& table, double selectivity,
+                                               int64_t projected_bytes,
+                                               double now = 0.0) const;
 
   /// Costs every placement pair of a two-operator pipeline: join the two
   /// tables on a1 (projecting the given widths, applying
@@ -117,19 +117,19 @@ class IntelliSphere {
   /// over the join result. The join may run on either owner or Teradata;
   /// the aggregation on the join's host (keeping the intermediate in
   /// place) or on Teradata; the final answer always returns to Teradata.
-  Result<PipelinePlan> PlanJoinThenAgg(const std::string& left_table,
-                                       const std::string& right_table,
-                                       int64_t left_projected_bytes,
-                                       int64_t right_projected_bytes,
-                                       double extra_selectivity,
-                                       const std::string& group_column,
-                                       int num_aggregates,
-                                       double now = 0.0) const;
+  [[nodiscard]] Result<PipelinePlan> PlanJoinThenAgg(const std::string& left_table,
+                                                     const std::string& right_table,
+                                                     int64_t left_projected_bytes,
+                                                     int64_t right_projected_bytes,
+                                                     double extra_selectivity,
+                                                     const std::string& group_column,
+                                                     int num_aggregates,
+                                                     double now = 0.0) const;
 
   /// Executes the plan's best placement on the actual (simulated) system
   /// and feeds the observed cost back into the costing profile's log.
   /// Returns the observed elapsed seconds of the operator itself.
-  Result<double> ExecuteBest(const PlacementPlan& plan);
+  [[nodiscard]] Result<double> ExecuteBest(const PlacementPlan& plan);
 
   core::CostEstimator& cost_estimator() { return estimator_; }
   const core::CostEstimator& cost_estimator() const { return estimator_; }
@@ -139,8 +139,8 @@ class IntelliSphere {
  private:
   /// Estimated operator time on a candidate system (local model for
   /// Teradata, costing profile otherwise).
-  Result<double> OperatorSeconds(const std::string& system,
-                                 const rel::SqlOperator& op, double now) const;
+  [[nodiscard]] Result<double> OperatorSeconds(const std::string& system,
+                                               const rel::SqlOperator& op, double now) const;
 
   eng::LocalCostModel local_model_;
   core::CostEstimator estimator_;

@@ -30,21 +30,21 @@ class QueryGrid {
  public:
   /// Registers a connector between Teradata and `system_name`.
   /// AlreadyExists on duplicates.
-  Status RegisterConnector(const std::string& system_name,
-                           ConnectorParams params);
+  [[nodiscard]] Status RegisterConnector(const std::string& system_name,
+                                         ConnectorParams params);
   bool HasConnector(const std::string& system_name) const;
 
   /// Seconds to move `num_rows` records of `row_bytes` each across the
   /// named connector (either direction; the model is symmetric).
-  Result<double> TransferSeconds(const std::string& system_name,
-                                 int64_t num_rows, int64_t row_bytes) const;
+  [[nodiscard]] Result<double> TransferSeconds(const std::string& system_name,
+                                               int64_t num_rows, int64_t row_bytes) const;
 
   /// Seconds to relay data from `from_system` to `to_system` through
   /// Teradata ("data cannot be transferred directly between two remote
   /// systems"). Either endpoint may be "teradata", costing only one hop.
-  Result<double> RelaySeconds(const std::string& from_system,
-                              const std::string& to_system, int64_t num_rows,
-                              int64_t row_bytes) const;
+  [[nodiscard]] Result<double> RelaySeconds(const std::string& from_system,
+                                            const std::string& to_system, int64_t num_rows,
+                                            int64_t row_bytes) const;
 
  private:
   std::map<std::string, ConnectorParams> connectors_;

@@ -24,13 +24,13 @@ class BlackboxSystem : public RemoteSystem {
 
   const std::string& name() const override { return inner_->name(); }
 
-  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override {
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override {
     return Strip(inner_->ExecuteJoin(query));
   }
-  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override {
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override {
     return Strip(inner_->ExecuteAgg(query));
   }
-  Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override {
+  [[nodiscard]] Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override {
     return Strip(inner_->ExecuteScan(query));
   }
 
@@ -46,7 +46,7 @@ class BlackboxSystem : public RemoteSystem {
 
  private:
   /// A blackbox does not reveal which physical algorithm ran.
-  static Result<QueryResult> Strip(Result<QueryResult> r) {
+  [[nodiscard]] static Result<QueryResult> Strip(Result<QueryResult> r) {
     if (!r.ok()) return r;
     QueryResult out = std::move(r).value();
     out.physical_algorithm.clear();

@@ -65,31 +65,31 @@ class HiveEngine : public SimulatedEngineBase {
   static std::unique_ptr<HiveEngine> CreateDefault(std::string name,
                                                    uint64_t seed);
 
-  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
-  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
 
   /// Executes a join with a planner override (a query hint); Unsupported
   /// when the algorithm cannot apply (e.g. bucket joins on unbucketed
   /// inputs).
-  Result<QueryResult> ExecuteJoinWithAlgorithm(const rel::JoinQuery& query,
-                                               HiveJoinAlgorithm algo);
-  Result<QueryResult> ExecuteAggWithAlgorithm(const rel::AggQuery& query,
-                                              HiveAggAlgorithm algo);
+  [[nodiscard]] Result<QueryResult> ExecuteJoinWithAlgorithm(const rel::JoinQuery& query,
+                                                             HiveJoinAlgorithm algo);
+  [[nodiscard]] Result<QueryResult> ExecuteAggWithAlgorithm(const rel::AggQuery& query,
+                                                            HiveAggAlgorithm algo);
 
   /// The rule-based physical planner (what Hive would pick).
-  Result<HiveJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
-  Result<HiveAggAlgorithm> PlanAgg(const rel::AggQuery& query) const;
+  [[nodiscard]] Result<HiveJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
+  [[nodiscard]] Result<HiveAggAlgorithm> PlanAgg(const rel::AggQuery& query) const;
 
   const HiveEngineOptions& options() const { return options_; }
 
  private:
-  Result<double> RunShuffleJoin(const rel::JoinQuery& q);
-  Result<double> RunBroadcastJoin(const rel::JoinQuery& q);
-  Result<double> RunBucketMapJoin(const rel::JoinQuery& q);
-  Result<double> RunSortMergeBucketJoin(const rel::JoinQuery& q);
-  Result<double> RunSkewJoin(const rel::JoinQuery& q);
-  Result<double> RunHashAgg(const rel::AggQuery& q);
-  Result<double> RunSortAgg(const rel::AggQuery& q);
+  [[nodiscard]] Result<double> RunShuffleJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunBroadcastJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunBucketMapJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunSortMergeBucketJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunSkewJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunHashAgg(const rel::AggQuery& q);
+  [[nodiscard]] Result<double> RunSortAgg(const rel::AggQuery& q);
 
   int NumReducers() const;
 

@@ -52,18 +52,18 @@ class PrestoEngine : public SimulatedEngineBase {
   static std::unique_ptr<PrestoEngine> CreateDefault(std::string name,
                                                      uint64_t seed);
 
-  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
-  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
 
   /// The strategy the planner would pick; Unsupported when the query
   /// cannot run within the engine's memory limits at all.
-  Result<PrestoJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
+  [[nodiscard]] Result<PrestoJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
 
   const PrestoEngineOptions& options() const { return options_; }
 
  private:
-  Result<double> RunBroadcastHashJoin(const rel::JoinQuery& q);
-  Result<double> RunPartitionedHashJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunBroadcastHashJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunPartitionedHashJoin(const rel::JoinQuery& q);
 
   /// Memory check for the partitioned strategy: the build side split
   /// across all workers must fit their memory.

@@ -75,16 +75,16 @@ class RemoteSystem {
 
   /// Executes a join; Unsupported when the system cannot join (the paper
   /// allows remote systems lacking operations).
-  virtual Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) = 0;
+  [[nodiscard]] virtual Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) = 0;
 
   /// Executes a group-by aggregation.
-  virtual Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) = 0;
+  [[nodiscard]] virtual Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) = 0;
 
   /// Executes a selection + projection.
-  virtual Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) = 0;
+  [[nodiscard]] virtual Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) = 0;
 
   /// Executes a type-erased operator.
-  Result<QueryResult> Execute(const rel::SqlOperator& op) {
+  [[nodiscard]] Result<QueryResult> Execute(const rel::SqlOperator& op) {
     ISPHERE_RETURN_NOT_OK(op.Validate());
     switch (op.type) {
       case rel::OperatorType::kJoin:
@@ -99,8 +99,8 @@ class RemoteSystem {
 
   /// Executes a calibration probe over an input with the given statistics.
   /// Default: Unsupported (blackbox systems).
-  virtual Result<QueryResult> ExecuteProbe(ProbeKind kind,
-                                           const rel::RelationStats& input) {
+  [[nodiscard]] virtual Result<QueryResult> ExecuteProbe(ProbeKind kind,
+                                                         const rel::RelationStats& input) {
     (void)kind;
     (void)input;
     return Status::Unsupported("system '" + name() +

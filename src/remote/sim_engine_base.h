@@ -24,13 +24,13 @@ class SimulatedEngineBase : public RemoteSystem {
 
   const std::string& name() const override { return name_; }
 
-  Result<QueryResult> ExecuteProbe(ProbeKind kind,
-                                   const rel::RelationStats& input) override;
+  [[nodiscard]] Result<QueryResult> ExecuteProbe(ProbeKind kind,
+                                                 const rel::RelationStats& input) override;
 
   /// Selection + projection runs as a map-only job in every simulated
   /// engine: read each block, evaluate the predicate per record, write the
   /// surviving projected records back to the DFS.
-  Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) override;
 
   double total_simulated_seconds() const override {
     return cluster_.total_simulated_seconds();

@@ -60,25 +60,25 @@ class SparkEngine : public SimulatedEngineBase {
   static std::unique_ptr<SparkEngine> CreateDefault(std::string name,
                                                     uint64_t seed);
 
-  Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
-  Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(const rel::JoinQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(const rel::AggQuery& query) override;
 
   /// Executes with a strategy hint; Unsupported when inapplicable.
-  Result<QueryResult> ExecuteJoinWithAlgorithm(const rel::JoinQuery& query,
-                                               SparkJoinAlgorithm algo);
+  [[nodiscard]] Result<QueryResult> ExecuteJoinWithAlgorithm(const rel::JoinQuery& query,
+                                                             SparkJoinAlgorithm algo);
 
   /// The strategy Spark's planner would choose.
-  Result<SparkJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
+  [[nodiscard]] Result<SparkJoinAlgorithm> PlanJoin(const rel::JoinQuery& query) const;
 
   const SparkEngineOptions& options() const { return options_; }
 
  private:
-  Result<double> RunBroadcastHashJoin(const rel::JoinQuery& q);
-  Result<double> RunShuffleHashJoin(const rel::JoinQuery& q);
-  Result<double> RunSortMergeJoin(const rel::JoinQuery& q);
-  Result<double> RunBroadcastNestedLoopJoin(const rel::JoinQuery& q);
-  Result<double> RunCartesianProductJoin(const rel::JoinQuery& q);
-  Result<double> RunHashAgg(const rel::AggQuery& q);
+  [[nodiscard]] Result<double> RunBroadcastHashJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunShuffleHashJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunSortMergeJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunBroadcastNestedLoopJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunCartesianProductJoin(const rel::JoinQuery& q);
+  [[nodiscard]] Result<double> RunHashAgg(const rel::AggQuery& q);
 
   int NumPartitions() const;
 

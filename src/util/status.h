@@ -37,7 +37,12 @@ const char* StatusCodeName(StatusCode code);
 ///     if (exists) return Status::AlreadyExists("system 'hive' registered");
 ///     return Status::OK();
 ///   }
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning Status by value
+/// warns (errors under -Werror) when a caller drops the result. Callers that
+/// genuinely want to ignore an outcome must say so with
+/// `(void)DoThing();` or keep the status and assert on it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -65,12 +70,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// Returns "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -94,8 +99,11 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 ///   auto r = Train(...);
 ///   if (!r.ok()) return r.status();
 ///   Model m = std::move(r).value();
+///
+/// [[nodiscard]] like Status: dropping a Result discards both the value and
+/// the error, so the compiler flags it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -107,10 +115,10 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Returns OK when holding a value, the error otherwise.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
@@ -119,7 +127,7 @@ class Result {
   T&& value() && { return std::get<T>(std::move(repr_)); }
 
   /// Returns the contained value or `fallback` on error.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? value() : std::move(fallback);
   }
 

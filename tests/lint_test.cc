@@ -1,0 +1,294 @@
+// Unit tests for the repo lint pass (tools/lint): every rule must fire on a
+// known-bad snippet and stay quiet on the idiomatic form, and every
+// suppression-comment spelling must silence its rule.
+
+#include "tools/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lint = intellisphere::lint;
+
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+std::vector<lint::Finding> RunLint(const std::string& path,
+                               const std::string& content,
+                               lint::LintOptions opts = {}) {
+  return lint::LintFile(lint::FileInput{path, content}, opts);
+}
+
+// --- include-guard ---------------------------------------------------------
+
+TEST(IncludeGuardRule, FiresOnWrongGuard) {
+  auto findings = RunLint("src/util/foo.h",
+                      "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("INTELLISPHERE_UTIL_FOO_H_"),
+            std::string::npos);
+}
+
+TEST(IncludeGuardRule, FiresOnMissingGuard) {
+  auto findings = RunLint("src/util/foo.h", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+}
+
+TEST(IncludeGuardRule, AcceptsConformingGuard) {
+  auto findings = RunLint("src/util/foo.h",
+                      "#ifndef INTELLISPHERE_UTIL_FOO_H_\n"
+                      "#define INTELLISPHERE_UTIL_FOO_H_\n#endif\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(IncludeGuardRule, IgnoresNonHeaders) {
+  EXPECT_TRUE(RunLint("src/util/foo.cc", "int x;\n").empty());
+}
+
+TEST(IncludeGuardRule, ExpectedGuardStripsOnlyLeadingSrc) {
+  EXPECT_EQ(lint::ExpectedIncludeGuard("src/util/status.h"),
+            "INTELLISPHERE_UTIL_STATUS_H_");
+  EXPECT_EQ(lint::ExpectedIncludeGuard("bench/bench_common.h"),
+            "INTELLISPHERE_BENCH_BENCH_COMMON_H_");
+  EXPECT_EQ(lint::ExpectedIncludeGuard("tools/lint/lint.h"),
+            "INTELLISPHERE_TOOLS_LINT_LINT_H_");
+}
+
+TEST(IncludeGuardRule, SuppressedByFileWideAllow) {
+  auto findings = RunLint("src/util/foo.h",
+                      "// lint:allow-file(include-guard)\nint x;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- no-rand ---------------------------------------------------------------
+
+TEST(NoRandRule, FiresOnRandAndSrand) {
+  auto findings = RunLint("src/ml/sampler.cc",
+                      "int a = rand();\nsrand(42);\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-rand", "no-rand"}));
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(NoRandRule, AllowedInsideRngHeader) {
+  EXPECT_TRUE(RunLint("src/util/rng.h",
+                      "#ifndef INTELLISPHERE_UTIL_RNG_H_\n"
+                      "#define INTELLISPHERE_UTIL_RNG_H_\n"
+                      "int a = rand();\n#endif\n")
+                  .empty());
+}
+
+TEST(NoRandRule, IgnoresLongerIdentifiersCommentsAndStrings) {
+  auto findings = RunLint("src/ml/sampler.cc",
+                      "int b = strand();\n"
+                      "int my_rand = 3; // rand() in a comment\n"
+                      "const char* s = \"rand()\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(NoRandRule, SuppressedOnSameLine) {
+  auto findings = RunLint("tests/chaos.cc",
+                      "int a = rand();  // lint:allow(no-rand)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- no-cout ---------------------------------------------------------------
+
+TEST(NoCoutRule, FiresInLibraryCode) {
+  auto findings = RunLint("src/engine/executor.cc",
+                      "std::cout << \"debug\";\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-cout");
+}
+
+TEST(NoCoutRule, AllowedOutsideSrc) {
+  EXPECT_TRUE(RunLint("examples/quickstart.cpp", "std::cout << 1;\n").empty());
+  EXPECT_TRUE(RunLint("bench/bench_foo.cc", "std::cout << 1;\n").empty());
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", "std::cout << 1;\n").empty());
+}
+
+TEST(NoCoutRule, IgnoresCommentMentions) {
+  EXPECT_TRUE(RunLint("src/util/csv.h",
+                  "#ifndef INTELLISPHERE_UTIL_CSV_H_\n"
+                  "#define INTELLISPHERE_UTIL_CSV_H_\n"
+                  "///   t.Print(std::cout);\n"
+                  "#endif\n")
+                  .empty());
+}
+
+TEST(NoCoutRule, SuppressedByPrecedingLineAllow) {
+  auto findings = RunLint("src/engine/executor.cc",
+                      "// lint:allow(no-cout)\nstd::cout << \"ok\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- banned-header ---------------------------------------------------------
+
+TEST(BannedHeaderRule, FiresOnCCompatHeaders) {
+  auto findings = RunLint("src/ml/matrix.cc",
+                      "#include <stdlib.h>\n#include <math.h>\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"banned-header", "banned-header"}));
+  EXPECT_NE(findings[0].message.find("<cstdlib>"), std::string::npos);
+}
+
+TEST(BannedHeaderRule, AcceptsCxxHeaders) {
+  EXPECT_TRUE(RunLint("src/ml/matrix.cc",
+                  "#include <cstdlib>\n#include <cmath>\n")
+                  .empty());
+}
+
+TEST(BannedHeaderRule, IostreamBannedOnlyInLibraryHeaders) {
+  auto header = RunLint("src/util/log.h",
+                    "#ifndef INTELLISPHERE_UTIL_LOG_H_\n"
+                    "#define INTELLISPHERE_UTIL_LOG_H_\n"
+                    "#include <iostream>\n#endif\n");
+  ASSERT_EQ(header.size(), 1u);
+  EXPECT_EQ(header[0].rule, "banned-header");
+  EXPECT_TRUE(RunLint("src/util/log.cc", "#include <iostream>\n").empty());
+  EXPECT_TRUE(RunLint("bench/bench_common.h",
+                  "#ifndef INTELLISPHERE_BENCH_BENCH_COMMON_H_\n"
+                  "#define INTELLISPHERE_BENCH_BENCH_COMMON_H_\n"
+                  "#include <iostream>\n#endif\n")
+                  .empty());
+}
+
+TEST(BannedHeaderRule, SuppressedOnSameLine) {
+  auto findings = RunLint("src/ml/matrix.cc",
+                      "#include <math.h>  // lint:allow(banned-header)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- discarded-status ------------------------------------------------------
+
+lint::LintOptions StatusOpts() {
+  lint::LintOptions opts;
+  opts.status_functions = {"RegisterTable", "Validate", "Estimate"};
+  return opts;
+}
+
+TEST(DiscardedStatusRule, FiresOnStatementFormCall) {
+  auto findings =
+      RunLint("src/federation/intellisphere.cc",
+          "void F(Sys& sys, TableDef def) {\n"
+          "  sys.RegisterTable(def);\n"
+          "}\n",
+          StatusOpts());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "discarded-status");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("RegisterTable"), std::string::npos);
+}
+
+TEST(DiscardedStatusRule, FiresOnFreeFunctionStatement) {
+  auto findings = RunLint("tests/foo_test.cc", "Validate(q);\n", StatusOpts());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "discarded-status");
+}
+
+TEST(DiscardedStatusRule, QuietWhenResultIsConsumed) {
+  auto findings =
+      RunLint("tests/foo_test.cc",
+          "Status st = sys.RegisterTable(def);\n"
+          "auto est = model.Estimate(q).value();\n"
+          "ASSERT_TRUE(sys.RegisterTable(def).ok());\n"
+          "ISPHERE_RETURN_NOT_OK(sys.RegisterTable(def));\n"
+          "(void)sys.RegisterTable(def);\n"
+          "return sys.RegisterTable(def);\n",
+          StatusOpts());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DiscardedStatusRule, QuietOnContinuationLines) {
+  // The call is an argument of a multi-line macro/call on the previous
+  // line, not a statement of its own.
+  auto findings = RunLint("src/core/sub_op.cc",
+                      "ISPHERE_ASSIGN_OR_RETURN(double v,\n"
+                      "                         lr.Estimate(q));\n",
+                      StatusOpts());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DiscardedStatusRule, QuietOnAmbiguousVoidNames) {
+  auto opts = StatusOpts();
+  opts.void_functions = {"Estimate"};
+  auto findings = RunLint("tests/foo_test.cc", "model.Estimate(q);\n", opts);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DiscardedStatusRule, QuietOnUnknownNames) {
+  auto findings =
+      RunLint("tests/foo_test.cc", "model.Recalibrate(q);\n", StatusOpts());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DiscardedStatusRule, SuppressedOnPrecedingLine) {
+  auto findings = RunLint("tests/foo_test.cc",
+                      "// lint:allow(discarded-status)\n"
+                      "sys.RegisterTable(def);\n",
+                      StatusOpts());
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- suppression scoping ---------------------------------------------------
+
+TEST(Suppressions, AllowIsPerRuleAndPerLine) {
+  // An allow for one rule must not silence another, and only covers its own
+  // line plus the next.
+  auto findings = RunLint("src/ml/sampler.cc",
+                      "int a = rand();  // lint:allow(no-cout)\n"
+                      "\n"
+                      "srand(7);\n",
+                      {});
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-rand", "no-rand"}));
+}
+
+// --- harvesting ------------------------------------------------------------
+
+TEST(HarvestFunctions, CollectsStatusResultAndVoidNames) {
+  lint::LintOptions opts;
+  lint::HarvestFunctions(
+      "class Catalog {\n"
+      " public:\n"
+      "  Status Add(TableDef def);\n"
+      "  Result<TableDef> Get(const std::string& name) const;\n"
+      "  static Result<SubOpCostEstimator>\n"
+      "      ForHive(SubOpCatalog catalog);\n"
+      "  void Clear();\n"
+      "  int size() const;\n"
+      "};\n"
+      "Status st;  // member declaration, not a function\n",
+      &opts);
+  EXPECT_EQ(opts.status_functions,
+            (std::set<std::string>{"Add", "Get", "ForHive"}));
+  EXPECT_EQ(opts.void_functions, (std::set<std::string>{"Clear"}));
+}
+
+TEST(HarvestFunctions, IgnoresCommentsAndStrings) {
+  lint::LintOptions opts;
+  lint::HarvestFunctions(
+      "// Status Commented(int);\n"
+      "const char* s = \"Status Quoted(int);\";\n",
+      &opts);
+  EXPECT_TRUE(opts.status_functions.empty());
+}
+
+// --- formatting ------------------------------------------------------------
+
+TEST(FormatFinding, MatchesCliOutputShape) {
+  lint::Finding f{"src/a.cc", 12, "no-rand", "rand() is banned"};
+  EXPECT_EQ(lint::FormatFinding(f), "src/a.cc:12: [no-rand] rand() is banned");
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// CLI driver for the repo lint pass (see tools/lint/lint.h for the rules).
+//
+// Usage:
+//   intellisphere_lint --root <repo_root> [relative paths...]
+//
+// With no explicit paths, scans src/, tests/, examples/, bench/, and tools/
+// for .h/.cc/.cpp files. Harvests Status/Result-returning function names
+// from every header under src/ first, so the discarded-status rule knows the
+// fallible API surface. Exits 1 when any finding is reported.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string ReadFileOrDie(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::cerr << "intellisphere_lint: cannot read " << p << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Repo-relative path with '/' separators (rule matching is path-based).
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  return fs::relative(file, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: intellisphere_lint --root <repo_root> [paths...]\n";
+      return 0;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+  root = fs::absolute(root).lexically_normal();
+
+  std::vector<fs::path> files;
+  if (explicit_paths.empty()) {
+    for (const char* dir : {"src", "tests", "examples", "bench", "tools"}) {
+      fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  } else {
+    for (const std::string& p : explicit_paths) {
+      files.push_back(root / p);
+    }
+  }
+
+  intellisphere::lint::LintOptions opts;
+  if (fs::is_directory(root / "src")) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / "src")) {
+      if (entry.is_regular_file() && entry.path().extension() == ".h") {
+        intellisphere::lint::HarvestFunctions(ReadFileOrDie(entry.path()),
+                                              &opts);
+      }
+    }
+  }
+
+  int findings = 0;
+  for (const fs::path& file : files) {
+    intellisphere::lint::FileInput input;
+    input.path = RelPath(file, root);
+    input.content = ReadFileOrDie(file);
+    for (const auto& f : intellisphere::lint::LintFile(input, opts)) {
+      std::cout << intellisphere::lint::FormatFinding(f) << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cout << "intellisphere_lint: " << findings << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,421 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace intellisphere::lint {
+namespace {
+
+// Splits content into lines (without trailing '\n').
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Returns the lines with comments and string/char literals blanked to
+// spaces, preserving columns, so token rules cannot fire inside either.
+std::vector<std::string> BlankedLines(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string code = line;
+    size_t i = 0;
+    while (i < code.size()) {
+      if (in_block_comment) {
+        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          i += 2;
+          in_block_comment = false;
+        } else {
+          code[i++] = ' ';
+        }
+        continue;
+      }
+      char c = code[i];
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+        for (size_t j = i; j < code.size(); ++j) code[j] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+        code[i] = ' ';
+        code[i + 1] = ' ';
+        i += 2;
+        in_block_comment = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        code[i++] = ' ';
+        while (i < code.size()) {
+          if (code[i] == '\\' && i + 1 < code.size()) {
+            code[i] = ' ';
+            code[i + 1] = ' ';
+            i += 2;
+            continue;
+          }
+          bool done = code[i] == quote;
+          code[i++] = ' ';
+          if (done) break;
+        }
+        continue;
+      }
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `text[pos..]` starts with `token` at word boundaries.
+bool TokenAt(const std::string& text, size_t pos, const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  size_t end = pos + token.size();
+  return end >= text.size() || !IsIdentChar(text[end]);
+}
+
+// Finds `token` as a whole identifier in `text`; npos when absent.
+size_t FindToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    if (TokenAt(text, pos, token)) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Per-file suppression state parsed from the raw (unblanked) lines.
+struct Suppressions {
+  std::set<std::string> file_wide;
+  // Line numbers (1-based) on which a rule is allowed.
+  std::set<std::pair<int, std::string>> per_line;
+
+  bool Allowed(const std::string& rule, int line) const {
+    return file_wide.count(rule) > 0 || per_line.count({line, rule}) > 0;
+  }
+};
+
+// Extracts every `marker(<rule>)` occurrence on the line.
+std::vector<std::string> ParseMarkers(const std::string& line,
+                                      const std::string& marker) {
+  std::vector<std::string> rules;
+  size_t pos = 0;
+  while ((pos = line.find(marker + "(", pos)) != std::string::npos) {
+    size_t open = pos + marker.size();
+    size_t close = line.find(')', open);
+    if (close == std::string::npos) break;
+    rules.push_back(Trim(line.substr(open + 1, close - open - 1)));
+    pos = close;
+  }
+  return rules;
+}
+
+Suppressions ParseSuppressions(const std::vector<std::string>& raw_lines) {
+  Suppressions sup;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    int line_no = static_cast<int>(i) + 1;
+    for (const std::string& rule : ParseMarkers(raw_lines[i], "lint:allow")) {
+      // `lint:allow(rule)` covers its own line and the next one, so the
+      // marker can sit on the line above the flagged statement.
+      sup.per_line.insert({line_no, rule});
+      sup.per_line.insert({line_no + 1, rule});
+    }
+    for (const std::string& rule :
+         ParseMarkers(raw_lines[i], "lint:allow-file")) {
+      sup.file_wide.insert(rule);
+    }
+  }
+  return sup;
+}
+
+const char* const kBannedEverywhere[] = {"stdio.h",  "stdlib.h", "string.h",
+                                         "math.h",   "assert.h", "time.h"};
+
+bool IsHeaderPath(const std::string& path) { return EndsWith(path, ".h"); }
+
+bool IsLibraryPath(const std::string& path) { return StartsWith(path, "src/"); }
+
+void Report(std::vector<Finding>* out, const Suppressions& sup,
+            const std::string& file, int line, const std::string& rule,
+            std::string message) {
+  if (sup.Allowed(rule, line)) return;
+  out->push_back(Finding{file, line, rule, std::move(message)});
+}
+
+void CheckIncludeGuard(const FileInput& in,
+                       const std::vector<std::string>& code,
+                       const Suppressions& sup, std::vector<Finding>* out) {
+  if (!IsHeaderPath(in.path)) return;
+  const std::string expected = ExpectedIncludeGuard(in.path);
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string line = Trim(code[i]);
+    if (!StartsWith(line, "#ifndef")) continue;
+    std::string guard = Trim(line.substr(7));
+    if (guard != expected) {
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "include-guard",
+             "include guard '" + guard + "' should be '" + expected + "'");
+    }
+    return;  // Only the first #ifndef is the guard.
+  }
+  Report(out, sup, in.path, 1, "include-guard",
+         "missing include guard '" + expected + "'");
+}
+
+void CheckNoRand(const FileInput& in, const std::vector<std::string>& code,
+                 const Suppressions& sup, std::vector<Finding>* out) {
+  if (in.path == "src/util/rng.h") return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* fn : {"rand", "srand"}) {
+      size_t pos = FindToken(code[i], fn);
+      if (pos == std::string::npos) continue;
+      size_t after = code[i].find_first_not_of(" \t", pos + std::string(fn).size());
+      if (after == std::string::npos || code[i][after] != '(') continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-rand",
+             std::string(fn) +
+                 "() is banned; draw from a seeded intellisphere::Rng "
+                 "(src/util/rng.h) instead");
+    }
+  }
+}
+
+void CheckNoCout(const FileInput& in, const std::vector<std::string>& code,
+                 const Suppressions& sup, std::vector<Finding>* out) {
+  if (!IsLibraryPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].find("std::cout") == std::string::npos) continue;
+    Report(out, sup, in.path, static_cast<int>(i) + 1, "no-cout",
+           "std::cout is banned in library code; return Status/Result or "
+           "take an std::ostream&");
+  }
+}
+
+void CheckBannedHeaders(const FileInput& in,
+                        const std::vector<std::string>& code,
+                        const Suppressions& sup, std::vector<Finding>* out) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string line = Trim(code[i]);
+    if (!StartsWith(line, "#include")) continue;
+    size_t open = line.find('<');
+    size_t close = line.find('>');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      continue;
+    }
+    std::string header = line.substr(open + 1, close - open - 1);
+    for (const char* banned : kBannedEverywhere) {
+      if (header == banned) {
+        std::string cxx = "c" + header.substr(0, header.size() - 2);
+        Report(out, sup, in.path, static_cast<int>(i) + 1, "banned-header",
+               "<" + header + "> is banned; use <" + cxx + ">");
+      }
+    }
+    if (header == "iostream" && IsLibraryPath(in.path) &&
+        IsHeaderPath(in.path)) {
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "banned-header",
+             "<iostream> is banned in library headers; use <ostream> or "
+             "<iosfwd>");
+    }
+  }
+}
+
+const char* const kStatementKeywords[] = {
+    "return",   "if",    "while", "for",     "switch", "case",
+    "do",       "else",  "throw", "new",     "delete", "goto",
+    "using",    "typedef", "template", "co_return", "co_await", "co_yield"};
+
+// True when the trimmed code line ends a statement (or opens/closes a
+// scope), so the next line starts a fresh statement. Blank and preprocessor
+// lines are boundaries too.
+bool IsStatementBoundary(const std::string& trimmed) {
+  if (trimmed.empty() || trimmed[0] == '#') return true;
+  char last = trimmed.back();
+  return last == ';' || last == '{' || last == '}' || last == ':';
+}
+
+void CheckDiscardedStatus(const FileInput& in,
+                          const std::vector<std::string>& code,
+                          const LintOptions& opts, const Suppressions& sup,
+                          std::vector<Finding>* out) {
+  bool at_statement_start = true;
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string line = Trim(code[i]);
+    bool starts_statement = at_statement_start;
+    at_statement_start = IsStatementBoundary(line);
+    if (!starts_statement || line.empty() || line[0] == '#') continue;
+    size_t open = line.find('(');
+    if (open == std::string::npos || open == 0) continue;
+    // The identifier immediately before the first '(' is the called name.
+    size_t end = open;
+    while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t')) --end;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(line[begin - 1])) --begin;
+    if (begin == end) continue;
+    std::string name = line.substr(begin, end - begin);
+    if (opts.status_functions.count(name) == 0) continue;
+    if (opts.void_functions.count(name) > 0) continue;  // ambiguous name
+    // The call must be the whole statement. First, the name must be at the
+    // start of the line or reached through an object designator (`x.`,
+    // `x->`, `ns::`) with no assignment in front.
+    std::string prefix = Trim(line.substr(0, begin));
+    if (!prefix.empty() && !EndsWith(prefix, ".") && !EndsWith(prefix, "->") &&
+        !EndsWith(prefix, "::")) {
+      continue;
+    }
+    if (prefix.find('=') != std::string::npos) continue;
+    // Second, the statement must end right after the call: the matching
+    // close paren must be followed by just `;` (a trailing `.value();` or
+    // `).ok());` consumes the result and is fine).
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t j = open; j < line.size(); ++j) {
+      if (line[j] == '(') ++depth;
+      if (line[j] == ')' && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    if (Trim(line.substr(close + 1)) != ";") continue;
+    bool keyword = false;
+    for (const char* kw : kStatementKeywords) {
+      if (TokenAt(line, 0, kw)) keyword = true;
+    }
+    if (keyword) continue;
+    Report(out, sup, in.path, static_cast<int>(i) + 1, "discarded-status",
+           "result of Status/Result-returning call '" + name +
+               "' is discarded; check it or use ISPHERE_RETURN_NOT_OK");
+  }
+}
+
+}  // namespace
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+std::string ExpectedIncludeGuard(const std::string& path) {
+  std::string rel = StartsWith(path, "src/") ? path.substr(4) : path;
+  std::string guard = "INTELLISPHERE_";
+  for (char c : rel) {
+    guard.push_back(IsIdentChar(c)
+                        ? static_cast<char>(std::toupper(
+                              static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+namespace {
+
+// Collects the names of functions declared with return type `token`
+// (optionally followed by a <...> template argument list) into `out`.
+void CollectReturnTypeNames(const std::string& text, const std::string& token,
+                            bool requires_template_args,
+                            std::set<std::string>* out) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    size_t hit = pos;
+    pos += token.size();
+    if (!TokenAt(text, hit, token)) continue;
+    size_t cursor = hit + token.size();
+    if (requires_template_args) {
+      if (cursor >= text.size() || text[cursor] != '<') continue;
+      // Skip the balanced <...> template argument list.
+      int depth = 0;
+      while (cursor < text.size()) {
+        if (text[cursor] == '<') ++depth;
+        if (text[cursor] == '>' && --depth == 0) {
+          ++cursor;
+          break;
+        }
+        ++cursor;
+      }
+      if (depth != 0) return;
+    }
+    while (cursor < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[cursor]))) {
+      ++cursor;
+    }
+    size_t name_begin = cursor;
+    while (cursor < text.size() && IsIdentChar(text[cursor])) ++cursor;
+    std::string name = text.substr(name_begin, cursor - name_begin);
+    while (cursor < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[cursor]))) {
+      ++cursor;
+    }
+    if (!name.empty() && cursor < text.size() && text[cursor] == '(') {
+      out->insert(name);
+    }
+  }
+}
+
+}  // namespace
+
+void HarvestFunctions(const std::string& content, LintOptions* opts) {
+  std::vector<std::string> code = BlankedLines(SplitLines(content));
+  // Join so a declaration split across lines still parses.
+  std::string text;
+  for (const std::string& line : code) {
+    text += line;
+    text += '\n';
+  }
+  CollectReturnTypeNames(text, "Status", false, &opts->status_functions);
+  CollectReturnTypeNames(text, "Result", true, &opts->status_functions);
+  CollectReturnTypeNames(text, "void", false, &opts->void_functions);
+}
+
+std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts) {
+  std::vector<std::string> raw = SplitLines(in.content);
+  std::vector<std::string> code = BlankedLines(raw);
+  Suppressions sup = ParseSuppressions(raw);
+
+  std::vector<Finding> findings;
+  CheckIncludeGuard(in, code, sup, &findings);
+  CheckNoRand(in, code, sup, &findings);
+  CheckNoCout(in, code, sup, &findings);
+  CheckBannedHeaders(in, code, sup, &findings);
+  CheckDiscardedStatus(in, code, opts, sup, &findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+}  // namespace intellisphere::lint

@@ -1,0 +1,84 @@
+// Repo-specific single-pass lint rules for the IntelliSphere tree.
+//
+// The scanner is deliberately line-based and heuristic: it blanks comments
+// and string/char literals, then applies token-level rules. It is a
+// complement to the compiler's `[[nodiscard]]` enforcement, not a parser;
+// rules that need semantics (discarded-status) work from a harvested set of
+// Status/Result-returning function names.
+//
+// Rules (ids used in findings and suppressions):
+//   include-guard     .h files must use #ifndef INTELLISPHERE_<PATH>_H_,
+//                     where <PATH> is the repo-relative path minus a leading
+//                     "src/", uppercased, with [^A-Za-z0-9] mapped to '_'.
+//   no-rand           rand()/srand() are banned outside src/util/rng.h;
+//                     stochastic code must draw from a seeded Rng.
+//   no-cout           std::cout/std::cerr are banned in library code
+//                     (files under src/); return Status instead of printing.
+//   discarded-status  a statement of the form `obj.Foo(...);` where Foo is
+//                     known to return Status/Result must not drop the value.
+//   banned-header     C-compatibility headers (<stdio.h>, <stdlib.h>,
+//                     <string.h>, <math.h>, <assert.h>, <time.h>) are banned
+//                     everywhere; <iostream> is banned in src/ headers.
+//
+// Suppressions:
+//   // lint:allow(<rule>)       same line, or alone on the preceding line
+//   // lint:allow-file(<rule>)  anywhere in the file, suppresses the rule
+//                               for the whole file
+
+#ifndef INTELLISPHERE_TOOLS_LINT_LINT_H_
+#define INTELLISPHERE_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace intellisphere::lint {
+
+/// One rule violation at a file:line location.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// "path:line: [rule] message" — the format printed by the CLI.
+std::string FormatFinding(const Finding& f);
+
+/// A file to lint: repo-relative path (used for path-scoped rules) plus its
+/// full contents.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+/// Configuration shared across files.
+struct LintOptions {
+  /// Names of functions returning Status/Result, harvested from headers via
+  /// HarvestFunctions. Used by the discarded-status rule.
+  std::set<std::string> status_functions;
+  /// Names also declared somewhere with a `void` return type. Such names are
+  /// ambiguous (e.g. Catalog::Add returns Status, Dataset::Add returns
+  /// void), so the discarded-status rule skips them rather than guess.
+  std::set<std::string> void_functions;
+};
+
+/// Scans header content for `Status Foo(...)` / `Result<T> Foo(...)` /
+/// `void Foo(...)` declarations and records the names in `opts`.
+void HarvestFunctions(const std::string& content, LintOptions* opts);
+
+/// The expected include guard for a repo-relative header path
+/// ("src/util/status.h" -> "INTELLISPHERE_UTIL_STATUS_H_").
+std::string ExpectedIncludeGuard(const std::string& path);
+
+/// Runs every rule over one file and returns its findings.
+std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts);
+
+}  // namespace intellisphere::lint
+
+#endif  // INTELLISPHERE_TOOLS_LINT_LINT_H_
