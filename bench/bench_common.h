@@ -7,8 +7,10 @@
 #ifndef INTELLISPHERE_BENCH_BENCH_COMMON_H_
 #define INTELLISPHERE_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -69,6 +71,67 @@ inline core::OpenboxInfo InfoFor(const remote::SimulatedEngineBase& engine,
       broadcast_threshold_factor * info.task_memory_bytes;
   info.skew_threshold = skew_threshold;
   return info;
+}
+
+/// One machine-readable measurement of a bench binary.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  ///< e.g. "s", "ns", "steps/s", "x"
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes the bench's metrics to BENCH_<bench_name>.json in the working
+/// directory so CI can diff runs without scraping stdout. The format is a
+/// single object: {"bench": ..., "seed": ..., "metrics": [{"name": ...,
+/// "value": ..., "unit": ...}, ...]}.
+[[nodiscard]] inline Status WriteBenchJson(
+    const std::string& bench_name, uint64_t seed,
+    const std::vector<BenchMetric>& metrics) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "{\n";
+  out << "  \"bench\": \"" << JsonEscape(bench_name) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out << ",";
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", metrics[i].value);
+    out << "\n    {\"name\": \"" << JsonEscape(metrics[i].name)
+        << "\", \"value\": " << value << ", \"unit\": \""
+        << JsonEscape(metrics[i].unit) << "\"}";
+  }
+  if (!metrics.empty()) out << "\n  ";
+  out << "]\n}\n";
+  out.close();
+  if (!out) return Status::Internal("failed writing " + path);
+  std::cout << "wrote " << path << " (" << metrics.size() << " metrics)\n";
+  return Status::OK();
 }
 
 /// Downsamples a series to about `target` evenly spaced points so the

@@ -123,7 +123,38 @@ void BM_SimulatedRemoteExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedRemoteExecution);
 
+// Console reporter that also captures every run's adjusted real time so
+// main() can emit the machine-readable BENCH_*.json next to the usual
+// console table.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      metrics_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<bench::BenchMetric>& metrics() const { return metrics_; }
+
+ private:
+  std::vector<bench::BenchMetric> metrics_;
+};
+
 }  // namespace
 }  // namespace intellisphere
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  intellisphere::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  intellisphere::bench::Check(
+      intellisphere::bench::WriteBenchJson("estimation_latency", /*seed=*/2101,
+                                           reporter.metrics()),
+      "bench json");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Training-pipeline throughput harness: runs the full offline pipeline
+// (training-query collection on every remote system, then one logical-op
+// network per (system, operator type)) serially (training.jobs = 1) and in
+// parallel (training.jobs = 4), reports wall time and gradient steps/sec,
+// and verifies the two runs produce byte-identical costing profiles — the
+// determinism contract of the thread pool (see DESIGN.md "Threading model").
+//
+// Emits BENCH_training_throughput.json for CI trending.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "core/training.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+#include "util/thread_pool.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr uint64_t kSeed = 2101;
+constexpr int kTrainIterations = 2000;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct PipelineOutput {
+  double collect_seconds = 0.0;
+  double train_seconds = 0.0;
+  int num_models = 0;
+  std::string serialized;  ///< all profiles, for the determinism check
+
+  double total_seconds() const { return collect_seconds + train_seconds; }
+};
+
+// One full pipeline run at the given worker count. Engines are recreated
+// from the same seeds each time so serial and parallel runs see identical
+// simulated clusters.
+PipelineOutput RunPipeline(int jobs) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", kSeed);
+  auto spark = remote::SparkEngine::CreateDefault("spark", kSeed + 1);
+  std::vector<remote::RemoteSystem*> systems = {hive.get(), spark.get()};
+
+  rel::JoinWorkloadOptions jopts;
+  jopts.left_record_counts = {1000000, 4000000, 8000000};
+  jopts.right_record_counts = {1000000, 4000000};
+  jopts.record_sizes = {100, 500};
+  jopts.output_selectivities = {1.0, 0.25};
+  jopts.projection_levels = {1};
+  auto join_queries = Unwrap(rel::GenerateJoinWorkload(jopts), "join grid");
+  std::vector<rel::SqlOperator> join_ops;
+  join_ops.reserve(join_queries.size());
+  for (const auto& q : join_queries) {
+    join_ops.push_back(rel::SqlOperator::MakeJoin(q));
+  }
+
+  rel::AggWorkloadOptions aopts;
+  aopts.record_counts = {1000000, 4000000};
+  aopts.record_sizes = {100, 500};
+  aopts.shrink_factors = {1, 10, 100};
+  aopts.num_aggregates = {1, 3};
+  auto agg_queries = Unwrap(rel::GenerateAggWorkload(aopts), "agg grid");
+  std::vector<rel::SqlOperator> agg_ops;
+  agg_ops.reserve(agg_queries.size());
+  for (const auto& q : agg_queries) {
+    agg_ops.push_back(rel::SqlOperator::MakeAgg(q));
+  }
+
+  PipelineOutput out;
+  auto t0 = std::chrono::steady_clock::now();
+  auto join_runs = Unwrap(
+      core::CollectTrainingForSystems(systems, join_ops, jobs), "collect");
+  auto agg_runs = Unwrap(
+      core::CollectTrainingForSystems(systems, agg_ops, jobs), "collect");
+  out.collect_seconds = SecondsSince(t0);
+
+  core::LogicalOpOptions lopts;
+  lopts.mlp.iterations = kTrainIterations;
+  lopts.mlp.seed = kSeed;
+  std::vector<core::LogicalTrainingJob> training_jobs;
+  for (size_t s = 0; s < systems.size(); ++s) {
+    training_jobs.push_back({systems[s]->name(), rel::OperatorType::kJoin,
+                             join_runs[s].data, core::JoinDimensionNames(),
+                             lopts});
+    training_jobs.push_back({systems[s]->name(), rel::OperatorType::kAggregation,
+                             agg_runs[s].data, core::AggDimensionNames(),
+                             lopts});
+  }
+  out.num_models = static_cast<int>(training_jobs.size());
+
+  core::CostEstimator estimator;
+  t0 = std::chrono::steady_clock::now();
+  Check(core::TrainAndRegisterLogicalProfiles(&estimator,
+                                              std::move(training_jobs), jobs),
+        "train+register");
+  out.train_seconds = SecondsSince(t0);
+
+  Properties props;
+  for (const auto* system : systems) {
+    const core::CostingProfile* p =
+        Unwrap(estimator.GetProfile(system->name()), "profile");
+    p->Save(system->name() + "_", &props);
+  }
+  out.serialized = props.Serialize();
+  return out;
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  using namespace intellisphere;
+
+  int hw = HardwareConcurrency();
+  std::printf("hardware concurrency: %d\n", hw);
+
+  bench::Section("training pipeline throughput: jobs=1 vs jobs=4");
+  PipelineOutput serial = RunPipeline(1);
+  PipelineOutput parallel = RunPipeline(4);
+
+  bool identical = serial.serialized == parallel.serialized;
+  double total_steps =
+      static_cast<double>(serial.num_models) * kTrainIterations;
+  double serial_sps = total_steps / serial.train_seconds;
+  double parallel_sps = total_steps / parallel.train_seconds;
+  double speedup = serial.total_seconds() / parallel.total_seconds();
+
+  std::printf("models trained: %d (x %d gradient steps)\n", serial.num_models,
+              kTrainIterations);
+  std::printf("serial   (jobs=1): collect %.3fs, train %.3fs, %.0f steps/s\n",
+              serial.collect_seconds, serial.train_seconds, serial_sps);
+  std::printf("parallel (jobs=4): collect %.3fs, train %.3fs, %.0f steps/s\n",
+              parallel.collect_seconds, parallel.train_seconds, parallel_sps);
+  std::printf("end-to-end speedup: %.2fx\n", speedup);
+  std::printf("profiles byte-identical: %s\n", identical ? "yes" : "NO");
+  if (!identical) {
+    std::cerr << "FATAL: parallel pipeline diverged from serial output\n";
+    return 1;
+  }
+
+  bench::Check(
+      bench::WriteBenchJson(
+          "training_throughput", kSeed,
+          {
+              {"hardware_concurrency", static_cast<double>(hw), "threads"},
+              {"serial_total_seconds", serial.total_seconds(), "s"},
+              {"parallel_total_seconds", parallel.total_seconds(), "s"},
+              {"serial_train_steps_per_second", serial_sps, "steps/s"},
+              {"parallel_train_steps_per_second", parallel_sps, "steps/s"},
+              {"speedup_jobs4_over_jobs1", speedup, "x"},
+              {"byte_identical", identical ? 1.0 : 0.0, "bool"},
+          }),
+      "bench json");
+  return 0;
+}

@@ -2,7 +2,8 @@
 # The repo's full correctness gate (tier-2):
 #   1. configure + build the asan-ubsan preset (-Werror on),
 #   2. run the whole test suite under AddressSanitizer + UBSan,
-#   3. run the repo lint pass (tools/lint) over the tree.
+#   3. run the concurrency tests under ThreadSanitizer (tsan preset),
+#   4. run the repo lint pass (tools/lint) over the tree.
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
 # ctest`) stays fast; run this before merging.
@@ -21,17 +22,27 @@ while getopts "j:" opt; do
   esac
 done
 
-echo "== [1/3] configure + build: asan-ubsan preset (-Werror) =="
+echo "== [1/4] configure + build: asan-ubsan preset (-Werror) =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$JOBS"
 
-echo "== [2/3] ctest under asan+ubsan =="
+echo "== [2/4] ctest under asan+ubsan =="
 # Halt on the first error report instead of trying to continue, and exclude
 # the tier2 label so this gate cannot recurse into itself.
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" -LE tier2
 
-echo "== [3/3] repo lint pass =="
+echo "== [3/4] thread pool + parallel pipeline under tsan =="
+# Only the concurrency targets: everything that spawns threads goes through
+# src/util/thread_pool.* (lint rule no-raw-thread), and
+# parallel_training_test drives every parallel code path, so tsan on that
+# one binary covers the library's concurrency surface without a second
+# full-suite run.
+cmake --preset tsan
+cmake --build --preset tsan --target parallel_training_test -j "$JOBS"
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
+
+echo "== [4/4] repo lint pass =="
 cmake --preset lint
 cmake --build --preset lint -j "$JOBS"
 

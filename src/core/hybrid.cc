@@ -1,5 +1,10 @@
 #include "core/hybrid.h"
 
+#include <memory>
+#include <utility>
+
+#include "util/thread_pool.h"
+
 namespace intellisphere::core {
 
 const char* CostingApproachName(CostingApproach approach) {
@@ -150,11 +155,18 @@ Status CostingProfile::LogActual(const rel::SqlOperator& op,
 }
 
 Status CostingProfile::OfflineTune() {
-  for (auto& [type, model] : logical_) {
-    if (model.log_size() == 0) continue;
-    ISPHERE_RETURN_NOT_OK(model.OfflineTune());
+  for (LogicalOpModel* model : TunableModels()) {
+    ISPHERE_RETURN_NOT_OK(model->OfflineTune());
   }
   return Status::OK();
+}
+
+std::vector<LogicalOpModel*> CostingProfile::TunableModels() {
+  std::vector<LogicalOpModel*> models;
+  for (auto& [type, model] : logical_) {
+    if (model.log_size() > 0) models.push_back(&model);
+  }
+  return models;
 }
 
 void CostingProfile::Save(const std::string& prefix,
@@ -269,6 +281,66 @@ Status CostEstimator::OfflineTune(const std::string& system_name) {
   ISPHERE_ASSIGN_OR_RETURN(CostingProfile * p,
                            GetProfileMutable(system_name));
   return p->OfflineTune();
+}
+
+Status CostEstimator::OfflineTuneAll(int jobs) {
+  if (jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
+  std::vector<LogicalOpModel*> models;
+  for (auto& [name, profile] : profiles_) {
+    for (LogicalOpModel* model : profile.TunableModels()) {
+      models.push_back(model);
+    }
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+  std::vector<Status> statuses = RunIndexed(
+      pool.get(), models.size(),
+      [&](size_t i) { return models[i]->OfflineTune(); });
+  for (Status& s : statuses) ISPHERE_RETURN_NOT_OK(std::move(s));
+  return Status::OK();
+}
+
+Status TrainAndRegisterLogicalProfiles(CostEstimator* estimator,
+                                       std::vector<LogicalTrainingJob> jobs,
+                                       int num_jobs) {
+  if (estimator == nullptr) return Status::InvalidArgument("null estimator");
+  if (jobs.empty()) return Status::InvalidArgument("no training jobs");
+  if (num_jobs < 1) return Status::InvalidArgument("num_jobs must be >= 1");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    for (size_t j = i + 1; j < jobs.size(); ++j) {
+      if (jobs[i].system_name == jobs[j].system_name &&
+          jobs[i].type == jobs[j].type) {
+        return Status::InvalidArgument(
+            "duplicate training job for system '" + jobs[i].system_name +
+            "' operator " + rel::OperatorTypeName(jobs[i].type));
+      }
+    }
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (num_jobs > 1) pool = std::make_unique<ThreadPool>(num_jobs);
+  std::vector<Result<LogicalOpModel>> trained =
+      RunIndexed(pool.get(), jobs.size(), [&](size_t i) {
+        const LogicalTrainingJob& job = jobs[i];
+        return LogicalOpModel::Train(job.type, job.data, job.dim_names,
+                                     job.opts);
+      });
+
+  // Group the models per system in first-appearance order, then register.
+  std::vector<std::string> order;
+  std::map<std::string, std::map<rel::OperatorType, LogicalOpModel>> grouped;
+  for (size_t i = 0; i < trained.size(); ++i) {
+    ISPHERE_ASSIGN_OR_RETURN(LogicalOpModel model, std::move(trained[i]));
+    if (!grouped.count(jobs[i].system_name)) {
+      order.push_back(jobs[i].system_name);
+    }
+    grouped[jobs[i].system_name].emplace(jobs[i].type, std::move(model));
+  }
+  for (const std::string& name : order) {
+    ISPHERE_RETURN_NOT_OK(estimator->RegisterSystem(
+        name, CostingProfile::LogicalOpOnly(std::move(grouped[name]))));
+  }
+  return Status::OK();
 }
 
 Result<const CostingProfile*> CostEstimator::GetProfile(

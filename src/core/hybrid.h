@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/formulas.h"
 #include "core/logical_op.h"
@@ -90,6 +91,11 @@ class CostingProfile {
   /// non-empty log.
   [[nodiscard]] Status OfflineTune();
 
+  /// The logical-op models OfflineTune would touch (non-empty log), in
+  /// operator-type order. Each model tunes independently, so the training
+  /// pipeline may tune them on different threads.
+  std::vector<LogicalOpModel*> TunableModels();
+
   /// Persists the whole profile (approach, switch time, per-operator
   /// routing, the sub-op catalog, and every logical-op model). Loading
   /// reconstructs the formula set for the stored engine family.
@@ -135,6 +141,13 @@ class CostEstimator {
                                  double actual_seconds);
   [[nodiscard]] Status OfflineTune(const std::string& system_name);
 
+  /// Offline-tunes every logical-op model with a non-empty log across all
+  /// registered systems, spreading the models over up to `jobs` worker
+  /// threads (each model owns its network and tunes independently; 1 runs
+  /// the same serial loop OfflineTune would). Identical results for any
+  /// `jobs`.
+  [[nodiscard]] Status OfflineTuneAll(int jobs);
+
   [[nodiscard]] Result<const CostingProfile*> GetProfile(
       const std::string& system_name) const;
   [[nodiscard]] Result<CostingProfile*> GetProfileMutable(const std::string& system_name);
@@ -144,6 +157,27 @@ class CostEstimator {
  private:
   std::map<std::string, CostingProfile> profiles_;
 };
+
+/// One model-training unit of the offline pipeline: train a logical-op
+/// network for (`system_name`, `type`) from `data`.
+struct LogicalTrainingJob {
+  std::string system_name;
+  rel::OperatorType type = rel::OperatorType::kJoin;
+  ml::Dataset data;
+  std::vector<std::string> dim_names;
+  LogicalOpOptions opts;
+};
+
+/// Trains every job's model — spread over up to `num_jobs` worker threads —
+/// then registers one LogicalOpOnly profile per distinct system with the
+/// estimator. Each job owns its seeded MlpConfig, so the trained weights are
+/// identical for any `num_jobs`; profiles are registered in first-appearance
+/// order of the system names. InvalidArgument on a duplicate
+/// (system, operator type) pair; AlreadyExists when a system already has a
+/// profile.
+[[nodiscard]] Status TrainAndRegisterLogicalProfiles(
+    CostEstimator* estimator, std::vector<LogicalTrainingJob> jobs,
+    int num_jobs);
 
 }  // namespace intellisphere::core
 

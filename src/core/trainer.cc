@@ -1,5 +1,10 @@
 #include "core/trainer.h"
 
+#include <memory>
+#include <utility>
+
+#include "util/thread_pool.h"
+
 namespace intellisphere::core {
 
 Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
@@ -24,6 +29,39 @@ Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
         "' supported none of the training operators");
   }
   return run;
+}
+
+Result<std::vector<TrainingRun>> CollectTrainingForSystems(
+    const std::vector<remote::RemoteSystem*>& systems,
+    const std::vector<rel::SqlOperator>& ops, int jobs) {
+  if (systems.empty()) return Status::InvalidArgument("no remote systems");
+  if (jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
+  for (size_t i = 0; i < systems.size(); ++i) {
+    if (systems[i] == nullptr) {
+      return Status::InvalidArgument("null remote system");
+    }
+    for (size_t j = i + 1; j < systems.size(); ++j) {
+      if (systems[i] == systems[j]) {
+        return Status::InvalidArgument(
+            "duplicate remote system '" + systems[i]->name() +
+            "': a system's simulator state is single-threaded");
+      }
+    }
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+  std::vector<Result<TrainingRun>> collected = RunIndexed(
+      pool.get(), systems.size(),
+      [&](size_t i) { return CollectTraining(systems[i], ops); });
+
+  std::vector<TrainingRun> runs;
+  runs.reserve(collected.size());
+  for (Result<TrainingRun>& r : collected) {
+    ISPHERE_ASSIGN_OR_RETURN(TrainingRun run, std::move(r));
+    runs.push_back(std::move(run));
+  }
+  return runs;
 }
 
 Result<TrainingRun> CollectJoinTraining(

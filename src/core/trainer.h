@@ -34,6 +34,17 @@ struct TrainingRun {
 [[nodiscard]] Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
                                                   const std::vector<rel::SqlOperator>& ops);
 
+/// Runs CollectTraining on each system, spreading the systems over up to
+/// `jobs` worker threads (1 = inline, exactly the serial loop). A remote
+/// system simulator mutates its seeded state on every Execute, so each
+/// system stays on a single thread and sees the operators in the same order
+/// as a serial run — results are identical for any `jobs`. The systems must
+/// be distinct non-null pointers. Returns one TrainingRun per system, in
+/// input order.
+[[nodiscard]] Result<std::vector<TrainingRun>> CollectTrainingForSystems(
+    const std::vector<remote::RemoteSystem*>& systems,
+    const std::vector<rel::SqlOperator>& ops, int jobs);
+
 /// Convenience wrappers over CollectTraining.
 [[nodiscard]] Result<TrainingRun> CollectJoinTraining(
     remote::RemoteSystem* system, const std::vector<rel::JoinQuery>& queries);

@@ -4,7 +4,19 @@
 #include <cmath>
 #include <set>
 
+#include "util/thread_pool.h"
+
 namespace intellisphere::core {
+
+Result<int> ResolveTrainingJobs(const Properties& props) {
+  if (!props.Contains(kTrainingJobsKey)) return HardwareConcurrency();
+  ISPHERE_ASSIGN_OR_RETURN(int64_t jobs, props.GetInt(kTrainingJobsKey));
+  if (jobs < 1) {
+    return Status::InvalidArgument(
+        std::string(kTrainingJobsKey) + " must be >= 1");
+  }
+  return static_cast<int>(jobs);
+}
 
 bool DimensionMeta::WayOff(double v, double beta) const {
   if (InRange(v)) return false;

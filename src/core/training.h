@@ -19,6 +19,15 @@
 
 namespace intellisphere::core {
 
+/// Properties key controlling the worker-thread count of the training
+/// pipeline (topology sweeps, multi-system collection, per-model training).
+inline constexpr char kTrainingJobsKey[] = "training.jobs";
+
+/// Resolves the `training.jobs` knob: the key's value when set (must be
+/// >= 1; 1 reproduces the serial pipeline exactly), otherwise the hardware
+/// concurrency of this machine.
+[[nodiscard]] Result<int> ResolveTrainingJobs(const Properties& props);
+
 /// Metadata of one training dimension.
 struct DimensionMeta {
   std::string name;

@@ -1,8 +1,11 @@
 #include "ml/cross_validation.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace intellisphere::ml {
 
@@ -14,37 +17,56 @@ Result<TopologySearchResult> SearchTopology(
   if (opts.layer1_step < 1) {
     return Status::InvalidArgument("layer1_step must be >= 1");
   }
+  if (opts.jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
 
   Rng rng(opts.seed);
   ISPHERE_ASSIGN_OR_RETURN(TrainTestSplit split,
                            Split(data, opts.train_fraction, &rng));
 
-  TopologySearchResult result;
-  bool first = true;
+  // Enumerate every (h1, h2) candidate up front; each one trains
+  // independently on the shared split, so they can run on any thread.
+  std::vector<std::pair<int, int>> candidates;
   for (int h1 = d; h1 <= 2 * d; h1 += opts.layer1_step) {
     int h2_max = std::max(3, h1 / 2);
-    for (int h2 = 3; h2 <= h2_max; ++h2) {
-      MlpConfig cfg = opts.base;
-      cfg.hidden1 = h1;
-      cfg.hidden2 = h2;
-      cfg.iterations = opts.search_iterations;
-      ISPHERE_ASSIGN_OR_RETURN(MlpRegressor mlp,
-                               MlpRegressor::Train(split.train, cfg));
-      std::vector<double> preds;
-      preds.reserve(split.test.size());
-      for (const auto& row : split.test.x) {
-        ISPHERE_ASSIGN_OR_RETURN(double p, mlp.Predict(row));
-        preds.push_back(p);
-      }
-      ISPHERE_ASSIGN_OR_RETURN(double rmse, Rmse(split.test.y, preds));
-      result.scores.push_back({h1, h2, rmse});
-      if (first || rmse < result.best_rmse) {
-        first = false;
-        result.best_rmse = rmse;
-        result.best = opts.base;
-        result.best.hidden1 = h1;
-        result.best.hidden2 = h2;
-      }
+    for (int h2 = 3; h2 <= h2_max; ++h2) candidates.emplace_back(h1, h2);
+  }
+
+  auto evaluate = [&](size_t idx) -> Result<TopologyScore> {
+    auto [h1, h2] = candidates[idx];
+    MlpConfig cfg = opts.base;
+    cfg.hidden1 = h1;
+    cfg.hidden2 = h2;
+    cfg.iterations = opts.search_iterations;
+    ISPHERE_ASSIGN_OR_RETURN(MlpRegressor mlp,
+                             MlpRegressor::Train(split.train, cfg));
+    std::vector<double> preds;
+    preds.reserve(split.test.size());
+    for (const auto& row : split.test.x) {
+      ISPHERE_ASSIGN_OR_RETURN(double p, mlp.Predict(row));
+      preds.push_back(p);
+    }
+    ISPHERE_ASSIGN_OR_RETURN(double rmse, Rmse(split.test.y, preds));
+    return TopologyScore{h1, h2, rmse};
+  };
+
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.jobs > 1) pool = std::make_unique<ThreadPool>(opts.jobs);
+  std::vector<Result<TopologyScore>> scored =
+      RunIndexed(pool.get(), candidates.size(), evaluate);
+
+  // Fold in candidate (submission) order so the winner on ties is the same
+  // topology the serial sweep picks.
+  TopologySearchResult result;
+  bool first = true;
+  for (Result<TopologyScore>& r : scored) {
+    ISPHERE_ASSIGN_OR_RETURN(TopologyScore score, std::move(r));
+    result.scores.push_back(score);
+    if (first || score.rmse < result.best_rmse) {
+      first = false;
+      result.best_rmse = score.rmse;
+      result.best = opts.base;
+      result.best.hidden1 = score.hidden1;
+      result.best.hidden2 = score.hidden2;
     }
   }
   return result;

@@ -27,6 +27,10 @@ struct TopologySearchOptions {
   int layer1_step = 2;
   double train_fraction = 0.7;
   uint64_t seed = 7;
+  /// Worker threads for the sweep. Every (h1, h2) candidate trains on the
+  /// same split with the same seed, so the result is identical for any
+  /// value; 1 evaluates candidates inline, exactly the serial sweep.
+  int jobs = 1;
   /// Template for the non-topology hyperparameters.
   MlpConfig base;
 };

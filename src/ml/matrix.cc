@@ -17,20 +17,45 @@ Result<Matrix> Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
 }
 
 Result<Matrix> Matrix::Multiply(const Matrix& other) const {
+  Matrix out;
+  ISPHERE_RETURN_NOT_OK(MultiplyInto(other, &out));
+  return out;
+}
+
+Status Matrix::MultiplyInto(const Matrix& other, Matrix* out) const {
   if (cols_ != other.rows_) {
     return Status::InvalidArgument("matrix multiply dimension mismatch");
   }
-  Matrix out(rows_, other.cols_);
+  out->rows_ = rows_;
+  out->cols_ = other.cols_;
+  out->data_.assign(rows_ * other.cols_, 0.0);
+  // k-c loop order: the `other` row and the output row stream contiguously.
+  // No zero-skip branch — the models train on dense data, so the branch
+  // only costs mispredictions in the hot loop.
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t k = 0; k < cols_; ++k) {
       double a = At(r, k);
-      if (a == 0.0) continue;
       for (size_t c = 0; c < other.cols_; ++c) {
-        out.At(r, c) += a * other.At(k, c);
+        out->At(r, c) += a * other.At(k, c);
       }
     }
   }
-  return out;
+  return Status::OK();
+}
+
+void GemmTransB(const double* a, size_t m, size_t k, const double* b,
+                size_t n, double* c) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      // Accumulation starts from the initialized c value so the result is
+      // bit-identical to `s = bias; s += a*b ...` serial code.
+      double s = c[i * n + j];
+      for (size_t t = 0; t < k; ++t) s += arow[t] * brow[t];
+      c[i * n + j] = s;
+    }
+  }
 }
 
 Matrix Matrix::Transposed() const {

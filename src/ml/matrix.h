@@ -29,8 +29,19 @@ class Matrix {
   double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Raw row-major storage (rows() * cols() doubles).
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
   /// Matrix product; InvalidArgument on inner-dimension mismatch.
+  /// Allocates the result; hot paths should use MultiplyInto.
   Result<Matrix> Multiply(const Matrix& other) const;
+
+  /// Writes this * other into the caller-owned `out` (reshaped as needed;
+  /// its storage is reused when the capacity already fits, so a buffer kept
+  /// across training steps never reallocates). `out` must not alias `this`
+  /// or `other`. InvalidArgument on inner-dimension mismatch.
+  Status MultiplyInto(const Matrix& other, Matrix* out) const;
 
   Matrix Transposed() const;
 
@@ -43,6 +54,15 @@ class Matrix {
   size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Accumulating GEMM against a transposed B: c[m x n] += a[m x k] *
+/// b[n x k]^T, all row-major and caller-owned (initialize `c` with zeros —
+/// or with biases, which is exactly the MLP's pre-activation). The inner
+/// loop is the dot product over k, so both the `a` row and the `b` row are
+/// walked contiguously, and accumulation order per output element is the
+/// plain ascending-k order a serial matvec would use (bit-for-bit stable).
+void GemmTransB(const double* a, size_t m, size_t k, const double* b,
+                size_t n, double* c);
 
 }  // namespace intellisphere::ml
 

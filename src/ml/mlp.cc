@@ -1,7 +1,9 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "ml/matrix.h"
 #include "util/metrics.h"
 
 namespace intellisphere::ml {
@@ -148,68 +150,111 @@ Status MlpRegressor::RunTraining(int steps, Rng* rng) {
   size_t batch = std::min<size_t>(static_cast<size_t>(config_.batch_size), n);
 
   // Pre-scale the retained data once per training run (scalers are fixed
-  // during a run).
+  // during a run) into the flat workspace buffer.
   Dataset pre = PreTransform(data_);
-  std::vector<std::vector<double>> xs(n);
-  std::vector<double> ys(n);
+  Workspace& ws = ws_;
+  ws.xs.resize(n * in);
+  ws.ys.resize(n);
   for (size_t r = 0; r < n; ++r) {
-    ISPHERE_ASSIGN_OR_RETURN(xs[r], input_scaler_.Transform(pre.x[r]));
-    ys[r] = target_scaler_.Transform(pre.y[r]);
+    ISPHERE_ASSIGN_OR_RETURN(std::vector<double> row,
+                             input_scaler_.Transform(pre.x[r]));
+    std::copy(row.begin(), row.end(), ws.xs.begin() + r * in);
+    ws.ys[r] = target_scaler_.Transform(pre.y[r]);
   }
 
-  std::vector<double> gw1(w1_.size()), gb1(b1_.size());
-  std::vector<double> gw2(w2_.size()), gb2(b2_.size());
-  std::vector<double> gw3(w3_.size()), gb3(b3_.size());
-  std::vector<double> a1, a2, d1(h1), d2(h2);
+  // Everything below reuses workspace storage: after the resizes settle on
+  // the first step, the gradient loop performs no allocations.
+  ws.batch_rows.resize(batch);
+  ws.bx.resize(batch * in);
+  ws.ba1.resize(batch * h1);
+  ws.ba2.resize(batch * h2);
+  ws.bout.resize(batch);
+  ws.d1.resize(h1);
+  ws.d2.resize(h2);
+  ws.gw1.resize(w1_.size());
+  ws.gb1.resize(b1_.size());
+  ws.gw2.resize(w2_.size());
+  ws.gb2.resize(b2_.size());
+  ws.gw3.resize(w3_.size());
+  ws.gb3.resize(b3_.size());
 
   for (int step = 0; step < steps; ++step) {
-    std::fill(gw1.begin(), gw1.end(), 0.0);
-    std::fill(gb1.begin(), gb1.end(), 0.0);
-    std::fill(gw2.begin(), gw2.end(), 0.0);
-    std::fill(gb2.begin(), gb2.end(), 0.0);
-    std::fill(gw3.begin(), gw3.end(), 0.0);
-    std::fill(gb3.begin(), gb3.end(), 0.0);
-
+    // Sample the mini-batch (one rng draw per slot, same order as ever) and
+    // gather its rows.
     for (size_t b = 0; b < batch; ++b) {
       size_t r = static_cast<size_t>(
           rng->UniformInt(0, static_cast<int64_t>(n) - 1));
-      const std::vector<double>& x = xs[r];
-      double pred = Forward(x, &a1, &a2);
-      double err = pred - ys[r];  // d(0.5*err^2)/dpred
+      ws.batch_rows[b] = r;
+      std::copy(ws.xs.begin() + r * in, ws.xs.begin() + (r + 1) * in,
+                ws.bx.begin() + b * in);
+    }
+
+    // Batched forward pass: pre-activations start at the bias and the GEMM
+    // accumulates in ascending input order, so every value is bit-identical
+    // to the per-sample matvec this replaces.
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t j = 0; j < h1; ++j) ws.ba1[b * h1 + j] = b1_[j];
+    }
+    GemmTransB(ws.bx.data(), batch, in, w1_.data(), h1, ws.ba1.data());
+    for (double& v : ws.ba1) v = std::tanh(v);
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t j = 0; j < h2; ++j) ws.ba2[b * h2 + j] = b2_[j];
+    }
+    GemmTransB(ws.ba1.data(), batch, h1, w2_.data(), h2, ws.ba2.data());
+    for (double& v : ws.ba2) v = std::tanh(v);
+    for (size_t b = 0; b < batch; ++b) ws.bout[b] = b3_[0];
+    GemmTransB(ws.ba2.data(), batch, h2, w3_.data(), 1, ws.bout.data());
+
+    std::fill(ws.gw1.begin(), ws.gw1.end(), 0.0);
+    std::fill(ws.gb1.begin(), ws.gb1.end(), 0.0);
+    std::fill(ws.gw2.begin(), ws.gw2.end(), 0.0);
+    std::fill(ws.gb2.begin(), ws.gb2.end(), 0.0);
+    std::fill(ws.gw3.begin(), ws.gw3.end(), 0.0);
+    std::fill(ws.gb3.begin(), ws.gb3.end(), 0.0);
+
+    for (size_t b = 0; b < batch; ++b) {
+      const double* x = ws.bx.data() + b * in;
+      const double* a1 = ws.ba1.data() + b * h1;
+      const double* a2 = ws.ba2.data() + b * h2;
+      double err = ws.bout[b] - ws.ys[ws.batch_rows[b]];  // d(0.5e^2)/dpred
 
       // Output layer.
-      for (size_t i = 0; i < h2; ++i) gw3[i] += err * a2[i];
-      gb3[0] += err;
+      for (size_t i = 0; i < h2; ++i) ws.gw3[i] += err * a2[i];
+      ws.gb3[0] += err;
       // Hidden layer 2 (tanh').
       for (size_t j = 0; j < h2; ++j) {
-        d2[j] = err * w3_[j] * (1.0 - a2[j] * a2[j]);
-        gb2[j] += d2[j];
-        for (size_t i = 0; i < h1; ++i) gw2[j * h1 + i] += d2[j] * a1[i];
+        ws.d2[j] = err * w3_[j] * (1.0 - a2[j] * a2[j]);
+        ws.gb2[j] += ws.d2[j];
+        for (size_t i = 0; i < h1; ++i) {
+          ws.gw2[j * h1 + i] += ws.d2[j] * a1[i];
+        }
       }
       // Hidden layer 1.
       for (size_t j = 0; j < h1; ++j) {
         double s = 0.0;
-        for (size_t k = 0; k < h2; ++k) s += d2[k] * w2_[k * h1 + j];
-        d1[j] = s * (1.0 - a1[j] * a1[j]);
-        gb1[j] += d1[j];
-        for (size_t i = 0; i < in; ++i) gw1[j * in + i] += d1[j] * x[i];
+        for (size_t k = 0; k < h2; ++k) s += ws.d2[k] * w2_[k * h1 + j];
+        ws.d1[j] = s * (1.0 - a1[j] * a1[j]);
+        ws.gb1[j] += ws.d1[j];
+        for (size_t i = 0; i < in; ++i) {
+          ws.gw1[j * in + i] += ws.d1[j] * x[i];
+        }
       }
     }
     double inv = 1.0 / static_cast<double>(batch);
-    for (double& g : gw1) g *= inv;
-    for (double& g : gb1) g *= inv;
-    for (double& g : gw2) g *= inv;
-    for (double& g : gb2) g *= inv;
-    for (double& g : gw3) g *= inv;
-    for (double& g : gb3) g *= inv;
+    for (double& g : ws.gw1) g *= inv;
+    for (double& g : ws.gb1) g *= inv;
+    for (double& g : ws.gw2) g *= inv;
+    for (double& g : ws.gb2) g *= inv;
+    for (double& g : ws.gw3) g *= inv;
+    for (double& g : ws.gb3) g *= inv;
 
     ++adam_t_;
-    AdamStep(&w1_, gw1, &aw1_.m, &aw1_.v, adam_t_, config_.learning_rate);
-    AdamStep(&b1_, gb1, &ab1_.m, &ab1_.v, adam_t_, config_.learning_rate);
-    AdamStep(&w2_, gw2, &aw2_.m, &aw2_.v, adam_t_, config_.learning_rate);
-    AdamStep(&b2_, gb2, &ab2_.m, &ab2_.v, adam_t_, config_.learning_rate);
-    AdamStep(&w3_, gw3, &aw3_.m, &aw3_.v, adam_t_, config_.learning_rate);
-    AdamStep(&b3_, gb3, &ab3_.m, &ab3_.v, adam_t_, config_.learning_rate);
+    AdamStep(&w1_, ws.gw1, &aw1_.m, &aw1_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b1_, ws.gb1, &ab1_.m, &ab1_.v, adam_t_, config_.learning_rate);
+    AdamStep(&w2_, ws.gw2, &aw2_.m, &aw2_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b2_, ws.gb2, &ab2_.m, &ab2_.v, adam_t_, config_.learning_rate);
+    AdamStep(&w3_, ws.gw3, &aw3_.m, &aw3_.v, adam_t_, config_.learning_rate);
+    AdamStep(&b3_, ws.gb3, &ab3_.m, &ab3_.v, adam_t_, config_.learning_rate);
 
     ++total_iterations_;
     if (total_iterations_ % config_.eval_every == 0 || step == steps - 1) {

@@ -109,6 +109,23 @@ class MlpRegressor {
   AdamState aw1_, ab1_, aw2_, ab2_, aw3_, ab3_;
   int64_t adam_t_ = 0;
 
+  // Scratch buffers for RunTraining, reused across steps and across
+  // Train/ContinueTraining calls so the gradient loop allocates nothing.
+  // A regressor is trained by exactly one thread (parallel pipelines give
+  // every task its own MlpRegressor), so this doubles as the per-thread
+  // workspace. Never serialized; rebuilt lazily by the next training run.
+  struct Workspace {
+    std::vector<double> xs;          // n x in scaled inputs, row-major
+    std::vector<double> ys;          // n scaled targets
+    std::vector<size_t> batch_rows;  // sampled row index per batch slot
+    std::vector<double> bx;          // batch x in gathered inputs
+    std::vector<double> ba1, ba2;    // batch x h1 / h2 activations
+    std::vector<double> bout;        // batch outputs
+    std::vector<double> d1, d2;      // per-sample deltas
+    std::vector<double> gw1, gb1, gw2, gb2, gw3, gb3;  // gradients
+  };
+  Workspace ws_;
+
   std::vector<ConvergencePoint> history_;
   int total_iterations_ = 0;
 };

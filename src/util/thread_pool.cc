@@ -1,0 +1,54 @@
+#include "util/thread_pool.h"
+
+namespace intellisphere {
+
+int HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ must be set, or wait() would not have returned: drain
+        // semantics — workers exit only once the queue is empty.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+uint64_t ThreadPool::DeriveSeed(uint64_t parent_seed, uint64_t task_index) {
+  // Stride the parent by the 64-bit golden ratio per task, then apply the
+  // splitmix64 finalizer so adjacent indices land far apart.
+  uint64_t z = parent_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace intellisphere

@@ -1,0 +1,113 @@
+// Fixed-size worker pool for the offline training pipeline.
+//
+// The paper's dominant operational cost is the periodic (re)training of the
+// per-operator cost models — cross-validated topology sweeps and one network
+// per (remote system, operator type). Those tasks are embarrassingly
+// parallel AND individually deterministic (each owns its seeded Rng), so the
+// pipeline fans them out over this pool and folds results back in submission
+// order. Determinism rule: a task must never share an Rng or mutable model
+// state with another task; when a task needs randomness of its own, derive
+// its seed with ThreadPool::DeriveSeed(parent_seed, task_index) so the seed
+// depends only on the task's stable index, never on scheduling.
+//
+// All concurrency in the library goes through this pool; raw std::thread /
+// std::async elsewhere is a lint error (rule no-raw-thread).
+
+#ifndef INTELLISPHERE_UTIL_THREAD_POOL_H_
+#define INTELLISPHERE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace intellisphere {
+
+/// Number of concurrent hardware threads; always >= 1 even when the runtime
+/// cannot tell.
+int HardwareConcurrency();
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Destruction drains the queue: every task submitted before the destructor
+/// runs still executes, then the workers join. Submitting from within a task
+/// is allowed; submitting after destruction has begun is not.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped up to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` for execution and returns the future of its result.
+  /// An exception thrown by the task is captured and rethrown from
+  /// future.get() on the caller's thread.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Derives an independent, reproducible seed for task `task_index` from a
+  /// parent seed (splitmix64 finalizer over parent + golden-ratio striding).
+  /// The result depends only on (parent_seed, task_index), never on thread
+  /// scheduling, so seeded pipelines stay bit-for-bit reproducible at any
+  /// pool size.
+  static uint64_t DeriveSeed(uint64_t parent_seed, uint64_t task_index);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(0) .. fn(n-1)` and returns the results in index order. With a
+/// null pool (or n <= 1) the calls run inline on the caller's thread in
+/// index order — exactly the serial loop — so `jobs = 1` configurations
+/// behave identically to pre-pool code. Tasks must not throw when running
+/// on a pool with shared captured state; fallible tasks should return
+/// Status/Result values instead.
+template <typename Fn>
+auto RunIndexed(ThreadPool* pool, size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using R = std::invoke_result_t<Fn&, size_t>;
+  std::vector<R> results;
+  results.reserve(n);
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_THREAD_POOL_H_

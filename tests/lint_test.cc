@@ -169,6 +169,50 @@ TEST(BannedHeaderRule, SuppressedOnSameLine) {
   EXPECT_TRUE(findings.empty());
 }
 
+// --- no-raw-thread ---------------------------------------------------------
+
+TEST(NoRawThreadRule, FiresOnThreadJthreadAndAsync) {
+  auto findings = RunLint("src/core/trainer.cc",
+                      "std::thread t([] {});\n"
+                      "std::jthread j([] {});\n"
+                      "auto f = std::async([] { return 1; });\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-raw-thread", "no-raw-thread",
+                                      "no-raw-thread"}));
+  EXPECT_NE(findings[0].message.find("ThreadPool"), std::string::npos);
+}
+
+TEST(NoRawThreadRule, AllowedInsideThreadPool) {
+  EXPECT_TRUE(RunLint("src/util/thread_pool.cc",
+                  "std::thread t([] {});\n")
+                  .empty());
+  auto header = RunLint("src/util/thread_pool.h",
+                    "#ifndef INTELLISPHERE_UTIL_THREAD_POOL_H_\n"
+                    "#define INTELLISPHERE_UTIL_THREAD_POOL_H_\n"
+                    "std::vector<std::thread> workers_;\n#endif\n");
+  EXPECT_TRUE(header.empty());
+}
+
+TEST(NoRawThreadRule, IgnoresThisThreadCommentsAndStrings) {
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "std::this_thread::yield();\n"
+                  "// std::thread in a comment\n"
+                  "const char* s = \"std::async\";\n")
+                  .empty());
+}
+
+TEST(NoRawThreadRule, FiresOutsideSrcToo) {
+  auto findings = RunLint("tests/foo_test.cc", "std::thread t([] {});\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-thread");
+}
+
+TEST(NoRawThreadRule, SuppressedOnSameLine) {
+  EXPECT_TRUE(RunLint("tests/foo_test.cc",
+                  "std::thread t;  // lint:allow(no-raw-thread)\n")
+                  .empty());
+}
+
 // --- discarded-status ------------------------------------------------------
 
 lint::LintOptions StatusOpts() {

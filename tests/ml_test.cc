@@ -34,6 +34,94 @@ TEST(MatrixTest, MultiplyDimensionMismatch) {
   EXPECT_FALSE(a.Multiply(b).ok());
 }
 
+// Reference triple loop (naive r-c-k order) for checking the optimized
+// kernels; EXPECT_DOUBLE_EQ works because the small integer-valued inputs
+// multiply exactly.
+Matrix ReferenceMultiply(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) {
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += a.At(r, k) * b.At(k, c);
+      out.At(r, c) = s;
+    }
+  }
+  return out;
+}
+
+TEST(MatrixTest, MultiplyIntoMatchesReference) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}).value();
+  Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}}).value();
+  Matrix expected = ReferenceMultiply(a, b);
+  Matrix out;
+  ASSERT_TRUE(a.MultiplyInto(b, &out).ok());
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(out.At(r, c), expected.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyIntoReusesAndReshapesOutput) {
+  Matrix a = Matrix::FromRows({{1, 0}, {0, 1}, {2, 2}}).value();
+  Matrix b = Matrix::FromRows({{3, 4, 5}, {6, 7, 8}}).value();
+  // Start with stale contents and the wrong shape; MultiplyInto must
+  // overwrite both (no accumulation into stale values).
+  Matrix out(5, 1, /*fill=*/99.0);
+  ASSERT_TRUE(a.MultiplyInto(b, &out).ok());
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 3u);
+  Matrix expected = ReferenceMultiply(a, b);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(out.At(r, c), expected.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyIntoDimensionMismatch) {
+  Matrix a(2, 3), b(2, 3), out;
+  EXPECT_FALSE(a.MultiplyInto(b, &out).ok());
+}
+
+TEST(MatrixTest, MultiplyHandlesZerosWithoutSkip) {
+  // Rows dominated by zeros (the case the removed zero-skip branch targeted)
+  // must still produce exact products.
+  Matrix a = Matrix::FromRows({{0, 0, 0}, {0, 2, 0}}).value();
+  Matrix b = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}).value();
+  Matrix c = a.Multiply(b).value();
+  Matrix expected = ReferenceMultiply(a, b);
+  for (size_t r = 0; r < c.rows(); ++r) {
+    for (size_t col = 0; col < c.cols(); ++col) {
+      EXPECT_DOUBLE_EQ(c.At(r, col), expected.At(r, col));
+    }
+  }
+}
+
+TEST(MatrixTest, GemmTransBMatchesReference) {
+  // c[m x n] += a[m x k] * b[n x k]^T with b stored row-per-output.
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}).value();       // 2x3
+  Matrix bt = Matrix::FromRows({{7, 9, 11}, {8, 10, 12}}).value();   // 2x3
+  Matrix expected = ReferenceMultiply(a, bt.Transposed());           // 2x2
+  std::vector<double> c(4, 0.0);
+  GemmTransB(a.data(), 2, 3, bt.data(), 2, c.data());
+  EXPECT_DOUBLE_EQ(c[0], expected.At(0, 0));
+  EXPECT_DOUBLE_EQ(c[1], expected.At(0, 1));
+  EXPECT_DOUBLE_EQ(c[2], expected.At(1, 0));
+  EXPECT_DOUBLE_EQ(c[3], expected.At(1, 1));
+}
+
+TEST(MatrixTest, GemmTransBAccumulatesIntoInitializedOutput) {
+  // Pre-filling c with biases must yield bias + sum, the MLP pre-activation.
+  double a[2] = {2, 3};
+  double b[2] = {10, 100};  // one output, k = 2
+  double c[1] = {0.5};
+  GemmTransB(a, 1, 2, b, 1, c);
+  EXPECT_DOUBLE_EQ(c[0], 0.5 + 2 * 10 + 3 * 100);
+}
+
 TEST(MatrixTest, SolveRecoversSolution) {
   Matrix a = Matrix::FromRows({{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}).value();
   auto x = a.Solve({8, -11, -3}).value();

@@ -1,0 +1,312 @@
+// Tests for the parallel training pipeline: the thread pool's contracts
+// (FIFO drain, exception propagation, deterministic seed derivation) and the
+// determinism guarantee that every `jobs` setting produces byte-identical
+// models and metrics to the serial (`jobs = 1`) pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "core/training.h"
+#include "ml/cross_validation.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+#include "util/thread_pool.h"
+
+namespace intellisphere {
+namespace {
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfCompletionOrder) {
+  // Tasks finish in scheduler-dependent order; RunIndexed must still return
+  // results in index order.
+  ThreadPool pool(4);
+  std::vector<int> results =
+      RunIndexed(&pool, 64, [](size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(results.size(), 64u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ThreadPoolTest, RunIndexedWithNullPoolRunsInline) {
+  std::vector<int> results =
+      RunIndexed(nullptr, 5, [](size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(results, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives the throwing task and keeps serving the queue.
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&executed] { ++executed; });
+    }
+    // Destruction must run every already-submitted task before joining.
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, DeriveSeedIsDeterministicAndSpreads) {
+  EXPECT_EQ(ThreadPool::DeriveSeed(42, 0), ThreadPool::DeriveSeed(42, 0));
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 100; ++i) {
+    seeds.insert(ThreadPool::DeriveSeed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions across task indices
+  EXPECT_NE(ThreadPool::DeriveSeed(42, 0), ThreadPool::DeriveSeed(43, 0));
+}
+
+// --- training.jobs knob ----------------------------------------------------
+
+TEST(ResolveTrainingJobsTest, DefaultsToHardwareConcurrency) {
+  Properties props;
+  auto jobs = core::ResolveTrainingJobs(props);
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(jobs.value(), HardwareConcurrency());
+}
+
+TEST(ResolveTrainingJobsTest, ReadsExplicitValue) {
+  Properties props;
+  props.SetInt(core::kTrainingJobsKey, 3);
+  auto jobs = core::ResolveTrainingJobs(props);
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(jobs.value(), 3);
+}
+
+TEST(ResolveTrainingJobsTest, RejectsNonPositive) {
+  Properties props;
+  props.SetInt(core::kTrainingJobsKey, 0);
+  EXPECT_FALSE(core::ResolveTrainingJobs(props).ok());
+}
+
+// --- deterministic parallel training --------------------------------------
+
+// A small synthetic regression dataset (deterministic, no engines needed).
+ml::Dataset MakeDataset(size_t rows, size_t features) {
+  ml::Dataset d;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<double> x;
+    double y = 1.0;
+    for (size_t f = 0; f < features; ++f) {
+      double v = static_cast<double>((r * 7 + f * 13) % 29) + 1.0;
+      x.push_back(v);
+      y += v * static_cast<double>(f + 1);
+    }
+    d.Add(x, y);
+  }
+  return d;
+}
+
+TEST(ParallelTrainingTest, TopologySearchMatchesSerialExactly) {
+  ml::Dataset data = MakeDataset(40, 3);
+  ml::TopologySearchOptions opts;
+  opts.search_iterations = 120;
+  opts.base.iterations = 120;
+  opts.base.eval_every = 60;
+
+  opts.jobs = 1;
+  auto serial = ml::SearchTopology(data, opts);
+  ASSERT_TRUE(serial.ok());
+  opts.jobs = 4;
+  auto parallel = ml::SearchTopology(data, opts);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(serial.value().best.hidden1, parallel.value().best.hidden1);
+  EXPECT_EQ(serial.value().best.hidden2, parallel.value().best.hidden2);
+  EXPECT_EQ(serial.value().best_rmse, parallel.value().best_rmse);
+  ASSERT_EQ(serial.value().scores.size(), parallel.value().scores.size());
+  for (size_t i = 0; i < serial.value().scores.size(); ++i) {
+    EXPECT_EQ(serial.value().scores[i].hidden1,
+              parallel.value().scores[i].hidden1);
+    EXPECT_EQ(serial.value().scores[i].hidden2,
+              parallel.value().scores[i].hidden2);
+    // Exact, not approximate: same seed, same FP operation order.
+    EXPECT_EQ(serial.value().scores[i].rmse, parallel.value().scores[i].rmse);
+  }
+}
+
+TEST(ParallelTrainingTest, SearchTopologyRejectsBadJobs) {
+  ml::TopologySearchOptions opts;
+  opts.jobs = 0;
+  EXPECT_FALSE(ml::SearchTopology(MakeDataset(20, 2), opts).ok());
+}
+
+std::vector<rel::SqlOperator> SmallJoinOps() {
+  rel::JoinWorkloadOptions wopts;
+  wopts.left_record_counts = {1000000, 4000000};
+  wopts.right_record_counts = {1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.output_selectivities = {1.0, 0.25};
+  wopts.projection_levels = {1};
+  auto queries = rel::GenerateJoinWorkload(wopts).value();
+  std::vector<rel::SqlOperator> ops;
+  for (const auto& q : queries) ops.push_back(rel::SqlOperator::MakeJoin(q));
+  return ops;
+}
+
+TEST(ParallelTrainingTest, CollectForSystemsMatchesSerialPerSystem) {
+  // The parallel collector must label exactly the points a serial
+  // CollectTraining on an identically-seeded engine labels.
+  auto ops = SmallJoinOps();
+  auto hive_a = remote::HiveEngine::CreateDefault("hive", 99);
+  auto spark_a = remote::SparkEngine::CreateDefault("spark", 77);
+  auto runs = core::CollectTrainingForSystems(
+      {hive_a.get(), spark_a.get()}, ops, 4);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs.value().size(), 2u);
+
+  auto hive_b = remote::HiveEngine::CreateDefault("hive", 99);
+  auto spark_b = remote::SparkEngine::CreateDefault("spark", 77);
+  auto hive_serial = core::CollectTraining(hive_b.get(), ops);
+  auto spark_serial = core::CollectTraining(spark_b.get(), ops);
+  ASSERT_TRUE(hive_serial.ok());
+  ASSERT_TRUE(spark_serial.ok());
+
+  EXPECT_EQ(runs.value()[0].data.y, hive_serial.value().data.y);
+  EXPECT_EQ(runs.value()[0].cumulative_seconds,
+            hive_serial.value().cumulative_seconds);
+  EXPECT_EQ(runs.value()[1].data.y, spark_serial.value().data.y);
+  EXPECT_EQ(runs.value()[1].cumulative_seconds,
+            spark_serial.value().cumulative_seconds);
+}
+
+TEST(ParallelTrainingTest, CollectForSystemsRejectsDuplicatesAndBadJobs) {
+  auto ops = SmallJoinOps();
+  auto hive = remote::HiveEngine::CreateDefault("hive", 99);
+  auto dup = core::CollectTrainingForSystems({hive.get(), hive.get()}, ops, 2);
+  EXPECT_FALSE(dup.ok());
+  auto bad_jobs = core::CollectTrainingForSystems({hive.get()}, ops, 0);
+  EXPECT_FALSE(bad_jobs.ok());
+  auto null_sys = core::CollectTrainingForSystems({nullptr}, ops, 1);
+  EXPECT_FALSE(null_sys.ok());
+}
+
+// Builds the (join + agg) x (two systems) job list over synthetic data.
+std::vector<core::LogicalTrainingJob> MakeTrainingJobs() {
+  core::LogicalOpOptions lopts;
+  lopts.mlp.iterations = 300;
+  lopts.mlp.eval_every = 100;
+  std::vector<core::LogicalTrainingJob> jobs;
+  jobs.push_back({"hive", rel::OperatorType::kJoin, MakeDataset(30, 7),
+                  core::JoinDimensionNames(), lopts});
+  jobs.push_back({"hive", rel::OperatorType::kAggregation, MakeDataset(30, 4),
+                  core::AggDimensionNames(), lopts});
+  jobs.push_back({"spark", rel::OperatorType::kJoin, MakeDataset(30, 7),
+                  core::JoinDimensionNames(), lopts});
+  jobs.push_back({"spark", rel::OperatorType::kAggregation,
+                  MakeDataset(30, 4), core::AggDimensionNames(), lopts});
+  return jobs;
+}
+
+std::string SerializeEstimator(const core::CostEstimator& est,
+                               const std::vector<std::string>& systems) {
+  Properties props;
+  for (const std::string& name : systems) {
+    est.GetProfile(name).value()->Save(name + "_", &props);
+  }
+  return props.Serialize();
+}
+
+TEST(ParallelTrainingTest, TrainAndRegisterIsByteIdenticalAcrossJobs) {
+  core::CostEstimator serial_est;
+  ASSERT_TRUE(core::TrainAndRegisterLogicalProfiles(&serial_est,
+                                                    MakeTrainingJobs(), 1)
+                  .ok());
+  core::CostEstimator parallel_est;
+  ASSERT_TRUE(core::TrainAndRegisterLogicalProfiles(&parallel_est,
+                                                    MakeTrainingJobs(), 4)
+                  .ok());
+  EXPECT_EQ(serial_est.num_systems(), 2u);
+  EXPECT_EQ(parallel_est.num_systems(), 2u);
+  // Byte-for-byte equality of every trained weight, scaler, and metadata
+  // range — the pipeline's determinism contract.
+  EXPECT_EQ(SerializeEstimator(serial_est, {"hive", "spark"}),
+            SerializeEstimator(parallel_est, {"hive", "spark"}));
+}
+
+TEST(ParallelTrainingTest, TrainAndRegisterRejectsDuplicateJobs) {
+  auto jobs = MakeTrainingJobs();
+  jobs.push_back(jobs[0]);  // duplicate (hive, join)
+  core::CostEstimator est;
+  auto status = core::TrainAndRegisterLogicalProfiles(&est, jobs, 2);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ParallelTrainingTest, TrainAndRegisterRespectsExistingProfiles) {
+  core::CostEstimator est;
+  ASSERT_TRUE(
+      core::TrainAndRegisterLogicalProfiles(&est, MakeTrainingJobs(), 2).ok());
+  // Re-registering the same systems must fail loudly, not overwrite.
+  auto again = core::TrainAndRegisterLogicalProfiles(&est, MakeTrainingJobs(), 2);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(ParallelTrainingTest, OfflineTuneAllMatchesSerialTuning) {
+  // Build two identical estimators, log the same executions into both, tune
+  // one serially and one with a 4-thread pool: outputs must match exactly.
+  core::CostEstimator serial_est;
+  core::CostEstimator parallel_est;
+  ASSERT_TRUE(core::TrainAndRegisterLogicalProfiles(&serial_est,
+                                                    MakeTrainingJobs(), 1)
+                  .ok());
+  ASSERT_TRUE(core::TrainAndRegisterLogicalProfiles(&parallel_est,
+                                                    MakeTrainingJobs(), 1)
+                  .ok());
+
+  ml::Dataset extra = MakeDataset(12, 7);
+  for (core::CostEstimator* est : {&serial_est, &parallel_est}) {
+    for (const char* name : {"hive", "spark"}) {
+      core::CostingProfile* p = est->GetProfileMutable(name).value();
+      core::LogicalOpModel* m =
+          p->logical_model_mutable(rel::OperatorType::kJoin).value();
+      for (size_t r = 0; r < extra.size(); ++r) {
+        ASSERT_TRUE(m->LogExecution(extra.x[r], extra.y[r]).ok());
+      }
+    }
+  }
+
+  ASSERT_TRUE(serial_est.OfflineTune("hive").ok());
+  ASSERT_TRUE(serial_est.OfflineTune("spark").ok());
+  ASSERT_TRUE(parallel_est.OfflineTuneAll(4).ok());
+
+  EXPECT_EQ(SerializeEstimator(serial_est, {"hive", "spark"}),
+            SerializeEstimator(parallel_est, {"hive", "spark"}));
+}
+
+}  // namespace
+}  // namespace intellisphere

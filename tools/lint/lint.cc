@@ -320,6 +320,31 @@ void CheckDiscardedStatus(const FileInput& in,
   }
 }
 
+void CheckNoRawThread(const FileInput& in,
+                      const std::vector<std::string>& code,
+                      const Suppressions& sup, std::vector<Finding>* out) {
+  // The pool implementation is the one place allowed to own threads.
+  if (in.path == "src/util/thread_pool.h" ||
+      in.path == "src/util/thread_pool.cc") {
+    return;
+  }
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* banned : {"std::thread", "std::jthread", "std::async"}) {
+      size_t pos = code[i].find(banned);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && IsIdentChar(code[i][pos - 1])) continue;
+      // Word boundary after the token, so std::this_thread, std::threads,
+      // or std::async_something do not fire.
+      size_t end = pos + std::string(banned).size();
+      if (end < code[i].size() && IsIdentChar(code[i][end])) continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-raw-thread",
+             std::string(banned) +
+                 " is banned; submit work to intellisphere::ThreadPool "
+                 "(src/util/thread_pool.h) instead");
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatFinding(const Finding& f) {
@@ -410,6 +435,7 @@ std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts) {
   CheckNoRand(in, code, sup, &findings);
   CheckNoCout(in, code, sup, &findings);
   CheckBannedHeaders(in, code, sup, &findings);
+  CheckNoRawThread(in, code, sup, &findings);
   CheckDiscardedStatus(in, code, opts, sup, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

@@ -19,6 +19,11 @@
 //   banned-header     C-compatibility headers (<stdio.h>, <stdlib.h>,
 //                     <string.h>, <math.h>, <assert.h>, <time.h>) are banned
 //                     everywhere; <iostream> is banned in src/ headers.
+//   no-raw-thread     std::thread / std::jthread / std::async are banned
+//                     outside src/util/thread_pool.{h,cc}; all concurrency
+//                     goes through intellisphere::ThreadPool so seeding and
+//                     shutdown stay deterministic. (std::this_thread is
+//                     fine.)
 //
 // Suppressions:
 //   // lint:allow(<rule>)       same line, or alone on the preceding line
