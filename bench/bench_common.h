@@ -19,7 +19,9 @@
 #include "core/sub_op.h"
 #include "remote/sim_engine_base.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/metrics.h"
+#include "util/runtime_metrics.h"
 #include "util/status.h"
 
 namespace intellisphere::bench {
@@ -80,28 +82,18 @@ struct BenchMetric {
   std::string unit;  ///< e.g. "s", "ns", "steps/s", "x"
 };
 
-inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
+// JSON string escaping comes from util/json.h (intellisphere::JsonEscape),
+// shared with the runtime-metrics and EXPLAIN exporters.
+
+/// Appends every sample of a runtime-metrics snapshot to a bench's metric
+/// list, so operational counters (approach selections, remedy activations,
+/// estimate-latency buckets) land in BENCH_<name>.json next to the latency
+/// numbers.
+inline void AppendMetricsSnapshot(const MetricsSnapshot& snapshot,
+                                  std::vector<BenchMetric>* out) {
+  for (const MetricSample& s : snapshot.samples) {
+    out->push_back({s.name, s.value, s.unit});
   }
-  return out;
 }
 
 /// Writes the bench's metrics to BENCH_<bench_name>.json in the working

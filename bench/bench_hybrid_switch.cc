@@ -79,7 +79,9 @@ void Run() {
     auto table = Unwrap(rel::SyntheticTableDef(6000000, 250), "table");
     auto agg = Unwrap(rel::MakeAggQuery(table, 20, 3), "query");
     auto op = rel::SqlOperator::MakeAgg(agg);
-    auto est = Unwrap(registry.Estimate("system-c", op, clock), "estimate");
+    auto est = Unwrap(
+        registry.Estimate("system-c", op, core::EstimateContext::AtTime(clock)),
+        "estimate");
     double actual =
         Unwrap(hive->ExecuteAgg(agg), "execute").elapsed_seconds;
     t.AddTextRow({FormatNumber(clock / std::max(1.0, t1)),
@@ -98,9 +100,9 @@ void Run() {
     auto q = Unwrap(rel::MakeJoinQuery(l, r, 32, 32, 0.5), "query");
     auto op = rel::SqlOperator::MakeJoin(q);
     double hive_est =
-        Unwrap(registry.Estimate("system-c", op, 0.0), "estimate").seconds;
+        Unwrap(registry.Estimate("system-c", op), "estimate").seconds;
     double spark_est =
-        Unwrap(registry.Estimate("spark", op, 0.0), "estimate").seconds;
+        Unwrap(registry.Estimate("spark", op), "estimate").seconds;
     double hive_act =
         Unwrap(hive->ExecuteJoin(q), "execute").elapsed_seconds;
     double spark_act =

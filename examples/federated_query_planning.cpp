@@ -113,9 +113,14 @@ int main() {
     std::fprintf(stderr, "execute: %s\n", elapsed.status().ToString().c_str());
     return 1;
   }
+  auto winner = plan.value().best();
+  if (!winner.ok()) {
+    std::fprintf(stderr, "best: %s\n", winner.status().ToString().c_str());
+    return 1;
+  }
   std::printf("executed on %s: %.1f s observed (estimate was %.1f s)\n",
-              plan.value().best().system.c_str(), elapsed.value(),
-              plan.value().best().operator_seconds);
+              winner.value().system.c_str(), elapsed.value(),
+              winner.value().operator_seconds);
 
   // Multi-operator pipeline: join then GROUP BY a100, where the join
   // result may stay on the system that produced it.

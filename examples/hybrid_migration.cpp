@@ -83,7 +83,10 @@ int main() {
   auto op = rel::SqlOperator::MakeAgg(agg);
   double actual = engine->ExecuteAgg(agg).value().elapsed_seconds;
   for (double clock : {0.0, t1 + 1.0}) {
-    auto est = registry.Estimate("system-c", op, clock).value();
+    auto est = registry
+                   .Estimate("system-c", op,
+                             core::EstimateContext::AtTime(clock))
+                   .value();
     std::printf("clock %s t1: %-22s estimate %.1f s (actual %.1f s)\n",
                 clock < t1 ? "<" : ">",
                 core::CostingApproachName(est.approach_used), est.seconds,

@@ -3,7 +3,8 @@
 #   1. configure + build the asan-ubsan preset (-Werror on),
 #   2. run the whole test suite under AddressSanitizer + UBSan,
 #   3. run the concurrency tests under ThreadSanitizer (tsan preset),
-#   4. run the repo lint pass (tools/lint) over the tree.
+#   4. run the repo lint pass (tools/lint) over the tree,
+#   5. run the EXPLAIN example and validate its JSON artifact's schema.
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
 # ctest`) stays fast; run this before merging.
@@ -22,28 +23,40 @@ while getopts "j:" opt; do
   esac
 done
 
-echo "== [1/4] configure + build: asan-ubsan preset (-Werror) =="
+echo "== [1/5] configure + build: asan-ubsan preset (-Werror) =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$JOBS"
 
-echo "== [2/4] ctest under asan+ubsan =="
+echo "== [2/5] ctest under asan+ubsan =="
 # Halt on the first error report instead of trying to continue, and exclude
 # the tier2 label so this gate cannot recurse into itself.
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" -LE tier2
 
-echo "== [3/4] thread pool + parallel pipeline under tsan =="
+echo "== [3/5] thread pool + parallel pipeline + observability under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
-# src/util/thread_pool.* (lint rule no-raw-thread), and
-# parallel_training_test drives every parallel code path, so tsan on that
-# one binary covers the library's concurrency surface without a second
-# full-suite run.
+# src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
+# drives every parallel code path, and observability_test exercises the
+# trace-sink and metrics-registry locking from pool workers, so tsan on
+# these two binaries covers the library's concurrency surface without a
+# second full-suite run.
 cmake --preset tsan
-cmake --build --preset tsan --target parallel_training_test -j "$JOBS"
+cmake --build --preset tsan --target parallel_training_test \
+  observability_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 
-echo "== [4/4] repo lint pass =="
+echo "== [4/5] repo lint pass =="
 cmake --preset lint
 cmake --build --preset lint -j "$JOBS"
+
+echo "== [5/5] EXPLAIN example + JSON schema validation =="
+# The example runs under asan+ubsan (built in step 1's tree) and must
+# produce a schema-valid EXPLAIN_placement.json.
+cmake --build --preset asan-ubsan --target explain_placement -j "$JOBS"
+(cd build-asan-ubsan &&
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./examples/explain_placement)
+python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_placement.json
 
 echo "check.sh: all gates passed"

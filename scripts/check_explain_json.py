@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates an EXPLAIN_placement.json file against the expected schema.
+
+Used by scripts/check.sh after running examples/explain_placement: the JSON
+rendering of a placement plan must stay machine-readable, so this checks
+structure and types, not specific cost numbers.
+
+Usage: check_explain_json.py <path-to-EXPLAIN_placement.json>
+"""
+
+import json
+import sys
+
+OPTION_FIELDS = {
+    "rank": int,
+    "system": str,
+    "transfer_seconds": (int, float),
+    "operator_seconds": (int, float),
+    "total_seconds": (int, float),
+    "approach": str,
+    "algorithm": str,
+    "used_remedy": bool,
+    "remedy_alpha": (int, float),
+    "algorithm_candidates": list,
+    "eliminated_algorithms": list,
+}
+
+
+def fail(msg):
+    print(f"check_explain_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(obj, field, expected, where):
+    if field not in obj:
+        fail(f"{where}: missing field '{field}'")
+    # bool is an int subclass in Python; don't let a bool satisfy a number.
+    value = obj[field]
+    if expected is not bool and isinstance(value, bool):
+        fail(f"{where}: field '{field}' must not be a bool")
+    if not isinstance(value, expected):
+        fail(f"{where}: field '{field}' has type {type(value).__name__}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_explain_json.py <file>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    check_type(doc, "operator", str, "top level")
+    check_type(doc, "options", list, "top level")
+    check_type(doc, "eliminated_placements", list, "top level")
+    if not doc["options"]:
+        fail("options must be non-empty")
+
+    totals = []
+    for i, opt in enumerate(doc["options"]):
+        where = f"options[{i}]"
+        if not isinstance(opt, dict):
+            fail(f"{where}: must be an object")
+        for field, expected in OPTION_FIELDS.items():
+            check_type(opt, field, expected, where)
+        if opt["rank"] != i + 1:
+            fail(f"{where}: rank {opt['rank']} != {i + 1}")
+        if abs(opt["transfer_seconds"] + opt["operator_seconds"]
+               - opt["total_seconds"]) > 1e-3 * max(1.0, opt["total_seconds"]):
+            fail(f"{where}: total_seconds is not transfer + operator")
+        totals.append(opt["total_seconds"])
+        for j, cand in enumerate(opt["algorithm_candidates"]):
+            cwhere = f"{where}.algorithm_candidates[{j}]"
+            check_type(cand, "algorithm", str, cwhere)
+            check_type(cand, "seconds", (int, float), cwhere)
+        for j, elim in enumerate(opt["eliminated_algorithms"]):
+            ewhere = f"{where}.eliminated_algorithms[{j}]"
+            check_type(elim, "algorithm", str, ewhere)
+            check_type(elim, "reason", str, ewhere)
+
+    if totals != sorted(totals):
+        fail("options are not sorted cheapest-first")
+
+    for i, elim in enumerate(doc["eliminated_placements"]):
+        where = f"eliminated_placements[{i}]"
+        check_type(elim, "system", str, where)
+        check_type(elim, "reason", str, where)
+
+    print(f"check_explain_json: OK ({len(doc['options'])} options, "
+          f"{len(doc['eliminated_placements'])} eliminated)")
+
+
+if __name__ == "__main__":
+    main()

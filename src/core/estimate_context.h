@@ -1,0 +1,99 @@
+// Per-call context for the estimation path. EstimateContext replaces the
+// bare `double now` parameter that CostingProfile::Estimate and the
+// federation planners used to take: the deployment clock still rides along,
+// but the struct also carries the observability hooks (trace sink, metrics
+// registry, provenance detail level) and an optional choice-policy override
+// — none of which had anywhere to live in the old signature.
+//
+// The default-constructed context is the fast path: no sink, no metrics
+// registry, cost-only detail. Instrumented code checks `tracing()` /
+// `provenance()` / `timing()` before doing any work beyond the estimate
+// itself, which is what keeps the disabled path inside the <2% latency
+// budget (DESIGN.md §10).
+
+#ifndef INTELLISPHERE_CORE_ESTIMATE_CONTEXT_H_
+#define INTELLISPHERE_CORE_ESTIMATE_CONTEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/runtime_metrics.h"
+#include "util/trace.h"
+
+namespace intellisphere::core {
+
+/// How to resolve multiple applicable algorithms (Section 4): assume the
+/// worst case, the average, or what the in-house (Teradata) optimizer
+/// would pick — its cheapest candidate.
+enum class ChoicePolicy {
+  kWorstCase,
+  kAverage,
+  kInHouseComparable,
+};
+
+const char* ChoicePolicyName(ChoicePolicy policy);
+
+/// How much provenance an estimate call should collect.
+enum class EstimateDetail {
+  /// Numbers only — elimination reasons and candidate lists that require
+  /// string building are skipped (cheap integer tallies are always kept).
+  kCostOnly,
+  /// Full provenance: eliminated candidates with the rule text that killed
+  /// them. What EXPLAIN and the federation planners ask for.
+  kProvenance,
+};
+
+struct EstimateContext {
+  /// Deployment clock in seconds, consulted by time-phased profiles.
+  double now = 0.0;
+  /// Optional span sink; spans are emitted only when set.
+  TraceSink* trace = nullptr;
+  /// Span id new root spans attach under (0 = top-level).
+  int64_t parent_span = 0;
+  EstimateDetail detail = EstimateDetail::kCostOnly;
+  /// Overrides the estimator's configured algorithm-choice policy for this
+  /// call only.
+  std::optional<ChoicePolicy> policy_override;
+  /// Counters/histograms destination; nullptr = MetricsRegistry::Global().
+  MetricsRegistry* metrics = nullptr;
+
+  bool tracing() const { return trace != nullptr; }
+  /// Whether to build string-typed provenance (reason texts, candidate
+  /// lists). Tracing implies provenance: a span consumer sees the same
+  /// breakdown EXPLAIN would.
+  bool provenance() const {
+    return detail == EstimateDetail::kProvenance || trace != nullptr;
+  }
+  /// Whether to read the clock for the latency histogram. Only worth the
+  /// steady_clock calls when someone is looking.
+  bool timing() const { return trace != nullptr || metrics != nullptr; }
+
+  MetricsRegistry& Registry() const {
+    return metrics != nullptr ? *metrics : MetricsRegistry::Global();
+  }
+
+  /// Starts a root span under `parent_span` (disabled when no sink).
+  TraceSpan StartSpan(std::string name) const {
+    return TraceSpan(trace, std::move(name), parent_span);
+  }
+
+  /// A copy of this context whose new spans nest under `span` — how a
+  /// caller hands its own span down to Estimate as the parent.
+  EstimateContext Under(const TraceSpan& span) const {
+    EstimateContext child = *this;
+    child.parent_span = span.id();
+    return child;
+  }
+
+  /// The legacy `double now` call shape, for the deprecated overloads.
+  static EstimateContext AtTime(double now) {
+    EstimateContext ctx;
+    ctx.now = now;
+    return ctx;
+  }
+};
+
+}  // namespace intellisphere::core
+
+#endif  // INTELLISPHERE_CORE_ESTIMATE_CONTEXT_H_

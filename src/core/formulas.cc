@@ -256,6 +256,10 @@ Result<double> EstimateSortAgg(const AggQuery& q, const SubOpCatalog& cat) {
 class ShuffleJoinFormula : public JoinFormula {
  public:
   std::string name() const override { return "shuffle_join"; }
+  const char* applicability_rule() const override {
+    return "requires an equi-join with hot-key fraction below the skew "
+           "threshold";
+  }
   bool Applicable(const JoinQuery& q, const OpenboxInfo& info) const override {
     return q.is_equi_join && q.hot_key_fraction < info.skew_threshold;
   }
@@ -268,6 +272,10 @@ class ShuffleJoinFormula : public JoinFormula {
 class BroadcastJoinFormula : public JoinFormula {
  public:
   std::string name() const override { return "broadcast_join"; }
+  const char* applicability_rule() const override {
+    return "requires an equi-join with the right side under the broadcast "
+           "threshold";
+  }
   bool Applicable(const JoinQuery& q, const OpenboxInfo& info) const override {
     // "If both join relations are quite large, then the choices of
     // Broadcast Join ... can be eliminated."
@@ -282,6 +290,10 @@ class BroadcastJoinFormula : public JoinFormula {
 class BucketMapJoinFormula : public JoinFormula {
  public:
   std::string name() const override { return "bucket_map_join"; }
+  const char* applicability_rule() const override {
+    return "requires an equi-join with the right side bucketed on the join "
+           "key";
+  }
   bool Applicable(const JoinQuery& q, const OpenboxInfo&) const override {
     // "If the relation ... is not partitioned by the join key ... then the
     // choices of Bucket Map Join ... can be eliminated."
@@ -296,6 +308,9 @@ class BucketMapJoinFormula : public JoinFormula {
 class SortMergeBucketJoinFormula : public JoinFormula {
  public:
   std::string name() const override { return "sort_merge_bucket_join"; }
+  const char* applicability_rule() const override {
+    return "requires an equi-join with both sides bucketed on the join key";
+  }
   bool Applicable(const JoinQuery& q, const OpenboxInfo&) const override {
     return q.is_equi_join && q.right_bucketed_on_key &&
            q.left_bucketed_on_key;
@@ -309,6 +324,10 @@ class SortMergeBucketJoinFormula : public JoinFormula {
 class SkewJoinFormula : public JoinFormula {
  public:
   std::string name() const override { return "skew_join"; }
+  const char* applicability_rule() const override {
+    return "requires an equi-join with hot-key fraction at or above the "
+           "skew threshold";
+  }
   bool Applicable(const JoinQuery& q, const OpenboxInfo& info) const override {
     return q.is_equi_join && q.hot_key_fraction >= info.skew_threshold;
   }
@@ -338,6 +357,9 @@ Result<double> EstimateMapOnlyScan(const rel::ScanQuery& q,
 class MapOnlyScanFormula : public ScanFormula {
  public:
   std::string name() const override { return "map_only_scan"; }
+  const char* applicability_rule() const override {
+    return "always applicable";
+  }
   bool Applicable(const rel::ScanQuery&, const OpenboxInfo&) const override {
     return true;
   }
@@ -350,6 +372,9 @@ class MapOnlyScanFormula : public ScanFormula {
 class HashAggFormula : public AggFormula {
  public:
   std::string name() const override { return "hash_aggregation"; }
+  const char* applicability_rule() const override {
+    return "requires the group table to fit in task memory";
+  }
   bool Applicable(const AggQuery& q, const OpenboxInfo& info) const override {
     return info.HashFits(static_cast<double>(q.output_rows) *
                          static_cast<double>(q.output_row_bytes));
@@ -363,6 +388,9 @@ class HashAggFormula : public AggFormula {
 class SortAggFormula : public AggFormula {
  public:
   std::string name() const override { return "sort_aggregation"; }
+  const char* applicability_rule() const override {
+    return "applies when the group table exceeds task memory";
+  }
   bool Applicable(const AggQuery& q, const OpenboxInfo& info) const override {
     return !info.HashFits(static_cast<double>(q.output_rows) *
                           static_cast<double>(q.output_row_bytes));
@@ -430,15 +458,20 @@ Result<SubOpCostEstimator> SubOpCostEstimator::ForHive(SubOpCatalog catalog,
                             HiveAggFormulas(), HiveScanFormulas(), policy);
 }
 
-Result<SubOpEstimate> SubOpCostEstimator::Resolve(
-    std::vector<AlgorithmEstimate> candidates) const {
+Result<SubOpEstimate> SubOpCostEstimator::Resolve(SubOpEstimate est,
+                                                  ChoicePolicy policy) const {
+  const std::vector<AlgorithmEstimate>& candidates = est.candidates;
   if (candidates.empty()) {
-    return Status::FailedPrecondition(
-        "no physical algorithm is applicable to this operator");
+    std::string msg = "no physical algorithm is applicable to this operator";
+    // With provenance collected, fold the per-algorithm kill reasons into
+    // the status so planners can report *why* a host was eliminated.
+    for (const auto& e : est.eliminated) {
+      msg += "; " + e.algorithm + ": " + e.reason;
+    }
+    return Status::FailedPrecondition(msg);
   }
-  SubOpEstimate est;
-  est.candidates = candidates;
-  switch (policy_) {
+  est.policy_used = policy;
+  switch (policy) {
     case ChoicePolicy::kWorstCase: {
       auto it = std::max_element(candidates.begin(), candidates.end(),
                                  [](const auto& a, const auto& b) {
@@ -469,51 +502,72 @@ Result<SubOpEstimate> SubOpCostEstimator::Resolve(
   return est;
 }
 
-Result<SubOpEstimate> SubOpCostEstimator::EstimateJoin(
-    const rel::JoinQuery& q) const {
-  ISPHERE_RETURN_NOT_OK(q.Validate());
-  std::vector<AlgorithmEstimate> candidates;
-  for (const auto& f : join_formulas_) {
-    if (!f->Applicable(q, catalog_.info())) continue;
-    ISPHERE_ASSIGN_OR_RETURN(double s, f->Estimate(q, catalog_));
-    candidates.push_back({f->name(), s});
+namespace {
+
+/// The shared applicability-filter + estimate loop. Gathers survivors into
+/// est.candidates and eliminations into est.eliminated (reasons only under
+/// provenance), emitting one formula span per survivor when tracing.
+template <typename Query, typename FormulaVec>
+Result<SubOpEstimate> GatherCandidates(const FormulaVec& formulas,
+                                       const Query& q,
+                                       const SubOpCatalog& catalog,
+                                       const EstimateContext& ctx) {
+  SubOpEstimate est;
+  const bool provenance = ctx.provenance();
+  for (const auto& f : formulas) {
+    if (!f->Applicable(q, catalog.info())) {
+      ++est.eliminated_count;
+      if (provenance) {
+        est.eliminated.push_back({f->name(), f->applicability_rule()});
+      }
+      continue;
+    }
+    ISPHERE_ASSIGN_OR_RETURN(double s, f->Estimate(q, catalog));
+    if (ctx.tracing()) {
+      ctx.StartSpan("estimate.sub_op.formula")
+          .SetString("algorithm", f->name())
+          .SetDouble("seconds", s);
+    }
+    est.candidates.push_back({f->name(), s});
   }
-  return Resolve(std::move(candidates));
+  return est;
+}
+
+}  // namespace
+
+Result<SubOpEstimate> SubOpCostEstimator::EstimateJoin(
+    const rel::JoinQuery& q, const EstimateContext& ctx) const {
+  ISPHERE_RETURN_NOT_OK(q.Validate());
+  ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate est,
+                           GatherCandidates(join_formulas_, q, catalog_, ctx));
+  return Resolve(std::move(est), ctx.policy_override.value_or(policy_));
 }
 
 Result<SubOpEstimate> SubOpCostEstimator::EstimateAgg(
-    const rel::AggQuery& q) const {
+    const rel::AggQuery& q, const EstimateContext& ctx) const {
   ISPHERE_RETURN_NOT_OK(q.Validate());
-  std::vector<AlgorithmEstimate> candidates;
-  for (const auto& f : agg_formulas_) {
-    if (!f->Applicable(q, catalog_.info())) continue;
-    ISPHERE_ASSIGN_OR_RETURN(double s, f->Estimate(q, catalog_));
-    candidates.push_back({f->name(), s});
-  }
-  return Resolve(std::move(candidates));
+  ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate est,
+                           GatherCandidates(agg_formulas_, q, catalog_, ctx));
+  return Resolve(std::move(est), ctx.policy_override.value_or(policy_));
 }
 
 Result<SubOpEstimate> SubOpCostEstimator::EstimateScan(
-    const rel::ScanQuery& q) const {
+    const rel::ScanQuery& q, const EstimateContext& ctx) const {
   ISPHERE_RETURN_NOT_OK(q.Validate());
-  std::vector<AlgorithmEstimate> candidates;
-  for (const auto& f : scan_formulas_) {
-    if (!f->Applicable(q, catalog_.info())) continue;
-    ISPHERE_ASSIGN_OR_RETURN(double s, f->Estimate(q, catalog_));
-    candidates.push_back({f->name(), s});
-  }
-  return Resolve(std::move(candidates));
+  ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate est,
+                           GatherCandidates(scan_formulas_, q, catalog_, ctx));
+  return Resolve(std::move(est), ctx.policy_override.value_or(policy_));
 }
 
 Result<SubOpEstimate> SubOpCostEstimator::Estimate(
-    const rel::SqlOperator& op) const {
+    const rel::SqlOperator& op, const EstimateContext& ctx) const {
   switch (op.type) {
     case rel::OperatorType::kJoin:
-      return EstimateJoin(op.join);
+      return EstimateJoin(op.join, ctx);
     case rel::OperatorType::kAggregation:
-      return EstimateAgg(op.agg);
+      return EstimateAgg(op.agg, ctx);
     case rel::OperatorType::kScan:
-      return EstimateScan(op.scan);
+      return EstimateScan(op.scan, ctx);
   }
   return Status::Internal("unknown operator type");
 }

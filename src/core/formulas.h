@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/estimate_context.h"
 #include "core/sub_op.h"
 #include "relational/query.h"
 #include "util/status.h"
@@ -29,6 +30,9 @@ class JoinFormula {
  public:
   virtual ~JoinFormula() = default;
   virtual std::string name() const = 0;
+  /// Human-readable statement of the applicability rule — the elimination
+  /// reason EXPLAIN reports when the rule kills this algorithm.
+  virtual const char* applicability_rule() const = 0;
   /// Applicability rule (Section 4 "Usage"): can the remote system run this
   /// algorithm for this query?
   virtual bool Applicable(const rel::JoinQuery& q,
@@ -43,6 +47,7 @@ class AggFormula {
  public:
   virtual ~AggFormula() = default;
   virtual std::string name() const = 0;
+  virtual const char* applicability_rule() const = 0;
   virtual bool Applicable(const rel::AggQuery& q,
                           const OpenboxInfo& info) const = 0;
   [[nodiscard]] virtual Result<double> Estimate(const rel::AggQuery& q,
@@ -54,6 +59,7 @@ class ScanFormula {
  public:
   virtual ~ScanFormula() = default;
   virtual std::string name() const = 0;
+  virtual const char* applicability_rule() const = 0;
   virtual bool Applicable(const rel::ScanQuery& q,
                           const OpenboxInfo& info) const = 0;
   [[nodiscard]] virtual Result<double> Estimate(const rel::ScanQuery& q,
@@ -70,21 +76,17 @@ std::vector<std::unique_ptr<AggFormula>> HiveAggFormulas();
 /// The map-only selection/projection formula.
 std::vector<std::unique_ptr<ScanFormula>> HiveScanFormulas();
 
-/// How to resolve multiple applicable algorithms (Section 4): assume the
-/// worst case, the average, or what the in-house (Teradata) optimizer
-/// would pick — its cheapest candidate.
-enum class ChoicePolicy {
-  kWorstCase,
-  kAverage,
-  kInHouseComparable,
-};
-
-const char* ChoicePolicyName(ChoicePolicy policy);
-
 /// One candidate algorithm's estimate.
 struct AlgorithmEstimate {
   std::string algorithm;
   double seconds = 0.0;
+};
+
+/// An algorithm an applicability rule eliminated, with the rule text that
+/// killed it. Collected only at EstimateDetail::kProvenance.
+struct EliminatedAlgorithm {
+  std::string algorithm;
+  std::string reason;
 };
 
 /// The sub-op approach's final estimate with diagnostics.
@@ -92,7 +94,16 @@ struct SubOpEstimate {
   double seconds = 0.0;
   /// The algorithm the policy settled on ("" for kAverage over several).
   std::string chosen_algorithm;
+  /// The policy that resolved the candidates (reflects any per-call
+  /// override).
+  ChoicePolicy policy_used = ChoicePolicy::kWorstCase;
   std::vector<AlgorithmEstimate> candidates;
+  /// How many algorithms the applicability rules eliminated. Always
+  /// maintained — it is a plain tally.
+  int eliminated_count = 0;
+  /// The eliminated algorithms with reasons; filled only when the context
+  /// asks for provenance (string building stays off the fast path).
+  std::vector<EliminatedAlgorithm> eliminated;
 };
 
 /// Query-time estimator of the sub-op costing approach.
@@ -111,12 +122,18 @@ class SubOpCostEstimator {
       SubOpCatalog catalog, ChoicePolicy policy = ChoicePolicy::kWorstCase);
 
   /// Applies applicability rules, estimates every surviving algorithm, and
-  /// resolves with the policy. FailedPrecondition when no algorithm
+  /// resolves with the policy (or `ctx.policy_override`). Emits one
+  /// `estimate.sub_op.formula` span per surviving algorithm when the
+  /// context carries a trace sink. FailedPrecondition when no algorithm
   /// survives.
-  [[nodiscard]] Result<SubOpEstimate> EstimateJoin(const rel::JoinQuery& q) const;
-  [[nodiscard]] Result<SubOpEstimate> EstimateAgg(const rel::AggQuery& q) const;
-  [[nodiscard]] Result<SubOpEstimate> EstimateScan(const rel::ScanQuery& q) const;
-  [[nodiscard]] Result<SubOpEstimate> Estimate(const rel::SqlOperator& op) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateJoin(
+      const rel::JoinQuery& q, const EstimateContext& ctx = {}) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateAgg(
+      const rel::AggQuery& q, const EstimateContext& ctx = {}) const;
+  [[nodiscard]] Result<SubOpEstimate> EstimateScan(
+      const rel::ScanQuery& q, const EstimateContext& ctx = {}) const;
+  [[nodiscard]] Result<SubOpEstimate> Estimate(
+      const rel::SqlOperator& op, const EstimateContext& ctx = {}) const;
 
   /// Estimates one named algorithm regardless of the policy (used by the
   /// per-algorithm accuracy benchmarks, e.g. Fig 13(g)).
@@ -130,7 +147,8 @@ class SubOpCostEstimator {
   void set_policy(ChoicePolicy policy) { policy_ = policy; }
 
  private:
-  [[nodiscard]] Result<SubOpEstimate> Resolve(std::vector<AlgorithmEstimate> candidates) const;
+  [[nodiscard]] Result<SubOpEstimate> Resolve(SubOpEstimate est,
+                                              ChoicePolicy policy) const;
 
   SubOpCatalog catalog_;
   std::vector<std::unique_ptr<JoinFormula>> join_formulas_;

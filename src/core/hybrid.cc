@@ -1,11 +1,45 @@
 #include "core/hybrid.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "util/thread_pool.h"
 
 namespace intellisphere::core {
+
+namespace {
+
+/// Cached instrument pointers so the per-estimate cost of metrics is a few
+/// relaxed atomic adds, not registry lookups. The Global() set is resolved
+/// once per process; a context-supplied registry (tests) resolves per call.
+struct EstimationInstruments {
+  Counter* approach_sub_op = nullptr;
+  Counter* approach_logical_op = nullptr;
+  Counter* approach_fallback = nullptr;
+  Counter* remedy_activations = nullptr;
+  Counter* subop_eliminated = nullptr;
+  Histogram* latency_us = nullptr;
+
+  EstimationInstruments() = default;
+  explicit EstimationInstruments(MetricsRegistry& r)
+      : approach_sub_op(r.GetCounter("estimate.approach.sub_op")),
+        approach_logical_op(r.GetCounter("estimate.approach.logical_op")),
+        approach_fallback(
+            r.GetCounter("estimate.approach.fallback_to_sub_op")),
+        remedy_activations(r.GetCounter("estimate.remedy.activations")),
+        subop_eliminated(r.GetCounter("estimate.subop.eliminated")),
+        latency_us(r.GetHistogram("estimate.latency_us",
+                                  DefaultLatencyBucketsUs())) {}
+};
+
+const EstimationInstruments& GlobalInstruments() {
+  static const EstimationInstruments* instruments =
+      new EstimationInstruments(MetricsRegistry::Global());
+  return *instruments;
+}
+
+}  // namespace
 
 const char* CostingApproachName(CostingApproach approach) {
   switch (approach) {
@@ -101,9 +135,22 @@ Result<LogicalOpModel*> CostingProfile::logical_model_mutable(
   return &it->second;
 }
 
-Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
-                                                double now) const {
+Result<HybridEstimate> CostingProfile::Estimate(
+    const rel::SqlOperator& op, const EstimateContext& ctx) const {
   ISPHERE_RETURN_NOT_OK(op.Validate());
+  // The clock is read only when someone is watching (trace or metrics);
+  // the default context takes no timing overhead at all.
+  const bool timing = ctx.timing();
+  std::chrono::steady_clock::time_point start;
+  if (timing) start = std::chrono::steady_clock::now();
+  const EstimationInstruments local_instruments =
+      ctx.metrics != nullptr ? EstimationInstruments(*ctx.metrics)
+                             : EstimationInstruments();
+  const EstimationInstruments& inst =
+      ctx.metrics != nullptr ? local_instruments : GlobalInstruments();
+
+  TraceSpan root = ctx.StartSpan("estimate");
+
   bool use_logical = false;
   switch (approach_) {
     case CostingApproach::kSubOp:
@@ -113,7 +160,7 @@ Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
       use_logical = true;
       break;
     case CostingApproach::kSubOpThenLogicalOp:
-      use_logical = now >= switch_time_;
+      use_logical = ctx.now >= switch_time_;
       break;
     case CostingApproach::kPerOperator: {
       auto it = per_operator_.find(op.type);
@@ -124,11 +171,27 @@ Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
   }
   // A profile may lack a logical model for this operator type even when the
   // logical path is active (training is per operator); fall back to sub-op.
+  bool fell_back = false;
   if (use_logical && !has_logical_model(op.type) && sub_op_.has_value()) {
     use_logical = false;
+    fell_back = true;
+  }
+
+  if (root.enabled()) {
+    root.SetString("operator", rel::OperatorTypeName(op.type))
+        .SetDouble("now", ctx.now);
+    TraceSpan selection = root.Child("estimate.approach_selection");
+    selection.SetString("profile_approach", CostingApproachName(approach_))
+        .SetString("selected", use_logical ? "logical_op" : "sub_op")
+        .SetBool("fell_back_to_sub_op", fell_back);
+    if (approach_ == CostingApproach::kSubOpThenLogicalOp) {
+      selection.SetDouble("switch_time", switch_time_);
+    }
   }
 
   HybridEstimate est;
+  est.fell_back_to_sub_op = fell_back;
+  if (fell_back) inst.approach_fallback->Increment();
   if (use_logical) {
     ISPHERE_ASSIGN_OR_RETURN(const LogicalOpModel* model,
                              logical_model(op.type));
@@ -137,14 +200,56 @@ Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
     est.seconds = le.seconds;
     est.approach_used = CostingApproach::kLogicalOp;
     est.used_remedy = le.used_remedy;
-    return est;
+    est.remedy_alpha = le.alpha;
+    est.nn_seconds = le.nn_seconds;
+    est.remedy_seconds = le.remedy_seconds;
+    inst.approach_logical_op->Increment();
+    if (le.used_remedy) inst.remedy_activations->Increment();
+    if (root.enabled()) {
+      root.Child("estimate.logical_op.nn")
+          .SetDouble("c1_seconds", le.nn_seconds);
+      if (le.used_remedy) {
+        root.Child("estimate.logical_op.remedy")
+            .SetDouble("c2_seconds", le.remedy_seconds)
+            .SetDouble("alpha", le.alpha)
+            .SetInt("pivot_dims", static_cast<int64_t>(le.pivot_dims.size()));
+      }
+    }
+  } else {
+    ISPHERE_ASSIGN_OR_RETURN(const SubOpCostEstimator* sub, sub_op());
+    ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se,
+                             sub->Estimate(op, ctx.Under(root)));
+    est.seconds = se.seconds;
+    est.approach_used = CostingApproach::kSubOp;
+    est.algorithm = se.chosen_algorithm;
+    est.eliminated_count = se.eliminated_count;
+    est.eliminated = std::move(se.eliminated);
+    est.candidates = std::move(se.candidates);
+    inst.approach_sub_op->Increment();
+    if (se.eliminated_count > 0) {
+      inst.subop_eliminated->Increment(se.eliminated_count);
+    }
   }
-  ISPHERE_ASSIGN_OR_RETURN(const SubOpCostEstimator* sub, sub_op());
-  ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se, sub->Estimate(op));
-  est.seconds = se.seconds;
-  est.approach_used = CostingApproach::kSubOp;
-  est.algorithm = se.chosen_algorithm;
+
+  if (root.enabled()) {
+    root.SetDouble("seconds", est.seconds)
+        .SetString("approach", CostingApproachName(est.approach_used));
+    if (!est.algorithm.empty()) root.SetString("algorithm", est.algorithm);
+    if (est.used_remedy) root.SetBool("used_remedy", true);
+  }
+  if (timing) {
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    inst.latency_us->Observe(us);
+    root.SetDouble("elapsed_us", us);
+  }
   return est;
+}
+
+Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
+                                                double now) const {
+  return Estimate(op, EstimateContext::AtTime(now));
 }
 
 Status CostingProfile::LogActual(const rel::SqlOperator& op,
@@ -262,11 +367,17 @@ bool CostEstimator::HasSystem(const std::string& system_name) const {
   return profiles_.count(system_name) > 0;
 }
 
+Result<HybridEstimate> CostEstimator::Estimate(
+    const std::string& system_name, const rel::SqlOperator& op,
+    const EstimateContext& ctx) const {
+  ISPHERE_ASSIGN_OR_RETURN(const CostingProfile* p, GetProfile(system_name));
+  return p->Estimate(op, ctx);
+}
+
 Result<HybridEstimate> CostEstimator::Estimate(const std::string& system_name,
                                                const rel::SqlOperator& op,
                                                double now) const {
-  ISPHERE_ASSIGN_OR_RETURN(const CostingProfile* p, GetProfile(system_name));
-  return p->Estimate(op, now);
+  return Estimate(system_name, op, EstimateContext::AtTime(now));
 }
 
 Status CostEstimator::LogActual(const std::string& system_name,

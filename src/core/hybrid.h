@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/estimate_context.h"
 #include "core/formulas.h"
 #include "core/logical_op.h"
 #include "relational/query.h"
@@ -38,7 +39,8 @@ enum class CostingApproach {
 
 const char* CostingApproachName(CostingApproach approach);
 
-/// A remote-cost estimate with provenance diagnostics.
+/// A remote-cost estimate with provenance diagnostics — everything EXPLAIN
+/// needs to report how the number was produced, without side channels.
 struct HybridEstimate {
   double seconds = 0.0;
   CostingApproach approach_used = CostingApproach::kSubOp;
@@ -46,6 +48,22 @@ struct HybridEstimate {
   std::string algorithm;
   /// Whether the logical-op path went through the online remedy.
   bool used_remedy = false;
+  /// The combining weight actually applied: seconds = alpha*c1 +
+  /// (1-alpha)*c2 (1.0 when the remedy did not fire; logical path only).
+  double remedy_alpha = 1.0;
+  /// The network estimate c1 and remedy extrapolation c2 (logical path).
+  double nn_seconds = 0.0;
+  double remedy_seconds = 0.0;
+  /// Whether an active logical path fell back to sub-op because no model
+  /// was trained for this operator type.
+  bool fell_back_to_sub_op = false;
+  /// Algorithm candidates the applicability rules eliminated (sub-op path).
+  /// The count is always maintained; the reason list is filled only when
+  /// the context asks for provenance.
+  int eliminated_count = 0;
+  std::vector<EliminatedAlgorithm> eliminated;
+  /// Every surviving candidate's estimate (sub-op path).
+  std::vector<AlgorithmEstimate> candidates;
 };
 
 /// A remote system's costing profile.
@@ -77,10 +95,19 @@ class CostingProfile {
   CostingProfile(CostingProfile&&) = default;
   CostingProfile& operator=(CostingProfile&&) = default;
 
-  /// Estimates the operator's remote elapsed time. `now` is the deployment
-  /// clock consulted by time-phased profiles.
+  /// Estimates the operator's remote elapsed time. The context carries the
+  /// deployment clock (consulted by time-phased profiles) plus the
+  /// observability hooks; the default context is the zero-overhead fast
+  /// path. Emits `estimate` / `estimate.approach_selection` /
+  /// `estimate.logical_op.nn` / `estimate.logical_op.remedy` spans when the
+  /// context has a trace sink, and bumps the estimate.* counters.
+  [[nodiscard]] Result<HybridEstimate> Estimate(
+      const rel::SqlOperator& op, const EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
   [[nodiscard]] Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
-                                                double now = 0.0) const;
+                                                double now) const;
 
   /// Logging phase: records an actual remote execution into the active
   /// logical-op model (no-op result when the profile has none for the
@@ -132,9 +159,15 @@ class CostEstimator {
   bool HasSystem(const std::string& system_name) const;
 
   /// Estimates an operator's cost on the named system.
+  [[nodiscard]] Result<HybridEstimate> Estimate(
+      const std::string& system_name, const rel::SqlOperator& op,
+      const EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
   [[nodiscard]] Result<HybridEstimate> Estimate(const std::string& system_name,
                                                 const rel::SqlOperator& op,
-                                                double now = 0.0) const;
+                                                double now) const;
 
   /// Feedback entry points.
   [[nodiscard]] Status LogActual(const std::string& system_name, const rel::SqlOperator& op,

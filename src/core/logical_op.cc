@@ -62,6 +62,7 @@ Result<LogicalOpEstimate> LogicalOpModel::Estimate(
   }
   est.used_remedy = true;
   est.pivot_dims = pivots;
+  est.alpha = alpha_;
   ISPHERE_ASSIGN_OR_RETURN(est.remedy_seconds,
                            PivotRegressionEstimate(features, pivots));
   est.remedy_seconds = std::max(kMinCostSeconds, est.remedy_seconds);

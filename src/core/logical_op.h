@@ -55,6 +55,9 @@ struct LogicalOpEstimate {
   std::vector<size_t> pivot_dims;
   double nn_seconds = 0.0;       ///< c1
   double remedy_seconds = 0.0;   ///< c2 (meaningful when used_remedy)
+  /// The combining weight alpha actually used: seconds = alpha*c1 +
+  /// (1-alpha)*c2. 1 on the pure-network path (no remedy).
+  double alpha = 1.0;
 };
 
 /// A trained logical-operator cost model (one per operator type).

@@ -1,0 +1,228 @@
+#include "federation/explain.h"
+
+#include <cstddef>
+#include <vector>
+
+#include "util/json.h"
+
+namespace intellisphere::fed {
+
+namespace {
+
+/// Fixed-precision seconds, shared by both renderings so tree and JSON
+/// always agree (and golden tests stay stable).
+std::string Sec(double seconds) { return JsonNumberShort(seconds); }
+
+/// One tree line: `prefix` is the accumulated indentation of the parent,
+/// `last` picks the branch glyph.
+void TreeLine(std::string* out, const std::string& prefix, bool last,
+              const std::string& text) {
+  *out += prefix + (last ? "`- " : "|- ") + text + "\n";
+}
+
+/// Renders one option's sub-lines (algorithm candidates, eliminations,
+/// remedy) under the option's own line.
+void RenderOptionDetails(std::string* out, const std::string& prefix,
+                         const PlacementOption& o) {
+  std::vector<std::string> lines;
+  for (const auto& c : o.algorithm_candidates) {
+    lines.push_back("candidate " + c.algorithm + ": " + Sec(c.seconds) + "s");
+  }
+  for (const auto& e : o.eliminated_algorithms) {
+    lines.push_back("eliminated " + e.algorithm + ": " + e.reason);
+  }
+  if (o.used_remedy) {
+    lines.push_back("online remedy: alpha=" + Sec(o.remedy_alpha));
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    TreeLine(out, prefix, i + 1 == lines.size(), lines[i]);
+  }
+}
+
+std::string OptionHeadline(const PlacementOption& o, size_t rank,
+                           bool is_best) {
+  std::string line = "option " + std::to_string(rank) + ": system=" +
+                     o.system + " total=" + Sec(o.total_seconds()) +
+                     "s (transfer=" + Sec(o.transfer_seconds) +
+                     "s operator=" + Sec(o.operator_seconds) +
+                     "s) approach=" + o.approach;
+  if (!o.algorithm.empty()) line += " algorithm=" + o.algorithm;
+  if (is_best) line += " [best]";
+  return line;
+}
+
+std::string OptionJson(const PlacementOption& o, size_t rank,
+                       const std::string& indent) {
+  std::string j = indent + "{\n";
+  j += indent + "  \"rank\": " + std::to_string(rank) + ",\n";
+  j += indent + "  \"system\": \"" + JsonEscape(o.system) + "\",\n";
+  j += indent + "  \"transfer_seconds\": " + Sec(o.transfer_seconds) + ",\n";
+  j += indent + "  \"operator_seconds\": " + Sec(o.operator_seconds) + ",\n";
+  j += indent + "  \"total_seconds\": " + Sec(o.total_seconds()) + ",\n";
+  j += indent + "  \"approach\": \"" + JsonEscape(o.approach) + "\",\n";
+  j += indent + "  \"algorithm\": \"" + JsonEscape(o.algorithm) + "\",\n";
+  j += indent + "  \"used_remedy\": " + (o.used_remedy ? "true" : "false") +
+       ",\n";
+  j += indent + "  \"remedy_alpha\": " + Sec(o.remedy_alpha) + ",\n";
+  j += indent + "  \"algorithm_candidates\": [";
+  for (size_t i = 0; i < o.algorithm_candidates.size(); ++i) {
+    const auto& c = o.algorithm_candidates[i];
+    if (i > 0) j += ",";
+    j += "\n" + indent + "    {\"algorithm\": \"" + JsonEscape(c.algorithm) +
+         "\", \"seconds\": " + Sec(c.seconds) + "}";
+  }
+  if (!o.algorithm_candidates.empty()) j += "\n" + indent + "  ";
+  j += "],\n";
+  j += indent + "  \"eliminated_algorithms\": [";
+  for (size_t i = 0; i < o.eliminated_algorithms.size(); ++i) {
+    const auto& e = o.eliminated_algorithms[i];
+    if (i > 0) j += ",";
+    j += "\n" + indent + "    {\"algorithm\": \"" + JsonEscape(e.algorithm) +
+         "\", \"reason\": \"" + JsonEscape(e.reason) + "\"}";
+  }
+  if (!o.eliminated_algorithms.empty()) j += "\n" + indent + "  ";
+  j += "]\n";
+  j += indent + "}";
+  return j;
+}
+
+std::string EliminatedJson(const std::vector<EliminatedPlacement>& eliminated,
+                           const std::string& indent) {
+  std::string j = "[";
+  for (size_t i = 0; i < eliminated.size(); ++i) {
+    if (i > 0) j += ",";
+    j += "\n" + indent + "  {\"system\": \"" +
+         JsonEscape(eliminated[i].system) + "\", \"reason\": \"" +
+         JsonEscape(eliminated[i].reason) + "\"}";
+  }
+  if (!eliminated.empty()) j += "\n" + indent;
+  j += "]";
+  return j;
+}
+
+}  // namespace
+
+PlacementExplanation ExplainPlacement(const PlacementPlan& plan) {
+  PlacementExplanation ex;
+  const std::string op_name = rel::OperatorTypeName(plan.op.type);
+
+  // --- Tree.
+  ex.tree = "placement plan: " + op_name + " (" +
+            std::to_string(plan.options.size()) + " options, " +
+            std::to_string(plan.eliminated.size()) + " hosts eliminated)\n";
+  const size_t total = plan.options.size() + plan.eliminated.size();
+  size_t line_idx = 0;
+  for (size_t i = 0; i < plan.options.size(); ++i, ++line_idx) {
+    const PlacementOption& o = plan.options[i];
+    bool last = line_idx + 1 == total;
+    TreeLine(&ex.tree, "", last, OptionHeadline(o, i + 1, i == 0));
+    RenderOptionDetails(&ex.tree, last ? "   " : "|  ", o);
+  }
+  for (size_t i = 0; i < plan.eliminated.size(); ++i, ++line_idx) {
+    const EliminatedPlacement& e = plan.eliminated[i];
+    TreeLine(&ex.tree, "", line_idx + 1 == total,
+             "eliminated host " + e.system + ": " + e.reason);
+  }
+
+  // --- JSON.
+  ex.json = "{\n";
+  ex.json += "  \"operator\": \"" + JsonEscape(op_name) + "\",\n";
+  ex.json += "  \"options\": [";
+  for (size_t i = 0; i < plan.options.size(); ++i) {
+    if (i > 0) ex.json += ",";
+    ex.json += "\n";
+    ex.json += OptionJson(plan.options[i], i + 1, "    ");
+  }
+  if (!plan.options.empty()) ex.json += "\n  ";
+  ex.json += "],\n";
+  ex.json +=
+      "  \"eliminated_placements\": " + EliminatedJson(plan.eliminated, "  ") +
+      "\n";
+  ex.json += "}\n";
+  return ex;
+}
+
+PlacementExplanation ExplainPipeline(const PipelinePlan& plan) {
+  PlacementExplanation ex;
+
+  // --- Tree.
+  ex.tree = "pipeline plan: join then aggregation (" +
+            std::to_string(plan.options.size()) + " options, " +
+            std::to_string(plan.eliminated.size()) +
+            " placements eliminated)\n";
+  const size_t total = plan.options.size() + plan.eliminated.size();
+  size_t line_idx = 0;
+  for (size_t i = 0; i < plan.options.size(); ++i, ++line_idx) {
+    const PipelinePlacement& p = plan.options[i];
+    bool last = line_idx + 1 == total;
+    std::string head = "option " + std::to_string(i + 1) + ": join@" +
+                       p.join_system + " agg@" + p.agg_system +
+                       " total=" + Sec(p.total_seconds()) + "s";
+    if (i == 0) head += " [best]";
+    TreeLine(&ex.tree, "", last, head);
+    const std::string prefix = last ? "   " : "|  ";
+    TreeLine(&ex.tree, prefix, false,
+             "input transfer: " + Sec(p.input_transfer_seconds) + "s");
+    std::string join_line = "join: " + Sec(p.join_seconds) + "s approach=" +
+                            p.join_approach;
+    if (!p.join_algorithm.empty()) {
+      join_line += " algorithm=" + p.join_algorithm;
+    }
+    TreeLine(&ex.tree, prefix, false, join_line);
+    TreeLine(&ex.tree, prefix, false,
+             "intermediate transfer: " + Sec(p.interm_transfer_seconds) +
+                 "s");
+    std::string agg_line = "aggregation: " + Sec(p.agg_seconds) +
+                           "s approach=" + p.agg_approach;
+    if (!p.agg_algorithm.empty()) agg_line += " algorithm=" + p.agg_algorithm;
+    TreeLine(&ex.tree, prefix, false, agg_line);
+    TreeLine(&ex.tree, prefix, true,
+             "result transfer: " + Sec(p.result_transfer_seconds) + "s");
+  }
+  for (size_t i = 0; i < plan.eliminated.size(); ++i, ++line_idx) {
+    const EliminatedPlacement& e = plan.eliminated[i];
+    TreeLine(&ex.tree, "", line_idx + 1 == total,
+             "eliminated " + e.system + ": " + e.reason);
+  }
+
+  // --- JSON.
+  ex.json = "{\n";
+  ex.json += "  \"operator\": \"pipeline\",\n";
+  ex.json += "  \"options\": [";
+  for (size_t i = 0; i < plan.options.size(); ++i) {
+    const PipelinePlacement& p = plan.options[i];
+    if (i > 0) ex.json += ",";
+    ex.json += "\n    {\n";
+    ex.json += "      \"rank\": " + std::to_string(i + 1) + ",\n";
+    ex.json +=
+        "      \"join_system\": \"" + JsonEscape(p.join_system) + "\",\n";
+    ex.json += "      \"agg_system\": \"" + JsonEscape(p.agg_system) + "\",\n";
+    ex.json += "      \"input_transfer_seconds\": " +
+               Sec(p.input_transfer_seconds) + ",\n";
+    ex.json += "      \"join_seconds\": " + Sec(p.join_seconds) + ",\n";
+    ex.json += "      \"interm_transfer_seconds\": " +
+               Sec(p.interm_transfer_seconds) + ",\n";
+    ex.json += "      \"agg_seconds\": " + Sec(p.agg_seconds) + ",\n";
+    ex.json += "      \"result_transfer_seconds\": " +
+               Sec(p.result_transfer_seconds) + ",\n";
+    ex.json += "      \"total_seconds\": " + Sec(p.total_seconds()) + ",\n";
+    ex.json +=
+        "      \"join_approach\": \"" + JsonEscape(p.join_approach) + "\",\n";
+    ex.json += "      \"join_algorithm\": \"" + JsonEscape(p.join_algorithm) +
+               "\",\n";
+    ex.json +=
+        "      \"agg_approach\": \"" + JsonEscape(p.agg_approach) + "\",\n";
+    ex.json += "      \"agg_algorithm\": \"" + JsonEscape(p.agg_algorithm) +
+               "\"\n";
+    ex.json += "    }";
+  }
+  if (!plan.options.empty()) ex.json += "\n  ";
+  ex.json += "],\n";
+  ex.json +=
+      "  \"eliminated_placements\": " + EliminatedJson(plan.eliminated, "  ") +
+      "\n";
+  ex.json += "}\n";
+  return ex;
+}
+
+}  // namespace intellisphere::fed

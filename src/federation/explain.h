@@ -1,0 +1,37 @@
+// EXPLAIN-style rendering of placement plans: the full cost breakdown the
+// optimizer saw — per-candidate transfer vs. operator seconds, the costing
+// approach and algorithm behind every number, eliminated algorithm
+// candidates with the applicability rule that killed them, and eliminated
+// hosts with the reason — as a human-readable tree and as JSON.
+//
+// Rendering is pure: it reads only the provenance-complete plan structs
+// (the planners always collect full provenance), so an explanation can be
+// produced for any plan after the fact, with no side channels and no
+// re-estimation. Output is deterministic for a given plan (fixed number
+// formatting), which is what the golden tests pin down.
+
+#ifndef INTELLISPHERE_FEDERATION_EXPLAIN_H_
+#define INTELLISPHERE_FEDERATION_EXPLAIN_H_
+
+#include <string>
+
+#include "federation/intellisphere.h"
+
+namespace intellisphere::fed {
+
+/// Both renderings of one plan.
+struct PlacementExplanation {
+  std::string tree;  ///< human-readable tree, ASCII box-drawing
+  std::string json;  ///< machine-readable JSON object
+};
+
+/// Explains a single-operator placement plan (PlanJoin / PlanAgg /
+/// PlanScan result).
+PlacementExplanation ExplainPlacement(const PlacementPlan& plan);
+
+/// Explains a two-operator pipeline plan (PlanJoinThenAgg result).
+PlacementExplanation ExplainPipeline(const PipelinePlan& plan);
+
+}  // namespace intellisphere::fed
+
+#endif  // INTELLISPHERE_FEDERATION_EXPLAIN_H_

@@ -10,7 +10,77 @@ namespace {
 constexpr int64_t kKeyBytes = 4;       // a1 width
 constexpr int64_t kAggregateBytes = 8;  // one SUM() output
 
+/// A host that cannot run the operator (Unsupported engine / no applicable
+/// algorithm) is simply not a candidate; any other error aborts planning.
+bool IsEliminationCode(StatusCode code) {
+  return code == StatusCode::kUnsupported ||
+         code == StatusCode::kFailedPrecondition;
+}
+
+/// Planners always collect full provenance — the plan they return is the
+/// EXPLAIN source of truth — whatever detail the caller's context asks for.
+core::EstimateContext ProvenanceContext(const core::EstimateContext& ctx) {
+  core::EstimateContext out = ctx;
+  out.detail = core::EstimateDetail::kProvenance;
+  return out;
+}
+
+/// The approach string a placement reports: the master engine's analytic
+/// model is "local"; remote hosts report their profile's approach.
+std::string ApproachLabel(const std::string& host,
+                          const core::HybridEstimate& est) {
+  return host == kTeradataSystemName
+             ? "local"
+             : core::CostingApproachName(est.approach_used);
+}
+
+/// Copies an estimate's costing provenance into a placement option.
+void FillOptionProvenance(const std::string& host,
+                          const core::HybridEstimate& est,
+                          PlacementOption* option) {
+  option->operator_seconds = est.seconds;
+  option->approach = ApproachLabel(host, est);
+  option->algorithm = est.algorithm;
+  option->algorithm_candidates = est.candidates;
+  option->eliminated_algorithms = est.eliminated;
+  option->used_remedy = est.used_remedy;
+  option->remedy_alpha = est.remedy_alpha;
+}
+
+/// Closes out a candidate span with the option's final numbers.
+void FinishCandidateSpan(TraceSpan* span, const PlacementOption& option) {
+  if (!span->enabled()) return;
+  span->SetString("system", option.system)
+      .SetString("approach", option.approach)
+      .SetDouble("transfer_seconds", option.transfer_seconds)
+      .SetDouble("operator_seconds", option.operator_seconds)
+      .SetDouble("total_seconds", option.total_seconds());
+  if (!option.algorithm.empty()) {
+    span->SetString("algorithm", option.algorithm);
+  }
+}
+
+/// Closes out a candidate span for an eliminated host.
+void FinishEliminatedSpan(TraceSpan* span, const EliminatedPlacement& e) {
+  if (!span->enabled()) return;
+  span->SetString("system", e.system).SetString("eliminated_reason", e.reason);
+}
+
 }  // namespace
+
+Result<PlacementOption> PlacementPlan::best() const {
+  if (options.empty()) {
+    return Status::FailedPrecondition("placement plan has no options");
+  }
+  return options.front();
+}
+
+Result<PipelinePlacement> PipelinePlan::best() const {
+  if (options.empty()) {
+    return Status::FailedPrecondition("pipeline plan has no options");
+  }
+  return options.front();
+}
 
 Status IntelliSphere::RegisterRemoteSystem(
     std::unique_ptr<remote::RemoteSystem> system, core::CostingProfile profile,
@@ -58,23 +128,21 @@ std::vector<std::string> IntelliSphere::SystemNames() const {
   return names;
 }
 
-Result<double> IntelliSphere::OperatorSeconds(const std::string& system,
-                                              const rel::SqlOperator& op,
-                                              double now) const {
+Result<core::HybridEstimate> IntelliSphere::HostEstimate(
+    const std::string& system, const rel::SqlOperator& op,
+    const core::EstimateContext& ctx) const {
   if (system == kTeradataSystemName) {
-    return local_model_.EstimateSeconds(op);
+    core::HybridEstimate est;
+    ISPHERE_ASSIGN_OR_RETURN(est.seconds, local_model_.EstimateSeconds(op));
+    return est;
   }
-  ISPHERE_ASSIGN_OR_RETURN(core::HybridEstimate est,
-                           estimator_.Estimate(system, op, now));
-  return est.seconds;
+  return estimator_.Estimate(system, op, ctx);
 }
 
-Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
-                                              const std::string& right_table,
-                                              int64_t left_projected_bytes,
-                                              int64_t right_projected_bytes,
-                                              double extra_selectivity,
-                                              double now) const {
+Result<PlacementPlan> IntelliSphere::PlanJoin(
+    const std::string& left_table, const std::string& right_table,
+    int64_t left_projected_bytes, int64_t right_projected_bytes,
+    double extra_selectivity, const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
   // Orient so the right side of the operator is the smaller relation
@@ -96,6 +164,16 @@ Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
   rel::SqlOperator op = rel::SqlOperator::MakeJoin(q);
   ISPHERE_RETURN_NOT_OK(op.Validate());
 
+  core::EstimateContext ectx = ProvenanceContext(ctx);
+  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
+  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
+  TraceSpan root = ectx.StartSpan("plan.join");
+  if (root.enabled()) {
+    root.SetString("left_table", left_table)
+        .SetString("right_table", right_table)
+        .SetInt("output_rows", out_rows);
+  }
+
   // Candidate hosts: every system owning an input, plus Teradata
   // (Section 2, "Query Plans").
   std::set<std::string> hosts = {std::string(kTeradataSystemName),
@@ -103,6 +181,7 @@ Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
   PlacementPlan plan;
   plan.op = op;
   for (const std::string& host : hosts) {
+    TraceSpan candidate = root.Child("plan.candidate");
     PlacementOption option;
     option.system = host;
     // Inputs not already on the host are relayed through Teradata.
@@ -118,18 +197,21 @@ Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
                                        r.stats.row_bytes));
       option.transfer_seconds += t;
     }
-    auto op_cost = OperatorSeconds(host, op, now);
+    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
     if (!op_cost.ok()) {
-      // A host that cannot run the operator (Unsupported / no applicable
-      // algorithm) is simply not a candidate.
-      if (op_cost.status().code() == StatusCode::kUnsupported ||
-          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+      if (IsEliminationCode(op_cost.status().code())) {
+        EliminatedPlacement e{host, op_cost.status().message()};
+        FinishEliminatedSpan(&candidate, e);
+        plan.eliminated.push_back(std::move(e));
+        dropped->Increment();
         continue;
       }
       return op_cost.status();
     }
-    option.operator_seconds = op_cost.value();
-    plan.options.push_back(option);
+    FillOptionProvenance(host, op_cost.value(), &option);
+    FinishCandidateSpan(&candidate, option);
+    costed->Increment();
+    plan.options.push_back(std::move(option));
   }
   if (plan.options.empty()) {
     return Status::FailedPrecondition("no system can execute this join");
@@ -138,13 +220,28 @@ Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
             [](const PlacementOption& a, const PlacementOption& b) {
               return a.total_seconds() < b.total_seconds();
             });
+  if (root.enabled()) {
+    root.SetString("best_system", plan.options.front().system)
+        .SetDouble("best_total_seconds",
+                   plan.options.front().total_seconds());
+  }
   return plan;
 }
 
-Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
-                                             const std::string& group_column,
-                                             int num_aggregates,
-                                             double now) const {
+Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
+                                              const std::string& right_table,
+                                              int64_t left_projected_bytes,
+                                              int64_t right_projected_bytes,
+                                              double extra_selectivity,
+                                              double now) const {
+  return PlanJoin(left_table, right_table, left_projected_bytes,
+                  right_projected_bytes, extra_selectivity,
+                  core::EstimateContext::AtTime(now));
+}
+
+Result<PlacementPlan> IntelliSphere::PlanAgg(
+    const std::string& table, const std::string& group_column,
+    int num_aggregates, const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
   ISPHERE_ASSIGN_OR_RETURN(int64_t groups,
                            rel::EstimateGroupCardinality(t, group_column));
@@ -156,11 +253,22 @@ Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
   rel::SqlOperator op = rel::SqlOperator::MakeAgg(q);
   ISPHERE_RETURN_NOT_OK(op.Validate());
 
+  core::EstimateContext ectx = ProvenanceContext(ctx);
+  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
+  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
+  TraceSpan root = ectx.StartSpan("plan.agg");
+  if (root.enabled()) {
+    root.SetString("table", table)
+        .SetString("group_column", group_column)
+        .SetInt("groups", groups);
+  }
+
   std::set<std::string> hosts = {std::string(kTeradataSystemName),
                                  t.location};
   PlacementPlan plan;
   plan.op = op;
   for (const std::string& host : hosts) {
+    TraceSpan candidate = root.Child("plan.candidate");
     PlacementOption option;
     option.system = host;
     if (t.location != host) {
@@ -169,16 +277,21 @@ Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
                                         t.stats.row_bytes));
       option.transfer_seconds += tr;
     }
-    auto op_cost = OperatorSeconds(host, op, now);
+    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
     if (!op_cost.ok()) {
-      if (op_cost.status().code() == StatusCode::kUnsupported ||
-          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+      if (IsEliminationCode(op_cost.status().code())) {
+        EliminatedPlacement e{host, op_cost.status().message()};
+        FinishEliminatedSpan(&candidate, e);
+        plan.eliminated.push_back(std::move(e));
+        dropped->Increment();
         continue;
       }
       return op_cost.status();
     }
-    option.operator_seconds = op_cost.value();
-    plan.options.push_back(option);
+    FillOptionProvenance(host, op_cost.value(), &option);
+    FinishCandidateSpan(&candidate, option);
+    costed->Increment();
+    plan.options.push_back(std::move(option));
   }
   if (plan.options.empty()) {
     return Status::FailedPrecondition("no system can execute this aggregation");
@@ -187,13 +300,25 @@ Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
             [](const PlacementOption& a, const PlacementOption& b) {
               return a.total_seconds() < b.total_seconds();
             });
+  if (root.enabled()) {
+    root.SetString("best_system", plan.options.front().system)
+        .SetDouble("best_total_seconds",
+                   plan.options.front().total_seconds());
+  }
   return plan;
 }
 
-Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
-                                              double selectivity,
-                                              int64_t projected_bytes,
-                                              double now) const {
+Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
+                                             const std::string& group_column,
+                                             int num_aggregates,
+                                             double now) const {
+  return PlanAgg(table, group_column, num_aggregates,
+                 core::EstimateContext::AtTime(now));
+}
+
+Result<PlacementPlan> IntelliSphere::PlanScan(
+    const std::string& table, double selectivity, int64_t projected_bytes,
+    const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
   ISPHERE_ASSIGN_OR_RETURN(int64_t out_rows,
                            rel::EstimateFilterCardinality(t, selectivity));
@@ -205,11 +330,22 @@ Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
   rel::SqlOperator op = rel::SqlOperator::MakeScan(q);
   ISPHERE_RETURN_NOT_OK(op.Validate());
 
+  core::EstimateContext ectx = ProvenanceContext(ctx);
+  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
+  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
+  TraceSpan root = ectx.StartSpan("plan.scan");
+  if (root.enabled()) {
+    root.SetString("table", table)
+        .SetDouble("selectivity", selectivity)
+        .SetInt("output_rows", out_rows);
+  }
+
   std::set<std::string> hosts = {std::string(kTeradataSystemName),
                                  t.location};
   PlacementPlan plan;
   plan.op = op;
   for (const std::string& host : hosts) {
+    TraceSpan candidate = root.Child("plan.candidate");
     PlacementOption option;
     option.system = host;
     if (t.location != host) {
@@ -220,16 +356,21 @@ Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
           grid_.RelaySeconds(t.location, host, out_rows, projected_bytes));
       option.transfer_seconds += tr;
     }
-    auto op_cost = OperatorSeconds(host, op, now);
+    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
     if (!op_cost.ok()) {
-      if (op_cost.status().code() == StatusCode::kUnsupported ||
-          op_cost.status().code() == StatusCode::kFailedPrecondition) {
+      if (IsEliminationCode(op_cost.status().code())) {
+        EliminatedPlacement e{host, op_cost.status().message()};
+        FinishEliminatedSpan(&candidate, e);
+        plan.eliminated.push_back(std::move(e));
+        dropped->Increment();
         continue;
       }
       return op_cost.status();
     }
-    option.operator_seconds = op_cost.value();
-    plan.options.push_back(option);
+    FillOptionProvenance(host, op_cost.value(), &option);
+    FinishCandidateSpan(&candidate, option);
+    costed->Increment();
+    plan.options.push_back(std::move(option));
   }
   if (plan.options.empty()) {
     return Status::FailedPrecondition("no system can execute this scan");
@@ -238,14 +379,27 @@ Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
             [](const PlacementOption& a, const PlacementOption& b) {
               return a.total_seconds() < b.total_seconds();
             });
+  if (root.enabled()) {
+    root.SetString("best_system", plan.options.front().system)
+        .SetDouble("best_total_seconds",
+                   plan.options.front().total_seconds());
+  }
   return plan;
+}
+
+Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
+                                              double selectivity,
+                                              int64_t projected_bytes,
+                                              double now) const {
+  return PlanScan(table, selectivity, projected_bytes,
+                  core::EstimateContext::AtTime(now));
 }
 
 Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
     const std::string& left_table, const std::string& right_table,
     int64_t left_projected_bytes, int64_t right_projected_bytes,
     double extra_selectivity, const std::string& group_column,
-    int num_aggregates, double now) const {
+    int num_aggregates, const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
   if (l.stats.num_rows < r.stats.num_rows) {
@@ -277,20 +431,37 @@ Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
   rel::SqlOperator agg_op = rel::SqlOperator::MakeAgg(aq);
   ISPHERE_RETURN_NOT_OK(agg_op.Validate());
 
+  core::EstimateContext ectx = ProvenanceContext(ctx);
+  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
+  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
+  TraceSpan root = ectx.StartSpan("plan.pipeline");
+  if (root.enabled()) {
+    root.SetString("left_table", left_table)
+        .SetString("right_table", right_table)
+        .SetString("group_column", group_column);
+  }
+
   std::set<std::string> join_hosts = {std::string(kTeradataSystemName),
                                       l.location, r.location};
   PipelinePlan plan;
   plan.join_op = join_op;
   plan.agg_op = agg_op;
   for (const std::string& jh : join_hosts) {
-    auto join_cost = OperatorSeconds(jh, join_op, now);
+    TraceSpan join_span = root.Child("plan.join_host");
+    if (join_span.enabled()) join_span.SetString("system", jh);
+    auto join_cost = HostEstimate(jh, join_op, ectx.Under(join_span));
     if (!join_cost.ok()) {
-      if (join_cost.status().code() == StatusCode::kUnsupported ||
-          join_cost.status().code() == StatusCode::kFailedPrecondition) {
+      if (IsEliminationCode(join_cost.status().code())) {
+        EliminatedPlacement e{jh, "join: " + join_cost.status().message()};
+        FinishEliminatedSpan(&join_span, e);
+        plan.eliminated.push_back(std::move(e));
+        dropped->Increment();
         continue;
       }
       return join_cost.status();
     }
+    const core::HybridEstimate& je = join_cost.value();
+    join_span.End();
     double input_transfer = 0.0;
     if (l.location != jh) {
       ISPHERE_ASSIGN_OR_RETURN(
@@ -308,20 +479,31 @@ Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
     std::set<std::string> agg_hosts = {jh,
                                        std::string(kTeradataSystemName)};
     for (const std::string& ah : agg_hosts) {
-      auto agg_cost = OperatorSeconds(ah, agg_op, now);
+      TraceSpan candidate = root.Child("plan.candidate");
+      auto agg_cost = HostEstimate(ah, agg_op, ectx.Under(candidate));
       if (!agg_cost.ok()) {
-        if (agg_cost.status().code() == StatusCode::kUnsupported ||
-            agg_cost.status().code() == StatusCode::kFailedPrecondition) {
+        if (IsEliminationCode(agg_cost.status().code())) {
+          EliminatedPlacement e{
+              ah, "aggregation after join on " + jh + ": " +
+                      agg_cost.status().message()};
+          FinishEliminatedSpan(&candidate, e);
+          plan.eliminated.push_back(std::move(e));
+          dropped->Increment();
           continue;
         }
         return agg_cost.status();
       }
+      const core::HybridEstimate& ae = agg_cost.value();
       PipelinePlacement p;
       p.join_system = jh;
       p.agg_system = ah;
       p.input_transfer_seconds = input_transfer;
-      p.join_seconds = join_cost.value();
-      p.agg_seconds = agg_cost.value();
+      p.join_seconds = je.seconds;
+      p.agg_seconds = ae.seconds;
+      p.join_approach = ApproachLabel(jh, je);
+      p.join_algorithm = je.algorithm;
+      p.agg_approach = ApproachLabel(ah, ae);
+      p.agg_algorithm = ae.algorithm;
       if (ah != jh) {
         ISPHERE_ASSIGN_OR_RETURN(
             p.interm_transfer_seconds,
@@ -333,7 +515,13 @@ Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
             grid_.RelaySeconds(ah, kTeradataSystemName, aq.output_rows,
                                aq.output_row_bytes));
       }
-      plan.options.push_back(p);
+      if (candidate.enabled()) {
+        candidate.SetString("join_system", jh)
+            .SetString("agg_system", ah)
+            .SetDouble("total_seconds", p.total_seconds());
+      }
+      costed->Increment();
+      plan.options.push_back(std::move(p));
     }
   }
   if (plan.options.empty()) {
@@ -343,14 +531,31 @@ Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
             [](const PipelinePlacement& a, const PipelinePlacement& b) {
               return a.total_seconds() < b.total_seconds();
             });
+  if (root.enabled()) {
+    root.SetString("best_join_system", plan.options.front().join_system)
+        .SetString("best_agg_system", plan.options.front().agg_system)
+        .SetDouble("best_total_seconds",
+                   plan.options.front().total_seconds());
+  }
   return plan;
+}
+
+Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
+    const std::string& left_table, const std::string& right_table,
+    int64_t left_projected_bytes, int64_t right_projected_bytes,
+    double extra_selectivity, const std::string& group_column,
+    int num_aggregates, double now) const {
+  return PlanJoinThenAgg(left_table, right_table, left_projected_bytes,
+                         right_projected_bytes, extra_selectivity,
+                         group_column, num_aggregates,
+                         core::EstimateContext::AtTime(now));
 }
 
 Result<double> IntelliSphere::ExecuteBest(const PlacementPlan& plan) {
   if (plan.options.empty()) {
     return Status::InvalidArgument("empty placement plan");
   }
-  const PlacementOption& best = plan.best();
+  ISPHERE_ASSIGN_OR_RETURN(PlacementOption best, plan.best());
   if (best.system == kTeradataSystemName) {
     // Local execution: the analytic estimate stands in for the elapsed
     // time (the master engine is not simulated at task granularity).

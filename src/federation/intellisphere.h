@@ -24,20 +24,46 @@
 
 namespace intellisphere::fed {
 
-/// One candidate placement of an operator.
+/// One candidate placement of an operator, with the costing provenance
+/// ExplainPlacement renders.
 struct PlacementOption {
   std::string system;  ///< executing system ("teradata" or a remote name)
   double transfer_seconds = 0.0;  ///< QueryGrid cost to stage the inputs
   double operator_seconds = 0.0;  ///< estimated elapsed time of the operator
   double total_seconds() const { return transfer_seconds + operator_seconds; }
+
+  /// Costing approach that produced operator_seconds: "local" for the
+  /// master engine, otherwise the profile's CostingApproachName.
+  std::string approach;
+  /// Chosen physical algorithm (sub-op path) or empty.
+  std::string algorithm;
+  /// Every surviving algorithm candidate's estimate (sub-op path).
+  std::vector<core::AlgorithmEstimate> algorithm_candidates;
+  /// Algorithms the applicability rules eliminated, with the killing rule.
+  std::vector<core::EliminatedAlgorithm> eliminated_algorithms;
+  /// Online-remedy provenance (logical-op path).
+  bool used_remedy = false;
+  double remedy_alpha = 1.0;
+};
+
+/// A candidate host the planner dropped entirely, with the reason (e.g. the
+/// engine cannot run the operator, or every algorithm was eliminated).
+struct EliminatedPlacement {
+  std::string system;
+  std::string reason;
 };
 
 /// The optimizer's decision: all costed options, cheapest first.
 struct PlacementPlan {
   std::vector<PlacementOption> options;
-  const PlacementOption& best() const { return options.front(); }
+  /// The cheapest placement. FailedPrecondition when the plan holds no
+  /// options (planners never return such a plan, but a default-constructed
+  /// or filtered one may be empty).
+  [[nodiscard]] Result<PlacementOption> best() const;
   /// The operator descriptor the plan was costed for.
   rel::SqlOperator op;
+  /// Candidate hosts that were considered but could not run the operator.
+  std::vector<EliminatedPlacement> eliminated;
 };
 
 /// One candidate placement of a two-operator pipeline (join then
@@ -55,14 +81,23 @@ struct PipelinePlacement {
     return input_transfer_seconds + join_seconds + interm_transfer_seconds +
            agg_seconds + result_transfer_seconds;
   }
+
+  /// Per-stage costing provenance ("local" or CostingApproachName).
+  std::string join_approach;
+  std::string join_algorithm;
+  std::string agg_approach;
+  std::string agg_algorithm;
 };
 
 /// All costed pipeline placements, cheapest first.
 struct PipelinePlan {
   std::vector<PipelinePlacement> options;
-  const PipelinePlacement& best() const { return options.front(); }
+  /// The cheapest pipeline placement; FailedPrecondition when empty.
+  [[nodiscard]] Result<PipelinePlacement> best() const;
   rel::SqlOperator join_op;
   rel::SqlOperator agg_op;
+  /// (host, stage) combinations the planner dropped, with reasons.
+  std::vector<EliminatedPlacement> eliminated;
 };
 
 /// The federation facade.
@@ -89,26 +124,52 @@ class IntelliSphere {
   /// Costs all placements of joining two registered tables on `a1` with an
   /// extra predicate selectivity, projecting the given byte widths.
   /// Candidates: each distinct system owning one of the inputs, plus
-  /// Teradata. Options are sorted cheapest-first.
+  /// Teradata. Options are sorted cheapest-first. Planning always collects
+  /// full provenance (the plan is what EXPLAIN renders); the context
+  /// contributes the deployment clock, an optional trace sink (one
+  /// `plan.candidate` span per host under a `plan.join` root), a metrics
+  /// registry, and a choice-policy override.
+  [[nodiscard]] Result<PlacementPlan> PlanJoin(
+      const std::string& left_table, const std::string& right_table,
+      int64_t left_projected_bytes, int64_t right_projected_bytes,
+      double extra_selectivity = 1.0,
+      const core::EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
   [[nodiscard]] Result<PlacementPlan> PlanJoin(const std::string& left_table,
                                                const std::string& right_table,
                                                int64_t left_projected_bytes,
                                                int64_t right_projected_bytes,
-                                               double extra_selectivity = 1.0,
-                                               double now = 0.0) const;
+                                               double extra_selectivity,
+                                               double now) const;
 
   /// Costs all placements of aggregating a registered table by
   /// `group_column` with `num_aggregates` SUMs.
+  [[nodiscard]] Result<PlacementPlan> PlanAgg(
+      const std::string& table, const std::string& group_column,
+      int num_aggregates, const core::EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
   [[nodiscard]] Result<PlacementPlan> PlanAgg(const std::string& table,
                                               const std::string& group_column,
-                                              int num_aggregates, double now = 0.0) const;
+                                              int num_aggregates,
+                                              double now) const;
 
   /// Costs all placements of a selection + projection over a registered
   /// table. When the scan would run on Teradata, QueryGrid's predicate
   /// pushdown already reduces the transferred volume to the survivors.
-  [[nodiscard]] Result<PlacementPlan> PlanScan(const std::string& table, double selectivity,
+  [[nodiscard]] Result<PlacementPlan> PlanScan(
+      const std::string& table, double selectivity, int64_t projected_bytes,
+      const core::EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
+  [[nodiscard]] Result<PlacementPlan> PlanScan(const std::string& table,
+                                               double selectivity,
                                                int64_t projected_bytes,
-                                               double now = 0.0) const;
+                                               double now) const;
 
   /// Costs every placement pair of a two-operator pipeline: join the two
   /// tables on a1 (projecting the given widths, applying
@@ -117,6 +178,14 @@ class IntelliSphere {
   /// over the join result. The join may run on either owner or Teradata;
   /// the aggregation on the join's host (keeping the intermediate in
   /// place) or on Teradata; the final answer always returns to Teradata.
+  [[nodiscard]] Result<PipelinePlan> PlanJoinThenAgg(
+      const std::string& left_table, const std::string& right_table,
+      int64_t left_projected_bytes, int64_t right_projected_bytes,
+      double extra_selectivity, const std::string& group_column,
+      int num_aggregates, const core::EstimateContext& ctx = {}) const;
+
+  /// Pre-EstimateContext call shape, kept for one release.
+  [[deprecated("pass an EstimateContext instead of a bare clock")]]
   [[nodiscard]] Result<PipelinePlan> PlanJoinThenAgg(const std::string& left_table,
                                                      const std::string& right_table,
                                                      int64_t left_projected_bytes,
@@ -124,7 +193,7 @@ class IntelliSphere {
                                                      double extra_selectivity,
                                                      const std::string& group_column,
                                                      int num_aggregates,
-                                                     double now = 0.0) const;
+                                                     double now) const;
 
   /// Executes the plan's best placement on the actual (simulated) system
   /// and feeds the observed cost back into the costing profile's log.
@@ -137,10 +206,13 @@ class IntelliSphere {
   const eng::LocalCostModel& local_model() const { return local_model_; }
 
  private:
-  /// Estimated operator time on a candidate system (local model for
-  /// Teradata, costing profile otherwise).
-  [[nodiscard]] Result<double> OperatorSeconds(const std::string& system,
-                                               const rel::SqlOperator& op, double now) const;
+  /// Estimated operator cost + provenance on a candidate system (local
+  /// model for Teradata, costing profile otherwise). The returned
+  /// HybridEstimate's approach string for Teradata is conventionally
+  /// "local" (set by the caller via ApproachLabel).
+  [[nodiscard]] Result<core::HybridEstimate> HostEstimate(
+      const std::string& system, const rel::SqlOperator& op,
+      const core::EstimateContext& ctx) const;
 
   eng::LocalCostModel local_model_;
   core::CostEstimator estimator_;

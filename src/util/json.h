@@ -1,0 +1,65 @@
+// Minimal JSON string helpers shared by the observability exporters
+// (runtime_metrics snapshots, federation EXPLAIN output) and the bench
+// harnesses. This is a writer only — the repo never parses JSON.
+
+#ifndef INTELLISPHERE_UTIL_JSON_H_
+#define INTELLISPHERE_UTIL_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace intellisphere {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// added by this function).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number with full round-trip precision.
+inline std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Formats a double with a fixed number of significant digits — the stable
+/// form used in EXPLAIN output and golden tests.
+inline std::string JsonNumberShort(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_JSON_H_

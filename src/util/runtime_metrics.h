@@ -1,0 +1,126 @@
+// Process-wide runtime metrics: named monotonic counters and fixed-bucket
+// latency histograms, with snapshot export in the same shape as the
+// BENCH_<name>.json metric entries so bench harnesses can append a served
+// model's operational counters next to its latency numbers.
+//
+// Distinct from util/metrics.h, which holds offline *accuracy* metrics
+// (RMSE, fitted lines) for reproducing the paper's figures; this file is
+// about what the estimator does at serving time (how often the remedy
+// fired, which costing approach was selected, end-to-end estimate latency).
+//
+// Concurrency: Counter::Increment is a relaxed atomic add — safe from any
+// thread, suitable for hot paths. Histogram::Observe takes a mutex (it is
+// only reached when the caller opted into timing). Registry lookups lock;
+// callers on hot paths should look up once and cache the returned pointer,
+// which stays valid for the registry's lifetime.
+
+#ifndef INTELLISPHERE_UTIL_RUNTIME_METRICS_H_
+#define INTELLISPHERE_UTIL_RUNTIME_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace intellisphere {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram. Bucket i counts observations <=
+/// upper_bounds[i]; one extra overflow bucket counts the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  /// Cumulative totals since construction (or the last Reset).
+  int64_t count() const;
+  double sum() const;
+  double Mean() const;  ///< 0 when empty
+  std::vector<int64_t> bucket_counts() const;  ///< size upper_bounds+1
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  void Reset();
+
+ private:
+  const std::vector<double> upper_bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default bucket bounds for estimate-latency histograms, in microseconds:
+/// 1us .. 100ms in roughly 1-3-10 steps.
+std::vector<double> DefaultLatencyBucketsUs();
+
+/// One exported measurement, mirroring the BENCH_<name>.json entry shape.
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  ///< "count" for counters, histogram-specific otherwise
+};
+
+/// A point-in-time export of a registry. Histograms flatten to
+/// <name>.count / <name>.sum / <name>.mean plus one <name>.le.<bound>
+/// cumulative entry per bucket (and <name>.le.inf).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(const std::string& name) const;
+  /// Renders the snapshot as a JSON array of {"name","value","unit"}
+  /// objects, matching the "metrics" field of BENCH_<name>.json.
+  std::string ToJson(const std::string& indent = "") const;
+};
+
+/// Owns counters and histograms by name. Get* creates on first use and
+/// returns a pointer that stays valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  /// Bounds are fixed on first creation; later calls with a different
+  /// bounds argument return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (instruments stay registered, cached
+  /// pointers stay valid). Intended for tests and bench warmup.
+  void ResetAll();
+
+  /// The process-wide registry instrumented code defaults to.
+  static MetricsRegistry& Global();
+
+ private:
+  struct NamedCounter {
+    std::string name;
+    std::unique_ptr<Counter> counter;
+  };
+  struct NamedHistogram {
+    std::string name;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<NamedCounter> counters_;
+  std::vector<NamedHistogram> histograms_;
+};
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_RUNTIME_METRICS_H_

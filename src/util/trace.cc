@@ -1,0 +1,135 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace intellisphere {
+
+std::string TraceAttribute::ValueToString() const {
+  switch (kind) {
+    case Kind::kString:
+      return string_value;
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value);
+      return buf;
+    }
+    case Kind::kBool:
+      return bool_value ? "true" : "false";
+  }
+  return {};
+}
+
+const TraceAttribute* TraceSpanRecord::FindAttribute(
+    const std::string& key) const {
+  for (const auto& attr : attributes) {
+    if (attr.key == key) return &attr;
+  }
+  return nullptr;
+}
+
+TraceSpan::TraceSpan(TraceSink* sink, std::string name, int64_t parent_id)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  record_.id = sink_->NextSpanId();
+  record_.parent_id = parent_id;
+  record_.name = std::move(name);
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : sink_(other.sink_), record_(std::move(other.record_)) {
+  other.sink_ = nullptr;
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    End();
+    sink_ = other.sink_;
+    record_ = std::move(other.record_);
+    other.sink_ = nullptr;
+  }
+  return *this;
+}
+
+TraceSpan TraceSpan::Child(std::string name) const {
+  return TraceSpan(sink_, std::move(name), record_.id);
+}
+
+TraceSpan& TraceSpan::SetString(std::string key, std::string value) {
+  if (sink_ == nullptr) return *this;
+  TraceAttribute attr;
+  attr.key = std::move(key);
+  attr.kind = TraceAttribute::Kind::kString;
+  attr.string_value = std::move(value);
+  record_.attributes.push_back(std::move(attr));
+  return *this;
+}
+
+TraceSpan& TraceSpan::SetInt(std::string key, int64_t value) {
+  if (sink_ == nullptr) return *this;
+  TraceAttribute attr;
+  attr.key = std::move(key);
+  attr.kind = TraceAttribute::Kind::kInt;
+  attr.int_value = value;
+  record_.attributes.push_back(std::move(attr));
+  return *this;
+}
+
+TraceSpan& TraceSpan::SetDouble(std::string key, double value) {
+  if (sink_ == nullptr) return *this;
+  TraceAttribute attr;
+  attr.key = std::move(key);
+  attr.kind = TraceAttribute::Kind::kDouble;
+  attr.double_value = value;
+  record_.attributes.push_back(std::move(attr));
+  return *this;
+}
+
+TraceSpan& TraceSpan::SetBool(std::string key, bool value) {
+  if (sink_ == nullptr) return *this;
+  TraceAttribute attr;
+  attr.key = std::move(key);
+  attr.kind = TraceAttribute::Kind::kBool;
+  attr.bool_value = value;
+  record_.attributes.push_back(std::move(attr));
+  return *this;
+}
+
+void TraceSpan::End() {
+  if (sink_ == nullptr) return;
+  TraceSink* sink = sink_;
+  sink_ = nullptr;
+  sink->OnSpanEnd(record_);
+}
+
+void CollectingTraceSink::OnSpanEnd(const TraceSpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+std::vector<TraceSpanRecord> CollectingTraceSink::spans() const {
+  std::vector<TraceSpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpanRecord& a, const TraceSpanRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+size_t CollectingTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void CollectingTraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace intellisphere

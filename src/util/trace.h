@@ -1,0 +1,126 @@
+// Structured trace spans for estimation observability.
+//
+// A TraceSpan is an RAII handle: created against an optional TraceSink, it
+// accumulates typed key/value attributes and reports itself to the sink
+// exactly once when ended (or destroyed). When no sink is attached the span
+// is a null handle — construction, attribute setters, and destruction are a
+// pointer check each, so instrumented hot paths cost nothing measurable
+// with tracing disabled.
+//
+// Span identity: every span drawn from a sink gets a sink-local id
+// (starting at 1, in construction order) and records its parent's id, so a
+// consumer can rebuild the span tree regardless of the end-order the sink
+// observes (children end before their parents under RAII).
+//
+// Thread-safety follows the thread-pool conventions (DESIGN.md §9): a
+// TraceSpan is owned by one task and never shared; a TraceSink may receive
+// OnSpanEnd from several tasks concurrently, so implementations must be
+// thread-safe (CollectingTraceSink locks; id allocation is atomic).
+
+#ifndef INTELLISPHERE_UTIL_TRACE_H_
+#define INTELLISPHERE_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace intellisphere {
+
+/// One typed key/value pair attached to a span.
+struct TraceAttribute {
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string string_value;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+
+  /// Renders the value (not the key) as text, for tests and debug dumps.
+  std::string ValueToString() const;
+};
+
+/// The immutable record a finished span hands to its sink.
+struct TraceSpanRecord {
+  int64_t id = 0;         ///< sink-local, 1-based, in construction order
+  int64_t parent_id = 0;  ///< 0 = root
+  std::string name;
+  std::vector<TraceAttribute> attributes;
+
+  /// First attribute with the given key, or nullptr.
+  const TraceAttribute* FindAttribute(const std::string& key) const;
+};
+
+/// Receives finished spans. Implementations must tolerate concurrent
+/// OnSpanEnd calls (spans may end on worker threads).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(const TraceSpanRecord& span) = 0;
+
+  /// Allocates the next sink-local span id (thread-safe).
+  int64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> next_id_{1};
+};
+
+/// RAII span handle. Default-constructed (or nullptr-sink) spans are
+/// disabled: every member is a cheap no-op.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceSink* sink, std::string name, int64_t parent_id = 0);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return sink_ != nullptr; }
+  /// This span's id while enabled, 0 otherwise. Stable across End().
+  int64_t id() const { return record_.id; }
+
+  /// Starts a child span of this one (disabled when this span is).
+  TraceSpan Child(std::string name) const;
+
+  TraceSpan& SetString(std::string key, std::string value);
+  TraceSpan& SetInt(std::string key, int64_t value);
+  TraceSpan& SetDouble(std::string key, double value);
+  TraceSpan& SetBool(std::string key, bool value);
+
+  /// Reports the span to the sink; further calls (and destruction) no-op.
+  void End();
+
+ private:
+  TraceSink* sink_ = nullptr;
+  TraceSpanRecord record_;
+};
+
+/// A sink that stores every finished span in memory (locked; usable from
+/// worker threads). Feed it to EstimateContext::trace, run the estimation
+/// path, then inspect or render the collected spans.
+class CollectingTraceSink : public TraceSink {
+ public:
+  void OnSpanEnd(const TraceSpanRecord& span) override;
+
+  /// Snapshot of the collected spans, sorted by id (construction order).
+  std::vector<TraceSpanRecord> spans() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSpanRecord> spans_;
+};
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_TRACE_H_

@@ -1,0 +1,255 @@
+// Tests for EXPLAIN-style plan rendering (federation/explain.h): a golden
+// tree + JSON rendering of a hand-built deterministic plan, the
+// zero-candidate best() regression for both plan types, and an integration
+// pass over the real planners.
+
+#include <gtest/gtest.h>
+
+#include "core/sub_op.h"
+#include "federation/explain.h"
+#include "federation/intellisphere.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+
+namespace intellisphere::fed {
+namespace {
+
+// --- Result-returning best(): the zero-candidate regression ----------------
+
+TEST(PlacementPlanTest, BestOnEmptyPlanIsFailedPrecondition) {
+  PlacementPlan plan;  // default-constructed: no options
+  auto best = plan.best();
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(best.status().message().find("no options"), std::string::npos);
+}
+
+TEST(PipelinePlanTest, BestOnEmptyPlanIsFailedPrecondition) {
+  PipelinePlan plan;
+  auto best = plan.best();
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlacementPlanTest, BestReturnsCheapestOption) {
+  PlacementPlan plan;
+  PlacementOption a;
+  a.system = "hive";
+  a.operator_seconds = 2.0;
+  plan.options.push_back(a);
+  auto best = plan.best();
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().system, "hive");
+}
+
+// --- Golden rendering ------------------------------------------------------
+
+PlacementPlan GoldenPlan() {
+  PlacementPlan plan;
+  plan.op.type = rel::OperatorType::kJoin;
+
+  PlacementOption hive;
+  hive.system = "hive";
+  hive.transfer_seconds = 1.5;
+  hive.operator_seconds = 2.5;
+  hive.approach = "sub_op";
+  hive.algorithm = "shuffle_join";
+  hive.algorithm_candidates = {{"shuffle_join", 2.5}, {"broadcast_join", 3.0}};
+  hive.eliminated_algorithms = {
+      {"skew_join", "hot-key fraction below the skew threshold"}};
+  plan.options.push_back(hive);
+
+  PlacementOption teradata;
+  teradata.system = "teradata";
+  teradata.operator_seconds = 10.25;
+  teradata.approach = "local";
+  plan.options.push_back(teradata);
+
+  plan.eliminated.push_back({"presto", "engine cannot run joins"});
+  return plan;
+}
+
+TEST(ExplainPlacementTest, GoldenTree) {
+  PlacementExplanation ex = ExplainPlacement(GoldenPlan());
+  const std::string expected =
+      "placement plan: join (2 options, 1 hosts eliminated)\n"
+      "|- option 1: system=hive total=4s (transfer=1.5s operator=2.5s) "
+      "approach=sub_op algorithm=shuffle_join [best]\n"
+      "|  |- candidate shuffle_join: 2.5s\n"
+      "|  |- candidate broadcast_join: 3s\n"
+      "|  `- eliminated skew_join: hot-key fraction below the skew "
+      "threshold\n"
+      "|- option 2: system=teradata total=10.25s (transfer=0s "
+      "operator=10.25s) approach=local\n"
+      "`- eliminated host presto: engine cannot run joins\n";
+  EXPECT_EQ(ex.tree, expected);
+}
+
+TEST(ExplainPlacementTest, GoldenJson) {
+  PlacementExplanation ex = ExplainPlacement(GoldenPlan());
+  const std::string expected = R"({
+  "operator": "join",
+  "options": [
+    {
+      "rank": 1,
+      "system": "hive",
+      "transfer_seconds": 1.5,
+      "operator_seconds": 2.5,
+      "total_seconds": 4,
+      "approach": "sub_op",
+      "algorithm": "shuffle_join",
+      "used_remedy": false,
+      "remedy_alpha": 1,
+      "algorithm_candidates": [
+        {"algorithm": "shuffle_join", "seconds": 2.5},
+        {"algorithm": "broadcast_join", "seconds": 3}
+      ],
+      "eliminated_algorithms": [
+        {"algorithm": "skew_join", "reason": "hot-key fraction below the skew threshold"}
+      ]
+    },
+    {
+      "rank": 2,
+      "system": "teradata",
+      "transfer_seconds": 0,
+      "operator_seconds": 10.25,
+      "total_seconds": 10.25,
+      "approach": "local",
+      "algorithm": "",
+      "used_remedy": false,
+      "remedy_alpha": 1,
+      "algorithm_candidates": [],
+      "eliminated_algorithms": []
+    }
+  ],
+  "eliminated_placements": [
+    {"system": "presto", "reason": "engine cannot run joins"}
+  ]
+}
+)";
+  EXPECT_EQ(ex.json, expected);
+}
+
+TEST(ExplainPipelineTest, GoldenTreeForOneOption) {
+  PipelinePlan plan;
+  PipelinePlacement p;
+  p.join_system = "hive";
+  p.agg_system = "hive";
+  p.input_transfer_seconds = 1.0;
+  p.join_seconds = 2.0;
+  p.interm_transfer_seconds = 0.0;
+  p.agg_seconds = 0.5;
+  p.result_transfer_seconds = 0.25;
+  p.join_approach = "sub_op";
+  p.join_algorithm = "shuffle_join";
+  p.agg_approach = "sub_op";
+  p.agg_algorithm = "hash_aggregation";
+  plan.options.push_back(p);
+
+  PlacementExplanation ex = ExplainPipeline(plan);
+  const std::string expected =
+      "pipeline plan: join then aggregation (1 options, 0 placements "
+      "eliminated)\n"
+      "`- option 1: join@hive agg@hive total=3.75s [best]\n"
+      "   |- input transfer: 1s\n"
+      "   |- join: 2s approach=sub_op algorithm=shuffle_join\n"
+      "   |- intermediate transfer: 0s\n"
+      "   |- aggregation: 0.5s approach=sub_op algorithm=hash_aggregation\n"
+      "   `- result transfer: 0.25s\n";
+  EXPECT_EQ(ex.tree, expected);
+  EXPECT_NE(ex.json.find("\"join_algorithm\": \"shuffle_join\""),
+            std::string::npos);
+  EXPECT_NE(ex.json.find("\"total_seconds\": 3.75"), std::string::npos);
+}
+
+// --- Integration: explaining a real planner's output -----------------------
+
+core::OpenboxInfo InfoFor(const remote::HiveEngine& engine) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = engine.cluster().config().dfs_block_bytes;
+  info.total_slots = engine.cluster().config().TotalSlots();
+  info.num_worker_nodes = engine.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = engine.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      engine.options().broadcast_threshold_factor * info.task_memory_bytes;
+  return info;
+}
+
+core::CostingProfile ProfileFor(remote::HiveEngine* hive) {
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(hive, InfoFor(*hive), copts).value();
+  return core::CostingProfile::SubOpOnly(
+      core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value());
+}
+
+TEST(ExplainIntegrationTest, PlannedJoinExplainsWithProvenance) {
+  IntelliSphere sphere;
+  auto hive = remote::HiveEngine::CreateDefault("hive", 61);
+  auto* hive_raw = hive.get();
+  ASSERT_TRUE(sphere
+                  .RegisterRemoteSystem(std::move(hive), ProfileFor(hive_raw),
+                                        ConnectorParams{})
+                  .ok());
+  auto big = rel::SyntheticTableDef(8000000, 250).value();
+  big.location = "hive";
+  ASSERT_TRUE(sphere.RegisterTable(big).ok());
+  auto small = rel::SyntheticTableDef(100000, 100).value();
+  small.location = kTeradataSystemName;
+  ASSERT_TRUE(sphere.RegisterTable(small).ok());
+
+  auto plan =
+      sphere.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0).value();
+  PlacementExplanation ex = ExplainPlacement(plan);
+
+  // The tree names both candidate hosts and marks the winner.
+  EXPECT_NE(ex.tree.find("placement plan: join"), std::string::npos);
+  EXPECT_NE(ex.tree.find("system=hive"), std::string::npos);
+  EXPECT_NE(ex.tree.find("system=teradata"), std::string::npos);
+  EXPECT_NE(ex.tree.find("[best]"), std::string::npos);
+  // The remote option carries sub-op provenance: chosen algorithm plus at
+  // least one surviving candidate line.
+  EXPECT_NE(ex.tree.find("approach=sub_op"), std::string::npos);
+  EXPECT_NE(ex.tree.find("candidate "), std::string::npos);
+  // JSON agrees on the same facts.
+  EXPECT_NE(ex.json.find("\"operator\": \"join\""), std::string::npos);
+  EXPECT_NE(ex.json.find("\"system\": \"hive\""), std::string::npos);
+  EXPECT_NE(ex.json.find("\"approach\": \"local\""), std::string::npos);
+
+  // Rendering is pure: explaining twice gives identical output.
+  PlacementExplanation again = ExplainPlacement(plan);
+  EXPECT_EQ(ex.tree, again.tree);
+  EXPECT_EQ(ex.json, again.json);
+}
+
+TEST(ExplainIntegrationTest, PipelinePlanExplains) {
+  IntelliSphere sphere;
+  auto hive = remote::HiveEngine::CreateDefault("hive", 62);
+  auto* hive_raw = hive.get();
+  ASSERT_TRUE(sphere
+                  .RegisterRemoteSystem(std::move(hive), ProfileFor(hive_raw),
+                                        ConnectorParams{})
+                  .ok());
+  auto left = rel::SyntheticTableDef(8000000, 250).value();
+  left.location = "hive";
+  ASSERT_TRUE(sphere.RegisterTable(left).ok());
+  auto right = rel::SyntheticTableDef(2000000, 100).value();
+  right.location = "hive";
+  ASSERT_TRUE(sphere.RegisterTable(right).ok());
+
+  auto plan = sphere
+                  .PlanJoinThenAgg("T8000000_250", "T2000000_100", 32, 32,
+                                   0.5, "a100", 1)
+                  .value();
+  PlacementExplanation ex = ExplainPipeline(plan);
+  EXPECT_NE(ex.tree.find("pipeline plan: join then aggregation"),
+            std::string::npos);
+  EXPECT_NE(ex.tree.find("join@"), std::string::npos);
+  EXPECT_NE(ex.tree.find("input transfer:"), std::string::npos);
+  EXPECT_NE(ex.json.find("\"operator\": \"pipeline\""), std::string::npos);
+  EXPECT_NE(ex.json.find("\"join_system\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace intellisphere::fed

@@ -146,7 +146,7 @@ TEST_F(IntelliSphereTest, BigRemoteInputFavorsRemoteExecution) {
   auto plan = sphere_
                   .PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0)
                   .value();
-  EXPECT_EQ(plan.best().system, "hive");
+  EXPECT_EQ(plan.best().value().system, "hive");
 }
 
 TEST_F(IntelliSphereTest, TinyLocalInputsFavorTeradata) {
@@ -159,7 +159,7 @@ TEST_F(IntelliSphereTest, TinyLocalInputsFavorTeradata) {
   ASSERT_TRUE(sphere_.RegisterTable(a).ok());
   ASSERT_TRUE(sphere_.RegisterTable(b).ok());
   auto plan = sphere_.PlanJoin("local_a", "local_b", 32, 32, 1.0).value();
-  EXPECT_EQ(plan.best().system, kTeradataSystemName);
+  EXPECT_EQ(plan.best().value().system, kTeradataSystemName);
 }
 
 TEST_F(IntelliSphereTest, PlanAggConsidersOwnerAndTeradata) {
@@ -167,21 +167,22 @@ TEST_F(IntelliSphereTest, PlanAggConsidersOwnerAndTeradata) {
   // where the 2 GB input lives than after shipping it to Teradata.
   auto plan = sphere_.PlanAgg("T8000000_250", "a100", 2).value();
   ASSERT_EQ(plan.options.size(), 2u);
-  EXPECT_EQ(plan.best().system, "hive");
+  EXPECT_EQ(plan.best().value().system, "hive");
   EXPECT_EQ(plan.op.type, rel::OperatorType::kAggregation);
   EXPECT_EQ(plan.op.agg.output_rows, 80000);
 }
 
 TEST_F(IntelliSphereTest, ExecuteBestRunsOnChosenSystem) {
   auto plan = sphere_.PlanAgg("T8000000_250", "a100", 1).value();
-  ASSERT_EQ(plan.best().system, "hive");
+  const PlacementOption best = plan.best().value();
+  ASSERT_EQ(best.system, "hive");
   int64_t before = hive_->queries_executed();
   double elapsed = sphere_.ExecuteBest(plan).value();
   EXPECT_GT(elapsed, 0.0);
   EXPECT_EQ(hive_->queries_executed(), before + 1);
   // The estimate is in the same ballpark as the observed execution.
-  EXPECT_NEAR(plan.best().operator_seconds, elapsed,
-              0.6 * std::max(elapsed, plan.best().operator_seconds));
+  EXPECT_NEAR(best.operator_seconds, elapsed,
+              0.6 * std::max(elapsed, best.operator_seconds));
 }
 
 TEST_F(IntelliSphereTest, RejectsDuplicateAndReservedRegistrations) {

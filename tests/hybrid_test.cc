@@ -88,14 +88,39 @@ TEST(CostingProfileTest, TimePhasedSwitch) {
       MakeSubOpEstimator(hive.get()), std::move(models),
       /*switch_time=*/1000.0);
   // Before t1: sub-op.
-  EXPECT_EQ(profile.Estimate(SampleAgg(), 0.0).value().approach_used,
+  EXPECT_EQ(profile.Estimate(SampleAgg(), EstimateContext::AtTime(0.0))
+                .value()
+                .approach_used,
             CostingApproach::kSubOp);
   // After t1: logical-op.
-  EXPECT_EQ(profile.Estimate(SampleAgg(), 2000.0).value().approach_used,
+  EXPECT_EQ(profile.Estimate(SampleAgg(), EstimateContext::AtTime(2000.0))
+                .value()
+                .approach_used,
             CostingApproach::kLogicalOp);
   // After t1 but no join model yet: falls back to sub-op.
-  EXPECT_EQ(profile.Estimate(SampleJoin(), 2000.0).value().approach_used,
-            CostingApproach::kSubOp);
+  auto est = profile.Estimate(SampleJoin(), EstimateContext::AtTime(2000.0))
+                 .value();
+  EXPECT_EQ(est.approach_used, CostingApproach::kSubOp);
+  EXPECT_TRUE(est.fell_back_to_sub_op);
+}
+
+TEST(CostingProfileTest, DeprecatedClockOverloadStillWorks) {
+  // The pre-EstimateContext call shape must keep returning identical
+  // numbers while it exists; this is the one deliberate caller.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 27);
+  std::map<rel::OperatorType, LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  auto profile = CostingProfile::SubOpThenLogicalOp(
+      MakeSubOpEstimator(hive.get()), std::move(models),
+      /*switch_time=*/1000.0);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto old_shape = profile.Estimate(SampleAgg(), 2000.0).value();
+#pragma GCC diagnostic pop
+  auto new_shape =
+      profile.Estimate(SampleAgg(), EstimateContext::AtTime(2000.0)).value();
+  EXPECT_EQ(old_shape.approach_used, new_shape.approach_used);
+  EXPECT_DOUBLE_EQ(old_shape.seconds, new_shape.seconds);
 }
 
 TEST(CostingProfileTest, LoggingFeedsLogicalModels) {

@@ -132,6 +132,50 @@ TEST(NoCoutRule, SuppressedByPrecedingLineAllow) {
   EXPECT_TRUE(findings.empty());
 }
 
+// --- no-adhoc-io -----------------------------------------------------------
+
+TEST(NoAdhocIoRule, FiresOnCerrAndPrintfFamily) {
+  auto findings = RunLint("src/engine/executor.cc",
+                      "std::cerr << \"oops\";\n"
+                      "printf(\"%d\", x);\n"
+                      "std::fprintf(stderr, \"%d\", x);\n"
+                      "puts(\"hi\");\n"
+                      "std::fputs(\"hi\", stderr);\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-adhoc-io", "no-adhoc-io",
+                                      "no-adhoc-io", "no-adhoc-io",
+                                      "no-adhoc-io"}));
+  EXPECT_NE(findings[0].message.find("TraceSink"), std::string::npos);
+}
+
+TEST(NoAdhocIoRule, AllowedOutsideSrc) {
+  EXPECT_TRUE(
+      RunLint("bench/bench_foo.cc", "std::printf(\"%d\", 1);\n").empty());
+  EXPECT_TRUE(
+      RunLint("examples/quickstart.cpp", "std::cerr << \"x\";\n").empty());
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", "fprintf(stderr, \"x\");\n")
+                  .empty());
+}
+
+TEST(NoAdhocIoRule, SnprintfFormattingStaysLegal) {
+  EXPECT_TRUE(RunLint("src/util/csv.cc",
+                  "std::snprintf(buf, sizeof(buf), \"%.17g\", v);\n")
+                  .empty());
+}
+
+TEST(NoAdhocIoRule, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(RunLint("src/engine/executor.cc",
+                  "// printf-style diagnostics are banned\n"
+                  "const char* s = \"printf\";\n")
+                  .empty());
+}
+
+TEST(NoAdhocIoRule, SuppressedOnSameLine) {
+  auto findings = RunLint("src/engine/executor.cc",
+                      "std::cerr << \"x\";  // lint:allow(no-adhoc-io)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
 // --- banned-header ---------------------------------------------------------
 
 TEST(BannedHeaderRule, FiresOnCCompatHeaders) {

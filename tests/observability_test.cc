@@ -1,0 +1,375 @@
+// Unit and integration tests for the estimation observability layer:
+// trace spans (src/util/trace.h), the runtime metrics registry
+// (src/util/runtime_metrics.h), and their wiring through
+// CostingProfile::Estimate via EstimateContext.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "util/runtime_metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace intellisphere {
+namespace {
+
+// --- TraceSpan / TraceSink -------------------------------------------------
+
+TEST(TraceSpanTest, DisabledSpanIsInertAndFree) {
+  TraceSpan span;  // no sink
+  EXPECT_FALSE(span.enabled());
+  EXPECT_EQ(span.id(), 0);
+  span.SetString("k", "v").SetInt("n", 1).SetDouble("d", 0.5).SetBool("b",
+                                                                      true);
+  TraceSpan child = span.Child("child");
+  EXPECT_FALSE(child.enabled());
+  span.End();  // must not crash
+}
+
+TEST(TraceSpanTest, EndReportsOnceWithAttributes) {
+  CollectingTraceSink sink;
+  {
+    TraceSpan span(&sink, "work");
+    span.SetString("key", "value").SetInt("count", 7);
+    span.End();
+    span.End();  // second End is a no-op
+  }            // destructor must not double-report
+  ASSERT_EQ(sink.size(), 1u);
+  TraceSpanRecord rec = sink.spans()[0];
+  EXPECT_EQ(rec.name, "work");
+  EXPECT_EQ(rec.id, 1);
+  EXPECT_EQ(rec.parent_id, 0);
+  ASSERT_NE(rec.FindAttribute("key"), nullptr);
+  EXPECT_EQ(rec.FindAttribute("key")->ValueToString(), "value");
+  ASSERT_NE(rec.FindAttribute("count"), nullptr);
+  EXPECT_EQ(rec.FindAttribute("count")->int_value, 7);
+  EXPECT_EQ(rec.FindAttribute("missing"), nullptr);
+}
+
+TEST(TraceSpanTest, ChildrenRecordParentIdsAcrossEndOrder) {
+  CollectingTraceSink sink;
+  {
+    TraceSpan root(&sink, "root");
+    TraceSpan a = root.Child("a");
+    TraceSpan b = root.Child("b");
+    TraceSpan aa = a.Child("aa");
+    // RAII end order: aa, b, a, root — ids still rebuild the tree.
+  }
+  auto spans = sink.spans();  // sorted by id = construction order
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0);
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[2].name, "b");
+  EXPECT_EQ(spans[2].parent_id, spans[0].id);
+  EXPECT_EQ(spans[3].name, "aa");
+  EXPECT_EQ(spans[3].parent_id, spans[1].id);
+}
+
+TEST(TraceSpanTest, MoveTransfersOwnership) {
+  CollectingTraceSink sink;
+  {
+    TraceSpan span(&sink, "moved");
+    TraceSpan other = std::move(span);
+    EXPECT_FALSE(span.enabled());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(other.enabled());
+  }
+  EXPECT_EQ(sink.size(), 1u);  // exactly one report despite two handles
+}
+
+TEST(TraceSpanTest, AttributeValueFormatting) {
+  TraceAttribute b;
+  b.kind = TraceAttribute::Kind::kBool;
+  b.bool_value = true;
+  EXPECT_EQ(b.ValueToString(), "true");
+  TraceAttribute d;
+  d.kind = TraceAttribute::Kind::kDouble;
+  d.double_value = 2.5;
+  EXPECT_EQ(d.ValueToString(), "2.5");
+}
+
+TEST(TraceSinkTest, ConcurrentSpansGetDistinctIds) {
+  CollectingTraceSink sink;
+  ThreadPool pool(4);
+  std::vector<Status> statuses =
+      RunIndexed(&pool, 64, [&](size_t i) -> Status {
+        TraceSpan span(&sink, "t" + std::to_string(i));
+        span.Child("child").SetInt("i", static_cast<int64_t>(i));
+        return Status::OK();
+      });
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok());
+  auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 128u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, spans[i - 1].id + 1);  // dense, distinct ids
+  }
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+// --- Counter / Histogram / MetricsRegistry ---------------------------------
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(HistogramTest, BucketsCountAndMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.Mean(), 0.0);  // empty
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(5000.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 5055.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5055.5 / 4);
+  EXPECT_EQ(h.bucket_counts(),
+            (std::vector<int64_t>{1, 1, 1, 1}));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<int64_t>{0, 0, 0, 0}));
+}
+
+TEST(MetricsRegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests");
+  EXPECT_EQ(registry.GetCounter("requests"), c);  // same instance
+  c->Increment(3);
+  Histogram* h = registry.GetHistogram("latency", {1.0, 10.0});
+  EXPECT_EQ(registry.GetHistogram("latency", {99.0}), h);  // bounds fixed
+  h->Observe(0.5);
+  h->Observe(20.0);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  const MetricSample* requests = snap.Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(requests->value, 3.0);
+  EXPECT_EQ(requests->unit, "count");
+  ASSERT_NE(snap.Find("latency.count"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.Find("latency.count")->value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.Find("latency.sum")->value, 20.5);
+  EXPECT_DOUBLE_EQ(snap.Find("latency.mean")->value, 10.25);
+  // Cumulative bucket samples: le.1 = 1, le.10 = 1, le.inf = 2.
+  EXPECT_DOUBLE_EQ(snap.Find("latency.le.1")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("latency.le.10")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("latency.le.inf")->value, 2.0);
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+
+  // ToJson renders an array of {"name","value","unit"} entries.
+  std::string json = snap.ToJson("  ");
+  EXPECT_NE(json.find("\"name\": \"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"count\""), std::string::npos);
+
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0);  // cached pointer still valid
+  EXPECT_EQ(h->count(), 0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsDoNotDropCounts) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hits");
+  ThreadPool pool(4);
+  std::vector<Status> statuses =
+      RunIndexed(&pool, 1000, [&](size_t) -> Status {
+        c->Increment();
+        return Status::OK();
+      });
+  for (const Status& s : statuses) ASSERT_TRUE(s.ok());
+  EXPECT_EQ(c->value(), 1000);
+}
+
+// --- Estimation-path integration -------------------------------------------
+
+core::OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive.options().broadcast_threshold_factor * info.task_memory_bytes;
+  return info;
+}
+
+core::SubOpCostEstimator MakeSubOpEstimator(remote::HiveEngine* hive) {
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(hive, InfoFor(*hive), opts).value();
+  return core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value();
+}
+
+core::LogicalOpModel MakeAggModel(remote::HiveEngine* hive) {
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.num_aggregates = {1, 3};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(hive, queries).value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 4000;
+  return core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     run.data, core::AggDimensionNames(),
+                                     opts)
+      .value();
+}
+
+rel::SqlOperator SampleJoin() {
+  auto l = rel::SyntheticTableDef(4000000, 250).value();
+  auto r = rel::SyntheticTableDef(400000, 100).value();
+  return rel::SqlOperator::MakeJoin(
+      rel::MakeJoinQuery(l, r, 32, 32, 0.5).value());
+}
+
+rel::SqlOperator SampleAgg() {
+  auto t = rel::SyntheticTableDef(400000, 100).value();
+  return rel::SqlOperator::MakeAgg(rel::MakeAggQuery(t, 10, 1).value());
+}
+
+class EstimateObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hive_ = remote::HiveEngine::CreateDefault("hive", 91);
+    profile_ = std::make_unique<core::CostingProfile>(
+        core::CostingProfile::SubOpOnly(MakeSubOpEstimator(hive_.get())));
+  }
+
+  std::unique_ptr<remote::HiveEngine> hive_;
+  std::unique_ptr<core::CostingProfile> profile_;
+};
+
+TEST_F(EstimateObservabilityTest, TracedEstimateEmitsSpanTree) {
+  CollectingTraceSink sink;
+  MetricsRegistry registry;
+  core::EstimateContext ctx;
+  ctx.trace = &sink;
+  ctx.metrics = &registry;
+  auto est = profile_->Estimate(SampleJoin(), ctx).value();
+  EXPECT_GT(est.seconds, 0.0);
+
+  auto spans = sink.spans();
+  ASSERT_GE(spans.size(), 3u);
+  // Root span first (construction order), with the final attributes.
+  const TraceSpanRecord& root = spans[0];
+  EXPECT_EQ(root.name, "estimate");
+  EXPECT_EQ(root.parent_id, 0);
+  ASSERT_NE(root.FindAttribute("approach"), nullptr);
+  EXPECT_EQ(root.FindAttribute("approach")->ValueToString(), "sub_op");
+  ASSERT_NE(root.FindAttribute("seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(root.FindAttribute("seconds")->double_value, est.seconds);
+  ASSERT_NE(root.FindAttribute("elapsed_us"), nullptr);
+  EXPECT_GT(root.FindAttribute("elapsed_us")->double_value, 0.0);
+
+  bool saw_selection = false;
+  size_t formula_spans = 0;
+  for (const auto& s : spans) {
+    if (s.name == "estimate.approach_selection") {
+      saw_selection = true;
+      EXPECT_EQ(s.parent_id, root.id);
+      EXPECT_EQ(s.FindAttribute("selected")->ValueToString(), "sub_op");
+    }
+    if (s.name == "estimate.sub_op.formula") ++formula_spans;
+  }
+  EXPECT_TRUE(saw_selection);
+  // One formula span per surviving algorithm candidate.
+  EXPECT_EQ(formula_spans, est.candidates.size());
+  EXPECT_GT(formula_spans, 0u);
+
+  // The latency histogram observed exactly this estimate.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.latency_us.count")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 1.0);
+}
+
+TEST_F(EstimateObservabilityTest, DisabledTracingCallsSinkZeroTimes) {
+  // A default context must never touch a sink; this pins the
+  // zero-cost-when-disabled contract.
+  CollectingTraceSink sink;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(profile_->Estimate(SampleJoin()).ok());
+  }
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST_F(EstimateObservabilityTest, CountersTrackApproachAndElimination) {
+  MetricsRegistry registry;
+  core::EstimateContext ctx;
+  ctx.metrics = &registry;
+  auto est = profile_->Estimate(SampleJoin(), ctx).value();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.logical_op")->value, 0.0);
+  // The sample join eliminates at least the bucketed-join algorithms.
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.subop.eliminated")->value,
+                   static_cast<double>(est.eliminated_count));
+  EXPECT_GT(est.eliminated_count, 0);
+}
+
+TEST_F(EstimateObservabilityTest, LogicalPathCountsRemedyAndFallback) {
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive_.get()));
+  auto profile = core::CostingProfile::SubOpThenLogicalOp(
+      MakeSubOpEstimator(hive_.get()), std::move(models),
+      /*switch_time=*/100.0);
+
+  MetricsRegistry registry;
+  CollectingTraceSink sink;
+  core::EstimateContext ctx;
+  ctx.metrics = &registry;
+  ctx.trace = &sink;
+  ctx.now = 200.0;  // past the switch
+
+  // Aggregation has a model: logical path, NN span present.
+  ASSERT_TRUE(profile.Estimate(SampleAgg(), ctx).ok());
+  // Join has no model: falls back to sub-op.
+  auto join_est = profile.Estimate(SampleJoin(), ctx).value();
+  EXPECT_TRUE(join_est.fell_back_to_sub_op);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.logical_op")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.fallback_to_sub_op")->value,
+                   1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.latency_us.count")->value, 2.0);
+
+  bool saw_nn = false;
+  for (const auto& s : sink.spans()) {
+    if (s.name == "estimate.logical_op.nn") saw_nn = true;
+  }
+  EXPECT_TRUE(saw_nn);
+}
+
+TEST_F(EstimateObservabilityTest, ProvenanceDetailFillsEliminations) {
+  core::EstimateContext ctx;
+  ctx.detail = core::EstimateDetail::kProvenance;
+  auto est = profile_->Estimate(SampleJoin(), ctx).value();
+  EXPECT_GT(est.candidates.size(), 0u);
+  EXPECT_EQ(est.eliminated.size(),
+            static_cast<size_t>(est.eliminated_count));
+  for (const auto& e : est.eliminated) {
+    EXPECT_FALSE(e.algorithm.empty());
+    EXPECT_FALSE(e.reason.empty());
+  }
+  // Cost-only detail keeps the numbers but skips the provenance strings.
+  auto lean = profile_->Estimate(SampleJoin()).value();
+  EXPECT_DOUBLE_EQ(lean.seconds, est.seconds);
+  EXPECT_EQ(lean.eliminated_count, est.eliminated_count);
+  EXPECT_TRUE(lean.eliminated.empty());
+}
+
+}  // namespace
+}  // namespace intellisphere

@@ -132,12 +132,17 @@ TEST(ProfilePersistenceTest, TimePhasedProfileRoundTrip) {
   EXPECT_EQ(loaded.approach(), CostingApproach::kSubOpThenLogicalOp);
   EXPECT_DOUBLE_EQ(loaded.switch_time(), 500.0);
   auto op = SampleAgg();
-  EXPECT_EQ(loaded.Estimate(op, 0.0).value().approach_used,
+  EXPECT_EQ(loaded.Estimate(op, EstimateContext::AtTime(0.0))
+                .value()
+                .approach_used,
             CostingApproach::kSubOp);
-  EXPECT_EQ(loaded.Estimate(op, 1000.0).value().approach_used,
+  EXPECT_EQ(loaded.Estimate(op, EstimateContext::AtTime(1000.0))
+                .value()
+                .approach_used,
             CostingApproach::kLogicalOp);
-  EXPECT_DOUBLE_EQ(loaded.Estimate(op, 1000.0).value().seconds,
-                   profile.Estimate(op, 1000.0).value().seconds);
+  EXPECT_DOUBLE_EQ(
+      loaded.Estimate(op, EstimateContext::AtTime(1000.0)).value().seconds,
+      profile.Estimate(op, EstimateContext::AtTime(1000.0)).value().seconds);
 }
 
 TEST(PerOperatorProfileTest, RoutesByOperatorType) {

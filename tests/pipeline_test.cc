@@ -118,7 +118,7 @@ TEST_F(PipelineTest, ShrinkingAggregationStaysRemote) {
                   .PlanJoinThenAgg("T80000000_1000", "T2000000_100", 1000,
                                    100, 1.0, "a100", 1)
                   .value();
-  const auto& best = plan.best();
+  const auto best = plan.best().value();
   EXPECT_EQ(best.join_system, "hive");
   EXPECT_EQ(best.agg_system, best.join_system);
 }

@@ -222,6 +222,27 @@ void CheckNoCout(const FileInput& in, const std::vector<std::string>& code,
   }
 }
 
+void CheckNoAdhocIo(const FileInput& in, const std::vector<std::string>& code,
+                    const Suppressions& sup, std::vector<Finding>* out) {
+  if (!IsLibraryPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].find("std::cerr") != std::string::npos) {
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-adhoc-io",
+             "std::cerr is banned in library code; report errors through "
+             "Status and diagnostics through a TraceSink "
+             "(src/util/trace.h)");
+    }
+    for (const char* fn : {"printf", "fprintf", "puts", "fputs"}) {
+      size_t pos = FindToken(code[i], fn);
+      if (pos == std::string::npos) continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-adhoc-io",
+             std::string(fn) +
+                 " is banned in library code; report errors through Status "
+                 "and diagnostics through a TraceSink (src/util/trace.h)");
+    }
+  }
+}
+
 void CheckBannedHeaders(const FileInput& in,
                         const std::vector<std::string>& code,
                         const Suppressions& sup, std::vector<Finding>* out) {
@@ -434,6 +455,7 @@ std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts) {
   CheckIncludeGuard(in, code, sup, &findings);
   CheckNoRand(in, code, sup, &findings);
   CheckNoCout(in, code, sup, &findings);
+  CheckNoAdhocIo(in, code, sup, &findings);
   CheckBannedHeaders(in, code, sup, &findings);
   CheckNoRawThread(in, code, sup, &findings);
   CheckDiscardedStatus(in, code, opts, sup, &findings);

@@ -12,8 +12,13 @@
 //                     "src/", uppercased, with [^A-Za-z0-9] mapped to '_'.
 //   no-rand           rand()/srand() are banned outside src/util/rng.h;
 //                     stochastic code must draw from a seeded Rng.
-//   no-cout           std::cout/std::cerr are banned in library code
-//                     (files under src/); return Status instead of printing.
+//   no-cout           std::cout is banned in library code (files under
+//                     src/); return Status instead of printing.
+//   no-adhoc-io       std::cerr and the printf family (printf, fprintf,
+//                     puts, fputs) are banned in library code; errors
+//                     travel through Status, diagnostics through a
+//                     TraceSink (src/util/trace.h). std::snprintf into a
+//                     buffer is formatting, not I/O, and stays legal.
 //   discarded-status  a statement of the form `obj.Foo(...);` where Foo is
 //                     known to return Status/Result must not drop the value.
 //   banned-header     C-compatibility headers (<stdio.h>, <stdlib.h>,
