@@ -4,7 +4,8 @@
 #   2. run the whole test suite under AddressSanitizer + UBSan,
 #   3. run the concurrency tests under ThreadSanitizer (tsan preset),
 #   4. run the repo lint pass (tools/lint) over the tree,
-#   5. run the EXPLAIN example and validate its JSON artifact's schema.
+#   5. run the EXPLAIN examples and validate their JSON artifacts' schemas,
+#   6. run the doc-drift gate (docs <-> source knob cross-check).
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
 # ctest`) stays fast; run this before merging.
@@ -23,40 +24,53 @@ while getopts "j:" opt; do
   esac
 done
 
-echo "== [1/5] configure + build: asan-ubsan preset (-Werror) =="
+echo "== [1/6] configure + build: asan-ubsan preset (-Werror) =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$JOBS"
 
-echo "== [2/5] ctest under asan+ubsan =="
+echo "== [2/6] ctest under asan+ubsan =="
 # Halt on the first error report instead of trying to continue, and exclude
 # the tier2 label so this gate cannot recurse into itself.
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" -LE tier2
 
-echo "== [3/5] thread pool + parallel pipeline + observability under tsan =="
+echo "== [3/6] thread pool + parallel pipeline + observability + serving under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
 # src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
-# drives every parallel code path, and observability_test exercises the
-# trace-sink and metrics-registry locking from pool workers, so tsan on
-# these two binaries covers the library's concurrency surface without a
-# second full-suite run.
+# drives every parallel code path, observability_test exercises the
+# trace-sink and metrics-registry locking from pool workers, and
+# serving_test hammers the sharded estimate cache and EstimationService
+# from concurrent workers, so tsan on these three binaries covers the
+# library's concurrency surface without a second full-suite run.
 cmake --preset tsan
 cmake --build --preset tsan --target parallel_training_test \
-  observability_test -j "$JOBS"
+  observability_test serving_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
 
-echo "== [4/5] repo lint pass =="
+echo "== [4/6] repo lint pass =="
 cmake --preset lint
 cmake --build --preset lint -j "$JOBS"
 
-echo "== [5/5] EXPLAIN example + JSON schema validation =="
-# The example runs under asan+ubsan (built in step 1's tree) and must
-# produce a schema-valid EXPLAIN_placement.json.
-cmake --build --preset asan-ubsan --target explain_placement -j "$JOBS"
+echo "== [5/6] EXPLAIN examples + JSON schema validation =="
+# The examples run under asan+ubsan (built in step 1's tree) and must
+# produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json.
+cmake --build --preset asan-ubsan --target explain_placement \
+  explain_serving -j "$JOBS"
 (cd build-asan-ubsan &&
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_placement)
 python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_placement.json
+(cd build-asan-ubsan &&
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./examples/explain_serving)
+python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_serving.json
+
+echo "== [6/6] doc-drift gate =="
+# Every Properties key / CMake option the docs mention must still exist in
+# the source, and every declared serving.*/training.* knob must be
+# documented in docs/CONFIG.md.
+python3 scripts/check_docs.py
 
 echo "check.sh: all gates passed"

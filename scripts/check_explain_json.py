@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Validates an EXPLAIN_placement.json file against the expected schema.
+"""Validates an EXPLAIN JSON artifact against its expected schema.
 
-Used by scripts/check.sh after running examples/explain_placement: the JSON
-rendering of a placement plan must stay machine-readable, so this checks
-structure and types, not specific cost numbers.
+Used by scripts/check.sh after running the EXPLAIN examples: the JSON
+renderings must stay machine-readable, so this checks structure and types,
+not specific cost numbers. The artifact kind is detected from the top-level
+keys — a "serving" object is an EstimationService::ExplainJson() document
+(examples/explain_serving), anything else is a placement plan
+(examples/explain_placement).
 
-Usage: check_explain_json.py <path-to-EXPLAIN_placement.json>
+Usage: check_explain_json.py <path-to-EXPLAIN_*.json>
 """
 
 import json
@@ -42,6 +45,42 @@ def check_type(obj, field, expected, where):
         fail(f"{where}: field '{field}' has type {type(value).__name__}")
 
 
+SERVING_CACHE_FIELDS = {
+    "shards": int,
+    "capacity": int,
+    "ttl_seconds": (int, float),
+    "quantize_bits": int,
+    "entries": int,
+    "hits": int,
+    "misses": int,
+    "evictions": int,
+    "stale_epoch": int,
+    "hit_rate": (int, float),
+}
+
+
+def check_serving(doc):
+    serving = doc["serving"]
+    if not isinstance(serving, dict):
+        fail("serving: must be an object")
+    check_type(serving, "model_epoch", int, "serving")
+    check_type(serving, "jobs", int, "serving")
+    check_type(serving, "cache", dict, "serving")
+    cache = serving["cache"]
+    for field, expected in SERVING_CACHE_FIELDS.items():
+        check_type(cache, field, expected, "serving.cache")
+    for field in ("shards", "capacity", "entries", "hits", "misses",
+                  "evictions", "stale_epoch"):
+        if cache[field] < 0:
+            fail(f"serving.cache.{field} must be >= 0")
+    if not 0.0 <= cache["hit_rate"] <= 1.0:
+        fail("serving.cache.hit_rate must be in [0, 1]")
+    if cache["entries"] > cache["capacity"]:
+        fail("serving.cache.entries exceeds capacity")
+    print(f"check_explain_json: OK (serving: epoch {serving['model_epoch']}, "
+          f"{cache['entries']} entries, hit_rate {cache['hit_rate']})")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_explain_json.py <file>")
@@ -53,6 +92,9 @@ def main():
 
     if not isinstance(doc, dict):
         fail("top level must be an object")
+    if "serving" in doc:
+        check_serving(doc)
+        return
     check_type(doc, "operator", str, "top level")
     check_type(doc, "options", list, "top level")
     check_type(doc, "eliminated_placements", list, "top level")

@@ -87,6 +87,12 @@ struct EstimateContext {
   }
 
   /// The legacy `double now` call shape, for the deprecated overloads.
+  /// Guarantee: `metrics` stays nullptr, which `Registry()` resolves to
+  /// MetricsRegistry::Global() — so the deprecated wrappers still record
+  /// the ambient `estimate.approach.*` / `plan.*` counters (pinned by
+  /// DeprecatedOverload* regression tests). `metrics` is deliberately NOT
+  /// set to &Global() explicitly: that would flip `timing()` on and add
+  /// clock reads + a latency histogram to every legacy call.
   static EstimateContext AtTime(double now) {
     EstimateContext ctx;
     ctx.now = now;

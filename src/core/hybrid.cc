@@ -360,6 +360,7 @@ Status CostEstimator::RegisterSystem(const std::string& system_name,
                                  "' already has a costing profile");
   }
   profiles_.emplace(system_name, std::move(profile));
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -383,6 +384,9 @@ Result<HybridEstimate> CostEstimator::Estimate(const std::string& system_name,
 Status CostEstimator::LogActual(const std::string& system_name,
                                 const rel::SqlOperator& op,
                                 double actual_seconds) {
+  // GetProfileMutable below already bumps the model epoch, which covers
+  // both feedback entry points: the execution log feeds the online remedy,
+  // so a LogActual can change subsequent estimates.
   ISPHERE_ASSIGN_OR_RETURN(CostingProfile * p,
                            GetProfileMutable(system_name));
   return p->LogActual(op, actual_seconds);
@@ -396,6 +400,7 @@ Status CostEstimator::OfflineTune(const std::string& system_name) {
 
 Status CostEstimator::OfflineTuneAll(int jobs) {
   if (jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
+  BumpEpoch();
   std::vector<LogicalOpModel*> models;
   for (auto& [name, profile] : profiles_) {
     for (LogicalOpModel* model : profile.TunableModels()) {
@@ -471,6 +476,9 @@ Result<CostingProfile*> CostEstimator::GetProfileMutable(
     return Status::NotFound("no costing profile for system '" + system_name +
                             "'");
   }
+  // Handing out mutable access pessimistically invalidates cached
+  // estimates: the caller may retune or swap models behind our back.
+  BumpEpoch();
   return &it->second;
 }
 

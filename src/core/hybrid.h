@@ -8,6 +8,8 @@
 #ifndef INTELLISPHERE_CORE_HYBRID_H_
 #define INTELLISPHERE_CORE_HYBRID_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -151,6 +153,13 @@ class CostingProfile {
 };
 
 /// The remote-system cost estimation module: profile registry + dispatch.
+///
+/// Thread-safety: the const read path (Estimate / GetProfile / HasSystem) is
+/// safe for concurrent callers — estimation touches no mutable state
+/// (MlpRegressor::Predict works in stack-local buffers). Mutation
+/// (RegisterSystem, LogActual, OfflineTune*, GetProfileMutable) must be
+/// externally serialized against readers; the serving layer confines it to
+/// an exclusive retrain section and uses `model_epoch()` to fence caches.
 class CostEstimator {
  public:
   /// AlreadyExists on duplicate registration.
@@ -187,8 +196,22 @@ class CostEstimator {
 
   size_t num_systems() const { return profiles_.size(); }
 
+  /// Model-state version. Bumped by every mutation that can change what an
+  /// estimate returns: RegisterSystem, LogActual (the execution log feeds
+  /// the online remedy), OfflineTune, OfflineTuneAll, and GetProfileMutable
+  /// (handing out a mutable profile pessimistically counts as a mutation).
+  /// Caches key their entries by the epoch captured *before* computing and
+  /// reject entries whose epoch is stale, so a value produced against
+  /// pre-retrain weights is never served post-retrain.
+  uint64_t model_epoch() const {
+    return model_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpEpoch() { model_epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
   std::map<std::string, CostingProfile> profiles_;
+  std::atomic<uint64_t> model_epoch_{0};
 };
 
 /// One model-training unit of the offline pipeline: train a logical-op

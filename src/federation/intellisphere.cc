@@ -128,6 +128,17 @@ std::vector<std::string> IntelliSphere::SystemNames() const {
   return names;
 }
 
+Status IntelliSphere::AttachEstimationService(
+    const serving::EstimationService* service) {
+  if (service != nullptr && service->estimator() != &estimator_) {
+    return Status::InvalidArgument(
+        "estimation service wraps a different CostEstimator than this "
+        "facade's");
+  }
+  serving_ = service;
+  return Status::OK();
+}
+
 Result<core::HybridEstimate> IntelliSphere::HostEstimate(
     const std::string& system, const rel::SqlOperator& op,
     const core::EstimateContext& ctx) const {
@@ -135,6 +146,14 @@ Result<core::HybridEstimate> IntelliSphere::HostEstimate(
     core::HybridEstimate est;
     ISPHERE_ASSIGN_OR_RETURN(est.seconds, local_model_.EstimateSeconds(op));
     return est;
+  }
+  if (serving_ != nullptr) {
+    serving::EstimateRequest request;
+    request.system = system;
+    request.op = op;
+    request.now = ctx.now;
+    request.policy_override = ctx.policy_override;
+    return serving_->Estimate(request, ctx);
   }
   return estimator_.Estimate(system, op, ctx);
 }

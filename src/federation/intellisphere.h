@@ -21,6 +21,7 @@
 #include "relational/catalog.h"
 #include "relational/query.h"
 #include "remote/remote_system.h"
+#include "serving/service.h"
 
 namespace intellisphere::fed {
 
@@ -200,6 +201,16 @@ class IntelliSphere {
   /// Returns the observed elapsed seconds of the operator itself.
   [[nodiscard]] Result<double> ExecuteBest(const PlacementPlan& plan);
 
+  /// Routes the planners' remote cost estimates through a serving-layer
+  /// cache. The service must wrap *this* facade's cost_estimator()
+  /// (InvalidArgument otherwise) and must outlive the facade; the local
+  /// Teradata model is analytic and stays uncached. Detach with nullptr.
+  /// Cached planning is bit-identical to uncached planning — the cache
+  /// keys on everything an estimate depends on, and retraining bumps the
+  /// estimator's model epoch, which invalidates on read.
+  [[nodiscard]] Status AttachEstimationService(
+      const serving::EstimationService* service);
+
   core::CostEstimator& cost_estimator() { return estimator_; }
   const core::CostEstimator& cost_estimator() const { return estimator_; }
   QueryGrid& query_grid() { return grid_; }
@@ -216,6 +227,7 @@ class IntelliSphere {
 
   eng::LocalCostModel local_model_;
   core::CostEstimator estimator_;
+  const serving::EstimationService* serving_ = nullptr;
   QueryGrid grid_;
   rel::Catalog catalog_;
   std::map<std::string, std::unique_ptr<remote::RemoteSystem>> systems_;

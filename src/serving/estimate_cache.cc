@@ -1,0 +1,286 @@
+#include "serving/estimate_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <utility>
+
+namespace intellisphere::serving {
+
+namespace {
+
+/// Binary key packing: fixed-width native-endian encodings appended to a
+/// std::string. The encoding only needs to be injective and stable within
+/// a process, not portable, so a raw 8-byte memcpy append is fine (and
+/// keeps the key build off the byte-at-a-time push_back path).
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+void AppendByte(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+/// Keys a double by its bit pattern with the low `quantize_bits` mantissa
+/// bits dropped. bits = 0 is the identity (exact match only); the IEEE-754
+/// layout keeps quantized patterns monotone within a sign+exponent bucket,
+/// so nearby magnitudes coalesce.
+void AppendDouble(std::string* out, double v, int quantize_bits) {
+  uint64_t pattern = std::bit_cast<uint64_t>(v);
+  if (quantize_bits > 0) {
+    int bits = std::min(quantize_bits, 52);
+    pattern &= ~((uint64_t{1} << bits) - 1);
+  }
+  AppendU64(out, pattern);
+}
+
+uint64_t HashKey(const std::string& key) {
+  return static_cast<uint64_t>(std::hash<std::string>{}(key));
+}
+
+}  // namespace
+
+Result<CacheOptions> CacheOptions::FromProperties(const Properties& props) {
+  CacheOptions opts;
+  if (props.Contains(kCacheShardsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t shards, props.GetInt(kCacheShardsKey));
+    if (shards < 1) {
+      return Status::InvalidArgument("serving.cache.shards must be >= 1");
+    }
+    opts.shards = static_cast<int>(shards);
+  }
+  if (props.Contains(kCacheCapacityKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.capacity,
+                             props.GetInt(kCacheCapacityKey));
+    if (opts.capacity < 0) {
+      return Status::InvalidArgument("serving.cache.capacity must be >= 0");
+    }
+  }
+  if (props.Contains(kCacheTtlSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.ttl_seconds,
+                             props.GetDouble(kCacheTtlSecondsKey));
+    if (opts.ttl_seconds < 0.0) {
+      return Status::InvalidArgument(
+          "serving.cache.ttl_seconds must be >= 0");
+    }
+  }
+  if (props.Contains(kCacheQuantizeBitsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t bits,
+                             props.GetInt(kCacheQuantizeBitsKey));
+    if (bits < 0 || bits > 52) {
+      return Status::InvalidArgument(
+          "serving.cache.quantize_bits must be in [0, 52]");
+    }
+    opts.quantize_bits = static_cast<int>(bits);
+  }
+  return opts;
+}
+
+std::string CanonicalCacheKey(const std::string& system,
+                              const rel::SqlOperator& op,
+                              std::optional<core::ChoicePolicy> policy,
+                              bool provenance, bool logical_phase,
+                              int quantize_bits) {
+  std::string key;
+  CanonicalCacheKeyTo(system, op, policy, provenance, logical_phase,
+                      quantize_bits, &key);
+  return key;
+}
+
+void CanonicalCacheKeyTo(const std::string& system,
+                         const rel::SqlOperator& op,
+                         std::optional<core::ChoicePolicy> policy,
+                         bool provenance, bool logical_phase,
+                         int quantize_bits, std::string* out) {
+  std::string& key = *out;
+  key.clear();
+  key.reserve(system.size() + 96);
+  key += system;
+  key.push_back('\0');  // unambiguous name/payload separator
+  AppendByte(&key, static_cast<uint8_t>(op.type));
+  // Only the active payload participates: the inactive members of the
+  // tagged union are defaulted noise.
+  switch (op.type) {
+    case rel::OperatorType::kJoin: {
+      const rel::JoinQuery& j = op.join;
+      AppendI64(&key, j.left.num_rows);
+      AppendI64(&key, j.left.row_bytes);
+      AppendI64(&key, j.right.num_rows);
+      AppendI64(&key, j.right.row_bytes);
+      AppendI64(&key, j.left_projected_bytes);
+      AppendI64(&key, j.right_projected_bytes);
+      AppendI64(&key, j.output_rows);
+      AppendByte(&key, static_cast<uint8_t>(j.is_equi_join));
+      AppendByte(&key, static_cast<uint8_t>(j.left_bucketed_on_key));
+      AppendByte(&key, static_cast<uint8_t>(j.right_bucketed_on_key));
+      AppendDouble(&key, j.hot_key_fraction, quantize_bits);
+      break;
+    }
+    case rel::OperatorType::kAggregation: {
+      const rel::AggQuery& a = op.agg;
+      AppendI64(&key, a.input.num_rows);
+      AppendI64(&key, a.input.row_bytes);
+      AppendI64(&key, a.output_rows);
+      AppendI64(&key, a.output_row_bytes);
+      AppendI64(&key, a.num_aggregates);
+      break;
+    }
+    case rel::OperatorType::kScan: {
+      const rel::ScanQuery& s = op.scan;
+      AppendI64(&key, s.input.num_rows);
+      AppendI64(&key, s.input.row_bytes);
+      AppendDouble(&key, s.selectivity, quantize_bits);
+      AppendI64(&key, s.projected_bytes);
+      AppendI64(&key, s.output_rows);
+      break;
+    }
+  }
+  AppendByte(&key, policy.has_value()
+                       ? static_cast<uint8_t>(*policy)
+                       : uint8_t{0xff});
+  AppendByte(&key, static_cast<uint8_t>(provenance));
+  AppendByte(&key, static_cast<uint8_t>(logical_phase));
+}
+
+EstimateCache::EstimateCache(CacheOptions options)
+    : options_(std::move(options)) {
+  options_.shards = std::max(1, options_.shards);
+  options_.capacity = std::max<int64_t>(0, options_.capacity);
+  options_.quantize_bits = std::clamp(options_.quantize_bits, 0, 52);
+  // Budget split evenly; a shard always holds at least one entry so a
+  // shards > capacity misconfiguration degrades instead of disabling.
+  per_shard_capacity_ =
+      options_.capacity == 0
+          ? 0
+          : std::max<int64_t>(1, options_.capacity / options_.shards);
+  shards_.reserve(options_.shards);
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int EstimateCache::ShardOf(const std::string& key) const {
+  return static_cast<int>(HashKey(key) % shards_.size());
+}
+
+std::optional<core::HybridEstimate> EstimateCache::Get(
+    const std::string& key, uint64_t epoch, double now,
+    const CacheCounters& counters) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::optional<core::HybridEstimate> found;
+  bool stale = false;
+  bool expired = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(hash);
+    // A hash match with a different stored key is a collision: some other
+    // key owns the slot, so this lookup is simply a miss.
+    if (it != shard.index.end() && it->second->key == key) {
+      Entry& entry = *it->second;
+      if (entry.epoch != epoch) {
+        stale = true;
+      } else if (options_.ttl_seconds > 0.0 &&
+                 now - entry.stored_now > options_.ttl_seconds) {
+        expired = true;
+      } else {
+        // Hit: refresh recency and copy out under the lock.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        found = entry.value;
+      }
+      if (stale || expired) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+    }
+  }
+  if (found.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (counters.hits != nullptr) counters.hits->Increment();
+    return found;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (counters.misses != nullptr) counters.misses->Increment();
+  if (stale) {
+    stale_epoch_.fetch_add(1, std::memory_order_relaxed);
+    if (counters.stale_epoch != nullptr) counters.stale_epoch->Increment();
+  }
+  if (expired) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (counters.evictions != nullptr) counters.evictions->Increment();
+  }
+  return std::nullopt;
+}
+
+void EstimateCache::Put(const std::string& key, uint64_t epoch, double now,
+                        const core::HybridEstimate& value,
+                        const CacheCounters& counters) {
+  if (per_shard_capacity_ == 0) return;
+  const uint64_t hash = HashKey(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+      // Same key: refresh in place (e.g. recomputed after an epoch bump).
+      // Different key: a collision displaces the slot's previous owner.
+      Entry& entry = *it->second;
+      if (entry.key != key) {
+        entry.key = key;
+        ++evicted;
+      }
+      entry.value = value;
+      entry.epoch = epoch;
+      entry.stored_now = now;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, hash, value, epoch, now});
+      shard.index.emplace(hash, shard.lru.begin());
+      while (static_cast<int64_t>(shard.lru.size()) > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().hash);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (counters.evictions != nullptr) {
+      counters.evictions->Increment(evicted);
+    }
+  }
+}
+
+void EstimateCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t EstimateCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats EstimateCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.stale_epoch = stale_epoch_.load(std::memory_order_relaxed);
+  stats.entries = static_cast<int64_t>(size());
+  return stats;
+}
+
+}  // namespace intellisphere::serving

@@ -1,0 +1,186 @@
+// Sharded LRU cache for hybrid cost estimates — the memoization layer of
+// the concurrent serving front-end (DESIGN.md §11). Federation planners
+// re-cost near-identical (system, operator, policy) keys across candidate
+// placements; the paper's serving setting (Section 5: the estimator is
+// invoked per candidate placement inside Teradata's optimizer) makes the
+// estimate path a high-QPS read-mostly workload, so the cache is sharded —
+// one mutex + LRU list + hash index per shard — and a lookup touches
+// exactly one shard lock.
+//
+// Correctness over hit rate: every entry stores the *full* canonical key
+// and a lookup verifies it byte-for-byte (the 64-bit hash only routes to a
+// shard and buckets the index), so a hash collision can never return the
+// wrong estimate, and a hit is bit-identical to the uncached computation.
+// Colliding keys displace each other (counted as an eviction) instead of
+// chaining — at 64 bits a collision is a once-per-geologic-era event, not
+// a capacity concern.
+// Stale-model protection is epoch-based: every entry records the
+// CostEstimator::model_epoch() captured before its value was computed, and
+// Get rejects entries whose epoch differs from the caller's current epoch
+// — an estimate produced against pre-retrain weights is never served after
+// OfflineTuneAll / profile re-registration bumps the epoch.
+
+#ifndef INTELLISPHERE_SERVING_ESTIMATE_CACHE_H_
+#define INTELLISPHERE_SERVING_ESTIMATE_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimate_context.h"
+#include "core/hybrid.h"
+#include "relational/query.h"
+#include "util/properties.h"
+#include "util/runtime_metrics.h"
+#include "util/status.h"
+
+namespace intellisphere::serving {
+
+/// Properties keys the cache reads (documented in docs/CONFIG.md).
+inline constexpr char kCacheShardsKey[] = "serving.cache.shards";
+inline constexpr char kCacheCapacityKey[] = "serving.cache.capacity";
+inline constexpr char kCacheTtlSecondsKey[] = "serving.cache.ttl_seconds";
+inline constexpr char kCacheQuantizeBitsKey[] = "serving.cache.quantize_bits";
+
+/// Cache tuning knobs.
+struct CacheOptions {
+  /// Number of independently locked shards; keys are hash-routed.
+  int shards = 8;
+  /// Total entry budget across all shards (split evenly; each shard keeps
+  /// at least one entry). 0 disables caching entirely.
+  int64_t capacity = 4096;
+  /// Entry lifetime on the *deployment clock* (the `now` passed to
+  /// Get/Put, not wall time — deterministic and testable). 0 = no expiry.
+  double ttl_seconds = 0.0;
+  /// Low-order mantissa bits dropped from double-typed key fields before
+  /// hashing. 0 (default) keys on exact bit patterns, which is what makes
+  /// cached results provably bit-identical; raising it trades exactness
+  /// for hit rate on jittery statistics. Clamped to [0, 52].
+  int quantize_bits = 0;
+
+  /// Reads the serving.cache.* keys above; absent keys keep their
+  /// defaults. InvalidArgument on non-positive shards or negative values.
+  [[nodiscard]] static Result<CacheOptions> FromProperties(
+      const Properties& props);
+};
+
+/// Point-in-time cache statistics.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;       ///< every Get that returned nothing
+  int64_t evictions = 0;    ///< capacity + TTL removals
+  int64_t stale_epoch = 0;  ///< subset of misses rejected by epoch check
+  int64_t entries = 0;      ///< live entries right now
+  double HitRate() const {
+    int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Registry counters the cache bumps alongside its internal stats, so
+/// serving.cache.{hits,misses,evictions,stale_epoch} show up in snapshots
+/// next to the estimate.* counters. Null members are skipped.
+struct CacheCounters {
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* evictions = nullptr;
+  Counter* stale_epoch = nullptr;
+};
+
+/// Builds the canonical cache key for one estimate call. The key covers
+/// everything that can change the returned HybridEstimate:
+///   - system name and operator type,
+///   - every statistic of the active operator payload — including the
+///     applicability-rule inputs (equi-join flag, bucketing flags, hot-key
+///     fraction) that LogicalOpFeatures() does not carry,
+///   - the effective choice policy (per-request override, else the
+///     profile's configured policy),
+///   - whether provenance detail was requested (a provenance estimate
+///     carries elimination strings a cost-only one lacks),
+///   - the costing phase of a time-phased profile (now >= switch_time), so
+///     a pre-switch sub-op estimate is never served post-switch.
+/// Doubles are keyed by their (optionally quantized) bit patterns.
+std::string CanonicalCacheKey(const std::string& system,
+                              const rel::SqlOperator& op,
+                              std::optional<core::ChoicePolicy> policy,
+                              bool provenance, bool logical_phase,
+                              int quantize_bits);
+
+/// Allocation-free variant for hot loops: clears `*out` and rebuilds the
+/// key in place, reusing the buffer's capacity across calls.
+void CanonicalCacheKeyTo(const std::string& system,
+                         const rel::SqlOperator& op,
+                         std::optional<core::ChoicePolicy> policy,
+                         bool provenance, bool logical_phase,
+                         int quantize_bits, std::string* out);
+
+/// The sharded LRU estimate cache. All methods are thread-safe; a call
+/// locks exactly one shard.
+class EstimateCache {
+ public:
+  explicit EstimateCache(CacheOptions options);
+
+  /// Looks up `key`. Returns the cached estimate only when the entry's
+  /// model epoch equals `epoch` and its TTL (if configured) has not lapsed
+  /// at deployment time `now`; otherwise erases the dead entry and counts
+  /// a miss (plus stale_epoch when the epoch check failed). A hit
+  /// refreshes the entry's LRU position.
+  std::optional<core::HybridEstimate> Get(const std::string& key,
+                                          uint64_t epoch, double now,
+                                          const CacheCounters& counters = {});
+
+  /// Inserts (or refreshes) `key` with a value computed at model `epoch`
+  /// and deployment time `now`, evicting the shard's LRU tail when over
+  /// budget. No-op when capacity is 0.
+  void Put(const std::string& key, uint64_t epoch, double now,
+           const core::HybridEstimate& value,
+           const CacheCounters& counters = {});
+
+  /// Drops every entry (stats counters are kept).
+  void Clear();
+
+  CacheStats Stats() const;
+  size_t size() const;
+  const CacheOptions& options() const { return options_; }
+
+  /// Which shard a key routes to (exposed for distribution tests).
+  int ShardOf(const std::string& key) const;
+
+ private:
+  struct Entry {
+    std::string key;     ///< full key, compared on every lookup
+    uint64_t hash = 0;   ///< cached so eviction needn't rehash
+    core::HybridEstimate value;
+    uint64_t epoch = 0;
+    double stored_now = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    /// Keyed by the precomputed 64-bit key hash: the probe hashes the
+    /// (~100-byte) canonical key exactly once, and index operations are
+    /// integer-keyed. Entry::key disambiguates collisions.
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  CacheOptions options_;
+  int64_t per_shard_capacity_ = 0;
+  /// unique_ptrs because Shard (mutex) is immovable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> stale_epoch_{0};
+};
+
+}  // namespace intellisphere::serving
+
+#endif  // INTELLISPHERE_SERVING_ESTIMATE_CACHE_H_

@@ -1,0 +1,279 @@
+#include "serving/service.h"
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "util/json.h"
+
+namespace intellisphere::serving {
+
+namespace {
+
+/// Cached serving.cache.* counter pointers, mirroring hybrid.cc's
+/// EstimationInstruments pattern: the Global() set resolves once per
+/// process; a context-supplied registry (tests) resolves per call.
+struct ServingInstruments {
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* evictions = nullptr;
+  Counter* stale_epoch = nullptr;
+
+  ServingInstruments() = default;
+  explicit ServingInstruments(MetricsRegistry& r)
+      : hits(r.GetCounter("serving.cache.hits")),
+        misses(r.GetCounter("serving.cache.misses")),
+        evictions(r.GetCounter("serving.cache.evictions")),
+        stale_epoch(r.GetCounter("serving.cache.stale_epoch")) {}
+
+  CacheCounters AsCacheCounters() const {
+    return CacheCounters{hits, misses, evictions, stale_epoch};
+  }
+};
+
+const ServingInstruments& GlobalServingInstruments() {
+  static const ServingInstruments* instruments =
+      new ServingInstruments(MetricsRegistry::Global());
+  return *instruments;
+}
+
+CacheCounters CountersFor(const core::EstimateContext& ctx) {
+  if (ctx.metrics != nullptr) {
+    return ServingInstruments(*ctx.metrics).AsCacheCounters();
+  }
+  return GlobalServingInstruments().AsCacheCounters();
+}
+
+}  // namespace
+
+Result<ServiceOptions> ServiceOptions::FromProperties(
+    const Properties& props) {
+  ServiceOptions opts;
+  ISPHERE_ASSIGN_OR_RETURN(opts.cache, CacheOptions::FromProperties(props));
+  if (props.Contains(kServingJobsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t jobs, props.GetInt(kServingJobsKey));
+    if (jobs < 0) {
+      return Status::InvalidArgument("serving.jobs must be >= 0");
+    }
+    opts.jobs = static_cast<int>(jobs);
+  }
+  return opts;
+}
+
+EstimationService::EstimationService(const core::CostEstimator* estimator,
+                                     ServiceOptions options)
+    : estimator_(estimator),
+      options_(std::move(options)),
+      cache_(options_.cache) {
+  if (options_.jobs == 0) options_.jobs = HardwareConcurrency();
+  if (options_.jobs > 1) pool_ = std::make_unique<ThreadPool>(options_.jobs);
+}
+
+std::string EstimationService::KeyFor(const EstimateRequest& request,
+                                      const core::EstimateContext& ctx) const {
+  std::string key;
+  KeyForTo(request, ctx, &key);
+  return key;
+}
+
+void EstimationService::KeyForTo(const EstimateRequest& request,
+                                 const core::EstimateContext& ctx,
+                                 std::string* out) const {
+  auto profile = estimator_->GetProfile(request.system);
+  KeyWithProfileTo(request, ctx, profile.ok() ? profile.value() : nullptr,
+                   out);
+}
+
+void EstimationService::KeyWithProfileTo(const EstimateRequest& request,
+                                         const core::EstimateContext& ctx,
+                                         const core::CostingProfile* p,
+                                         std::string* out) const {
+  if (p == nullptr) {
+    out->clear();
+    return;
+  }
+  // Effective policy: the request's override, else the context's, else the
+  // profile's configured sub-op policy (the value the estimator would use).
+  std::optional<core::ChoicePolicy> policy = request.policy_override;
+  if (!policy.has_value()) policy = ctx.policy_override;
+  if (!policy.has_value() && p->has_sub_op()) {
+    policy = p->sub_op().value()->policy();
+  }
+  const bool logical_phase =
+      p->approach() == core::CostingApproach::kSubOpThenLogicalOp &&
+      request.now >= p->switch_time();
+  CanonicalCacheKeyTo(request.system, request.op, policy, ctx.provenance(),
+                      logical_phase, options_.cache.quantize_bits, out);
+}
+
+core::EstimateContext EstimationService::RequestContext(
+    const EstimateRequest& request, const core::EstimateContext& ctx) const {
+  core::EstimateContext out = ctx;
+  out.now = request.now;
+  if (request.policy_override.has_value()) {
+    out.policy_override = request.policy_override;
+  }
+  return out;
+}
+
+Result<core::HybridEstimate> EstimationService::Estimate(
+    const EstimateRequest& request, const core::EstimateContext& ctx) const {
+  const CacheCounters counters = CountersFor(ctx);
+  // The epoch is captured *before* the cache probe and the computation, so
+  // a retrain racing this call can only make the stored entry stale, never
+  // let a pre-retrain value masquerade as fresh.
+  const uint64_t epoch = estimator_->model_epoch();
+  const std::string key = KeyFor(request, ctx);
+  if (!key.empty()) {
+    if (auto hit = cache_.Get(key, epoch, request.now, counters)) {
+      return *std::move(hit);
+    }
+  }
+  auto result =
+      estimator_->Estimate(request.system, request.op,
+                           RequestContext(request, ctx));
+  if (result.ok() && !key.empty()) {
+    cache_.Put(key, epoch, request.now, result.value(), counters);
+  }
+  return result;
+}
+
+std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
+    std::span<const EstimateRequest> requests,
+    const core::EstimateContext& ctx) const {
+  const CacheCounters counters = CountersFor(ctx);
+  TraceSpan batch = ctx.StartSpan("serving.batch");
+  const core::EstimateContext bctx = ctx.Under(batch);
+  const uint64_t epoch = estimator_->model_epoch();
+
+  const size_t n = requests.size();
+  // "unfilled" fits in the small-string buffer, so the prefill does not
+  // allocate per slot; every slot is overwritten below.
+  std::vector<Result<core::HybridEstimate>> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    results.emplace_back(Status::Internal("unfilled"));
+  }
+
+  // Pass 1: probe the cache, group the misses by canonical key. One group
+  // per distinct key — duplicates ride along as extra result indices and
+  // are computed exactly once. Requests whose key cannot be built (unknown
+  // system) each get their own keyless group so errors stay per-request.
+  // The scratch buffer keeps the hit path allocation-free: a key string is
+  // materialized only when a miss creates a group.
+  struct MissGroup {
+    size_t first_index;
+    std::string key;  ///< empty for uncacheable requests
+    std::vector<size_t> indices;
+  };
+  std::vector<MissGroup> groups;
+  std::unordered_map<std::string, size_t> key_to_group;
+  std::string scratch;
+  // Per-batch memo of the last (system -> profile) resolution: batches
+  // overwhelmingly target one system, and the estimator may not be mutated
+  // mid-batch (class contract), so the pointer stays valid for the batch.
+  const std::string* memo_system = nullptr;
+  const core::CostingProfile* memo_profile = nullptr;
+  int64_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (memo_system == nullptr || *memo_system != requests[i].system) {
+      auto profile = estimator_->GetProfile(requests[i].system);
+      memo_profile = profile.ok() ? profile.value() : nullptr;
+      memo_system = &requests[i].system;
+    }
+    KeyWithProfileTo(requests[i], bctx, memo_profile, &scratch);
+    if (!scratch.empty()) {
+      if (auto hit = cache_.Get(scratch, epoch, requests[i].now, counters)) {
+        results[i] = *std::move(hit);
+        ++hits;
+        continue;
+      }
+      auto [it, inserted] = key_to_group.try_emplace(scratch, groups.size());
+      if (!inserted) {
+        groups[it->second].indices.push_back(i);
+        continue;
+      }
+    }
+    groups.push_back(MissGroup{i, scratch, {i}});
+  }
+
+  // Pass 2: compute each group's representative request, fanned out over
+  // the pool (inline when jobs = 1 or there is at most one miss). The
+  // estimator read path is const and touches no shared mutable state; the
+  // trace sink and registries are thread-safe by contract (DESIGN.md §9).
+  const size_t num_groups = groups.size();
+  ThreadPool* pool =
+      (pool_ != nullptr && num_groups > 1) ? pool_.get() : nullptr;
+  std::vector<Result<core::HybridEstimate>> computed = RunIndexed(
+      pool, num_groups, [&](size_t g) -> Result<core::HybridEstimate> {
+        const EstimateRequest& request = requests[groups[g].first_index];
+        return estimator_->Estimate(request.system, request.op,
+                                    RequestContext(request, bctx));
+      });
+
+  // Pass 3: fill the cache and fan results back out to duplicates.
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t rep = groups[g].first_index;
+    if (computed[g].ok() && !groups[g].key.empty()) {
+      cache_.Put(groups[g].key, epoch, requests[rep].now, computed[g].value(),
+                 counters);
+    }
+    for (size_t idx : groups[g].indices) {
+      results[idx] = computed[g];
+    }
+  }
+
+  if (batch.enabled()) {
+    const int64_t misses = static_cast<int64_t>(n) - hits;
+    batch.SetInt("size", static_cast<int64_t>(n))
+        .SetInt("hits", hits)
+        .SetInt("misses", misses)
+        .SetInt("unique_misses", static_cast<int64_t>(num_groups))
+        .SetInt("deduped", misses - static_cast<int64_t>(num_groups));
+  }
+  return results;
+}
+
+MetricsSnapshot EstimationService::StatsSnapshot() const {
+  const CacheStats stats = cache_.Stats();
+  MetricsSnapshot snap;
+  snap.samples = {
+      {"serving.cache.hits", static_cast<double>(stats.hits), "count"},
+      {"serving.cache.misses", static_cast<double>(stats.misses), "count"},
+      {"serving.cache.evictions", static_cast<double>(stats.evictions),
+       "count"},
+      {"serving.cache.stale_epoch", static_cast<double>(stats.stale_epoch),
+       "count"},
+      {"serving.cache.entries", static_cast<double>(stats.entries), "count"},
+      {"serving.cache.hit_rate", stats.HitRate(), "ratio"},
+  };
+  return snap;
+}
+
+std::string EstimationService::ExplainJson() const {
+  const CacheStats stats = cache_.Stats();
+  std::string json = "{\n  \"serving\": {\n";
+  json += "    \"model_epoch\": " +
+          std::to_string(estimator_->model_epoch()) + ",\n";
+  json += "    \"jobs\": " + std::to_string(options_.jobs) + ",\n";
+  json += "    \"cache\": {\n";
+  json += "      \"shards\": " + std::to_string(options_.cache.shards) +
+          ",\n";
+  json += "      \"capacity\": " + std::to_string(options_.cache.capacity) +
+          ",\n";
+  json += "      \"ttl_seconds\": " + JsonNumberShort(
+              options_.cache.ttl_seconds) + ",\n";
+  json += "      \"quantize_bits\": " +
+          std::to_string(options_.cache.quantize_bits) + ",\n";
+  json += "      \"entries\": " + std::to_string(stats.entries) + ",\n";
+  json += "      \"hits\": " + std::to_string(stats.hits) + ",\n";
+  json += "      \"misses\": " + std::to_string(stats.misses) + ",\n";
+  json += "      \"evictions\": " + std::to_string(stats.evictions) + ",\n";
+  json += "      \"stale_epoch\": " + std::to_string(stats.stale_epoch) +
+          ",\n";
+  json += "      \"hit_rate\": " + JsonNumberShort(stats.HitRate()) + "\n";
+  json += "    }\n  }\n}\n";
+  return json;
+}
+
+}  // namespace intellisphere::serving

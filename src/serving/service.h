@@ -1,0 +1,141 @@
+// The concurrent estimate-serving front-end (DESIGN.md §11): a thread-safe
+// EstimationService wrapping the CostEstimator registry with the sharded
+// estimate cache and a batch entry point that spreads cache misses over the
+// shared util::ThreadPool.
+//
+// Concurrency contract: every const method here is safe for concurrent
+// callers — the CostEstimator read path touches no mutable state, the cache
+// locks per shard, and the pool serializes its queue. Mutation of the
+// wrapped estimator (retraining, LogActual, profile swaps) must happen in
+// an exclusive section with no estimate calls in flight; the model-epoch
+// fence (CostEstimator::model_epoch) then guarantees no estimate computed
+// before the mutation is ever served from the cache after it.
+
+#ifndef INTELLISPHERE_SERVING_SERVICE_H_
+#define INTELLISPHERE_SERVING_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/estimate_context.h"
+#include "core/hybrid.h"
+#include "relational/query.h"
+#include "serving/estimate_cache.h"
+#include "util/properties.h"
+#include "util/runtime_metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace intellisphere::serving {
+
+/// Properties key for the service's miss-computation parallelism
+/// (documented in docs/CONFIG.md).
+inline constexpr char kServingJobsKey[] = "serving.jobs";
+
+/// One estimate request: which system, which operator, at what deployment
+/// time, under which (optional) choice-policy override. The request's
+/// override wins over the context's.
+struct EstimateRequest {
+  std::string system;
+  rel::SqlOperator op;
+  double now = 0.0;
+  std::optional<core::ChoicePolicy> policy_override;
+};
+
+struct ServiceOptions {
+  CacheOptions cache;
+  /// Worker threads for batch cache misses; 0 = HardwareConcurrency(),
+  /// 1 = compute misses inline on the caller's thread.
+  int jobs = 0;
+
+  /// Reads serving.jobs and the serving.cache.* keys; absent keys keep
+  /// their defaults.
+  [[nodiscard]] static Result<ServiceOptions> FromProperties(
+      const Properties& props);
+};
+
+/// Thread-safe estimation front-end over a CostEstimator.
+class EstimationService {
+ public:
+  /// `estimator` must outlive the service and must not be mutated while
+  /// estimate calls are in flight (see the header comment).
+  explicit EstimationService(const core::CostEstimator* estimator,
+                             ServiceOptions options = {});
+
+  /// Single-request path: cache lookup, then compute-and-fill on a miss.
+  /// Cache hits return without invoking the estimator, so they emit no
+  /// estimate.* spans or counters — serving.cache.hits is the signal.
+  [[nodiscard]] Result<core::HybridEstimate> Estimate(
+      const EstimateRequest& request,
+      const core::EstimateContext& ctx = {}) const;
+
+  /// Batch path: answers hits from the cache, deduplicates requests with
+  /// identical canonical keys, computes the unique misses in parallel on
+  /// the service's pool (inline when jobs = 1 or there is <= 1 miss), and
+  /// fills results back through the cache. Results are returned in request
+  /// order; an estimator error for one request does not fail the batch.
+  /// Emits a `serving.batch` span with size/hits/misses/deduped attributes
+  /// when the context has a trace sink.
+  [[nodiscard]] std::vector<Result<core::HybridEstimate>> EstimateBatch(
+      std::span<const EstimateRequest> requests,
+      const core::EstimateContext& ctx = {}) const;
+
+  /// Cumulative cache statistics.
+  CacheStats cache_stats() const { return cache_.Stats(); }
+
+  /// Drops every cached entry (epoch fencing makes this unnecessary for
+  /// correctness; exposed for tests and memory pressure).
+  void InvalidateCache() const { cache_.Clear(); }
+
+  /// Cache statistics in the BENCH_<name>.json metric shape
+  /// (serving.cache.* samples), ready for AppendMetricsSnapshot-style use.
+  MetricsSnapshot StatsSnapshot() const;
+
+  /// Serving-state JSON for EXPLAIN tooling: cache configuration, live
+  /// statistics, and the wrapped estimator's current model epoch. Written
+  /// to EXPLAIN_serving.json by examples/explain_serving and validated by
+  /// scripts/check_explain_json.py.
+  std::string ExplainJson() const;
+
+  const ServiceOptions& options() const { return options_; }
+  const core::CostEstimator* estimator() const { return estimator_; }
+
+ private:
+  /// Canonical key for a request, or empty when the system has no profile
+  /// (uncacheable; the compute path will surface the NotFound).
+  std::string KeyFor(const EstimateRequest& request,
+                     const core::EstimateContext& ctx) const;
+
+  /// Buffer-reusing variant: rebuilds the key into `*out` (empty when
+  /// uncacheable) without allocating on the batch fast path.
+  void KeyForTo(const EstimateRequest& request,
+                const core::EstimateContext& ctx, std::string* out) const;
+
+  /// Core of KeyForTo with the profile already resolved (`nullptr` =
+  /// uncacheable), letting EstimateBatch memoize the per-system profile
+  /// lookup across consecutive requests.
+  void KeyWithProfileTo(const EstimateRequest& request,
+                        const core::EstimateContext& ctx,
+                        const core::CostingProfile* profile,
+                        std::string* out) const;
+
+  /// The per-request context handed to the estimator: the batch context
+  /// with the request's clock and effective policy override.
+  core::EstimateContext RequestContext(const EstimateRequest& request,
+                                       const core::EstimateContext& ctx) const;
+
+  const core::CostEstimator* estimator_;
+  ServiceOptions options_;
+  /// Caching is a hidden side effect of the logically-const read path.
+  mutable EstimateCache cache_;
+  /// Null when jobs <= 1; ThreadPool::Submit is thread-safe, so concurrent
+  /// batches share the pool.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace intellisphere::serving
+
+#endif  // INTELLISPHERE_SERVING_SERVICE_H_

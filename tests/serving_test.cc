@@ -1,0 +1,640 @@
+// Tests for the concurrent estimate-serving layer (src/serving/): canonical
+// cache keys, the sharded LRU estimate cache, epoch-based invalidation, the
+// EstimationService single/batch paths, and the federation attach point.
+// The ConcurrentHammer tests double as the tsan targets wired into
+// scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "federation/intellisphere.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "serving/estimate_cache.h"
+#include "serving/service.h"
+#include "util/properties.h"
+#include "util/runtime_metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace intellisphere {
+namespace {
+
+core::OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive.options().broadcast_threshold_factor * info.task_memory_bytes;
+  return info;
+}
+
+core::SubOpCostEstimator MakeSubOpEstimator(remote::HiveEngine* hive) {
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(hive, InfoFor(*hive), opts).value();
+  return core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value();
+}
+
+core::LogicalOpModel MakeAggModel(remote::HiveEngine* hive) {
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.num_aggregates = {1, 3};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(hive, queries).value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 4000;
+  return core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     run.data, core::AggDimensionNames(),
+                                     opts)
+      .value();
+}
+
+rel::SqlOperator SampleJoin(int64_t left_rows = 4000000) {
+  auto l = rel::SyntheticTableDef(left_rows, 250).value();
+  auto r = rel::SyntheticTableDef(400000, 100).value();
+  return rel::SqlOperator::MakeJoin(
+      rel::MakeJoinQuery(l, r, 32, 32, 0.5).value());
+}
+
+rel::SqlOperator SampleAgg(int64_t rows = 400000) {
+  auto t = rel::SyntheticTableDef(rows, 100).value();
+  return rel::SqlOperator::MakeAgg(rel::MakeAggQuery(t, 10, 1).value());
+}
+
+/// Asserts two estimates are bit-identical across every field a caller can
+/// observe — the cached-vs-uncached acceptance criterion.
+void ExpectBitIdentical(const core::HybridEstimate& a,
+                        const core::HybridEstimate& b) {
+  EXPECT_EQ(a.seconds, b.seconds);  // exact, not NEAR: bit-identity
+  EXPECT_EQ(a.approach_used, b.approach_used);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.used_remedy, b.used_remedy);
+  EXPECT_EQ(a.remedy_alpha, b.remedy_alpha);
+  EXPECT_EQ(a.nn_seconds, b.nn_seconds);
+  EXPECT_EQ(a.remedy_seconds, b.remedy_seconds);
+  EXPECT_EQ(a.fell_back_to_sub_op, b.fell_back_to_sub_op);
+  EXPECT_EQ(a.eliminated_count, b.eliminated_count);
+  ASSERT_EQ(a.eliminated.size(), b.eliminated.size());
+  for (size_t i = 0; i < a.eliminated.size(); ++i) {
+    EXPECT_EQ(a.eliminated[i].algorithm, b.eliminated[i].algorithm);
+    EXPECT_EQ(a.eliminated[i].reason, b.eliminated[i].reason);
+  }
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].algorithm, b.candidates[i].algorithm);
+    EXPECT_EQ(a.candidates[i].seconds, b.candidates[i].seconds);
+  }
+}
+
+// --- CacheOptions / ServiceOptions parsing ---------------------------------
+
+TEST(CacheOptionsTest, FromPropertiesDefaultsAndOverrides) {
+  Properties empty;
+  auto defaults = serving::CacheOptions::FromProperties(empty).value();
+  EXPECT_EQ(defaults.shards, 8);
+  EXPECT_EQ(defaults.capacity, 4096);
+  EXPECT_DOUBLE_EQ(defaults.ttl_seconds, 0.0);
+  EXPECT_EQ(defaults.quantize_bits, 0);
+
+  Properties props;
+  props.SetInt(serving::kCacheShardsKey, 4);
+  props.SetInt(serving::kCacheCapacityKey, 128);
+  props.SetDouble(serving::kCacheTtlSecondsKey, 60.0);
+  props.SetInt(serving::kCacheQuantizeBitsKey, 16);
+  auto opts = serving::CacheOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.shards, 4);
+  EXPECT_EQ(opts.capacity, 128);
+  EXPECT_DOUBLE_EQ(opts.ttl_seconds, 60.0);
+  EXPECT_EQ(opts.quantize_bits, 16);
+}
+
+TEST(CacheOptionsTest, FromPropertiesRejectsInvalidValues) {
+  Properties props;
+  props.SetInt(serving::kCacheShardsKey, 0);
+  EXPECT_FALSE(serving::CacheOptions::FromProperties(props).ok());
+  props.SetInt(serving::kCacheShardsKey, 8);
+  props.SetInt(serving::kCacheCapacityKey, -1);
+  EXPECT_FALSE(serving::CacheOptions::FromProperties(props).ok());
+  props.SetInt(serving::kCacheCapacityKey, 16);
+  props.SetInt(serving::kCacheQuantizeBitsKey, 53);
+  EXPECT_FALSE(serving::CacheOptions::FromProperties(props).ok());
+}
+
+TEST(ServiceOptionsTest, FromPropertiesReadsJobsAndCacheKeys) {
+  Properties props;
+  props.SetInt(serving::kServingJobsKey, 3);
+  props.SetInt(serving::kCacheCapacityKey, 64);
+  auto opts = serving::ServiceOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.jobs, 3);
+  EXPECT_EQ(opts.cache.capacity, 64);
+
+  Properties bad;
+  bad.SetInt(serving::kServingJobsKey, -2);
+  EXPECT_FALSE(serving::ServiceOptions::FromProperties(bad).ok());
+}
+
+// --- Canonical key ---------------------------------------------------------
+
+TEST(CanonicalKeyTest, CoversEveryEstimateRelevantField) {
+  const rel::SqlOperator base = SampleJoin();
+  const auto key = [](const rel::SqlOperator& op,
+                      std::optional<core::ChoicePolicy> policy =
+                          core::ChoicePolicy::kWorstCase,
+                      bool provenance = false, bool phase = false) {
+    return serving::CanonicalCacheKey("hive", op, policy, provenance, phase,
+                                      /*quantize_bits=*/0);
+  };
+  const std::string k0 = key(base);
+  EXPECT_EQ(k0, key(base));  // deterministic
+
+  // Operator statistics that LogicalOpFeatures() carries.
+  rel::SqlOperator other = base;
+  other.join.output_rows += 1;
+  EXPECT_NE(k0, key(other));
+  // Applicability-rule flags that LogicalOpFeatures() does NOT carry.
+  other = base;
+  other.join.right_bucketed_on_key = true;
+  EXPECT_NE(k0, key(other));
+  other = base;
+  other.join.is_equi_join = false;
+  EXPECT_NE(k0, key(other));
+  other = base;
+  other.join.hot_key_fraction = 0.25;
+  EXPECT_NE(k0, key(other));
+
+  // System, policy, provenance detail, and costing phase.
+  EXPECT_NE(k0, serving::CanonicalCacheKey("spark", base,
+                                           core::ChoicePolicy::kWorstCase,
+                                           false, false, 0));
+  EXPECT_NE(k0, key(base, core::ChoicePolicy::kAverage));
+  EXPECT_NE(k0, key(base, std::nullopt));
+  EXPECT_NE(k0, key(base, core::ChoicePolicy::kWorstCase, true));
+  EXPECT_NE(k0, key(base, core::ChoicePolicy::kWorstCase, false, true));
+
+  // Different operator types never collide.
+  EXPECT_NE(key(SampleAgg()), k0);
+}
+
+TEST(CanonicalKeyTest, QuantizationCoalescesNearbyDoubles) {
+  rel::SqlOperator a = SampleJoin();
+  a.join.hot_key_fraction = 0.3000000001;
+  rel::SqlOperator b = SampleJoin();
+  b.join.hot_key_fraction = 0.3000000002;
+  const auto key = [](const rel::SqlOperator& op, int bits) {
+    return serving::CanonicalCacheKey("hive", op, std::nullopt, false, false,
+                                      bits);
+  };
+  // Exact keying (the default) distinguishes them; dropping 24 mantissa
+  // bits coalesces them while still separating genuinely different values.
+  EXPECT_NE(key(a, 0), key(b, 0));
+  EXPECT_EQ(key(a, 24), key(b, 24));
+  rel::SqlOperator c = SampleJoin();
+  c.join.hot_key_fraction = 0.6;
+  EXPECT_NE(key(a, 24), key(c, 24));
+}
+
+// --- EstimateCache ---------------------------------------------------------
+
+core::HybridEstimate EstimateWithSeconds(double seconds) {
+  core::HybridEstimate est;
+  est.seconds = seconds;
+  est.algorithm = "fake";
+  return est;
+}
+
+TEST(EstimateCacheTest, ShardDistributionSpreadsRealisticKeys) {
+  serving::CacheOptions opts;
+  opts.shards = 8;
+  serving::EstimateCache cache(opts);
+  std::set<int> shards_hit;
+  for (int i = 0; i < 256; ++i) {
+    rel::SqlOperator op = SampleJoin();
+    op.join.output_rows = 1000 + i;  // realistic near-identical workload
+    std::string key = serving::CanonicalCacheKey(
+        "hive", op, std::nullopt, false, false, 0);
+    int shard = cache.ShardOf(key);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, opts.shards);
+    EXPECT_EQ(shard, cache.ShardOf(key));  // stable routing
+    shards_hit.insert(shard);
+  }
+  // Not a uniformity proof — just that near-identical keys do not pile
+  // onto one lock.
+  EXPECT_GE(shards_hit.size(), 4u);
+}
+
+TEST(EstimateCacheTest, LruEvictsLeastRecentlyUsed) {
+  serving::CacheOptions opts;
+  opts.shards = 1;  // single shard so eviction order is fully observable
+  opts.capacity = 3;
+  serving::EstimateCache cache(opts);
+  cache.Put("a", 0, 0.0, EstimateWithSeconds(1.0));
+  cache.Put("b", 0, 0.0, EstimateWithSeconds(2.0));
+  cache.Put("c", 0, 0.0, EstimateWithSeconds(3.0));
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_TRUE(cache.Get("a", 0, 0.0).has_value());
+  cache.Put("d", 0, 0.0, EstimateWithSeconds(4.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.Get("b", 0, 0.0).has_value());
+  EXPECT_TRUE(cache.Get("a", 0, 0.0).has_value());
+  EXPECT_TRUE(cache.Get("c", 0, 0.0).has_value());
+  EXPECT_TRUE(cache.Get("d", 0, 0.0).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 1);
+}
+
+TEST(EstimateCacheTest, EpochMismatchRejectsAndErases) {
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  serving::EstimateCache cache(opts);
+  cache.Put("k", /*epoch=*/1, 0.0, EstimateWithSeconds(1.0));
+  ASSERT_TRUE(cache.Get("k", 1, 0.0).has_value());
+  // After a (simulated) retrain the epoch moved on: the entry must never
+  // be returned again, in either direction of mismatch.
+  EXPECT_FALSE(cache.Get("k", 2, 0.0).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // dead entry erased eagerly
+  serving::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_epoch, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(EstimateCacheTest, TtlExpiresOnDeploymentClock) {
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  opts.ttl_seconds = 10.0;
+  serving::EstimateCache cache(opts);
+  cache.Put("k", 0, /*now=*/100.0, EstimateWithSeconds(1.0));
+  EXPECT_TRUE(cache.Get("k", 0, 105.0).has_value());
+  EXPECT_TRUE(cache.Get("k", 0, 110.0).has_value());  // exactly at the edge
+  EXPECT_FALSE(cache.Get("k", 0, 110.5).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Stats().evictions, 1);
+}
+
+TEST(EstimateCacheTest, ZeroCapacityDisablesCaching) {
+  serving::CacheOptions opts;
+  opts.capacity = 0;
+  serving::EstimateCache cache(opts);
+  cache.Put("k", 0, 0.0, EstimateWithSeconds(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("k", 0, 0.0).has_value());
+}
+
+// --- EstimationService -----------------------------------------------------
+
+class EstimationServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hive_ = remote::HiveEngine::CreateDefault("hive", 171);
+    ASSERT_TRUE(
+        estimator_
+            .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
+                                        MakeSubOpEstimator(hive_.get())))
+            .ok());
+  }
+
+  serving::EstimateRequest Request(const rel::SqlOperator& op,
+                                   double now = 0.0) const {
+    serving::EstimateRequest req;
+    req.system = "hive";
+    req.op = op;
+    req.now = now;
+    return req;
+  }
+
+  std::unique_ptr<remote::HiveEngine> hive_;
+  core::CostEstimator estimator_;
+};
+
+TEST_F(EstimationServiceTest, CachedResultIsBitIdenticalToUncached) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  const serving::EstimateRequest req = Request(SampleJoin());
+
+  auto miss = service.Estimate(req).value();
+  auto direct = estimator_.Estimate("hive", req.op).value();
+  auto hit = service.Estimate(req).value();
+  ExpectBitIdentical(miss, direct);
+  ExpectBitIdentical(hit, direct);
+
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST_F(EstimationServiceTest, CountersFlowIntoContextRegistry) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  MetricsRegistry registry;
+  core::EstimateContext ctx;
+  ctx.metrics = &registry;
+  const serving::EstimateRequest req = Request(SampleJoin());
+  ASSERT_TRUE(service.Estimate(req, ctx).ok());
+  ASSERT_TRUE(service.Estimate(req, ctx).ok());
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("serving.cache.misses")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.Find("serving.cache.hits")->value, 1.0);
+  // The hit skipped the estimator entirely.
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 1.0);
+
+  // StatsSnapshot exports the same numbers in the BENCH metric shape.
+  MetricsSnapshot served = service.StatsSnapshot();
+  EXPECT_DOUBLE_EQ(served.Find("serving.cache.hits")->value, 1.0);
+  EXPECT_DOUBLE_EQ(served.Find("serving.cache.misses")->value, 1.0);
+  EXPECT_DOUBLE_EQ(served.Find("serving.cache.hit_rate")->value, 0.5);
+}
+
+TEST_F(EstimationServiceTest, BatchDeduplicatesIdenticalKeys) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  MetricsRegistry registry;
+  CollectingTraceSink sink;
+  core::EstimateContext ctx;
+  ctx.metrics = &registry;
+  ctx.trace = &sink;
+
+  std::vector<serving::EstimateRequest> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(Request(SampleJoin()));
+  batch.push_back(Request(SampleJoin(2000000)));
+  batch.push_back(Request(SampleAgg()));
+
+  auto results = service.EstimateBatch(batch, ctx);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  for (int i = 1; i < 8; ++i) {
+    ExpectBitIdentical(results[0].value(), results[i].value());
+  }
+
+  // 10 requests, 3 distinct keys: the estimator ran exactly 3 times.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 3.0);
+  EXPECT_DOUBLE_EQ(snap.Find("serving.cache.misses")->value, 10.0);
+
+  // The serving.batch span reports the dedup arithmetic.
+  bool saw_batch = false;
+  for (const auto& span : sink.spans()) {
+    if (span.name != "serving.batch") continue;
+    saw_batch = true;
+    EXPECT_EQ(span.FindAttribute("size")->int_value, 10);
+    EXPECT_EQ(span.FindAttribute("hits")->int_value, 0);
+    EXPECT_EQ(span.FindAttribute("misses")->int_value, 10);
+    EXPECT_EQ(span.FindAttribute("unique_misses")->int_value, 3);
+    EXPECT_EQ(span.FindAttribute("deduped")->int_value, 7);
+  }
+  EXPECT_TRUE(saw_batch);
+}
+
+TEST_F(EstimationServiceTest, WarmBatchServesFromCacheInRequestOrder) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  std::vector<serving::EstimateRequest> batch = {
+      Request(SampleJoin()), Request(SampleAgg()),
+      Request(SampleJoin(2000000))};
+  auto cold = service.EstimateBatch(batch);
+  auto warm = service.EstimateBatch(batch);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok());
+    ASSERT_TRUE(warm[i].ok());
+    ExpectBitIdentical(cold[i].value(), warm[i].value());
+  }
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 3);
+}
+
+TEST_F(EstimationServiceTest, BatchReportsPerRequestErrors) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  std::vector<serving::EstimateRequest> batch = {Request(SampleJoin())};
+  serving::EstimateRequest unknown = Request(SampleJoin());
+  unknown.system = "nope";
+  batch.push_back(unknown);
+  auto results = service.EstimateBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EstimationServiceTest, PolicyOverridesGetDistinctEntries) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  serving::EstimateRequest worst = Request(SampleJoin());
+  worst.policy_override = core::ChoicePolicy::kWorstCase;
+  serving::EstimateRequest average = Request(SampleJoin());
+  average.policy_override = core::ChoicePolicy::kAverage;
+
+  auto w = service.Estimate(worst).value();
+  auto a = service.Estimate(average).value();
+  // Both policies now answer from their own cache entries.
+  ExpectBitIdentical(service.Estimate(worst).value(), w);
+  ExpectBitIdentical(service.Estimate(average).value(), a);
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 2);
+
+  core::EstimateContext avg_ctx;
+  avg_ctx.policy_override = core::ChoicePolicy::kAverage;
+  ExpectBitIdentical(
+      estimator_.Estimate("hive", worst.op, avg_ctx).value(), a);
+}
+
+TEST_F(EstimationServiceTest, EpochBumpAfterOfflineTuneAllRejectsStale) {
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator_, opts);
+  const serving::EstimateRequest req = Request(SampleJoin());
+  ASSERT_TRUE(service.Estimate(req).ok());
+  ASSERT_EQ(service.cache_stats().entries, 1);
+
+  const uint64_t before = estimator_.model_epoch();
+  ASSERT_TRUE(estimator_.OfflineTuneAll(1).ok());
+  EXPECT_GT(estimator_.model_epoch(), before);
+
+  // The warm entry must be rejected (stale epoch), recomputed, and the
+  // recomputation must equal a direct uncached call.
+  auto recomputed = service.Estimate(req).value();
+  ExpectBitIdentical(recomputed, estimator_.Estimate("hive", req.op).value());
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.stale_epoch, 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(ServingRetrainTest, NoPreRetrainEstimateServedAfterRetrain) {
+  // End-to-end invalidation through a model that actually changes: train a
+  // logical-op model, serve (and cache) an estimate, feed it corrective
+  // actuals, retrain, and verify the service returns the *post-retrain*
+  // number, bit-identical to an uncached call — never the cached
+  // pre-retrain one.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 172);
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(
+      estimator
+          .RegisterSystem("ml", core::CostingProfile::LogicalOpOnly(
+                                    std::move(models)))
+          .ok());
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&estimator, opts);
+
+  serving::EstimateRequest req;
+  req.system = "ml";
+  req.op = SampleAgg();
+  const double pre = service.Estimate(req).value().seconds;
+
+  // Log actuals far outside the training range, then retrain.
+  for (int i = 0; i < 6; ++i) {
+    rel::SqlOperator op = SampleAgg(400000 + i * 1000);
+    ASSERT_TRUE(
+        estimator.LogActual("ml", op, pre * 10.0 + i).ok());
+  }
+  ASSERT_TRUE(estimator.OfflineTune("ml").ok());
+
+  auto post = service.Estimate(req).value();
+  ExpectBitIdentical(post, estimator.Estimate("ml", req.op).value());
+  EXPECT_GE(service.cache_stats().stale_epoch, 1);
+  // The retrain moved the model, so serving the stale entry would have
+  // returned a different number.
+  EXPECT_NE(post.seconds, pre);
+}
+
+// --- Federation attach -----------------------------------------------------
+
+core::CostingProfile ProfileFor(remote::HiveEngine* hive) {
+  return core::CostingProfile::SubOpOnly(MakeSubOpEstimator(hive));
+}
+
+void ExpectSamePlan(const fed::PlacementPlan& a, const fed::PlacementPlan& b) {
+  ASSERT_EQ(a.options.size(), b.options.size());
+  for (size_t i = 0; i < a.options.size(); ++i) {
+    EXPECT_EQ(a.options[i].system, b.options[i].system);
+    EXPECT_EQ(a.options[i].transfer_seconds, b.options[i].transfer_seconds);
+    EXPECT_EQ(a.options[i].operator_seconds, b.options[i].operator_seconds);
+    EXPECT_EQ(a.options[i].approach, b.options[i].approach);
+    EXPECT_EQ(a.options[i].algorithm, b.options[i].algorithm);
+    ASSERT_EQ(a.options[i].algorithm_candidates.size(),
+              b.options[i].algorithm_candidates.size());
+    ASSERT_EQ(a.options[i].eliminated_algorithms.size(),
+              b.options[i].eliminated_algorithms.size());
+  }
+  ASSERT_EQ(a.eliminated.size(), b.eliminated.size());
+}
+
+TEST(ServingFederationTest, AttachedServiceKeepsPlansBitIdentical) {
+  fed::IntelliSphere sphere;
+  auto hive = remote::HiveEngine::CreateDefault("hive", 173);
+  auto* hive_raw = hive.get();
+  ASSERT_TRUE(sphere
+                  .RegisterRemoteSystem(std::move(hive), ProfileFor(hive_raw),
+                                        fed::ConnectorParams{})
+                  .ok());
+  auto big = rel::SyntheticTableDef(8000000, 250).value();
+  big.location = "hive";
+  ASSERT_TRUE(sphere.RegisterTable(big).ok());
+  auto small = rel::SyntheticTableDef(100000, 100).value();
+  small.location = fed::kTeradataSystemName;
+  ASSERT_TRUE(sphere.RegisterTable(small).ok());
+
+  auto uncached =
+      sphere.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0).value();
+
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  serving::EstimationService service(&sphere.cost_estimator(), opts);
+  ASSERT_TRUE(sphere.AttachEstimationService(&service).ok());
+
+  auto cold = sphere.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0)
+                  .value();
+  auto warm = sphere.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0)
+                  .value();
+  ExpectSamePlan(uncached, cold);
+  ExpectSamePlan(uncached, warm);
+  // The second planning round answered the remote estimate from the cache.
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_GE(stats.hits, 1);
+
+  // Detach restores the direct path.
+  ASSERT_TRUE(sphere.AttachEstimationService(nullptr).ok());
+  auto detached =
+      sphere.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0).value();
+  ExpectSamePlan(uncached, detached);
+}
+
+TEST(ServingFederationTest, AttachRejectsForeignEstimator) {
+  fed::IntelliSphere sphere;
+  core::CostEstimator other;
+  serving::EstimationService service(&other);
+  EXPECT_EQ(sphere.AttachEstimationService(&service).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Concurrency hammer (tsan target) --------------------------------------
+
+TEST_F(EstimationServiceTest, ConcurrentHammerOnSharedService) {
+  // Shared service hammered from pool workers: single estimates, batches
+  // with duplicates, and stats reads, all racing on the same shards. Run
+  // under tsan by scripts/check.sh; assertions here are sanity, the tool
+  // is the oracle.
+  serving::ServiceOptions opts;
+  opts.jobs = 2;
+  opts.cache.shards = 4;
+  opts.cache.capacity = 64;  // small enough to force concurrent evictions
+  serving::EstimationService service(&estimator_, opts);
+
+  constexpr int kTasks = 8;
+  constexpr int kIters = 40;
+  ThreadPool pool(4);
+  std::vector<Status> outcomes =
+      RunIndexed(&pool, kTasks, [&](size_t task) -> Status {
+        for (int i = 0; i < kIters; ++i) {
+          // Rotate over a small key set so tasks collide on entries.
+          serving::EstimateRequest req =
+              Request(SampleJoin(1000000 + (i % 5) * 100000));
+          auto single = service.Estimate(req);
+          if (!single.ok()) return single.status();
+          std::vector<serving::EstimateRequest> batch = {req, req,
+                                                         Request(SampleAgg())};
+          auto results = service.EstimateBatch(batch);
+          for (const auto& r : results) {
+            if (!r.ok()) return r.status();
+          }
+          if (i % 8 == static_cast<int>(task % 8)) {
+            (void)service.cache_stats();
+          }
+        }
+        return Status::OK();
+      });
+  for (const Status& s : outcomes) EXPECT_TRUE(s.ok()) << s.ToString();
+
+  serving::CacheStats stats = service.cache_stats();
+  // Every request resolved as a hit or a miss; nothing was lost.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kTasks * kIters * 4));
+  EXPECT_GT(stats.hits, 0);
+}
+
+}  // namespace
+}  // namespace intellisphere
