@@ -1,0 +1,305 @@
+// Degradation-under-faults harness: drives remote traffic through the full
+// fault-tolerance stack (FaultyRemoteSystem -> ResilientRemoteSystem ->
+// shared HealthRegistry) at 0%, 1%, 5%, and 20% injected unavailability,
+// while an EstimationService wired to the same registry keeps answering
+// estimate requests. Per fault rate it reports remote availability after
+// retries, the serving layer's answer rate (the acceptance floor: 100% at
+// every rate — degraded answers are flagged, never dropped), the degraded
+// fraction, and the retry/breaker counters.
+//
+// The harness aborts loudly if any estimate request fails outright, if a
+// degraded answer carries an unexpected reason, or if the zero-fault run is
+// not perfectly clean (no retries, no degradation).
+//
+// Emits BENCH_degradation.json for CI trending.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/estimate_context.h"
+#include "core/hybrid.h"
+#include "core/logical_op.h"
+#include "core/trainer.h"
+#include "relational/query.h"
+#include "relational/workload.h"
+#include "remote/faulty_system.h"
+#include "remote/health.h"
+#include "remote/hive_engine.h"
+#include "remote/resilient_system.h"
+#include "serving/service.h"
+#include "util/runtime_metrics.h"
+
+namespace intellisphere {
+namespace {
+
+using bench::BenchMetric;
+using bench::Check;
+using bench::Unwrap;
+
+constexpr uint64_t kSeed = 9099;
+constexpr uint64_t kFaultSeed = 7;
+constexpr int kIterations = 400;  // remote calls + estimate requests per rate
+
+core::LogicalOpModel TrainAggModel() {
+  // Trained once on a clean twin engine; each fault rate then serves from a
+  // copy, so model quality is identical across rates and only the health
+  // signal varies.
+  auto hive = remote::HiveEngine::CreateDefault("hive", kSeed);
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.num_aggregates = {1, 3};
+  auto queries = Unwrap(rel::GenerateAggWorkload(wopts), "agg grid");
+  auto run = Unwrap(core::CollectAggTraining(hive.get(), queries),
+                    "agg training");
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 2000;
+  return Unwrap(core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                            run.data, core::AggDimensionNames(),
+                                            opts),
+                "agg model");
+}
+
+std::vector<rel::SqlOperator> TrafficOps() {
+  std::vector<rel::SqlOperator> ops;
+  for (int i = 0; i < 4; ++i) {
+    auto l = Unwrap(rel::SyntheticTableDef(1000000 + 1000000 * i, 250),
+                    "left table");
+    auto r = Unwrap(rel::SyntheticTableDef(400000, 100), "right table");
+    ops.push_back(rel::SqlOperator::MakeJoin(
+        Unwrap(rel::MakeJoinQuery(l, r, 32, 32, 0.5), "join query")));
+    auto t = Unwrap(rel::SyntheticTableDef(100000 + 100000 * i, 100),
+                    "agg table");
+    ops.push_back(rel::SqlOperator::MakeAgg(
+        Unwrap(rel::MakeAggQuery(t, 10, 1), "agg query")));
+  }
+  return ops;
+}
+
+struct RateResult {
+  double remote_availability = 0.0;    ///< after retries
+  double estimate_availability = 0.0;  ///< must be 1.0 at every rate
+  double degraded_fraction = 0.0;
+  double estimate_latency_us = 0.0;    ///< mean wall time per estimate
+  int64_t retries = 0;
+  int64_t breaker_trips = 0;
+  int64_t breaker_rejected = 0;
+  int64_t deadline_exceeded = 0;
+};
+
+RateResult RunAtFaultRate(double fault_rate,
+                          const core::LogicalOpModel& agg_model) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", kSeed);
+  remote::FaultOptions faults;
+  faults.seed = kFaultSeed;
+  faults.unavailable_probability = fault_rate;
+  remote::FaultyRemoteSystem faulty(hive.get(), faults);
+
+  // Threshold 2 so the breaker actually trips at the higher fault rates
+  // (the 5-consecutive-failure default never fires in 400 calls), and zero
+  // cooldown so it recovers: rejected calls do not advance the deployment
+  // clock, so in this closed loop any positive cooldown would hold a
+  // tripped breaker open for the rest of the run. The sustained-outage
+  // phase below covers the open-breaker serving behavior instead.
+  remote::HealthRegistry health(remote::BreakerOptions{2, 0.0, 1});
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.5;
+  policy.jitter_fraction = 0.1;
+  policy.seed = kFaultSeed;
+  remote::ResilientRemoteSystem resilient(&faulty, policy, &health,
+                                          {nullptr, &metrics});
+
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, agg_model);
+  Check(estimator.RegisterSystem(
+            "hive", core::CostingProfile::LogicalOpOnly(std::move(models))),
+        "register hive");
+  serving::ServiceOptions sopts;
+  sopts.jobs = 1;
+  // Cache disabled: this harness measures the estimator-path latency under
+  // faults, not cache-probe speed (bench_serving_throughput covers that),
+  // and a warm cache would mask the degradation ladder entirely.
+  sopts.cache.capacity = 0;
+  sopts.health = &health;
+  serving::EstimationService service(&estimator, sopts);
+
+  const std::vector<rel::SqlOperator> ops = TrafficOps();
+  const rel::SqlOperator estimate_op = ops[1];  // an agg: the modeled type
+
+  int64_t remote_ok = 0;
+  int64_t estimates_ok = 0;
+  int64_t degraded = 0;
+  double estimate_seconds = 0.0;
+  for (int i = 0; i < kIterations; ++i) {
+    // One unit of remote traffic: this is what exercises fault injection,
+    // retries, and the breaker state the serving layer reacts to.
+    if (resilient.Execute(ops[i % ops.size()]).ok()) ++remote_ok;
+
+    // One estimate request at the current deployment time. It must always
+    // be answered; when the breaker is open the answer is merely flagged.
+    serving::EstimateRequest req;
+    req.system = "hive";
+    req.op = estimate_op;
+    req.now = resilient.total_simulated_seconds();
+    auto start = std::chrono::steady_clock::now();
+    auto est = service.Estimate(req);
+    estimate_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    Check(est.status(), "estimate availability");
+    ++estimates_ok;
+    const std::string& reason = est.value().fell_back_reason;
+    if (!reason.empty()) {
+      ++degraded;
+      if (reason.rfind("breaker_open:", 0) != 0) {
+        Check(Status::Internal("unexpected degradation reason: " + reason),
+              "degradation reason");
+      }
+    }
+  }
+
+  RateResult result;
+  result.remote_availability =
+      static_cast<double>(remote_ok) / kIterations;
+  result.estimate_availability =
+      static_cast<double>(estimates_ok) / kIterations;
+  result.degraded_fraction = static_cast<double>(degraded) / kIterations;
+  result.estimate_latency_us = 1e6 * estimate_seconds / kIterations;
+  result.retries = metrics.GetCounter("remote.retries")->value();
+  result.breaker_trips = metrics.GetCounter("remote.breaker.open")->value();
+  result.breaker_rejected =
+      metrics.GetCounter("remote.breaker.rejected")->value();
+  result.deadline_exceeded =
+      metrics.GetCounter("remote.deadline_exceeded")->value();
+  return result;
+}
+
+/// Holds a breaker open for an entire pass of estimate requests: the
+/// serve-under-total-outage behavior the acceptance criterion pins — every
+/// request answered, every answer flagged with a breaker_open:* reason.
+RateResult RunSustainedOutage(const core::LogicalOpModel& agg_model) {
+  remote::HealthRegistry health(remote::BreakerOptions{1, 1e9, 1});
+  health.breaker("hive").RecordFailure(0.0);
+
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, agg_model);
+  Check(estimator.RegisterSystem(
+            "hive", core::CostingProfile::LogicalOpOnly(std::move(models))),
+        "register hive (outage)");
+  serving::ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.cache.capacity = 0;
+  sopts.health = &health;
+  serving::EstimationService service(&estimator, sopts);
+
+  const rel::SqlOperator estimate_op = TrafficOps()[1];
+  int64_t degraded = 0;
+  double estimate_seconds = 0.0;
+  for (int i = 0; i < kIterations; ++i) {
+    serving::EstimateRequest req;
+    req.system = "hive";
+    req.op = estimate_op;
+    req.now = 1.0;
+    auto start = std::chrono::steady_clock::now();
+    auto est = service.Estimate(req);
+    estimate_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    Check(est.status(), "estimate availability (outage)");
+    if (est.value().fell_back_reason.rfind("breaker_open:", 0) != 0) {
+      Check(Status::Internal("outage answer not flagged"), "outage flag");
+    }
+    ++degraded;
+  }
+
+  RateResult result;
+  result.remote_availability = 0.0;  // every remote call would be rejected
+  result.estimate_availability = 1.0;
+  result.degraded_fraction = static_cast<double>(degraded) / kIterations;
+  result.estimate_latency_us = 1e6 * estimate_seconds / kIterations;
+  return result;
+}
+
+void Run() {
+  const core::LogicalOpModel agg_model = TrainAggModel();
+  const std::vector<std::pair<int, double>> rates = {
+      {0, 0.0}, {1, 0.01}, {5, 0.05}, {20, 0.20}};
+
+  bench::Section("Serving availability under injected remote faults (n=400)");
+  std::printf("%6s %10s %10s %9s %9s %8s %6s %9s %9s\n", "fault", "remote_ok",
+              "answered", "degraded", "est_us", "retries", "trips", "rejected",
+              "deadline");
+
+  std::vector<BenchMetric> metrics;
+  for (const auto& [pct, rate] : rates) {
+    RateResult r = RunAtFaultRate(rate, agg_model);
+    std::printf("%5d%% %9.1f%% %9.1f%% %8.1f%% %9.1f %8lld %6lld %9lld %9lld\n",
+                pct, 100.0 * r.remote_availability,
+                100.0 * r.estimate_availability, 100.0 * r.degraded_fraction,
+                r.estimate_latency_us, static_cast<long long>(r.retries),
+                static_cast<long long>(r.breaker_trips),
+                static_cast<long long>(r.breaker_rejected),
+                static_cast<long long>(r.deadline_exceeded));
+
+    if (r.estimate_availability != 1.0) {
+      Check(Status::Internal("estimate availability below 100%"),
+            "availability floor");
+    }
+    if (pct == 0 && (r.degraded_fraction != 0.0 || r.retries != 0 ||
+                     r.remote_availability != 1.0)) {
+      Check(Status::Internal("zero-fault run was not perfectly clean"),
+            "zero-fault baseline");
+    }
+
+    const std::string prefix = "degradation.rate_" + std::to_string(pct) +
+                               "pct.";
+    metrics.push_back({prefix + "remote_availability",
+                       r.remote_availability, "fraction"});
+    metrics.push_back({prefix + "estimate_availability",
+                       r.estimate_availability, "fraction"});
+    metrics.push_back({prefix + "degraded_fraction", r.degraded_fraction,
+                       "fraction"});
+    metrics.push_back({prefix + "retries", static_cast<double>(r.retries),
+                       "count"});
+    metrics.push_back({prefix + "breaker_trips",
+                       static_cast<double>(r.breaker_trips), "count"});
+    metrics.push_back({prefix + "breaker_rejected",
+                       static_cast<double>(r.breaker_rejected), "count"});
+    metrics.push_back({prefix + "estimate_latency_us", r.estimate_latency_us,
+                       "us"});
+    metrics.push_back({prefix + "deadline_exceeded",
+                       static_cast<double>(r.deadline_exceeded), "count"});
+  }
+
+  RateResult outage = RunSustainedOutage(agg_model);
+  std::printf("outage %9.1f%% %9.1f%% %8.1f%% %9.1f %s\n",
+              100.0 * outage.remote_availability,
+              100.0 * outage.estimate_availability,
+              100.0 * outage.degraded_fraction, outage.estimate_latency_us,
+              "(breaker held open)");
+  metrics.push_back({"degradation.outage.estimate_availability",
+                     outage.estimate_availability, "fraction"});
+  metrics.push_back({"degradation.outage.degraded_fraction",
+                     outage.degraded_fraction, "fraction"});
+  metrics.push_back({"degradation.outage.estimate_latency_us",
+                     outage.estimate_latency_us, "us"});
+
+  Check(bench::WriteBenchJson("degradation", kSeed, metrics), "write json");
+}
+
+}  // namespace
+}  // namespace intellisphere
+
+int main() {
+  intellisphere::Run();
+  return 0;
+}

@@ -16,6 +16,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Hard wall-clock ceiling for the whole gate (seconds; override with
+# CHECK_TIMEOUT=N). The script re-execs itself under `timeout` once so a
+# wedged build or test run kills the gate instead of hanging CI forever.
+CHECK_TIMEOUT="${CHECK_TIMEOUT:-5400}"
+if [[ -z "${CHECK_SH_UNDER_TIMEOUT:-}" ]] && command -v timeout >/dev/null; then
+  export CHECK_SH_UNDER_TIMEOUT=1
+  exec timeout --signal=TERM "$CHECK_TIMEOUT" "$0" "$@"
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
 while getopts "j:" opt; do
   case "$opt" in
@@ -31,23 +40,27 @@ cmake --build --preset asan-ubsan -j "$JOBS"
 echo "== [2/6] ctest under asan+ubsan =="
 # Halt on the first error report instead of trying to continue, and exclude
 # the tier2 label so this gate cannot recurse into itself.
+# --timeout backstops tests registered without a per-test TIMEOUT property.
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" -LE tier2
+  ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" \
+    --timeout 300 -LE tier2
 
-echo "== [3/6] thread pool + parallel pipeline + observability + serving under tsan =="
+echo "== [3/6] thread pool + parallel pipeline + observability + serving + resilience under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
 # src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
 # drives every parallel code path, observability_test exercises the
-# trace-sink and metrics-registry locking from pool workers, and
-# serving_test hammers the sharded estimate cache and EstimationService
-# from concurrent workers, so tsan on these three binaries covers the
-# library's concurrency surface without a second full-suite run.
+# trace-sink and metrics-registry locking from pool workers, serving_test
+# hammers the sharded estimate cache and EstimationService from concurrent
+# workers, and resilience_test drives circuit breakers and degraded serving
+# under concurrent faulty traffic, so tsan on these four binaries covers
+# the library's concurrency surface without a second full-suite run.
 cmake --preset tsan
 cmake --build --preset tsan --target parallel_training_test \
-  observability_test serving_test -j "$JOBS"
+  observability_test serving_test resilience_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/resilience_test
 
 echo "== [4/6] repo lint pass =="
 cmake --preset lint

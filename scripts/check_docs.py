@@ -30,10 +30,10 @@ DOC_FILES = [ROOT / "README.md", ROOT / "DESIGN.md"] + sorted(
     (ROOT / "docs").glob("*.md")
 )
 
-# A Properties key: a training./serving. prefix followed by dotted
+# A Properties key: a training./serving./remote. prefix followed by dotted
 # lowercase segments. Trailing dots (from wildcard mentions such as
 # "serving.cache.*") are stripped after matching.
-KEY_RE = re.compile(r"\b(?:training|serving)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*")
+KEY_RE = re.compile(r"\b(?:training|serving|remote)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*")
 
 # A CMake option or cache variable. The include-guard convention
 # (INTELLISPHERE_..._H_) uses the same prefix, so guards are filtered out.
@@ -43,7 +43,8 @@ OPTION_RE = re.compile(r"\bINTELLISPHERE_[A-Z][A-Z0-9_]*\b")
 # direction keys off this so metric/span names (also dotted strings) are not
 # mistaken for configuration.
 KEY_DECL_RE = re.compile(
-    r"constexpr\s+char\s+k\w+Key\[\]\s*=\s*\"((?:training|serving)\.[a-z0-9_.]+)\""
+    r"constexpr\s+char\s+k\w+Key\[\]\s*=\s*"
+    r"\"((?:training|serving|remote)\.[a-z0-9_.]+)\""
 )
 
 OPTION_DECL_RE = re.compile(r"^\s*option\((INTELLISPHERE_[A-Z0-9_]+)", re.M)

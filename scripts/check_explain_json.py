@@ -24,6 +24,7 @@ OPTION_FIELDS = {
     "algorithm": str,
     "used_remedy": bool,
     "remedy_alpha": (int, float),
+    "fell_back_reason": str,
     "algorithm_candidates": list,
     "eliminated_algorithms": list,
 }
@@ -55,6 +56,7 @@ SERVING_CACHE_FIELDS = {
     "misses": int,
     "evictions": int,
     "stale_epoch": int,
+    "stale_served": int,
     "hit_rate": (int, float),
 }
 
@@ -70,9 +72,17 @@ def check_serving(doc):
     for field, expected in SERVING_CACHE_FIELDS.items():
         check_type(cache, field, expected, "serving.cache")
     for field in ("shards", "capacity", "entries", "hits", "misses",
-                  "evictions", "stale_epoch"):
+                  "evictions", "stale_epoch", "stale_served"):
         if cache[field] < 0:
             fail(f"serving.cache.{field} must be >= 0")
+    check_type(serving, "health", dict, "serving")
+    health = serving["health"]
+    for field in ("tracked", "open"):
+        check_type(health, field, int, "serving.health")
+        if health[field] < 0:
+            fail(f"serving.health.{field} must be >= 0")
+    if health["open"] > health["tracked"]:
+        fail("serving.health.open exceeds tracked breaker count")
     if not 0.0 <= cache["hit_rate"] <= 1.0:
         fail("serving.cache.hit_rate must be in [0, 1]")
     if cache["entries"] > cache["capacity"]:

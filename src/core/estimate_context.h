@@ -21,6 +21,10 @@
 #include "util/runtime_metrics.h"
 #include "util/trace.h"
 
+namespace intellisphere::remote {
+class HealthRegistry;
+}  // namespace intellisphere::remote
+
 namespace intellisphere::core {
 
 /// How to resolve multiple applicable algorithms (Section 4): assume the
@@ -57,6 +61,15 @@ struct EstimateContext {
   std::optional<ChoicePolicy> policy_override;
   /// Counters/histograms destination; nullptr = MetricsRegistry::Global().
   MetricsRegistry* metrics = nullptr;
+  /// Per-system breaker states (see remote/health.h); when set, the
+  /// estimator consults it and degrades estimates for systems whose
+  /// breaker is open. nullptr = no health checks (the fast path).
+  const remote::HealthRegistry* health = nullptr;
+  /// Set by CostEstimator::Estimate when `health` reports the target
+  /// system's breaker open at `now`; CostingProfile::Estimate then walks
+  /// the degradation ladder (DESIGN.md §12) instead of trusting remote
+  /// signals.
+  bool breaker_open = false;
 
   bool tracing() const { return trace != nullptr; }
   /// Whether to build string-typed provenance (reason texts, candidate

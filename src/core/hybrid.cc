@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "remote/health.h"
 #include "util/thread_pool.h"
 
 namespace intellisphere::core {
@@ -19,6 +20,7 @@ struct EstimationInstruments {
   Counter* approach_fallback = nullptr;
   Counter* remedy_activations = nullptr;
   Counter* subop_eliminated = nullptr;
+  Counter* degraded = nullptr;
   Histogram* latency_us = nullptr;
 
   EstimationInstruments() = default;
@@ -29,6 +31,7 @@ struct EstimationInstruments {
             r.GetCounter("estimate.approach.fallback_to_sub_op")),
         remedy_activations(r.GetCounter("estimate.remedy.activations")),
         subop_eliminated(r.GetCounter("estimate.subop.eliminated")),
+        degraded(r.GetCounter("estimate.degraded")),
         latency_us(r.GetHistogram("estimate.latency_us",
                                   DefaultLatencyBucketsUs())) {}
 };
@@ -108,6 +111,38 @@ Result<CostingProfile> CostingProfile::PerOperator(
   return p;
 }
 
+CostingProfile::CostingProfile(CostingProfile&& other) noexcept
+    : approach_(other.approach_),
+      sub_op_(std::move(other.sub_op_)),
+      logical_(std::move(other.logical_)),
+      per_operator_(std::move(other.per_operator_)),
+      switch_time_(other.switch_time_) {
+  for (int i = 0; i < kNumOperatorTypes; ++i) {
+    lkg_seconds_[i].store(
+        other.lkg_seconds_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    lkg_valid_[i].store(other.lkg_valid_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+}
+
+CostingProfile& CostingProfile::operator=(CostingProfile&& other) noexcept {
+  if (this == &other) return *this;
+  approach_ = other.approach_;
+  sub_op_ = std::move(other.sub_op_);
+  logical_ = std::move(other.logical_);
+  per_operator_ = std::move(other.per_operator_);
+  switch_time_ = other.switch_time_;
+  for (int i = 0; i < kNumOperatorTypes; ++i) {
+    lkg_seconds_[i].store(
+        other.lkg_seconds_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    lkg_valid_[i].store(other.lkg_valid_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Result<const SubOpCostEstimator*> CostingProfile::sub_op() const {
   if (!sub_op_.has_value()) {
     return Status::FailedPrecondition("profile has no sub-op estimator");
@@ -177,6 +212,28 @@ Result<HybridEstimate> CostingProfile::Estimate(
     fell_back = true;
   }
 
+  // Degradation ladder (DESIGN.md §12). An open breaker means the system
+  // has stopped answering, so its logical-op models are no longer receiving
+  // tuning feedback: prefer the analytical sub-op formulas, then the
+  // last-known-good value, and only then the possibly-stale model — always
+  // flagging the answer so no caller mistakes it for full fidelity.
+  const int type_idx = static_cast<int>(op.type);
+  const bool lkg_ok = type_idx >= 0 && type_idx < kNumOperatorTypes &&
+                      lkg_valid_[type_idx].load(std::memory_order_acquire);
+  std::string degraded_reason;
+  bool serve_lkg = false;
+  if (ctx.breaker_open && use_logical) {
+    if (sub_op_.has_value()) {
+      use_logical = false;
+      degraded_reason = "breaker_open:sub_op";
+    } else if (lkg_ok) {
+      serve_lkg = true;
+      degraded_reason = "breaker_open:last_known_good";
+    } else {
+      degraded_reason = "breaker_open:stale_model";
+    }
+  }
+
   if (root.enabled()) {
     root.SetString("operator", rel::OperatorTypeName(op.type))
         .SetDouble("now", ctx.now);
@@ -191,8 +248,13 @@ Result<HybridEstimate> CostingProfile::Estimate(
 
   HybridEstimate est;
   est.fell_back_to_sub_op = fell_back;
+  est.fell_back_reason = degraded_reason;
   if (fell_back) inst.approach_fallback->Increment();
-  if (use_logical) {
+  if (!degraded_reason.empty()) inst.degraded->Increment();
+  if (serve_lkg) {
+    est.seconds = lkg_seconds_[type_idx].load(std::memory_order_acquire);
+    est.approach_used = CostingApproach::kLogicalOp;
+  } else if (use_logical) {
     ISPHERE_ASSIGN_OR_RETURN(const LogicalOpModel* model,
                              logical_model(op.type));
     ISPHERE_ASSIGN_OR_RETURN(LogicalOpEstimate le,
@@ -217,18 +279,35 @@ Result<HybridEstimate> CostingProfile::Estimate(
     }
   } else {
     ISPHERE_ASSIGN_OR_RETURN(const SubOpCostEstimator* sub, sub_op());
-    ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se,
-                             sub->Estimate(op, ctx.Under(root)));
-    est.seconds = se.seconds;
-    est.approach_used = CostingApproach::kSubOp;
-    est.algorithm = se.chosen_algorithm;
-    est.eliminated_count = se.eliminated_count;
-    est.eliminated = std::move(se.eliminated);
-    est.candidates = std::move(se.candidates);
-    inst.approach_sub_op->Increment();
-    if (se.eliminated_count > 0) {
-      inst.subop_eliminated->Increment(se.eliminated_count);
+    Result<SubOpEstimate> se_result = sub->Estimate(op, ctx.Under(root));
+    if (!se_result.ok() && ctx.breaker_open && lkg_ok) {
+      // Bottom rung: the analytical path failed too, but we have a
+      // previously-served good value for this operator type.
+      est.seconds = lkg_seconds_[type_idx].load(std::memory_order_acquire);
+      est.approach_used = CostingApproach::kSubOp;
+      est.fell_back_reason = "breaker_open:last_known_good";
+      if (degraded_reason.empty()) inst.degraded->Increment();
+    } else {
+      ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se, std::move(se_result));
+      est.seconds = se.seconds;
+      est.approach_used = CostingApproach::kSubOp;
+      est.algorithm = se.chosen_algorithm;
+      est.eliminated_count = se.eliminated_count;
+      est.eliminated = std::move(se.eliminated);
+      est.candidates = std::move(se.candidates);
+      inst.approach_sub_op->Increment();
+      if (se.eliminated_count > 0) {
+        inst.subop_eliminated->Increment(se.eliminated_count);
+      }
     }
+  }
+
+  // Refresh the last-known-good cell from full-fidelity answers only; a
+  // degraded answer must never become tomorrow's "known good".
+  if (est.fell_back_reason.empty() && type_idx >= 0 &&
+      type_idx < kNumOperatorTypes) {
+    lkg_seconds_[type_idx].store(est.seconds, std::memory_order_relaxed);
+    lkg_valid_[type_idx].store(true, std::memory_order_release);
   }
 
   if (root.enabled()) {
@@ -236,6 +315,9 @@ Result<HybridEstimate> CostingProfile::Estimate(
         .SetString("approach", CostingApproachName(est.approach_used));
     if (!est.algorithm.empty()) root.SetString("algorithm", est.algorithm);
     if (est.used_remedy) root.SetBool("used_remedy", true);
+    if (!est.fell_back_reason.empty()) {
+      root.SetString("fell_back_reason", est.fell_back_reason);
+    }
   }
   if (timing) {
     double us = std::chrono::duration<double, std::micro>(
@@ -372,6 +454,15 @@ Result<HybridEstimate> CostEstimator::Estimate(
     const std::string& system_name, const rel::SqlOperator& op,
     const EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(const CostingProfile* p, GetProfile(system_name));
+  // Health consult: a context carrying a registry gets the degradation
+  // ladder when this system's breaker is open at `now`. A context that
+  // already decided (breaker_open set by the serving layer) is respected.
+  if (ctx.health != nullptr && !ctx.breaker_open &&
+      ctx.health->IsOpen(system_name, ctx.now)) {
+    EstimateContext degraded = ctx;
+    degraded.breaker_open = true;
+    return p->Estimate(op, degraded);
+  }
   return p->Estimate(op, ctx);
 }
 
@@ -399,7 +490,15 @@ Status CostEstimator::OfflineTune(const std::string& system_name) {
 }
 
 Status CostEstimator::OfflineTuneAll(int jobs) {
+  return OfflineTuneAll(jobs, /*min_success_fraction=*/1.0);
+}
+
+Status CostEstimator::OfflineTuneAll(int jobs, double min_success_fraction) {
   if (jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
+  if (!(min_success_fraction > 0.0) || min_success_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "min_success_fraction must be in (0, 1]");
+  }
   BumpEpoch();
   std::vector<LogicalOpModel*> models;
   for (auto& [name, profile] : profiles_) {
@@ -412,7 +511,20 @@ Status CostEstimator::OfflineTuneAll(int jobs) {
   std::vector<Status> statuses = RunIndexed(
       pool.get(), models.size(),
       [&](size_t i) { return models[i]->OfflineTune(); });
-  for (Status& s : statuses) ISPHERE_RETURN_NOT_OK(std::move(s));
+  int64_t failed = 0;
+  Status first_error = Status::OK();
+  for (Status& s : statuses) {
+    if (!s.ok()) {
+      ++failed;
+      if (first_error.ok()) first_error = std::move(s);
+    }
+  }
+  if (failed == 0) return Status::OK();
+  const double success_fraction =
+      1.0 - static_cast<double>(failed) / static_cast<double>(models.size());
+  if (min_success_fraction >= 1.0 || success_fraction < min_success_fraction) {
+    return first_error;
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #ifndef INTELLISPHERE_CORE_HYBRID_H_
 #define INTELLISPHERE_CORE_HYBRID_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -59,6 +60,12 @@ struct HybridEstimate {
   /// Whether an active logical path fell back to sub-op because no model
   /// was trained for this operator type.
   bool fell_back_to_sub_op = false;
+  /// Why the estimate was degraded; empty for a full-fidelity estimate.
+  /// The ladder (DESIGN.md §12) records "breaker_open:sub_op",
+  /// "breaker_open:last_known_good", or "breaker_open:stale_model"; the
+  /// serving layer adds "breaker_open:served_stale". Degraded estimates
+  /// are never cached.
+  std::string fell_back_reason;
   /// Algorithm candidates the applicability rules eliminated (sub-op path).
   /// The count is always maintained; the reason list is filled only when
   /// the context asks for provenance.
@@ -94,8 +101,11 @@ class CostingProfile {
       std::map<rel::OperatorType, LogicalOpModel> models,
       std::map<rel::OperatorType, CostingApproach> approaches);
 
-  CostingProfile(CostingProfile&&) = default;
-  CostingProfile& operator=(CostingProfile&&) = default;
+  // Hand-written because the last-known-good cells are atomics (immovable);
+  // moves copy their values with relaxed loads. Profiles are moved only
+  // during single-threaded registry setup.
+  CostingProfile(CostingProfile&& other) noexcept;
+  CostingProfile& operator=(CostingProfile&& other) noexcept;
 
   /// Estimates the operator's remote elapsed time. The context carries the
   /// deployment clock (consulted by time-phased profiles) plus the
@@ -145,11 +155,22 @@ class CostingProfile {
  private:
   CostingProfile() = default;
 
+  /// rel::OperatorType cardinality, sizing the last-known-good arrays.
+  static constexpr int kNumOperatorTypes = 3;
+
   CostingApproach approach_ = CostingApproach::kSubOp;
   std::optional<SubOpCostEstimator> sub_op_;
   std::map<rel::OperatorType, LogicalOpModel> logical_;
   std::map<rel::OperatorType, CostingApproach> per_operator_;
   double switch_time_ = 0.0;
+
+  /// Last-known-good estimate per operator type, refreshed by every
+  /// non-degraded success; the breaker-open ladder serves it when the
+  /// profile has nothing better. Mutable relaxed/acq-rel atomics keep the
+  /// const Estimate path lock-free for concurrent readers. Not persisted
+  /// by Save/Load — it is warm-path state, not model state.
+  mutable std::array<std::atomic<double>, kNumOperatorTypes> lkg_seconds_{};
+  mutable std::array<std::atomic<bool>, kNumOperatorTypes> lkg_valid_{};
 };
 
 /// The remote-system cost estimation module: profile registry + dispatch.
@@ -189,6 +210,13 @@ class CostEstimator {
   /// the same serial loop OfflineTune would). Identical results for any
   /// `jobs`.
   [[nodiscard]] Status OfflineTuneAll(int jobs);
+
+  /// Quorum variant: tolerates per-model tuning failures as long as at
+  /// least `min_success_fraction` (in (0, 1]; see
+  /// training.min_grid_fraction) of the tunable models succeed. At 1.0 it
+  /// behaves exactly like OfflineTuneAll(jobs); below quorum it returns
+  /// the first failure.
+  [[nodiscard]] Status OfflineTuneAll(int jobs, double min_success_fraction);
 
   [[nodiscard]] Result<const CostingProfile*> GetProfile(
       const std::string& system_name) const;

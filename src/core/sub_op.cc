@@ -312,29 +312,52 @@ Result<CalibrationRun> CalibrateSubOps(RemoteSystem* system, OpenboxInfo info,
       // `waves` sequential waves, each wave lasting rows_per_task * work.
       double norm = static_cast<double>(waves) * rows_per_task;
 
-      ISPHERE_ASSIGN_OR_RETURN(double t_noop, probe(ProbeKind::kNoOp, in));
+      // The subtraction chains below need every probe of the cell, so a
+      // cell is all-or-nothing: a transient probe failure drops the whole
+      // cell (counted in failed_cells) and calibration continues from the
+      // surviving grid; permanent errors abort.
+      struct CellTimes {
+        double noop, read, rw, rwl, rwrl, bcast, hash, hprobe, shuffle,
+            sort, scan, merge;
+      };
+      auto run_cell = [&]() -> Result<CellTimes> {
+        CellTimes t{};
+        ISPHERE_ASSIGN_OR_RETURN(t.noop, probe(ProbeKind::kNoOp, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.read, probe(ProbeKind::kReadOnly, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.rw, probe(ProbeKind::kReadWriteDfs, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.rwl,
+                                 probe(ProbeKind::kReadWriteLocal, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.rwrl,
+                                 probe(ProbeKind::kReadWriteReadLocal, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.bcast,
+                                 probe(ProbeKind::kReadBroadcast, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.hash,
+                                 probe(ProbeKind::kReadHashBuild, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.hprobe,
+                                 probe(ProbeKind::kReadHashProbe, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.shuffle,
+                                 probe(ProbeKind::kReadShuffle, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.sort, probe(ProbeKind::kReadSort, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.scan, probe(ProbeKind::kReadScan, in));
+        ISPHERE_ASSIGN_OR_RETURN(t.merge, probe(ProbeKind::kReadMerge, in));
+        return t;
+      };
+      Result<CellTimes> cell = run_cell();
+      if (!cell.ok()) {
+        if (cell.status().IsRetryable()) {
+          ++run.failed_cells;
+          continue;
+        }
+        return cell.status();
+      }
+      const CellTimes& t = cell.value();
+      const double t_noop = t.noop, t_read = t.read, t_rw = t.rw,
+                   t_rwl = t.rwl, t_rwrl = t.rwrl, t_bcast = t.bcast,
+                   t_hash = t.hash, t_hprobe = t.hprobe,
+                   t_shuffle = t.shuffle, t_sort = t.sort, t_scan = t.scan,
+                   t_merge = t.merge;
       overhead_waves.push_back(static_cast<double>(waves));
       overhead_secs.push_back(t_noop);
-
-      ISPHERE_ASSIGN_OR_RETURN(double t_read, probe(ProbeKind::kReadOnly, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_rw,
-                               probe(ProbeKind::kReadWriteDfs, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_rwl,
-                               probe(ProbeKind::kReadWriteLocal, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_rwrl,
-                               probe(ProbeKind::kReadWriteReadLocal, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_bcast,
-                               probe(ProbeKind::kReadBroadcast, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_hash,
-                               probe(ProbeKind::kReadHashBuild, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_hprobe,
-                               probe(ProbeKind::kReadHashProbe, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_shuffle,
-                               probe(ProbeKind::kReadShuffle, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_sort, probe(ProbeKind::kReadSort, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_scan, probe(ProbeKind::kReadScan, in));
-      ISPHERE_ASSIGN_OR_RETURN(double t_merge,
-                               probe(ProbeKind::kReadMerge, in));
 
       bool fits = info.HashFits(static_cast<double>(n * s));
       auto add = [&](SubOpKind kind, double delta_elapsed, double divisor) {
@@ -357,7 +380,17 @@ Result<CalibrationRun> CalibrateSubOps(RemoteSystem* system, OpenboxInfo info,
     }
   }
 
-  // Fit the per-sub-op models.
+  if (overhead_secs.empty()) {
+    return Status::FailedPrecondition(
+        "calibration of system '" + system->name() +
+        "' lost every grid cell to transient probe failures (" +
+        std::to_string(run.failed_cells) + " cells)");
+  }
+
+  // Fit the per-sub-op models. Basic sub-ops must fit from whatever cells
+  // survived; a Specific sub-op that cannot be fitted is left out of the
+  // catalog (Cost serves its rough built-in default) and recorded in
+  // `defaulted` so consumers know the number is not a measurement.
   SubOpCatalog catalog(info);
   for (const auto& [kind, pts] : run.points) {
     if (kind == SubOpKind::kHashBuild) {
@@ -374,15 +407,34 @@ Result<CalibrationRun> CalibrateSubOps(RemoteSystem* system, OpenboxInfo info,
       } else if (fit_line.ok()) {
         catalog.Put(kind, SubOpModel(std::move(fit_line).value()));
       } else {
-        ISPHERE_ASSIGN_OR_RETURN(ml::LinearRegression only,
-                                 FitLineFromPoints(pts));
-        catalog.Put(kind, SubOpModel(std::move(only)));
+        auto only = FitLineFromPoints(pts);
+        if (only.ok()) {
+          catalog.Put(kind, SubOpModel(std::move(only).value()));
+        } else {
+          run.defaulted.push_back(kind);
+        }
       }
       continue;
     }
-    ISPHERE_ASSIGN_OR_RETURN(ml::LinearRegression line,
-                             FitLineFromPoints(pts));
-    catalog.Put(kind, SubOpModel(std::move(line)));
+    auto line = FitLineFromPoints(pts);
+    if (line.ok()) {
+      catalog.Put(kind, SubOpModel(std::move(line).value()));
+    } else if (IsBasicSubOp(kind)) {
+      return line.status();
+    } else {
+      run.defaulted.push_back(kind);
+    }
+  }
+  // A Specific sub-op with no surviving measurements at all is defaulted
+  // too; Basic sub-ops without measurements cannot be defaulted.
+  for (SubOpKind kind : AllSubOpKinds()) {
+    if (catalog.Contains(kind)) continue;
+    if (IsBasicSubOp(kind)) {
+      return Status::FailedPrecondition(
+          std::string("no surviving measurements for basic sub-op ") +
+          SubOpKindName(kind));
+    }
+    if (run.points.count(kind) == 0) run.defaulted.push_back(kind);
   }
 
   // Fit the job overhead model from the no-op probes.

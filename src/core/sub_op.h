@@ -159,6 +159,13 @@ struct CalibrationRun {
   SubOpCatalog catalog;
   int64_t probe_queries = 0;
   double total_seconds = 0.0;  ///< simulated training time (Fig 13(a))
+  /// Grid cells skipped because a probe failed transiently (the whole
+  /// cell is dropped: the subtraction chains need all 12 probes).
+  int64_t failed_cells = 0;
+  /// Specific sub-ops left uncalibrated (too few surviving measurements);
+  /// the catalog serves its rough built-in default for them — provenance
+  /// for "this number is a default, not a fit".
+  std::vector<SubOpKind> defaulted;
   /// Raw per-record measurements per sub-op: (record_bytes, seconds,
   /// record_count, fits_in_memory) — the scatter behind Fig 7/13.
   struct Point {
@@ -173,6 +180,13 @@ struct CalibrationRun {
 /// Runs the probe workload on an openbox system and fits all sub-op models.
 /// `info` supplies the structural knowledge (block size, slots, memory);
 /// its overhead model fields are filled in by the calibration itself.
+///
+/// Fault tolerance: a grid cell whose probe fails with a retryable error
+/// (Unavailable / DeadlineExceeded) is skipped and counted in
+/// `failed_cells`; non-retryable probe errors abort. Basic sub-ops must
+/// still fit from the surviving cells (FailedPrecondition otherwise);
+/// Specific sub-ops that cannot be fitted fall back to their built-in
+/// defaults and are listed in `defaulted`.
 [[nodiscard]] Result<CalibrationRun> CalibrateSubOps(remote::RemoteSystem* system,
                                                      OpenboxInfo info,
                                                      const CalibrationOptions& options);

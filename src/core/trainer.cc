@@ -9,24 +9,54 @@ namespace intellisphere::core {
 
 Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
                                     const std::vector<rel::SqlOperator>& ops) {
+  return CollectTraining(system, ops, /*min_grid_fraction=*/1.0);
+}
+
+Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
+                                    const std::vector<rel::SqlOperator>& ops,
+                                    double min_grid_fraction) {
   if (system == nullptr) return Status::InvalidArgument("null remote system");
   if (ops.empty()) return Status::InvalidArgument("empty training workload");
+  if (!(min_grid_fraction > 0.0) || min_grid_fraction > 1.0) {
+    return Status::InvalidArgument("min_grid_fraction must be in (0, 1]");
+  }
   TrainingRun run;
   double cumulative = 0.0;
   for (const rel::SqlOperator& op : ops) {
+    ++run.attempted;
     auto result = system->Execute(op);
     if (!result.ok()) {
-      if (result.status().code() == StatusCode::kUnsupported) continue;
+      if (result.status().code() == StatusCode::kUnsupported) {
+        ++run.unsupported;
+        continue;
+      }
+      // Below a full quorum requirement, a transient failure (the system
+      // already exhausted its retries if wrapped) skips this grid cell;
+      // permanent errors still abort the run.
+      if (min_grid_fraction < 1.0 && result.status().IsRetryable()) {
+        ++run.failed;
+        continue;
+      }
       return result.status();
     }
     cumulative += result.value().elapsed_seconds;
     run.data.Add(op.LogicalOpFeatures(), result.value().elapsed_seconds);
     run.cumulative_seconds.push_back(cumulative);
   }
-  if (run.data.size() == 0) {
+  const int64_t supported = run.attempted - run.unsupported;
+  const int64_t succeeded = static_cast<int64_t>(run.data.size());
+  if (succeeded == 0) {
     return Status::FailedPrecondition(
         "remote system '" + system->name() +
         "' supported none of the training operators");
+  }
+  if (static_cast<double>(succeeded) <
+      min_grid_fraction * static_cast<double>(supported)) {
+    return Status::FailedPrecondition(
+        "training grid quorum missed on system '" + system->name() + "': " +
+        std::to_string(succeeded) + "/" + std::to_string(supported) +
+        " cells succeeded, need fraction " +
+        std::to_string(min_grid_fraction));
   }
   return run;
 }
@@ -34,6 +64,14 @@ Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
 Result<std::vector<TrainingRun>> CollectTrainingForSystems(
     const std::vector<remote::RemoteSystem*>& systems,
     const std::vector<rel::SqlOperator>& ops, int jobs) {
+  return CollectTrainingForSystems(systems, ops, jobs,
+                                   /*min_grid_fraction=*/1.0);
+}
+
+Result<std::vector<TrainingRun>> CollectTrainingForSystems(
+    const std::vector<remote::RemoteSystem*>& systems,
+    const std::vector<rel::SqlOperator>& ops, int jobs,
+    double min_grid_fraction) {
   if (systems.empty()) return Status::InvalidArgument("no remote systems");
   if (jobs < 1) return Status::InvalidArgument("jobs must be >= 1");
   for (size_t i = 0; i < systems.size(); ++i) {
@@ -51,9 +89,10 @@ Result<std::vector<TrainingRun>> CollectTrainingForSystems(
 
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
-  std::vector<Result<TrainingRun>> collected = RunIndexed(
-      pool.get(), systems.size(),
-      [&](size_t i) { return CollectTraining(systems[i], ops); });
+  std::vector<Result<TrainingRun>> collected =
+      RunIndexed(pool.get(), systems.size(), [&](size_t i) {
+        return CollectTraining(systems[i], ops, min_grid_fraction);
+      });
 
   std::vector<TrainingRun> runs;
   runs.reserve(collected.size());

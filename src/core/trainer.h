@@ -21,6 +21,12 @@ struct TrainingRun {
   /// Cumulative simulated training seconds after each executed query — the
   /// series plotted in Figures 11(a)/12(a).
   std::vector<double> cumulative_seconds;
+  /// Grid accounting for the quorum path: operators attempted, operators
+  /// the system does not support, and operators that failed transiently
+  /// (retryable errors skipped under training.min_grid_fraction < 1).
+  int64_t attempted = 0;
+  int64_t unsupported = 0;
+  int64_t failed = 0;
 
   double total_seconds() const {
     return cumulative_seconds.empty() ? 0.0 : cumulative_seconds.back();
@@ -34,6 +40,16 @@ struct TrainingRun {
 [[nodiscard]] Result<TrainingRun> CollectTraining(remote::RemoteSystem* system,
                                                   const std::vector<rel::SqlOperator>& ops);
 
+/// Quorum variant: retryable failures (Unavailable / DeadlineExceeded —
+/// the wrapped system already exhausted its retries) skip the grid cell
+/// instead of aborting, as long as at least `min_grid_fraction` (in
+/// (0, 1]; see training.min_grid_fraction) of the supported cells
+/// succeed. At 1.0 any transient failure aborts, exactly like the
+/// two-argument overload. Non-retryable failures always abort.
+[[nodiscard]] Result<TrainingRun> CollectTraining(
+    remote::RemoteSystem* system, const std::vector<rel::SqlOperator>& ops,
+    double min_grid_fraction);
+
 /// Runs CollectTraining on each system, spreading the systems over up to
 /// `jobs` worker threads (1 = inline, exactly the serial loop). A remote
 /// system simulator mutates its seeded state on every Execute, so each
@@ -44,6 +60,13 @@ struct TrainingRun {
 [[nodiscard]] Result<std::vector<TrainingRun>> CollectTrainingForSystems(
     const std::vector<remote::RemoteSystem*>& systems,
     const std::vector<rel::SqlOperator>& ops, int jobs);
+
+/// Quorum variant of CollectTrainingForSystems: every per-system collection
+/// runs with `min_grid_fraction` (see the CollectTraining overload above).
+[[nodiscard]] Result<std::vector<TrainingRun>> CollectTrainingForSystems(
+    const std::vector<remote::RemoteSystem*>& systems,
+    const std::vector<rel::SqlOperator>& ops, int jobs,
+    double min_grid_fraction);
 
 /// Convenience wrappers over CollectTraining.
 [[nodiscard]] Result<TrainingRun> CollectJoinTraining(

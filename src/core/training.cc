@@ -18,6 +18,17 @@ Result<int> ResolveTrainingJobs(const Properties& props) {
   return static_cast<int>(jobs);
 }
 
+Result<double> ResolveMinGridFraction(const Properties& props) {
+  if (!props.Contains(kTrainingMinGridFractionKey)) return 1.0;
+  ISPHERE_ASSIGN_OR_RETURN(double fraction,
+                           props.GetDouble(kTrainingMinGridFractionKey));
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument(std::string(kTrainingMinGridFractionKey) +
+                                   " must be in (0, 1]");
+  }
+  return fraction;
+}
+
 bool DimensionMeta::WayOff(double v, double beta) const {
   if (InRange(v)) return false;
   double slack = beta * step_size;

@@ -28,6 +28,17 @@ inline constexpr char kTrainingJobsKey[] = "training.jobs";
 /// concurrency of this machine.
 [[nodiscard]] Result<int> ResolveTrainingJobs(const Properties& props);
 
+/// Properties key controlling the training-grid quorum: the minimum
+/// fraction of supported grid cells that must succeed for a collection (or
+/// offline tune) to succeed when remote systems fail transiently.
+inline constexpr char kTrainingMinGridFractionKey[] =
+    "training.min_grid_fraction";
+
+/// Resolves the `training.min_grid_fraction` knob: the key's value when
+/// set (must be in (0, 1]), otherwise 1.0 — every cell must succeed, the
+/// pre-quorum behavior.
+[[nodiscard]] Result<double> ResolveMinGridFraction(const Properties& props);
+
 /// Metadata of one training dimension.
 struct DimensionMeta {
   std::string name;

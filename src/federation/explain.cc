@@ -34,6 +34,9 @@ void RenderOptionDetails(std::string* out, const std::string& prefix,
   if (o.used_remedy) {
     lines.push_back("online remedy: alpha=" + Sec(o.remedy_alpha));
   }
+  if (!o.fell_back_reason.empty()) {
+    lines.push_back("degraded: " + o.fell_back_reason);
+  }
   for (size_t i = 0; i < lines.size(); ++i) {
     TreeLine(out, prefix, i + 1 == lines.size(), lines[i]);
   }
@@ -64,6 +67,8 @@ std::string OptionJson(const PlacementOption& o, size_t rank,
   j += indent + "  \"used_remedy\": " + (o.used_remedy ? "true" : "false") +
        ",\n";
   j += indent + "  \"remedy_alpha\": " + Sec(o.remedy_alpha) + ",\n";
+  j += indent + "  \"fell_back_reason\": \"" +
+       JsonEscape(o.fell_back_reason) + "\",\n";
   j += indent + "  \"algorithm_candidates\": [";
   for (size_t i = 0; i < o.algorithm_candidates.size(); ++i) {
     const auto& c = o.algorithm_candidates[i];

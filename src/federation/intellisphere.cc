@@ -45,6 +45,7 @@ void FillOptionProvenance(const std::string& host,
   option->eliminated_algorithms = est.eliminated;
   option->used_remedy = est.used_remedy;
   option->remedy_alpha = est.remedy_alpha;
+  option->fell_back_reason = est.fell_back_reason;
 }
 
 /// Closes out a candidate span with the option's final numbers.

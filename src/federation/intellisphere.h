@@ -45,6 +45,10 @@ struct PlacementOption {
   /// Online-remedy provenance (logical-op path).
   bool used_remedy = false;
   double remedy_alpha = 1.0;
+  /// Degradation provenance (DESIGN.md §12): non-empty when the estimate
+  /// was produced down the breaker-open fallback ladder (e.g.
+  /// "breaker_open:sub_op", "breaker_open:last_known_good").
+  std::string fell_back_reason;
 };
 
 /// A candidate host the planner dropped entirely, with the reason (e.g. the

@@ -151,7 +151,8 @@ struct SqlOperator {
       case OperatorType::kScan:
         return scan.Validate();
     }
-    return Status::Internal("unknown operator type");
+    return Status::Internal("OperatorType out of enum range: " +
+                            std::to_string(static_cast<int>(type)));
   }
 };
 

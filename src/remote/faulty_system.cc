@@ -1,0 +1,202 @@
+#include "remote/faulty_system.h"
+
+#include <utility>
+
+namespace intellisphere::remote {
+
+namespace {
+
+Result<double> ReadProbability(const Properties& props, const char* key) {
+  ISPHERE_ASSIGN_OR_RETURN(double p, props.GetDouble(key));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(key) + " must be in [0, 1]");
+  }
+  return p;
+}
+
+Result<rel::OperatorType> ParseOperatorType(const std::string& text) {
+  for (rel::OperatorType type :
+       {rel::OperatorType::kJoin, rel::OperatorType::kAggregation,
+        rel::OperatorType::kScan}) {
+    if (text == rel::OperatorTypeName(type)) return type;
+  }
+  return Status::InvalidArgument("unknown operator type '" + text + "'");
+}
+
+Result<ProbeKind> ParseProbeKind(const std::string& text) {
+  for (ProbeKind kind :
+       {ProbeKind::kNoOp, ProbeKind::kReadOnly, ProbeKind::kReadWriteDfs,
+        ProbeKind::kReadWriteLocal, ProbeKind::kReadWriteReadLocal,
+        ProbeKind::kReadBroadcast, ProbeKind::kReadHashBuild,
+        ProbeKind::kReadShuffle, ProbeKind::kReadSort, ProbeKind::kReadScan,
+        ProbeKind::kReadMerge, ProbeKind::kReadHashProbe}) {
+    if (text == ProbeKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown probe kind '" + text + "'");
+}
+
+}  // namespace
+
+Result<FaultOptions> FaultOptions::FromProperties(const Properties& props) {
+  FaultOptions options;
+  if (props.Contains(kFaultsSeedKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t seed, props.GetInt(kFaultsSeedKey));
+    options.seed = static_cast<uint64_t>(seed);
+  }
+  if (props.Contains(kFaultsUnavailableProbabilityKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        options.unavailable_probability,
+        ReadProbability(props, kFaultsUnavailableProbabilityKey));
+  }
+  if (props.Contains(kFaultsDeadlineProbabilityKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        options.deadline_probability,
+        ReadProbability(props, kFaultsDeadlineProbabilityKey));
+  }
+  if (props.Contains(kFaultsLatencyProbabilityKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        options.latency_probability,
+        ReadProbability(props, kFaultsLatencyProbabilityKey));
+  }
+  if (props.Contains(kFaultsLatencySecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(options.latency_seconds,
+                             props.GetDouble(kFaultsLatencySecondsKey));
+    if (options.latency_seconds < 0.0) {
+      return Status::InvalidArgument(std::string(kFaultsLatencySecondsKey) +
+                                     " must be >= 0");
+    }
+  }
+  if (props.Contains(kFaultsOutageWindowsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(std::vector<double> flat,
+                             props.GetDoubleList(kFaultsOutageWindowsKey));
+    if (flat.size() % 2 != 0) {
+      return Status::InvalidArgument(
+          std::string(kFaultsOutageWindowsKey) +
+          " must hold start,end pairs (even element count)");
+    }
+    for (size_t i = 0; i + 1 < flat.size(); i += 2) {
+      if (flat[i + 1] <= flat[i]) {
+        return Status::InvalidArgument(std::string(kFaultsOutageWindowsKey) +
+                                       " window end must be after start");
+      }
+      options.outage_windows.push_back(FaultWindow{flat[i], flat[i + 1]});
+    }
+  }
+  if (props.Contains(kFaultsFailOperatorsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(options.fail_operators,
+                             props.GetBool(kFaultsFailOperatorsKey));
+  }
+  if (props.Contains(kFaultsFailProbesKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(options.fail_probes,
+                             props.GetBool(kFaultsFailProbesKey));
+  }
+  if (props.Contains(kFaultsOnlyOperatorKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(std::string text,
+                             props.GetString(kFaultsOnlyOperatorKey));
+    ISPHERE_ASSIGN_OR_RETURN(rel::OperatorType type, ParseOperatorType(text));
+    options.only_operator = type;
+  }
+  if (props.Contains(kFaultsOnlyProbeKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(std::string text,
+                             props.GetString(kFaultsOnlyProbeKey));
+    ISPHERE_ASSIGN_OR_RETURN(ProbeKind kind, ParseProbeKind(text));
+    options.only_probe = kind;
+  }
+  return options;
+}
+
+FaultyRemoteSystem::FaultyRemoteSystem(RemoteSystem* inner,
+                                       FaultOptions options)
+    : inner_(inner), options_(std::move(options)), rng_(options_.seed) {}
+
+FaultyRemoteSystem::FaultyRemoteSystem(std::unique_ptr<RemoteSystem> inner,
+                                       FaultOptions options)
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+bool FaultyRemoteSystem::OperatorEligible(rel::OperatorType type) const {
+  if (!options_.fail_operators) return false;
+  return !options_.only_operator || *options_.only_operator == type;
+}
+
+bool FaultyRemoteSystem::ProbeEligible(ProbeKind kind) const {
+  if (!options_.fail_probes) return false;
+  return !options_.only_probe || *options_.only_probe == kind;
+}
+
+Status FaultyRemoteSystem::DrawFault(double now) {
+  for (const FaultWindow& window : options_.outage_windows) {
+    if (now >= window.start_seconds && now < window.end_seconds) {
+      ++injected_unavailable_;
+      return Status::Unavailable(
+          "injected fault: scripted outage on system '" + name() + "'");
+    }
+  }
+  // Draws are skipped entirely at probability zero so a fault-free
+  // configuration consumes no randomness (bit-identity with no wrapper).
+  if (options_.unavailable_probability > 0.0 &&
+      rng_.Bernoulli(options_.unavailable_probability)) {
+    ++injected_unavailable_;
+    return Status::Unavailable("injected fault: system '" + name() +
+                               "' unavailable");
+  }
+  if (options_.deadline_probability > 0.0 &&
+      rng_.Bernoulli(options_.deadline_probability)) {
+    ++injected_deadline_;
+    return Status::DeadlineExceeded("injected fault: system '" + name() +
+                                    "' deadline exceeded");
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> FaultyRemoteSystem::MaybeAddLatency(
+    Result<QueryResult> result) {
+  if (!result.ok() || options_.latency_probability <= 0.0) return result;
+  if (rng_.Bernoulli(options_.latency_probability)) {
+    ++injected_latency_;
+    injected_latency_seconds_ += options_.latency_seconds;
+    QueryResult slow = std::move(result).value();
+    slow.elapsed_seconds += options_.latency_seconds;
+    return slow;
+  }
+  return result;
+}
+
+Result<QueryResult> FaultyRemoteSystem::ExecuteJoin(
+    const rel::JoinQuery& query) {
+  if (OperatorEligible(rel::OperatorType::kJoin)) {
+    ISPHERE_RETURN_NOT_OK(DrawFault(inner_->total_simulated_seconds()));
+    return MaybeAddLatency(inner_->ExecuteJoin(query));
+  }
+  return inner_->ExecuteJoin(query);
+}
+
+Result<QueryResult> FaultyRemoteSystem::ExecuteAgg(const rel::AggQuery& query) {
+  if (OperatorEligible(rel::OperatorType::kAggregation)) {
+    ISPHERE_RETURN_NOT_OK(DrawFault(inner_->total_simulated_seconds()));
+    return MaybeAddLatency(inner_->ExecuteAgg(query));
+  }
+  return inner_->ExecuteAgg(query);
+}
+
+Result<QueryResult> FaultyRemoteSystem::ExecuteScan(
+    const rel::ScanQuery& query) {
+  if (OperatorEligible(rel::OperatorType::kScan)) {
+    ISPHERE_RETURN_NOT_OK(DrawFault(inner_->total_simulated_seconds()));
+    return MaybeAddLatency(inner_->ExecuteScan(query));
+  }
+  return inner_->ExecuteScan(query);
+}
+
+Result<QueryResult> FaultyRemoteSystem::ExecuteProbe(
+    ProbeKind kind, const rel::RelationStats& input) {
+  if (ProbeEligible(kind)) {
+    ISPHERE_RETURN_NOT_OK(DrawFault(inner_->total_simulated_seconds()));
+    return MaybeAddLatency(inner_->ExecuteProbe(kind, input));
+  }
+  return inner_->ExecuteProbe(kind, input);
+}
+
+}  // namespace intellisphere::remote

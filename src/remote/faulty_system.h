@@ -1,0 +1,155 @@
+// Deterministic fault injection for remote systems.
+//
+// FaultyRemoteSystem decorates any RemoteSystem with a seeded fault model:
+// per-call probabilities of Unavailable / DeadlineExceeded / added latency,
+// plus scripted outage windows on the inner system's simulated clock, and
+// optional targeting of a single operator type or probe kind. All
+// randomness comes from util/rng.h and all time from the simulated clock —
+// no wall-clock, no global state — so a given (seed, workload) pair
+// produces byte-identical fault sequences on every run.
+//
+// With every probability at zero and no windows, the decorator draws no
+// random numbers and forwards calls untouched, so results are bit-identical
+// to running without the wrapper.
+
+#ifndef INTELLISPHERE_REMOTE_FAULTY_SYSTEM_H_
+#define INTELLISPHERE_REMOTE_FAULTY_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "remote/remote_system.h"
+#include "util/properties.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace intellisphere::remote {
+
+/// Properties keys configuring fault injection (docs/CONFIG.md).
+inline constexpr char kFaultsSeedKey[] = "remote.faults.seed";
+inline constexpr char kFaultsUnavailableProbabilityKey[] =
+    "remote.faults.unavailable_probability";
+inline constexpr char kFaultsDeadlineProbabilityKey[] =
+    "remote.faults.deadline_probability";
+inline constexpr char kFaultsLatencyProbabilityKey[] =
+    "remote.faults.latency_probability";
+inline constexpr char kFaultsLatencySecondsKey[] =
+    "remote.faults.latency_seconds";
+inline constexpr char kFaultsOutageWindowsKey[] =
+    "remote.faults.outage_windows";
+inline constexpr char kFaultsFailOperatorsKey[] =
+    "remote.faults.fail_operators";
+inline constexpr char kFaultsFailProbesKey[] = "remote.faults.fail_probes";
+inline constexpr char kFaultsOnlyOperatorKey[] =
+    "remote.faults.only_operator";
+inline constexpr char kFaultsOnlyProbeKey[] = "remote.faults.only_probe";
+
+/// A scripted outage: every targeted call whose submission time (the inner
+/// system's simulated clock) falls in [start_seconds, end_seconds) fails
+/// with Unavailable, independent of the probability draws.
+struct FaultWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// The seeded fault model.
+struct FaultOptions {
+  uint64_t seed = 0;
+  /// Per-call probability of an injected Unavailable failure.
+  double unavailable_probability = 0.0;
+  /// Per-call probability of an injected DeadlineExceeded failure (drawn
+  /// only when the Unavailable draw passed).
+  double deadline_probability = 0.0;
+  /// Per-call probability of added latency on an otherwise successful call.
+  double latency_probability = 0.0;
+  /// Seconds added when the latency draw fires.
+  double latency_seconds = 0.0;
+  /// Scripted outages on the simulated clock.
+  std::vector<FaultWindow> outage_windows;
+  /// Whether operator executions (join/agg/scan) are fault-eligible.
+  bool fail_operators = true;
+  /// Whether calibration probes are fault-eligible.
+  bool fail_probes = true;
+  /// When set, only this operator type is fault-eligible.
+  std::optional<rel::OperatorType> only_operator;
+  /// When set, only this probe kind is fault-eligible.
+  std::optional<ProbeKind> only_probe;
+
+  /// Reads remote.faults.* keys; absent keys keep defaults. Probabilities
+  /// must be in [0, 1]; outage windows are a flat start,end,... double
+  /// list; only_operator / only_probe take OperatorTypeName /
+  /// ProbeKindName spellings ("join", "read_only", ...).
+  static Result<FaultOptions> FromProperties(const Properties& props);
+};
+
+/// Decorator injecting deterministic faults into an inner RemoteSystem.
+///
+/// Single-threaded like the simulated engines it wraps: the Rng and the
+/// injection counters are unsynchronized. Wrap per-thread instances or
+/// serialize access externally.
+class FaultyRemoteSystem : public RemoteSystem {
+ public:
+  /// Non-owning: `inner` must outlive the decorator.
+  FaultyRemoteSystem(RemoteSystem* inner, FaultOptions options);
+  /// Owning variant.
+  FaultyRemoteSystem(std::unique_ptr<RemoteSystem> inner,
+                     FaultOptions options);
+
+  /// Forwards the inner system's name so breakers and costing profiles key
+  /// on the real system.
+  const std::string& name() const override { return inner_->name(); }
+
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(
+      const rel::JoinQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(
+      const rel::AggQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteScan(
+      const rel::ScanQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteProbe(
+      ProbeKind kind, const rel::RelationStats& input) override;
+
+  /// Inner busy time plus injected latency.
+  double total_simulated_seconds() const override {
+    return inner_->total_simulated_seconds() + injected_latency_seconds_;
+  }
+  int64_t queries_executed() const override {
+    return inner_->queries_executed();
+  }
+
+  int64_t injected_unavailable() const { return injected_unavailable_; }
+  int64_t injected_deadline() const { return injected_deadline_; }
+  int64_t injected_latency() const { return injected_latency_; }
+  double injected_latency_seconds() const {
+    return injected_latency_seconds_;
+  }
+
+  const FaultOptions& options() const { return options_; }
+  RemoteSystem* inner() { return inner_; }
+
+ private:
+  /// The fault decision for one eligible call at simulated time `now`;
+  /// OK means "no failure injected" (latency may still be added).
+  Status DrawFault(double now);
+  /// Adds latency to a successful result when the latency draw fires.
+  Result<QueryResult> MaybeAddLatency(Result<QueryResult> result);
+
+  [[nodiscard]] bool OperatorEligible(rel::OperatorType type) const;
+  [[nodiscard]] bool ProbeEligible(ProbeKind kind) const;
+
+  std::unique_ptr<RemoteSystem> owned_;
+  RemoteSystem* inner_;
+  const FaultOptions options_;
+  Rng rng_;
+
+  int64_t injected_unavailable_ = 0;
+  int64_t injected_deadline_ = 0;
+  int64_t injected_latency_ = 0;
+  double injected_latency_seconds_ = 0.0;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_FAULTY_SYSTEM_H_

@@ -1,0 +1,171 @@
+#include "remote/health.h"
+
+#include <utility>
+
+namespace intellisphere::remote {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+Result<BreakerOptions> BreakerOptions::FromProperties(const Properties& props) {
+  BreakerOptions options;
+  if (props.Contains(kBreakerFailureThresholdKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t threshold,
+                             props.GetInt(kBreakerFailureThresholdKey));
+    if (threshold < 1) {
+      return Status::InvalidArgument(
+          std::string(kBreakerFailureThresholdKey) + " must be >= 1");
+    }
+    options.failure_threshold = static_cast<int>(threshold);
+  }
+  if (props.Contains(kBreakerCooldownSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(options.cooldown_seconds,
+                             props.GetDouble(kBreakerCooldownSecondsKey));
+    if (options.cooldown_seconds < 0.0) {
+      return Status::InvalidArgument(std::string(kBreakerCooldownSecondsKey) +
+                                     " must be >= 0");
+    }
+  }
+  if (props.Contains(kBreakerHalfOpenSuccessesKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t successes,
+                             props.GetInt(kBreakerHalfOpenSuccessesKey));
+    if (successes < 1) {
+      return Status::InvalidArgument(
+          std::string(kBreakerHalfOpenSuccessesKey) + " must be >= 1");
+    }
+    options.half_open_successes = static_cast<int>(successes);
+  }
+  return options;
+}
+
+CircuitBreaker::CircuitBreaker(std::string system, BreakerOptions options)
+    : system_(std::move(system)), options_(options) {}
+
+bool CircuitBreaker::AllowRequest(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kClosed) return true;
+  if (state_ == BreakerState::kOpen &&
+      now - opened_at_ >= options_.cooldown_seconds) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+    return true;  // this caller is the probe
+  }
+  if (state_ == BreakerState::kHalfOpen) return true;
+  ++rejections_total_;
+  return false;
+}
+
+bool CircuitBreaker::RecordFailure(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_total_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The recovery probe failed: re-open and restart the cooldown.
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    ++trips_total_;
+    return true;
+  }
+  if (state_ == BreakerState::kClosed) {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= options_.failure_threshold) {
+      state_ = BreakerState::kOpen;
+      opened_at_ = now;
+      ++trips_total_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double /*now*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++successes_total_;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      half_open_successes_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::IsOpen(double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == BreakerState::kOpen &&
+         now - opened_at_ < options_.cooldown_seconds;
+}
+
+SystemHealth CircuitBreaker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SystemHealth health;
+  health.system = system_;
+  health.state = state_;
+  health.consecutive_failures = consecutive_failures_;
+  health.failures_total = failures_total_;
+  health.successes_total = successes_total_;
+  health.rejections_total = rejections_total_;
+  health.trips_total = trips_total_;
+  health.opened_at = opened_at_;
+  return health;
+}
+
+CircuitBreaker& HealthRegistry::breaker(const std::string& system) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(system);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(system,
+                      std::make_unique<CircuitBreaker>(system, default_options_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool HealthRegistry::IsOpen(const std::string& system, double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(system);
+  if (it == breakers_.end()) return false;
+  return it->second->IsOpen(now);
+}
+
+std::vector<SystemHealth> HealthRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SystemHealth> out;
+  out.reserve(breakers_.size());
+  for (const auto& [name, breaker] : breakers_) {
+    out.push_back(breaker->Snapshot());
+  }
+  return out;
+}
+
+int64_t HealthRegistry::TrackedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(breakers_.size());
+}
+
+int64_t HealthRegistry::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t open = 0;
+  for (const auto& [name, breaker] : breakers_) {
+    if (breaker->Snapshot().state == BreakerState::kOpen) ++open;
+  }
+  return open;
+}
+
+HealthRegistry& HealthRegistry::Global() {
+  static HealthRegistry* registry = new HealthRegistry();
+  return *registry;
+}
+
+}  // namespace intellisphere::remote

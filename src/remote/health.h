@@ -1,0 +1,158 @@
+// Per-system circuit breakers and the process-wide health registry.
+//
+// Every remote system gets a three-state breaker (closed -> open after N
+// consecutive failures -> half-open probe after a cooldown) driven entirely
+// by the deployment clock the caller passes in — no wall-clock reads, so
+// breaker trajectories are byte-reproducible in tests. The HealthRegistry
+// aggregates breakers by system name and exposes snapshots the costing and
+// serving layers consult to decide when to degrade.
+
+#ifndef INTELLISPHERE_REMOTE_HEALTH_H_
+#define INTELLISPHERE_REMOTE_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::remote {
+
+/// Breaker lifecycle: requests flow while closed, are rejected while open,
+/// and a single probe is admitted per cooldown while half-open.
+enum class BreakerState {
+  kClosed = 0,
+  kOpen,
+  kHalfOpen,
+};
+
+const char* BreakerStateName(BreakerState state);
+
+/// Properties keys configuring breaker behavior (docs/CONFIG.md).
+inline constexpr char kBreakerFailureThresholdKey[] =
+    "remote.breaker.failure_threshold";
+inline constexpr char kBreakerCooldownSecondsKey[] =
+    "remote.breaker.cooldown_seconds";
+inline constexpr char kBreakerHalfOpenSuccessesKey[] =
+    "remote.breaker.half_open_successes";
+
+/// Tuning knobs for a circuit breaker.
+struct BreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Deployment-clock seconds the breaker stays open before admitting a
+  /// half-open probe.
+  double cooldown_seconds = 30.0;
+  /// Consecutive half-open successes required to close again.
+  int half_open_successes = 1;
+
+  /// Reads remote.breaker.* keys; absent keys keep defaults, present keys
+  /// must parse and be positive.
+  static Result<BreakerOptions> FromProperties(const Properties& props);
+};
+
+/// A point-in-time view of one system's breaker.
+struct SystemHealth {
+  std::string system;
+  BreakerState state = BreakerState::kClosed;
+  int consecutive_failures = 0;
+  int64_t failures_total = 0;
+  int64_t successes_total = 0;
+  /// Requests rejected because the breaker was open.
+  int64_t rejections_total = 0;
+  /// Closed -> open transitions.
+  int64_t trips_total = 0;
+  /// Deployment-clock time of the most recent trip.
+  double opened_at = 0.0;
+};
+
+/// One system's breaker state machine. Thread-safe; every transition is a
+/// function of (recorded outcomes, deployment-clock now) only.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string system,
+                          BreakerOptions options = BreakerOptions());
+
+  /// True when a request may proceed at `now`. Moves an open breaker whose
+  /// cooldown has elapsed to half-open (admitting this caller as the probe).
+  /// False counts a rejection.
+  bool AllowRequest(double now);
+
+  /// Records a failed request; returns true when this failure tripped the
+  /// breaker open (closed -> open, or a half-open probe failing re-opens).
+  bool RecordFailure(double now);
+
+  /// Records a successful request. Enough half-open successes close the
+  /// breaker; a success while closed resets the consecutive-failure count.
+  void RecordSuccess(double now);
+
+  /// True when the breaker is open and the cooldown has not elapsed at
+  /// `now`; a probe-eligible (half-open) breaker reads as not open so a
+  /// degraded caller may still attempt recovery.
+  [[nodiscard]] bool IsOpen(double now) const;
+
+  [[nodiscard]] SystemHealth Snapshot() const;
+
+  const std::string& system() const { return system_; }
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  const std::string system_;
+  const BreakerOptions options_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t failures_total_ = 0;
+  int64_t successes_total_ = 0;
+  int64_t rejections_total_ = 0;
+  int64_t trips_total_ = 0;
+  double opened_at_ = 0.0;
+};
+
+/// Owns one CircuitBreaker per system name. Breakers are created on first
+/// use and live for the registry's lifetime, so returned references stay
+/// valid. Thread-safe.
+class HealthRegistry {
+ public:
+  HealthRegistry() = default;
+  explicit HealthRegistry(BreakerOptions default_options)
+      : default_options_(default_options) {}
+
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// The breaker for `system`, created with the registry's default options
+  /// on first use.
+  CircuitBreaker& breaker(const std::string& system);
+
+  /// True when `system` has a breaker that is open at `now`. Unknown
+  /// systems are healthy.
+  [[nodiscard]] bool IsOpen(const std::string& system, double now) const;
+
+  /// Snapshot of every tracked system, sorted by name.
+  [[nodiscard]] std::vector<SystemHealth> Snapshot() const;
+
+  /// Number of systems with a tracked breaker.
+  [[nodiscard]] int64_t TrackedCount() const;
+  /// Number of breakers currently in the stored-open state (cooldown not
+  /// consulted; pair with IsOpen for clock-aware checks).
+  [[nodiscard]] int64_t OpenCount() const;
+
+  /// The process-wide registry resilient wrappers default to.
+  static HealthRegistry& Global();
+
+ private:
+  const BreakerOptions default_options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_HEALTH_H_

@@ -84,6 +84,11 @@ class RemoteSystem {
   [[nodiscard]] virtual Result<QueryResult> ExecuteScan(const rel::ScanQuery& query) = 0;
 
   /// Executes a type-erased operator.
+  ///
+  /// The switch covers every OperatorType enumerator with no default, so
+  /// adding an operator kind without a dispatch case fails compilation
+  /// under -Werror. The tail is reachable only for values outside the enum
+  /// (a corrupted or hand-cast `type`) and reports them explicitly.
   [[nodiscard]] Result<QueryResult> Execute(const rel::SqlOperator& op) {
     ISPHERE_RETURN_NOT_OK(op.Validate());
     switch (op.type) {
@@ -94,7 +99,8 @@ class RemoteSystem {
       case rel::OperatorType::kScan:
         return ExecuteScan(op.scan);
     }
-    return Status::Internal("unknown operator type");
+    return Status::Internal("OperatorType out of enum range: " +
+                            std::to_string(static_cast<int>(op.type)));
   }
 
   /// Executes a calibration probe over an input with the given statistics.

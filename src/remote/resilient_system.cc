@@ -1,0 +1,227 @@
+#include "remote/resilient_system.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace intellisphere::remote {
+
+Result<RetryPolicy> RetryPolicy::FromProperties(const Properties& props) {
+  RetryPolicy policy;
+  if (props.Contains(kRetryMaxAttemptsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t attempts,
+                             props.GetInt(kRetryMaxAttemptsKey));
+    if (attempts < 1) {
+      return Status::InvalidArgument(std::string(kRetryMaxAttemptsKey) +
+                                     " must be >= 1");
+    }
+    policy.max_attempts = static_cast<int>(attempts);
+  }
+  if (props.Contains(kRetryInitialBackoffSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.initial_backoff_seconds,
+                             props.GetDouble(kRetryInitialBackoffSecondsKey));
+    if (policy.initial_backoff_seconds < 0.0) {
+      return Status::InvalidArgument(
+          std::string(kRetryInitialBackoffSecondsKey) + " must be >= 0");
+    }
+  }
+  if (props.Contains(kRetryBackoffMultiplierKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.backoff_multiplier,
+                             props.GetDouble(kRetryBackoffMultiplierKey));
+    if (policy.backoff_multiplier < 1.0) {
+      return Status::InvalidArgument(std::string(kRetryBackoffMultiplierKey) +
+                                     " must be >= 1");
+    }
+  }
+  if (props.Contains(kRetryMaxBackoffSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.max_backoff_seconds,
+                             props.GetDouble(kRetryMaxBackoffSecondsKey));
+    if (policy.max_backoff_seconds < 0.0) {
+      return Status::InvalidArgument(std::string(kRetryMaxBackoffSecondsKey) +
+                                     " must be >= 0");
+    }
+  }
+  if (props.Contains(kRetryJitterFractionKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.jitter_fraction,
+                             props.GetDouble(kRetryJitterFractionKey));
+    if (policy.jitter_fraction < 0.0 || policy.jitter_fraction >= 1.0) {
+      return Status::InvalidArgument(std::string(kRetryJitterFractionKey) +
+                                     " must be in [0, 1)");
+    }
+  }
+  if (props.Contains(kRetryAttemptTimeoutSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.attempt_timeout_seconds,
+                             props.GetDouble(kRetryAttemptTimeoutSecondsKey));
+    if (policy.attempt_timeout_seconds < 0.0) {
+      return Status::InvalidArgument(
+          std::string(kRetryAttemptTimeoutSecondsKey) + " must be >= 0");
+    }
+  }
+  if (props.Contains(kRetryOverallDeadlineSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(policy.overall_deadline_seconds,
+                             props.GetDouble(kRetryOverallDeadlineSecondsKey));
+    if (policy.overall_deadline_seconds < 0.0) {
+      return Status::InvalidArgument(
+          std::string(kRetryOverallDeadlineSecondsKey) + " must be >= 0");
+    }
+  }
+  if (props.Contains(kRetrySeedKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t seed, props.GetInt(kRetrySeedKey));
+    policy.seed = static_cast<uint64_t>(seed);
+  }
+  return policy;
+}
+
+double RetryPolicy::BackoffSeconds(int completed_attempts, Rng* rng) const {
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < completed_attempts; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_seconds) break;
+  }
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (jitter_fraction > 0.0 && rng != nullptr) {
+    backoff *= 1.0 + rng->Uniform(-jitter_fraction, jitter_fraction);
+  }
+  return backoff;
+}
+
+ResilientRemoteSystem::ResilientRemoteSystem(RemoteSystem* inner,
+                                             RetryPolicy policy,
+                                             HealthRegistry* health,
+                                             RemoteObservability observability)
+    : inner_(inner),
+      policy_(policy),
+      health_(health != nullptr ? health : &HealthRegistry::Global()),
+      observability_(observability),
+      rng_(policy.seed) {
+  MetricsRegistry* metrics = observability_.metrics != nullptr
+                                 ? observability_.metrics
+                                 : &MetricsRegistry::Global();
+  retries_ = metrics->GetCounter("remote.retries");
+  breaker_open_ = metrics->GetCounter("remote.breaker.open");
+  breaker_rejected_ = metrics->GetCounter("remote.breaker.rejected");
+  deadline_exceeded_ = metrics->GetCounter("remote.deadline_exceeded");
+}
+
+ResilientRemoteSystem::ResilientRemoteSystem(std::unique_ptr<RemoteSystem> inner,
+                                             RetryPolicy policy,
+                                             HealthRegistry* health,
+                                             RemoteObservability observability)
+    : ResilientRemoteSystem(inner.get(), policy, health, observability) {
+  owned_ = std::move(inner);
+}
+
+Result<QueryResult> ResilientRemoteSystem::RunWithRetries(
+    const char* op_label,
+    const std::function<Result<QueryResult>()>& attempt) {
+  CircuitBreaker& breaker = health_->breaker(inner_->name());
+  TraceSpan span(observability_.trace, "remote.execute");
+  if (span.enabled()) {
+    span.SetString("system", inner_->name()).SetString("operator", op_label);
+  }
+  if (!breaker.AllowRequest(clock_)) {
+    breaker_rejected_->Increment();
+    if (span.enabled()) span.SetBool("breaker_rejected", true);
+    return Status::Unavailable("circuit breaker open for system '" +
+                               inner_->name() + "'");
+  }
+
+  const double start = clock_;
+  Status last_error = Status::OK();
+  int attempts = 0;
+  for (int i = 1; i <= policy_.max_attempts; ++i) {
+    attempts = i;
+    const double before = inner_->total_simulated_seconds();
+    Result<QueryResult> result = attempt();
+    const double elapsed = inner_->total_simulated_seconds() - before;
+    clock_ += elapsed;
+
+    Status outcome = result.status();
+    if (outcome.ok() && policy_.attempt_timeout_seconds > 0.0 &&
+        elapsed > policy_.attempt_timeout_seconds) {
+      outcome = Status::DeadlineExceeded(
+          "attempt on system '" + inner_->name() + "' took " +
+          std::to_string(elapsed) + "s, over the per-attempt timeout of " +
+          std::to_string(policy_.attempt_timeout_seconds) + "s");
+    }
+
+    if (outcome.ok()) {
+      breaker.RecordSuccess(clock_);
+      if (span.enabled()) {
+        span.SetInt("attempts", attempts).SetBool("ok", true);
+      }
+      return result;
+    }
+
+    // Permanent "the request itself is wrong / unsupported" outcomes are
+    // not evidence of system ill-health: pass them through untouched.
+    if (outcome.code() == StatusCode::kUnsupported ||
+        outcome.code() == StatusCode::kInvalidArgument) {
+      if (span.enabled()) {
+        span.SetInt("attempts", attempts)
+            .SetBool("ok", false)
+            .SetString("error", StatusCodeName(outcome.code()));
+      }
+      return outcome;
+    }
+
+    if (outcome.code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_->Increment();
+    }
+    if (breaker.RecordFailure(clock_)) {
+      breaker_open_->Increment();
+    }
+    last_error = outcome;
+    if (!outcome.IsRetryable() || i == policy_.max_attempts) break;
+
+    double backoff = policy_.BackoffSeconds(i, &rng_);
+    if (policy_.overall_deadline_seconds > 0.0 &&
+        clock_ + backoff - start > policy_.overall_deadline_seconds) {
+      last_error = Status::DeadlineExceeded(
+          "overall deadline of " +
+          std::to_string(policy_.overall_deadline_seconds) +
+          "s exhausted after " + std::to_string(attempts) +
+          " attempt(s) on system '" + inner_->name() + "'");
+      deadline_exceeded_->Increment();
+      break;
+    }
+    clock_ += backoff;
+    total_backoff_seconds_ += backoff;
+    retries_->Increment();
+    if (span.enabled()) {
+      span.Child("remote.backoff")
+          .SetInt("attempt", i)
+          .SetDouble("backoff_seconds", backoff);
+    }
+  }
+
+  if (span.enabled()) {
+    span.SetInt("attempts", attempts)
+        .SetBool("ok", false)
+        .SetString("error", StatusCodeName(last_error.code()));
+  }
+  return last_error;
+}
+
+Result<QueryResult> ResilientRemoteSystem::ExecuteJoin(
+    const rel::JoinQuery& query) {
+  return RunWithRetries("join", [&] { return inner_->ExecuteJoin(query); });
+}
+
+Result<QueryResult> ResilientRemoteSystem::ExecuteAgg(
+    const rel::AggQuery& query) {
+  return RunWithRetries("aggregation",
+                        [&] { return inner_->ExecuteAgg(query); });
+}
+
+Result<QueryResult> ResilientRemoteSystem::ExecuteScan(
+    const rel::ScanQuery& query) {
+  return RunWithRetries("scan", [&] { return inner_->ExecuteScan(query); });
+}
+
+Result<QueryResult> ResilientRemoteSystem::ExecuteProbe(
+    ProbeKind kind, const rel::RelationStats& input) {
+  return RunWithRetries(ProbeKindName(kind),
+                        [&] { return inner_->ExecuteProbe(kind, input); });
+}
+
+}  // namespace intellisphere::remote

@@ -1,0 +1,160 @@
+// Retrying, breaker-guarded remote execution.
+//
+// ResilientRemoteSystem wraps any RemoteSystem with a RetryPolicy (max
+// attempts, exponential backoff with deterministic jitter, per-attempt and
+// overall deadlines) and routes every outcome through the per-system
+// CircuitBreaker in a HealthRegistry. Backoff advances a *deployment clock*
+// owned by the wrapper — there are no real sleeps (lint rule
+// no-wallclock-sleep), so retry schedules are byte-reproducible and tests
+// run at full speed.
+//
+// Observability: each call emits a `remote.execute` trace span with
+// attempt/backoff child spans, and bumps the remote.retries /
+// remote.breaker.open / remote.breaker.rejected /
+// remote.deadline_exceeded counters in the metrics registry.
+
+#ifndef INTELLISPHERE_REMOTE_RESILIENT_SYSTEM_H_
+#define INTELLISPHERE_REMOTE_RESILIENT_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "remote/health.h"
+#include "remote/remote_system.h"
+#include "util/properties.h"
+#include "util/rng.h"
+#include "util/runtime_metrics.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace intellisphere::remote {
+
+/// Properties keys configuring retry behavior (docs/CONFIG.md).
+inline constexpr char kRetryMaxAttemptsKey[] = "remote.retry.max_attempts";
+inline constexpr char kRetryInitialBackoffSecondsKey[] =
+    "remote.retry.initial_backoff_seconds";
+inline constexpr char kRetryBackoffMultiplierKey[] =
+    "remote.retry.backoff_multiplier";
+inline constexpr char kRetryMaxBackoffSecondsKey[] =
+    "remote.retry.max_backoff_seconds";
+inline constexpr char kRetryJitterFractionKey[] =
+    "remote.retry.jitter_fraction";
+inline constexpr char kRetryAttemptTimeoutSecondsKey[] =
+    "remote.retry.attempt_timeout_seconds";
+inline constexpr char kRetryOverallDeadlineSecondsKey[] =
+    "remote.retry.overall_deadline_seconds";
+inline constexpr char kRetrySeedKey[] = "remote.retry.seed";
+
+/// Retry schedule and deadlines, all on the deployment clock.
+struct RetryPolicy {
+  /// Total attempts per call (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before the first retry.
+  double initial_backoff_seconds = 0.5;
+  /// Multiplier applied per subsequent retry.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff.
+  double max_backoff_seconds = 30.0;
+  /// Deterministic jitter: each backoff is scaled by a seeded uniform draw
+  /// in [1 - jitter_fraction, 1 + jitter_fraction]. 0 disables the draw.
+  double jitter_fraction = 0.1;
+  /// Per-attempt deadline; a successful attempt that took longer counts as
+  /// DeadlineExceeded and is retried. 0 disables.
+  double attempt_timeout_seconds = 0.0;
+  /// Budget for the whole call including backoffs; exceeded -> the call
+  /// fails with DeadlineExceeded instead of backing off again. 0 disables.
+  double overall_deadline_seconds = 0.0;
+  /// Seed for the jitter stream.
+  uint64_t seed = 0;
+
+  /// Reads remote.retry.* keys; absent keys keep defaults.
+  static Result<RetryPolicy> FromProperties(const Properties& props);
+
+  /// The backoff after `completed_attempts` failed attempts (>= 1):
+  /// initial * multiplier^(completed_attempts - 1), clamped to
+  /// max_backoff_seconds, then jittered via `rng` when jitter_fraction > 0.
+  [[nodiscard]] double BackoffSeconds(int completed_attempts, Rng* rng) const;
+};
+
+/// Trace/metrics plumbing for the wrapper. Null trace disables spans; null
+/// metrics falls back to MetricsRegistry::Global().
+struct RemoteObservability {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Decorator adding retries, deadlines, and breaker protection to an inner
+/// RemoteSystem.
+///
+/// Single-threaded like the simulated engines it wraps (the jitter Rng and
+/// the deployment clock are unsynchronized); the HealthRegistry it reports
+/// into is thread-safe and may be shared across wrappers.
+class ResilientRemoteSystem : public RemoteSystem {
+ public:
+  /// Non-owning: `inner` must outlive the wrapper. `health` defaults to
+  /// HealthRegistry::Global().
+  ResilientRemoteSystem(RemoteSystem* inner, RetryPolicy policy,
+                        HealthRegistry* health = nullptr,
+                        RemoteObservability observability = {});
+  /// Owning variant.
+  ResilientRemoteSystem(std::unique_ptr<RemoteSystem> inner,
+                        RetryPolicy policy, HealthRegistry* health = nullptr,
+                        RemoteObservability observability = {});
+
+  /// Forwards the inner system's name so the breaker and costing profiles
+  /// key on the real system.
+  const std::string& name() const override { return inner_->name(); }
+
+  [[nodiscard]] Result<QueryResult> ExecuteJoin(
+      const rel::JoinQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteAgg(
+      const rel::AggQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteScan(
+      const rel::ScanQuery& query) override;
+  [[nodiscard]] Result<QueryResult> ExecuteProbe(
+      ProbeKind kind, const rel::RelationStats& input) override;
+
+  /// Inner busy time plus every backoff waited (on the deployment clock).
+  double total_simulated_seconds() const override {
+    return inner_->total_simulated_seconds() + total_backoff_seconds_;
+  }
+  int64_t queries_executed() const override {
+    return inner_->queries_executed();
+  }
+
+  /// The wrapper's deployment clock: inner elapsed time + backoffs, used
+  /// for breaker cooldowns and overall deadlines.
+  double clock_seconds() const { return clock_; }
+  double total_backoff_seconds() const { return total_backoff_seconds_; }
+
+  HealthRegistry* health() { return health_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] Result<QueryResult> RunWithRetries(
+      const char* op_label,
+      const std::function<Result<QueryResult>()>& attempt);
+
+  std::unique_ptr<RemoteSystem> owned_;
+  RemoteSystem* inner_;
+  const RetryPolicy policy_;
+  HealthRegistry* health_;
+  RemoteObservability observability_;
+  Rng rng_;
+
+  double clock_ = 0.0;
+  double total_backoff_seconds_ = 0.0;
+
+  // Cached instrument pointers (registry lookups lock; see
+  // util/runtime_metrics.h).
+  Counter* retries_ = nullptr;
+  Counter* breaker_open_ = nullptr;
+  Counter* breaker_rejected_ = nullptr;
+  Counter* deadline_exceeded_ = nullptr;
+};
+
+}  // namespace intellisphere::remote
+
+#endif  // INTELLISPHERE_REMOTE_RESILIENT_SYSTEM_H_

@@ -169,12 +169,14 @@ int EstimateCache::ShardOf(const std::string& key) const {
 
 std::optional<core::HybridEstimate> EstimateCache::Get(
     const std::string& key, uint64_t epoch, double now,
-    const CacheCounters& counters) {
+    const CacheCounters& counters, bool allow_stale, bool* served_stale) {
+  if (served_stale != nullptr) *served_stale = false;
   const uint64_t hash = HashKey(key);
   Shard& shard = *shards_[hash % shards_.size()];
   std::optional<core::HybridEstimate> found;
   bool stale = false;
   bool expired = false;
+  bool served_expired = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(hash);
@@ -183,10 +185,21 @@ std::optional<core::HybridEstimate> EstimateCache::Get(
     if (it != shard.index.end() && it->second->key == key) {
       Entry& entry = *it->second;
       if (entry.epoch != epoch) {
+        // Epoch staleness is never forgiven: the value was computed from
+        // superseded model weights, so "stale" here means wrong.
         stale = true;
       } else if (options_.ttl_seconds > 0.0 &&
                  now - entry.stored_now > options_.ttl_seconds) {
-        expired = true;
+        if (allow_stale) {
+          // Degraded serve: hand out the expired value and *keep* the
+          // entry (no stored_now refresh — it stays expired for normal
+          // lookups) so later degraded lookups still have an answer.
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+          found = entry.value;
+          served_expired = true;
+        } else {
+          expired = true;
+        }
       } else {
         // Hit: refresh recency and copy out under the lock.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -201,6 +214,11 @@ std::optional<core::HybridEstimate> EstimateCache::Get(
   if (found.has_value()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (counters.hits != nullptr) counters.hits->Increment();
+    if (served_expired) {
+      stale_served_.fetch_add(1, std::memory_order_relaxed);
+      if (counters.stale_served != nullptr) counters.stale_served->Increment();
+      if (served_stale != nullptr) *served_stale = true;
+    }
     return found;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -279,6 +297,7 @@ CacheStats EstimateCache::Stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.stale_epoch = stale_epoch_.load(std::memory_order_relaxed);
+  stats.stale_served = stale_served_.load(std::memory_order_relaxed);
   stats.entries = static_cast<int64_t>(size());
   return stats;
 }

@@ -74,10 +74,11 @@ struct CacheOptions {
 /// Point-in-time cache statistics.
 struct CacheStats {
   int64_t hits = 0;
-  int64_t misses = 0;       ///< every Get that returned nothing
-  int64_t evictions = 0;    ///< capacity + TTL removals
-  int64_t stale_epoch = 0;  ///< subset of misses rejected by epoch check
-  int64_t entries = 0;      ///< live entries right now
+  int64_t misses = 0;        ///< every Get that returned nothing
+  int64_t evictions = 0;     ///< capacity + TTL removals
+  int64_t stale_epoch = 0;   ///< subset of misses rejected by epoch check
+  int64_t stale_served = 0;  ///< TTL-expired hits served under allow_stale
+  int64_t entries = 0;       ///< live entries right now
   double HitRate() const {
     int64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / total : 0.0;
@@ -92,6 +93,7 @@ struct CacheCounters {
   Counter* misses = nullptr;
   Counter* evictions = nullptr;
   Counter* stale_epoch = nullptr;
+  Counter* stale_served = nullptr;
 };
 
 /// Builds the canonical cache key for one estimate call. The key covers
@@ -132,9 +134,17 @@ class EstimateCache {
   /// at deployment time `now`; otherwise erases the dead entry and counts
   /// a miss (plus stale_epoch when the epoch check failed). A hit
   /// refreshes the entry's LRU position.
+  ///
+  /// Degraded mode (`allow_stale`, DESIGN.md §12): a TTL-expired entry is
+  /// served anyway — counted as a hit plus stale_served, reported through
+  /// `*served_stale` when non-null, and *kept* in the cache so repeated
+  /// degraded lookups keep answering. Epoch-stale entries are never served:
+  /// a pre-retrain value is wrong, not merely old.
   std::optional<core::HybridEstimate> Get(const std::string& key,
                                           uint64_t epoch, double now,
-                                          const CacheCounters& counters = {});
+                                          const CacheCounters& counters = {},
+                                          bool allow_stale = false,
+                                          bool* served_stale = nullptr);
 
   /// Inserts (or refreshes) `key` with a value computed at model `epoch`
   /// and deployment time `now`, evicting the shard's LRU tail when over
@@ -179,6 +189,7 @@ class EstimateCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> stale_epoch_{0};
+  std::atomic<int64_t> stale_served_{0};
 };
 
 }  // namespace intellisphere::serving

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "remote/health.h"
 #include "util/json.h"
 
 namespace intellisphere::serving {
@@ -18,16 +19,18 @@ struct ServingInstruments {
   Counter* misses = nullptr;
   Counter* evictions = nullptr;
   Counter* stale_epoch = nullptr;
+  Counter* stale_served = nullptr;
 
   ServingInstruments() = default;
   explicit ServingInstruments(MetricsRegistry& r)
       : hits(r.GetCounter("serving.cache.hits")),
         misses(r.GetCounter("serving.cache.misses")),
         evictions(r.GetCounter("serving.cache.evictions")),
-        stale_epoch(r.GetCounter("serving.cache.stale_epoch")) {}
+        stale_epoch(r.GetCounter("serving.cache.stale_epoch")),
+        stale_served(r.GetCounter("serving.cache.stale_served")) {}
 
   CacheCounters AsCacheCounters() const {
-    return CacheCounters{hits, misses, evictions, stale_epoch};
+    return CacheCounters{hits, misses, evictions, stale_epoch, stale_served};
   }
 };
 
@@ -113,6 +116,10 @@ core::EstimateContext EstimationService::RequestContext(
   if (request.policy_override.has_value()) {
     out.policy_override = request.policy_override;
   }
+  // The service's breaker registry backstops a context without one, so the
+  // estimator's degradation ladder engages even for callers that never
+  // heard of health tracking.
+  if (out.health == nullptr) out.health = options_.health;
   return out;
 }
 
@@ -124,15 +131,29 @@ Result<core::HybridEstimate> EstimationService::Estimate(
   // let a pre-retrain value masquerade as fresh.
   const uint64_t epoch = estimator_->model_epoch();
   const std::string key = KeyFor(request, ctx);
+  const remote::HealthRegistry* health =
+      ctx.health != nullptr ? ctx.health : options_.health;
+  const bool breaker_open =
+      health != nullptr && health->IsOpen(request.system, request.now);
   if (!key.empty()) {
-    if (auto hit = cache_.Get(key, epoch, request.now, counters)) {
+    bool served_stale = false;
+    if (auto hit = cache_.Get(key, epoch, request.now, counters,
+                              /*allow_stale=*/breaker_open, &served_stale)) {
+      if (served_stale) {
+        core::HybridEstimate est = *std::move(hit);
+        est.fell_back_reason = "breaker_open:served_stale";
+        return est;
+      }
       return *std::move(hit);
     }
   }
   auto result =
       estimator_->Estimate(request.system, request.op,
                            RequestContext(request, ctx));
-  if (result.ok() && !key.empty()) {
+  // Degraded results (non-empty fell_back_reason) are never cached: once
+  // the breaker closes, callers should get the real estimate again, not a
+  // memoized fallback.
+  if (result.ok() && !key.empty() && result.value().fell_back_reason.empty()) {
     cache_.Put(key, epoch, request.now, result.value(), counters);
   }
   return result;
@@ -169,22 +190,35 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
   std::vector<MissGroup> groups;
   std::unordered_map<std::string, size_t> key_to_group;
   std::string scratch;
-  // Per-batch memo of the last (system -> profile) resolution: batches
-  // overwhelmingly target one system, and the estimator may not be mutated
-  // mid-batch (class contract), so the pointer stays valid for the batch.
+  // Per-batch memo of the last (system -> profile, breaker state)
+  // resolution: batches overwhelmingly target one system, and the
+  // estimator may not be mutated mid-batch (class contract), so the
+  // pointer stays valid for the batch. The breaker memo tolerates
+  // intra-batch `now` variance — it gates a degradation decision (flagged
+  // in the result), never a correctness one.
+  const remote::HealthRegistry* health =
+      ctx.health != nullptr ? ctx.health : options_.health;
   const std::string* memo_system = nullptr;
   const core::CostingProfile* memo_profile = nullptr;
+  bool memo_breaker_open = false;
   int64_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
     if (memo_system == nullptr || *memo_system != requests[i].system) {
       auto profile = estimator_->GetProfile(requests[i].system);
       memo_profile = profile.ok() ? profile.value() : nullptr;
+      memo_breaker_open = health != nullptr &&
+                          health->IsOpen(requests[i].system, requests[i].now);
       memo_system = &requests[i].system;
     }
     KeyWithProfileTo(requests[i], bctx, memo_profile, &scratch);
     if (!scratch.empty()) {
-      if (auto hit = cache_.Get(scratch, epoch, requests[i].now, counters)) {
-        results[i] = *std::move(hit);
+      bool served_stale = false;
+      if (auto hit = cache_.Get(scratch, epoch, requests[i].now, counters,
+                                /*allow_stale=*/memo_breaker_open,
+                                &served_stale)) {
+        core::HybridEstimate est = *std::move(hit);
+        if (served_stale) est.fell_back_reason = "breaker_open:served_stale";
+        results[i] = std::move(est);
         ++hits;
         continue;
       }
@@ -212,9 +246,12 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
       });
 
   // Pass 3: fill the cache and fan results back out to duplicates.
+  // Degraded results (non-empty fell_back_reason) are never cached — see
+  // Estimate().
   for (size_t g = 0; g < num_groups; ++g) {
     const size_t rep = groups[g].first_index;
-    if (computed[g].ok() && !groups[g].key.empty()) {
+    if (computed[g].ok() && !groups[g].key.empty() &&
+        computed[g].value().fell_back_reason.empty()) {
       cache_.Put(groups[g].key, epoch, requests[rep].now, computed[g].value(),
                  counters);
     }
@@ -244,6 +281,8 @@ MetricsSnapshot EstimationService::StatsSnapshot() const {
        "count"},
       {"serving.cache.stale_epoch", static_cast<double>(stats.stale_epoch),
        "count"},
+      {"serving.cache.stale_served", static_cast<double>(stats.stale_served),
+       "count"},
       {"serving.cache.entries", static_cast<double>(stats.entries), "count"},
       {"serving.cache.hit_rate", stats.HitRate(), "ratio"},
   };
@@ -271,7 +310,21 @@ std::string EstimationService::ExplainJson() const {
   json += "      \"evictions\": " + std::to_string(stats.evictions) + ",\n";
   json += "      \"stale_epoch\": " + std::to_string(stats.stale_epoch) +
           ",\n";
+  json += "      \"stale_served\": " + std::to_string(stats.stale_served) +
+          ",\n";
   json += "      \"hit_rate\": " + JsonNumberShort(stats.HitRate()) + "\n";
+  json += "    },\n";
+  const int64_t tracked =
+      options_.health != nullptr
+          ? static_cast<int64_t>(options_.health->TrackedCount())
+          : 0;
+  const int64_t open =
+      options_.health != nullptr
+          ? static_cast<int64_t>(options_.health->OpenCount())
+          : 0;
+  json += "    \"health\": {\n";
+  json += "      \"tracked\": " + std::to_string(tracked) + ",\n";
+  json += "      \"open\": " + std::to_string(open) + "\n";
   json += "    }\n  }\n}\n";
   return json;
 }

@@ -50,6 +50,14 @@ struct ServiceOptions {
   /// Worker threads for batch cache misses; 0 = HardwareConcurrency(),
   /// 1 = compute misses inline on the caller's thread.
   int jobs = 0;
+  /// Circuit-breaker registry consulted per request (DESIGN.md §12). When
+  /// the target system's breaker is open, a TTL-expired cache entry is
+  /// served rather than discarded (flagged "breaker_open:served_stale"),
+  /// and estimator results degrade through the fallback ladder. Used only
+  /// when the per-call EstimateContext carries no registry of its own; a
+  /// wiring concern, so not read from Properties. Must outlive the
+  /// service; null disables breaker awareness.
+  const remote::HealthRegistry* health = nullptr;
 
   /// Reads serving.jobs and the serving.cache.* keys; absent keys keep
   /// their defaults.

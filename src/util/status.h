@@ -23,6 +23,8 @@ enum class StatusCode {
   kUnsupported,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -69,10 +71,24 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for transient failures a caller may retry (the request might
+  /// succeed on another attempt): Unavailable and DeadlineExceeded.
+  /// Permanent errors (InvalidArgument, Unsupported, ...) are not retryable.
+  [[nodiscard]] bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Returns "OK" or "<CodeName>: <message>".
   [[nodiscard]] std::string ToString() const;

@@ -100,6 +100,7 @@ TEST(ExplainPlacementTest, GoldenJson) {
       "algorithm": "shuffle_join",
       "used_remedy": false,
       "remedy_alpha": 1,
+      "fell_back_reason": "",
       "algorithm_candidates": [
         {"algorithm": "shuffle_join", "seconds": 2.5},
         {"algorithm": "broadcast_join", "seconds": 3}
@@ -118,6 +119,7 @@ TEST(ExplainPlacementTest, GoldenJson) {
       "algorithm": "",
       "used_remedy": false,
       "remedy_alpha": 1,
+      "fell_back_reason": "",
       "algorithm_candidates": [],
       "eliminated_algorithms": []
     }

@@ -257,6 +257,48 @@ TEST(NoRawThreadRule, SuppressedOnSameLine) {
                   .empty());
 }
 
+// --- no-wallclock-sleep ----------------------------------------------------
+
+TEST(NoWallclockSleepRule, FiresOnSleepsAndSystemClock) {
+  auto findings = RunLint(
+      "src/remote/resilient_system.cc",
+      "std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+      "std::this_thread::sleep_until(deadline);\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-wallclock-sleep",
+                                      "no-wallclock-sleep",
+                                      "no-wallclock-sleep"}));
+  EXPECT_NE(findings[0].message.find("deployment clock"), std::string::npos);
+}
+
+TEST(NoWallclockSleepRule, YieldAndSteadyClockStayLegal) {
+  EXPECT_TRUE(RunLint("src/util/thread_pool.cc",
+                  "std::this_thread::yield();\n"
+                  "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(NoWallclockSleepRule, OnlyAppliesToLibraryCode) {
+  EXPECT_TRUE(RunLint("tests/foo_test.cc",
+                  "std::this_thread::sleep_for(ms);\n")
+                  .empty());
+  EXPECT_TRUE(RunLint("bench/bench_foo.cc",
+                  "auto t = std::chrono::system_clock::now();\n")
+                  .empty());
+}
+
+TEST(NoWallclockSleepRule, IgnoresCommentsAndSuppressions) {
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "// std::this_thread::sleep_for in a comment\n")
+                  .empty());
+  EXPECT_TRUE(
+      RunLint("src/core/trainer.cc",
+          "std::this_thread::sleep_for(ms);  "
+          "// lint:allow(no-wallclock-sleep)\n")
+          .empty());
+}
+
 // --- discarded-status ------------------------------------------------------
 
 lint::LintOptions StatusOpts() {

@@ -261,6 +261,20 @@ TEST(SparkEngineTest, CartesianIsVastlyMoreExpensive) {
   EXPECT_GT(cart, 50.0 * equi);
 }
 
+TEST(RemoteSystemTest, ExecuteRejectsOutOfEnumOperatorType) {
+  // Regression: the Validate/dispatch switches cover every enumerator, so
+  // a value outside the enum must surface as an explicit Internal error,
+  // not fall into whichever case the compiler laid out last.
+  auto hive = HiveEngine::CreateDefault("hive", 1);
+  rel::SqlOperator op = rel::SqlOperator::MakeJoin(MediumJoin());
+  op.type = static_cast<rel::OperatorType>(99);
+  auto result = hive->Execute(op);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("out of enum range"),
+            std::string::npos);
+}
+
 TEST(BlackboxTest, HidesProbesAndAlgorithms) {
   auto inner = HiveEngine::CreateDefault("mystery", 4);
   BlackboxSystem blackbox(std::move(inner));

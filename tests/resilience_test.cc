@@ -1,0 +1,1244 @@
+// Tests for the fault-tolerance layer (DESIGN.md §12): deterministic fault
+// injection (remote/faulty_system.h), retry/backoff/deadline handling and
+// per-system circuit breakers (remote/resilient_system.h, remote/health.h),
+// graceful degradation of training, calibration, and costing, and the
+// serving layer's serve-stale path. The ConcurrentHammer test doubles as a
+// tsan target wired into scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/sub_op.h"
+#include "core/trainer.h"
+#include "core/training.h"
+#include "relational/workload.h"
+#include "remote/faulty_system.h"
+#include "remote/health.h"
+#include "remote/hive_engine.h"
+#include "remote/resilient_system.h"
+#include "serving/service.h"
+#include "util/properties.h"
+#include "util/rng.h"
+#include "util/runtime_metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace intellisphere {
+namespace {
+
+core::OpenboxInfo InfoFor(const remote::HiveEngine& hive) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = hive.cluster().config().dfs_block_bytes;
+  info.total_slots = hive.cluster().config().TotalSlots();
+  info.num_worker_nodes = hive.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = hive.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes =
+      hive.options().broadcast_threshold_factor * info.task_memory_bytes;
+  return info;
+}
+
+core::SubOpCostEstimator MakeSubOpEstimator(remote::HiveEngine* hive) {
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(hive, InfoFor(*hive), opts).value();
+  return core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value();
+}
+
+core::LogicalOpModel MakeAggModel(remote::HiveEngine* hive) {
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100, 500};
+  wopts.num_aggregates = {1, 3};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(hive, queries).value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 4000;
+  return core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     run.data, core::AggDimensionNames(),
+                                     opts)
+      .value();
+}
+
+rel::SqlOperator SampleJoin(int64_t left_rows = 4000000) {
+  auto l = rel::SyntheticTableDef(left_rows, 250).value();
+  auto r = rel::SyntheticTableDef(400000, 100).value();
+  return rel::SqlOperator::MakeJoin(
+      rel::MakeJoinQuery(l, r, 32, 32, 0.5).value());
+}
+
+rel::SqlOperator SampleAgg(int64_t rows = 400000) {
+  auto t = rel::SyntheticTableDef(rows, 100).value();
+  return rel::SqlOperator::MakeAgg(rel::MakeAggQuery(t, 10, 1).value());
+}
+
+/// A hand-scripted remote system for precise retry/breaker/quorum
+/// assertions: every operator and probe takes `seconds_per_call` (failures
+/// too — time-to-error advances the deployment clock), the first
+/// `fail_first_n` calls fail, and after that every `fail_every`-th call
+/// fails (0 = never).
+class FlakySystem : public remote::RemoteSystem {
+ public:
+  explicit FlakySystem(std::string name) : name_(std::move(name)) {}
+
+  int fail_first_n = 0;
+  int fail_every = 0;
+  StatusCode fail_code = StatusCode::kUnavailable;
+  double seconds_per_call = 1.0;
+
+  const std::string& name() const override { return name_; }
+
+  [[nodiscard]] Result<remote::QueryResult> ExecuteJoin(
+      const rel::JoinQuery&) override {
+    return Attempt();
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteAgg(
+      const rel::AggQuery&) override {
+    return Attempt();
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteScan(
+      const rel::ScanQuery&) override {
+    return Attempt();
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteProbe(
+      remote::ProbeKind, const rel::RelationStats&) override {
+    return Attempt();
+  }
+
+  double total_simulated_seconds() const override { return clock_; }
+  int64_t queries_executed() const override { return executed_; }
+  int64_t calls() const { return calls_; }
+
+ private:
+  Result<remote::QueryResult> Attempt() {
+    ++calls_;
+    clock_ += seconds_per_call;
+    const bool fail = calls_ <= fail_first_n ||
+                      (fail_every > 0 && calls_ % fail_every == 0);
+    if (fail) {
+      switch (fail_code) {
+        case StatusCode::kDeadlineExceeded:
+          return Status::DeadlineExceeded("flaky: deadline exceeded");
+        case StatusCode::kUnsupported:
+          return Status::Unsupported("flaky: unsupported");
+        case StatusCode::kInternal:
+          return Status::Internal("flaky: internal");
+        default:
+          return Status::Unavailable("flaky: unavailable");
+      }
+    }
+    ++executed_;
+    return remote::QueryResult{seconds_per_call, "stub"};
+  }
+
+  const std::string name_;
+  int64_t calls_ = 0;
+  int64_t executed_ = 0;
+  double clock_ = 0.0;
+};
+
+/// Pass-through decorator that fails every `fail_every`-th *probe* with
+/// `fail_code`, leaving operators untouched — lets the calibration tests
+/// script exactly which grid cells die.
+class ProbeFailDecorator : public remote::RemoteSystem {
+ public:
+  ProbeFailDecorator(remote::RemoteSystem* inner, int fail_every,
+                     StatusCode fail_code)
+      : inner_(inner), fail_every_(fail_every), fail_code_(fail_code) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteJoin(
+      const rel::JoinQuery& q) override {
+    return inner_->ExecuteJoin(q);
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteAgg(
+      const rel::AggQuery& q) override {
+    return inner_->ExecuteAgg(q);
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteScan(
+      const rel::ScanQuery& q) override {
+    return inner_->ExecuteScan(q);
+  }
+  [[nodiscard]] Result<remote::QueryResult> ExecuteProbe(
+      remote::ProbeKind kind, const rel::RelationStats& input) override {
+    ++probe_attempts_;
+    if (fail_every_ > 0 && probe_attempts_ % fail_every_ == 0) {
+      if (fail_code_ == StatusCode::kInternal) {
+        return Status::Internal("scripted probe failure");
+      }
+      return Status::Unavailable("scripted probe failure");
+    }
+    return inner_->ExecuteProbe(kind, input);
+  }
+  double total_simulated_seconds() const override {
+    return inner_->total_simulated_seconds();
+  }
+  int64_t queries_executed() const override {
+    return inner_->queries_executed();
+  }
+
+ private:
+  remote::RemoteSystem* inner_;
+  const int fail_every_;
+  const StatusCode fail_code_;
+  int64_t probe_attempts_ = 0;
+};
+
+// --- Options parsing -------------------------------------------------------
+
+TEST(FaultOptionsTest, FromPropertiesDefaultsAndOverrides) {
+  Properties empty;
+  auto defaults = remote::FaultOptions::FromProperties(empty).value();
+  EXPECT_EQ(defaults.seed, 0u);
+  EXPECT_DOUBLE_EQ(defaults.unavailable_probability, 0.0);
+  EXPECT_DOUBLE_EQ(defaults.deadline_probability, 0.0);
+  EXPECT_DOUBLE_EQ(defaults.latency_probability, 0.0);
+  EXPECT_TRUE(defaults.outage_windows.empty());
+  EXPECT_TRUE(defaults.fail_operators);
+  EXPECT_TRUE(defaults.fail_probes);
+  EXPECT_FALSE(defaults.only_operator.has_value());
+  EXPECT_FALSE(defaults.only_probe.has_value());
+
+  Properties props;
+  props.SetInt(remote::kFaultsSeedKey, 42);
+  props.SetDouble(remote::kFaultsUnavailableProbabilityKey, 0.05);
+  props.SetDouble(remote::kFaultsDeadlineProbabilityKey, 0.02);
+  props.SetDouble(remote::kFaultsLatencyProbabilityKey, 0.1);
+  props.SetDouble(remote::kFaultsLatencySecondsKey, 3.0);
+  props.SetDoubleList(remote::kFaultsOutageWindowsKey, {10.0, 20.0, 50.0, 60.0});
+  props.SetBool(remote::kFaultsFailOperatorsKey, false);
+  props.SetBool(remote::kFaultsFailProbesKey, true);
+  props.SetString(remote::kFaultsOnlyOperatorKey,
+                  rel::OperatorTypeName(rel::OperatorType::kJoin));
+  props.SetString(remote::kFaultsOnlyProbeKey,
+                  remote::ProbeKindName(remote::ProbeKind::kReadOnly));
+  auto opts = remote::FaultOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.seed, 42u);
+  EXPECT_DOUBLE_EQ(opts.unavailable_probability, 0.05);
+  EXPECT_DOUBLE_EQ(opts.deadline_probability, 0.02);
+  EXPECT_DOUBLE_EQ(opts.latency_probability, 0.1);
+  EXPECT_DOUBLE_EQ(opts.latency_seconds, 3.0);
+  ASSERT_EQ(opts.outage_windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(opts.outage_windows[0].start_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(opts.outage_windows[1].end_seconds, 60.0);
+  EXPECT_FALSE(opts.fail_operators);
+  ASSERT_TRUE(opts.only_operator.has_value());
+  EXPECT_EQ(*opts.only_operator, rel::OperatorType::kJoin);
+  ASSERT_TRUE(opts.only_probe.has_value());
+  EXPECT_EQ(*opts.only_probe, remote::ProbeKind::kReadOnly);
+}
+
+TEST(FaultOptionsTest, FromPropertiesRejectsInvalidValues) {
+  Properties props;
+  props.SetDouble(remote::kFaultsUnavailableProbabilityKey, 1.5);
+  EXPECT_FALSE(remote::FaultOptions::FromProperties(props).ok());
+
+  Properties odd;
+  odd.SetDoubleList(remote::kFaultsOutageWindowsKey, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(remote::FaultOptions::FromProperties(odd).ok());
+
+  Properties inverted;
+  inverted.SetDoubleList(remote::kFaultsOutageWindowsKey, {5.0, 2.0});
+  EXPECT_FALSE(remote::FaultOptions::FromProperties(inverted).ok());
+
+  Properties unknown_op;
+  unknown_op.SetString(remote::kFaultsOnlyOperatorKey, "cartesian_product");
+  EXPECT_FALSE(remote::FaultOptions::FromProperties(unknown_op).ok());
+
+  Properties unknown_probe;
+  unknown_probe.SetString(remote::kFaultsOnlyProbeKey, "warp_drive");
+  EXPECT_FALSE(remote::FaultOptions::FromProperties(unknown_probe).ok());
+}
+
+TEST(RetryPolicyTest, FromPropertiesDefaultsAndOverrides) {
+  Properties empty;
+  auto defaults = remote::RetryPolicy::FromProperties(empty).value();
+  EXPECT_EQ(defaults.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(defaults.initial_backoff_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(defaults.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(defaults.max_backoff_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(defaults.jitter_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(defaults.attempt_timeout_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(defaults.overall_deadline_seconds, 0.0);
+
+  Properties props;
+  props.SetInt(remote::kRetryMaxAttemptsKey, 5);
+  props.SetDouble(remote::kRetryInitialBackoffSecondsKey, 1.0);
+  props.SetDouble(remote::kRetryBackoffMultiplierKey, 3.0);
+  props.SetDouble(remote::kRetryMaxBackoffSecondsKey, 12.0);
+  props.SetDouble(remote::kRetryJitterFractionKey, 0.0);
+  props.SetDouble(remote::kRetryAttemptTimeoutSecondsKey, 2.5);
+  props.SetDouble(remote::kRetryOverallDeadlineSecondsKey, 40.0);
+  props.SetInt(remote::kRetrySeedKey, 7);
+  auto policy = remote::RetryPolicy::FromProperties(props).value();
+  EXPECT_EQ(policy.max_attempts, 5);
+  EXPECT_DOUBLE_EQ(policy.initial_backoff_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(policy.max_backoff_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(policy.jitter_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(policy.attempt_timeout_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(policy.overall_deadline_seconds, 40.0);
+  EXPECT_EQ(policy.seed, 7u);
+}
+
+TEST(RetryPolicyTest, FromPropertiesRejectsInvalidValues) {
+  Properties props;
+  props.SetInt(remote::kRetryMaxAttemptsKey, 0);
+  EXPECT_FALSE(remote::RetryPolicy::FromProperties(props).ok());
+
+  Properties mult;
+  mult.SetDouble(remote::kRetryBackoffMultiplierKey, 0.5);
+  EXPECT_FALSE(remote::RetryPolicy::FromProperties(mult).ok());
+
+  Properties jitter;
+  jitter.SetDouble(remote::kRetryJitterFractionKey, 1.0);
+  EXPECT_FALSE(remote::RetryPolicy::FromProperties(jitter).ok());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndClamps) {
+  remote::RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 5.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4, nullptr), 5.0);  // clamped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5, nullptr), 5.0);
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndDeterministic) {
+  remote::RetryPolicy policy;
+  policy.initial_backoff_seconds = 2.0;
+  policy.jitter_fraction = 0.5;
+  Rng a(99), b(99);
+  for (int i = 1; i <= 8; ++i) {
+    const double ja = policy.BackoffSeconds(1, &a);
+    EXPECT_GE(ja, 1.0);
+    EXPECT_LE(ja, 3.0);
+    EXPECT_EQ(ja, policy.BackoffSeconds(1, &b));  // same seed, same draw
+  }
+}
+
+TEST(BreakerOptionsTest, FromPropertiesDefaultsAndValidation) {
+  Properties empty;
+  auto defaults = remote::BreakerOptions::FromProperties(empty).value();
+  EXPECT_EQ(defaults.failure_threshold, 5);
+  EXPECT_DOUBLE_EQ(defaults.cooldown_seconds, 30.0);
+  EXPECT_EQ(defaults.half_open_successes, 1);
+
+  Properties props;
+  props.SetInt(remote::kBreakerFailureThresholdKey, 2);
+  props.SetDouble(remote::kBreakerCooldownSecondsKey, 5.0);
+  props.SetInt(remote::kBreakerHalfOpenSuccessesKey, 3);
+  auto opts = remote::BreakerOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.failure_threshold, 2);
+  EXPECT_DOUBLE_EQ(opts.cooldown_seconds, 5.0);
+  EXPECT_EQ(opts.half_open_successes, 3);
+
+  Properties bad;
+  bad.SetInt(remote::kBreakerFailureThresholdKey, 0);
+  EXPECT_FALSE(remote::BreakerOptions::FromProperties(bad).ok());
+  Properties neg;
+  neg.SetDouble(remote::kBreakerCooldownSecondsKey, -1.0);
+  EXPECT_FALSE(remote::BreakerOptions::FromProperties(neg).ok());
+}
+
+TEST(TrainingOptionsTest, ResolveMinGridFraction) {
+  Properties empty;
+  EXPECT_DOUBLE_EQ(core::ResolveMinGridFraction(empty).value(), 1.0);
+
+  Properties props;
+  props.SetDouble(core::kTrainingMinGridFractionKey, 0.4);
+  EXPECT_DOUBLE_EQ(core::ResolveMinGridFraction(props).value(), 0.4);
+
+  props.SetDouble(core::kTrainingMinGridFractionKey, 0.0);
+  EXPECT_FALSE(core::ResolveMinGridFraction(props).ok());
+  props.SetDouble(core::kTrainingMinGridFractionKey, 1.5);
+  EXPECT_FALSE(core::ResolveMinGridFraction(props).ok());
+}
+
+// --- Deterministic fault injection -----------------------------------------
+
+TEST(FaultInjectionTest, SameSeedProducesIdenticalFaultSequence) {
+  auto hive_a = remote::HiveEngine::CreateDefault("hive", 9);
+  auto hive_b = remote::HiveEngine::CreateDefault("hive", 9);
+  remote::FaultOptions opts;
+  opts.seed = 42;
+  opts.unavailable_probability = 0.2;
+  opts.deadline_probability = 0.1;
+  remote::FaultyRemoteSystem faulty_a(hive_a.get(), opts);
+  remote::FaultyRemoteSystem faulty_b(hive_b.get(), opts);
+
+  const rel::SqlOperator join = SampleJoin();
+  const rel::SqlOperator agg = SampleAgg();
+  for (int i = 0; i < 40; ++i) {
+    const rel::SqlOperator& op = (i % 2 == 0) ? join : agg;
+    auto ra = faulty_a.Execute(op);
+    auto rb = faulty_b.Execute(op);
+    ASSERT_EQ(ra.ok(), rb.ok()) << "call " << i;
+    if (ra.ok()) {
+      EXPECT_EQ(ra.value().elapsed_seconds, rb.value().elapsed_seconds);
+    } else {
+      EXPECT_EQ(ra.status().code(), rb.status().code()) << "call " << i;
+    }
+  }
+  EXPECT_EQ(faulty_a.injected_unavailable(), faulty_b.injected_unavailable());
+  EXPECT_EQ(faulty_a.injected_deadline(), faulty_b.injected_deadline());
+  EXPECT_GT(faulty_a.injected_unavailable() + faulty_a.injected_deadline(), 0);
+}
+
+TEST(FaultInjectionTest, ZeroProbabilityStackIsBitIdenticalToBareEngine) {
+  // Acceptance criterion: with fault injection disabled, the full
+  // Faulty + Resilient wrapper stack draws no randomness and returns
+  // results bit-identical to the bare engine.
+  auto bare = remote::HiveEngine::CreateDefault("hive", 11);
+  auto inner = remote::HiveEngine::CreateDefault("hive", 11);
+  remote::FaultyRemoteSystem faulty(inner.get(), remote::FaultOptions{});
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::ResilientRemoteSystem resilient(&faulty, remote::RetryPolicy{},
+                                          &health, {nullptr, &metrics});
+
+  for (int i = 0; i < 6; ++i) {
+    const rel::SqlOperator op =
+        (i % 2 == 0) ? SampleJoin(1000000 + i * 500000) : SampleAgg();
+    auto expected = bare->Execute(op);
+    auto actual = resilient.Execute(op);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(expected.value().elapsed_seconds, actual.value().elapsed_seconds);
+    EXPECT_EQ(expected.value().physical_algorithm,
+              actual.value().physical_algorithm);
+  }
+  EXPECT_EQ(bare->total_simulated_seconds(),
+            resilient.total_simulated_seconds());
+  EXPECT_EQ(faulty.injected_unavailable(), 0);
+  EXPECT_EQ(faulty.injected_deadline(), 0);
+  EXPECT_EQ(faulty.injected_latency(), 0);
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 0);
+}
+
+TEST(FaultInjectionTest, CertainProbabilitiesInjectTheScriptedError) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 3);
+  remote::FaultOptions unavailable;
+  unavailable.unavailable_probability = 1.0;
+  remote::FaultyRemoteSystem always_down(hive.get(), unavailable);
+  auto r1 = always_down.Execute(SampleJoin());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r1.status().message().find("injected fault"), std::string::npos);
+  EXPECT_EQ(always_down.injected_unavailable(), 1);
+  EXPECT_EQ(hive->queries_executed(), 0);  // inner never reached
+
+  remote::FaultOptions deadline;
+  deadline.deadline_probability = 1.0;
+  remote::FaultyRemoteSystem always_slow(hive.get(), deadline);
+  auto r2 = always_slow.Execute(SampleAgg());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(always_slow.injected_deadline(), 1);
+}
+
+TEST(FaultInjectionTest, LatencyInjectionAddsSecondsToSuccessfulCalls) {
+  auto bare = remote::HiveEngine::CreateDefault("hive", 5);
+  auto inner = remote::HiveEngine::CreateDefault("hive", 5);
+  remote::FaultOptions opts;
+  opts.latency_probability = 1.0;
+  opts.latency_seconds = 5.0;
+  remote::FaultyRemoteSystem faulty(inner.get(), opts);
+
+  auto expected = bare->Execute(SampleJoin()).value();
+  auto slow = faulty.Execute(SampleJoin()).value();
+  EXPECT_DOUBLE_EQ(slow.elapsed_seconds, expected.elapsed_seconds + 5.0);
+  EXPECT_EQ(faulty.injected_latency(), 1);
+  EXPECT_DOUBLE_EQ(faulty.injected_latency_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(faulty.total_simulated_seconds(),
+                   inner->total_simulated_seconds() + 5.0);
+}
+
+TEST(FaultInjectionTest, OutageWindowAndOperatorTargeting) {
+  // Measure one agg's elapsed time on a twin engine, then script an outage
+  // window covering the start of the clock that only joins are subject to:
+  // the join fails inside the window, the (exempt) agg advances the
+  // simulated clock past the window's end, and the join recovers.
+  auto twin = remote::HiveEngine::CreateDefault("hive", 13);
+  const double agg_elapsed = twin->Execute(SampleAgg()).value().elapsed_seconds;
+  ASSERT_GT(agg_elapsed, 0.0);
+
+  auto inner = remote::HiveEngine::CreateDefault("hive", 13);
+  remote::FaultOptions opts;
+  opts.outage_windows.push_back(remote::FaultWindow{0.0, agg_elapsed / 2.0});
+  opts.only_operator = rel::OperatorType::kJoin;
+  remote::FaultyRemoteSystem faulty(inner.get(), opts);
+
+  auto down = faulty.Execute(SampleJoin());
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(down.status().message().find("scripted outage"),
+            std::string::npos);
+
+  ASSERT_TRUE(faulty.Execute(SampleAgg()).ok());  // agg exempt, clock moves
+  ASSERT_GE(inner->total_simulated_seconds(), agg_elapsed / 2.0);
+  EXPECT_TRUE(faulty.Execute(SampleJoin()).ok());  // window passed
+  EXPECT_EQ(faulty.injected_unavailable(), 1);
+}
+
+TEST(FaultInjectionTest, ProbeTargetingLeavesOtherCallsAlone) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 17);
+  remote::FaultOptions opts;
+  opts.unavailable_probability = 1.0;
+  opts.fail_operators = false;
+  opts.only_probe = remote::ProbeKind::kReadOnly;
+  remote::FaultyRemoteSystem faulty(hive.get(), opts);
+
+  rel::RelationStats input{1000000, 100};
+  EXPECT_FALSE(faulty.ExecuteProbe(remote::ProbeKind::kReadOnly, input).ok());
+  EXPECT_TRUE(faulty.ExecuteProbe(remote::ProbeKind::kNoOp, input).ok());
+  EXPECT_TRUE(faulty.Execute(SampleJoin()).ok());
+  EXPECT_EQ(faulty.injected_unavailable(), 1);
+}
+
+// --- Circuit breaker state machine -----------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterThresholdCoolsDownAndCloses) {
+  remote::BreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.cooldown_seconds = 10.0;
+  opts.half_open_successes = 1;
+  remote::CircuitBreaker breaker("hive", opts);
+
+  EXPECT_FALSE(breaker.RecordFailure(1.0));
+  EXPECT_FALSE(breaker.RecordFailure(2.0));
+  EXPECT_TRUE(breaker.AllowRequest(2.0));
+  EXPECT_TRUE(breaker.RecordFailure(3.0));  // third consecutive: trips
+  EXPECT_TRUE(breaker.IsOpen(3.0));
+  EXPECT_FALSE(breaker.AllowRequest(5.0));  // inside cooldown: rejected
+
+  auto health = breaker.Snapshot();
+  EXPECT_EQ(health.state, remote::BreakerState::kOpen);
+  EXPECT_EQ(health.trips_total, 1);
+  EXPECT_EQ(health.rejections_total, 1);
+  EXPECT_DOUBLE_EQ(health.opened_at, 3.0);
+
+  EXPECT_TRUE(breaker.AllowRequest(13.0));  // cooldown elapsed: probe admitted
+  EXPECT_FALSE(breaker.IsOpen(13.0));
+  breaker.RecordSuccess(13.5);
+  EXPECT_EQ(breaker.Snapshot().state, remote::BreakerState::kClosed);
+  EXPECT_EQ(breaker.Snapshot().consecutive_failures, 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopensAndRestartsCooldown) {
+  remote::BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.cooldown_seconds = 10.0;
+  remote::CircuitBreaker breaker("hive", opts);
+
+  EXPECT_TRUE(breaker.RecordFailure(0.0));
+  EXPECT_TRUE(breaker.AllowRequest(10.0));   // probe
+  EXPECT_TRUE(breaker.RecordFailure(10.5));  // probe failed: re-open
+  EXPECT_TRUE(breaker.IsOpen(10.5));
+  auto health = breaker.Snapshot();
+  EXPECT_EQ(health.state, remote::BreakerState::kOpen);
+  EXPECT_EQ(health.trips_total, 2);
+  EXPECT_DOUBLE_EQ(health.opened_at, 10.5);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  remote::BreakerOptions opts;
+  opts.failure_threshold = 3;
+  remote::CircuitBreaker breaker("hive", opts);
+  EXPECT_FALSE(breaker.RecordFailure(1.0));
+  EXPECT_FALSE(breaker.RecordFailure(2.0));
+  breaker.RecordSuccess(3.0);  // streak broken
+  EXPECT_FALSE(breaker.RecordFailure(4.0));
+  EXPECT_FALSE(breaker.RecordFailure(5.0));
+  EXPECT_TRUE(breaker.RecordFailure(6.0));  // new streak of three
+}
+
+TEST(HealthRegistryTest, CreatesBreakersOnFirstUseAndCounts) {
+  remote::HealthRegistry registry(remote::BreakerOptions{1, 100.0, 1});
+  EXPECT_EQ(registry.TrackedCount(), 0);
+  EXPECT_FALSE(registry.IsOpen("unknown", 0.0));  // unknown systems healthy
+
+  remote::CircuitBreaker& hive = registry.breaker("hive");
+  EXPECT_EQ(&hive, &registry.breaker("hive"));  // same instance on reuse
+  EXPECT_EQ(registry.TrackedCount(), 1);
+  EXPECT_EQ(registry.OpenCount(), 0);
+
+  EXPECT_TRUE(hive.RecordFailure(5.0));
+  EXPECT_TRUE(registry.IsOpen("hive", 5.0));
+  EXPECT_EQ(registry.OpenCount(), 1);
+  auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].system, "hive");
+  EXPECT_EQ(snapshot[0].state, remote::BreakerState::kOpen);
+}
+
+// --- Retry/backoff through ResilientRemoteSystem ---------------------------
+
+TEST(ResilientSystemTest, RetriesUntilSuccessAndAccumulatesBackoff) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 2;
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(flaky.calls(), 3);
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 2);
+  EXPECT_DOUBLE_EQ(sys.total_backoff_seconds(), 3.0);  // 1s + 2s
+  // Deployment clock: three 1s attempts (failures take time too) + backoff.
+  EXPECT_DOUBLE_EQ(sys.clock_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(sys.total_simulated_seconds(), 6.0);
+
+  auto breaker = health.breaker("flaky").Snapshot();
+  EXPECT_EQ(breaker.state, remote::BreakerState::kClosed);
+  EXPECT_EQ(breaker.failures_total, 2);
+  EXPECT_EQ(breaker.successes_total, 1);
+  EXPECT_EQ(breaker.consecutive_failures, 0);
+}
+
+TEST(ResilientSystemTest, ExhaustedAttemptsReturnTheLastError) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1000;
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.5;
+  policy.jitter_fraction = 0.0;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(flaky.calls(), 3);
+  // Backoff runs between attempts, not after the last one.
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 2);
+}
+
+TEST(ResilientSystemTest, NonRetryableErrorsPassThroughUntouched) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1;
+  flaky.fail_code = StatusCode::kUnsupported;
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 5;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(flaky.calls(), 1);  // never retried
+  // "The request is wrong" is not evidence of ill health.
+  EXPECT_EQ(health.breaker("flaky").Snapshot().failures_total, 0);
+}
+
+TEST(ResilientSystemTest, InternalErrorCountsAgainstBreakerButNoRetry) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1;
+  flaky.fail_code = StatusCode::kInternal;
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 5;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(flaky.calls(), 1);
+  EXPECT_EQ(health.breaker("flaky").Snapshot().failures_total, 1);
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 0);
+}
+
+TEST(ResilientSystemTest, OpenBreakerRejectsWithoutCallingInner) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1000;
+  remote::HealthRegistry health(remote::BreakerOptions{2, 1000.0, 1});
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.jitter_fraction = 0.0;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  EXPECT_FALSE(sys.Execute(SampleJoin()).ok());  // failure 1
+  EXPECT_FALSE(sys.Execute(SampleJoin()).ok());  // failure 2: trips
+  EXPECT_EQ(metrics.GetCounter("remote.breaker.open")->value(), 1);
+  EXPECT_EQ(flaky.calls(), 2);
+
+  auto rejected = sys.Execute(SampleJoin());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("circuit breaker open"),
+            std::string::npos);
+  EXPECT_EQ(flaky.calls(), 2);  // inner shielded
+  EXPECT_EQ(metrics.GetCounter("remote.breaker.rejected")->value(), 1);
+  EXPECT_EQ(health.breaker("flaky").Snapshot().rejections_total, 1);
+}
+
+TEST(ResilientSystemTest, HalfOpenProbeRecoversThroughTheWrapper) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1;
+  // Zero cooldown: the very next request is admitted as the recovery probe.
+  remote::HealthRegistry health(remote::BreakerOptions{1, 0.0, 1});
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 1;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  EXPECT_FALSE(sys.Execute(SampleJoin()).ok());  // trips (threshold 1)
+  EXPECT_EQ(health.breaker("flaky").Snapshot().state,
+            remote::BreakerState::kOpen);
+  auto probe = sys.Execute(SampleJoin());  // half-open probe, succeeds
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  auto snapshot = health.breaker("flaky").Snapshot();
+  EXPECT_EQ(snapshot.state, remote::BreakerState::kClosed);
+  EXPECT_EQ(snapshot.trips_total, 1);
+  EXPECT_EQ(flaky.calls(), 2);
+}
+
+TEST(ResilientSystemTest, OverallDeadlineStopsRetrying) {
+  FlakySystem flaky("flaky");
+  flaky.fail_first_n = 1000;
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_seconds = 10.0;
+  policy.jitter_fraction = 0.0;
+  policy.overall_deadline_seconds = 5.0;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("overall deadline"),
+            std::string::npos);
+  EXPECT_EQ(flaky.calls(), 1);  // the 10s backoff would bust the 5s budget
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 0);
+  EXPECT_GE(metrics.GetCounter("remote.deadline_exceeded")->value(), 1);
+}
+
+TEST(ResilientSystemTest, SlowSuccessesCountAsAttemptDeadlineExceeded) {
+  FlakySystem flaky("flaky");
+  flaky.seconds_per_call = 1.0;  // always over the 0.5s attempt budget
+  remote::HealthRegistry health;
+  MetricsRegistry metrics;
+  remote::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_seconds = 0.25;
+  policy.jitter_fraction = 0.0;
+  policy.attempt_timeout_seconds = 0.5;
+  remote::ResilientRemoteSystem sys(&flaky, policy, &health,
+                                    {nullptr, &metrics});
+
+  auto result = sys.Execute(SampleJoin());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(flaky.calls(), 2);  // retried once, then gave up
+  EXPECT_EQ(metrics.GetCounter("remote.deadline_exceeded")->value(), 2);
+  EXPECT_EQ(metrics.GetCounter("remote.retries")->value(), 1);
+}
+
+// --- Training quorum -------------------------------------------------------
+
+std::vector<rel::SqlOperator> QuorumGrid() {
+  std::vector<rel::SqlOperator> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(SampleJoin(1000000 + i * 1000000));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(SampleAgg(100000 + i * 100000));
+  }
+  return ops;
+}
+
+TEST(TrainingQuorumTest, TransientFailuresSkipCellsAboveQuorum) {
+  FlakySystem flaky("flaky");
+  flaky.fail_every = 4;  // calls 4 and 8 fail out of 8
+  auto run =
+      core::CollectTraining(&flaky, QuorumGrid(), /*min_grid_fraction=*/0.5);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().attempted, 8);
+  EXPECT_EQ(run.value().unsupported, 0);
+  EXPECT_EQ(run.value().failed, 2);
+  EXPECT_EQ(run.value().cumulative_seconds.size(), 6u);
+  EXPECT_EQ(run.value().data.size(), 6u);
+}
+
+TEST(TrainingQuorumTest, FullQuorumAbortsOnFirstTransientFailure) {
+  FlakySystem flaky("flaky");
+  flaky.fail_every = 4;
+  auto run =
+      core::CollectTraining(&flaky, QuorumGrid(), /*min_grid_fraction=*/1.0);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TrainingQuorumTest, MissedQuorumIsFailedPrecondition) {
+  FlakySystem flaky("flaky");
+  flaky.fail_every = 2;  // half the grid fails
+  auto run =
+      core::CollectTraining(&flaky, QuorumGrid(), /*min_grid_fraction=*/0.9);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("quorum"), std::string::npos);
+}
+
+TEST(TrainingQuorumTest, QuorumRunsThroughParallelDriver) {
+  FlakySystem a("a"), b("b");
+  a.fail_every = 4;
+  b.fail_every = 3;
+  auto runs = core::CollectTrainingForSystems({&a, &b}, QuorumGrid(),
+                                              /*jobs=*/2,
+                                              /*min_grid_fraction=*/0.5);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(runs.value()[0].failed, 2);
+  EXPECT_EQ(runs.value()[1].failed, 2);
+}
+
+// --- Calibration under probe faults ----------------------------------------
+
+TEST(CalibrationFaultTest, FailedCellsAreAllOrNothingAndSkipped) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 7);
+  // 6 grid cells x 12 probes. Failing every 25th probe attempt kills the
+  // cells whose first probe lands on attempts 25 and 50 (cells 3 and 6);
+  // the other four cells survive untouched.
+  ProbeFailDecorator flaky(hive.get(), /*fail_every=*/25,
+                           StatusCode::kUnavailable);
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(&flaky, InfoFor(*hive), opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().failed_cells, 2);
+  EXPECT_TRUE(run.value().catalog.HasAllBasic());
+  // All three record sizes still have surviving cells, so every sub-op can
+  // be fitted from measurements.
+  EXPECT_TRUE(run.value().defaulted.empty());
+
+  auto estimator =
+      core::SubOpCostEstimator::ForHive(std::move(run.value().catalog));
+  ASSERT_TRUE(estimator.ok());
+  auto est = estimator.value().Estimate(SampleJoin(), {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est.value().seconds, 0.0);
+}
+
+TEST(CalibrationFaultTest, LosingEveryCellIsFailedPrecondition) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 7);
+  ProbeFailDecorator flaky(hive.get(), /*fail_every=*/1,
+                           StatusCode::kUnavailable);
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(&flaky, InfoFor(*hive), opts);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("lost every grid cell"),
+            std::string::npos);
+}
+
+TEST(CalibrationFaultTest, NonRetryableProbeErrorAborts) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 7);
+  ProbeFailDecorator flaky(hive.get(), /*fail_every=*/13,
+                           StatusCode::kInternal);
+  core::CalibrationOptions opts;
+  opts.record_sizes = {40, 250, 1000};
+  opts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(&flaky, InfoFor(*hive), opts);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+// --- The costing degradation ladder ----------------------------------------
+
+class DegradationLadderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hive_ = remote::HiveEngine::CreateDefault("hive", 171).release();
+    agg_model_ = new core::LogicalOpModel(MakeAggModel(hive_));
+  }
+  static void TearDownTestSuite() {
+    delete agg_model_;
+    agg_model_ = nullptr;
+    delete hive_;
+    hive_ = nullptr;
+  }
+
+  static std::map<rel::OperatorType, core::LogicalOpModel> Models() {
+    std::map<rel::OperatorType, core::LogicalOpModel> models;
+    models.emplace(rel::OperatorType::kAggregation, *agg_model_);
+    return models;
+  }
+
+  /// A registry whose "bb" breaker is open at every reasonable `now`.
+  static remote::HealthRegistry* TrippedRegistry(const std::string& system) {
+    auto* registry = new remote::HealthRegistry(
+        remote::BreakerOptions{1, 1e9, 1});
+    registry->breaker(system).RecordFailure(0.0);
+    return registry;
+  }
+
+  static remote::HiveEngine* hive_;
+  static core::LogicalOpModel* agg_model_;
+};
+
+remote::HiveEngine* DegradationLadderTest::hive_ = nullptr;
+core::LogicalOpModel* DegradationLadderTest::agg_model_ = nullptr;
+
+TEST_F(DegradationLadderTest, ColdLogicalProfileServesStaleModel) {
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem(
+                      "bb", core::CostingProfile::LogicalOpOnly(Models()))
+                  .ok());
+  std::unique_ptr<remote::HealthRegistry> registry(TrippedRegistry("bb"));
+
+  const rel::SqlOperator agg = SampleAgg();
+  auto healthy = estimator.Estimate("bb", agg).value();
+  ASSERT_TRUE(healthy.fell_back_reason.empty());
+
+  // The healthy call above populated the last-known-good cell, so degrade
+  // it away with a fresh estimator that never served a healthy answer.
+  core::CostEstimator cold;
+  ASSERT_TRUE(
+      cold.RegisterSystem("bb", core::CostingProfile::LogicalOpOnly(Models()))
+          .ok());
+  core::EstimateContext ctx;
+  ctx.health = registry.get();
+  auto degraded = cold.Estimate("bb", agg, ctx).value();
+  EXPECT_EQ(degraded.fell_back_reason, "breaker_open:stale_model");
+  EXPECT_EQ(degraded.approach_used, core::CostingApproach::kLogicalOp);
+  // The stale model is still the trained network: same number, now flagged.
+  EXPECT_EQ(degraded.seconds, healthy.seconds);
+}
+
+TEST_F(DegradationLadderTest, WarmLogicalProfileServesLastKnownGood) {
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem(
+                      "bb", core::CostingProfile::LogicalOpOnly(Models()))
+                  .ok());
+  const rel::SqlOperator agg = SampleAgg();
+  auto healthy = estimator.Estimate("bb", agg).value();
+  ASSERT_TRUE(healthy.fell_back_reason.empty());
+
+  std::unique_ptr<remote::HealthRegistry> registry(TrippedRegistry("bb"));
+  core::EstimateContext ctx;
+  ctx.health = registry.get();
+  auto degraded = estimator.Estimate("bb", agg, ctx).value();
+  EXPECT_EQ(degraded.fell_back_reason, "breaker_open:last_known_good");
+  EXPECT_EQ(degraded.seconds, healthy.seconds);
+}
+
+TEST_F(DegradationLadderTest, SubOpRungPreferredWhenProfileHasOne) {
+  // Calibration mutates the engine's seeded state, so each estimator gets
+  // its own same-seed twin engine — identical catalogs, identical formulas.
+  auto twin_a = remote::HiveEngine::CreateDefault("hive", 171);
+  auto twin_b = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive",
+                                  core::CostingProfile::SubOpThenLogicalOp(
+                                      MakeSubOpEstimator(twin_a.get()),
+                                      Models(),
+                                      /*switch_time=*/0.0))
+                  .ok());
+  const rel::SqlOperator agg = SampleAgg();
+
+  // Healthy at now=10: past the switch, so the logical path answers.
+  auto healthy =
+      estimator.Estimate("hive", agg, core::EstimateContext::AtTime(10.0))
+          .value();
+  EXPECT_EQ(healthy.approach_used, core::CostingApproach::kLogicalOp);
+
+  // Breaker open: the ladder drops to the analytical sub-op formulas.
+  std::unique_ptr<remote::HealthRegistry> registry(TrippedRegistry("hive"));
+  core::EstimateContext ctx = core::EstimateContext::AtTime(10.0);
+  ctx.health = registry.get();
+  auto degraded = estimator.Estimate("hive", agg, ctx).value();
+  EXPECT_EQ(degraded.fell_back_reason, "breaker_open:sub_op");
+  EXPECT_EQ(degraded.approach_used, core::CostingApproach::kSubOp);
+
+  // And matches what a pure sub-op profile would have said.
+  core::CostEstimator sub_only;
+  ASSERT_TRUE(sub_only
+                  .RegisterSystem("hive",
+                                  core::CostingProfile::SubOpOnly(
+                                      MakeSubOpEstimator(twin_b.get())))
+                  .ok());
+  auto expected =
+      sub_only.Estimate("hive", agg, core::EstimateContext::AtTime(10.0))
+          .value();
+  EXPECT_EQ(degraded.seconds, expected.seconds);
+}
+
+TEST_F(DegradationLadderTest, ClosedBreakerLeavesEstimatesUndegraded) {
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem(
+                      "bb", core::CostingProfile::LogicalOpOnly(Models()))
+                  .ok());
+  remote::HealthRegistry registry;  // no failures recorded anywhere
+  core::EstimateContext ctx;
+  ctx.health = &registry;
+  auto est = estimator.Estimate("bb", SampleAgg(), ctx).value();
+  EXPECT_TRUE(est.fell_back_reason.empty());
+}
+
+// --- Serving: serve-stale and degraded-result caching ----------------------
+
+TEST(ServingDegradationTest, ServesExpiredEntryWhileBreakerOpen) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
+                                              MakeSubOpEstimator(hive.get())))
+                  .ok());
+  remote::HealthRegistry registry(remote::BreakerOptions{1, 1e9, 1});
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  opts.cache.ttl_seconds = 10.0;
+  opts.health = &registry;
+  serving::EstimationService service(&estimator, opts);
+
+  serving::EstimateRequest req;
+  req.system = "hive";
+  req.op = SampleJoin();
+  req.now = 0.0;
+  auto fresh = service.Estimate(req).value();
+  ASSERT_TRUE(fresh.fell_back_reason.empty());
+  ASSERT_EQ(service.cache_stats().entries, 1);
+
+  registry.breaker("hive").RecordFailure(50.0);
+  req.now = 100.0;  // entry is 100s old, TTL is 10s
+  auto stale = service.Estimate(req).value();
+  EXPECT_EQ(stale.fell_back_reason, "breaker_open:served_stale");
+  EXPECT_EQ(stale.seconds, fresh.seconds);
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.stale_served, 1);
+  EXPECT_EQ(stats.entries, 1);  // kept for the next degraded request
+
+  auto again = service.Estimate(req).value();
+  EXPECT_EQ(again.fell_back_reason, "breaker_open:served_stale");
+  EXPECT_EQ(service.cache_stats().stale_served, 2);
+}
+
+TEST(ServingDegradationTest, ExpiredEntryRecomputedWhenBreakerClosed) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
+                                              MakeSubOpEstimator(hive.get())))
+                  .ok());
+  remote::HealthRegistry registry;
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  opts.cache.ttl_seconds = 10.0;
+  opts.health = &registry;
+  serving::EstimationService service(&estimator, opts);
+
+  serving::EstimateRequest req;
+  req.system = "hive";
+  req.op = SampleJoin();
+  req.now = 0.0;
+  ASSERT_TRUE(service.Estimate(req).ok());
+  req.now = 100.0;
+  auto recomputed = service.Estimate(req).value();
+  EXPECT_TRUE(recomputed.fell_back_reason.empty());
+  EXPECT_EQ(service.cache_stats().stale_served, 0);
+  EXPECT_EQ(service.cache_stats().misses, 2);
+}
+
+TEST(ServingDegradationTest, DegradedEstimatesAreNeverCached) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(
+      estimator
+          .RegisterSystem("bb", core::CostingProfile::LogicalOpOnly(
+                                    std::move(models)))
+          .ok());
+  remote::HealthRegistry registry(remote::BreakerOptions{1, 1e9, 1});
+  registry.breaker("bb").RecordFailure(0.0);
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  opts.health = &registry;
+  serving::EstimationService service(&estimator, opts);
+
+  serving::EstimateRequest req;
+  req.system = "bb";
+  req.op = SampleAgg();
+  req.now = 1.0;
+  auto first = service.Estimate(req).value();
+  EXPECT_EQ(first.fell_back_reason, "breaker_open:stale_model");
+  EXPECT_EQ(service.cache_stats().entries, 0);  // degraded: not cached
+
+  auto second = service.Estimate(req).value();
+  EXPECT_EQ(second.fell_back_reason, "breaker_open:stale_model");
+  EXPECT_EQ(service.cache_stats().misses, 2);  // recomputed, still no entry
+  EXPECT_EQ(service.cache_stats().entries, 0);
+}
+
+TEST(ServingDegradationTest, BatchAnswersEveryRequestUnderPartialOutage) {
+  auto hive = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
+                                              MakeSubOpEstimator(hive.get())))
+                  .ok());
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(
+      estimator
+          .RegisterSystem("bb", core::CostingProfile::LogicalOpOnly(
+                                    std::move(models)))
+          .ok());
+  remote::HealthRegistry registry(remote::BreakerOptions{1, 1e9, 1});
+  registry.breaker("bb").RecordFailure(0.0);  // bb down, hive healthy
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  opts.health = &registry;
+  serving::EstimationService service(&estimator, opts);
+
+  std::vector<serving::EstimateRequest> batch;
+  for (int i = 0; i < 3; ++i) {
+    serving::EstimateRequest join;
+    join.system = "hive";
+    join.op = SampleJoin(1000000 + i * 1000000);
+    join.now = 1.0;
+    batch.push_back(join);
+    serving::EstimateRequest agg;
+    agg.system = "bb";
+    agg.op = SampleAgg(100000 + i * 100000);
+    agg.now = 1.0;
+    batch.push_back(agg);
+  }
+  auto results = service.EstimateBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    if (batch[i].system == "hive") {
+      EXPECT_TRUE(results[i].value().fell_back_reason.empty());
+    } else {
+      EXPECT_EQ(results[i].value().fell_back_reason.rfind("breaker_open:", 0),
+                0u);
+    }
+  }
+}
+
+// --- Concurrent hammer (tsan target) ---------------------------------------
+
+TEST(ConcurrentHammerTest, DegradedServingStaysAvailableUnderChaos) {
+  // Acceptance criterion: with breakers flapping under concurrent traffic,
+  // the serving layer answers 100% of requests — full-fidelity answers are
+  // bit-identical to a healthy baseline, everything else is flagged with a
+  // breaker_open:* reason. Run under tsan by scripts/check.sh.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 171);
+  core::CostEstimator estimator;
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
+                                              MakeSubOpEstimator(hive.get())))
+                  .ok());
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(
+      estimator
+          .RegisterSystem("bb", core::CostingProfile::LogicalOpOnly(
+                                    std::move(models)))
+          .ok());
+
+  // Healthy baselines, computed before any chaos starts.
+  const rel::SqlOperator join_op = SampleJoin();
+  const rel::SqlOperator agg_op = SampleAgg();
+  const double join_baseline = estimator.Estimate("hive", join_op)
+                                   .value()
+                                   .seconds;
+  const double agg_baseline = estimator.Estimate("bb", agg_op).value().seconds;
+
+  remote::HealthRegistry registry(remote::BreakerOptions{1, 0.5, 1});
+  serving::ServiceOptions opts;
+  opts.jobs = 2;
+  opts.cache.shards = 4;
+  opts.cache.ttl_seconds = 1.0;  // entries keep expiring as `now` advances
+  opts.health = &registry;
+  serving::EstimationService service(&estimator, opts);
+
+  constexpr int kWorkers = 6;
+  constexpr int kIters = 150;
+  ThreadPool pool(4);
+  std::vector<Status> outcomes =
+      RunIndexed(&pool, kWorkers, [&](size_t task) -> Status {
+        if (task == 0) {
+          // Chaos task: flap both breakers on a deployment-clock sweep.
+          for (int i = 0; i < kIters; ++i) {
+            const double now = i * 0.1;
+            if (i % 3 == 0) {
+              registry.breaker("bb").RecordFailure(now);
+            } else {
+              registry.breaker("bb").RecordSuccess(now);
+            }
+            if (i % 7 == 0) registry.breaker("hive").RecordFailure(now);
+            if (i % 7 == 3) registry.breaker("hive").RecordSuccess(now);
+            (void)registry.Snapshot();
+          }
+          return Status::OK();
+        }
+        for (int i = 0; i < kIters; ++i) {
+          serving::EstimateRequest req;
+          const bool use_join = (static_cast<int>(task) + i) % 2 == 0;
+          req.system = use_join ? "hive" : "bb";
+          req.op = use_join ? join_op : agg_op;
+          req.now = i * 0.1;
+          auto result = service.Estimate(req);
+          if (!result.ok()) return result.status();
+          const core::HybridEstimate& est = result.value();
+          const double baseline = use_join ? join_baseline : agg_baseline;
+          if (est.fell_back_reason.empty() && est.seconds != baseline) {
+            return Status::Internal("full-fidelity answer drifted");
+          }
+          if (!est.fell_back_reason.empty() &&
+              est.fell_back_reason.rfind("breaker_open:", 0) != 0) {
+            return Status::Internal("unexpected degradation reason: " +
+                                    est.fell_back_reason);
+          }
+          if (i % 25 == 0) {
+            std::vector<serving::EstimateRequest> batch = {req, req};
+            for (const auto& r : service.EstimateBatch(batch)) {
+              if (!r.ok()) return r.status();
+            }
+          }
+        }
+        return Status::OK();
+      });
+  for (const Status& s : outcomes) EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace intellisphere

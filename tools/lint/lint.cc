@@ -366,6 +366,32 @@ void CheckNoRawThread(const FileInput& in,
   }
 }
 
+void CheckNoWallclockSleep(const FileInput& in,
+                           const std::vector<std::string>& code,
+                           const Suppressions& sup,
+                           std::vector<Finding>* out) {
+  // Library code simulates time on the deployment clock (a `now` the caller
+  // passes in); real sleeps and wall-clock reads make results depend on the
+  // machine and the moment, which breaks byte-reproducibility.
+  if (!IsLibraryPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* banned :
+         {"std::this_thread::sleep_for", "std::this_thread::sleep_until",
+          "std::chrono::system_clock"}) {
+      size_t pos = code[i].find(banned);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && IsIdentChar(code[i][pos - 1])) continue;
+      size_t end = pos + std::string(banned).size();
+      if (end < code[i].size() && IsIdentChar(code[i][end])) continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-wallclock-sleep",
+             std::string(banned) +
+                 " is banned in library code; advance the deployment clock "
+                 "(pass `now` through, accumulate backoff seconds) instead "
+                 "of sleeping or reading wall time");
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatFinding(const Finding& f) {
@@ -458,6 +484,7 @@ std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts) {
   CheckNoAdhocIo(in, code, sup, &findings);
   CheckBannedHeaders(in, code, sup, &findings);
   CheckNoRawThread(in, code, sup, &findings);
+  CheckNoWallclockSleep(in, code, sup, &findings);
   CheckDiscardedStatus(in, code, opts, sup, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

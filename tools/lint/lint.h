@@ -29,6 +29,14 @@
 //                     goes through intellisphere::ThreadPool so seeding and
 //                     shutdown stay deterministic. (std::this_thread is
 //                     fine.)
+//   no-wallclock-sleep  std::this_thread::sleep_for / sleep_until and
+//                     std::chrono::system_clock are banned in library code
+//                     (files under src/): time is simulated on the
+//                     deployment clock (retry backoff advances
+//                     ResilientRemoteSystem's clock, TTLs compare `now`
+//                     arguments), so real sleeps and wall-clock reads break
+//                     determinism. (std::this_thread::yield and
+//                     steady_clock stay legal.)
 //
 // Suppressions:
 //   // lint:allow(<rule>)       same line, or alone on the preceding line
