@@ -3,7 +3,10 @@
 #   1. configure + build the asan-ubsan preset (-Werror on),
 #   2. run the whole test suite under AddressSanitizer + UBSan,
 #   3. run the concurrency tests under ThreadSanitizer (tsan preset),
-#   4. run the repo lint pass (tools/lint) over the tree,
+#   4. run the repo lint pass (tools/lint, token-aware rules incl.
+#      lock-discipline / atomic-ordering / no-nondeterminism) and the
+#      clang thread-safety analysis gate (scripts/check_static_analysis.sh;
+#      skipped with a warning when clang++ is not installed),
 #   5. run the EXPLAIN examples and validate their JSON artifacts' schemas,
 #   6. run the doc-drift gate (docs <-> source knob cross-check).
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
@@ -62,9 +65,11 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/resilience_test
 
-echo "== [4/6] repo lint pass =="
+echo "== [4/6] repo lint pass + thread-safety static analysis =="
 cmake --preset lint
 cmake --build --preset lint -j "$JOBS"
+# Clang-only thread-safety analysis; skips (warning) when clang++ is absent.
+scripts/check_static_analysis.sh -j "$JOBS"
 
 echo "== [5/6] EXPLAIN examples + JSON schema validation =="
 # The examples run under asan+ubsan (built in step 1's tree) and must

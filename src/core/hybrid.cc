@@ -118,11 +118,14 @@ CostingProfile::CostingProfile(CostingProfile&& other) noexcept
       per_operator_(std::move(other.per_operator_)),
       switch_time_(other.switch_time_) {
   for (int i = 0; i < kNumOperatorTypes; ++i) {
-    lkg_seconds_[i].store(
-        other.lkg_seconds_[i].load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-    lkg_valid_[i].store(other.lkg_valid_[i].load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
+    // lint:relaxed-ok(move source is quiescent by contract; no racing writer)
+    const double s = other.lkg_seconds_[i].load(std::memory_order_relaxed);
+    // lint:relaxed-ok(destination unpublished during construction/assignment)
+    lkg_seconds_[i].store(s, std::memory_order_relaxed);
+    // lint:relaxed-ok(move source is quiescent by contract; no racing writer)
+    const bool v = other.lkg_valid_[i].load(std::memory_order_relaxed);
+    // lint:relaxed-ok(destination unpublished during construction/assignment)
+    lkg_valid_[i].store(v, std::memory_order_relaxed);
   }
 }
 
@@ -134,11 +137,14 @@ CostingProfile& CostingProfile::operator=(CostingProfile&& other) noexcept {
   per_operator_ = std::move(other.per_operator_);
   switch_time_ = other.switch_time_;
   for (int i = 0; i < kNumOperatorTypes; ++i) {
-    lkg_seconds_[i].store(
-        other.lkg_seconds_[i].load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-    lkg_valid_[i].store(other.lkg_valid_[i].load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
+    // lint:relaxed-ok(move source is quiescent by contract; no racing writer)
+    const double s = other.lkg_seconds_[i].load(std::memory_order_relaxed);
+    // lint:relaxed-ok(destination unpublished during construction/assignment)
+    lkg_seconds_[i].store(s, std::memory_order_relaxed);
+    // lint:relaxed-ok(move source is quiescent by contract; no racing writer)
+    const bool v = other.lkg_valid_[i].load(std::memory_order_relaxed);
+    // lint:relaxed-ok(destination unpublished during construction/assignment)
+    lkg_valid_[i].store(v, std::memory_order_relaxed);
   }
   return *this;
 }
@@ -306,6 +312,7 @@ Result<HybridEstimate> CostingProfile::Estimate(
   // degraded answer must never become tomorrow's "known good".
   if (est.fell_back_reason.empty() && type_idx >= 0 &&
       type_idx < kNumOperatorTypes) {
+    // lint:relaxed-ok(fenced by the following lkg_valid_ release store)
     lkg_seconds_[type_idx].store(est.seconds, std::memory_order_relaxed);
     lkg_valid_[type_idx].store(true, std::memory_order_release);
   }

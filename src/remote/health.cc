@@ -51,7 +51,7 @@ CircuitBreaker::CircuitBreaker(std::string system, BreakerOptions options)
     : system_(std::move(system)), options_(options) {}
 
 bool CircuitBreaker::AllowRequest(double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (state_ == BreakerState::kClosed) return true;
   if (state_ == BreakerState::kOpen &&
       now - opened_at_ >= options_.cooldown_seconds) {
@@ -65,7 +65,7 @@ bool CircuitBreaker::AllowRequest(double now) {
 }
 
 bool CircuitBreaker::RecordFailure(double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++failures_total_;
   if (state_ == BreakerState::kHalfOpen) {
     // The recovery probe failed: re-open and restart the cooldown.
@@ -87,7 +87,7 @@ bool CircuitBreaker::RecordFailure(double now) {
 }
 
 void CircuitBreaker::RecordSuccess(double /*now*/) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++successes_total_;
   if (state_ == BreakerState::kHalfOpen) {
     if (++half_open_successes_ >= options_.half_open_successes) {
@@ -101,13 +101,13 @@ void CircuitBreaker::RecordSuccess(double /*now*/) {
 }
 
 bool CircuitBreaker::IsOpen(double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_ == BreakerState::kOpen &&
          now - opened_at_ < options_.cooldown_seconds;
 }
 
 SystemHealth CircuitBreaker::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SystemHealth health;
   health.system = system_;
   health.state = state_;
@@ -121,7 +121,7 @@ SystemHealth CircuitBreaker::Snapshot() const {
 }
 
 CircuitBreaker& HealthRegistry::breaker(const std::string& system) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = breakers_.find(system);
   if (it == breakers_.end()) {
     it = breakers_
@@ -133,14 +133,14 @@ CircuitBreaker& HealthRegistry::breaker(const std::string& system) {
 }
 
 bool HealthRegistry::IsOpen(const std::string& system, double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = breakers_.find(system);
   if (it == breakers_.end()) return false;
   return it->second->IsOpen(now);
 }
 
 std::vector<SystemHealth> HealthRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SystemHealth> out;
   out.reserve(breakers_.size());
   for (const auto& [name, breaker] : breakers_) {
@@ -150,12 +150,12 @@ std::vector<SystemHealth> HealthRegistry::Snapshot() const {
 }
 
 int64_t HealthRegistry::TrackedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(breakers_.size());
 }
 
 int64_t HealthRegistry::OpenCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t open = 0;
   for (const auto& [name, breaker] : breakers_) {
     if (breaker->Snapshot().state == BreakerState::kOpen) ++open;

@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/properties.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace intellisphere::remote {
 
@@ -104,15 +104,15 @@ class CircuitBreaker {
   const std::string system_;
   const BreakerOptions options_;
 
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  int half_open_successes_ = 0;
-  int64_t failures_total_ = 0;
-  int64_t successes_total_ = 0;
-  int64_t rejections_total_ = 0;
-  int64_t trips_total_ = 0;
-  double opened_at_ = 0.0;
+  mutable Mutex mu_;
+  BreakerState state_ GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  int half_open_successes_ GUARDED_BY(mu_) = 0;
+  int64_t failures_total_ GUARDED_BY(mu_) = 0;
+  int64_t successes_total_ GUARDED_BY(mu_) = 0;
+  int64_t rejections_total_ GUARDED_BY(mu_) = 0;
+  int64_t trips_total_ GUARDED_BY(mu_) = 0;
+  double opened_at_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// Owns one CircuitBreaker per system name. Breakers are created on first
@@ -149,8 +149,12 @@ class HealthRegistry {
 
  private:
   const BreakerOptions default_options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  /// Registry lock. Lock order: registry mu_ before any breaker's own
+  /// mutex (Snapshot and IsOpen call into breakers while holding it;
+  /// breakers never call back into the registry).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace intellisphere::remote

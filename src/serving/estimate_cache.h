@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 #include "core/estimate_context.h"
 #include "core/hybrid.h"
@@ -172,12 +173,14 @@ class EstimateCache {
     double stored_now = 0.0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
+    mutable Mutex mu;
+    /// front = most recently used
+    std::list<Entry> lru GUARDED_BY(mu);
     /// Keyed by the precomputed 64-bit key hash: the probe hashes the
     /// (~100-byte) canonical key exactly once, and index operations are
     /// integer-keyed. Entry::key disambiguates collisions.
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
   };
 
   CacheOptions options_;

@@ -10,6 +10,11 @@
 // an exclusive section with no estimate calls in flight; the model-epoch
 // fence (CostEstimator::model_epoch) then guarantees no estimate computed
 // before the mutation is ever served from the cache after it.
+//
+// Lock discipline (DESIGN.md §13): the service itself holds no locks — all
+// shared mutable state lives behind the annotated Mutex/GUARDED_BY members
+// of EstimateCache, MetricsRegistry, and HealthRegistry, each of which is
+// self-contained (no component calls into another while holding its lock).
 
 #ifndef INTELLISPHERE_SERVING_SERVICE_H_
 #define INTELLISPHERE_SERVING_SERVICE_H_

@@ -11,7 +11,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
       buckets_(upper_bounds_.size() + 1, 0) {}
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t i = 0;
   while (i < upper_bounds_.size() && value > upper_bounds_[i]) ++i;
   ++buckets_[i];
@@ -20,27 +20,27 @@ void Histogram::Observe(double value) {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sum_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 std::vector<int64_t> Histogram::bucket_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return buckets_;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -72,7 +72,7 @@ std::string MetricsSnapshot::ToJson(const std::string& indent) const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& nc : counters_) {
     if (nc.name == name) return nc.counter.get();
   }
@@ -82,7 +82,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& nh : histograms_) {
     if (nh.name == name) return nh.histogram.get();
   }
@@ -93,7 +93,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& nc : counters_) {
     snap.samples.push_back({nc.name,
                             static_cast<double>(nc.counter->value()),
@@ -119,7 +119,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& nc : counters_) nc.counter->Reset();
   for (auto& nh : histograms_) nh.histogram->Reset();
 }

@@ -20,9 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace intellisphere {
 
@@ -30,10 +31,17 @@ namespace intellisphere {
 class Counter {
  public:
   void Increment(int64_t delta = 1) {
+    // lint:relaxed-ok(independent monotonic stat; no other data published)
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  int64_t value() const {
+    // lint:relaxed-ok(point-in-time stat read; snapshots synchronize via future-get)
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    // lint:relaxed-ok(test-only reset; racing increments may land on either side)
+    value_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> value_{0};
@@ -58,10 +66,10 @@ class Histogram {
 
  private:
   const std::vector<double> upper_bounds_;
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
+  mutable Mutex mu_;
+  std::vector<int64_t> buckets_ GUARDED_BY(mu_);
+  int64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// Default bucket bounds for estimate-latency histograms, in microseconds:
@@ -116,9 +124,9 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::vector<NamedCounter> counters_;
-  std::vector<NamedHistogram> histograms_;
+  mutable Mutex mu_;
+  std::vector<NamedCounter> counters_ GUARDED_BY(mu_);
+  std::vector<NamedHistogram> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace intellisphere

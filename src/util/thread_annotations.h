@@ -1,0 +1,150 @@
+// Clang thread-safety annotations and the annotated synchronization
+// primitives every piece of shared mutable state in the library uses.
+//
+// The macros expand to Clang's thread-safety attributes when the compiler
+// supports them (`-Wthread-safety -Wthread-safety-beta`, wired through the
+// `clang-analyze` CMake preset / INTELLISPHERE_THREAD_SAFETY option) and to
+// nothing elsewhere, so gcc builds are unaffected. With the analysis on,
+// the compiler proves at build time that every access to a GUARDED_BY
+// member happens with its mutex held — the interleavings tsan can only
+// sample are covered exhaustively, before the code ever runs.
+//
+// Conventions (DESIGN.md §13):
+//   - Library code never touches std::mutex / std::lock_guard /
+//     std::unique_lock / std::condition_variable directly; the lint rule
+//     `lock-discipline` bans them in src/ outside this header. Use Mutex,
+//     MutexLock, and CondVar instead — they carry the annotations the raw
+//     std types lack.
+//   - Every mutable member shared across threads is GUARDED_BY its mutex.
+//   - NO_THREAD_SAFETY_ANALYSIS is a last resort for code the analysis
+//     cannot express (none in the tree today); it requires a comment
+//     explaining why and a tsan-covered test.
+//
+// The macro spellings follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so annotations
+// read the same here as in that reference.
+
+#ifndef INTELLISPHERE_UTIL_THREAD_ANNOTATIONS_H_
+#define INTELLISPHERE_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ISPHERE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ISPHERE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares that a data member is protected by the given capability
+/// (mutex): reads require the mutex held shared or exclusive, writes
+/// require it exclusive.
+#define GUARDED_BY(x) ISPHERE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer) is protected.
+#define PT_GUARDED_BY(x) ISPHERE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function-level precondition: the caller must hold the capability.
+#define REQUIRES(...) \
+  ISPHERE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function-level precondition: the caller must NOT hold the capability
+/// (guards against self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) ISPHERE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  ISPHERE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define RELEASE(...) \
+  ISPHERE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  ISPHERE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Marks a type as a capability (mutexes).
+#define CAPABILITY(x) ISPHERE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY ISPHERE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Documents a required lock-acquisition order between two mutexes.
+#define ACQUIRED_BEFORE(...) \
+  ISPHERE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  ISPHERE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) ISPHERE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Last resort; see the
+/// header comment for the policy.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ISPHERE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace intellisphere {
+
+/// An annotated exclusive mutex over std::mutex. Non-reentrant; prefer
+/// MutexLock for scoped acquisition so the release can never be missed.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  /// True (and the mutex is held) when the lock was free.
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII acquisition of a Mutex for the enclosing scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A condition variable paired with Mutex. Wait atomically releases the
+/// (held) mutex and re-acquires it before returning; callers re-check
+/// their predicate in a loop, as with std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). The caller must hold
+  /// `mu`; it is held again when Wait returns.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the guard so ownership stays with the caller's
+    // MutexLock. std::condition_variable is used (not _any) to keep the
+    // fast futex path.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace intellisphere
+
+#endif  // INTELLISPHERE_UTIL_THREAD_ANNOTATIONS_H_

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -28,10 +28,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) {
-        // stop_ must be set, or wait() would not have returned: drain
+        // stop_ must be set, or the wait loop would not have exited: drain
         // semantics — workers exit only once the queue is empty.
         return;
       }

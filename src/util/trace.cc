@@ -105,14 +105,14 @@ void TraceSpan::End() {
 }
 
 void CollectingTraceSink::OnSpanEnd(const TraceSpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   spans_.push_back(span);
 }
 
 std::vector<TraceSpanRecord> CollectingTraceSink::spans() const {
   std::vector<TraceSpanRecord> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(),
@@ -123,12 +123,12 @@ std::vector<TraceSpanRecord> CollectingTraceSink::spans() const {
 }
 
 size_t CollectingTraceSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 
 void CollectingTraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   spans_.clear();
 }
 

@@ -22,10 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace intellisphere {
 
@@ -64,6 +65,7 @@ class TraceSink {
 
   /// Allocates the next sink-local span id (thread-safe).
   int64_t NextSpanId() {
+    // lint:relaxed-ok(only uniqueness is needed; ids order a post-hoc sort)
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -117,8 +119,8 @@ class CollectingTraceSink : public TraceSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpanRecord> spans_;
+  mutable Mutex mu_;
+  std::vector<TraceSpanRecord> spans_ GUARDED_BY(mu_);
 };
 
 }  // namespace intellisphere

@@ -414,6 +414,287 @@ TEST(HarvestFunctions, IgnoresCommentsAndStrings) {
   EXPECT_TRUE(opts.status_functions.empty());
 }
 
+// --- lexer -----------------------------------------------------------------
+
+TEST(LexSource, SplitsChannelsColumnPreserving) {
+  auto lex = lint::LexSource("int x = 1;  // trailing note\n");
+  ASSERT_EQ(lex.raw.size(), 1u);
+  EXPECT_EQ(lex.raw[0], "int x = 1;  // trailing note");
+  EXPECT_EQ(lex.code[0], "int x = 1;                  ");
+  EXPECT_EQ(lex.comments[0], "            // trailing note");
+  // Same length per channel, so columns line up.
+  EXPECT_EQ(lex.code[0].size(), lex.raw[0].size());
+  EXPECT_EQ(lex.comments[0].size(), lex.raw[0].size());
+}
+
+TEST(LexSource, BlanksStringAndCharLiterals) {
+  auto lex = lint::LexSource("const char* s = \"rand()\"; char c = 'x';\n");
+  EXPECT_EQ(lex.code[0].find("rand"), std::string::npos);
+  EXPECT_EQ(lex.code[0].find('x'), std::string::npos);
+  // The surrounding declarations stay in the code channel.
+  EXPECT_NE(lex.code[0].find("const char* s ="), std::string::npos);
+}
+
+TEST(LexSource, EscapedQuoteDoesNotEndString) {
+  auto lex = lint::LexSource("const char* s = \"a\\\"rand()\";\n");
+  EXPECT_EQ(lex.code[0].find("rand"), std::string::npos);
+}
+
+TEST(LexSource, BlockCommentSpansLines) {
+  auto lex = lint::LexSource("/* std::thread\n   still comment */ int y;\n");
+  EXPECT_EQ(lex.code[0].find("thread"), std::string::npos);
+  EXPECT_EQ(lex.code[1].find("comment"), std::string::npos);
+  EXPECT_NE(lex.code[1].find("int y;"), std::string::npos);
+  EXPECT_NE(lex.comments[0].find("std::thread"), std::string::npos);
+}
+
+TEST(LexSource, DigitSeparatorIsNotACharLiteral) {
+  // v1 treated the ' in 1'000'000 as a character-literal opener and blanked
+  // the rest of the line, hiding real violations after it.
+  auto lex = lint::LexSource("int n = 1'000'000; std::thread t;\n");
+  EXPECT_NE(lex.code[0].find("1'000'000"), std::string::npos);
+  EXPECT_NE(lex.code[0].find("std::thread"), std::string::npos);
+}
+
+TEST(LexSource, CharLiteralPrefixesStillLex) {
+  auto lex = lint::LexSource("auto a = u8'x'; auto b = L'y'; int z;\n");
+  EXPECT_EQ(lex.code[0].find('x'), std::string::npos);
+  EXPECT_EQ(lex.code[0].find('y'), std::string::npos);
+  EXPECT_NE(lex.code[0].find("int z;"), std::string::npos);
+}
+
+TEST(LexSource, RawStringBodyIsBlankedEvenWithInnerQuotes) {
+  // v1 ended the literal at the inner ", leaking the tail into code.
+  auto lex =
+      lint::LexSource("auto s = R\"(say \"hi\" std::thread)\"; int k;\n");
+  EXPECT_EQ(lex.code[0].find("thread"), std::string::npos);
+  EXPECT_NE(lex.code[0].find("int k;"), std::string::npos);
+}
+
+TEST(LexSource, MultiLineRawStringWithDelimiter) {
+  auto lex = lint::LexSource(
+      "auto s = R\"sql(SELECT rand()\nFROM t)sql\"; std::cout << s;\n");
+  EXPECT_EQ(lex.code[0].find("rand"), std::string::npos);
+  EXPECT_EQ(lex.code[1].find("FROM"), std::string::npos);
+  // Code after the closing delimiter is visible again.
+  EXPECT_NE(lex.code[1].find("std::cout"), std::string::npos);
+}
+
+TEST(LexSource, LineCommentInsideStringIsNotAComment) {
+  auto lex = lint::LexSource("const char* u = \"http://x\"; int m;\n");
+  EXPECT_TRUE(lex.comments[0].find_first_not_of(' ') == std::string::npos);
+  EXPECT_NE(lex.code[0].find("int m;"), std::string::npos);
+}
+
+// --- lexer-driven rule regressions -----------------------------------------
+
+TEST(LexerRegression, ViolationAfterDigitSeparatorStillFires) {
+  auto findings = RunLint("src/core/trainer.cc",
+                      "int n = 1'000'000; std::thread t;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-thread");
+}
+
+TEST(LexerRegression, RawStringContentNeverFires) {
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "auto s = R\"(std::thread rand() std::cout)\";\n")
+                  .empty());
+}
+
+TEST(LexerRegression, ViolationAfterRawStringWithInnerQuoteStillFires) {
+  auto findings = RunLint(
+      "src/core/trainer.cc",
+      "auto s = R\"(a \"quoted\" bit)\"; std::thread t;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-thread");
+}
+
+TEST(LexerRegression, AllowMarkerInsideStringDoesNotSuppress) {
+  // A suppression spelled in a string literal is data, not a directive.
+  auto findings = RunLint(
+      "src/ml/sampler.cc",
+      "const char* s = \"lint:allow(no-rand)\"; int a = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-rand");
+}
+
+TEST(LexerRegression, AllowFileMarkerInsideStringDoesNotSuppress) {
+  auto findings = RunLint(
+      "src/ml/sampler.cc",
+      "const char* s = \"lint:allow-file(no-rand)\";\nint a = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-rand");
+}
+
+// --- lock-discipline -------------------------------------------------------
+
+TEST(LockDisciplineRule, FiresOnRawPrimitivesInLibraryCode) {
+  auto findings = RunLint("src/serving/service.cc",
+                      "std::mutex mu;\n"
+                      "std::lock_guard<std::mutex> lock(mu);\n"
+                      "std::unique_lock<std::mutex> ul(mu);\n"
+                      "std::condition_variable cv;\n");
+  // Line 2 and 3 name two banned tokens each (the template argument too).
+  ASSERT_GE(findings.size(), 4u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "lock-discipline");
+  EXPECT_NE(findings[0].message.find("thread_annotations.h"),
+            std::string::npos);
+}
+
+TEST(LockDisciplineRule, FiresOnNakedLockCalls) {
+  auto findings = RunLint("src/serving/service.cc",
+                      "mu_.lock();\n"
+                      "mu_.unlock();\n"
+                      "guard->lock();\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"lock-discipline", "lock-discipline",
+                                      "lock-discipline"}));
+}
+
+TEST(LockDisciplineRule, WrapperHeaderAndNonLibraryCodeAreExempt) {
+  EXPECT_TRUE(RunLint("src/util/thread_annotations.h",
+                  "#ifndef INTELLISPHERE_UTIL_THREAD_ANNOTATIONS_H_\n"
+                  "#define INTELLISPHERE_UTIL_THREAD_ANNOTATIONS_H_\n"
+                  "std::mutex mu_;\nmu_.lock();\n#endif\n")
+                  .empty());
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", "std::mutex mu;\n").empty());
+  EXPECT_TRUE(RunLint("bench/bench_foo.cc", "std::mutex mu;\n").empty());
+}
+
+TEST(LockDisciplineRule, AnnotatedWrappersAndTryLockStayLegal) {
+  EXPECT_TRUE(RunLint("src/serving/service.cc",
+                  "Mutex mu_;\n"
+                  "MutexLock lock(&mu_);\n"
+                  "bool got = mu_.TryLock();\n")
+                  .empty());
+}
+
+TEST(LockDisciplineRule, IgnoresCommentsAndSuppressions) {
+  EXPECT_TRUE(RunLint("src/serving/service.cc",
+                  "// std::mutex is banned here; see DESIGN.md §13\n")
+                  .empty());
+  EXPECT_TRUE(RunLint("src/serving/service.cc",
+                  "std::mutex mu;  // lint:allow(lock-discipline)\n")
+                  .empty());
+}
+
+// --- atomic-ordering -------------------------------------------------------
+
+TEST(AtomicOrderingRule, FiresOnUnjustifiedRelaxed) {
+  auto findings = RunLint(
+      "src/util/counters.cc",
+      "value_.fetch_add(1, std::memory_order_relaxed);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-ordering");
+  EXPECT_NE(findings[0].message.find("lint:relaxed-ok"), std::string::npos);
+}
+
+TEST(AtomicOrderingRule, RelaxedOkOnSameLineJustifies) {
+  EXPECT_TRUE(RunLint("src/util/counters.cc",
+                  "v_.fetch_add(1, std::memory_order_relaxed);  "
+                  "// lint:relaxed-ok(independent stat counter)\n")
+                  .empty());
+}
+
+TEST(AtomicOrderingRule, RelaxedOkOnPrecedingLineJustifies) {
+  EXPECT_TRUE(RunLint("src/util/counters.cc",
+                  "// lint:relaxed-ok(fenced by the release store below)\n"
+                  "v_.store(1, std::memory_order_relaxed);\n")
+                  .empty());
+}
+
+TEST(AtomicOrderingRule, EmptyReasonDoesNotJustify) {
+  auto findings = RunLint(
+      "src/util/counters.cc",
+      "v_.fetch_add(1, std::memory_order_relaxed);  // lint:relaxed-ok()\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-ordering");
+}
+
+TEST(AtomicOrderingRule, MarkerTooFarAwayDoesNotJustify) {
+  auto findings = RunLint(
+      "src/util/counters.cc",
+      "// lint:relaxed-ok(two lines above the use)\n"
+      "\n"
+      "v_.store(1, std::memory_order_relaxed);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-ordering");
+}
+
+TEST(AtomicOrderingRule, StrongerOrderingsNeedNoMarker) {
+  EXPECT_TRUE(RunLint("src/util/counters.cc",
+                  "v_.store(1, std::memory_order_release);\n"
+                  "auto x = v_.load(std::memory_order_acquire);\n"
+                  "e_.fetch_add(1, std::memory_order_acq_rel);\n")
+                  .empty());
+}
+
+TEST(AtomicOrderingRule, OnlyAppliesToLibraryCode) {
+  EXPECT_TRUE(RunLint("tests/foo_test.cc",
+                  "v.fetch_add(1, std::memory_order_relaxed);\n")
+                  .empty());
+}
+
+TEST(AtomicOrderingRule, MarkerInsideStringDoesNotJustify) {
+  auto findings = RunLint(
+      "src/util/counters.cc",
+      "const char* s = \"lint:relaxed-ok(nope)\";\n"
+      "v_.store(1, std::memory_order_relaxed);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-ordering");
+}
+
+// --- no-nondeterminism -----------------------------------------------------
+
+TEST(NoNondeterminismRule, FiresOnEntropyClockAndEnvironment) {
+  auto findings = RunLint("src/core/trainer.cc",
+                      "std::random_device rd;\n"
+                      "auto t = time(nullptr);\n"
+                      "auto c = clock();\n"
+                      "const char* home = getenv(\"HOME\");\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{
+                "no-nondeterminism", "no-nondeterminism", "no-nondeterminism",
+                "no-nondeterminism"}));
+  EXPECT_NE(findings[0].message.find("seeded"), std::string::npos);
+}
+
+TEST(NoNondeterminismRule, StdQualifiedCallsFireToo) {
+  auto findings = RunLint("src/core/trainer.cc",
+                      "auto t = std::time(nullptr);\n"
+                      "const char* v = std::getenv(\"X\");\n");
+  EXPECT_EQ(RulesOf(findings),
+            (std::vector<std::string>{"no-nondeterminism",
+                                      "no-nondeterminism"}));
+}
+
+TEST(NoNondeterminismRule, SimilarIdentifiersStayLegal) {
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "double switch_time(int i);\n"
+                  "auto t = profile.switch_time();\n"
+                  "auto n = std::chrono::steady_clock::now();\n"
+                  "double uptime = 3.0;\n")
+                  .empty());
+}
+
+TEST(NoNondeterminismRule, OnlyAppliesToLibraryCode) {
+  EXPECT_TRUE(
+      RunLint("tests/foo_test.cc", "std::random_device rd;\n").empty());
+  EXPECT_TRUE(RunLint("bench/bench_foo.cc", "auto t = time(nullptr);\n")
+                  .empty());
+}
+
+TEST(NoNondeterminismRule, IgnoresCommentsStringsAndSuppressions) {
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "// getenv() is banned in library code\n"
+                  "const char* s = \"time(nullptr)\";\n")
+                  .empty());
+  EXPECT_TRUE(RunLint("src/core/trainer.cc",
+                  "auto t = time(nullptr);  "
+                  "// lint:allow(no-nondeterminism)\n")
+                  .empty());
+}
+
 // --- formatting ------------------------------------------------------------
 
 TEST(FormatFinding, MatchesCliOutputShape) {

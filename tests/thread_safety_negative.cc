@@ -1,0 +1,51 @@
+// Negative-compile fixture for the clang-analyze preset (DESIGN.md §13).
+//
+// This file is NOT part of any CMake target. scripts/check_static_analysis.sh
+// compiles it with `clang++ -Wthread-safety -Wthread-safety-beta -Werror
+// -fsyntax-only` and asserts the compile FAILS: every function below breaks
+// a lock-discipline contract that the thread-safety analysis must reject.
+// If this file ever compiles cleanly under those flags, the annotations in
+// src/util/thread_annotations.h have stopped enforcing anything.
+//
+// Under gcc (no analysis) the file is syntactically valid and simply never
+// built, so it cannot rot the tier-1 build.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION: reads a GUARDED_BY field without holding the mutex.
+  int64_t UnguardedRead() const { return balance_; }
+
+  // VIOLATION: writes a GUARDED_BY field without holding the mutex.
+  void UnguardedWrite(int64_t v) { balance_ = v; }
+
+  // VIOLATION: calls a REQUIRES(mu_) method without holding mu_.
+  void CallsRequiresWithoutLock() { AddLocked(1); }
+
+  // VIOLATION: acquires but never releases (SCOPED_CAPABILITY misuse is
+  // caught too, but a naked Lock() with no Unlock() on every path is the
+  // classic leak).
+  void LeaksLock() { mu_.Lock(); }
+
+ private:
+  void AddLocked(int64_t v) REQUIRES(mu_) { balance_ += v; }
+
+  mutable intellisphere::Mutex mu_;
+  int64_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+// Reference the class so the definitions are instantiated.
+inline int64_t Use() {
+  Account a;
+  a.UnguardedWrite(3);
+  a.CallsRequiresWithoutLock();
+  a.LeaksLock();
+  return a.UnguardedRead();
+}
+
+}  // namespace

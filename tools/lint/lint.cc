@@ -3,81 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <sstream>
+#include <utility>
 
 namespace intellisphere::lint {
 namespace {
-
-// Splits content into lines (without trailing '\n').
-std::vector<std::string> SplitLines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : content) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-// Returns the lines with comments and string/char literals blanked to
-// spaces, preserving columns, so token rules cannot fire inside either.
-std::vector<std::string> BlankedLines(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string code = line;
-    size_t i = 0;
-    while (i < code.size()) {
-      if (in_block_comment) {
-        if (code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/') {
-          code[i] = ' ';
-          code[i + 1] = ' ';
-          i += 2;
-          in_block_comment = false;
-        } else {
-          code[i++] = ' ';
-        }
-        continue;
-      }
-      char c = code[i];
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '/') {
-        for (size_t j = i; j < code.size(); ++j) code[j] = ' ';
-        break;
-      }
-      if (c == '/' && i + 1 < code.size() && code[i + 1] == '*') {
-        code[i] = ' ';
-        code[i + 1] = ' ';
-        i += 2;
-        in_block_comment = true;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        code[i++] = ' ';
-        while (i < code.size()) {
-          if (code[i] == '\\' && i + 1 < code.size()) {
-            code[i] = ' ';
-            code[i + 1] = ' ';
-            i += 2;
-            continue;
-          }
-          bool done = code[i] == quote;
-          code[i++] = ' ';
-          if (done) break;
-        }
-        continue;
-      }
-      ++i;
-    }
-    out.push_back(std::move(code));
-  }
-  return out;
-}
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -117,45 +46,239 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Per-file suppression state parsed from the raw (unblanked) lines.
+// The identifier immediately preceding position `pos` in `text` (empty when
+// the previous character is not an identifier character).
+std::string IdentifierEndingAt(const std::string& text, size_t pos) {
+  size_t b = pos;
+  while (b > 0 && IsIdentChar(text[b - 1])) --b;
+  return text.substr(b, pos - b);
+}
+
+}  // namespace
+
+LexedSource LexSource(const std::string& content) {
+  // One pass over the whole file. Every character lands in exactly one of
+  // the code/comments channels (literal contents land in neither); the
+  // other channels get a space, so columns line up across all three.
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  LexedSource out;
+  std::string raw;
+  std::string code;
+  std::string comments;
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+
+  auto flush = [&] {
+    out.raw.push_back(raw);
+    out.code.push_back(code);
+    out.comments.push_back(comments);
+    raw.clear();
+    code.clear();
+    comments.clear();
+  };
+  auto emit_code = [&](char c) {
+    raw += c;
+    code += c;
+    comments += ' ';
+  };
+  auto emit_comment = [&](char c) {
+    raw += c;
+    code += ' ';
+    comments += c;
+  };
+  auto emit_blank = [&](char c) {  // literal content: neither channel
+    raw += c;
+    code += ' ';
+    comments += ' ';
+  };
+
+  const size_t n = content.size();
+  size_t i = 0;
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      // Line comments end here; ordinary string/char literals cannot span
+      // lines, so treat an unterminated one as closed rather than letting
+      // a typo swallow the rest of the file. Block comments and raw
+      // strings do continue.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      flush();
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kLineComment:
+        emit_comment(c);
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          emit_comment('*');
+          emit_comment('/');
+          i += 2;
+          state = State::kCode;
+        } else {
+          emit_comment(c);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n && content[i + 1] != '\n') {
+          emit_blank(c);
+          emit_blank(content[i + 1]);
+          i += 2;
+        } else if (c == quote) {
+          emit_blank(c);
+          ++i;
+          state = State::kCode;
+        } else {
+          emit_blank(c);
+          ++i;
+        }
+        break;
+      }
+      case State::kRawString:
+        if (c == ')' &&
+            content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (size_t k = 0; k < raw_terminator.size(); ++k) {
+            emit_blank(content[i + k]);
+          }
+          i += raw_terminator.size();
+          state = State::kCode;
+        } else {
+          emit_blank(c);
+          ++i;
+        }
+        break;
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          emit_comment('/');
+          emit_comment('/');
+          i += 2;
+          state = State::kLineComment;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          emit_comment('/');
+          emit_comment('*');
+          i += 2;
+          state = State::kBlockComment;
+        } else if (c == '"') {
+          // R"delim(...)delim" — the R (with optional encoding prefix) has
+          // already been emitted to the code channel, which is harmless; the
+          // quotes, delimiter, and body are blanked from every channel.
+          bool is_raw = false;
+          if (i > 0 && content[i - 1] == 'R') {
+            const std::string prefix = IdentifierEndingAt(content, i);
+            is_raw = prefix == "R" || prefix == "u8R" || prefix == "uR" ||
+                     prefix == "UR" || prefix == "LR";
+          }
+          size_t open = std::string::npos;
+          if (is_raw) open = content.find('(', i + 1);
+          if (is_raw && open != std::string::npos) {
+            raw_terminator = ")" + content.substr(i + 1, open - i - 1) + "\"";
+            for (size_t k = i; k <= open; ++k) emit_blank(content[k]);
+            i = open + 1;
+            state = State::kRawString;
+          } else {
+            emit_blank(c);
+            ++i;
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // A ' directly after an identifier character is a digit separator
+          // (1'000'000, 0xFF'FF) unless that identifier is a character-
+          // literal encoding prefix (u8'a', L'x').
+          bool is_char_literal = true;
+          if (i > 0 && IsIdentChar(content[i - 1])) {
+            const std::string id = IdentifierEndingAt(content, i);
+            is_char_literal =
+                id == "u8" || id == "u" || id == "U" || id == "L";
+          }
+          if (is_char_literal) {
+            emit_blank(c);
+            ++i;
+            state = State::kChar;
+          } else {
+            emit_code(c);
+            ++i;
+          }
+        } else {
+          emit_code(c);
+          ++i;
+        }
+        break;
+    }
+  }
+  if (!raw.empty()) flush();
+  return out;
+}
+
+namespace {
+
+// Per-file suppression state, parsed from the comments channel only — a
+// marker spelled inside a string literal is data, not a suppression.
 struct Suppressions {
   std::set<std::string> file_wide;
   // Line numbers (1-based) on which a rule is allowed.
   std::set<std::pair<int, std::string>> per_line;
+  // Lines whose memory_order_relaxed carries a lint:relaxed-ok(<reason>).
+  std::set<int> relaxed_ok;
 
   bool Allowed(const std::string& rule, int line) const {
     return file_wide.count(rule) > 0 || per_line.count({line, rule}) > 0;
   }
 };
 
-// Extracts every `marker(<rule>)` occurrence on the line.
+// Extracts every `marker(<payload>)` occurrence on the line. The marker and
+// its closing ')' must sit on one line; the payload may not contain ')'.
 std::vector<std::string> ParseMarkers(const std::string& line,
                                       const std::string& marker) {
-  std::vector<std::string> rules;
+  std::vector<std::string> payloads;
   size_t pos = 0;
   while ((pos = line.find(marker + "(", pos)) != std::string::npos) {
     size_t open = pos + marker.size();
     size_t close = line.find(')', open);
     if (close == std::string::npos) break;
-    rules.push_back(Trim(line.substr(open + 1, close - open - 1)));
+    payloads.push_back(Trim(line.substr(open + 1, close - open - 1)));
     pos = close;
   }
-  return rules;
+  return payloads;
 }
 
-Suppressions ParseSuppressions(const std::vector<std::string>& raw_lines) {
+Suppressions ParseSuppressions(const std::vector<std::string>& comment_lines) {
   Suppressions sup;
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
     int line_no = static_cast<int>(i) + 1;
-    for (const std::string& rule : ParseMarkers(raw_lines[i], "lint:allow")) {
+    for (const std::string& rule :
+         ParseMarkers(comment_lines[i], "lint:allow")) {
       // `lint:allow(rule)` covers its own line and the next one, so the
       // marker can sit on the line above the flagged statement.
       sup.per_line.insert({line_no, rule});
       sup.per_line.insert({line_no + 1, rule});
     }
     for (const std::string& rule :
-         ParseMarkers(raw_lines[i], "lint:allow-file")) {
+         ParseMarkers(comment_lines[i], "lint:allow-file")) {
       sup.file_wide.insert(rule);
+    }
+    for (const std::string& reason :
+         ParseMarkers(comment_lines[i], "lint:relaxed-ok")) {
+      // An empty reason is no justification; the marker then does nothing
+      // and atomic-ordering still reports.
+      if (reason.empty()) continue;
+      sup.relaxed_ok.insert(line_no);
+      sup.relaxed_ok.insert(line_no + 1);
     }
   }
   return sup;
@@ -392,6 +515,103 @@ void CheckNoWallclockSleep(const FileInput& in,
   }
 }
 
+// True for the files that implement the annotated wrappers and are the one
+// place allowed to touch the raw standard primitives.
+bool IsLockWrapperPath(const std::string& path) {
+  return StartsWith(path, "src/util/thread_annotations.");
+}
+
+void CheckLockDiscipline(const FileInput& in,
+                         const std::vector<std::string>& code,
+                         const Suppressions& sup, std::vector<Finding>* out) {
+  if (!IsLibraryPath(in.path) || IsLockWrapperPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* banned :
+         {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
+          "std::recursive_timed_mutex", "std::shared_mutex",
+          "std::shared_timed_mutex", "std::lock_guard", "std::unique_lock",
+          "std::scoped_lock", "std::shared_lock", "std::condition_variable",
+          "std::condition_variable_any"}) {
+      size_t pos = code[i].find(banned);
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && IsIdentChar(code[i][pos - 1])) continue;
+      size_t end = pos + std::string(banned).size();
+      if (end < code[i].size() && IsIdentChar(code[i][end])) continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "lock-discipline",
+             std::string(banned) +
+                 " is banned in library code; use the annotated "
+                 "intellisphere::Mutex / MutexLock / CondVar wrappers "
+                 "(src/util/thread_annotations.h) so thread-safety "
+                 "analysis sees the critical section");
+    }
+    // Naked lock/unlock calls bypass the RAII + SCOPED_CAPABILITY pairing
+    // the analysis (and exception safety) depend on.
+    for (const char* call :
+         {".lock()", "->lock()", ".unlock()", "->unlock()"}) {
+      if (code[i].find(call) == std::string::npos) continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "lock-discipline",
+             std::string("naked ") + call +
+                 " is banned in library code; hold locks through "
+                 "MutexLock (RAII) so acquire and release cannot drift "
+                 "apart");
+    }
+  }
+}
+
+void CheckAtomicOrdering(const FileInput& in,
+                         const std::vector<std::string>& code,
+                         const Suppressions& sup, std::vector<Finding>* out) {
+  // Relaxed atomics are legitimate (stat counters, fenced publishes) but
+  // every use must say *why* it is safe, where the next reader can see it.
+  if (!IsLibraryPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (FindToken(code[i], "memory_order_relaxed") == std::string::npos) {
+      continue;
+    }
+    int line_no = static_cast<int>(i) + 1;
+    if (sup.relaxed_ok.count(line_no) > 0) continue;
+    Report(out, sup, in.path, line_no, "atomic-ordering",
+           "memory_order_relaxed needs a written justification: add "
+           "// lint:relaxed-ok(<reason>) on this line or the line above "
+           "(or use a stronger ordering)");
+  }
+}
+
+void CheckNoNondeterminism(const FileInput& in,
+                           const std::vector<std::string>& code,
+                           const Suppressions& sup,
+                           std::vector<Finding>* out) {
+  // Library results must be a function of (inputs, seed, deployment clock)
+  // only — entropy sources, wall-clock reads, and environment lookups make
+  // estimates irreproducible.
+  if (!IsLibraryPath(in.path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    size_t pos = code[i].find("std::random_device");
+    if (pos != std::string::npos &&
+        (pos == 0 || !IsIdentChar(code[i][pos - 1]))) {
+      size_t end = pos + std::string("std::random_device").size();
+      if (end >= code[i].size() || !IsIdentChar(code[i][end])) {
+        Report(out, sup, in.path, static_cast<int>(i) + 1,
+               "no-nondeterminism",
+               "std::random_device is banned in library code; draw from a "
+               "seeded intellisphere::Rng (src/util/rng.h) instead");
+      }
+    }
+    for (const char* fn : {"time", "clock", "getenv", "gettimeofday"}) {
+      size_t hit = FindToken(code[i], fn);
+      if (hit == std::string::npos) continue;
+      size_t after =
+          code[i].find_first_not_of(" \t", hit + std::string(fn).size());
+      if (after == std::string::npos || code[i][after] != '(') continue;
+      Report(out, sup, in.path, static_cast<int>(i) + 1, "no-nondeterminism",
+             std::string(fn) +
+                 "() is banned in library code; time comes from the "
+                 "deployment clock (`now` parameters), configuration from "
+                 "Properties, randomness from a seeded Rng");
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatFinding(const Finding& f) {
@@ -460,10 +680,10 @@ void CollectReturnTypeNames(const std::string& text, const std::string& token,
 }  // namespace
 
 void HarvestFunctions(const std::string& content, LintOptions* opts) {
-  std::vector<std::string> code = BlankedLines(SplitLines(content));
+  LexedSource lex = LexSource(content);
   // Join so a declaration split across lines still parses.
   std::string text;
-  for (const std::string& line : code) {
+  for (const std::string& line : lex.code) {
     text += line;
     text += '\n';
   }
@@ -473,19 +693,21 @@ void HarvestFunctions(const std::string& content, LintOptions* opts) {
 }
 
 std::vector<Finding> LintFile(const FileInput& in, const LintOptions& opts) {
-  std::vector<std::string> raw = SplitLines(in.content);
-  std::vector<std::string> code = BlankedLines(raw);
-  Suppressions sup = ParseSuppressions(raw);
+  LexedSource lex = LexSource(in.content);
+  Suppressions sup = ParseSuppressions(lex.comments);
 
   std::vector<Finding> findings;
-  CheckIncludeGuard(in, code, sup, &findings);
-  CheckNoRand(in, code, sup, &findings);
-  CheckNoCout(in, code, sup, &findings);
-  CheckNoAdhocIo(in, code, sup, &findings);
-  CheckBannedHeaders(in, code, sup, &findings);
-  CheckNoRawThread(in, code, sup, &findings);
-  CheckNoWallclockSleep(in, code, sup, &findings);
-  CheckDiscardedStatus(in, code, opts, sup, &findings);
+  CheckIncludeGuard(in, lex.code, sup, &findings);
+  CheckNoRand(in, lex.code, sup, &findings);
+  CheckNoCout(in, lex.code, sup, &findings);
+  CheckNoAdhocIo(in, lex.code, sup, &findings);
+  CheckBannedHeaders(in, lex.code, sup, &findings);
+  CheckNoRawThread(in, lex.code, sup, &findings);
+  CheckNoWallclockSleep(in, lex.code, sup, &findings);
+  CheckLockDiscipline(in, lex.code, sup, &findings);
+  CheckAtomicOrdering(in, lex.code, sup, &findings);
+  CheckNoNondeterminism(in, lex.code, sup, &findings);
+  CheckDiscardedStatus(in, lex.code, opts, sup, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;

@@ -1,10 +1,21 @@
 // Repo-specific single-pass lint rules for the IntelliSphere tree.
 //
-// The scanner is deliberately line-based and heuristic: it blanks comments
-// and string/char literals, then applies token-level rules. It is a
-// complement to the compiler's `[[nodiscard]]` enforcement, not a parser;
-// rules that need semantics (discarded-status) work from a harvested set of
-// Status/Result-returning function names.
+// The scanner is token-aware: a small lexer walks the file once and splits
+// it into per-line channels — `code` (comments and string/char/raw-string
+// literals blanked to spaces, columns preserved) and `comments` (only
+// comment text kept). Token rules run over the code channel, so a banned
+// identifier inside a string literal or a comment can never fire; the
+// suppression markers are parsed from the comments channel only, so a
+// marker spelled inside a string literal never silences anything. The
+// lexer understands line/block comments, escaped string and character
+// literals, raw strings (R"delim(...)delim" with u8/u/U/L prefixes,
+// including multi-line bodies), and digit separators (1'000'000 is a
+// number, not the start of a character literal).
+//
+// It is a complement to the compiler's `[[nodiscard]]` and Clang
+// thread-safety enforcement (DESIGN.md §13), not a parser; rules that need
+// semantics (discarded-status) work from a harvested set of Status/Result-
+// returning function names.
 //
 // Rules (ids used in findings and suppressions):
 //   include-guard     .h files must use #ifndef INTELLISPHERE_<PATH>_H_,
@@ -37,11 +48,35 @@
 //                     arguments), so real sleeps and wall-clock reads break
 //                     determinism. (std::this_thread::yield and
 //                     steady_clock stay legal.)
+//   lock-discipline   raw standard synchronization primitives (std::mutex
+//                     and friends, std::lock_guard / unique_lock /
+//                     scoped_lock / shared_lock, std::condition_variable)
+//                     and naked .lock()/.unlock() calls are banned in
+//                     library code outside src/util/thread_annotations.*:
+//                     shared state locks through the annotated
+//                     intellisphere::Mutex / MutexLock / CondVar wrappers
+//                     so Clang thread-safety analysis sees every critical
+//                     section (DESIGN.md §13).
+//   atomic-ordering   every memory_order_relaxed in library code must
+//                     carry a written justification: a
+//                     `// lint:relaxed-ok(<reason>)` comment on the same
+//                     line or the line above. Unannotated relaxed
+//                     operations are where silent reordering bugs live.
+//   no-nondeterminism std::random_device and calls to time(), clock(),
+//                     getenv(), gettimeofday() are banned in library code:
+//                     randomness draws from a seeded Rng, time comes from
+//                     the deployment clock, configuration from Properties.
+//                     (rand()/srand() are covered by no-rand, which applies
+//                     everywhere, not just src/.)
 //
-// Suppressions:
-//   // lint:allow(<rule>)       same line, or alone on the preceding line
-//   // lint:allow-file(<rule>)  anywhere in the file, suppresses the rule
-//                               for the whole file
+// Suppressions (parsed from comments only; the marker and its closing ')'
+// must sit on one line):
+//   // lint:allow(<rule>)        same line, or alone on the preceding line
+//   // lint:allow-file(<rule>)   anywhere in the file, suppresses the rule
+//                                for the whole file
+//   // lint:relaxed-ok(<reason>) justifies memory_order_relaxed on the
+//                                same line or the next one; the reason must
+//                                be non-empty (it is the point).
 
 #ifndef INTELLISPHERE_TOOLS_LINT_LINT_H_
 #define INTELLISPHERE_TOOLS_LINT_LINT_H_
@@ -74,6 +109,19 @@ struct FileInput {
   std::string path;
   std::string content;
 };
+
+/// The per-line channels the lexer produces. All three vectors have the
+/// same length, and every string preserves the original line's length and
+/// column positions (characters outside the channel are blanked to spaces).
+struct LexedSource {
+  std::vector<std::string> raw;       ///< the lines as written
+  std::vector<std::string> code;      ///< comments and literals blanked
+  std::vector<std::string> comments;  ///< only comment text kept
+};
+
+/// Lexes `content` once, classifying every character as code, comment, or
+/// literal. Exposed so tests can pin the lexer's behavior directly.
+LexedSource LexSource(const std::string& content);
 
 /// Configuration shared across files.
 struct LintOptions {
