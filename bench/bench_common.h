@@ -80,6 +80,12 @@ struct BenchMetric {
   std::string name;
   double value = 0.0;
   std::string unit;  ///< e.g. "s", "ns", "steps/s", "x"
+  /// Optional hard floor the measurement must stay at-or-above (0 = none).
+  /// Emitted as a "baseline" field in BENCH_<name>.json; enforced by
+  /// scripts/check_bench_regression.py as a hard failure, unlike the
+  /// warn-only drift comparison against bench/baselines/. Declared after
+  /// `unit` so existing three-element aggregate initializers still compile.
+  double baseline = 0.0;
 };
 
 // JSON string escaping comes from util/json.h (intellisphere::JsonEscape),
@@ -116,7 +122,14 @@ inline void AppendMetricsSnapshot(const MetricsSnapshot& snapshot,
     std::snprintf(value, sizeof(value), "%.17g", metrics[i].value);
     out << "\n    {\"name\": \"" << JsonEscape(metrics[i].name)
         << "\", \"value\": " << value << ", \"unit\": \""
-        << JsonEscape(metrics[i].unit) << "\"}";
+        << JsonEscape(metrics[i].unit) << "\"";
+    if (metrics[i].baseline != 0.0) {
+      char baseline[64];
+      std::snprintf(baseline, sizeof(baseline), "%.17g",
+                    metrics[i].baseline);
+      out << ", \"baseline\": " << baseline;
+    }
+    out << "}";
   }
   if (!metrics.empty()) out << "\n  ";
   out << "]\n}\n";

@@ -1,24 +1,40 @@
 // Serving-layer throughput harness: measures estimate QPS through the
 // EstimationService front-end against raw CostEstimator calls, cold cache
-// vs warm cache, single-threaded vs a 4-worker batch pool. Also re-checks
-// the serving layer's bit-identity contract: every cached answer must equal
-// the uncached answer field-for-field.
+// vs warm cache, single-threaded vs pooled, plus the DESIGN.md §14
+// fast paths:
+//
+//  * Cold batches run the distinct-key misses through model-grouped
+//    batched GEMM inference (one fused forward pass per logical model)
+//    with lock-free cache misses — gated at >= 5x the throughput of
+//    uncached scalar single calls.
+//  * Warm batches answer from the seqlock fast-read path — gated at >= 5x
+//    uncached throughput, and the warm phase must record ZERO locked cache
+//    probes (CacheStats::locked_gets): steady-state hits take no shard
+//    mutex.
+//  * A multi-threaded warm-hit section checks the wait-free read path
+//    scales across cores (adaptive: on a single-core host it only asserts
+//    concurrency doesn't collapse throughput).
+//
+// Also re-checks the serving layer's bit-identity contract: every cached
+// or batched answer must equal the uncached scalar answer field-for-field.
 //
 // The served system is a blackbox (logical-op only) profile, so every
-// uncached estimate runs an MLP forward pass — the workload the cache is
-// built for. Sub-op-only estimates are arithmetic on a handful of doubles
-// and are roughly as cheap as a cache probe; caching exists for the
-// model-backed paths.
+// uncached estimate runs an MLP forward pass — the workload the cache and
+// the batched GEMM path are built for.
 //
-// The headline acceptance number is warm_speedup_vs_uncached: a warm-cache
-// EstimateBatch pass must be at least 5x faster than uncached single calls.
-// The harness aborts loudly if the contract or the speedup floor is broken.
-//
-// Emits BENCH_serving_throughput.json for CI trending.
+// The harness aborts loudly if a contract or a speedup floor is broken.
+// Emits BENCH_serving_throughput.json for CI trending; the speedup metrics
+// carry their floors in the "baseline" field, enforced again (with
+// warn-only drift checks against bench/baselines/) by
+// scripts/check_bench_regression.py.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +49,7 @@
 #include "serving/estimate_cache.h"
 #include "serving/service.h"
 #include "util/runtime_metrics.h"
+#include "util/thread_pool.h"
 
 namespace intellisphere {
 namespace {
@@ -45,6 +62,8 @@ constexpr uint64_t kSeed = 4242;
 constexpr int kDistinctOps = 48;    // unique (operator, features) keys
 constexpr int kRequests = 1920;     // per measured pass; 40x reuse per key
 constexpr int kWarmRepeats = 5;     // warm passes averaged for stable QPS
+constexpr int kColdRepeats = 5;     // cold passes averaged for stable QPS
+constexpr double kSpeedupFloor = 5.0;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -133,34 +152,49 @@ void CheckBitIdentical(const core::HybridEstimate& cached,
               cached.approach_used == uncached.approach_used &&
               cached.algorithm == uncached.algorithm &&
               cached.used_remedy == uncached.used_remedy &&
+              cached.remedy_alpha == uncached.remedy_alpha &&
               cached.nn_seconds == uncached.nn_seconds &&
               cached.remedy_seconds == uncached.remedy_seconds &&
               cached.eliminated_count == uncached.eliminated_count;
   if (!same) {
-    Check(Status::Internal("cached estimate differs from uncached"), what);
+    Check(Status::Internal("served estimate differs from uncached scalar"),
+          what);
   }
 }
 
+serving::ServiceOptions BenchServiceOptions(int jobs) {
+  serving::ServiceOptions opts;
+  opts.jobs = jobs;
+  opts.cache.shards = 8;
+  opts.cache.capacity = 4096;
+  return opts;
+}
+
 struct PassTiming {
-  double cold_seconds = 0.0;
+  double cold_seconds = 0.0;  ///< averaged over kColdRepeats fresh caches
   double warm_seconds = 0.0;  ///< averaged over kWarmRepeats passes
 };
 
 PassTiming RunServicePasses(const core::CostEstimator& estimator, int jobs,
                             const std::vector<serving::EstimateRequest>& reqs,
                             const std::vector<core::HybridEstimate>& expected) {
-  serving::ServiceOptions opts;
-  opts.jobs = jobs;
-  opts.cache.shards = 8;
-  opts.cache.capacity = 4096;
-  serving::EstimationService service(&estimator, opts);
+  serving::EstimationService service(&estimator, BenchServiceOptions(jobs));
 
+  // Untimed warm-up pass: faults in code paths, allocator arenas, and the
+  // lazily-created global instrument counters so the timed passes measure
+  // steady state rather than first-call setup.
+  (void)service.EstimateBatch(reqs);
   PassTiming timing;
-  auto start = std::chrono::steady_clock::now();
-  auto cold = service.EstimateBatch(reqs);
-  timing.cold_seconds = SecondsSince(start);
+  std::vector<Result<core::HybridEstimate>> cold;
+  for (int pass = 0; pass < kColdRepeats; ++pass) {
+    service.InvalidateCache();
+    auto start = std::chrono::steady_clock::now();
+    cold = service.EstimateBatch(reqs);
+    timing.cold_seconds += SecondsSince(start);
+  }
+  timing.cold_seconds /= kColdRepeats;
 
-  start = std::chrono::steady_clock::now();
+  auto start = std::chrono::steady_clock::now();
   std::vector<Result<core::HybridEstimate>> warm;
   for (int pass = 0; pass < kWarmRepeats; ++pass) {
     warm = service.EstimateBatch(reqs);
@@ -176,68 +210,248 @@ PassTiming RunServicePasses(const core::CostEstimator& estimator, int jobs,
   return timing;
 }
 
+/// Cold-cache throughput when the request stream arrives in EstimateBatch
+/// calls of `batch_size` — the batched-GEMM payoff grows with the number
+/// of distinct keys a single call can group per logical model.
+double ColdQpsAtBatchSize(const core::CostEstimator& estimator,
+                          const std::vector<serving::EstimateRequest>& reqs,
+                          size_t batch_size) {
+  serving::EstimationService service(&estimator, BenchServiceOptions(1));
+  (void)service.EstimateBatch(reqs);  // untimed warm-up, see RunServicePasses
+  std::span<const serving::EstimateRequest> all(reqs);
+  double seconds = 0.0;
+  for (int pass = 0; pass < kColdRepeats; ++pass) {
+    service.InvalidateCache();
+    auto start = std::chrono::steady_clock::now();
+    for (size_t begin = 0; begin < all.size(); begin += batch_size) {
+      const size_t len = std::min(batch_size, all.size() - begin);
+      auto out = service.EstimateBatch(all.subspan(begin, len));
+      Check(out.front().status(), "sweep batch slot");
+    }
+    seconds += SecondsSince(start);
+  }
+  return static_cast<double>(reqs.size()) * kColdRepeats / seconds;
+}
+
+/// Total warm-hit QPS of `threads` concurrent callers hammering the
+/// single-request path of a shared pre-warmed service.
+double WarmConcurrentQps(const serving::EstimationService& service,
+                         const std::vector<serving::EstimateRequest>& reqs,
+                         int threads, int passes) {
+  ThreadPool pool(threads);
+  std::atomic<bool> go{false};
+  std::vector<std::future<void>> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.push_back(pool.Submit([&] {
+      // Spin-release so all workers start hammering together instead of
+      // staggering behind the pool's task-dispatch order.
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const auto& req : reqs) {
+          Check(service.Estimate(req).status(), "concurrent warm hit");
+        }
+      }
+    }));
+  }
+  auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.get();
+  const double seconds = SecondsSince(start);
+  return static_cast<double>(threads) * passes * reqs.size() / seconds;
+}
+
 void Run() {
   auto hive = remote::HiveEngine::CreateDefault("hive", kSeed);
   core::CostEstimator estimator;
   RegisterHive(hive.get(), &estimator);
   auto requests = MakeRequests();
 
-  // Baseline: uncached single calls straight into the estimator, and the
-  // reference answers for the bit-identity check.
+  // Reference answers for the bit-identity checks (untimed).
   std::vector<core::HybridEstimate> expected;
   expected.reserve(requests.size());
-  auto start = std::chrono::steady_clock::now();
   for (const auto& req : requests) {
     expected.push_back(
         Unwrap(estimator.Estimate(req.system, req.op,
                                   core::EstimateContext::AtTime(req.now)),
                "uncached estimate"));
   }
-  double uncached_seconds = SecondsSince(start);
 
-  PassTiming one = RunServicePasses(estimator, /*jobs=*/1, requests, expected);
+  // Interleaved measurement for the gated jobs=1 numbers: within every
+  // repetition an uncached slice, a cold-batch slice, and a warm-batch
+  // slice run back to back, so slow clock drift (thermal ramp, VM
+  // scheduling) cancels out of the speedup ratios instead of biasing them
+  // toward whichever section ran last.
+  serving::EstimationService cold_service(&estimator, BenchServiceOptions(1));
+  serving::EstimationService warm_service(&estimator, BenchServiceOptions(1));
+  (void)cold_service.EstimateBatch(requests);  // untimed warm-up
+  {
+    auto fill = warm_service.EstimateBatch(requests);
+    for (auto& r : fill) Check(r.status(), "warm service fill");
+  }
+  double uncached_seconds = 0.0;
+  PassTiming one;
+  std::vector<Result<core::HybridEstimate>> cold;
+  std::vector<Result<core::HybridEstimate>> warm;
+  for (int rep = 0; rep < kColdRepeats; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& req : requests) {
+      (void)Unwrap(estimator.Estimate(req.system, req.op,
+                                      core::EstimateContext::AtTime(req.now)),
+                   "uncached estimate");
+    }
+    uncached_seconds += SecondsSince(start);
+
+    cold_service.InvalidateCache();
+    start = std::chrono::steady_clock::now();
+    cold = cold_service.EstimateBatch(requests);
+    one.cold_seconds += SecondsSince(start);
+
+    start = std::chrono::steady_clock::now();
+    warm = warm_service.EstimateBatch(requests);
+    one.warm_seconds += SecondsSince(start);
+  }
+  uncached_seconds /= kColdRepeats;
+  one.cold_seconds /= kColdRepeats;
+  one.warm_seconds /= kColdRepeats;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Check(cold[i].status(), "cold batch slot");
+    Check(warm[i].status(), "warm batch slot");
+    CheckBitIdentical(cold[i].value(), expected[i], "cold vs uncached");
+    CheckBitIdentical(warm[i].value(), expected[i], "warm vs uncached");
+  }
+
   PassTiming four = RunServicePasses(estimator, /*jobs=*/4, requests, expected);
 
-  // One more instrumented service so the emitted metrics include the cache
-  // counters of a cold-then-warm cycle.
-  serving::ServiceOptions opts;
-  opts.jobs = 1;
-  serving::EstimationService service(&estimator, opts);
-  auto cold = service.EstimateBatch(requests);
-  auto warm = service.EstimateBatch(requests);
-  for (size_t i = 0; i < requests.size(); ++i) {
-    Check(cold[i].status(), "stats cold slot");
-    Check(warm[i].status(), "stats warm slot");
+  // Batch-size sweep: the same cold workload delivered in smaller
+  // EstimateBatch calls (fewer distinct keys per model group).
+  const std::vector<size_t> sweep_sizes = {120, 480, 1920};
+  std::vector<double> sweep_qps;
+  sweep_qps.reserve(sweep_sizes.size());
+  for (size_t size : sweep_sizes) {
+    sweep_qps.push_back(ColdQpsAtBatchSize(estimator, requests, size));
+  }
+
+  // Shared pre-warmed service for the wait-free sections: the concurrent
+  // scaling measurement and the locked-probe counter gate.
+  serving::EstimationService warmed(&estimator, BenchServiceOptions(1));
+  {
+    auto fill = warmed.EstimateBatch(requests);
+    for (auto& r : fill) Check(r.status(), "warm fill slot");
+  }
+  const serving::CacheStats warm_before = warmed.cache_stats();
+  const int hw = static_cast<int>(HardwareConcurrency());
+  const int scale_threads = std::min(4, std::max(1, hw));
+  const double warm_single_qps = WarmConcurrentQps(warmed, requests,
+                                                   /*threads=*/1,
+                                                   /*passes=*/10);
+  const double warm_multi_qps =
+      WarmConcurrentQps(warmed, requests, scale_threads, /*passes=*/10);
+  const serving::CacheStats warm_after = warmed.cache_stats();
+
+  // Every probe in the warm sections must have been answered by the
+  // seqlock fast path: no Get may have fallen back to the shard mutex.
+  const int64_t warm_locked_gets =
+      warm_after.locked_gets - warm_before.locked_gets;
+  if (warm_locked_gets != 0) {
+    Check(Status::Internal("warm hits took the locked cache path"),
+          "warm locked_gets == 0");
+  }
+  if (warm_after.lockless_hits <= warm_before.lockless_hits) {
+    Check(Status::Internal("no lock-free hits recorded in the warm phase"),
+          "warm lockless_hits > 0");
   }
 
   double n = static_cast<double>(kRequests);
   double uncached_qps = n / uncached_seconds;
+  double cold1_qps = n / one.cold_seconds;
   double warm1_qps = n / one.warm_seconds;
-  double speedup = uncached_seconds / one.warm_seconds;
+  double cold_speedup = uncached_seconds / one.cold_seconds;
+  double warm_speedup = uncached_seconds / one.warm_seconds;
+  // Parallel efficiency of the concurrent warm-hit section; meaningful
+  // only when the host actually has multiple cores to scale across.
+  double scaling_efficiency =
+      warm_multi_qps / (warm_single_qps * scale_threads);
 
   bench::Section("Serving throughput (n=1920 requests, 48 unique keys)");
   std::printf("uncached single calls:   %8.0f est/s\n", uncached_qps);
-  std::printf("cold batch, jobs=1:      %8.0f est/s\n", n / one.cold_seconds);
+  std::printf("cold batch, jobs=1:      %8.0f est/s\n", cold1_qps);
   std::printf("warm batch, jobs=1:      %8.0f est/s\n", warm1_qps);
   std::printf("cold batch, jobs=4:      %8.0f est/s\n", n / four.cold_seconds);
   std::printf("warm batch, jobs=4:      %8.0f est/s\n", n / four.warm_seconds);
-  std::printf("warm speedup vs uncached: %.1fx (floor: 5x)\n", speedup);
+  for (size_t i = 0; i < sweep_sizes.size(); ++i) {
+    std::printf("cold batch sweep, size %4zu: %8.0f est/s\n", sweep_sizes[i],
+                sweep_qps[i]);
+  }
+  std::printf("warm hits, 1 thread:     %8.0f est/s\n", warm_single_qps);
+  std::printf("warm hits, %d threads:    %8.0f est/s (%.2f efficiency, %d cores)\n",
+              scale_threads, warm_multi_qps, scaling_efficiency, hw);
+  std::printf("cold speedup vs uncached: %.1fx (floor: %.0fx)\n", cold_speedup,
+              kSpeedupFloor);
+  std::printf("warm speedup vs uncached: %.1fx (floor: %.0fx)\n", warm_speedup,
+              kSpeedupFloor);
 
-  if (speedup < 5.0) {
+  if (cold_speedup < kSpeedupFloor) {
+    Check(Status::Internal("cold-batch speedup below the 5x floor"),
+          "cold speedup");
+  }
+  if (warm_speedup < kSpeedupFloor) {
     Check(Status::Internal("warm-cache speedup below the 5x floor"),
           "warm speedup");
+  }
+  // Wait-free scaling gate, adaptive to the host: with real cores the
+  // concurrent warm path must keep >= 50% parallel efficiency (a mutex on
+  // the hit path collapses this to ~1/threads); a single-core host can only
+  // check that thread contention doesn't destroy throughput outright.
+  if (hw > 1) {
+    if (scaling_efficiency < 0.5) {
+      Check(Status::Internal("warm-hit path does not scale across cores"),
+            "warm scaling efficiency");
+    }
+  } else if (warm_multi_qps < 0.4 * warm_single_qps) {
+    Check(Status::Internal("warm-hit throughput collapsed under threads"),
+          "warm no-collapse");
+  }
+
+  // One more instrumented service so the emitted metrics include the cache
+  // counters of a cold-then-warm cycle.
+  serving::EstimationService service(&estimator, BenchServiceOptions(1));
+  auto stats_cold = service.EstimateBatch(requests);
+  auto stats_warm = service.EstimateBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Check(stats_cold[i].status(), "stats cold slot");
+    Check(stats_warm[i].status(), "stats warm slot");
   }
 
   std::vector<BenchMetric> metrics;
   metrics.push_back({"serving.uncached_single_qps", uncached_qps, "est/s"});
-  metrics.push_back({"serving.cold_batch_jobs1_qps", n / one.cold_seconds,
-                     "est/s"});
+  metrics.push_back({"serving.cold_batch_jobs1_qps", cold1_qps, "est/s"});
   metrics.push_back({"serving.warm_batch_jobs1_qps", warm1_qps, "est/s"});
   metrics.push_back({"serving.cold_batch_jobs4_qps", n / four.cold_seconds,
                      "est/s"});
   metrics.push_back({"serving.warm_batch_jobs4_qps", n / four.warm_seconds,
                      "est/s"});
-  metrics.push_back({"serving.warm_speedup_vs_uncached", speedup, "x"});
+  for (size_t i = 0; i < sweep_sizes.size(); ++i) {
+    metrics.push_back({"serving.cold_batch_qps.bs" +
+                           std::to_string(sweep_sizes[i]),
+                       sweep_qps[i], "est/s"});
+  }
+  metrics.push_back({"serving.warm_hit_1thread_qps", warm_single_qps,
+                     "est/s"});
+  metrics.push_back({"serving.warm_hit_concurrent_qps", warm_multi_qps,
+                     "est/s"});
+  metrics.push_back({"serving.warm_hit_threads",
+                     static_cast<double>(scale_threads), "count"});
+  metrics.push_back({"serving.warm_hit_scaling_efficiency",
+                     scaling_efficiency, "ratio",
+                     hw > 1 ? 0.5 : 0.0});
+  metrics.push_back({"serving.cold_speedup_vs_uncached", cold_speedup, "x",
+                     kSpeedupFloor});
+  metrics.push_back({"serving.warm_speedup_vs_uncached", warm_speedup, "x",
+                     kSpeedupFloor});
+  metrics.push_back({"serving.warm_locked_gets",
+                     static_cast<double>(warm_locked_gets), "count"});
   bench::AppendMetricsSnapshot(service.StatsSnapshot(), &metrics);
   Check(bench::WriteBenchJson("serving_throughput", kSeed, metrics),
         "write json");

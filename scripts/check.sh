@@ -8,7 +8,10 @@
 #      clang thread-safety analysis gate (scripts/check_static_analysis.sh;
 #      skipped with a warning when clang++ is not installed),
 #   5. run the EXPLAIN examples and validate their JSON artifacts' schemas,
-#   6. run the doc-drift gate (docs <-> source knob cross-check).
+#   6. run the doc-drift gate (docs <-> source knob cross-check),
+#   7. run the serving-throughput bench (default preset, no sanitizer) and
+#      check its BENCH json: hard speedup floors fail, drift vs
+#      bench/baselines/ warns (scripts/check_bench_regression.py).
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
 # ctest`) stays fast; run this before merging.
@@ -36,11 +39,11 @@ while getopts "j:" opt; do
   esac
 done
 
-echo "== [1/6] configure + build: asan-ubsan preset (-Werror) =="
+echo "== [1/7] configure + build: asan-ubsan preset (-Werror) =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$JOBS"
 
-echo "== [2/6] ctest under asan+ubsan =="
+echo "== [2/7] ctest under asan+ubsan =="
 # Halt on the first error report instead of trying to continue, and exclude
 # the tier2 label so this gate cannot recurse into itself.
 # --timeout backstops tests registered without a per-test TIMEOUT property.
@@ -48,15 +51,18 @@ ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" \
     --timeout 300 -LE tier2
 
-echo "== [3/6] thread pool + parallel pipeline + observability + serving + resilience under tsan =="
+echo "== [3/7] thread pool + parallel pipeline + observability + serving + resilience under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
 # src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
 # drives every parallel code path, observability_test exercises the
 # trace-sink and metrics-registry locking from pool workers, serving_test
 # hammers the sharded estimate cache and EstimationService from concurrent
-# workers, and resilience_test drives circuit breakers and degraded serving
-# under concurrent faulty traffic, so tsan on these four binaries covers
-# the library's concurrency surface without a second full-suite run.
+# workers — including the seqlock reader/writer hammer
+# (SeqlockReaderWriterHammer) that races the wait-free read path against
+# slot republishes and steals — and resilience_test drives circuit
+# breakers and degraded serving under concurrent faulty traffic, so tsan
+# on these four binaries covers the library's concurrency surface without
+# a second full-suite run.
 cmake --preset tsan
 cmake --build --preset tsan --target parallel_training_test \
   observability_test serving_test resilience_test -j "$JOBS"
@@ -65,13 +71,13 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/resilience_test
 
-echo "== [4/6] repo lint pass + thread-safety static analysis =="
+echo "== [4/7] repo lint pass + thread-safety static analysis =="
 cmake --preset lint
 cmake --build --preset lint -j "$JOBS"
 # Clang-only thread-safety analysis; skips (warning) when clang++ is absent.
 scripts/check_static_analysis.sh -j "$JOBS"
 
-echo "== [5/6] EXPLAIN examples + JSON schema validation =="
+echo "== [5/7] EXPLAIN examples + JSON schema validation =="
 # The examples run under asan+ubsan (built in step 1's tree) and must
 # produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json.
 cmake --build --preset asan-ubsan --target explain_placement \
@@ -85,10 +91,19 @@ python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_placement.json
     ./examples/explain_serving)
 python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_serving.json
 
-echo "== [6/6] doc-drift gate =="
+echo "== [6/7] doc-drift gate =="
 # Every Properties key / CMake option the docs mention must still exist in
 # the source, and every declared serving.*/training.* knob must be
 # documented in docs/CONFIG.md.
 python3 scripts/check_docs.py
+
+echo "== [7/7] serving-throughput bench + regression check =="
+# A real (unsanitized) build: the bench enforces its own speedup floors at
+# runtime and aborts on violation; the checker re-verifies the artifact's
+# hard floors and warns about drift against bench/baselines/.
+cmake --preset default
+cmake --build --preset default --target bench_serving_throughput -j "$JOBS"
+(cd build && ./bench/bench_serving_throughput)
+python3 scripts/check_bench_regression.py build/BENCH_serving_throughput.json
 
 echo "check.sh: all gates passed"

@@ -176,8 +176,90 @@ Result<LogicalOpModel*> CostingProfile::logical_model_mutable(
   return &it->second;
 }
 
+bool CostingProfile::SelectsLogical(rel::OperatorType type, double now) const {
+  switch (approach_) {
+    case CostingApproach::kSubOp:
+      return false;
+    case CostingApproach::kLogicalOp:
+      return true;
+    case CostingApproach::kSubOpThenLogicalOp:
+      return now >= switch_time_;
+    case CostingApproach::kPerOperator: {
+      auto it = per_operator_.find(type);
+      return it != per_operator_.end() &&
+             it->second == CostingApproach::kLogicalOp;
+    }
+  }
+  return false;
+}
+
+bool CostingProfile::RoutesToLogicalModel(rel::OperatorType type,
+                                          const EstimateContext& ctx) const {
+  return !ctx.breaker_open && SelectsLogical(type, ctx.now) &&
+         has_logical_model(type);
+}
+
 Result<HybridEstimate> CostingProfile::Estimate(
     const rel::SqlOperator& op, const EstimateContext& ctx) const {
+  return EstimateImpl(op, ctx, /*logical_hint=*/nullptr);
+}
+
+Status CostingProfile::EstimateBatch(
+    const std::vector<const rel::SqlOperator*>& ops,
+    const std::vector<const EstimateContext*>& ctxs,
+    std::vector<Result<HybridEstimate>>* out) const {
+  if (ops.size() != ctxs.size()) {
+    return Status::InvalidArgument("EstimateBatch ops/ctxs length mismatch");
+  }
+  // Group the rows that the scalar path would serve straight from a
+  // logical-op model by operator type, and run each group's forward passes
+  // as one batched GEMM per layer. Rows the grouping skips (sub-op routed,
+  // breaker-open, no model, invalid) simply get no hint and take the
+  // scalar path inside EstimateImpl.
+  struct ModelGroup {
+    const LogicalOpModel* model = nullptr;
+    std::vector<size_t> rows;
+    std::vector<std::vector<double>> features;
+    std::vector<LogicalOpEstimate> estimates;
+    bool ok = false;
+  };
+  std::map<rel::OperatorType, ModelGroup> groups;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const rel::SqlOperator& op = *ops[i];
+    if (!RoutesToLogicalModel(op.type, *ctxs[i])) continue;
+    if (!op.Validate().ok()) continue;
+    ModelGroup& g = groups[op.type];
+    if (g.model == nullptr) {
+      auto model = logical_model(op.type);
+      if (!model.ok()) continue;
+      g.model = model.value();
+    }
+    g.rows.push_back(i);
+    g.features.push_back(op.LogicalOpFeatures());
+  }
+  std::vector<const LogicalOpEstimate*> hints(ops.size(), nullptr);
+  for (auto& [type, g] : groups) {
+    // A batch failure leaves the group hintless: the scalar path reproduces
+    // the same per-row error with full fidelity.
+    g.ok = g.model->EstimateBatch(g.features, &g.estimates).ok();
+    if (!g.ok) continue;
+    for (size_t r = 0; r < g.rows.size(); ++r) {
+      hints[g.rows[r]] = &g.estimates[r];
+    }
+  }
+  out->clear();
+  out->reserve(ops.size());
+  // Strict op order: last-known-good refreshes land in the same sequence
+  // the scalar loop would produce.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out->push_back(EstimateImpl(*ops[i], *ctxs[i], hints[i]));
+  }
+  return Status::OK();
+}
+
+Result<HybridEstimate> CostingProfile::EstimateImpl(
+    const rel::SqlOperator& op, const EstimateContext& ctx,
+    const LogicalOpEstimate* logical_hint) const {
   ISPHERE_RETURN_NOT_OK(op.Validate());
   // The clock is read only when someone is watching (trace or metrics);
   // the default context takes no timing overhead at all.
@@ -192,24 +274,7 @@ Result<HybridEstimate> CostingProfile::Estimate(
 
   TraceSpan root = ctx.StartSpan("estimate");
 
-  bool use_logical = false;
-  switch (approach_) {
-    case CostingApproach::kSubOp:
-      use_logical = false;
-      break;
-    case CostingApproach::kLogicalOp:
-      use_logical = true;
-      break;
-    case CostingApproach::kSubOpThenLogicalOp:
-      use_logical = ctx.now >= switch_time_;
-      break;
-    case CostingApproach::kPerOperator: {
-      auto it = per_operator_.find(op.type);
-      use_logical = it != per_operator_.end() &&
-                    it->second == CostingApproach::kLogicalOp;
-      break;
-    }
-  }
+  bool use_logical = SelectsLogical(op.type, ctx.now);
   // A profile may lack a logical model for this operator type even when the
   // logical path is active (training is per operator); fall back to sub-op.
   bool fell_back = false;
@@ -261,10 +326,16 @@ Result<HybridEstimate> CostingProfile::Estimate(
     est.seconds = lkg_seconds_[type_idx].load(std::memory_order_acquire);
     est.approach_used = CostingApproach::kLogicalOp;
   } else if (use_logical) {
-    ISPHERE_ASSIGN_OR_RETURN(const LogicalOpModel* model,
-                             logical_model(op.type));
-    ISPHERE_ASSIGN_OR_RETURN(LogicalOpEstimate le,
-                             model->Estimate(op.LogicalOpFeatures()));
+    LogicalOpEstimate le;
+    if (logical_hint != nullptr) {
+      // Precomputed by a batched forward pass over the same features —
+      // bit-identical to the scalar model call it replaces.
+      le = *logical_hint;
+    } else {
+      ISPHERE_ASSIGN_OR_RETURN(const LogicalOpModel* model,
+                               logical_model(op.type));
+      ISPHERE_ASSIGN_OR_RETURN(le, model->Estimate(op.LogicalOpFeatures()));
+    }
     est.seconds = le.seconds;
     est.approach_used = CostingApproach::kLogicalOp;
     est.used_remedy = le.used_remedy;
@@ -477,6 +548,32 @@ Result<HybridEstimate> CostEstimator::Estimate(const std::string& system_name,
                                                const rel::SqlOperator& op,
                                                double now) const {
   return Estimate(system_name, op, EstimateContext::AtTime(now));
+}
+
+Status CostEstimator::EstimateBatch(
+    const std::string& system_name,
+    const std::vector<const rel::SqlOperator*>& ops,
+    const std::vector<const EstimateContext*>& ctxs,
+    std::vector<Result<HybridEstimate>>* out) const {
+  if (ops.size() != ctxs.size()) {
+    return Status::InvalidArgument("EstimateBatch ops/ctxs length mismatch");
+  }
+  ISPHERE_ASSIGN_OR_RETURN(const CostingProfile* p, GetProfile(system_name));
+  // Same per-call health consult as the scalar path; degraded copies live
+  // here so every context pointer handed down stays valid for the batch.
+  std::vector<EstimateContext> degraded_storage;
+  degraded_storage.reserve(ops.size());
+  std::vector<const EstimateContext*> resolved(ctxs);
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    const EstimateContext& ctx = *resolved[i];
+    if (ctx.health != nullptr && !ctx.breaker_open &&
+        ctx.health->IsOpen(system_name, ctx.now)) {
+      degraded_storage.push_back(ctx);
+      degraded_storage.back().breaker_open = true;
+      resolved[i] = &degraded_storage.back();
+    }
+  }
+  return p->EstimateBatch(ops, resolved, out);
 }
 
 Status CostEstimator::LogActual(const std::string& system_name,

@@ -121,6 +121,26 @@ class CostingProfile {
   [[nodiscard]] Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
                                                 double now) const;
 
+  /// Whether Estimate under `ctx` would serve this operator type from a
+  /// trained logical-op model — the batchable path. Breaker-open contexts
+  /// return false (the degradation ladder decides per call), as do types
+  /// the routing sends to sub-op or that lack a trained model.
+  bool RoutesToLogicalModel(rel::OperatorType type,
+                            const EstimateContext& ctx) const;
+
+  /// Batched Estimate: ops[i] is costed under ctxs[i] (equal lengths,
+  /// InvalidArgument otherwise). Rows that RoutesToLogicalModel lower
+  /// their network forward passes into one LogicalOpModel::EstimateBatch
+  /// per operator type (one GEMM per layer for the whole group); every
+  /// other row — sub-op, degraded, invalid — takes the scalar path
+  /// unchanged. (*out)[i] is bit-identical to Estimate(*ops[i], *ctxs[i]),
+  /// and the last-known-good cells are refreshed in op order exactly as
+  /// the equivalent scalar loop would.
+  [[nodiscard]] Status EstimateBatch(
+      const std::vector<const rel::SqlOperator*>& ops,
+      const std::vector<const EstimateContext*>& ctxs,
+      std::vector<Result<HybridEstimate>>* out) const;
+
   /// Logging phase: records an actual remote execution into the active
   /// logical-op model (no-op result when the profile has none for the
   /// type — sub-op models need no continuous tuning, Figure 8).
@@ -154,6 +174,20 @@ class CostingProfile {
 
  private:
   CostingProfile() = default;
+
+  /// The approach-routing switch shared by Estimate and
+  /// RoutesToLogicalModel: whether `type` selects the logical path at
+  /// `now`, before model-availability fallback and the breaker ladder.
+  bool SelectsLogical(rel::OperatorType type, double now) const;
+
+  /// The full Estimate body. When `logical_hint` is non-null it holds the
+  /// precomputed LogicalOpEstimate for this op (from a batched forward
+  /// pass) and is used in place of the scalar model call — every other
+  /// branch (routing, fallback, degradation, LKG refresh, spans, counters)
+  /// is shared verbatim with the scalar path.
+  [[nodiscard]] Result<HybridEstimate> EstimateImpl(
+      const rel::SqlOperator& op, const EstimateContext& ctx,
+      const LogicalOpEstimate* logical_hint) const;
 
   /// rel::OperatorType cardinality, sizing the last-known-good arrays.
   static constexpr int kNumOperatorTypes = 3;
@@ -198,6 +232,17 @@ class CostEstimator {
   [[nodiscard]] Result<HybridEstimate> Estimate(const std::string& system_name,
                                                 const rel::SqlOperator& op,
                                                 double now) const;
+
+  /// Batched Estimate against one system: resolves the profile once and
+  /// applies the same per-call health consult as Estimate, then lowers the
+  /// batch through CostingProfile::EstimateBatch (one GEMM per operator
+  /// type for all model-served rows). (*out)[i] is bit-identical to
+  /// Estimate(system_name, *ops[i], *ctxs[i]).
+  [[nodiscard]] Status EstimateBatch(
+      const std::string& system_name,
+      const std::vector<const rel::SqlOperator*>& ops,
+      const std::vector<const EstimateContext*>& ctxs,
+      std::vector<Result<HybridEstimate>>* out) const;
 
   /// Feedback entry points.
   [[nodiscard]] Status LogActual(const std::string& system_name, const rel::SqlOperator& op,

@@ -72,6 +72,40 @@ Result<LogicalOpEstimate> LogicalOpModel::Estimate(
   return est;
 }
 
+Status LogicalOpModel::EstimateBatch(
+    const std::vector<std::vector<double>>& features,
+    std::vector<LogicalOpEstimate>* out) const {
+  out->assign(features.size(), LogicalOpEstimate{});
+  if (features.empty()) return Status::OK();
+  // Pivot detection first (cheap range checks), then one batched forward
+  // pass for every row — including remedy rows, whose c1 term is the same
+  // network estimate.
+  std::vector<double> nn;
+  ISPHERE_RETURN_NOT_OK(mlp_.PredictBatch(features, &nn));
+  for (size_t r = 0; r < features.size(); ++r) {
+    LogicalOpEstimate& est = (*out)[r];
+    ISPHERE_ASSIGN_OR_RETURN(
+        std::vector<size_t> pivots,
+        metadata_.PivotDimensions(features[r], opts_.beta));
+    est.nn_seconds = std::max(kMinCostSeconds, nn[r]);
+    if (pivots.empty()) {
+      est.seconds = est.nn_seconds;
+      continue;
+    }
+    est.used_remedy = true;
+    est.pivot_dims = std::move(pivots);
+    est.alpha = alpha_;
+    ISPHERE_ASSIGN_OR_RETURN(
+        est.remedy_seconds,
+        PivotRegressionEstimate(features[r], est.pivot_dims));
+    est.remedy_seconds = std::max(kMinCostSeconds, est.remedy_seconds);
+    est.seconds = std::max(kMinCostSeconds,
+                           alpha_ * est.nn_seconds +
+                               (1.0 - alpha_) * est.remedy_seconds);
+  }
+  return Status::OK();
+}
+
 double LogicalOpModel::NonPivotDistance(
     const std::vector<double>& a, const std::vector<double>& b,
     const std::vector<size_t>& pivots) const {

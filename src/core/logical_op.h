@@ -75,6 +75,15 @@ class LogicalOpModel {
   /// way-off inputs trigger QueryTime-Remedy().
   [[nodiscard]] Result<LogicalOpEstimate> Estimate(const std::vector<double>& features) const;
 
+  /// Batched Estimate: lowers every row's network forward pass into one
+  /// MlpRegressor::PredictBatch (one GEMM per layer for the whole batch);
+  /// rows whose inputs are way off the trained range still take the scalar
+  /// remedy regression afterwards. out[i] is bit-identical to
+  /// Estimate(features[i]) — the batch is purely a performance transform.
+  [[nodiscard]] Status EstimateBatch(
+      const std::vector<std::vector<double>>& features,
+      std::vector<LogicalOpEstimate>* out) const;
+
   /// Logging phase: records the actual cost of a remotely executed
   /// operator (with the estimates recomputed for alpha fitting).
   [[nodiscard]] Status LogExecution(const std::vector<double>& features,

@@ -58,6 +58,22 @@ void GemmTransB(const double* a, size_t m, size_t k, const double* b,
   }
 }
 
+void GemmAccum(const double* a, size_t m, size_t k, const double* b, size_t n,
+               double* c) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (size_t t = 0; t < k; ++t) {
+      // Hoisting a[i][t] makes the j loop a pure axpy over contiguous rows.
+      // Each c[i][j] still receives its t terms in ascending order, so the
+      // sums are bit-identical to the dot-product order of GemmTransB.
+      double av = arow[t];
+      const double* brow = b + t * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   for (size_t r = 0; r < rows_; ++r) {

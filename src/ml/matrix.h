@@ -64,6 +64,18 @@ class Matrix {
 void GemmTransB(const double* a, size_t m, size_t k, const double* b,
                 size_t n, double* c);
 
+/// Accumulating GEMM against an untransposed (k-major) B: c[m x n] +=
+/// a[m x k] * b[k x n], all row-major and caller-owned (initialize `c` with
+/// biases, as with GemmTransB). The loops are ordered i-t-j, so the inner
+/// loop streams one `b` row and one `c` row contiguously and vectorizes
+/// across the n independent output accumulators — yet each output element
+/// still accumulates its k terms in plain ascending-k order, so every
+/// result stays bit-identical to GemmTransB and to a serial matvec. This is
+/// the inference-path kernel: the MLP keeps k-major transposed copies of
+/// its weights so batched prediction can use it (DESIGN.md §14).
+void GemmAccum(const double* a, size_t m, size_t k, const double* b, size_t n,
+               double* c);
+
 }  // namespace intellisphere::ml
 
 #endif  // INTELLISPHERE_ML_MATRIX_H_

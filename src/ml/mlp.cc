@@ -115,27 +115,66 @@ void MlpRegressor::InitWeights(size_t num_features, Rng* rng) {
   adam_t_ = 0;
 }
 
-double MlpRegressor::Forward(const std::vector<double>& xs,
-                             std::vector<double>* a1,
-                             std::vector<double>* a2) const {
-  size_t in = xs.size();
+void MlpRegressor::RebuildInferenceWeights() {
+  size_t in = num_features();
   size_t h1 = b1_.size();
   size_t h2 = b2_.size();
-  a1->resize(h1);
+  w1t_.resize(h1 * in);
   for (size_t j = 0; j < h1; ++j) {
-    double s = b1_[j];
-    for (size_t i = 0; i < in; ++i) s += w1_[j * in + i] * xs[i];
-    (*a1)[j] = std::tanh(s);
+    for (size_t i = 0; i < in; ++i) w1t_[i * h1 + j] = w1_[j * in + i];
   }
-  a2->resize(h2);
+  w2t_.resize(h2 * h1);
   for (size_t j = 0; j < h2; ++j) {
-    double s = b2_[j];
-    for (size_t i = 0; i < h1; ++i) s += w2_[j * h1 + i] * (*a1)[i];
-    (*a2)[j] = std::tanh(s);
+    for (size_t i = 0; i < h1; ++i) w2t_[i * h2 + j] = w2_[j * h1 + i];
   }
-  double out = b3_[0];
-  for (size_t i = 0; i < h2; ++i) out += w3_[i] * (*a2)[i];
-  return out;
+}
+
+Status MlpRegressor::PredictBatchTo(const std::vector<double>* rows, size_t n,
+                                    std::vector<double>* out) const {
+  if (b3_.empty()) {
+    return Status::FailedPrecondition("predict on an untrained MLP");
+  }
+  size_t in = num_features();
+  size_t h1 = b1_.size();
+  size_t h2 = b2_.size();
+
+  // Scale every row into one flat [n x in] buffer.
+  std::vector<double> xs(n * in);
+  std::vector<double> pre;  // reused per row for the optional log transform
+  for (size_t r = 0; r < n; ++r) {
+    const std::vector<double>* src = &rows[r];
+    if (config_.log_scale) {
+      pre = rows[r];
+      for (double& v : pre) v = SignedLog1p(v);
+      src = &pre;
+    }
+    ISPHERE_RETURN_NOT_OK(input_scaler_.TransformTo(*src, xs.data() + r * in));
+  }
+
+  // Batched forward pass, mirroring RunTraining: pre-activations start at
+  // the bias and each GEMM accumulates in ascending input order, so every
+  // value is bit-identical to the per-row matvec this lowers (the k-major
+  // GemmAccum keeps that order while vectorizing across outputs).
+  std::vector<double> a1(n * h1);
+  std::vector<double> a2(n * h2);
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t j = 0; j < h1; ++j) a1[b * h1 + j] = b1_[j];
+  }
+  GemmAccum(xs.data(), n, in, w1t_.data(), h1, a1.data());
+  for (double& v : a1) v = std::tanh(v);
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t j = 0; j < h2; ++j) a2[b * h2 + j] = b2_[j];
+  }
+  GemmAccum(a1.data(), n, h1, w2t_.data(), h2, a2.data());
+  for (double& v : a2) v = std::tanh(v);
+  out->assign(n, b3_[0]);
+  GemmAccum(a2.data(), n, h2, w3_.data(), 1, out->data());
+
+  for (double& v : *out) {
+    v = target_scaler_.Inverse(v);
+    if (config_.log_scale) v = SignedExpm1(v);
+  }
+  return Status::OK();
 }
 
 Status MlpRegressor::RunTraining(int steps, Rng* rng) {
@@ -258,10 +297,14 @@ Status MlpRegressor::RunTraining(int steps, Rng* rng) {
 
     ++total_iterations_;
     if (total_iterations_ % config_.eval_every == 0 || step == steps - 1) {
+      // The history eval goes through Predict, which reads the transposed
+      // inference weights — refresh them first (cheap: one pass over w1/w2).
+      RebuildInferenceWeights();
       ISPHERE_ASSIGN_OR_RETURN(double rp, TrainingRmsePercent());
       history_.push_back({total_iterations_, rp});
     }
   }
+  RebuildInferenceWeights();
   return Status::OK();
 }
 
@@ -290,16 +333,14 @@ Dataset MlpRegressor::PreTransform(const Dataset& data) const {
 }
 
 Result<double> MlpRegressor::Predict(const std::vector<double>& row) const {
-  std::vector<double> pre = row;
-  if (config_.log_scale) {
-    for (double& v : pre) v = SignedLog1p(v);
-  }
-  ISPHERE_ASSIGN_OR_RETURN(std::vector<double> xs,
-                           input_scaler_.Transform(pre));
-  std::vector<double> a1, a2;
-  double scaled = Forward(xs, &a1, &a2);
-  double out = target_scaler_.Inverse(scaled);
-  return config_.log_scale ? SignedExpm1(out) : out;
+  std::vector<double> out;
+  ISPHERE_RETURN_NOT_OK(PredictBatchTo(&row, 1, &out));
+  return out[0];
+}
+
+Status MlpRegressor::PredictBatch(const std::vector<std::vector<double>>& rows,
+                                  std::vector<double>* out) const {
+  return PredictBatchTo(rows.data(), rows.size(), out);
 }
 
 void MlpRegressor::Save(const std::string& prefix, Properties* props) const {
@@ -366,6 +407,7 @@ Result<MlpRegressor> MlpRegressor::Load(const std::string& prefix,
   AdamInit(&mlp.ab2_.m, &mlp.ab2_.v, mlp.b2_.size());
   AdamInit(&mlp.aw3_.m, &mlp.aw3_.v, mlp.w3_.size());
   AdamInit(&mlp.ab3_.m, &mlp.ab3_.v, mlp.b3_.size());
+  mlp.RebuildInferenceWeights();
   return mlp;
 }
 

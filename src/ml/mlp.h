@@ -62,8 +62,19 @@ class MlpRegressor {
   /// them, and resumes training for `iterations` further steps.
   Status ContinueTraining(const Dataset& new_data, int iterations);
 
-  /// Predicts the (unscaled) target for one raw feature row.
+  /// Predicts the (unscaled) target for one raw feature row. Implemented as
+  /// the N=1 case of PredictBatch, so the two are bit-identical by
+  /// construction.
   Result<double> Predict(const std::vector<double>& row) const;
+
+  /// Predicts the (unscaled) targets for N raw feature rows in one batched
+  /// forward pass: one GEMM per layer over k-major transposed weight
+  /// copies, exactly how the trainer batches its forward pass. out[i] is
+  /// bit-identical to Predict(rows[i]) — accumulation order per output is
+  /// unchanged (DESIGN.md §14). Thread-safe on a const regressor: scratch
+  /// is local to the call (one allocation amortized over the batch).
+  Status PredictBatch(const std::vector<std::vector<double>>& rows,
+                      std::vector<double>* out) const;
 
   /// RMSE%-vs-iteration samples accumulated across Train and
   /// ContinueTraining calls.
@@ -84,9 +95,14 @@ class MlpRegressor {
   void InitWeights(size_t num_features, Rng* rng);
   /// Runs `steps` Adam steps over the retained data.
   Status RunTraining(int steps, Rng* rng);
-  /// Forward pass on a scaled input; fills per-layer activations.
-  double Forward(const std::vector<double>& xs, std::vector<double>* a1,
-                 std::vector<double>* a2) const;
+  /// Shared batched forward: scales `rows[0..n)` and runs one GEMM per
+  /// layer. Predict and PredictBatch both land here.
+  Status PredictBatchTo(const std::vector<double>* rows, size_t n,
+                        std::vector<double>* out) const;
+  /// Refreshes the k-major transposed weight copies (w1t_, w2t_) the
+  /// inference GEMMs read. Must run after any weight mutation before the
+  /// next Predict/PredictBatch (end of RunTraining, Load, history evals).
+  void RebuildInferenceWeights();
   /// RMSE% over the retained training data (unscaled targets).
   Result<double> TrainingRmsePercent() const;
   /// Applies the optional signed-log1p pre-transform to a dataset copy.
@@ -101,6 +117,12 @@ class MlpRegressor {
   std::vector<double> w1_, b1_;
   std::vector<double> w2_, b2_;
   std::vector<double> w3_, b3_;  // w3_ has hidden2 entries (single output)
+
+  // k-major (input-major) transposed copies of w1_/w2_ for the inference
+  // GEMM (GemmAccum): w1t_[i*h1+j] == w1_[j*in+i]. Derived state — never
+  // serialized; rebuilt by RebuildInferenceWeights. w3_ is already k-major
+  // for a single output, so it needs no copy.
+  std::vector<double> w1t_, w2t_;
 
   // Adam state (first and second moments per parameter group).
   struct AdamState {

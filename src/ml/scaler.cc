@@ -24,16 +24,22 @@ Result<MinMaxScaler> MinMaxScaler::Fit(
 
 Result<std::vector<double>> MinMaxScaler::Transform(
     const std::vector<double>& row) const {
+  std::vector<double> out(row.size());
+  ISPHERE_RETURN_NOT_OK(TransformTo(row, out.data()));
+  return out;
+}
+
+Status MinMaxScaler::TransformTo(const std::vector<double>& row,
+                                 double* out) const {
   if (row.size() != mins_.size()) {
     return Status::InvalidArgument("scaler transform width mismatch");
   }
-  std::vector<double> out(row.size());
   for (size_t i = 0; i < row.size(); ++i) {
     double span = maxs_[i] - mins_[i];
     if (span <= 0.0) span = 1.0;
     out[i] = (row[i] - mins_[i]) / span;
   }
-  return out;
+  return Status::OK();
 }
 
 Status MinMaxScaler::Extend(const std::vector<double>& row) {

@@ -27,6 +27,11 @@ class MinMaxScaler {
   /// Scales one row; InvalidArgument on width mismatch.
   Result<std::vector<double>> Transform(const std::vector<double>& row) const;
 
+  /// Allocation-free Transform: writes the scaled row into caller-owned
+  /// `out` (num_features() doubles). Identical arithmetic to Transform, so
+  /// the two are bit-interchangeable; this is the batched-inference path.
+  Status TransformTo(const std::vector<double>& row, double* out) const;
+
   /// Widens the fitted range to cover `row` (used by offline tuning when new
   /// log records extend the trained domain).
   Status Extend(const std::vector<double>& row);

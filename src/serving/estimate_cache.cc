@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <functional>
 #include <utility>
 
@@ -9,34 +10,38 @@ namespace intellisphere::serving {
 
 namespace {
 
-/// Binary key packing: fixed-width native-endian encodings appended to a
-/// std::string. The encoding only needs to be injective and stable within
-/// a process, not portable, so a raw 8-byte memcpy append is fine (and
-/// keeps the key build off the byte-at-a-time push_back path).
-void AppendU64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void AppendI64(std::string* out, int64_t v) {
-  AppendU64(out, static_cast<uint64_t>(v));
-}
-
-void AppendByte(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-/// Keys a double by its bit pattern with the low `quantize_bits` mantissa
-/// bits dropped. bits = 0 is the identity (exact match only); the IEEE-754
-/// layout keeps quantized patterns monotone within a sign+exponent bucket,
-/// so nearby magnitudes coalesce.
-void AppendDouble(std::string* out, double v, int quantize_bits) {
-  uint64_t pattern = std::bit_cast<uint64_t>(v);
-  if (quantize_bits > 0) {
-    int bits = std::min(quantize_bits, 52);
-    pattern &= ~((uint64_t{1} << bits) - 1);
+/// Binary key packing: fixed-width native-endian encodings written to a
+/// stack buffer through a bump cursor, committed to the output string with
+/// a single append. The encoding only needs to be injective and stable
+/// within a process, not portable, so raw 8-byte memcpys are fine — and
+/// the cursor keeps the hot batch path off std::string's per-append
+/// capacity checks (the key build runs once per request in EstimateBatch).
+struct KeyWriter {
+  char* p;
+  void U64(uint64_t v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
   }
-  AppendU64(out, pattern);
-}
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Byte(uint8_t v) { *p++ = static_cast<char>(v); }
+  /// Keys a double by its bit pattern with the low `quantize_bits`
+  /// mantissa bits dropped. bits = 0 is the identity (exact match only);
+  /// the IEEE-754 layout keeps quantized patterns monotone within a
+  /// sign+exponent bucket, so nearby magnitudes coalesce.
+  void Double(double v, int quantize_bits) {
+    uint64_t pattern = std::bit_cast<uint64_t>(v);
+    if (quantize_bits > 0) {
+      int bits = std::min(quantize_bits, 52);
+      pattern &= ~((uint64_t{1} << bits) - 1);
+    }
+    U64(pattern);
+  }
+};
+
+/// Upper bound on the operator-payload section of a canonical key: the
+/// join layout (1 type byte + 7 int64s + 3 flag bytes + 1 double + 3 tail
+/// bytes = 71) is the widest. static_asserted against the writer below.
+constexpr size_t kMaxKeyPayload = 96;
 
 uint64_t HashKey(const std::string& key) {
   return static_cast<uint64_t>(std::hash<std::string>{}(key));
@@ -77,6 +82,15 @@ Result<CacheOptions> CacheOptions::FromProperties(const Properties& props) {
     }
     opts.quantize_bits = static_cast<int>(bits);
   }
+  if (props.Contains(kCacheTouchSampleKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t sample,
+                             props.GetInt(kCacheTouchSampleKey));
+    if (sample < 1) {
+      return Status::InvalidArgument(
+          "serving.cache.touch_sample must be >= 1");
+    }
+    opts.touch_sample = static_cast<int>(sample);
+  }
   return opts;
 }
 
@@ -96,54 +110,58 @@ void CanonicalCacheKeyTo(const std::string& system,
                          std::optional<core::ChoicePolicy> policy,
                          bool provenance, bool logical_phase,
                          int quantize_bits, std::string* out) {
-  std::string& key = *out;
-  key.clear();
-  key.reserve(system.size() + 96);
-  key += system;
-  key.push_back('\0');  // unambiguous name/payload separator
-  AppendByte(&key, static_cast<uint8_t>(op.type));
+  char buf[kMaxKeyPayload];
+  KeyWriter w{buf};
+  w.Byte(static_cast<uint8_t>(op.type));
   // Only the active payload participates: the inactive members of the
   // tagged union are defaulted noise.
   switch (op.type) {
     case rel::OperatorType::kJoin: {
       const rel::JoinQuery& j = op.join;
-      AppendI64(&key, j.left.num_rows);
-      AppendI64(&key, j.left.row_bytes);
-      AppendI64(&key, j.right.num_rows);
-      AppendI64(&key, j.right.row_bytes);
-      AppendI64(&key, j.left_projected_bytes);
-      AppendI64(&key, j.right_projected_bytes);
-      AppendI64(&key, j.output_rows);
-      AppendByte(&key, static_cast<uint8_t>(j.is_equi_join));
-      AppendByte(&key, static_cast<uint8_t>(j.left_bucketed_on_key));
-      AppendByte(&key, static_cast<uint8_t>(j.right_bucketed_on_key));
-      AppendDouble(&key, j.hot_key_fraction, quantize_bits);
+      w.I64(j.left.num_rows);
+      w.I64(j.left.row_bytes);
+      w.I64(j.right.num_rows);
+      w.I64(j.right.row_bytes);
+      w.I64(j.left_projected_bytes);
+      w.I64(j.right_projected_bytes);
+      w.I64(j.output_rows);
+      w.Byte(static_cast<uint8_t>(j.is_equi_join));
+      w.Byte(static_cast<uint8_t>(j.left_bucketed_on_key));
+      w.Byte(static_cast<uint8_t>(j.right_bucketed_on_key));
+      w.Double(j.hot_key_fraction, quantize_bits);
       break;
     }
     case rel::OperatorType::kAggregation: {
       const rel::AggQuery& a = op.agg;
-      AppendI64(&key, a.input.num_rows);
-      AppendI64(&key, a.input.row_bytes);
-      AppendI64(&key, a.output_rows);
-      AppendI64(&key, a.output_row_bytes);
-      AppendI64(&key, a.num_aggregates);
+      w.I64(a.input.num_rows);
+      w.I64(a.input.row_bytes);
+      w.I64(a.output_rows);
+      w.I64(a.output_row_bytes);
+      w.I64(a.num_aggregates);
       break;
     }
     case rel::OperatorType::kScan: {
       const rel::ScanQuery& s = op.scan;
-      AppendI64(&key, s.input.num_rows);
-      AppendI64(&key, s.input.row_bytes);
-      AppendDouble(&key, s.selectivity, quantize_bits);
-      AppendI64(&key, s.projected_bytes);
-      AppendI64(&key, s.output_rows);
+      w.I64(s.input.num_rows);
+      w.I64(s.input.row_bytes);
+      w.Double(s.selectivity, quantize_bits);
+      w.I64(s.projected_bytes);
+      w.I64(s.output_rows);
       break;
     }
   }
-  AppendByte(&key, policy.has_value()
-                       ? static_cast<uint8_t>(*policy)
-                       : uint8_t{0xff});
-  AppendByte(&key, static_cast<uint8_t>(provenance));
-  AppendByte(&key, static_cast<uint8_t>(logical_phase));
+  w.Byte(policy.has_value() ? static_cast<uint8_t>(*policy) : uint8_t{0xff});
+  w.Byte(static_cast<uint8_t>(provenance));
+  w.Byte(static_cast<uint8_t>(logical_phase));
+  const size_t payload = static_cast<size_t>(w.p - buf);
+  // Join layout: type + 7 int64s + 1 double + 6 flag/tail bytes.
+  static_assert(kMaxKeyPayload >= 1 + 8 * sizeof(uint64_t) + 6);
+  std::string& key = *out;
+  key.clear();
+  key.reserve(system.size() + 1 + payload);
+  key.append(system);
+  key.push_back('\0');  // unambiguous name/payload separator
+  key.append(buf, payload);
 }
 
 EstimateCache::EstimateCache(CacheOptions options)
@@ -157,9 +175,129 @@ EstimateCache::EstimateCache(CacheOptions options)
       options_.capacity == 0
           ? 0
           : std::max<int64_t>(1, options_.capacity / options_.shards);
+  options_.touch_sample = std::max(1, options_.touch_sample);
+  // Seqlock mirror sizing: a power of two near the shard's entry budget so
+  // the direct map rarely aliases, clamped so tiny caches still get a few
+  // slots and huge ones don't burn unbounded memory (192 B per slot).
+  slot_count_ = per_shard_capacity_ == 0
+                    ? 0
+                    : std::bit_ceil(static_cast<size_t>(
+                          std::clamp<int64_t>(per_shard_capacity_, 8, 1024)));
+  slot_mask_ = slot_count_ == 0 ? 0 : slot_count_ - 1;
   shards_.reserve(options_.shards);
   for (int i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    if (slot_count_ > 0) {
+      shard->slots = std::make_unique<FastSlot[]>(slot_count_);
+      shard->owners.assign(slot_count_, Shard::SlotOwner{});
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+bool EstimateCache::Packable(const std::string& key,
+                             const core::HybridEstimate& v) {
+  // Anything with variable-length provenance (sub-op candidate lists,
+  // degradation reasons) or an oversized key keeps locked-path semantics.
+  return key.size() <= kFastKeyCap && v.algorithm.size() <= kFastAlgoCap &&
+         v.fell_back_reason.empty() && v.eliminated.empty() &&
+         v.candidates.empty();
+}
+
+void EstimateCache::Pack(const std::string& key, uint64_t hash, uint64_t epoch,
+                         double stored_now, const core::HybridEstimate& v,
+                         PackedEstimate* out) {
+  *out = PackedEstimate{};
+  out->hash = hash;
+  out->epoch = epoch;
+  out->stored_now = stored_now;
+  out->seconds = v.seconds;
+  out->remedy_alpha = v.remedy_alpha;
+  out->nn_seconds = v.nn_seconds;
+  out->remedy_seconds = v.remedy_seconds;
+  out->eliminated_count = static_cast<int32_t>(v.eliminated_count);
+  out->approach = static_cast<uint8_t>(v.approach_used);
+  out->flags = static_cast<uint8_t>((v.used_remedy ? 1u : 0u) |
+                                    (v.fell_back_to_sub_op ? 2u : 0u));
+  out->key_len = static_cast<uint8_t>(key.size());
+  out->algo_len = static_cast<uint8_t>(v.algorithm.size());
+  std::memcpy(out->key, key.data(), key.size());
+  std::memcpy(out->algorithm, v.algorithm.data(), v.algorithm.size());
+}
+
+void EstimateCache::Unpack(const PackedEstimate& p, core::HybridEstimate* v) {
+  *v = core::HybridEstimate{};
+  v->seconds = p.seconds;
+  v->approach_used = static_cast<core::CostingApproach>(p.approach);
+  v->algorithm.assign(p.algorithm, p.algo_len);
+  v->used_remedy = (p.flags & 1u) != 0;
+  v->remedy_alpha = p.remedy_alpha;
+  v->nn_seconds = p.nn_seconds;
+  v->remedy_seconds = p.remedy_seconds;
+  v->fell_back_to_sub_op = (p.flags & 2u) != 0;
+  v->eliminated_count = p.eliminated_count;
+}
+
+void EstimateCache::WriteSlot(Shard& shard, size_t si,
+                              const PackedEstimate* p) {
+  // Seqlock write protocol (serialized per shard by shard.mu): odd version
+  // while the payload words are in flux, even again once they are stable.
+  // The final release pairs with the reader's acquire fence.
+  FastSlot& slot = shard.slots[si];
+  slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t buf[kSlotWords] = {};
+  if (p != nullptr) std::memcpy(buf, p, sizeof(*p));
+  for (size_t w = 0; w < kSlotWords; ++w) {
+    // lint:relaxed-ok(seqlock payload word; ordered by the seq release below)
+    slot.words[w].store(buf[w], std::memory_order_relaxed);
+  }
+  slot.seq.fetch_add(1, std::memory_order_release);
+}
+
+void EstimateCache::PublishEntry(Shard& shard, Entry& e) {
+  if (slot_count_ == 0) return;
+  const size_t si = SlotIndex(e.hash);
+  Shard::SlotOwner& owner = shard.owners[si];
+  if (Packable(e.key, e.value)) {
+    if (owner.used && owner.hash != e.hash) {
+      // Steal the slot from its previous owner. Mark the victim unslotted
+      // BEFORE overwriting: a reader must never observe unslotted == 0
+      // while some index entry has no mirror, or it would declare a false
+      // lock-free miss for that entry.
+      auto prev = shard.index.find(owner.hash);
+      if (prev != shard.index.end() && prev->second->slotted) {
+        prev->second->slotted = false;
+        shard.unslotted.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    PackedEstimate packed;
+    Pack(e.key, e.hash, e.epoch, e.stored_now, e.value, &packed);
+    WriteSlot(shard, si, &packed);
+    owner.used = true;
+    owner.hash = e.hash;
+    if (!e.slotted) {
+      e.slotted = true;
+      shard.unslotted.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } else if (e.slotted) {
+    // The entry was refreshed into an unpackable value: withdraw its
+    // mirror (count first, then wipe — same invariant as above).
+    e.slotted = false;
+    shard.unslotted.fetch_add(1, std::memory_order_acq_rel);
+    WriteSlot(shard, si, nullptr);
+    owner.used = false;
+  }
+}
+
+void EstimateCache::RetireEntry(Shard& shard, Entry& e) {
+  if (slot_count_ == 0) return;
+  if (e.slotted) {
+    const size_t si = SlotIndex(e.hash);
+    WriteSlot(shard, si, nullptr);
+    shard.owners[si].used = false;
+    e.slotted = false;
+  } else {
+    shard.unslotted.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -171,8 +309,97 @@ std::optional<core::HybridEstimate> EstimateCache::Get(
     const std::string& key, uint64_t epoch, double now,
     const CacheCounters& counters, bool allow_stale, bool* served_stale) {
   if (served_stale != nullptr) *served_stale = false;
+  if (per_shard_capacity_ == 0) {
+    // Caching disabled: every lookup is a definitive miss, no shard touched.
+    // lint:relaxed-ok(stat counter; Stats reads are point-in-time by contract)
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    // lint:relaxed-ok(stat counter; no data is published through it)
+    lockless_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (counters.misses != nullptr) counters.misses->Increment();
+    return std::nullopt;
+  }
   const uint64_t hash = HashKey(key);
   Shard& shard = *shards_[hash % shards_.size()];
+
+  // ---- Optimistic lock-free probe (DESIGN.md §14) -------------------------
+  // Snapshot the direct-mapped seqlock slot for this hash. Outcomes:
+  //   * consistent snapshot holds this key, fresh epoch + TTL  -> hit, no lock
+  //   * consistent snapshot shows the key absent AND every index entry is
+  //     mirrored (unslotted == 0)                              -> miss, no lock
+  //   * anything else (writer active twice, stale epoch/TTL, unmirrored
+  //     entries exist)                                         -> locked probe
+  // A lock-free miss racing a concurrent Put linearizes the Get before the
+  // Put — exactly the probe/compute race the locked path already had.
+  if (slot_count_ > 0) {
+    FastSlot& slot = shard.slots[SlotIndex(hash)];
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;  // writer mid-publish: retry once
+      PackedEstimate packed;
+      bool mirrored = false;
+      if (s1 != 0) {
+        uint64_t buf[kSlotWords];
+        // Fence-free seqlock reader (Boehm, "Can seqlocks get along with
+        // programming language memory models?"): every payload word is an
+        // acquire load, so the version recheck below cannot be reordered
+        // before any of them. On x86 an acquire load is a plain mov, and
+        // unlike atomic_thread_fence(acquire) gcc supports it under tsan.
+        for (size_t w = 0; w < kSlotWords; ++w) {
+          buf[w] = slot.words[w].load(std::memory_order_acquire);
+        }
+        // lint:relaxed-ok(version recheck; ordered by the acquire payload loads)
+        if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+        std::memcpy(&packed, buf, sizeof(packed));
+        mirrored = packed.key_len == key.size() && packed.hash == hash &&
+                   packed.key_len > 0 &&
+                   std::memcmp(packed.key, key.data(), packed.key_len) == 0;
+      }
+      if (!mirrored) {
+        if (shard.unslotted.load(std::memory_order_acquire) == 0) {
+          // Every live entry is mirrored and this key's slot says no:
+          // a definitive miss without taking the mutex.
+          // lint:relaxed-ok(stat counter; point-in-time by contract)
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          // lint:relaxed-ok(stat counter; no data is published through it)
+          lockless_misses_.fetch_add(1, std::memory_order_relaxed);
+          if (counters.misses != nullptr) counters.misses->Increment();
+          return std::nullopt;
+        }
+        break;  // unmirrored entries exist: only the locked index can say
+      }
+      if (packed.epoch != epoch) break;  // locked path erases + counts stale
+      if (options_.ttl_seconds > 0.0 &&
+          now - packed.stored_now > options_.ttl_seconds) {
+        break;  // locked path owns expiry (and degraded allow_stale serves)
+      }
+      core::HybridEstimate value;
+      Unpack(packed, &value);
+      // lint:relaxed-ok(stat counter; point-in-time by contract)
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // lint:relaxed-ok(stat counter; no data is published through it)
+      lockless_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (counters.hits != nullptr) counters.hits->Increment();
+      // Sampled, non-blocking LRU touch: every touch_sample-th read of this
+      // slot tries (and only tries) the shard lock to refresh recency, so
+      // the steady-state hit path never waits on a mutex.
+      // lint:relaxed-ok(sampling counter; drives no synchronization)
+      const uint64_t reads = slot.reads.fetch_add(1, std::memory_order_relaxed);
+      if ((reads + 1) % static_cast<uint64_t>(options_.touch_sample) == 0 &&
+          shard.mu.TryLock()) {
+        auto it = shard.index.find(hash);
+        if (it != shard.index.end() && it->second->key == key) {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+          // lint:relaxed-ok(stat counter; no data is published through it)
+          lru_touches_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard.mu.Unlock();
+      }
+      return value;
+    }
+  }
+  // ---- Locked fallback ----------------------------------------------------
+  // lint:relaxed-ok(stat counter; no data is published through it)
+  locked_gets_.fetch_add(1, std::memory_order_relaxed);
   std::optional<core::HybridEstimate> found;
   bool stale = false;
   bool expired = false;
@@ -206,6 +433,7 @@ std::optional<core::HybridEstimate> EstimateCache::Get(
         found = entry.value;
       }
       if (stale || expired) {
+        RetireEntry(shard, *it->second);
         shard.lru.erase(it->second);
         shard.index.erase(it);
       }
@@ -254,6 +482,16 @@ void EstimateCache::Put(const std::string& key, uint64_t epoch, double now,
       // Different key: a collision displaces the slot's previous owner.
       Entry& entry = *it->second;
       if (entry.key != key) {
+        if (entry.slotted) {
+          // The displaced identity's mirror is dead; the new identity
+          // starts unmirrored until PublishEntry below. Count before
+          // wiping so unslotted never understates.
+          entry.slotted = false;
+          shard.unslotted.fetch_add(1, std::memory_order_acq_rel);
+          const size_t si = SlotIndex(entry.hash);
+          WriteSlot(shard, si, nullptr);
+          shard.owners[si].used = false;
+        }
         entry.key = key;
         ++evicted;
       }
@@ -261,10 +499,16 @@ void EstimateCache::Put(const std::string& key, uint64_t epoch, double now,
       entry.epoch = epoch;
       entry.stored_now = now;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      PublishEntry(shard, entry);
     } else {
       shard.lru.push_front(Entry{key, hash, value, epoch, now});
       shard.index.emplace(hash, shard.lru.begin());
+      // New entries are born unmirrored; PublishEntry flips them when the
+      // value packs into a slot.
+      shard.unslotted.fetch_add(1, std::memory_order_acq_rel);
+      PublishEntry(shard, shard.lru.front());
       while (static_cast<int64_t>(shard.lru.size()) > per_shard_capacity_) {
+        RetireEntry(shard, shard.lru.back());
         shard.index.erase(shard.lru.back().hash);
         shard.lru.pop_back();
         ++evicted;
@@ -285,6 +529,14 @@ void EstimateCache::Clear() {
     MutexLock lock(&shard->mu);
     shard->lru.clear();
     shard->index.clear();
+    shard->unslotted.store(0, std::memory_order_release);
+    // Every slot must be wiped (with the seqlock protocol, since readers
+    // may be probing concurrently) or dropped entries would keep serving
+    // from their stale mirrors.
+    for (size_t si = 0; si < slot_count_; ++si) {
+      WriteSlot(*shard, si, nullptr);
+      shard->owners[si] = Shard::SlotOwner{};
+    }
   }
 }
 
@@ -309,6 +561,14 @@ CacheStats EstimateCache::Stats() const {
   stats.stale_epoch = stale_epoch_.load(std::memory_order_relaxed);
   // lint:relaxed-ok(see hits above)
   stats.stale_served = stale_served_.load(std::memory_order_relaxed);
+  // lint:relaxed-ok(see hits above)
+  stats.lockless_hits = lockless_hits_.load(std::memory_order_relaxed);
+  // lint:relaxed-ok(see hits above)
+  stats.lockless_misses = lockless_misses_.load(std::memory_order_relaxed);
+  // lint:relaxed-ok(see hits above)
+  stats.locked_gets = locked_gets_.load(std::memory_order_relaxed);
+  // lint:relaxed-ok(see hits above)
+  stats.lru_touches = lru_touches_.load(std::memory_order_relaxed);
   stats.entries = static_cast<int64_t>(size());
   return stats;
 }

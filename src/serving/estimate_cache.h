@@ -19,6 +19,21 @@
 // Get rejects entries whose epoch differs from the caller's current epoch
 // — an estimate produced against pre-retrain weights is never served after
 // OfflineTuneAll / profile re-registration bumps the epoch.
+//
+// Optimistic read path (DESIGN.md §14): each shard additionally keeps a
+// direct-mapped table of fixed-width *seqlock slots* mirroring its hottest
+// entries. A Get first probes the slot without any lock: it snapshots the
+// slot's atomic payload words between two reads of the slot's version
+// counter (even = stable, odd = writer active) and serves the hit — or
+// declares a definitive miss when the shard's `unslotted` count says every
+// index entry is mirrored — entirely lock-free. Writers (insert, evict,
+// LRU maintenance, Clear) still serialize on the shard Mutex and bump the
+// version counter around every slot write, so a reader either observes a
+// fully consistent snapshot or retries (once) and falls back to the locked
+// probe. The LRU touch on a lock-free hit becomes a sampled, non-blocking
+// TryLock bump (serving.cache.touch_sample), so steady-state warm hits
+// acquire no mutex at all — CacheStats::locked_gets counts the probes that
+// did.
 
 #ifndef INTELLISPHERE_SERVING_ESTIMATE_CACHE_H_
 #define INTELLISPHERE_SERVING_ESTIMATE_CACHE_H_
@@ -30,6 +45,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +65,7 @@ inline constexpr char kCacheShardsKey[] = "serving.cache.shards";
 inline constexpr char kCacheCapacityKey[] = "serving.cache.capacity";
 inline constexpr char kCacheTtlSecondsKey[] = "serving.cache.ttl_seconds";
 inline constexpr char kCacheQuantizeBitsKey[] = "serving.cache.quantize_bits";
+inline constexpr char kCacheTouchSampleKey[] = "serving.cache.touch_sample";
 
 /// Cache tuning knobs.
 struct CacheOptions {
@@ -65,6 +82,10 @@ struct CacheOptions {
   /// cached results provably bit-identical; raising it trades exactness
   /// for hit rate on jittery statistics. Clamped to [0, 52].
   int quantize_bits = 0;
+  /// A lock-free hit bumps its entry's LRU position only every N-th read
+  /// (and only via a non-blocking TryLock), so the warm path stays
+  /// mutex-free. 1 = touch on every hit; must be >= 1.
+  int touch_sample = 64;
 
   /// Reads the serving.cache.* keys above; absent keys keep their
   /// defaults. InvalidArgument on non-positive shards or negative values.
@@ -80,6 +101,11 @@ struct CacheStats {
   int64_t stale_epoch = 0;   ///< subset of misses rejected by epoch check
   int64_t stale_served = 0;  ///< TTL-expired hits served under allow_stale
   int64_t entries = 0;       ///< live entries right now
+  // Optimistic-read-path breakdown (DESIGN.md §14).
+  int64_t lockless_hits = 0;    ///< hits served from a seqlock slot, no mutex
+  int64_t lockless_misses = 0;  ///< definitive misses declared without a mutex
+  int64_t locked_gets = 0;      ///< Gets that fell back to the locked probe
+  int64_t lru_touches = 0;      ///< sampled TryLock LRU bumps that landed
   double HitRate() const {
     int64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / total : 0.0;
@@ -165,12 +191,49 @@ class EstimateCache {
   int ShardOf(const std::string& key) const;
 
  private:
+  /// Fixed-width, trivially-copyable image of a cache entry small enough to
+  /// publish through a seqlock slot as raw 64-bit words. Estimates whose
+  /// key or payload exceed these caps (notably sub-op results carrying
+  /// candidate provenance) simply stay on the locked path — the slot is a
+  /// fast mirror, not the source of truth.
+  static constexpr size_t kFastKeyCap = 104;
+  static constexpr size_t kFastAlgoCap = 24;
+  struct PackedEstimate {
+    uint64_t hash = 0;
+    uint64_t epoch = 0;
+    double stored_now = 0.0;
+    double seconds = 0.0;
+    double remedy_alpha = 0.0;
+    double nn_seconds = 0.0;
+    double remedy_seconds = 0.0;
+    int32_t eliminated_count = 0;
+    uint8_t approach = 0;
+    uint8_t flags = 0;  ///< bit0 used_remedy, bit1 fell_back_to_sub_op
+    uint8_t key_len = 0;
+    uint8_t algo_len = 0;
+    char key[kFastKeyCap] = {};
+    char algorithm[kFastAlgoCap] = {};
+  };
+  static_assert(std::is_trivially_copyable_v<PackedEstimate>);
+  static_assert(sizeof(PackedEstimate) % sizeof(uint64_t) == 0);
+  static constexpr size_t kSlotWords = sizeof(PackedEstimate) / sizeof(uint64_t);
+
+  /// One seqlock slot. seq == 0 means never written; odd means a writer is
+  /// mid-publish; any other even value frames a consistent payload.
+  struct FastSlot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> words[kSlotWords] = {};
+    /// Lock-free read counter driving the sampled LRU touch.
+    std::atomic<uint64_t> reads{0};
+  };
+
   struct Entry {
     std::string key;     ///< full key, compared on every lookup
     uint64_t hash = 0;   ///< cached so eviction needn't rehash
     core::HybridEstimate value;
     uint64_t epoch = 0;
     double stored_now = 0.0;
+    bool slotted = false;  ///< currently mirrored in a FastSlot
   };
   struct Shard {
     mutable Mutex mu;
@@ -181,10 +244,43 @@ class EstimateCache {
     /// integer-keyed. Entry::key disambiguates collisions.
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index
         GUARDED_BY(mu);
+    /// Direct-mapped seqlock mirror, slot_count_ slots (atomics are safe to
+    /// touch without mu; the *write* protocol is serialized by mu).
+    std::unique_ptr<FastSlot[]> slots;
+    /// Which entry hash owns each slot (writer-side bookkeeping only).
+    struct SlotOwner {
+      bool used = false;
+      uint64_t hash = 0;
+    };
+    std::vector<SlotOwner> owners GUARDED_BY(mu);
+    /// Number of index entries NOT mirrored in a slot. When 0, a key absent
+    /// from its slot is absent from the shard, so a reader can declare a
+    /// miss without locking.
+    std::atomic<int64_t> unslotted{0};
   };
+
+  static bool Packable(const std::string& key, const core::HybridEstimate& v);
+  static void Pack(const std::string& key, uint64_t hash, uint64_t epoch,
+                   double stored_now, const core::HybridEstimate& v,
+                   PackedEstimate* out);
+  static void Unpack(const PackedEstimate& p, core::HybridEstimate* v);
+  size_t SlotIndex(uint64_t hash) const {
+    return ((hash >> 32) ^ hash) & slot_mask_;
+  }
+  /// Seqlock-writes `p` (or an empty marker when null) into slot `si`.
+  void WriteSlot(Shard& shard, size_t si, const PackedEstimate* p);
+  /// Mirrors `e` into its slot if packable (stealing the slot from any
+  /// previous owner); otherwise ensures `e` is counted unslotted. Keeps the
+  /// unslotted invariant. Call under shard.mu after insert/refresh.
+  void PublishEntry(Shard& shard, Entry& e) REQUIRES(shard.mu);
+  /// Unpublishes `e` ahead of its erase (evict/expire/stale): clears its
+  /// slot or decrements unslotted. Call under shard.mu.
+  void RetireEntry(Shard& shard, Entry& e) REQUIRES(shard.mu);
 
   CacheOptions options_;
   int64_t per_shard_capacity_ = 0;
+  size_t slot_count_ = 0;  ///< per shard; 0 when caching is disabled
+  size_t slot_mask_ = 0;
   /// unique_ptrs because Shard (mutex) is immovable.
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -193,6 +289,10 @@ class EstimateCache {
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> stale_epoch_{0};
   std::atomic<int64_t> stale_served_{0};
+  std::atomic<int64_t> lockless_hits_{0};
+  std::atomic<int64_t> lockless_misses_{0};
+  std::atomic<int64_t> locked_gets_{0};
+  std::atomic<int64_t> lru_touches_{0};
 };
 
 }  // namespace intellisphere::serving

@@ -1,7 +1,11 @@
 #include "serving/service.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
-#include <unordered_map>
+#include <functional>
+#include <map>
+#include <string_view>
 #include <utility>
 
 #include "remote/health.h"
@@ -59,6 +63,23 @@ Result<ServiceOptions> ServiceOptions::FromProperties(
       return Status::InvalidArgument("serving.jobs must be >= 0");
     }
     opts.jobs = static_cast<int>(jobs);
+  }
+  if (props.Contains(kServingBatchMinGroupSizeKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t size,
+                             props.GetInt(kServingBatchMinGroupSizeKey));
+    if (size < 1) {
+      return Status::InvalidArgument(
+          "serving.batch.min_group_size must be >= 1");
+    }
+    opts.batch_min_group_size = static_cast<int>(size);
+  }
+  if (props.Contains(kServingBatchChunkRowsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t rows,
+                             props.GetInt(kServingBatchChunkRowsKey));
+    if (rows < 1) {
+      return Status::InvalidArgument("serving.batch.chunk_rows must be >= 1");
+    }
+    opts.batch_chunk_rows = static_cast<int>(rows);
   }
   return opts;
 }
@@ -168,27 +189,51 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
   const uint64_t epoch = estimator_->model_epoch();
 
   const size_t n = requests.size();
-  // "unfilled" fits in the small-string buffer, so the prefill does not
-  // allocate per slot; every slot is overwritten below.
-  std::vector<Result<core::HybridEstimate>> results;
-  results.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    results.emplace_back(Status::Internal("unfilled"));
-  }
 
-  // Pass 1: probe the cache, group the misses by canonical key. One group
-  // per distinct key — duplicates ride along as extra result indices and
-  // are computed exactly once. Requests whose key cannot be built (unknown
+  // Pass 1: group the requests by canonical key, probing the cache once
+  // per distinct key — the first occurrence's probe decides for every
+  // duplicate in the batch (the canonical key covers everything that can
+  // change the answer). One group per distinct key; misses are computed
+  // exactly once in pass 2. Requests whose key cannot be built (unknown
   // system) each get their own keyless group so errors stay per-request.
-  // The scratch buffer keeps the hit path allocation-free: a key string is
-  // materialized only when a miss creates a group.
+  // The scratch buffer keeps the duplicate path allocation-free: a key
+  // string is materialized only when a distinct key creates a group.
   struct MissGroup {
     size_t first_index;
     std::string key;  ///< empty for uncacheable requests
-    std::vector<size_t> indices;
+    /// Captured from the pass-1 memo so pass 2 can group by model without
+    /// re-resolving the profile (null = unknown system).
+    const core::CostingProfile* profile = nullptr;
+    bool breaker_open = false;
+    /// Answered by a cache hit in pass 1: computed[g] already holds the
+    /// value; pass 2 skips the group, pass 3 only fans out.
+    bool from_cache = false;
   };
   std::vector<MissGroup> groups;
-  std::unordered_map<std::string, size_t> key_to_group;
+  // One answer slot per group: cache hits land here in pass 1, computed
+  // misses in pass 2, and the final fan-out copies computed[group_of[i]]
+  // into results exactly once per request — no per-slot prefill churn.
+  std::vector<Result<core::HybridEstimate>> computed;
+  std::vector<uint32_t> group_of(n, 0);
+  // Worst case is all-distinct (one group per request), but batches skew
+  // heavily toward repeats; 64 covers typical fan-in without a realloc.
+  groups.reserve(std::min<size_t>(n, 64));
+  computed.reserve(std::min<size_t>(n, 64));
+  // Open-addressed dedup table (linear probing, power-of-two size, < 50%
+  // load): the per-request cost of spotting a duplicate is one hash plus
+  // one cache-line probe, with the key bytes compared only on a hash
+  // match. `group_plus_1 == 0` marks an empty slot, so a zero hash needs
+  // no special case. Key strings live in the groups themselves.
+  struct DedupSlot {
+    uint64_t hash = 0;
+    uint32_t group_plus_1 = 0;
+  };
+  // Sized by *distinct* keys, not batch size: it starts at 4 KiB (L1-
+  // resident even while the rest of the pass streams requests) and doubles
+  // past 50% load by re-seating the stored hashes.
+  size_t dedup_mask = 255;
+  std::vector<DedupSlot> dedup(dedup_mask + 1);
+  size_t dedup_used = 0;
   std::string scratch;
   // Per-batch memo of the last (system -> profile, breaker state)
   // resolution: batches overwhelmingly target one system, and the
@@ -211,62 +256,196 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
       memo_system = &requests[i].system;
     }
     KeyWithProfileTo(requests[i], bctx, memo_profile, &scratch);
+    bool from_cache = false;
+    std::optional<core::HybridEstimate> hit;
     if (!scratch.empty()) {
-      bool served_stale = false;
-      if (auto hit = cache_.Get(scratch, epoch, requests[i].now, counters,
-                                /*allow_stale=*/memo_breaker_open,
-                                &served_stale)) {
-        core::HybridEstimate est = *std::move(hit);
-        if (served_stale) est.fell_back_reason = "breaker_open:served_stale";
-        results[i] = std::move(est);
-        ++hits;
+      const uint64_t key_hash = std::hash<std::string_view>{}(scratch);
+      size_t slot = key_hash & dedup_mask;
+      size_t dup_group = SIZE_MAX;
+      while (dedup[slot].group_plus_1 != 0) {
+        if (dedup[slot].hash == key_hash &&
+            groups[dedup[slot].group_plus_1 - 1].key == scratch) {
+          dup_group = dedup[slot].group_plus_1 - 1;
+          break;
+        }
+        slot = (slot + 1) & dedup_mask;
+      }
+      if (dup_group != SIZE_MAX) {
+        // Duplicate of an earlier request: ride its group, no cache probe.
+        group_of[i] = static_cast<uint32_t>(dup_group);
         continue;
       }
-      auto [it, inserted] = key_to_group.try_emplace(scratch, groups.size());
-      if (!inserted) {
-        groups[it->second].indices.push_back(i);
-        continue;
+      dedup[slot] = {key_hash, static_cast<uint32_t>(groups.size() + 1)};
+      if (++dedup_used * 2 > dedup_mask) {
+        std::vector<DedupSlot> bigger(2 * (dedup_mask + 1));
+        const size_t bigger_mask = bigger.size() - 1;
+        for (const DedupSlot& s : dedup) {
+          if (s.group_plus_1 == 0) continue;
+          size_t j = s.hash & bigger_mask;
+          while (bigger[j].group_plus_1 != 0) j = (j + 1) & bigger_mask;
+          bigger[j] = s;
+        }
+        dedup.swap(bigger);
+        dedup_mask = bigger_mask;
+      }
+      bool served_stale = false;
+      hit = cache_.Get(scratch, epoch, requests[i].now, counters,
+                       /*allow_stale=*/memo_breaker_open, &served_stale);
+      if (hit) {
+        if (served_stale) hit->fell_back_reason = "breaker_open:served_stale";
+        from_cache = true;
       }
     }
-    groups.push_back(MissGroup{i, scratch, {i}});
+    group_of[i] = static_cast<uint32_t>(groups.size());
+    groups.push_back(MissGroup{i, scratch, memo_profile, memo_breaker_open,
+                               from_cache});
+    if (hit) {
+      computed.emplace_back(*std::move(hit));
+    } else {
+      computed.emplace_back(Status::Internal("unfilled"));
+    }
   }
 
-  // Pass 2: compute each group's representative request, fanned out over
-  // the pool (inline when jobs = 1 or there is at most one miss). The
-  // estimator read path is const and touches no shared mutable state; the
-  // trace sink and registries are thread-safe by contract (DESIGN.md §9).
+  // Pass 2: compute the unique misses. Distinct-key groups routed to the
+  // same (system, logical-operator model) are fused into batched work
+  // units — one CostEstimator::EstimateBatch call lowers the whole unit's
+  // network forward passes into a single GEMM per layer (DESIGN.md §14).
+  // Everything else (unknown systems, sub-op routes, open breakers, groups
+  // smaller than batch_min_group_size) keeps the scalar path. Units are
+  // fanned out over the pool (inline when jobs = 1 or there is at most one
+  // unit). The estimator read path is const and touches no shared mutable
+  // state; the trace sink and registries are thread-safe by contract
+  // (DESIGN.md §9).
   const size_t num_groups = groups.size();
-  ThreadPool* pool =
-      (pool_ != nullptr && num_groups > 1) ? pool_.get() : nullptr;
-  std::vector<Result<core::HybridEstimate>> computed = RunIndexed(
-      pool, num_groups, [&](size_t g) -> Result<core::HybridEstimate> {
-        const EstimateRequest& request = requests[groups[g].first_index];
-        return estimator_->Estimate(request.system, request.op,
-                                    RequestContext(request, bctx));
-      });
+  struct WorkUnit {
+    bool batched = false;
+    std::vector<size_t> gs;  ///< group ids computed by this unit
+  };
+  std::vector<WorkUnit> units;
+  units.reserve(num_groups);
+  {
+    // (system, operator type) identifies the model: the pass-1 memo maps
+    // one system to one profile, and the profile holds one logical model
+    // per operator type.
+    std::map<std::pair<std::string_view, rel::OperatorType>,
+             std::vector<size_t>>
+        model_groups;
+    std::vector<size_t> scalar_groups;
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (groups[g].from_cache) continue;  // already answered in pass 1
+      const EstimateRequest& rep = requests[groups[g].first_index];
+      const core::CostingProfile* p = groups[g].profile;
+      if (p != nullptr && !groups[g].breaker_open &&
+          p->RoutesToLogicalModel(rep.op.type, RequestContext(rep, bctx))) {
+        model_groups[{rep.system, rep.op.type}].push_back(g);
+      } else {
+        scalar_groups.push_back(g);
+      }
+    }
+    const size_t min_group =
+        static_cast<size_t>(std::max(1, options_.batch_min_group_size));
+    const size_t chunk_rows =
+        static_cast<size_t>(std::max(1, options_.batch_chunk_rows));
+    for (auto& [model, gs] : model_groups) {
+      if (gs.size() < min_group) {
+        scalar_groups.insert(scalar_groups.end(), gs.begin(), gs.end());
+        continue;
+      }
+      for (size_t begin = 0; begin < gs.size(); begin += chunk_rows) {
+        const size_t end = std::min(begin + chunk_rows, gs.size());
+        units.push_back(WorkUnit{
+            true, std::vector<size_t>(gs.begin() + begin, gs.begin() + end)});
+      }
+    }
+    std::sort(scalar_groups.begin(), scalar_groups.end());
+    for (size_t g : scalar_groups) {
+      units.push_back(WorkUnit{false, {g}});
+    }
+  }
 
-  // Pass 3: fill the cache and fan results back out to duplicates.
-  // Degraded results (non-empty fell_back_reason) are never cached — see
-  // Estimate().
+  int64_t batched_groups = 0;
+  const auto compute_scalar = [&](size_t g) {
+    const EstimateRequest& request = requests[groups[g].first_index];
+    computed[g] = estimator_->Estimate(request.system, request.op,
+                                       RequestContext(request, bctx));
+  };
+  const size_t num_units = units.size();
+  ThreadPool* pool =
+      (pool_ != nullptr && num_units > 1) ? pool_.get() : nullptr;
+  // Workers write disjoint computed[g] slots, so no unit-level results are
+  // collected; RunIndexed is only the fan-out.
+  (void)RunIndexed(pool, num_units, [&](size_t u) -> bool {
+    const WorkUnit& unit = units[u];
+    if (!unit.batched) {
+      compute_scalar(unit.gs.front());
+      return true;
+    }
+    const std::string& system =
+        requests[groups[unit.gs.front()].first_index].system;
+    std::vector<const rel::SqlOperator*> ops;
+    std::vector<core::EstimateContext> ctx_storage;
+    std::vector<const core::EstimateContext*> ctxs;
+    ops.reserve(unit.gs.size());
+    ctx_storage.reserve(unit.gs.size());  // pointer stability for ctxs
+    ctxs.reserve(unit.gs.size());
+    for (size_t g : unit.gs) {
+      const EstimateRequest& request = requests[groups[g].first_index];
+      ops.push_back(&request.op);
+      ctx_storage.push_back(RequestContext(request, bctx));
+      ctxs.push_back(&ctx_storage.back());
+    }
+    std::vector<Result<core::HybridEstimate>> outs;
+    const Status st = estimator_->EstimateBatch(system, ops, ctxs, &outs);
+    if (!st.ok()) {
+      // Batch-level failure: recompute every member through the scalar
+      // path so per-request errors surface exactly as the unbatched path
+      // would report them.
+      for (size_t g : unit.gs) compute_scalar(g);
+      return true;
+    }
+    for (size_t k = 0; k < unit.gs.size(); ++k) {
+      computed[unit.gs[k]] = std::move(outs[k]);
+    }
+    return true;
+  });
+  for (const WorkUnit& unit : units) {
+    if (unit.batched) batched_groups += static_cast<int64_t>(unit.gs.size());
+  }
+
+  // Pass 3: fill the cache from freshly computed groups (degraded results
+  // — non-empty fell_back_reason — are never cached, see Estimate()), then
+  // fan every group's answer out to its requests in one sequential sweep.
   for (size_t g = 0; g < num_groups; ++g) {
-    const size_t rep = groups[g].first_index;
+    if (groups[g].from_cache) continue;  // answered in pass 1
     if (computed[g].ok() && !groups[g].key.empty() &&
         computed[g].value().fell_back_reason.empty()) {
-      cache_.Put(groups[g].key, epoch, requests[rep].now, computed[g].value(),
+      cache_.Put(groups[g].key, epoch,
+                 requests[groups[g].first_index].now, computed[g].value(),
                  counters);
     }
-    for (size_t idx : groups[g].indices) {
-      results[idx] = computed[g];
-    }
+  }
+  std::vector<Result<core::HybridEstimate>> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const MissGroup& g = groups[group_of[i]];
+    // Every request riding a hit group counts as a served hit, duplicates
+    // included.
+    if (g.from_cache) ++hits;
+    results.push_back(computed[group_of[i]]);
   }
 
   if (batch.enabled()) {
+    int64_t unique_misses = 0;
+    for (const MissGroup& g : groups) {
+      if (!g.from_cache) ++unique_misses;
+    }
     const int64_t misses = static_cast<int64_t>(n) - hits;
     batch.SetInt("size", static_cast<int64_t>(n))
         .SetInt("hits", hits)
         .SetInt("misses", misses)
-        .SetInt("unique_misses", static_cast<int64_t>(num_groups))
-        .SetInt("deduped", misses - static_cast<int64_t>(num_groups));
+        .SetInt("unique_misses", unique_misses)
+        .SetInt("deduped", misses - unique_misses)
+        .SetInt("batched", batched_groups);
   }
   return results;
 }
@@ -285,6 +464,14 @@ MetricsSnapshot EstimationService::StatsSnapshot() const {
        "count"},
       {"serving.cache.entries", static_cast<double>(stats.entries), "count"},
       {"serving.cache.hit_rate", stats.HitRate(), "ratio"},
+      {"serving.cache.lockless_hits", static_cast<double>(stats.lockless_hits),
+       "count"},
+      {"serving.cache.lockless_misses",
+       static_cast<double>(stats.lockless_misses), "count"},
+      {"serving.cache.locked_gets", static_cast<double>(stats.locked_gets),
+       "count"},
+      {"serving.cache.lru_touches", static_cast<double>(stats.lru_touches),
+       "count"},
   };
   return snap;
 }
@@ -311,6 +498,14 @@ std::string EstimationService::ExplainJson() const {
   json += "      \"stale_epoch\": " + std::to_string(stats.stale_epoch) +
           ",\n";
   json += "      \"stale_served\": " + std::to_string(stats.stale_served) +
+          ",\n";
+  json += "      \"lockless_hits\": " + std::to_string(stats.lockless_hits) +
+          ",\n";
+  json += "      \"lockless_misses\": " +
+          std::to_string(stats.lockless_misses) + ",\n";
+  json += "      \"locked_gets\": " + std::to_string(stats.locked_gets) +
+          ",\n";
+  json += "      \"lru_touches\": " + std::to_string(stats.lru_touches) +
           ",\n";
   json += "      \"hit_rate\": " + JsonNumberShort(stats.HitRate()) + "\n";
   json += "    },\n";

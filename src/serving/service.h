@@ -39,6 +39,11 @@ namespace intellisphere::serving {
 /// Properties key for the service's miss-computation parallelism
 /// (documented in docs/CONFIG.md).
 inline constexpr char kServingJobsKey[] = "serving.jobs";
+/// Batch-miss grouping knobs (DESIGN.md §14, documented in docs/CONFIG.md).
+inline constexpr char kServingBatchMinGroupSizeKey[] =
+    "serving.batch.min_group_size";
+inline constexpr char kServingBatchChunkRowsKey[] =
+    "serving.batch.chunk_rows";
 
 /// One estimate request: which system, which operator, at what deployment
 /// time, under which (optional) choice-policy override. The request's
@@ -63,9 +68,18 @@ struct ServiceOptions {
   /// wiring concern, so not read from Properties. Must outlive the
   /// service; null disables breaker awareness.
   const remote::HealthRegistry* health = nullptr;
+  /// Distinct-key misses routed to the same (system, logical-operator
+  /// model) are computed through CostEstimator::EstimateBatch — one GEMM
+  /// per network layer for the whole group — when at least this many
+  /// distinct keys share the model. Smaller groups stay scalar (the batch
+  /// assembly overhead outweighs one fused forward pass). Must be >= 1.
+  int batch_min_group_size = 2;
+  /// Upper bound on rows per batched estimator call; larger model groups
+  /// are chunked so pool workers share the work. Must be >= 1.
+  int batch_chunk_rows = 256;
 
-  /// Reads serving.jobs and the serving.cache.* keys; absent keys keep
-  /// their defaults.
+  /// Reads serving.jobs, serving.batch.*, and the serving.cache.* keys;
+  /// absent keys keep their defaults.
   [[nodiscard]] static Result<ServiceOptions> FromProperties(
       const Properties& props);
 };
@@ -85,13 +99,21 @@ class EstimationService {
       const EstimateRequest& request,
       const core::EstimateContext& ctx = {}) const;
 
-  /// Batch path: answers hits from the cache, deduplicates requests with
-  /// identical canonical keys, computes the unique misses in parallel on
-  /// the service's pool (inline when jobs = 1 or there is <= 1 miss), and
-  /// fills results back through the cache. Results are returned in request
-  /// order; an estimator error for one request does not fail the batch.
-  /// Emits a `serving.batch` span with size/hits/misses/deduped attributes
-  /// when the context has a trace sink.
+  /// Batch path: deduplicates requests with identical canonical keys — one
+  /// cache probe and at most one computation per distinct key, with the
+  /// first occurrence's probe answering every duplicate — then groups the
+  /// distinct-key misses by
+  /// (system, logical-operator model) and computes each group through
+  /// CostEstimator::EstimateBatch — one fused GEMM per network layer for
+  /// the whole group (DESIGN.md §14) — falling back to scalar computation
+  /// for small groups, non-logical routes, open breakers, and batch-level
+  /// failures (so per-request errors surface exactly as the scalar path
+  /// would). Units are fanned out over the service's pool (inline when
+  /// jobs = 1). Results are returned in request order, bit-identical to
+  /// the single-request path; an estimator error for one request does not
+  /// fail the batch. Emits a `serving.batch` span with
+  /// size/hits/misses/unique_misses/deduped/batched attributes when the
+  /// context has a trace sink.
   [[nodiscard]] std::vector<Result<core::HybridEstimate>> EstimateBatch(
       std::span<const EstimateRequest> requests,
       const core::EstimateContext& ctx = {}) const;

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
 
 #include "ml/cross_validation.h"
 #include "ml/dataset.h"
@@ -320,6 +323,54 @@ TEST(MlpTest, DeterministicGivenSeed) {
   auto b = MlpRegressor::Train(d, cfg).value();
   EXPECT_DOUBLE_EQ(a.Predict({0.3, 0.7}).value(),
                    b.Predict({0.3, 0.7}).value());
+}
+
+TEST(MlpTest, PredictBatchBitIdenticalToPredict) {
+  // The GEMM-lowered batch path (DESIGN.md §14) must reproduce the scalar
+  // forward pass bit for bit — byte-compared, not approximately — across
+  // topologies and batch sizes, including rows far outside the training
+  // range (the saturation/extrapolation branch).
+  const std::vector<std::pair<int, int>> topologies = {
+      {10, 5}, {14, 7}, {32, 16}, {3, 2}};
+  uint64_t seed = 31;
+  for (const auto& [h1, h2] : topologies) {
+    Dataset d = NonlinearSurface(120, seed++);
+    MlpConfig cfg;
+    cfg.hidden1 = h1;
+    cfg.hidden2 = h2;
+    cfg.iterations = 300;
+    auto mlp = MlpRegressor::Train(d, cfg).value();
+    Rng rng(seed++);
+    for (size_t batch : {size_t{1}, size_t{2}, size_t{7}, size_t{64}}) {
+      std::vector<std::vector<double>> rows;
+      rows.reserve(batch);
+      for (size_t i = 0; i < batch; ++i) {
+        // Mix in-range and far out-of-range inputs.
+        rows.push_back({rng.Uniform(-2, 3), rng.Uniform(-2, 3)});
+      }
+      std::vector<double> batched;
+      ASSERT_TRUE(mlp.PredictBatch(rows, &batched).ok());
+      ASSERT_EQ(batched.size(), batch);
+      for (size_t i = 0; i < batch; ++i) {
+        const double scalar = mlp.Predict(rows[i]).value();
+        // Byte compare: even a last-ulp reassociation difference fails.
+        EXPECT_EQ(std::memcmp(&batched[i], &scalar, sizeof(double)), 0)
+            << "topology (" << h1 << ", " << h2 << ") batch " << batch
+            << " row " << i << ": " << batched[i] << " vs " << scalar;
+      }
+    }
+  }
+}
+
+TEST(MlpTest, PredictBatchRejectsRaggedRows) {
+  Dataset d = NonlinearSurface(60, 21);
+  MlpConfig cfg;
+  cfg.iterations = 100;
+  auto mlp = MlpRegressor::Train(d, cfg).value();
+  std::vector<double> out;
+  EXPECT_FALSE(mlp.PredictBatch({{0.1, 0.2}, {0.3}}, &out).ok());
+  EXPECT_TRUE(mlp.PredictBatch({}, &out).ok());  // empty batch is a no-op
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(MlpTest, SaturatesOutOfRange) {

@@ -62,6 +62,22 @@ core::LogicalOpModel MakeAggModel(remote::HiveEngine* hive) {
       .value();
 }
 
+core::LogicalOpModel MakeJoinModel(remote::HiveEngine* hive) {
+  rel::JoinWorkloadOptions wopts;
+  wopts.left_record_counts = {1000000, 4000000};
+  wopts.right_record_counts = {400000};
+  wopts.record_sizes = {100, 250};
+  wopts.output_selectivities = {1.0, 0.5};
+  wopts.projection_levels = {1};
+  auto queries = rel::GenerateJoinWorkload(wopts).value();
+  auto run = core::CollectJoinTraining(hive, queries).value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 800;
+  return core::LogicalOpModel::Train(rel::OperatorType::kJoin, run.data,
+                                     core::JoinDimensionNames(), opts)
+      .value();
+}
+
 rel::SqlOperator SampleJoin(int64_t left_rows = 4000000) {
   auto l = rel::SyntheticTableDef(left_rows, 250).value();
   auto r = rel::SyntheticTableDef(400000, 100).value();
@@ -131,6 +147,19 @@ TEST(CacheOptionsTest, FromPropertiesRejectsInvalidValues) {
   props.SetInt(serving::kCacheCapacityKey, 16);
   props.SetInt(serving::kCacheQuantizeBitsKey, 53);
   EXPECT_FALSE(serving::CacheOptions::FromProperties(props).ok());
+  props.SetInt(serving::kCacheQuantizeBitsKey, 0);
+  props.SetInt(serving::kCacheTouchSampleKey, 0);
+  EXPECT_FALSE(serving::CacheOptions::FromProperties(props).ok());
+}
+
+TEST(CacheOptionsTest, FromPropertiesReadsTouchSample) {
+  Properties empty;
+  EXPECT_EQ(serving::CacheOptions::FromProperties(empty).value().touch_sample,
+            64);
+  Properties props;
+  props.SetInt(serving::kCacheTouchSampleKey, 16);
+  EXPECT_EQ(serving::CacheOptions::FromProperties(props).value().touch_sample,
+            16);
 }
 
 TEST(ServiceOptionsTest, FromPropertiesReadsJobsAndCacheKeys) {
@@ -140,10 +169,28 @@ TEST(ServiceOptionsTest, FromPropertiesReadsJobsAndCacheKeys) {
   auto opts = serving::ServiceOptions::FromProperties(props).value();
   EXPECT_EQ(opts.jobs, 3);
   EXPECT_EQ(opts.cache.capacity, 64);
+  EXPECT_EQ(opts.batch_min_group_size, 2);  // defaults
+  EXPECT_EQ(opts.batch_chunk_rows, 256);
 
   Properties bad;
   bad.SetInt(serving::kServingJobsKey, -2);
   EXPECT_FALSE(serving::ServiceOptions::FromProperties(bad).ok());
+}
+
+TEST(ServiceOptionsTest, FromPropertiesReadsBatchKeys) {
+  Properties props;
+  props.SetInt(serving::kServingBatchMinGroupSizeKey, 4);
+  props.SetInt(serving::kServingBatchChunkRowsKey, 64);
+  auto opts = serving::ServiceOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.batch_min_group_size, 4);
+  EXPECT_EQ(opts.batch_chunk_rows, 64);
+
+  Properties bad;
+  bad.SetInt(serving::kServingBatchMinGroupSizeKey, 0);
+  EXPECT_FALSE(serving::ServiceOptions::FromProperties(bad).ok());
+  Properties bad2;
+  bad2.SetInt(serving::kServingBatchChunkRowsKey, 0);
+  EXPECT_FALSE(serving::ServiceOptions::FromProperties(bad2).ok());
 }
 
 // --- Canonical key ---------------------------------------------------------
@@ -293,6 +340,139 @@ TEST(EstimateCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_FALSE(cache.Get("k", 0, 0.0).has_value());
 }
 
+TEST(EstimateCacheTest, CapacitySmallerThanShardsClampsToOnePerShard) {
+  // A shards > capacity misconfiguration must degrade (each shard keeps at
+  // least one entry), never disable caching or crash the seqlock mirror.
+  serving::CacheOptions opts;
+  opts.shards = 8;
+  opts.capacity = 3;
+  serving::EstimateCache cache(opts);
+  for (int i = 0; i < 64; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    cache.Put(key, 0, 0.0, EstimateWithSeconds(static_cast<double>(i)));
+    auto got = cache.Get(key, 0, 0.0);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(got->seconds, static_cast<double>(i));
+  }
+  // One-entry shards: the population can never exceed the shard count.
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GE(cache.size(), 1u);
+}
+
+TEST(EstimateCacheTest, WarmHitsAreLockFree) {
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  serving::EstimateCache cache(opts);
+  // A cold miss on an empty shard resolves locklessly too: the probe sees
+  // an empty slot and no unslotted entries exist.
+  EXPECT_FALSE(cache.Get("k", 0, 0.0).has_value());
+  cache.Put("k", 0, 0.0, EstimateWithSeconds(7.0));
+  for (int i = 0; i < 8; ++i) {
+    auto got = cache.Get("k", 0, 0.0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->seconds, 7.0);
+  }
+  serving::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lockless_misses, 1);
+  EXPECT_EQ(stats.lockless_hits, 8);
+  EXPECT_EQ(stats.locked_gets, 0);
+  EXPECT_EQ(stats.hits, 8);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(EstimateCacheTest, UnpackableEntryFallsBackToLockedPath) {
+  // Sub-op results carrying candidate/elimination diagnostics do not fit
+  // the fixed-width seqlock mirror; they must still be served (through the
+  // locked map) with every field intact.
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  serving::EstimateCache cache(opts);
+  core::HybridEstimate est = EstimateWithSeconds(3.5);
+  est.candidates.push_back({"SortMergeJoin", 3.5});
+  est.candidates.push_back({"BroadcastJoin", 9.0});
+  est.eliminated.push_back({"HashJoin", "memory budget exceeded"});
+  est.eliminated_count = 1;
+  cache.Put("big", 0, 0.0, est);
+  auto got = cache.Get("big", 0, 0.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seconds, 3.5);
+  ASSERT_EQ(got->candidates.size(), 2u);
+  EXPECT_EQ(got->candidates[1].algorithm, "BroadcastJoin");
+  ASSERT_EQ(got->eliminated.size(), 1u);
+  EXPECT_EQ(got->eliminated[0].reason, "memory budget exceeded");
+  serving::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.locked_gets, 1);
+  EXPECT_EQ(stats.lockless_hits, 0);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(EstimateCacheTest, OverlongKeyFallsBackToLockedPath) {
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  serving::EstimateCache cache(opts);
+  // Longer than the mirror's 104-byte inline key buffer.
+  const std::string key(200, 'k');
+  cache.Put(key, 0, 0.0, EstimateWithSeconds(2.0));
+  auto got = cache.Get(key, 0, 0.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seconds, 2.0);
+  EXPECT_EQ(cache.Stats().locked_gets, 1);
+  EXPECT_EQ(cache.Stats().lockless_hits, 0);
+}
+
+TEST(EstimateCacheTest, SeqlockReaderWriterHammer) {
+  // Readers race writers on a handful of keys that all alias into a small
+  // slot array, forcing version retries, slot steals, and republishes. The
+  // self-consistency check (seconds mirrored into nn_seconds) would catch
+  // a torn read; tsan (scripts/check.sh step 3) is the memory-model
+  // oracle.
+  serving::CacheOptions opts;
+  opts.shards = 1;
+  opts.capacity = 8;
+  serving::EstimateCache cache(opts);
+  constexpr int kKeys = 6;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kIters = 400;
+  const auto key_of = [](int k) { return "hammer-" + std::to_string(k); };
+  for (int k = 0; k < kKeys; ++k) {
+    core::HybridEstimate est = EstimateWithSeconds(static_cast<double>(k));
+    est.nn_seconds = est.seconds;
+    cache.Put(key_of(k), 0, 0.0, est);
+  }
+  ThreadPool pool(kWriters + kReaders);
+  std::vector<Status> outcomes = RunIndexed(
+      &pool, kWriters + kReaders, [&](size_t task) -> Status {
+        if (task < kWriters) {
+          for (int i = 0; i < kIters; ++i) {
+            const int k = (i + static_cast<int>(task)) % kKeys;
+            core::HybridEstimate est =
+                EstimateWithSeconds(static_cast<double>(k + kKeys * i));
+            est.nn_seconds = est.seconds;
+            cache.Put(key_of(k), 0, 0.0, est);
+          }
+          return Status::OK();
+        }
+        for (int i = 0; i < kIters; ++i) {
+          const int k = i % kKeys;
+          auto got = cache.Get(key_of(k), 0, 0.0);
+          if (!got.has_value()) continue;  // evicted mid-race: fine
+          if (got->seconds != got->nn_seconds) {
+            return Status::Internal("torn read: seconds != nn_seconds");
+          }
+          // Writers only ever publish values congruent to the key index.
+          const int64_t v = static_cast<int64_t>(got->seconds);
+          if (v % kKeys != k) {
+            return Status::Internal("read a value written for another key");
+          }
+        }
+        return Status::OK();
+      });
+  for (const Status& s : outcomes) EXPECT_TRUE(s.ok()) << s.ToString();
+  serving::CacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits + stats.misses, 0);
+}
+
 // --- EstimationService -----------------------------------------------------
 
 class EstimationServiceTest : public ::testing::Test {
@@ -382,10 +562,11 @@ TEST_F(EstimationServiceTest, BatchDeduplicatesIdenticalKeys) {
     ExpectBitIdentical(results[0].value(), results[i].value());
   }
 
-  // 10 requests, 3 distinct keys: the estimator ran exactly 3 times.
+  // 10 requests, 3 distinct keys: the estimator ran exactly 3 times, and
+  // the cache was probed once per distinct key (duplicates never probe).
   MetricsSnapshot snap = registry.Snapshot();
   EXPECT_DOUBLE_EQ(snap.Find("estimate.approach.sub_op")->value, 3.0);
-  EXPECT_DOUBLE_EQ(snap.Find("serving.cache.misses")->value, 10.0);
+  EXPECT_DOUBLE_EQ(snap.Find("serving.cache.misses")->value, 3.0);
 
   // The serving.batch span reports the dedup arithmetic.
   bool saw_batch = false;
@@ -593,6 +774,107 @@ TEST(ServingFederationTest, AttachRejectsForeignEstimator) {
 
 // --- Concurrency hammer (tsan target) --------------------------------------
 
+// --- Batched GEMM inference (DESIGN.md §14) --------------------------------
+
+TEST(ServingBatchedInferenceTest, MixedModelBatchBitIdenticalToScalar) {
+  // A cold batch mixing join and agg requests (with duplicates) exercises
+  // the full batched pipeline: probe-once dedup, per-(system, model)
+  // grouping, one fused GEMM forward pass per group, and request-order
+  // fan-out. Every answer must be bit-identical to the scalar path.
+  auto hive = remote::HiveEngine::CreateDefault("hive", 353);
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kJoin, MakeJoinModel(hive.get()));
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::LogicalOpOnly(
+                                              std::move(models)))
+                  .ok());
+
+  serving::ServiceOptions opts;
+  opts.jobs = 1;
+  opts.batch_min_group_size = 2;
+  serving::EstimationService service(&estimator, opts);
+
+  std::vector<serving::EstimateRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    serving::EstimateRequest join;
+    join.system = "hive";
+    join.op = SampleJoin(1000000 + i * 500000);
+    serving::EstimateRequest agg;
+    agg.system = "hive";
+    agg.op = SampleAgg(200000 + i * 100000);
+    // Interleave and duplicate so model groups are discontiguous in
+    // request order and the dedup path carries real traffic.
+    requests.push_back(join);
+    requests.push_back(agg);
+    requests.push_back(join);
+  }
+
+  auto batched = service.EstimateBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+    auto scalar =
+        estimator.Estimate(requests[i].system, requests[i].op).value();
+    EXPECT_EQ(batched[i].value().approach_used,
+              core::CostingApproach::kLogicalOp);
+    ExpectBitIdentical(batched[i].value(), scalar);
+  }
+  // 12 distinct keys probed once each; the 6 duplicate joins rode their
+  // groups without a probe.
+  serving::CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 12);
+  EXPECT_EQ(stats.hits, 0);
+
+  // A warm repeat of the same batch answers entirely from the cache and
+  // stays bit-identical.
+  auto warm = service.EstimateBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(warm[i].ok());
+    ExpectBitIdentical(warm[i].value(), batched[i].value());
+  }
+  EXPECT_EQ(service.cache_stats().hits, 12);
+}
+
+TEST(ServingBatchedInferenceTest, MinGroupSizeKeepsSmallGroupsScalar) {
+  // With the threshold above the group sizes, everything runs scalar —
+  // and the answers must not change (bit-identity is path-independent).
+  auto hive = remote::HiveEngine::CreateDefault("hive", 354);
+  core::CostEstimator estimator;
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
+  ASSERT_TRUE(estimator
+                  .RegisterSystem("hive", core::CostingProfile::LogicalOpOnly(
+                                              std::move(models)))
+                  .ok());
+  std::vector<serving::EstimateRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    serving::EstimateRequest req;
+    req.system = "hive";
+    req.op = SampleAgg(200000 + i * 100000);
+    requests.push_back(req);
+  }
+
+  serving::ServiceOptions batched_opts;
+  batched_opts.jobs = 1;
+  batched_opts.batch_min_group_size = 2;
+  serving::EstimationService batched_svc(&estimator, batched_opts);
+  serving::ServiceOptions scalar_opts;
+  scalar_opts.jobs = 1;
+  scalar_opts.batch_min_group_size = 100;  // never batch
+  serving::EstimationService scalar_svc(&estimator, scalar_opts);
+
+  auto batched = batched_svc.EstimateBatch(requests);
+  auto scalar = scalar_svc.EstimateBatch(requests);
+  ASSERT_EQ(batched.size(), scalar.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok());
+    ASSERT_TRUE(scalar[i].ok());
+    ExpectBitIdentical(batched[i].value(), scalar[i].value());
+  }
+}
+
 TEST_F(EstimationServiceTest, ConcurrentHammerOnSharedService) {
   // Shared service hammered from pool workers: single estimates, batches
   // with duplicates, and stats reads, all racing on the same shards. Run
@@ -630,9 +912,11 @@ TEST_F(EstimationServiceTest, ConcurrentHammerOnSharedService) {
   for (const Status& s : outcomes) EXPECT_TRUE(s.ok()) << s.ToString();
 
   serving::CacheStats stats = service.cache_stats();
-  // Every request resolved as a hit or a miss; nothing was lost.
+  // Every probe resolved as a hit or a miss; nothing was lost. Each
+  // iteration probes 3 distinct keys: one single call plus a 3-request
+  // batch that dedups {req, req} into one probe.
   EXPECT_EQ(stats.hits + stats.misses,
-            static_cast<int64_t>(kTasks * kIters * 4));
+            static_cast<int64_t>(kTasks * kIters * 3));
   EXPECT_GT(stats.hits, 0);
 }
 
