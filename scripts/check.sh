@@ -79,9 +79,10 @@ scripts/check_static_analysis.sh -j "$JOBS"
 
 echo "== [5/7] EXPLAIN examples + JSON schema validation =="
 # The examples run under asan+ubsan (built in step 1's tree) and must
-# produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json.
+# produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json /
+# EXPLAIN_query_plan.json.
 cmake --build --preset asan-ubsan --target explain_placement \
-  explain_serving -j "$JOBS"
+  explain_serving explain_query_plan -j "$JOBS"
 (cd build-asan-ubsan &&
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_placement)
@@ -90,6 +91,10 @@ python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_placement.json
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_serving)
 python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_serving.json
+(cd build-asan-ubsan &&
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./examples/explain_query_plan)
+python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_query_plan.json
 
 echo "== [6/7] doc-drift gate =="
 # Every Properties key / CMake option the docs mention must still exist in
@@ -97,13 +102,16 @@ echo "== [6/7] doc-drift gate =="
 # documented in docs/CONFIG.md.
 python3 scripts/check_docs.py
 
-echo "== [7/7] serving-throughput bench + regression check =="
-# A real (unsanitized) build: the bench enforces its own speedup floors at
-# runtime and aborts on violation; the checker re-verifies the artifact's
+echo "== [7/7] serving-throughput + plan-search benches + regression check =="
+# A real (unsanitized) build: each bench enforces its own floors at
+# runtime and aborts on violation; the checker re-verifies the artifacts'
 # hard floors and warns about drift against bench/baselines/.
 cmake --preset default
-cmake --build --preset default --target bench_serving_throughput -j "$JOBS"
+cmake --build --preset default --target bench_serving_throughput \
+  bench_plan_search -j "$JOBS"
 (cd build && ./bench/bench_serving_throughput)
 python3 scripts/check_bench_regression.py build/BENCH_serving_throughput.json
+(cd build && ./bench/bench_plan_search)
+python3 scripts/check_bench_regression.py build/BENCH_plan_search.json
 
 echo "check.sh: all gates passed"

@@ -5,8 +5,9 @@ Used by scripts/check.sh after running the EXPLAIN examples: the JSON
 renderings must stay machine-readable, so this checks structure and types,
 not specific cost numbers. The artifact kind is detected from the top-level
 keys — a "serving" object is an EstimationService::ExplainJson() document
-(examples/explain_serving), anything else is a placement plan
-(examples/explain_placement).
+(examples/explain_serving), a "query_plan" object is an
+ExplainQueryPlan() document (examples/explain_query_plan), anything else
+is a placement plan (examples/explain_placement).
 
 Usage: check_explain_json.py <path-to-EXPLAIN_*.json>
 """
@@ -91,6 +92,115 @@ def check_serving(doc):
           f"{cache['entries']} entries, hit_rate {cache['hit_rate']})")
 
 
+QUERY_NODE_FIELDS = {
+    "kind": str,
+    "system": str,
+    "label": str,
+    "relation_mask": int,
+    "output_rows": int,
+    "output_row_bytes": int,
+    "transfer_seconds": (int, float),
+    "operator_seconds": (int, float),
+    "subtree_seconds": (int, float),
+    "approach": str,
+    "algorithm": str,
+    "used_remedy": bool,
+    "fell_back_reason": str,
+    "children": list,
+}
+
+QUERY_NODE_KINDS = {"table", "scan", "join", "aggregate"}
+
+QUERY_CANDIDATE_FIELDS = {
+    "rank": int,
+    "system": str,
+    "result_transfer_seconds": (int, float),
+    "total_seconds": (int, float),
+}
+
+QUERY_PRUNED_FIELDS = {
+    "kind": str,
+    "stage": str,
+    "relation_mask": int,
+    "system": str,
+    "via_system": str,
+    "subtree_seconds": (int, float),
+    "reason": str,
+    "description": str,
+}
+
+QUERY_PRUNED_KINDS = {"eliminated", "dominated", "pruned"}
+
+
+def check_query_node(node, where):
+    if not isinstance(node, dict):
+        fail(f"{where}: must be an object")
+    for field, expected in QUERY_NODE_FIELDS.items():
+        check_type(node, field, expected, where)
+    if node["kind"] not in QUERY_NODE_KINDS:
+        fail(f"{where}: unknown node kind '{node['kind']}'")
+    if node["relation_mask"] <= 0:
+        fail(f"{where}: relation_mask must cover at least one relation")
+    for i, child in enumerate(node["children"]):
+        check_query_node(child, f"{where}.children[{i}]")
+
+
+def check_query_plan(doc):
+    plan = doc["query_plan"]
+    if not isinstance(plan, dict):
+        fail("query_plan: must be an object")
+    check_type(plan, "candidates_costed", int, "query_plan")
+    check_type(plan, "dp_entries", int, "query_plan")
+    check_type(plan, "candidates", list, "query_plan")
+    check_type(plan, "pruned", list, "query_plan")
+    for field in ("candidates_costed", "dp_entries"):
+        if plan[field] < 0:
+            fail(f"query_plan.{field} must be >= 0")
+    if "best_total_seconds" not in plan or "tree" not in plan:
+        fail("query_plan: missing best_total_seconds or tree")
+    if (plan["best_total_seconds"] is None) != (plan["tree"] is None):
+        fail("query_plan: best_total_seconds and tree must be both "
+             "null or both present")
+    if plan["tree"] is None:
+        if plan["candidates"]:
+            fail("query_plan: candidates present but tree is null")
+    else:
+        check_query_node(plan["tree"], "query_plan.tree")
+        if not plan["candidates"]:
+            fail("query_plan: tree present but candidates empty")
+
+    totals = []
+    for i, cand in enumerate(plan["candidates"]):
+        where = f"query_plan.candidates[{i}]"
+        if not isinstance(cand, dict):
+            fail(f"{where}: must be an object")
+        for field, expected in QUERY_CANDIDATE_FIELDS.items():
+            check_type(cand, field, expected, where)
+        if cand["rank"] != i + 1:
+            fail(f"{where}: rank {cand['rank']} != {i + 1}")
+        totals.append(cand["total_seconds"])
+    if totals != sorted(totals):
+        fail("query_plan.candidates are not sorted cheapest-first")
+    if totals and abs(plan["best_total_seconds"] - totals[0]) > 1e-9:
+        fail("query_plan.best_total_seconds != candidates[0].total_seconds")
+
+    for i, pruned in enumerate(plan["pruned"]):
+        where = f"query_plan.pruned[{i}]"
+        if not isinstance(pruned, dict):
+            fail(f"{where}: must be an object")
+        for field, expected in QUERY_PRUNED_FIELDS.items():
+            check_type(pruned, field, expected, where)
+        if pruned["kind"] not in QUERY_PRUNED_KINDS:
+            fail(f"{where}: unknown pruned kind '{pruned['kind']}'")
+        if pruned["stage"] not in QUERY_NODE_KINDS:
+            fail(f"{where}: unknown pruned stage '{pruned['stage']}'")
+
+    print(f"check_explain_json: OK (query_plan: "
+          f"{len(plan['candidates'])} candidates, "
+          f"{len(plan['pruned'])} pruned, "
+          f"costed {plan['candidates_costed']})")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_explain_json.py <file>")
@@ -104,6 +214,9 @@ def main():
         fail("top level must be an object")
     if "serving" in doc:
         check_serving(doc)
+        return
+    if "query_plan" in doc:
+        check_query_plan(doc)
         return
     check_type(doc, "operator", str, "top level")
     check_type(doc, "options", list, "top level")

@@ -99,13 +99,14 @@ struct EstimateContext {
     return child;
   }
 
-  /// The legacy `double now` call shape, for the deprecated overloads.
-  /// Guarantee: `metrics` stays nullptr, which `Registry()` resolves to
-  /// MetricsRegistry::Global() — so the deprecated wrappers still record
-  /// the ambient `estimate.approach.*` / `plan.*` counters (pinned by
-  /// DeprecatedOverload* regression tests). `metrics` is deliberately NOT
-  /// set to &Global() explicitly: that would flip `timing()` on and add
-  /// clock reads + a latency histogram to every legacy call.
+  /// A context carrying only the deployment clock — the minimal upgrade
+  /// for callers that used to pass a bare `double now` (the deprecated
+  /// overloads themselves are gone). Guarantee: `metrics` stays nullptr,
+  /// which `Registry()` resolves to MetricsRegistry::Global() — clock-only
+  /// callers still record the ambient `estimate.approach.*` / `plan.*`
+  /// counters. `metrics` is deliberately NOT set to &Global() explicitly:
+  /// that would flip `timing()` on and add clock reads + a latency
+  /// histogram to every clock-only call.
   static EstimateContext AtTime(double now) {
     EstimateContext ctx;
     ctx.now = now;

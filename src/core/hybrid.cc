@@ -407,11 +407,6 @@ Result<HybridEstimate> CostingProfile::EstimateImpl(
   return est;
 }
 
-Result<HybridEstimate> CostingProfile::Estimate(const rel::SqlOperator& op,
-                                                double now) const {
-  return Estimate(op, EstimateContext::AtTime(now));
-}
-
 Status CostingProfile::LogActual(const rel::SqlOperator& op,
                                  double actual_seconds) {
   auto it = logical_.find(op.type);
@@ -542,12 +537,6 @@ Result<HybridEstimate> CostEstimator::Estimate(
     return p->Estimate(op, degraded);
   }
   return p->Estimate(op, ctx);
-}
-
-Result<HybridEstimate> CostEstimator::Estimate(const std::string& system_name,
-                                               const rel::SqlOperator& op,
-                                               double now) const {
-  return Estimate(system_name, op, EstimateContext::AtTime(now));
 }
 
 Status CostEstimator::EstimateBatch(

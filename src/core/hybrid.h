@@ -116,11 +116,6 @@ class CostingProfile {
   [[nodiscard]] Result<HybridEstimate> Estimate(
       const rel::SqlOperator& op, const EstimateContext& ctx = {}) const;
 
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<HybridEstimate> Estimate(const rel::SqlOperator& op,
-                                                double now) const;
-
   /// Whether Estimate under `ctx` would serve this operator type from a
   /// trained logical-op model — the batchable path. Breaker-open contexts
   /// return false (the degradation ladder decides per call), as do types
@@ -226,12 +221,6 @@ class CostEstimator {
   [[nodiscard]] Result<HybridEstimate> Estimate(
       const std::string& system_name, const rel::SqlOperator& op,
       const EstimateContext& ctx = {}) const;
-
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<HybridEstimate> Estimate(const std::string& system_name,
-                                                const rel::SqlOperator& op,
-                                                double now) const;
 
   /// Batched Estimate against one system: resolves the profile once and
   /// applies the same per-call health consult as Estimate, then lowers the

@@ -105,7 +105,194 @@ std::string EliminatedJson(const std::vector<EliminatedPlacement>& eliminated,
   return j;
 }
 
+const char* NodeKindName(QueryPlanNode::Kind kind) {
+  switch (kind) {
+    case QueryPlanNode::Kind::kTable: return "table";
+    case QueryPlanNode::Kind::kScan: return "scan";
+    case QueryPlanNode::Kind::kJoin: return "join";
+    case QueryPlanNode::Kind::kAggregate: return "aggregate";
+  }
+  return "unknown";
+}
+
+const char* PrunedKindName(PrunedSubplan::Kind kind) {
+  switch (kind) {
+    case PrunedSubplan::Kind::kEliminated: return "eliminated";
+    case PrunedSubplan::Kind::kDominated: return "dominated";
+    case PrunedSubplan::Kind::kPruned: return "pruned";
+  }
+  return "unknown";
+}
+
+/// "relations 0,2,3" — readable form of a relation-subset bitmask.
+std::string MaskText(uint64_t mask) {
+  std::string text = "relations ";
+  bool first = true;
+  for (int i = 0; i < 64; ++i) {
+    if ((mask >> i) & 1u) {
+      if (!first) text += ",";
+      text += std::to_string(i);
+      first = false;
+    }
+  }
+  if (first) text += "none";
+  return text;
+}
+
+std::string QueryNodeHeadline(const QueryPlanNode& n) {
+  std::string line = std::string(NodeKindName(n.kind));
+  if (!n.label.empty()) line += " " + n.label;
+  line += "@" + n.system;
+  if (n.kind == QueryPlanNode::Kind::kTable) {
+    return line + ": rows=" + std::to_string(n.output_rows) +
+           " row_bytes=" + std::to_string(n.output_row_bytes);
+  }
+  line += " (" + MaskText(n.relation_mask) + "): subtree=" +
+          Sec(n.subtree_seconds) + "s (transfer=" + Sec(n.transfer_seconds) +
+          "s operator=" + Sec(n.operator_seconds) +
+          "s) rows=" + std::to_string(n.output_rows) +
+          " approach=" + n.approach;
+  if (!n.algorithm.empty()) line += " algorithm=" + n.algorithm;
+  if (n.used_remedy) line += " remedy_alpha=" + Sec(n.remedy_alpha);
+  if (!n.fell_back_reason.empty()) line += " degraded=" + n.fell_back_reason;
+  return line;
+}
+
+/// Recursively renders the subtree rooted at `idx` under `prefix`.
+void RenderQueryNode(std::string* out, const QueryPlan& plan, int idx,
+                     const std::string& prefix, bool last) {
+  const QueryPlanNode& n = plan.nodes[static_cast<size_t>(idx)];
+  TreeLine(out, prefix, last, QueryNodeHeadline(n));
+  const std::string child_prefix = prefix + (last ? "   " : "|  ");
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    RenderQueryNode(out, plan, n.children[i], child_prefix,
+                    i + 1 == n.children.size());
+  }
+}
+
+std::string QueryNodeJson(const QueryPlan& plan, int idx,
+                          const std::string& indent) {
+  const QueryPlanNode& n = plan.nodes[static_cast<size_t>(idx)];
+  std::string j = "{\n";
+  j += indent + "  \"kind\": \"" + NodeKindName(n.kind) + "\",\n";
+  j += indent + "  \"system\": \"" + JsonEscape(n.system) + "\",\n";
+  j += indent + "  \"label\": \"" + JsonEscape(n.label) + "\",\n";
+  j += indent +
+       "  \"relation_mask\": " + std::to_string(n.relation_mask) + ",\n";
+  j += indent + "  \"output_rows\": " + std::to_string(n.output_rows) + ",\n";
+  j += indent +
+       "  \"output_row_bytes\": " + std::to_string(n.output_row_bytes) +
+       ",\n";
+  j += indent + "  \"transfer_seconds\": " + Sec(n.transfer_seconds) + ",\n";
+  j += indent + "  \"operator_seconds\": " + Sec(n.operator_seconds) + ",\n";
+  j += indent + "  \"subtree_seconds\": " + Sec(n.subtree_seconds) + ",\n";
+  j += indent + "  \"approach\": \"" + JsonEscape(n.approach) + "\",\n";
+  j += indent + "  \"algorithm\": \"" + JsonEscape(n.algorithm) + "\",\n";
+  j += indent + "  \"used_remedy\": " + (n.used_remedy ? "true" : "false") +
+       ",\n";
+  j += indent + "  \"fell_back_reason\": \"" +
+       JsonEscape(n.fell_back_reason) + "\",\n";
+  j += indent + "  \"children\": [";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (i > 0) j += ",";
+    j += "\n" + indent + "    " + QueryNodeJson(plan, n.children[i],
+                                                indent + "    ");
+  }
+  if (!n.children.empty()) j += "\n" + indent + "  ";
+  j += "]\n";
+  j += indent + "}";
+  return j;
+}
+
 }  // namespace
+
+PlacementExplanation ExplainQueryPlan(const QueryPlan& plan) {
+  PlacementExplanation ex;
+
+  // --- Tree.
+  ex.tree = "query plan: " + std::to_string(plan.candidates.size()) +
+            " candidates, " + std::to_string(plan.pruned.size()) +
+            " subplans dropped (costed=" +
+            std::to_string(plan.candidates_costed) +
+            " dp_entries=" + std::to_string(plan.dp_entries) + ")\n";
+  // The chosen candidate's full tree, then the alternatives' headlines,
+  // then everything the search dropped.
+  const size_t alt_count =
+      plan.candidates.size() > 1 ? plan.candidates.size() - 1 : 0;
+  const size_t total =
+      (plan.candidates.empty() ? 0 : 1) + alt_count + plan.pruned.size();
+  size_t line_idx = 0;
+  if (!plan.candidates.empty()) {
+    const QueryPlanCandidate& best = plan.candidates.front();
+    bool last = ++line_idx == total;
+    TreeLine(&ex.tree, "", last,
+             "chosen: total=" + Sec(best.total_seconds) +
+                 "s (result transfer=" + Sec(best.result_transfer_seconds) +
+                 "s)");
+    RenderQueryNode(&ex.tree, plan, best.root, last ? "   " : "|  ", true);
+    for (size_t i = 1; i < plan.candidates.size(); ++i) {
+      const QueryPlanCandidate& c = plan.candidates[i];
+      const QueryPlanNode& root = plan.nodes[static_cast<size_t>(c.root)];
+      TreeLine(&ex.tree, "", ++line_idx == total,
+               "candidate " + std::to_string(i + 1) + ": root@" + root.system +
+                   " total=" + Sec(c.total_seconds) + "s");
+    }
+  }
+  for (const auto& p : plan.pruned) {
+    std::string line = std::string(PrunedKindName(p.kind)) + " " +
+                       (p.description.empty() ? MaskText(p.relation_mask)
+                                              : p.description);
+    if (!p.reason.empty()) line += ": " + p.reason;
+    TreeLine(&ex.tree, "", ++line_idx == total, line);
+  }
+
+  // --- JSON.
+  ex.json = "{\n  \"query_plan\": {\n";
+  ex.json += "    \"candidates_costed\": " +
+             std::to_string(plan.candidates_costed) + ",\n";
+  ex.json += "    \"dp_entries\": " + std::to_string(plan.dp_entries) + ",\n";
+  if (!plan.candidates.empty()) {
+    ex.json += "    \"best_total_seconds\": " +
+               Sec(plan.candidates.front().total_seconds) + ",\n";
+    ex.json += "    \"tree\": " +
+               QueryNodeJson(plan, plan.candidates.front().root, "    ") +
+               ",\n";
+  } else {
+    ex.json += "    \"best_total_seconds\": null,\n";
+    ex.json += "    \"tree\": null,\n";
+  }
+  ex.json += "    \"candidates\": [";
+  for (size_t i = 0; i < plan.candidates.size(); ++i) {
+    const QueryPlanCandidate& c = plan.candidates[i];
+    const QueryPlanNode& root = plan.nodes[static_cast<size_t>(c.root)];
+    if (i > 0) ex.json += ",";
+    ex.json += "\n      {\"rank\": " + std::to_string(i + 1) +
+               ", \"system\": \"" + JsonEscape(root.system) +
+               "\", \"result_transfer_seconds\": " +
+               Sec(c.result_transfer_seconds) +
+               ", \"total_seconds\": " + Sec(c.total_seconds) + "}";
+  }
+  if (!plan.candidates.empty()) ex.json += "\n    ";
+  ex.json += "],\n";
+  ex.json += "    \"pruned\": [";
+  for (size_t i = 0; i < plan.pruned.size(); ++i) {
+    const PrunedSubplan& p = plan.pruned[i];
+    if (i > 0) ex.json += ",";
+    ex.json += "\n      {\"kind\": \"" + std::string(PrunedKindName(p.kind)) +
+               "\", \"stage\": \"" + NodeKindName(p.stage) +
+               "\", \"relation_mask\": " + std::to_string(p.relation_mask) +
+               ", \"system\": \"" + JsonEscape(p.system) +
+               "\", \"via_system\": \"" + JsonEscape(p.via_system) +
+               "\", \"subtree_seconds\": " + Sec(p.subtree_seconds) +
+               ", \"reason\": \"" + JsonEscape(p.reason) +
+               "\", \"description\": \"" + JsonEscape(p.description) + "\"}";
+  }
+  if (!plan.pruned.empty()) ex.json += "\n    ";
+  ex.json += "]\n";
+  ex.json += "  }\n";
+  ex.json += "}\n";
+  return ex;
+}
 
 PlacementExplanation ExplainPlacement(const PlacementPlan& plan) {
   PlacementExplanation ex;

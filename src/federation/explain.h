@@ -32,6 +32,15 @@ PlacementExplanation ExplainPlacement(const PlacementPlan& plan);
 /// Explains a two-operator pipeline plan (PlanJoinThenAgg result).
 PlacementExplanation ExplainPipeline(const PipelinePlan& plan);
 
+/// Explains a DP search result (PlanQuery / SearchPlan): the chosen plan
+/// tree rendered node by node (placement, transfer vs. operator seconds,
+/// approach/algorithm provenance per node), every completed alternative's
+/// headline, and the subplans the search dropped — eliminated hosts,
+/// dominated DP entries, prune_factor victims — with their reasons. The
+/// JSON form is one top-level `query_plan` object (schema checked by
+/// scripts/check_explain_json.py).
+PlacementExplanation ExplainQueryPlan(const QueryPlan& plan);
+
 }  // namespace intellisphere::fed
 
 #endif  // INTELLISPHERE_FEDERATION_EXPLAIN_H_

@@ -1,70 +1,54 @@
 #include "federation/intellisphere.h"
 
-#include <algorithm>
+#include <map>
 #include <set>
+#include <utility>
 
 namespace intellisphere::fed {
 
 namespace {
 
-constexpr int64_t kKeyBytes = 4;       // a1 width
-constexpr int64_t kAggregateBytes = 8;  // one SUM() output
-
-/// A host that cannot run the operator (Unsupported engine / no applicable
-/// algorithm) is simply not a candidate; any other error aborts planning.
-bool IsEliminationCode(StatusCode code) {
-  return code == StatusCode::kUnsupported ||
-         code == StatusCode::kFailedPrecondition;
+/// Maps a costed root/subtree node back to the legacy PlacementOption
+/// shape (field-for-field; the wrappers' bit-parity contract).
+PlacementOption OptionFromNode(const QueryPlanNode& node) {
+  PlacementOption option;
+  option.system = node.system;
+  option.transfer_seconds = node.transfer_seconds;
+  option.operator_seconds = node.operator_seconds;
+  option.approach = node.approach;
+  option.algorithm = node.algorithm;
+  option.algorithm_candidates = node.algorithm_candidates;
+  option.eliminated_algorithms = node.eliminated_algorithms;
+  option.used_remedy = node.used_remedy;
+  option.remedy_alpha = node.remedy_alpha;
+  option.fell_back_reason = node.fell_back_reason;
+  return option;
 }
 
-/// Planners always collect full provenance — the plan they return is the
-/// EXPLAIN source of truth — whatever detail the caller's context asks for.
-core::EstimateContext ProvenanceContext(const core::EstimateContext& ctx) {
-  core::EstimateContext out = ctx;
-  out.detail = core::EstimateDetail::kProvenance;
-  return out;
-}
-
-/// The approach string a placement reports: the master engine's analytic
-/// model is "local"; remote hosts report their profile's approach.
-std::string ApproachLabel(const std::string& host,
-                          const core::HybridEstimate& est) {
-  return host == kTeradataSystemName
-             ? "local"
-             : core::CostingApproachName(est.approach_used);
-}
-
-/// Copies an estimate's costing provenance into a placement option.
-void FillOptionProvenance(const std::string& host,
-                          const core::HybridEstimate& est,
-                          PlacementOption* option) {
-  option->operator_seconds = est.seconds;
-  option->approach = ApproachLabel(host, est);
-  option->algorithm = est.algorithm;
-  option->algorithm_candidates = est.candidates;
-  option->eliminated_algorithms = est.eliminated;
-  option->used_remedy = est.used_remedy;
-  option->remedy_alpha = est.remedy_alpha;
-  option->fell_back_reason = est.fell_back_reason;
-}
-
-/// Closes out a candidate span with the option's final numbers.
-void FinishCandidateSpan(TraceSpan* span, const PlacementOption& option) {
-  if (!span->enabled()) return;
-  span->SetString("system", option.system)
-      .SetString("approach", option.approach)
-      .SetDouble("transfer_seconds", option.transfer_seconds)
-      .SetDouble("operator_seconds", option.operator_seconds)
-      .SetDouble("total_seconds", option.total_seconds());
-  if (!option.algorithm.empty()) {
-    span->SetString("algorithm", option.algorithm);
+/// Maps a single-operator QueryPlan back to the legacy PlacementPlan:
+/// candidates (already cheapest-first) become options, eliminated hosts
+/// keep their search order, and the search's "no placement" error is
+/// rewritten to the planner's historical message.
+Result<PlacementPlan> SingleOperatorPlanFrom(Result<QueryPlan> plan,
+                                             const char* no_host_message) {
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kFailedPrecondition) {
+      return Status::FailedPrecondition(no_host_message);
+    }
+    return plan.status();
   }
-}
-
-/// Closes out a candidate span for an eliminated host.
-void FinishEliminatedSpan(TraceSpan* span, const EliminatedPlacement& e) {
-  if (!span->enabled()) return;
-  span->SetString("system", e.system).SetString("eliminated_reason", e.reason);
+  const QueryPlan& qp = plan.value();
+  PlacementPlan out;
+  out.op = qp.nodes[static_cast<size_t>(qp.candidates.front().root)].op;
+  for (const QueryPlanCandidate& c : qp.candidates) {
+    out.options.push_back(
+        OptionFromNode(qp.nodes[static_cast<size_t>(c.root)]));
+  }
+  for (const PrunedSubplan& p : qp.pruned) {
+    if (p.kind != PrunedSubplan::Kind::kEliminated) continue;
+    out.eliminated.push_back({p.system, p.reason});
+  }
+  return out;
 }
 
 }  // namespace
@@ -140,279 +124,167 @@ Status IntelliSphere::AttachEstimationService(
   return Status::OK();
 }
 
-Result<core::HybridEstimate> IntelliSphere::HostEstimate(
-    const std::string& system, const rel::SqlOperator& op,
+std::vector<Result<core::HybridEstimate>> IntelliSphere::CostBatch(
+    const std::vector<PlanCostRequest>& requests,
     const core::EstimateContext& ctx) const {
-  if (system == kTeradataSystemName) {
-    core::HybridEstimate est;
-    ISPHERE_ASSIGN_OR_RETURN(est.seconds, local_model_.EstimateSeconds(op));
-    return est;
+  std::vector<Result<core::HybridEstimate>> out(
+      requests.size(),
+      Result<core::HybridEstimate>(Status::Internal("request not costed")));
+  // Master-engine requests never leave the process: the analytic local
+  // model is evaluated inline (it is not cacheable state, and the serving
+  // layer deliberately wraps only remote profiles).
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].system != kTeradataSystemName) continue;
+    auto seconds = local_model_.EstimateSeconds(requests[i].op);
+    if (seconds.ok()) {
+      core::HybridEstimate est;
+      est.seconds = seconds.value();
+      out[i] = std::move(est);
+    } else {
+      out[i] = seconds.status();
+    }
   }
+
   if (serving_ != nullptr) {
-    serving::EstimateRequest request;
-    request.system = system;
-    request.op = op;
-    request.now = ctx.now;
-    request.policy_override = ctx.policy_override;
-    return serving_->Estimate(request, ctx);
+    std::vector<serving::EstimateRequest> remote;
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].system == kTeradataSystemName) continue;
+      serving::EstimateRequest request;
+      request.system = requests[i].system;
+      request.op = requests[i].op;
+      request.now = ctx.now;
+      request.policy_override = ctx.policy_override;
+      remote.push_back(std::move(request));
+      positions.push_back(i);
+    }
+    if (!remote.empty()) {
+      std::vector<Result<core::HybridEstimate>> results =
+          serving_->EstimateBatch(remote, ctx);
+      for (size_t j = 0; j < positions.size() && j < results.size(); ++j) {
+        out[positions[j]] = std::move(results[j]);
+      }
+    }
+    return out;
   }
-  return estimator_.Estimate(system, op, ctx);
+
+  // No serving layer: group per system and lower each group through
+  // CostEstimator::EstimateBatch (bit-identical to the scalar path).
+  std::map<std::string, std::vector<size_t>> by_system;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].system == kTeradataSystemName) continue;
+    by_system[requests[i].system].push_back(i);
+  }
+  for (const auto& [system, positions] : by_system) {
+    std::vector<const rel::SqlOperator*> ops;
+    std::vector<const core::EstimateContext*> ctxs;
+    ops.reserve(positions.size());
+    ctxs.reserve(positions.size());
+    for (size_t i : positions) {
+      ops.push_back(&requests[i].op);
+      ctxs.push_back(&ctx);
+    }
+    std::vector<Result<core::HybridEstimate>> results;
+    Status batch = estimator_.EstimateBatch(system, ops, ctxs, &results);
+    if (!batch.ok()) {
+      for (size_t i : positions) out[i] = batch;
+      continue;
+    }
+    for (size_t j = 0; j < positions.size() && j < results.size(); ++j) {
+      out[positions[j]] = std::move(results[j]);
+    }
+  }
+  return out;
+}
+
+Result<QueryPlan> IntelliSphere::PlanQuery(const QuerySpec& spec,
+                                           const core::EstimateContext& ctx,
+                                           const PlannerOptions& options) const {
+  PlanSearchInput input;
+  input.spec = &spec;
+  input.tables.reserve(spec.relations.size());
+  for (const QuerySpec::Relation& r : spec.relations) {
+    ISPHERE_ASSIGN_OR_RETURN(rel::TableDef def, catalog_.Get(r.table));
+    input.tables.push_back(std::move(def));
+  }
+  input.master = kTeradataSystemName;
+  input.cost = [this](const std::vector<PlanCostRequest>& requests,
+                      const core::EstimateContext& bctx) {
+    return CostBatch(requests, bctx);
+  };
+  input.transfer = [this](const std::string& from, const std::string& to,
+                          int64_t rows, int64_t row_bytes) {
+    return grid_.RelaySeconds(from, to, rows, row_bytes);
+  };
+  return SearchPlan(input, options, ctx);
 }
 
 Result<PlacementPlan> IntelliSphere::PlanJoin(
     const std::string& left_table, const std::string& right_table,
     int64_t left_projected_bytes, int64_t right_projected_bytes,
     double extra_selectivity, const core::EstimateContext& ctx) const {
-  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
-  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
-  // Orient so the right side of the operator is the smaller relation
-  // (engine planners and formulas assume S is the build/broadcast side).
-  if (l.stats.num_rows < r.stats.num_rows) {
-    std::swap(l, r);
-    std::swap(left_projected_bytes, right_projected_bytes);
+  // Reproduce the pre-PlanQuery argument checks (and their error order):
+  // table resolution, then the cardinality-model and descriptor rules.
+  ISPHERE_RETURN_NOT_OK(catalog_.Get(left_table).status());
+  ISPHERE_RETURN_NOT_OK(catalog_.Get(right_table).status());
+  if (extra_selectivity <= 0.0 || extra_selectivity > 1.0) {
+    return Status::InvalidArgument("extra_selectivity must be in (0, 1]");
   }
-  ISPHERE_ASSIGN_OR_RETURN(
-      int64_t out_rows,
-      rel::EstimateJoinCardinality(l, r, "a1", extra_selectivity));
-
-  rel::JoinQuery q;
-  q.left = {l.stats.num_rows, l.stats.row_bytes};
-  q.right = {r.stats.num_rows, r.stats.row_bytes};
-  q.left_projected_bytes = left_projected_bytes;
-  q.right_projected_bytes = right_projected_bytes;
-  q.output_rows = out_rows;
-  rel::SqlOperator op = rel::SqlOperator::MakeJoin(q);
-  ISPHERE_RETURN_NOT_OK(op.Validate());
-
-  core::EstimateContext ectx = ProvenanceContext(ctx);
-  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
-  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
-  TraceSpan root = ectx.StartSpan("plan.join");
-  if (root.enabled()) {
-    root.SetString("left_table", left_table)
-        .SetString("right_table", right_table)
-        .SetInt("output_rows", out_rows);
+  if (left_projected_bytes < 0 || right_projected_bytes < 0) {
+    return Status::InvalidArgument("negative projected size");
   }
-
-  // Candidate hosts: every system owning an input, plus Teradata
-  // (Section 2, "Query Plans").
-  std::set<std::string> hosts = {std::string(kTeradataSystemName),
-                                 l.location, r.location};
-  PlacementPlan plan;
-  plan.op = op;
-  for (const std::string& host : hosts) {
-    TraceSpan candidate = root.Child("plan.candidate");
-    PlacementOption option;
-    option.system = host;
-    // Inputs not already on the host are relayed through Teradata.
-    if (l.location != host) {
-      ISPHERE_ASSIGN_OR_RETURN(
-          double t, grid_.RelaySeconds(l.location, host, l.stats.num_rows,
-                                       l.stats.row_bytes));
-      option.transfer_seconds += t;
-    }
-    if (r.location != host) {
-      ISPHERE_ASSIGN_OR_RETURN(
-          double t, grid_.RelaySeconds(r.location, host, r.stats.num_rows,
-                                       r.stats.row_bytes));
-      option.transfer_seconds += t;
-    }
-    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
-    if (!op_cost.ok()) {
-      if (IsEliminationCode(op_cost.status().code())) {
-        EliminatedPlacement e{host, op_cost.status().message()};
-        FinishEliminatedSpan(&candidate, e);
-        plan.eliminated.push_back(std::move(e));
-        dropped->Increment();
-        continue;
-      }
-      return op_cost.status();
-    }
-    FillOptionProvenance(host, op_cost.value(), &option);
-    FinishCandidateSpan(&candidate, option);
-    costed->Increment();
-    plan.options.push_back(std::move(option));
+  if (left_projected_bytes + right_projected_bytes <= 0) {
+    return Status::InvalidArgument("join must project at least one byte");
   }
-  if (plan.options.empty()) {
-    return Status::FailedPrecondition("no system can execute this join");
-  }
-  std::sort(plan.options.begin(), plan.options.end(),
-            [](const PlacementOption& a, const PlacementOption& b) {
-              return a.total_seconds() < b.total_seconds();
-            });
-  if (root.enabled()) {
-    root.SetString("best_system", plan.options.front().system)
-        .SetDouble("best_total_seconds",
-                   plan.options.front().total_seconds());
-  }
-  return plan;
-}
-
-Result<PlacementPlan> IntelliSphere::PlanJoin(const std::string& left_table,
-                                              const std::string& right_table,
-                                              int64_t left_projected_bytes,
-                                              int64_t right_projected_bytes,
-                                              double extra_selectivity,
-                                              double now) const {
-  return PlanJoin(left_table, right_table, left_projected_bytes,
-                  right_projected_bytes, extra_selectivity,
-                  core::EstimateContext::AtTime(now));
+  QuerySpec spec;
+  spec.relations.resize(2);
+  spec.relations[0].table = left_table;
+  spec.relations[0].projected_bytes = left_projected_bytes;
+  spec.relations[1].table = right_table;
+  spec.relations[1].projected_bytes = right_projected_bytes;
+  QuerySpec::JoinPredicate predicate;
+  predicate.left = 0;
+  predicate.right = 1;
+  predicate.column = "a1";
+  predicate.extra_selectivity = extra_selectivity;
+  spec.joins.push_back(predicate);
+  return SingleOperatorPlanFrom(PlanQuery(spec, ctx),
+                                "no system can execute this join");
 }
 
 Result<PlacementPlan> IntelliSphere::PlanAgg(
     const std::string& table, const std::string& group_column,
     int num_aggregates, const core::EstimateContext& ctx) const {
-  ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
-  ISPHERE_ASSIGN_OR_RETURN(int64_t groups,
-                           rel::EstimateGroupCardinality(t, group_column));
-  rel::AggQuery q;
-  q.input = {t.stats.num_rows, t.stats.row_bytes};
-  q.output_rows = groups;
-  q.output_row_bytes = kKeyBytes + kAggregateBytes * num_aggregates;
-  q.num_aggregates = num_aggregates;
-  rel::SqlOperator op = rel::SqlOperator::MakeAgg(q);
-  ISPHERE_RETURN_NOT_OK(op.Validate());
-
-  core::EstimateContext ectx = ProvenanceContext(ctx);
-  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
-  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
-  TraceSpan root = ectx.StartSpan("plan.agg");
-  if (root.enabled()) {
-    root.SetString("table", table)
-        .SetString("group_column", group_column)
-        .SetInt("groups", groups);
-  }
-
-  std::set<std::string> hosts = {std::string(kTeradataSystemName),
-                                 t.location};
-  PlacementPlan plan;
-  plan.op = op;
-  for (const std::string& host : hosts) {
-    TraceSpan candidate = root.Child("plan.candidate");
-    PlacementOption option;
-    option.system = host;
-    if (t.location != host) {
-      ISPHERE_ASSIGN_OR_RETURN(
-          double tr, grid_.RelaySeconds(t.location, host, t.stats.num_rows,
-                                        t.stats.row_bytes));
-      option.transfer_seconds += tr;
-    }
-    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
-    if (!op_cost.ok()) {
-      if (IsEliminationCode(op_cost.status().code())) {
-        EliminatedPlacement e{host, op_cost.status().message()};
-        FinishEliminatedSpan(&candidate, e);
-        plan.eliminated.push_back(std::move(e));
-        dropped->Increment();
-        continue;
-      }
-      return op_cost.status();
-    }
-    FillOptionProvenance(host, op_cost.value(), &option);
-    FinishCandidateSpan(&candidate, option);
-    costed->Increment();
-    plan.options.push_back(std::move(option));
-  }
-  if (plan.options.empty()) {
-    return Status::FailedPrecondition("no system can execute this aggregation");
-  }
-  std::sort(plan.options.begin(), plan.options.end(),
-            [](const PlacementOption& a, const PlacementOption& b) {
-              return a.total_seconds() < b.total_seconds();
-            });
-  if (root.enabled()) {
-    root.SetString("best_system", plan.options.front().system)
-        .SetDouble("best_total_seconds",
-                   plan.options.front().total_seconds());
-  }
-  return plan;
-}
-
-Result<PlacementPlan> IntelliSphere::PlanAgg(const std::string& table,
-                                             const std::string& group_column,
-                                             int num_aggregates,
-                                             double now) const {
-  return PlanAgg(table, group_column, num_aggregates,
-                 core::EstimateContext::AtTime(now));
+  QuerySpec spec;
+  spec.relations.resize(1);
+  spec.relations[0].table = table;
+  QuerySpec::Aggregate aggregate;
+  aggregate.relation = 0;
+  aggregate.group_column = group_column;
+  aggregate.num_aggregates = num_aggregates;
+  spec.aggregate = aggregate;
+  return SingleOperatorPlanFrom(PlanQuery(spec, ctx),
+                                "no system can execute this aggregation");
 }
 
 Result<PlacementPlan> IntelliSphere::PlanScan(
     const std::string& table, double selectivity, int64_t projected_bytes,
     const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef t, catalog_.Get(table));
-  ISPHERE_ASSIGN_OR_RETURN(int64_t out_rows,
-                           rel::EstimateFilterCardinality(t, selectivity));
-  rel::ScanQuery q;
-  q.input = {t.stats.num_rows, t.stats.row_bytes};
-  q.selectivity = selectivity;
-  q.projected_bytes = projected_bytes;
-  q.output_rows = out_rows;
-  rel::SqlOperator op = rel::SqlOperator::MakeScan(q);
-  ISPHERE_RETURN_NOT_OK(op.Validate());
-
-  core::EstimateContext ectx = ProvenanceContext(ctx);
-  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
-  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
-  TraceSpan root = ectx.StartSpan("plan.scan");
-  if (root.enabled()) {
-    root.SetString("table", table)
-        .SetDouble("selectivity", selectivity)
-        .SetInt("output_rows", out_rows);
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0, 1]");
   }
-
-  std::set<std::string> hosts = {std::string(kTeradataSystemName),
-                                 t.location};
-  PlacementPlan plan;
-  plan.op = op;
-  for (const std::string& host : hosts) {
-    TraceSpan candidate = root.Child("plan.candidate");
-    PlacementOption option;
-    option.system = host;
-    if (t.location != host) {
-      // QueryGrid evaluates simple predicates on the fly: only survivors
-      // travel, already projected.
-      ISPHERE_ASSIGN_OR_RETURN(
-          double tr,
-          grid_.RelaySeconds(t.location, host, out_rows, projected_bytes));
-      option.transfer_seconds += tr;
-    }
-    auto op_cost = HostEstimate(host, op, ectx.Under(candidate));
-    if (!op_cost.ok()) {
-      if (IsEliminationCode(op_cost.status().code())) {
-        EliminatedPlacement e{host, op_cost.status().message()};
-        FinishEliminatedSpan(&candidate, e);
-        plan.eliminated.push_back(std::move(e));
-        dropped->Increment();
-        continue;
-      }
-      return op_cost.status();
-    }
-    FillOptionProvenance(host, op_cost.value(), &option);
-    FinishCandidateSpan(&candidate, option);
-    costed->Increment();
-    plan.options.push_back(std::move(option));
+  if (projected_bytes <= 0 || projected_bytes > t.stats.row_bytes) {
+    return Status::InvalidArgument(
+        "projected bytes must be in [1, input row size]");
   }
-  if (plan.options.empty()) {
-    return Status::FailedPrecondition("no system can execute this scan");
-  }
-  std::sort(plan.options.begin(), plan.options.end(),
-            [](const PlacementOption& a, const PlacementOption& b) {
-              return a.total_seconds() < b.total_seconds();
-            });
-  if (root.enabled()) {
-    root.SetString("best_system", plan.options.front().system)
-        .SetDouble("best_total_seconds",
-                   plan.options.front().total_seconds());
-  }
-  return plan;
-}
-
-Result<PlacementPlan> IntelliSphere::PlanScan(const std::string& table,
-                                              double selectivity,
-                                              int64_t projected_bytes,
-                                              double now) const {
-  return PlanScan(table, selectivity, projected_bytes,
-                  core::EstimateContext::AtTime(now));
+  QuerySpec spec;
+  spec.relations.resize(1);
+  spec.relations[0].table = table;
+  spec.relations[0].filter_selectivity = selectivity;
+  spec.relations[0].projected_bytes = projected_bytes;
+  return SingleOperatorPlanFrom(PlanQuery(spec, ctx),
+                                "no system can execute this scan");
 }
 
 Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
@@ -422,153 +294,92 @@ Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
     int num_aggregates, const core::EstimateContext& ctx) const {
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef l, catalog_.Get(left_table));
   ISPHERE_ASSIGN_OR_RETURN(rel::TableDef r, catalog_.Get(right_table));
-  if (l.stats.num_rows < r.stats.num_rows) {
-    std::swap(l, r);
-    std::swap(left_projected_bytes, right_projected_bytes);
+  if (extra_selectivity <= 0.0 || extra_selectivity > 1.0) {
+    return Status::InvalidArgument("extra_selectivity must be in (0, 1]");
   }
-  ISPHERE_ASSIGN_OR_RETURN(
-      int64_t join_out,
-      rel::EstimateJoinCardinality(l, r, "a1", extra_selectivity));
-
-  rel::JoinQuery jq;
-  jq.left = {l.stats.num_rows, l.stats.row_bytes};
-  jq.right = {r.stats.num_rows, r.stats.row_bytes};
-  jq.left_projected_bytes = left_projected_bytes;
-  jq.right_projected_bytes = right_projected_bytes;
-  jq.output_rows = join_out;
-  rel::SqlOperator join_op = rel::SqlOperator::MakeJoin(jq);
-  ISPHERE_RETURN_NOT_OK(join_op.Validate());
-
-  // Group cardinality over the join result: the group column's distinct
-  // count (from the owning base table), capped by the join cardinality.
-  int64_t groups =
-      std::min(join_out, l.stats.DistinctOr(group_column, join_out));
-  rel::AggQuery aq;
-  aq.input = {join_out, jq.OutputRowBytes()};
-  aq.output_rows = std::max<int64_t>(1, groups);
-  aq.output_row_bytes = kKeyBytes + kAggregateBytes * num_aggregates;
-  aq.num_aggregates = num_aggregates;
-  rel::SqlOperator agg_op = rel::SqlOperator::MakeAgg(aq);
-  ISPHERE_RETURN_NOT_OK(agg_op.Validate());
-
-  core::EstimateContext ectx = ProvenanceContext(ctx);
-  Counter* costed = ectx.Registry().GetCounter("plan.candidates_costed");
-  Counter* dropped = ectx.Registry().GetCounter("plan.placements_eliminated");
-  TraceSpan root = ectx.StartSpan("plan.pipeline");
-  if (root.enabled()) {
-    root.SetString("left_table", left_table)
-        .SetString("right_table", right_table)
-        .SetString("group_column", group_column);
+  if (left_projected_bytes < 0 || right_projected_bytes < 0) {
+    return Status::InvalidArgument("negative projected size");
   }
+  if (left_projected_bytes + right_projected_bytes <= 0) {
+    return Status::InvalidArgument("join must project at least one byte");
+  }
+  QuerySpec spec;
+  spec.relations.resize(2);
+  spec.relations[0].table = left_table;
+  spec.relations[0].projected_bytes = left_projected_bytes;
+  spec.relations[1].table = right_table;
+  spec.relations[1].projected_bytes = right_projected_bytes;
+  QuerySpec::JoinPredicate predicate;
+  predicate.left = 0;
+  predicate.right = 1;
+  predicate.column = "a1";
+  predicate.extra_selectivity = extra_selectivity;
+  spec.joins.push_back(predicate);
+  QuerySpec::Aggregate aggregate;
+  // The legacy planner resolved the group column against the larger input
+  // (its post-swap `l`); ties keep the call's left table.
+  aggregate.relation = l.stats.num_rows < r.stats.num_rows ? 1 : 0;
+  aggregate.group_column = group_column;
+  aggregate.num_aggregates = num_aggregates;
+  spec.aggregate = aggregate;
+  spec.result_to_master = true;
 
+  auto plan = PlanQuery(spec, ctx);
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kFailedPrecondition) {
+      return Status::FailedPrecondition("no placement can run this pipeline");
+    }
+    return plan.status();
+  }
+  const QueryPlan& qp = plan.value();
+  PipelinePlan out;
+  {
+    const QueryPlanNode& agg_node =
+        qp.nodes[static_cast<size_t>(qp.candidates.front().root)];
+    const QueryPlanNode& join_node =
+        qp.nodes[static_cast<size_t>(agg_node.children.front())];
+    out.join_op = join_node.op;
+    out.agg_op = agg_node.op;
+  }
+  for (const QueryPlanCandidate& c : qp.candidates) {
+    const QueryPlanNode& agg_node = qp.nodes[static_cast<size_t>(c.root)];
+    const QueryPlanNode& join_node =
+        qp.nodes[static_cast<size_t>(agg_node.children.front())];
+    PipelinePlacement p;
+    p.join_system = join_node.system;
+    p.agg_system = agg_node.system;
+    p.input_transfer_seconds = join_node.transfer_seconds;
+    p.join_seconds = join_node.operator_seconds;
+    p.interm_transfer_seconds = agg_node.transfer_seconds;
+    p.agg_seconds = agg_node.operator_seconds;
+    p.result_transfer_seconds = c.result_transfer_seconds;
+    p.join_approach = join_node.approach;
+    p.join_algorithm = join_node.algorithm;
+    p.agg_approach = agg_node.approach;
+    p.agg_algorithm = agg_node.algorithm;
+    out.options.push_back(std::move(p));
+  }
+  // Rebuild the legacy interleaving: per join host (sorted), its join
+  // elimination, then the aggregation eliminations of placements routed
+  // via it.
   std::set<std::string> join_hosts = {std::string(kTeradataSystemName),
                                       l.location, r.location};
-  PipelinePlan plan;
-  plan.join_op = join_op;
-  plan.agg_op = agg_op;
   for (const std::string& jh : join_hosts) {
-    TraceSpan join_span = root.Child("plan.join_host");
-    if (join_span.enabled()) join_span.SetString("system", jh);
-    auto join_cost = HostEstimate(jh, join_op, ectx.Under(join_span));
-    if (!join_cost.ok()) {
-      if (IsEliminationCode(join_cost.status().code())) {
-        EliminatedPlacement e{jh, "join: " + join_cost.status().message()};
-        FinishEliminatedSpan(&join_span, e);
-        plan.eliminated.push_back(std::move(e));
-        dropped->Increment();
+    for (const PrunedSubplan& p : qp.pruned) {
+      if (p.kind != PrunedSubplan::Kind::kEliminated) continue;
+      if (p.stage != QueryPlanNode::Kind::kJoin || p.system != jh) continue;
+      out.eliminated.push_back({jh, "join: " + p.reason});
+    }
+    for (const PrunedSubplan& p : qp.pruned) {
+      if (p.kind != PrunedSubplan::Kind::kEliminated) continue;
+      if (p.stage != QueryPlanNode::Kind::kAggregate || p.via_system != jh) {
         continue;
       }
-      return join_cost.status();
-    }
-    const core::HybridEstimate& je = join_cost.value();
-    join_span.End();
-    double input_transfer = 0.0;
-    if (l.location != jh) {
-      ISPHERE_ASSIGN_OR_RETURN(
-          double t, grid_.RelaySeconds(l.location, jh, l.stats.num_rows,
-                                       l.stats.row_bytes));
-      input_transfer += t;
-    }
-    if (r.location != jh) {
-      ISPHERE_ASSIGN_OR_RETURN(
-          double t, grid_.RelaySeconds(r.location, jh, r.stats.num_rows,
-                                       r.stats.row_bytes));
-      input_transfer += t;
-    }
-    // The aggregation runs where the intermediate lies, or on Teradata.
-    std::set<std::string> agg_hosts = {jh,
-                                       std::string(kTeradataSystemName)};
-    for (const std::string& ah : agg_hosts) {
-      TraceSpan candidate = root.Child("plan.candidate");
-      auto agg_cost = HostEstimate(ah, agg_op, ectx.Under(candidate));
-      if (!agg_cost.ok()) {
-        if (IsEliminationCode(agg_cost.status().code())) {
-          EliminatedPlacement e{
-              ah, "aggregation after join on " + jh + ": " +
-                      agg_cost.status().message()};
-          FinishEliminatedSpan(&candidate, e);
-          plan.eliminated.push_back(std::move(e));
-          dropped->Increment();
-          continue;
-        }
-        return agg_cost.status();
-      }
-      const core::HybridEstimate& ae = agg_cost.value();
-      PipelinePlacement p;
-      p.join_system = jh;
-      p.agg_system = ah;
-      p.input_transfer_seconds = input_transfer;
-      p.join_seconds = je.seconds;
-      p.agg_seconds = ae.seconds;
-      p.join_approach = ApproachLabel(jh, je);
-      p.join_algorithm = je.algorithm;
-      p.agg_approach = ApproachLabel(ah, ae);
-      p.agg_algorithm = ae.algorithm;
-      if (ah != jh) {
-        ISPHERE_ASSIGN_OR_RETURN(
-            p.interm_transfer_seconds,
-            grid_.RelaySeconds(jh, ah, join_out, jq.OutputRowBytes()));
-      }
-      if (ah != kTeradataSystemName) {
-        ISPHERE_ASSIGN_OR_RETURN(
-            p.result_transfer_seconds,
-            grid_.RelaySeconds(ah, kTeradataSystemName, aq.output_rows,
-                               aq.output_row_bytes));
-      }
-      if (candidate.enabled()) {
-        candidate.SetString("join_system", jh)
-            .SetString("agg_system", ah)
-            .SetDouble("total_seconds", p.total_seconds());
-      }
-      costed->Increment();
-      plan.options.push_back(std::move(p));
+      out.eliminated.push_back(
+          {p.system, "aggregation after join on " + jh + ": " + p.reason});
     }
   }
-  if (plan.options.empty()) {
-    return Status::FailedPrecondition("no placement can run this pipeline");
-  }
-  std::sort(plan.options.begin(), plan.options.end(),
-            [](const PipelinePlacement& a, const PipelinePlacement& b) {
-              return a.total_seconds() < b.total_seconds();
-            });
-  if (root.enabled()) {
-    root.SetString("best_join_system", plan.options.front().join_system)
-        .SetString("best_agg_system", plan.options.front().agg_system)
-        .SetDouble("best_total_seconds",
-                   plan.options.front().total_seconds());
-  }
-  return plan;
-}
-
-Result<PipelinePlan> IntelliSphere::PlanJoinThenAgg(
-    const std::string& left_table, const std::string& right_table,
-    int64_t left_projected_bytes, int64_t right_projected_bytes,
-    double extra_selectivity, const std::string& group_column,
-    int num_aggregates, double now) const {
-  return PlanJoinThenAgg(left_table, right_table, left_projected_bytes,
-                         right_projected_bytes, extra_selectivity,
-                         group_column, num_aggregates,
-                         core::EstimateContext::AtTime(now));
+  return out;
 }
 
 Result<double> IntelliSphere::ExecuteBest(const PlacementPlan& plan) {

@@ -16,6 +16,7 @@
 
 #include "core/hybrid.h"
 #include "engine/local_cost_model.h"
+#include "federation/plan_search.h"
 #include "federation/querygrid.h"
 #include "relational/cardinality.h"
 #include "relational/catalog.h"
@@ -126,55 +127,50 @@ class IntelliSphere {
   [[nodiscard]] Result<remote::RemoteSystem*> GetSystem(const std::string& name) const;
   std::vector<std::string> SystemNames() const;
 
+  /// The unified planning entry point (DESIGN.md §15): runs the DP
+  /// join-order x placement search over a declarative QuerySpec and
+  /// returns the full QueryPlan — chosen tree, every completed candidate
+  /// (cheapest first), and the subplans the search dropped. Tables are
+  /// resolved against the catalog in relation order (NotFound for unknown
+  /// names); a structurally bad spec is InvalidArgument. All operator
+  /// costing goes through one batched-costing call per DP level — the
+  /// attached EstimationService's EstimateBatch when present (cache +
+  /// batched-GEMM path), CostEstimator::EstimateBatch otherwise; the
+  /// master engine's analytic model is evaluated inline. Planning always
+  /// collects full provenance (the plan is what EXPLAIN renders); the
+  /// context contributes the deployment clock, an optional trace sink (one
+  /// `plan.candidate` span per costed or eliminated placement under a
+  /// `plan.query` root), a metrics registry, and a choice-policy override.
+  [[nodiscard]] Result<QueryPlan> PlanQuery(
+      const QuerySpec& spec, const core::EstimateContext& ctx = {},
+      const PlannerOptions& options = {}) const;
+
   /// Costs all placements of joining two registered tables on `a1` with an
   /// extra predicate selectivity, projecting the given byte widths.
   /// Candidates: each distinct system owning one of the inputs, plus
-  /// Teradata. Options are sorted cheapest-first. Planning always collects
-  /// full provenance (the plan is what EXPLAIN renders); the context
-  /// contributes the deployment clock, an optional trace sink (one
-  /// `plan.candidate` span per host under a `plan.join` root), a metrics
-  /// registry, and a choice-policy override.
+  /// Teradata. Options are sorted cheapest-first. A thin wrapper over
+  /// PlanQuery on the equivalent two-relation spec (bit-identical results;
+  /// pinned by the wrapper-parity regression tests).
   [[nodiscard]] Result<PlacementPlan> PlanJoin(
       const std::string& left_table, const std::string& right_table,
       int64_t left_projected_bytes, int64_t right_projected_bytes,
       double extra_selectivity = 1.0,
       const core::EstimateContext& ctx = {}) const;
 
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<PlacementPlan> PlanJoin(const std::string& left_table,
-                                               const std::string& right_table,
-                                               int64_t left_projected_bytes,
-                                               int64_t right_projected_bytes,
-                                               double extra_selectivity,
-                                               double now) const;
-
   /// Costs all placements of aggregating a registered table by
-  /// `group_column` with `num_aggregates` SUMs.
+  /// `group_column` with `num_aggregates` SUMs. A thin wrapper over
+  /// PlanQuery on the equivalent single-relation spec.
   [[nodiscard]] Result<PlacementPlan> PlanAgg(
       const std::string& table, const std::string& group_column,
       int num_aggregates, const core::EstimateContext& ctx = {}) const;
 
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<PlacementPlan> PlanAgg(const std::string& table,
-                                              const std::string& group_column,
-                                              int num_aggregates,
-                                              double now) const;
-
   /// Costs all placements of a selection + projection over a registered
   /// table. When the scan would run on Teradata, QueryGrid's predicate
   /// pushdown already reduces the transferred volume to the survivors.
+  /// A thin wrapper over PlanQuery on the equivalent bare-scan spec.
   [[nodiscard]] Result<PlacementPlan> PlanScan(
       const std::string& table, double selectivity, int64_t projected_bytes,
       const core::EstimateContext& ctx = {}) const;
-
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<PlacementPlan> PlanScan(const std::string& table,
-                                               double selectivity,
-                                               int64_t projected_bytes,
-                                               double now) const;
 
   /// Costs every placement pair of a two-operator pipeline: join the two
   /// tables on a1 (projecting the given widths, applying
@@ -183,22 +179,13 @@ class IntelliSphere {
   /// over the join result. The join may run on either owner or Teradata;
   /// the aggregation on the join's host (keeping the intermediate in
   /// place) or on Teradata; the final answer always returns to Teradata.
+  /// A thin wrapper over PlanQuery on the equivalent join + aggregate spec
+  /// with result_to_master set.
   [[nodiscard]] Result<PipelinePlan> PlanJoinThenAgg(
       const std::string& left_table, const std::string& right_table,
       int64_t left_projected_bytes, int64_t right_projected_bytes,
       double extra_selectivity, const std::string& group_column,
       int num_aggregates, const core::EstimateContext& ctx = {}) const;
-
-  /// Pre-EstimateContext call shape, kept for one release.
-  [[deprecated("pass an EstimateContext instead of a bare clock")]]
-  [[nodiscard]] Result<PipelinePlan> PlanJoinThenAgg(const std::string& left_table,
-                                                     const std::string& right_table,
-                                                     int64_t left_projected_bytes,
-                                                     int64_t right_projected_bytes,
-                                                     double extra_selectivity,
-                                                     const std::string& group_column,
-                                                     int num_aggregates,
-                                                     double now) const;
 
   /// Executes the plan's best placement on the actual (simulated) system
   /// and feeds the observed cost back into the costing profile's log.
@@ -221,12 +208,17 @@ class IntelliSphere {
   const eng::LocalCostModel& local_model() const { return local_model_; }
 
  private:
-  /// Estimated operator cost + provenance on a candidate system (local
-  /// model for Teradata, costing profile otherwise). The returned
-  /// HybridEstimate's approach string for Teradata is conventionally
-  /// "local" (set by the caller via ApproachLabel).
-  [[nodiscard]] Result<core::HybridEstimate> HostEstimate(
-      const std::string& system, const rel::SqlOperator& op,
+  /// The DP search's batched-costing hook: one Result per request, in
+  /// request order. Master-engine ("teradata") requests are evaluated
+  /// inline on the analytic local model; remote requests go through the
+  /// attached EstimationService::EstimateBatch when present (dedup, cache,
+  /// batched GEMM), or are grouped per system through
+  /// CostEstimator::EstimateBatch otherwise — both documented
+  /// bit-identical to the scalar Estimate path. The returned estimates'
+  /// approach strings for Teradata are conventionally "local" (set by the
+  /// search via its ApproachLabel).
+  std::vector<Result<core::HybridEstimate>> CostBatch(
+      const std::vector<PlanCostRequest>& requests,
       const core::EstimateContext& ctx) const;
 
   eng::LocalCostModel local_model_;

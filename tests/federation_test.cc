@@ -249,22 +249,22 @@ TEST(IntelliSphereMultiSystemTest, JoinAcrossTwoRemotes) {
   EXPECT_TRUE(hosts.count(kTeradataSystemName));
 }
 
-TEST_F(IntelliSphereTest, DeprecatedPlannerOverloadsRecordGlobalCounters) {
-  // The pre-EstimateContext planner overloads forward AtTime(now), whose
-  // null registry resolves to Global() — legacy callers must keep feeding
-  // the ambient plan.* counters (regression for the PR-3 thin wrappers).
+TEST_F(IntelliSphereTest, ClockOnlyPlannerContextsRecordGlobalCounters) {
+  // Planner calls with a clock-only context (AtTime / default) carry a null
+  // registry, which resolves to Global() — such callers must keep feeding
+  // the ambient plan.* counters.
   Counter* costed =
       MetricsRegistry::Global().GetCounter("plan.candidates_costed");
   const int64_t before = costed->value();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto join =
-      sphere_.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0, 0.0);
-  auto agg = sphere_.PlanAgg("T8000000_250", "a100", 1, 0.0);
-  auto scan = sphere_.PlanScan("T8000000_250", 0.5, 32, 0.0);
+  auto join = sphere_.PlanJoin("T8000000_250", "T100000_100", 32, 32, 1.0,
+                               core::EstimateContext::AtTime(0.0));
+  auto agg = sphere_.PlanAgg("T8000000_250", "a100", 1,
+                             core::EstimateContext::AtTime(0.0));
+  auto scan = sphere_.PlanScan("T8000000_250", 0.5, 32,
+                               core::EstimateContext::AtTime(0.0));
   auto pipeline = sphere_.PlanJoinThenAgg("T8000000_250", "T100000_100", 32,
-                                          32, 1.0, "a100", 1, 0.0);
-#pragma GCC diagnostic pop
+                                          32, 1.0, "a100", 1,
+                                          core::EstimateContext::AtTime(0.0));
   ASSERT_TRUE(join.ok());
   ASSERT_TRUE(agg.ok());
   ASSERT_TRUE(scan.ok());

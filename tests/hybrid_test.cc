@@ -104,23 +104,23 @@ TEST(CostingProfileTest, TimePhasedSwitch) {
   EXPECT_TRUE(est.fell_back_to_sub_op);
 }
 
-TEST(CostingProfileTest, DeprecatedClockOverloadStillWorks) {
-  // The pre-EstimateContext call shape must keep returning identical
-  // numbers while it exists; this is the one deliberate caller.
+TEST(CostingProfileTest, AtTimeContextMatchesFullContext) {
+  // EstimateContext::AtTime(now) is the clock-only migration target for the
+  // removed `double now` overloads; it must cost identically to an
+  // explicitly populated context carrying the same clock.
   auto hive = remote::HiveEngine::CreateDefault("hive", 27);
   std::map<rel::OperatorType, LogicalOpModel> models;
   models.emplace(rel::OperatorType::kAggregation, MakeAggModel(hive.get()));
   auto profile = CostingProfile::SubOpThenLogicalOp(
       MakeSubOpEstimator(hive.get()), std::move(models),
       /*switch_time=*/1000.0);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto old_shape = profile.Estimate(SampleAgg(), 2000.0).value();
-#pragma GCC diagnostic pop
-  auto new_shape =
-      profile.Estimate(SampleAgg(), EstimateContext::AtTime(2000.0)).value();
-  EXPECT_EQ(old_shape.approach_used, new_shape.approach_used);
-  EXPECT_DOUBLE_EQ(old_shape.seconds, new_shape.seconds);
+  EstimateContext explicit_ctx;
+  explicit_ctx.now = 2000.0;
+  auto at_time = profile.Estimate(SampleAgg(), EstimateContext::AtTime(2000.0))
+                     .value();
+  auto full = profile.Estimate(SampleAgg(), explicit_ctx).value();
+  EXPECT_EQ(at_time.approach_used, full.approach_used);
+  EXPECT_DOUBLE_EQ(at_time.seconds, full.seconds);
 }
 
 TEST(CostingProfileTest, LoggingFeedsLogicalModels) {

@@ -371,21 +371,21 @@ TEST_F(EstimateObservabilityTest, ProvenanceDetailFillsEliminations) {
   EXPECT_TRUE(lean.eliminated.empty());
 }
 
-// --- Deprecated `double now` wrappers keep recording ambient metrics -------
+// --- Clock-only contexts keep recording ambient metrics --------------------
 //
-// The thin wrappers forward EstimateContext::AtTime(now), whose null
-// `metrics` resolves to MetricsRegistry::Global() — so legacy callers keep
-// feeding the process-wide estimate.approach.* / plan.* counters. These
-// regression tests pin that guarantee (and the audited non-behavior: the
-// wrappers must NOT flip timing() on, which would add clock reads to every
-// legacy call).
+// EstimateContext::AtTime(now) — the migration target for the removed
+// `double now` overloads — leaves `metrics` null, which Registry() resolves
+// to MetricsRegistry::Global(): clock-only callers keep feeding the
+// process-wide estimate.approach.* / plan.* counters. These regression
+// tests pin that guarantee (and the audited non-behavior: AtTime must NOT
+// flip timing() on, which would add clock reads to every clock-only call).
 
 int64_t GlobalCounterValue(const std::string& name) {
   return MetricsRegistry::Global().GetCounter(name)->value();
 }
 
 TEST_F(EstimateObservabilityTest,
-       DeprecatedEstimateOverloadRecordsGlobalCounters) {
+       AtTimeContextRecordsGlobalCounters) {
   const int64_t sub_op_before = GlobalCounterValue("estimate.approach.sub_op");
   core::CostEstimator estimator;
   ASSERT_TRUE(
@@ -393,32 +393,33 @@ TEST_F(EstimateObservabilityTest,
           .RegisterSystem("hive", core::CostingProfile::SubOpOnly(
                                       MakeSubOpEstimator(hive_.get())))
           .ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ASSERT_TRUE(profile_->Estimate(SampleJoin(), /*now=*/0.0).ok());
-  ASSERT_TRUE(estimator.Estimate("hive", SampleJoin(), /*now=*/0.0).ok());
-#pragma GCC diagnostic pop
+  ASSERT_TRUE(
+      profile_->Estimate(SampleJoin(), core::EstimateContext::AtTime(0.0))
+          .ok());
+  ASSERT_TRUE(estimator
+                  .Estimate("hive", SampleJoin(),
+                            core::EstimateContext::AtTime(0.0))
+                  .ok());
   EXPECT_EQ(GlobalCounterValue("estimate.approach.sub_op"),
             sub_op_before + 2);
 }
 
 TEST_F(EstimateObservabilityTest,
-       DeprecatedOverloadDoesNotEnableTimingPath) {
+       AtTimeContextDoesNotEnableTimingPath) {
   // AtTime must leave `metrics` null (Global() is the *resolution* of
   // null, not an explicit value): setting it would turn timing() on and
-  // add a latency-histogram observation per legacy call.
-  core::EstimateContext legacy = core::EstimateContext::AtTime(5.0);
-  EXPECT_EQ(legacy.metrics, nullptr);
-  EXPECT_FALSE(legacy.timing());
-  EXPECT_DOUBLE_EQ(legacy.now, 5.0);
+  // add a latency-histogram observation per clock-only call.
+  core::EstimateContext clock_only = core::EstimateContext::AtTime(5.0);
+  EXPECT_EQ(clock_only.metrics, nullptr);
+  EXPECT_FALSE(clock_only.timing());
+  EXPECT_DOUBLE_EQ(clock_only.now, 5.0);
 
   Histogram* latency = MetricsRegistry::Global().GetHistogram(
       "estimate.latency_us", DefaultLatencyBucketsUs());
   const int64_t observations_before = latency->count();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ASSERT_TRUE(profile_->Estimate(SampleJoin(), /*now=*/0.0).ok());
-#pragma GCC diagnostic pop
+  ASSERT_TRUE(
+      profile_->Estimate(SampleJoin(), core::EstimateContext::AtTime(0.0))
+          .ok());
   EXPECT_EQ(latency->count(), observations_before);
 }
 

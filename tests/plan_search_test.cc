@@ -1,0 +1,1119 @@
+// Tests for the cross-engine DP plan search (DESIGN.md §15): selectivity
+// estimation (histogram vs. min/max fallback), QuerySpec validation, the
+// DP enumerator against an exhaustive oracle on small specs, wrapper
+// bit-parity with the pre-redesign single-operator planners, and the
+// planner knobs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sub_op.h"
+#include "federation/explain.h"
+#include "federation/intellisphere.h"
+#include "federation/plan_search.h"
+#include "federation/stats.h"
+#include "relational/cardinality.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "remote/spark_engine.h"
+#include "serving/service.h"
+
+namespace intellisphere::fed {
+namespace {
+
+// --- Selectivity estimation (stats.h) --------------------------------------
+
+TEST(PlanStatsTest, EqualitySelectivityIsOneOverDistinct) {
+  ColumnStats c;
+  c.distinct = 50;
+  EXPECT_DOUBLE_EQ(EstimateEqualitySelectivity(c).value(), 0.02);
+  c.distinct = 0;
+  EXPECT_EQ(EstimateEqualitySelectivity(c).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanStatsTest, RangeSelectivityUniformFallback) {
+  ColumnStats c;
+  c.distinct = 100;
+  c.min = 0.0;
+  c.max = 100.0;
+  c.has_range = true;
+  // No histogram: uniform interpolation over [min, max].
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(c, 0.0, 50.0).value(), 0.5);
+  // Predicate clipped to the column range.
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(c, -10.0, 1000.0).value(), 1.0);
+  // Empty intersection selects nothing.
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(c, 200.0, 300.0).value(), 0.0);
+  // Inverted bounds are an error, not an empty range.
+  EXPECT_EQ(EstimateRangeSelectivity(c, 5.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  // No range statistics at all.
+  ColumnStats bare;
+  bare.distinct = 100;
+  EXPECT_EQ(EstimateRangeSelectivity(bare, 0.0, 1.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanStatsTest, RangeSelectivityPrefersHistogramOverUniform) {
+  ColumnStats c;
+  c.distinct = 100;
+  c.min = 0.0;
+  c.max = 100.0;
+  c.has_range = true;
+  c.histogram = {90.0, 10.0};  // 90% of rows in [0, 50)
+  // Full first bucket.
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(c, 0.0, 50.0).value(), 0.9);
+  // Half the first bucket, pro-rated.
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(c, 0.0, 25.0).value(), 0.45);
+  // The uniform fallback would have said 0.5 / 0.25 — the histogram is the
+  // distinguishing signal.
+  ColumnStats uniform = c;
+  uniform.histogram.clear();
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(uniform, 0.0, 50.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(EstimateRangeSelectivity(uniform, 0.0, 25.0).value(),
+                   0.25);
+}
+
+TEST(PlanStatsTest, EquiJoinSelectivityUsesContainment) {
+  EXPECT_DOUBLE_EQ(EstimateEquiJoinSelectivity(100, 400).value(), 1.0 / 400);
+  EXPECT_EQ(EstimateEquiJoinSelectivity(0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanStatsTest, JoinOutputRowsMatchesLegacyCardinality) {
+  auto l = rel::SyntheticTableDef(8000000, 250).value();
+  auto r = rel::SyntheticTableDef(2000000, 100).value();
+  TableProfile lp = ProfileFromTable(l);
+  TableProfile rp = ProfileFromTable(r);
+  for (const char* column : {"a1", "a10", "a100"}) {
+    for (double extra : {1.0, 0.5, 0.037}) {
+      EXPECT_EQ(JoinOutputRows(l.stats.num_rows, r.stats.num_rows,
+                               lp.DistinctOr(column, l.stats.num_rows),
+                               rp.DistinctOr(column, r.stats.num_rows), extra)
+                    .value(),
+                rel::EstimateJoinCardinality(l, r, column, extra).value())
+          << column << " extra=" << extra;
+    }
+  }
+  EXPECT_EQ(JoinOutputRows(10, 10, 5, 5, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(JoinOutputRows(10, 10, 0, 5, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanStatsTest, ProfileFromTableAndDistinctAfter) {
+  auto t = rel::SyntheticTableDef(1000000, 100).value();
+  TableProfile p = ProfileFromTable(t);
+  EXPECT_EQ(p.rows, 1000000);
+  EXPECT_EQ(p.row_bytes, 100);
+  // Synthetic columns carry a dense integer range [0, distinct - 1].
+  auto it = p.columns.find("a10");
+  ASSERT_NE(it, p.columns.end());
+  EXPECT_EQ(it->second.distinct, 100000);
+  EXPECT_TRUE(it->second.has_range);
+  EXPECT_DOUBLE_EQ(it->second.max, 99999.0);
+  // Unknown columns fall back.
+  EXPECT_EQ(p.DistinctOr("no_such_column", 7), 7);
+  EXPECT_EQ(DistinctAfter(1000, 300), 300);
+  EXPECT_EQ(DistinctAfter(1000, 30000), 1000);
+}
+
+// --- QuerySpec validation ---------------------------------------------------
+
+QuerySpec TwoRelationSpec() {
+  QuerySpec spec;
+  spec.relations = {{"left_table"}, {"right_table"}};
+  spec.joins = {{0, 1, "a1", 1.0}};
+  return spec;
+}
+
+void ExpectInvalid(const QuerySpec& spec, const std::string& message) {
+  Status s = spec.Validate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << message;
+  EXPECT_EQ(s.message(), message);
+}
+
+TEST(QuerySpecTest, ValidatesStructure) {
+  EXPECT_TRUE(TwoRelationSpec().Validate().ok());
+
+  ExpectInvalid(QuerySpec{}, "query spec has no relations");
+
+  QuerySpec spec = TwoRelationSpec();
+  spec.relations[0].table.clear();
+  ExpectInvalid(spec, "relation table name is empty");
+
+  spec = TwoRelationSpec();
+  spec.relations[1].filter_selectivity = 1.5;
+  ExpectInvalid(spec, "selectivity must be in [0, 1]");
+
+  spec = TwoRelationSpec();
+  spec.relations[0].projected_bytes = -2;  // below the kFullRowWidth sentinel
+  ExpectInvalid(spec, "negative projected size");
+
+  spec = TwoRelationSpec();
+  spec.joins[0].right = 5;
+  ExpectInvalid(spec, "join predicate relation index out of range");
+
+  spec = TwoRelationSpec();
+  spec.joins[0].right = 0;
+  ExpectInvalid(spec, "join predicate joins a relation to itself");
+
+  spec = TwoRelationSpec();
+  spec.joins[0].column.clear();
+  ExpectInvalid(spec, "join predicate column is empty");
+
+  spec = TwoRelationSpec();
+  spec.joins[0].extra_selectivity = 0.0;
+  ExpectInvalid(spec, "extra_selectivity must be in (0, 1]");
+
+  // Three relations, one edge: the DP could never complete a plan.
+  spec = TwoRelationSpec();
+  spec.relations.push_back({"third_table"});
+  ExpectInvalid(spec, "join graph does not connect all relations");
+
+  // A single relation admits no join predicates.
+  spec = TwoRelationSpec();
+  spec.relations.pop_back();
+  ExpectInvalid(spec, "join predicate relation index out of range");
+}
+
+TEST(QuerySpecTest, ValidatesAggregate) {
+  QuerySpec spec = TwoRelationSpec();
+  spec.aggregate = QuerySpec::Aggregate{5, "a10", 1};
+  ExpectInvalid(spec, "aggregate relation index out of range");
+
+  spec.aggregate = QuerySpec::Aggregate{0, "", 1};
+  ExpectInvalid(spec, "aggregate group column is empty");
+
+  spec.aggregate = QuerySpec::Aggregate{0, "a10", 0};
+  ExpectInvalid(spec, "need at least one aggregate function");
+}
+
+TEST(PlannerOptionsTest, FromPropertiesReadsKnobs) {
+  Properties props;
+  PlannerOptions defaults = PlannerOptions::FromProperties(props).value();
+  EXPECT_EQ(defaults.max_dp_relations, 12);
+  EXPECT_DOUBLE_EQ(defaults.prune_factor, 0.0);
+
+  props.SetInt(kPlannerMaxDpRelationsKey, 6);
+  props.SetDouble(kPlannerPruneFactorKey, 2.5);
+  PlannerOptions opts = PlannerOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.max_dp_relations, 6);
+  EXPECT_DOUBLE_EQ(opts.prune_factor, 2.5);
+
+  props.SetInt(kPlannerMaxDpRelationsKey, 0);
+  EXPECT_EQ(PlannerOptions::FromProperties(props).status().code(),
+            StatusCode::kInvalidArgument);
+  props.SetInt(kPlannerMaxDpRelationsKey, 17);
+  EXPECT_EQ(PlannerOptions::FromProperties(props).status().code(),
+            StatusCode::kInvalidArgument);
+  props.SetInt(kPlannerMaxDpRelationsKey, 6);
+  props.SetDouble(kPlannerPruneFactorKey, 0.5);  // (0, 1) is nonsense
+  EXPECT_EQ(PlannerOptions::FromProperties(props).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Exhaustive oracle ------------------------------------------------------
+//
+// Independently enumerates EVERY plan in the search space the API defines —
+// all bushy join trees whose every join has a cross predicate and connected
+// inputs, crossed with all placements {master, left site, right site} per
+// join — and checks the DP's chosen plan is the global minimum. The oracle
+// never minimizes per (subset, site) the way the DP table does, so it
+// exercises the admissibility of that collapse.
+
+class Oracle {
+ public:
+  using CostFn = std::function<Result<core::HybridEstimate>(
+      const std::string&, const rel::SqlOperator&)>;
+  using XferFn = std::function<double(const std::string&, const std::string&,
+                                      int64_t, int64_t)>;
+
+  Oracle(const QuerySpec& spec, std::vector<rel::TableDef> tables,
+         std::string master, CostFn cost, XferFn xfer)
+      : spec_(spec),
+        tables_(std::move(tables)),
+        master_(std::move(master)),
+        cost_(std::move(cost)),
+        xfer_(std::move(xfer)) {
+    const bool bare_scan = spec_.relations.size() == 1 &&
+                           spec_.joins.empty() &&
+                           !spec_.aggregate.has_value();
+    for (size_t i = 0; i < spec_.relations.size(); ++i) {
+      const QuerySpec::Relation& r = spec_.relations[i];
+      const rel::TableDef& def = tables_[i];
+      Rel rel;
+      rel.location = def.location;
+      rel.base_rows = def.stats.num_rows;
+      rel.proj = r.projected_bytes >= 0 ? r.projected_bytes
+                                        : def.stats.row_bytes;
+      rel.scanned = bare_scan || r.filter_selectivity < 1.0;
+      rel.rows = rel.scanned
+                     ? static_cast<int64_t>(std::llround(
+                           r.filter_selectivity *
+                           static_cast<double>(rel.base_rows)))
+                     : rel.base_rows;
+      rel.width = rel.scanned ? rel.proj : def.stats.row_bytes;
+      rel.profile = ProfileFromTable(def);
+      rels_.push_back(std::move(rel));
+    }
+  }
+
+  /// The cheapest end-to-end total over the whole plan space.
+  double MinTotal() {
+    const uint64_t full = (uint64_t{1} << rels_.size()) - 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [site, cost] : Enumerate(full)) {
+      if (!spec_.aggregate.has_value()) {
+        double total = cost;
+        if (spec_.result_to_master && site != master_) {
+          MS stats = StatsOf(full);
+          total += xfer_(site, master_, stats.rows, stats.width);
+        }
+        best = std::min(best, total);
+        continue;
+      }
+      const QuerySpec::Aggregate& agg = *spec_.aggregate;
+      MS in = StatsOf(full);
+      const Rel& owner = rels_[static_cast<size_t>(agg.relation)];
+      int64_t d = owner.profile.DistinctOr(agg.group_column, in.rows);
+      if (owner.scanned) d = DistinctAfter(d, owner.rows);
+      const int64_t raw = std::min(in.rows, d);
+      const int64_t groups =
+          spec_.joins.empty() ? raw : std::max<int64_t>(1, raw);
+      rel::AggQuery q;
+      q.input = {in.rows, in.width};
+      q.output_rows = groups;
+      q.output_row_bytes = kGroupKeyBytes +
+                           kAggregateValueBytes * agg.num_aggregates;
+      q.num_aggregates = agg.num_aggregates;
+      rel::SqlOperator op = rel::SqlOperator::MakeAgg(q);
+      const std::set<std::string> hosts = {site, master_};
+      for (const std::string& host : hosts) {
+        auto est = cost_(host, op);
+        if (!est.ok()) {
+          EXPECT_TRUE(est.status().code() == StatusCode::kUnsupported ||
+                      est.status().code() == StatusCode::kFailedPrecondition)
+              << est.status().message();
+          continue;
+        }
+        double total = cost;
+        if (host != site) total += xfer_(site, host, in.rows, in.width);
+        total += est.value().seconds;
+        if (spec_.result_to_master && host != master_) {
+          total += xfer_(host, master_, groups, q.output_row_bytes);
+        }
+        best = std::min(best, total);
+      }
+    }
+    return best;
+  }
+
+ private:
+  struct Rel {
+    std::string location;
+    int64_t base_rows = 0;
+    int64_t rows = 0;
+    int64_t width = 0;
+    int64_t proj = 0;
+    bool scanned = false;
+    TableProfile profile;
+  };
+  struct MS {
+    int64_t rows = 0;
+    int64_t width = 0;
+    int64_t proj = 0;
+  };
+
+  bool Connected(uint64_t mask) const {
+    if (mask == 0) return false;
+    uint64_t reach = mask & (~mask + 1);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const QuerySpec::JoinPredicate& p : spec_.joins) {
+        const uint64_t l = uint64_t{1} << static_cast<unsigned>(p.left);
+        const uint64_t r = uint64_t{1} << static_cast<unsigned>(p.right);
+        if (!(l & mask) || !(r & mask)) continue;
+        uint64_t joined = 0;
+        if (reach & l) joined |= r;
+        if (reach & r) joined |= l;
+        if (joined & ~reach) {
+          reach |= joined;
+          grew = true;
+        }
+      }
+    }
+    return reach == mask;
+  }
+
+  bool HasCross(uint64_t a, uint64_t b) const {
+    for (const QuerySpec::JoinPredicate& p : spec_.joins) {
+      const uint64_t l = uint64_t{1} << static_cast<unsigned>(p.left);
+      const uint64_t r = uint64_t{1} << static_cast<unsigned>(p.right);
+      if (((l & a) && (r & b)) || ((l & b) && (r & a))) return true;
+    }
+    return false;
+  }
+
+  int64_t EndpointDistinct(int relation, const std::string& column) const {
+    const Rel& rel = rels_[static_cast<size_t>(relation)];
+    int64_t d = rel.profile.DistinctOr(column, rel.base_rows);
+    if (rel.scanned) d = DistinctAfter(d, rel.rows);
+    return d;
+  }
+
+  MS StatsOf(uint64_t mask) const {
+    if ((mask & (mask - 1)) == 0) {
+      int i = 0;
+      while (!((mask >> i) & 1u)) ++i;
+      const Rel& rel = rels_[static_cast<size_t>(i)];
+      return {rel.rows, rel.width, rel.proj};
+    }
+    double acc = 1.0;
+    int64_t width = 0;
+    for (size_t i = 0; i < rels_.size(); ++i) {
+      if (!((mask >> i) & 1u)) continue;
+      acc *= static_cast<double>(rels_[i].rows);
+      width += rels_[i].proj;
+    }
+    for (const QuerySpec::JoinPredicate& p : spec_.joins) {
+      const uint64_t l = uint64_t{1} << static_cast<unsigned>(p.left);
+      const uint64_t r = uint64_t{1} << static_cast<unsigned>(p.right);
+      if (!(l & mask) || !(r & mask)) continue;
+      const double denom = static_cast<double>(
+          std::max(EndpointDistinct(p.left, p.column),
+                   EndpointDistinct(p.right, p.column)));
+      acc = acc / denom * p.extra_selectivity;
+    }
+    if (acc > 9.0e18) acc = 9.0e18;
+    return {std::max<int64_t>(1, static_cast<int64_t>(std::llround(acc))),
+            width, width};
+  }
+
+  /// Every (site, cumulative cost) a complete subtree over `mask` can have.
+  std::vector<std::pair<std::string, double>> Enumerate(uint64_t mask) {
+    std::vector<std::pair<std::string, double>> out;
+    if ((mask & (mask - 1)) == 0) {
+      int i = 0;
+      while (!((mask >> i) & 1u)) ++i;
+      const Rel& rel = rels_[static_cast<size_t>(i)];
+      if (!rel.scanned) {
+        out.emplace_back(rel.location, 0.0);
+        return out;
+      }
+      rel::ScanQuery q;
+      q.input = {rel.base_rows,
+                 tables_[static_cast<size_t>(i)].stats.row_bytes};
+      q.selectivity = spec_.relations[static_cast<size_t>(i)]
+                          .filter_selectivity;
+      q.projected_bytes = rel.proj;
+      q.output_rows = rel.rows;
+      rel::SqlOperator op = rel::SqlOperator::MakeScan(q);
+      const std::set<std::string> hosts = {master_, rel.location};
+      for (const std::string& host : hosts) {
+        auto est = cost_(host, op);
+        if (!est.ok()) continue;
+        double transfer = host == rel.location
+                              ? 0.0
+                              : xfer_(rel.location, host, rel.rows, rel.proj);
+        out.emplace_back(host, transfer + est.value().seconds);
+      }
+      return out;
+    }
+
+    const uint64_t low = mask & (~mask + 1);
+    for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+      if (!(sub & low)) continue;
+      const uint64_t rest = mask ^ sub;
+      if (!Connected(sub) || !Connected(rest) || !HasCross(sub, rest)) {
+        continue;
+      }
+      MS ss = StatsOf(sub), rs = StatsOf(rest);
+      uint64_t left_mask = sub, right_mask = rest;
+      MS ls = ss, rstats = rs;
+      if (ls.rows < rstats.rows) {
+        std::swap(left_mask, right_mask);
+        std::swap(ls, rstats);
+      }
+      MS outs = StatsOf(mask);
+      rel::JoinQuery q;
+      q.left = {ls.rows, ls.width};
+      q.right = {rstats.rows, rstats.width};
+      q.left_projected_bytes = ls.proj;
+      q.right_projected_bytes = rstats.proj;
+      q.output_rows = outs.rows;
+      const double bound = static_cast<double>(ls.rows) *
+                           static_cast<double>(rstats.rows);
+      if (static_cast<double>(q.output_rows) > bound) {
+        q.output_rows = static_cast<int64_t>(std::min(bound, 9.0e18));
+      }
+      rel::SqlOperator op = rel::SqlOperator::MakeJoin(q);
+
+      const auto left_alts = Enumerate(left_mask);
+      const auto right_alts = Enumerate(right_mask);
+      for (const auto& [lsite, lcost] : left_alts) {
+        for (const auto& [rsite, rcost] : right_alts) {
+          const std::set<std::string> hosts = {master_, lsite, rsite};
+          for (const std::string& host : hosts) {
+            auto est = cost_(host, op);
+            if (!est.ok()) {
+              EXPECT_TRUE(est.status().code() == StatusCode::kUnsupported ||
+                          est.status().code() == StatusCode::kFailedPrecondition)
+                  << est.status().message();
+              continue;
+            }
+            double tl = lsite == host ? 0.0
+                                      : xfer_(lsite, host, ls.rows, ls.width);
+            double tr = rsite == host
+                            ? 0.0
+                            : xfer_(rsite, host, rstats.rows, rstats.width);
+            out.emplace_back(host,
+                             lcost + rcost + tl + tr + est.value().seconds);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  QuerySpec spec_;
+  std::vector<rel::TableDef> tables_;
+  std::string master_;
+  CostFn cost_;
+  XferFn xfer_;
+  std::vector<Rel> rels_;
+};
+
+// --- DP vs oracle on synthetic hooks ---------------------------------------
+
+constexpr char kMaster[] = "td";
+
+double SynthSpeed(const std::string& system) {
+  if (system == kMaster) return 1.0;
+  if (system == "alpha") return 0.45;
+  return 0.8;  // "beta"
+}
+
+Result<core::HybridEstimate> SynthCostOne(const std::string& system,
+                                          const rel::SqlOperator& op) {
+  // "beta" cannot aggregate: exercises placement elimination inside the DP.
+  if (system == "beta" && op.type == rel::OperatorType::kAggregation) {
+    return Status::Unsupported("beta cannot aggregate");
+  }
+  double work = 0.0;
+  switch (op.type) {
+    case rel::OperatorType::kScan:
+      work = 1.2 * static_cast<double>(op.scan.input.num_rows) +
+             static_cast<double>(op.scan.output_rows);
+      break;
+    case rel::OperatorType::kJoin:
+      work = static_cast<double>(op.join.left.num_rows) +
+             3.0 * static_cast<double>(op.join.right.num_rows) +
+             0.5 * static_cast<double>(op.join.output_rows);
+      break;
+    case rel::OperatorType::kAggregation:
+      work = static_cast<double>(op.agg.input.num_rows) *
+                 (1.0 + 0.2 * op.agg.num_aggregates) +
+             static_cast<double>(op.agg.output_rows);
+      break;
+  }
+  core::HybridEstimate est;
+  est.seconds = SynthSpeed(system) * work * 1e-7;
+  return est;
+}
+
+double SynthTransfer(const std::string& /*from*/, const std::string& /*to*/,
+                     int64_t rows, int64_t row_bytes) {
+  return 0.04 + 1.5e-9 * static_cast<double>(rows) *
+                    static_cast<double>(row_bytes);
+}
+
+PlanSearchInput SynthInput(const QuerySpec& spec,
+                           const std::vector<rel::TableDef>& tables) {
+  PlanSearchInput input;
+  input.spec = &spec;
+  input.tables = tables;
+  input.master = kMaster;
+  input.cost = [](const std::vector<PlanCostRequest>& requests,
+                  const core::EstimateContext&) {
+    std::vector<Result<core::HybridEstimate>> results;
+    results.reserve(requests.size());
+    for (const PlanCostRequest& r : requests) {
+      results.push_back(SynthCostOne(r.system, r.op));
+    }
+    return results;
+  };
+  input.transfer = [](const std::string& from, const std::string& to,
+                      int64_t rows, int64_t bytes) -> Result<double> {
+    return SynthTransfer(from, to, rows, bytes);
+  };
+  return input;
+}
+
+std::vector<rel::TableDef> SynthTables() {
+  auto a = rel::SyntheticTableDef(5000000, 200).value();
+  a.location = "alpha";
+  auto b = rel::SyntheticTableDef(1000000, 120).value();
+  b.location = "beta";
+  auto c = rel::SyntheticTableDef(300000, 80).value();
+  c.location = "alpha";
+  auto d = rel::SyntheticTableDef(50000, 60).value();
+  d.location = kMaster;
+  return {a, b, c, d};
+}
+
+QuerySpec ChainSpec(const std::vector<rel::TableDef>& tables) {
+  QuerySpec spec;
+  for (const auto& t : tables) {
+    spec.relations.push_back({t.name, 1.0, 32});
+  }
+  spec.joins = {{0, 1, "a1", 0.5}, {1, 2, "a10", 1.0}, {2, 3, "a5", 1.0}};
+  return spec;
+}
+
+void ExpectOracleOptimal(const QuerySpec& spec,
+                         const std::vector<rel::TableDef>& tables) {
+  QueryPlan plan =
+      SearchPlan(SynthInput(spec, tables), PlannerOptions{}, {}).value();
+  Oracle oracle(
+      spec, tables, kMaster,
+      [](const std::string& s, const rel::SqlOperator& op) {
+        return SynthCostOne(s, op);
+      },
+      SynthTransfer);
+  EXPECT_DOUBLE_EQ(plan.best().value().total_seconds, oracle.MinTotal());
+  // Candidates come back cheapest-first.
+  for (size_t i = 1; i < plan.candidates.size(); ++i) {
+    EXPECT_LE(plan.candidates[i - 1].total_seconds,
+              plan.candidates[i].total_seconds);
+  }
+  EXPECT_GT(plan.candidates_costed, 0);
+  EXPECT_GT(plan.dp_entries, 0);
+  // The chosen root covers every relation exactly once.
+  EXPECT_EQ(plan.root().value()->relation_mask,
+            (uint64_t{1} << spec.relations.size()) - 1);
+}
+
+TEST(PlanSearchOracleTest, FourRelationChainIsOptimal) {
+  auto tables = SynthTables();
+  ExpectOracleOptimal(ChainSpec(tables), tables);
+}
+
+TEST(PlanSearchOracleTest, FourRelationStarIsOptimal) {
+  auto tables = SynthTables();
+  QuerySpec spec;
+  for (const auto& t : tables) spec.relations.push_back({t.name, 1.0, 24});
+  // Relation 1 is the hub.
+  spec.joins = {{1, 0, "a1", 1.0}, {1, 2, "a10", 0.25}, {1, 3, "a2", 1.0}};
+  ExpectOracleOptimal(spec, tables);
+}
+
+TEST(PlanSearchOracleTest, FiltersAggregateAndResultTransferAreOptimal) {
+  auto tables = SynthTables();
+  QuerySpec spec = ChainSpec(tables);
+  spec.relations[0].filter_selectivity = 0.2;  // plans an explicit scan
+  spec.relations[2].filter_selectivity = 0.6;
+  spec.aggregate = QuerySpec::Aggregate{1, "a100", 2};
+  spec.result_to_master = true;
+  ExpectOracleOptimal(spec, tables);
+}
+
+TEST(PlanSearchOracleTest, ThreeRelationCycleIsOptimal) {
+  auto tables = SynthTables();
+  tables.pop_back();
+  QuerySpec spec;
+  for (const auto& t : tables) spec.relations.push_back({t.name, 1.0, 16});
+  spec.joins = {{0, 1, "a1", 1.0}, {1, 2, "a10", 1.0}, {0, 2, "a5", 0.5}};
+  ExpectOracleOptimal(spec, tables);
+}
+
+TEST(PlanSearchTest, EliminatedAggregationHostIsRecorded) {
+  std::vector<rel::TableDef> tables = {SynthTables()[1]};  // lives on "beta"
+  QuerySpec spec;
+  spec.relations = {{tables[0].name, 1.0, 32}};
+  spec.aggregate = QuerySpec::Aggregate{0, "a10", 1};
+  QueryPlan plan =
+      SearchPlan(SynthInput(spec, tables), PlannerOptions{}, {}).value();
+  // "beta" cannot aggregate, so only the master placement survives and the
+  // elimination is kept for EXPLAIN.
+  ASSERT_EQ(plan.candidates.size(), 1u);
+  EXPECT_EQ(plan.root().value()->system, kMaster);
+  bool found = false;
+  for (const auto& p : plan.pruned) {
+    if (p.kind == PrunedSubplan::Kind::kEliminated && p.system == "beta") {
+      EXPECT_EQ(p.reason, "beta cannot aggregate");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanSearchTest, PruneFactorDropsEntriesButKeepsAPlan) {
+  auto tables = SynthTables();
+  QuerySpec spec = ChainSpec(tables);
+  PlannerOptions exact;
+  QueryPlan exact_plan =
+      SearchPlan(SynthInput(spec, tables), exact, {}).value();
+
+  // A huge factor prunes nothing and keeps the exact optimum.
+  PlannerOptions loose;
+  loose.prune_factor = 1e9;
+  QueryPlan loose_plan =
+      SearchPlan(SynthInput(spec, tables), loose, {}).value();
+  EXPECT_DOUBLE_EQ(loose_plan.best().value().total_seconds,
+                   exact_plan.best().value().total_seconds);
+
+  // Factor 1 keeps only each subset's cheapest entry between levels.
+  PlannerOptions tight;
+  tight.prune_factor = 1.0;
+  QueryPlan tight_plan =
+      SearchPlan(SynthInput(spec, tables), tight, {}).value();
+  EXPECT_FALSE(tight_plan.candidates.empty());
+  bool saw_pruned = false;
+  for (const auto& p : tight_plan.pruned) {
+    if (p.kind == PrunedSubplan::Kind::kPruned) saw_pruned = true;
+  }
+  EXPECT_TRUE(saw_pruned);
+  EXPECT_LT(tight_plan.dp_entries, exact_plan.dp_entries);
+}
+
+TEST(PlanSearchTest, OptionRangesAreChecked) {
+  auto tables = SynthTables();
+  QuerySpec spec = ChainSpec(tables);
+  PlannerOptions bad;
+  bad.max_dp_relations = 0;
+  EXPECT_EQ(SearchPlan(SynthInput(spec, tables), bad, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.max_dp_relations = 2;
+  Status s = SearchPlan(SynthInput(spec, tables), bad, {}).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "query spec exceeds planner.max_dp_relations");
+  PlannerOptions bad_prune;
+  bad_prune.prune_factor = 0.25;
+  EXPECT_EQ(SearchPlan(SynthInput(spec, tables), bad_prune, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanSearchTest, ExplainRendersTreeAndJson) {
+  auto tables = SynthTables();
+  QuerySpec spec = ChainSpec(tables);
+  spec.aggregate = QuerySpec::Aggregate{0, "a100", 1};
+  spec.result_to_master = true;
+  QueryPlan plan =
+      SearchPlan(SynthInput(spec, tables), PlannerOptions{}, {}).value();
+  PlacementExplanation ex = ExplainQueryPlan(plan);
+  EXPECT_NE(ex.tree.find("query plan:"), std::string::npos);
+  EXPECT_NE(ex.tree.find("chosen: total="), std::string::npos);
+  EXPECT_NE(ex.tree.find("aggregate@"), std::string::npos);
+  EXPECT_NE(ex.tree.find("dominated"), std::string::npos);
+  EXPECT_NE(ex.json.find("\"query_plan\""), std::string::npos);
+  EXPECT_NE(ex.json.find("\"tree\""), std::string::npos);
+  EXPECT_NE(ex.json.find("\"pruned\""), std::string::npos);
+}
+
+// --- PlanQuery on the real facade ------------------------------------------
+
+core::OpenboxInfo InfoFor(const remote::SimulatedEngineBase& e) {
+  core::OpenboxInfo info;
+  info.dfs_block_bytes = e.cluster().config().dfs_block_bytes;
+  info.total_slots = e.cluster().config().TotalSlots();
+  info.num_worker_nodes = e.cluster().config().num_worker_nodes;
+  info.task_memory_bytes = e.cluster().config().TaskMemoryBytes();
+  info.broadcast_threshold_bytes = 0.02 * info.task_memory_bytes;
+  return info;
+}
+
+core::CostingProfile ProfileFor(remote::SimulatedEngineBase* engine) {
+  core::CalibrationOptions copts;
+  copts.record_sizes = {40, 250, 1000};
+  copts.record_counts = {1000000, 4000000};
+  auto run = core::CalibrateSubOps(engine, InfoFor(*engine), copts).value();
+  return core::CostingProfile::SubOpOnly(
+      core::SubOpCostEstimator::ForHive(std::move(run.catalog)).value());
+}
+
+class PlanQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto hive = remote::HiveEngine::CreateDefault("hive", 91);
+    auto* hive_raw = hive.get();
+    ASSERT_TRUE(sphere_
+                    .RegisterRemoteSystem(std::move(hive),
+                                          ProfileFor(hive_raw),
+                                          ConnectorParams{})
+                    .ok());
+    auto spark = remote::SparkEngine::CreateDefault("spark", 92);
+    auto* spark_raw = spark.get();
+    ASSERT_TRUE(sphere_
+                    .RegisterRemoteSystem(std::move(spark),
+                                          ProfileFor(spark_raw),
+                                          ConnectorParams{})
+                    .ok());
+    auto a = rel::SyntheticTableDef(8000000, 250).value();
+    a.location = "hive";
+    ASSERT_TRUE(sphere_.RegisterTable(a).ok());
+    auto b = rel::SyntheticTableDef(2000000, 100).value();
+    b.location = "spark";
+    ASSERT_TRUE(sphere_.RegisterTable(b).ok());
+    auto c = rel::SyntheticTableDef(500000, 40).value();
+    c.location = "hive";
+    ASSERT_TRUE(sphere_.RegisterTable(c).ok());
+    auto d = rel::SyntheticTableDef(100000, 100).value();
+    d.location = kTeradataSystemName;
+    ASSERT_TRUE(sphere_.RegisterTable(d).ok());
+  }
+
+  QuerySpec FourRelationSpec() const {
+    QuerySpec spec;
+    spec.relations = {{"T8000000_250", 1.0, 32},
+                      {"T2000000_100", 1.0, 24},
+                      {"T500000_40", 1.0, 16},
+                      {"T100000_100", 1.0, 8}};
+    spec.joins = {{0, 1, "a1", 0.5}, {1, 2, "a10", 1.0}, {2, 3, "a5", 1.0}};
+    return spec;
+  }
+
+  std::vector<rel::TableDef> ResolvedTables(const QuerySpec& spec) const {
+    std::vector<rel::TableDef> tables;
+    for (const auto& r : spec.relations) {
+      tables.push_back(sphere_.GetTable(r.table).value());
+    }
+    return tables;
+  }
+
+  Oracle::CostFn FacadeCost() const {
+    return [this](const std::string& system,
+                  const rel::SqlOperator& op) -> Result<core::HybridEstimate> {
+      if (system == kTeradataSystemName) {
+        core::HybridEstimate est;
+        auto seconds = sphere_.local_model().EstimateSeconds(op);
+        if (!seconds.ok()) return seconds.status();
+        est.seconds = seconds.value();
+        return est;
+      }
+      core::EstimateContext pctx;
+      pctx.detail = core::EstimateDetail::kProvenance;
+      return sphere_.cost_estimator().Estimate(system, op, pctx);
+    };
+  }
+
+  Oracle::XferFn FacadeTransfer() {
+    return [this](const std::string& from, const std::string& to,
+                  int64_t rows, int64_t bytes) {
+      return sphere_.query_grid().RelaySeconds(from, to, rows, bytes).value();
+    };
+  }
+
+  IntelliSphere sphere_;
+};
+
+TEST_F(PlanQueryTest, FourRelationSpecPicksOracleOptimalPlan) {
+  QuerySpec spec = FourRelationSpec();
+  QueryPlan plan = sphere_.PlanQuery(spec).value();
+  Oracle oracle(spec, ResolvedTables(spec), kTeradataSystemName, FacadeCost(),
+                FacadeTransfer());
+  EXPECT_DOUBLE_EQ(plan.best().value().total_seconds, oracle.MinTotal());
+  EXPECT_GE(plan.candidates.size(), 2u);
+}
+
+TEST_F(PlanQueryTest, FourRelationAggregateSpecPicksOracleOptimalPlan) {
+  QuerySpec spec = FourRelationSpec();
+  spec.aggregate = QuerySpec::Aggregate{0, "a100", 2};
+  spec.result_to_master = true;
+  QueryPlan plan = sphere_.PlanQuery(spec).value();
+  Oracle oracle(spec, ResolvedTables(spec), kTeradataSystemName, FacadeCost(),
+                FacadeTransfer());
+  EXPECT_DOUBLE_EQ(plan.best().value().total_seconds, oracle.MinTotal());
+}
+
+TEST_F(PlanQueryTest, UnknownTableIsNotFound) {
+  QuerySpec spec = FourRelationSpec();
+  spec.relations[2].table = "no_such_table";
+  EXPECT_EQ(sphere_.PlanQuery(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlanQueryTest, BadSpecIsInvalidArgumentNotUB) {
+  QuerySpec spec = FourRelationSpec();
+  spec.joins[1].right = 40;  // out of range
+  EXPECT_EQ(sphere_.PlanQuery(spec).status().code(), StatusCode::kInvalidArgument);
+  spec = FourRelationSpec();
+  spec.joins.pop_back();  // disconnects relation 3
+  EXPECT_EQ(sphere_.PlanQuery(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanQueryTest, ServingCacheMakesSecondPlanBitIdentical) {
+  serving::EstimationService service(&sphere_.cost_estimator());
+  ASSERT_TRUE(sphere_.AttachEstimationService(&service).ok());
+  QuerySpec spec = FourRelationSpec();
+  QueryPlan cold = sphere_.PlanQuery(spec).value();
+  QueryPlan warm = sphere_.PlanQuery(spec).value();
+  // All remote DP costing flows through EstimateBatch: the second search
+  // hits the cache and must reproduce the cold totals bit for bit.
+  EXPECT_GT(service.cache_stats().hits, 0);
+  ASSERT_EQ(cold.candidates.size(), warm.candidates.size());
+  for (size_t i = 0; i < cold.candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cold.candidates[i].total_seconds,
+                     warm.candidates[i].total_seconds);
+  }
+  // And cached planning matches uncached planning exactly.
+  ASSERT_TRUE(sphere_.AttachEstimationService(nullptr).ok());
+  QueryPlan uncached = sphere_.PlanQuery(spec).value();
+  EXPECT_DOUBLE_EQ(uncached.best().value().total_seconds,
+                   cold.best().value().total_seconds);
+}
+
+// --- Wrapper bit-parity with the pre-redesign planners ----------------------
+//
+// Hand-rolled replicas of the legacy planner loops (the exact code the thin
+// wrappers replaced), compared field for field against the wrappers.
+
+Result<core::HybridEstimate> LegacyHostEstimate(const IntelliSphere& sphere,
+                                                const std::string& host,
+                                                const rel::SqlOperator& op) {
+  if (host == kTeradataSystemName) {
+    core::HybridEstimate est;
+    auto seconds = sphere.local_model().EstimateSeconds(op);
+    if (!seconds.ok()) return seconds.status();
+    est.seconds = seconds.value();
+    return est;
+  }
+  core::EstimateContext pctx;
+  pctx.detail = core::EstimateDetail::kProvenance;
+  return sphere.cost_estimator().Estimate(host, op, pctx);
+}
+
+Result<PlacementPlan> LegacyPlanJoin(IntelliSphere& sphere,
+                                     const std::string& left_table,
+                                     const std::string& right_table,
+                                     int64_t left_projected_bytes,
+                                     int64_t right_projected_bytes,
+                                     double extra_selectivity) {
+  rel::TableDef l = sphere.GetTable(left_table).value();
+  rel::TableDef r = sphere.GetTable(right_table).value();
+  if (l.stats.num_rows < r.stats.num_rows) {
+    std::swap(l, r);
+    std::swap(left_projected_bytes, right_projected_bytes);
+  }
+  int64_t out_rows =
+      rel::EstimateJoinCardinality(l, r, "a1", extra_selectivity).value();
+  rel::JoinQuery q;
+  q.left = {l.stats.num_rows, l.stats.row_bytes};
+  q.right = {r.stats.num_rows, r.stats.row_bytes};
+  q.left_projected_bytes = left_projected_bytes;
+  q.right_projected_bytes = right_projected_bytes;
+  q.output_rows = out_rows;
+  rel::SqlOperator op = rel::SqlOperator::MakeJoin(q);
+
+  const std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                       l.location, r.location};
+  PlacementPlan plan;
+  plan.op = op;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    if (l.location != host) {
+      option.transfer_seconds += sphere.query_grid()
+                                     .RelaySeconds(l.location, host,
+                                                   l.stats.num_rows,
+                                                   l.stats.row_bytes)
+                                     .value();
+    }
+    if (r.location != host) {
+      option.transfer_seconds += sphere.query_grid()
+                                     .RelaySeconds(r.location, host,
+                                                   r.stats.num_rows,
+                                                   r.stats.row_bytes)
+                                     .value();
+    }
+    auto est = LegacyHostEstimate(sphere, host, op);
+    if (!est.ok()) {
+      plan.eliminated.push_back({host, est.status().message()});
+      continue;
+    }
+    option.operator_seconds = est.value().seconds;
+    option.approach = host == kTeradataSystemName
+                          ? "local"
+                          : core::CostingApproachName(
+                                est.value().approach_used);
+    option.algorithm = est.value().algorithm;
+    plan.options.push_back(std::move(option));
+  }
+  std::sort(plan.options.begin(), plan.options.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  return plan;
+}
+
+class WrapperParityTest : public PlanQueryTest {};
+
+TEST_F(WrapperParityTest, PlanJoinMatchesLegacyReplicaBitForBit) {
+  for (double extra : {1.0, 0.5}) {
+    auto legacy =
+        LegacyPlanJoin(sphere_, "T8000000_250", "T2000000_100", 32, 24, extra)
+            .value();
+    auto plan =
+        sphere_.PlanJoin("T8000000_250", "T2000000_100", 32, 24, extra)
+            .value();
+    ASSERT_EQ(plan.options.size(), legacy.options.size());
+    for (size_t i = 0; i < plan.options.size(); ++i) {
+      const PlacementOption& got = plan.options[i];
+      const PlacementOption& want = legacy.options[i];
+      EXPECT_EQ(got.system, want.system);
+      EXPECT_DOUBLE_EQ(got.transfer_seconds, want.transfer_seconds);
+      EXPECT_DOUBLE_EQ(got.operator_seconds, want.operator_seconds);
+      EXPECT_EQ(got.approach, want.approach);
+      EXPECT_EQ(got.algorithm, want.algorithm);
+    }
+    // Same operator descriptor.
+    EXPECT_EQ(plan.op.type, rel::OperatorType::kJoin);
+    EXPECT_EQ(plan.op.join.left.num_rows, legacy.op.join.left.num_rows);
+    EXPECT_EQ(plan.op.join.right.num_rows, legacy.op.join.right.num_rows);
+    EXPECT_EQ(plan.op.join.output_rows, legacy.op.join.output_rows);
+    EXPECT_EQ(plan.op.join.left_projected_bytes,
+              legacy.op.join.left_projected_bytes);
+    EXPECT_EQ(plan.op.join.right_projected_bytes,
+              legacy.op.join.right_projected_bytes);
+    ASSERT_EQ(plan.eliminated.size(), legacy.eliminated.size());
+    for (size_t i = 0; i < plan.eliminated.size(); ++i) {
+      EXPECT_EQ(plan.eliminated[i].system, legacy.eliminated[i].system);
+      EXPECT_EQ(plan.eliminated[i].reason, legacy.eliminated[i].reason);
+    }
+  }
+}
+
+TEST_F(WrapperParityTest, PlanAggMatchesLegacyReplicaBitForBit) {
+  rel::TableDef t = sphere_.GetTable("T8000000_250").value();
+  int64_t groups = rel::EstimateGroupCardinality(t, "a100").value();
+  rel::AggQuery q;
+  q.input = {t.stats.num_rows, t.stats.row_bytes};
+  q.output_rows = groups;
+  q.output_row_bytes = 4 + 8 * 3;
+  q.num_aggregates = 3;
+  rel::SqlOperator op = rel::SqlOperator::MakeAgg(q);
+
+  auto plan = sphere_.PlanAgg("T8000000_250", "a100", 3).value();
+  EXPECT_EQ(plan.op.agg.input.num_rows, op.agg.input.num_rows);
+  EXPECT_EQ(plan.op.agg.output_rows, op.agg.output_rows);
+  EXPECT_EQ(plan.op.agg.output_row_bytes, op.agg.output_row_bytes);
+
+  const std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                       t.location};
+  std::vector<PlacementOption> legacy;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    if (t.location != host) {
+      option.transfer_seconds = sphere_.query_grid()
+                                    .RelaySeconds(t.location, host,
+                                                  t.stats.num_rows,
+                                                  t.stats.row_bytes)
+                                    .value();
+    }
+    auto est = LegacyHostEstimate(sphere_, host, op);
+    if (!est.ok()) continue;
+    option.operator_seconds = est.value().seconds;
+    legacy.push_back(std::move(option));
+  }
+  std::sort(legacy.begin(), legacy.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  ASSERT_EQ(plan.options.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(plan.options[i].system, legacy[i].system);
+    EXPECT_DOUBLE_EQ(plan.options[i].transfer_seconds,
+                     legacy[i].transfer_seconds);
+    EXPECT_DOUBLE_EQ(plan.options[i].operator_seconds,
+                     legacy[i].operator_seconds);
+  }
+}
+
+TEST_F(WrapperParityTest, PlanScanMatchesLegacyReplicaBitForBit) {
+  rel::TableDef t = sphere_.GetTable("T2000000_100").value();
+  const double selectivity = 0.3;
+  const int64_t projected = 48;
+  int64_t out_rows =
+      rel::EstimateFilterCardinality(t, selectivity).value();
+  rel::ScanQuery q;
+  q.input = {t.stats.num_rows, t.stats.row_bytes};
+  q.selectivity = selectivity;
+  q.projected_bytes = projected;
+  q.output_rows = out_rows;
+  rel::SqlOperator op = rel::SqlOperator::MakeScan(q);
+
+  auto plan = sphere_.PlanScan("T2000000_100", selectivity, projected).value();
+  EXPECT_EQ(plan.op.scan.output_rows, op.scan.output_rows);
+  EXPECT_DOUBLE_EQ(plan.op.scan.selectivity, op.scan.selectivity);
+
+  const std::set<std::string> hosts = {std::string(kTeradataSystemName),
+                                       t.location};
+  std::vector<PlacementOption> legacy;
+  for (const std::string& host : hosts) {
+    PlacementOption option;
+    option.system = host;
+    if (t.location != host) {
+      // Pushdown: only survivors travel, already projected.
+      option.transfer_seconds = sphere_.query_grid()
+                                    .RelaySeconds(t.location, host, out_rows,
+                                                  projected)
+                                    .value();
+    }
+    auto est = LegacyHostEstimate(sphere_, host, op);
+    if (!est.ok()) continue;
+    option.operator_seconds = est.value().seconds;
+    legacy.push_back(std::move(option));
+  }
+  std::sort(legacy.begin(), legacy.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              return a.total_seconds() < b.total_seconds();
+            });
+  ASSERT_EQ(plan.options.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(plan.options[i].system, legacy[i].system);
+    EXPECT_DOUBLE_EQ(plan.options[i].transfer_seconds,
+                     legacy[i].transfer_seconds);
+    EXPECT_DOUBLE_EQ(plan.options[i].operator_seconds,
+                     legacy[i].operator_seconds);
+  }
+}
+
+TEST_F(WrapperParityTest, PipelineWrapperAgreesWithPlanQuery) {
+  auto pipeline = sphere_
+                      .PlanJoinThenAgg("T8000000_250", "T2000000_100", 32, 24,
+                                       0.5, "a10", 2)
+                      .value();
+  // The equivalent declarative spec: the join pair plus a trailing
+  // aggregation whose group column resolves against the larger table, with
+  // the final answer relayed to the master.
+  QuerySpec spec;
+  spec.relations = {{"T8000000_250", 1.0, 32}, {"T2000000_100", 1.0, 24}};
+  spec.joins = {{0, 1, "a1", 0.5}};
+  spec.aggregate = QuerySpec::Aggregate{0, "a10", 2};
+  spec.result_to_master = true;
+  QueryPlan plan = sphere_.PlanQuery(spec).value();
+  ASSERT_EQ(plan.candidates.size(), pipeline.options.size());
+  for (size_t i = 0; i < plan.candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan.candidates[i].total_seconds,
+                     pipeline.options[i].total_seconds());
+    const QueryPlanNode& agg_node =
+        plan.nodes[static_cast<size_t>(plan.candidates[i].root)];
+    EXPECT_EQ(agg_node.system, pipeline.options[i].agg_system);
+    const QueryPlanNode& join_node =
+        plan.nodes[static_cast<size_t>(agg_node.children.front())];
+    EXPECT_EQ(join_node.system, pipeline.options[i].join_system);
+  }
+}
+
+}  // namespace
+}  // namespace intellisphere::fed
