@@ -9,9 +9,10 @@
 #      skipped with a warning when clang++ is not installed),
 #   5. run the EXPLAIN examples and validate their JSON artifacts' schemas,
 #   6. run the doc-drift gate (docs <-> source knob cross-check),
-#   7. run the serving-throughput bench (default preset, no sanitizer) and
-#      check its BENCH json: hard speedup floors fail, drift vs
-#      bench/baselines/ warns (scripts/check_bench_regression.py).
+#   7. run the serving-throughput, plan-search, and model-lifecycle benches
+#      (default preset, no sanitizer) and check their BENCH json: hard
+#      floors fail, drift vs bench/baselines/ warns
+#      (scripts/check_bench_regression.py).
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
 # ctest`) stays fast; run this before merging.
@@ -51,7 +52,7 @@ ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" \
     --timeout 300 -LE tier2
 
-echo "== [3/7] thread pool + parallel pipeline + observability + serving + resilience under tsan =="
+echo "== [3/7] thread pool + parallel pipeline + observability + serving + resilience + lifecycle under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
 # src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
 # drives every parallel code path, observability_test exercises the
@@ -59,17 +60,20 @@ echo "== [3/7] thread pool + parallel pipeline + observability + serving + resil
 # hammers the sharded estimate cache and EstimationService from concurrent
 # workers — including the seqlock reader/writer hammer
 # (SeqlockReaderWriterHammer) that races the wait-free read path against
-# slot republishes and steals — and resilience_test drives circuit
-# breakers and degraded serving under concurrent faulty traffic, so tsan
-# on these four binaries covers the library's concurrency surface without
-# a second full-suite run.
+# slot republishes and steals — resilience_test drives circuit
+# breakers and degraded serving under concurrent faulty traffic, and
+# lifecycle_test races estimate serving against background retrains and
+# the epoch-bumped model swap (ConcurrentServeDuringRetrainHammer), so
+# tsan on these five binaries covers the library's concurrency surface
+# without a second full-suite run.
 cmake --preset tsan
 cmake --build --preset tsan --target parallel_training_test \
-  observability_test serving_test resilience_test -j "$JOBS"
+  observability_test serving_test resilience_test lifecycle_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/resilience_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/lifecycle_test
 
 echo "== [4/7] repo lint pass + thread-safety static analysis =="
 cmake --preset lint
@@ -80,9 +84,9 @@ scripts/check_static_analysis.sh -j "$JOBS"
 echo "== [5/7] EXPLAIN examples + JSON schema validation =="
 # The examples run under asan+ubsan (built in step 1's tree) and must
 # produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json /
-# EXPLAIN_query_plan.json.
+# EXPLAIN_query_plan.json / EXPLAIN_lifecycle.json.
 cmake --build --preset asan-ubsan --target explain_placement \
-  explain_serving explain_query_plan -j "$JOBS"
+  explain_serving explain_query_plan explain_lifecycle -j "$JOBS"
 (cd build-asan-ubsan &&
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_placement)
@@ -95,6 +99,10 @@ python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_serving.json
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_query_plan)
 python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_query_plan.json
+(cd build-asan-ubsan &&
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./examples/explain_lifecycle)
+python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_lifecycle.json
 
 echo "== [6/7] doc-drift gate =="
 # Every Properties key / CMake option the docs mention must still exist in
@@ -102,16 +110,18 @@ echo "== [6/7] doc-drift gate =="
 # documented in docs/CONFIG.md.
 python3 scripts/check_docs.py
 
-echo "== [7/7] serving-throughput + plan-search benches + regression check =="
+echo "== [7/7] serving-throughput + plan-search + model-lifecycle benches + regression check =="
 # A real (unsanitized) build: each bench enforces its own floors at
 # runtime and aborts on violation; the checker re-verifies the artifacts'
 # hard floors and warns about drift against bench/baselines/.
 cmake --preset default
 cmake --build --preset default --target bench_serving_throughput \
-  bench_plan_search -j "$JOBS"
+  bench_plan_search bench_model_lifecycle -j "$JOBS"
 (cd build && ./bench/bench_serving_throughput)
 python3 scripts/check_bench_regression.py build/BENCH_serving_throughput.json
 (cd build && ./bench/bench_plan_search)
 python3 scripts/check_bench_regression.py build/BENCH_plan_search.json
+(cd build && ./bench/bench_model_lifecycle)
+python3 scripts/check_bench_regression.py build/BENCH_model_lifecycle.json
 
 echo "check.sh: all gates passed"

@@ -6,8 +6,10 @@ renderings must stay machine-readable, so this checks structure and types,
 not specific cost numbers. The artifact kind is detected from the top-level
 keys — a "serving" object is an EstimationService::ExplainJson() document
 (examples/explain_serving), a "query_plan" object is an
-ExplainQueryPlan() document (examples/explain_query_plan), anything else
-is a placement plan (examples/explain_placement).
+ExplainQueryPlan() document (examples/explain_query_plan), a "lifecycle"
+object is a LifecycleManager::ExplainJson() document
+(examples/explain_lifecycle), anything else is a placement plan
+(examples/explain_placement).
 
 Usage: check_explain_json.py <path-to-EXPLAIN_*.json>
 """
@@ -90,6 +92,99 @@ def check_serving(doc):
         fail("serving.cache.entries exceeds capacity")
     print(f"check_explain_json: OK (serving: epoch {serving['model_epoch']}, "
           f"{cache['entries']} entries, hit_rate {cache['hit_rate']})")
+
+
+LIFECYCLE_INGEST_FIELDS = {
+    "capacity": int,
+    "size": int,
+    "pushed": int,
+    "dropped": int,
+    "drained": int,
+}
+
+LIFECYCLE_DRIFT_FIELDS = {
+    "window": int,
+    "threshold": (int, float),
+    "min_samples": int,
+    "out_of_range_fraction": (int, float),
+    "detected": int,
+}
+
+LIFECYCLE_RETRAIN_FIELDS = {
+    "window": int,
+    "started": int,
+    "completed": int,
+    "failed": int,
+    "deferred": int,
+    "in_flight": int,
+}
+
+LIFECYCLE_SHADOW_FIELDS = {
+    "fraction": (int, float),
+    "min_improvement": (int, float),
+    "accepted": int,
+    "rejected": int,
+}
+
+LIFECYCLE_DETECTOR_FIELDS = {
+    "system": str,
+    "operator": str,
+    "window_size": int,
+    "accepted": int,
+    "rejected_nonfinite": int,
+    "mean_relative_error": (int, float),
+    "out_of_range_fraction": (int, float),
+    "drifted": bool,
+    "reason": str,
+}
+
+
+def check_lifecycle(doc):
+    lc = doc["lifecycle"]
+    if not isinstance(lc, dict):
+        fail("lifecycle: must be an object")
+    check_type(lc, "epoch", int, "lifecycle")
+    if lc["epoch"] < 0:
+        fail("lifecycle.epoch must be >= 0")
+    for section, fields in (("ingest", LIFECYCLE_INGEST_FIELDS),
+                            ("drift", LIFECYCLE_DRIFT_FIELDS),
+                            ("retrain", LIFECYCLE_RETRAIN_FIELDS),
+                            ("shadow", LIFECYCLE_SHADOW_FIELDS)):
+        check_type(lc, section, dict, "lifecycle")
+        obj = lc[section]
+        for field, expected in fields.items():
+            check_type(obj, field, expected, f"lifecycle.{section}")
+            value = obj[field]
+            if isinstance(value, (int, float)) and value < 0:
+                fail(f"lifecycle.{section}.{field} must be >= 0")
+    ingest = lc["ingest"]
+    if ingest["dropped"] > ingest["pushed"]:
+        fail("lifecycle.ingest.dropped exceeds pushed")
+    if ingest["size"] > ingest["capacity"]:
+        fail("lifecycle.ingest.size exceeds capacity")
+    if lc["drift"]["out_of_range_fraction"] > 1.0:
+        fail("lifecycle.drift.out_of_range_fraction must be <= 1")
+    if not 0.0 < lc["shadow"]["fraction"] < 1.0:
+        fail("lifecycle.shadow.fraction must be in (0, 1)")
+    retrain = lc["retrain"]
+    if retrain["completed"] + retrain["in_flight"] > retrain["started"]:
+        fail("lifecycle.retrain completed + in_flight exceeds started")
+    check_type(lc, "swaps", int, "lifecycle")
+    if lc["swaps"] > lc["shadow"]["accepted"]:
+        fail("lifecycle.swaps exceeds shadow.accepted")
+    check_type(lc, "detectors", list, "lifecycle")
+    for i, det in enumerate(lc["detectors"]):
+        where = f"lifecycle.detectors[{i}]"
+        if not isinstance(det, dict):
+            fail(f"{where}: must be an object")
+        for field, expected in LIFECYCLE_DETECTOR_FIELDS.items():
+            check_type(det, field, expected, where)
+        if not 0.0 <= det["out_of_range_fraction"] <= 1.0:
+            fail(f"{where}: out_of_range_fraction must be in [0, 1]")
+        if det["window_size"] < 0 or det["accepted"] < det["window_size"]:
+            fail(f"{where}: accepted must cover the current window")
+    print(f"check_explain_json: OK (lifecycle: epoch {lc['epoch']}, "
+          f"{len(lc['detectors'])} detectors, swaps {lc['swaps']})")
 
 
 QUERY_NODE_FIELDS = {
@@ -217,6 +312,9 @@ def main():
         return
     if "query_plan" in doc:
         check_query_plan(doc)
+        return
+    if "lifecycle" in doc:
+        check_lifecycle(doc)
         return
     check_type(doc, "operator", str, "top level")
     check_type(doc, "options", list, "top level")

@@ -1,0 +1,109 @@
+#include "lifecycle/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace intellisphere::lifecycle {
+
+Result<DriftOptions> DriftOptions::FromProperties(const Properties& props) {
+  DriftOptions opts;
+  if (props.Contains(kDriftWindowKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t window, props.GetInt(kDriftWindowKey));
+    if (window < 1) {
+      return Status::InvalidArgument("lifecycle.drift.window must be >= 1");
+    }
+    opts.window = static_cast<int>(window);
+  }
+  if (props.Contains(kDriftThresholdKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.threshold,
+                             props.GetDouble(kDriftThresholdKey));
+    if (!(opts.threshold > 0.0)) {
+      return Status::InvalidArgument(
+          "lifecycle.drift.threshold must be > 0");
+    }
+  }
+  if (props.Contains(kDriftMinSamplesKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t min_samples,
+                             props.GetInt(kDriftMinSamplesKey));
+    if (min_samples < 1) {
+      return Status::InvalidArgument(
+          "lifecycle.drift.min_samples must be >= 1");
+    }
+    opts.min_samples = static_cast<int>(min_samples);
+  }
+  if (props.Contains(kDriftOutOfRangeFractionKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.out_of_range_fraction,
+                             props.GetDouble(kDriftOutOfRangeFractionKey));
+    if (!(opts.out_of_range_fraction > 0.0) ||
+        opts.out_of_range_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "lifecycle.drift.out_of_range_fraction must be in (0, 1]");
+    }
+  }
+  return opts;
+}
+
+double RelativeError(double estimated_seconds, double actual_seconds) {
+  if (!std::isfinite(estimated_seconds) || !std::isfinite(actual_seconds)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  constexpr double kEps = 1e-9;
+  return std::fabs(estimated_seconds - actual_seconds) /
+         std::max(std::fabs(actual_seconds), kEps);
+}
+
+DriftDetector::DriftDetector(DriftOptions opts) : opts_(opts) {
+  opts_.window = std::max(1, opts_.window);
+  opts_.min_samples = std::max(1, opts_.min_samples);
+}
+
+void DriftDetector::Observe(double relative_error, bool out_of_range) {
+  if (!std::isfinite(relative_error)) {
+    ++rejected_nonfinite_;
+    return;
+  }
+  while (static_cast<int>(window_.size()) >= opts_.window) {
+    window_.pop_front();
+  }
+  window_.push_back({relative_error, out_of_range});
+  ++accepted_;
+}
+
+DriftState DriftDetector::State() const {
+  DriftState state;
+  state.accepted = accepted_;
+  state.rejected_nonfinite = rejected_nonfinite_;
+  state.window_size = static_cast<int>(window_.size());
+  if (window_.empty()) return state;
+
+  double error_sum = 0.0;
+  int out_of_range = 0;
+  for (const Observation& obs : window_) {
+    error_sum += obs.relative_error;
+    if (obs.out_of_range) ++out_of_range;
+  }
+  state.mean_relative_error = error_sum / static_cast<double>(window_.size());
+  state.out_of_range_fraction =
+      static_cast<double>(out_of_range) / static_cast<double>(window_.size());
+
+  // A window shorter than min_samples still fires once it is full.
+  const int effective_min = std::min(opts_.min_samples, opts_.window);
+  if (state.window_size < effective_min) return state;
+  if (state.mean_relative_error > opts_.threshold) {
+    state.drifted = true;
+    state.reason = "relative_error";
+  } else if (state.out_of_range_fraction >= opts_.out_of_range_fraction) {
+    state.drifted = true;
+    state.reason = "out_of_range";
+  }
+  return state;
+}
+
+void DriftDetector::Reset() {
+  window_.clear();
+  accepted_ = 0;
+  rejected_nonfinite_ = 0;
+}
+
+}  // namespace intellisphere::lifecycle

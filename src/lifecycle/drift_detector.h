@@ -1,0 +1,108 @@
+// Per-(system, logical-operator) drift detection over a rolling window of
+// relative estimation errors (DESIGN.md §16). Two independent signals can
+// declare drift once the window holds enough samples:
+//
+//   - the mean relative error |estimate - actual| / max(|actual|, eps)
+//     over the window exceeds `lifecycle.drift.threshold`, or
+//   - the fraction of window observations whose features fell outside the
+//     model's trained range (the paper's range-metadata signal, computed
+//     by the manager via TrainingMetadata::PivotDimensions) reaches
+//     `lifecycle.drift.out_of_range_fraction`.
+//
+// The detector itself is a plain single-threaded value type: the
+// LifecycleManager owns one per (system, operator type) under its own
+// mutex. Non-finite error observations (NaN/Inf from degenerate actuals)
+// are rejected and counted, never mixed into the window.
+
+#ifndef INTELLISPHERE_LIFECYCLE_DRIFT_DETECTOR_H_
+#define INTELLISPHERE_LIFECYCLE_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "util/properties.h"
+#include "util/status.h"
+
+namespace intellisphere::lifecycle {
+
+/// Rolling-window length, in accepted observations (>= 1).
+inline constexpr char kDriftWindowKey[] = "lifecycle.drift.window";
+/// Mean relative error above which the window signals drift (> 0).
+inline constexpr char kDriftThresholdKey[] = "lifecycle.drift.threshold";
+/// Accepted observations required before the detector may fire (>= 1;
+/// values above the window length are clamped down to it, so a window
+/// shorter than min_samples still fires once full).
+inline constexpr char kDriftMinSamplesKey[] = "lifecycle.drift.min_samples";
+/// Fraction of window observations out of the trained range that alone
+/// signals drift (in (0, 1]).
+inline constexpr char kDriftOutOfRangeFractionKey[] =
+    "lifecycle.drift.out_of_range_fraction";
+
+struct DriftOptions {
+  int window = 64;
+  double threshold = 0.25;
+  int min_samples = 16;
+  double out_of_range_fraction = 0.5;
+
+  /// Reads any `lifecycle.drift.*` keys present; InvalidArgument on
+  /// out-of-domain values.
+  [[nodiscard]] static Result<DriftOptions> FromProperties(
+      const Properties& props);
+};
+
+/// |estimated - actual| scaled by max(|actual|, eps). Returns NaN when
+/// either input is non-finite, so degenerate executions are rejected by
+/// Observe instead of poisoning the window.
+[[nodiscard]] double RelativeError(double estimated_seconds,
+                                   double actual_seconds);
+
+/// Point-in-time detector state (see State()).
+struct DriftState {
+  /// Lifetime accepted observations (not capped by the window).
+  int64_t accepted = 0;
+  /// Lifetime observations rejected for non-finite error.
+  int64_t rejected_nonfinite = 0;
+  /// Observations currently retained (<= window).
+  int window_size = 0;
+  double mean_relative_error = 0.0;
+  double out_of_range_fraction = 0.0;
+  bool drifted = false;
+  /// "" | "relative_error" | "out_of_range" — the signal that fired.
+  const char* reason = "";
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions opts);
+
+  /// Feeds one execution observation. Non-finite `relative_error` is
+  /// rejected (counted in rejected_nonfinite).
+  void Observe(double relative_error, bool out_of_range);
+
+  /// Evaluates the drift rule over the current window. The mean is
+  /// recomputed from the retained observations on every call, so the
+  /// verdict is deterministic and free of accumulation error.
+  [[nodiscard]] DriftState State() const;
+
+  /// Clears the window and the lifetime counters — called after a model
+  /// swap (the new model starts with a clean slate) and after a shadow
+  /// reject (a fresh window of evidence is required before retrying).
+  void Reset();
+
+  const DriftOptions& options() const { return opts_; }
+
+ private:
+  struct Observation {
+    double relative_error = 0.0;
+    bool out_of_range = false;
+  };
+
+  DriftOptions opts_;
+  std::deque<Observation> window_;
+  int64_t accepted_ = 0;
+  int64_t rejected_nonfinite_ = 0;
+};
+
+}  // namespace intellisphere::lifecycle
+
+#endif  // INTELLISPHERE_LIFECYCLE_DRIFT_DETECTOR_H_

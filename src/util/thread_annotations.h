@@ -13,8 +13,8 @@
 //   - Library code never touches std::mutex / std::lock_guard /
 //     std::unique_lock / std::condition_variable directly; the lint rule
 //     `lock-discipline` bans them in src/ outside this header. Use Mutex,
-//     MutexLock, and CondVar instead — they carry the annotations the raw
-//     std types lack.
+//     MutexLock, SharedMutex (+ Reader/WriterMutexLock), and CondVar
+//     instead — they carry the annotations the raw std types lack.
 //   - Every mutable member shared across threads is GUARDED_BY its mutex.
 //   - NO_THREAD_SAFETY_ANALYSIS is a last resort for code the analysis
 //     cannot express (none in the tree today); it requires a comment
@@ -29,6 +29,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__) && (!defined(SWIG))
 #define ISPHERE_THREAD_ANNOTATION(x) __attribute__((x))
@@ -52,13 +53,26 @@
 /// (guards against self-deadlock on non-reentrant mutexes).
 #define EXCLUDES(...) ISPHERE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Function-level precondition: the caller must hold the capability at
+/// least shared (read access).
+#define REQUIRES_SHARED(...) \
+  ISPHERE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
 /// The function acquires the capability and holds it on return.
 #define ACQUIRE(...) \
   ISPHERE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 
+/// The function acquires the capability shared and holds it on return.
+#define ACQUIRE_SHARED(...) \
+  ISPHERE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
 /// The function releases a held capability.
 #define RELEASE(...) \
   ISPHERE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function releases a capability held shared.
+#define RELEASE_SHARED(...) \
+  ISPHERE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
 
 /// The function acquires the capability iff it returns the given value.
 #define TRY_ACQUIRE(...) \
@@ -115,6 +129,56 @@ class SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+/// An annotated reader/writer mutex over std::shared_mutex. Used where a
+/// long-lived read side (estimate serving) must stay concurrent while a
+/// rare writer (the lifecycle model swap) needs a brief exclusive section.
+/// Non-reentrant in both modes; prefer the scoped ReaderMutexLock /
+/// WriterMutexLock so the release can never be missed.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (read) acquisition of a SharedMutex for the enclosing scope.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (write) acquisition of a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
 };
 
 /// A condition variable paired with Mutex. Wait atomically releases the
