@@ -3,15 +3,16 @@
 #   1. configure + build the asan-ubsan preset (-Werror on),
 #   2. run the whole test suite under AddressSanitizer + UBSan,
 #   3. run the concurrency tests under ThreadSanitizer (tsan preset),
+#      including the admission-vs-retrain overload hammer,
 #   4. run the repo lint pass (tools/lint, token-aware rules incl.
 #      lock-discipline / atomic-ordering / no-nondeterminism) and the
 #      clang thread-safety analysis gate (scripts/check_static_analysis.sh;
 #      skipped with a warning when clang++ is not installed),
 #   5. run the EXPLAIN examples and validate their JSON artifacts' schemas,
 #   6. run the doc-drift gate (docs <-> source knob cross-check),
-#   7. run the serving-throughput, plan-search, and model-lifecycle benches
-#      (default preset, no sanitizer) and check their BENCH json: hard
-#      floors fail, drift vs bench/baselines/ warns
+#   7. run the serving-throughput, plan-search, model-lifecycle, and
+#      closed-loop traffic benches (default preset, no sanitizer) and check
+#      their BENCH json: hard floors fail, drift vs bench/baselines/ warns
 #      (scripts/check_bench_regression.py).
 # Exits nonzero on any compiler warning, test failure, sanitizer report, or
 # lint finding. Tier-1 (`cmake -B build -S . && cmake --build build &&
@@ -52,7 +53,7 @@ ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan-ubsan --output-on-failure -j "$JOBS" \
     --timeout 300 -LE tier2
 
-echo "== [3/7] thread pool + parallel pipeline + observability + serving + resilience + lifecycle under tsan =="
+echo "== [3/7] thread pool + parallel pipeline + observability + serving + resilience + lifecycle + admission under tsan =="
 # Only the concurrency targets: everything that spawns threads goes through
 # src/util/thread_pool.* (lint rule no-raw-thread). parallel_training_test
 # drives every parallel code path, observability_test exercises the
@@ -63,17 +64,21 @@ echo "== [3/7] thread pool + parallel pipeline + observability + serving + resil
 # slot republishes and steals — resilience_test drives circuit
 # breakers and degraded serving under concurrent faulty traffic, and
 # lifecycle_test races estimate serving against background retrains and
-# the epoch-bumped model swap (ConcurrentServeDuringRetrainHammer), so
-# tsan on these five binaries covers the library's concurrency surface
-# without a second full-suite run.
+# the epoch-bumped model swap (ConcurrentServeDuringRetrainHammer), and
+# admission_test races multi-tenant admission-gated traffic against the
+# lifecycle driver's drift/retrain/swap loop
+# (MultiTenantOverloadRetrainHammer), so tsan on these six binaries covers
+# the library's concurrency surface without a second full-suite run.
 cmake --preset tsan
 cmake --build --preset tsan --target parallel_training_test \
-  observability_test serving_test resilience_test lifecycle_test -j "$JOBS"
+  observability_test serving_test resilience_test lifecycle_test \
+  admission_test -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/parallel_training_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/observability_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/serving_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/resilience_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/lifecycle_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/admission_test
 
 echo "== [4/7] repo lint pass + thread-safety static analysis =="
 cmake --preset lint
@@ -84,9 +89,11 @@ scripts/check_static_analysis.sh -j "$JOBS"
 echo "== [5/7] EXPLAIN examples + JSON schema validation =="
 # The examples run under asan+ubsan (built in step 1's tree) and must
 # produce schema-valid EXPLAIN_placement.json / EXPLAIN_serving.json /
-# EXPLAIN_query_plan.json / EXPLAIN_lifecycle.json.
+# EXPLAIN_query_plan.json / EXPLAIN_lifecycle.json /
+# EXPLAIN_admission.json.
 cmake --build --preset asan-ubsan --target explain_placement \
-  explain_serving explain_query_plan explain_lifecycle -j "$JOBS"
+  explain_serving explain_query_plan explain_lifecycle \
+  explain_admission -j "$JOBS"
 (cd build-asan-ubsan &&
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_placement)
@@ -103,6 +110,10 @@ python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_query_plan.json
   ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
     ./examples/explain_lifecycle)
 python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_lifecycle.json
+(cd build-asan-ubsan &&
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ./examples/explain_admission)
+python3 scripts/check_explain_json.py build-asan-ubsan/EXPLAIN_admission.json
 
 echo "== [6/7] doc-drift gate =="
 # Every Properties key / CMake option the docs mention must still exist in
@@ -110,18 +121,20 @@ echo "== [6/7] doc-drift gate =="
 # documented in docs/CONFIG.md.
 python3 scripts/check_docs.py
 
-echo "== [7/7] serving-throughput + plan-search + model-lifecycle benches + regression check =="
+echo "== [7/7] serving-throughput + plan-search + model-lifecycle + traffic benches + regression check =="
 # A real (unsanitized) build: each bench enforces its own floors at
 # runtime and aborts on violation; the checker re-verifies the artifacts'
 # hard floors and warns about drift against bench/baselines/.
 cmake --preset default
 cmake --build --preset default --target bench_serving_throughput \
-  bench_plan_search bench_model_lifecycle -j "$JOBS"
+  bench_plan_search bench_model_lifecycle bench_traffic -j "$JOBS"
 (cd build && ./bench/bench_serving_throughput)
 python3 scripts/check_bench_regression.py build/BENCH_serving_throughput.json
 (cd build && ./bench/bench_plan_search)
 python3 scripts/check_bench_regression.py build/BENCH_plan_search.json
 (cd build && ./bench/bench_model_lifecycle)
 python3 scripts/check_bench_regression.py build/BENCH_model_lifecycle.json
+(cd build && ./bench/bench_traffic)
+python3 scripts/check_bench_regression.py build/BENCH_traffic.json
 
 echo "check.sh: all gates passed"

@@ -5,7 +5,7 @@ configuration keys must not exist without documentation.
 Two directions, run from the repo root:
 
 1. Forward (docs -> source): every Properties key (``training.*`` /
-   ``serving.*`` / ``planner.*`` / ``lifecycle.*``) and every
+   ``serving.*`` / ``planner.*`` / ``lifecycle.*`` / ``traffic.*``) and every
    ``INTELLISPHERE_*`` CMake option mentioned in
    README.md, DESIGN.md, or docs/*.md must appear somewhere in the source
    tree (src/, scripts/, or a CMakeLists.txt). A doc mentioning a deleted
@@ -31,11 +31,11 @@ DOC_FILES = [ROOT / "README.md", ROOT / "DESIGN.md"] + sorted(
     (ROOT / "docs").glob("*.md")
 )
 
-# A Properties key: a training./serving./remote./planner./lifecycle.
-# prefix followed by dotted lowercase segments. Trailing dots (from
+# A Properties key: a training./serving./remote./planner./lifecycle./
+# traffic. prefix followed by dotted lowercase segments. Trailing dots (from
 # wildcard mentions such as "serving.cache.*") are stripped after matching.
 KEY_RE = re.compile(
-    r"\b(?:training|serving|remote|planner|lifecycle)"
+    r"\b(?:training|serving|remote|planner|lifecycle|traffic)"
     r"\.[a-z0-9_]+(?:\.[a-z0-9_]+)*"
 )
 
@@ -48,7 +48,7 @@ OPTION_RE = re.compile(r"\bINTELLISPHERE_[A-Z][A-Z0-9_]*\b")
 # mistaken for configuration.
 KEY_DECL_RE = re.compile(
     r"constexpr\s+char\s+k\w+Key\[\]\s*=\s*"
-    r"\"((?:training|serving|remote|planner|lifecycle)\.[a-z0-9_.]+)\""
+    r"\"((?:training|serving|remote|planner|lifecycle|traffic)\.[a-z0-9_.]+)\""
 )
 
 OPTION_DECL_RE = re.compile(r"^\s*option\((INTELLISPHERE_[A-Z0-9_]+)", re.M)

@@ -8,8 +8,9 @@ keys — a "serving" object is an EstimationService::ExplainJson() document
 (examples/explain_serving), a "query_plan" object is an
 ExplainQueryPlan() document (examples/explain_query_plan), a "lifecycle"
 object is a LifecycleManager::ExplainJson() document
-(examples/explain_lifecycle), anything else is a placement plan
-(examples/explain_placement).
+(examples/explain_lifecycle), an "admission" object is an
+AdmissionController::ExplainJson() document (examples/explain_admission),
+anything else is a placement plan (examples/explain_placement).
 
 Usage: check_explain_json.py <path-to-EXPLAIN_*.json>
 """
@@ -187,6 +188,61 @@ def check_lifecycle(doc):
           f"{len(lc['detectors'])} detectors, swaps {lc['swaps']})")
 
 
+ADMISSION_FIELDS = {
+    "enabled": bool,
+    "tenant_rate": (int, float),
+    "tenant_burst": (int, float),
+    "max_queue": int,
+    "degrade_fraction": (int, float),
+    "background_fraction": (int, float),
+    "service_seconds": (int, float),
+    "queue_clears_at": (int, float),
+    "tenants": int,
+    "counters": dict,
+}
+
+ADMISSION_COUNTER_FIELDS = (
+    "admitted",
+    "degraded",
+    "shed_load",
+    "shed_deadline",
+    "tenant_throttled",
+    "background_yield",
+)
+
+
+def check_admission(doc):
+    adm = doc["admission"]
+    if not isinstance(adm, dict):
+        fail("admission: must be an object")
+    for field, expected in ADMISSION_FIELDS.items():
+        check_type(adm, field, expected, "admission")
+    counters = adm["counters"]
+    for field in ADMISSION_COUNTER_FIELDS:
+        check_type(counters, field, int, "admission.counters")
+        if counters[field] < 0:
+            fail(f"admission.counters.{field} must be >= 0")
+    if adm["max_queue"] < 1:
+        fail("admission.max_queue must be >= 1")
+    if adm["tenants"] < 0:
+        fail("admission.tenants must be >= 0")
+    for field in ("tenant_rate", "tenant_burst", "service_seconds"):
+        if adm[field] < 0:
+            fail(f"admission.{field} must be >= 0")
+    if not 0.0 < adm["degrade_fraction"] <= 1.0:
+        fail("admission.degrade_fraction must be in (0, 1]")
+    if not 0.0 < adm["background_fraction"] <= 1.0:
+        fail("admission.background_fraction must be in (0, 1]")
+    # degraded answers are admitted answers; throttles are a subset of them
+    if counters["tenant_throttled"] > counters["admitted"] + counters[
+            "degraded"] + counters["shed_load"] + counters["shed_deadline"]:
+        fail("admission.counters.tenant_throttled exceeds total decisions")
+    print(f"check_explain_json: OK (admission: "
+          f"admitted {counters['admitted']}, "
+          f"degraded {counters['degraded']}, shed "
+          f"{counters['shed_load'] + counters['shed_deadline']})")
+
+
 QUERY_NODE_FIELDS = {
     "kind": str,
     "system": str,
@@ -315,6 +371,9 @@ def main():
         return
     if "lifecycle" in doc:
         check_lifecycle(doc)
+        return
+    if "admission" in doc:
+        check_admission(doc)
         return
     check_type(doc, "operator", str, "top level")
     check_type(doc, "options", list, "top level")

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/runtime_metrics.h"
 #include "util/trace.h"
@@ -37,6 +38,18 @@ enum class ChoicePolicy {
 };
 
 const char* ChoicePolicyName(ChoicePolicy policy);
+
+/// Scheduling class for a request, consulted by the serving-layer
+/// admission controller (serving/admission.h). Foreground traffic is
+/// planner-facing and keeps serving at pressure levels where background
+/// traffic (lifecycle shadow evaluation, retrain probes, warmups) is
+/// already shed — DESIGN.md §17.
+enum class RequestPriority {
+  kForeground,
+  kBackground,
+};
+
+const char* RequestPriorityName(RequestPriority priority);
 
 /// How much provenance an estimate call should collect.
 enum class EstimateDetail {
@@ -70,6 +83,31 @@ struct EstimateContext {
   /// the degradation ladder (DESIGN.md §12) instead of trusting remote
   /// signals.
   bool breaker_open = false;
+  /// Absolute deployment-clock deadline for this request (seconds; 0 = no
+  /// deadline). The serving layer rejects work whose deadline already
+  /// passed with DeadlineExceeded before touching the cache, and the
+  /// admission controller sheds batches *early* when its queue model
+  /// predicts they cannot finish in time (DESIGN.md §17).
+  double deadline_seconds = 0.0;
+  /// Tenant identity for per-tenant admission accounting (token buckets,
+  /// SLO attribution). A view, not a copy: the caller owns the backing
+  /// string for the duration of the call. Empty = the anonymous tenant.
+  std::string_view tenant;
+  /// Scheduling class; background traffic yields to foreground under
+  /// queue pressure (serving/admission.h).
+  RequestPriority priority = RequestPriority::kForeground;
+  /// Set by AdmissionController when it admits a request in degraded mode
+  /// (rung two of the serve → serve-degraded → shed ladder).
+  /// CostingProfile::Estimate then walks the same degradation ladder as
+  /// breaker_open, with "admission_overload:*" fallback reasons, and the
+  /// serving layer may answer from a stale cache entry. Degraded results
+  /// are never written back to the cache.
+  bool admission_degraded = false;
+
+  /// Whether `deadline_seconds` is set and already behind clock `at`.
+  bool DeadlineExpiredAt(double at) const {
+    return deadline_seconds > 0.0 && at > deadline_seconds;
+  }
 
   bool tracing() const { return trace != nullptr; }
   /// Whether to build string-typed provenance (reason texts, candidate

@@ -415,6 +415,16 @@ const char* ChoicePolicyName(ChoicePolicy policy) {
   return "unknown";
 }
 
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kForeground:
+      return "foreground";
+    case RequestPriority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
 std::vector<std::unique_ptr<JoinFormula>> HiveJoinFormulas() {
   std::vector<std::unique_ptr<JoinFormula>> v;
   v.push_back(std::make_unique<ShuffleJoinFormula>());

@@ -195,8 +195,8 @@ bool CostingProfile::SelectsLogical(rel::OperatorType type, double now) const {
 
 bool CostingProfile::RoutesToLogicalModel(rel::OperatorType type,
                                           const EstimateContext& ctx) const {
-  return !ctx.breaker_open && SelectsLogical(type, ctx.now) &&
-         has_logical_model(type);
+  return !ctx.breaker_open && !ctx.admission_degraded &&
+         SelectsLogical(type, ctx.now) && has_logical_model(type);
 }
 
 Result<HybridEstimate> CostingProfile::Estimate(
@@ -283,25 +283,31 @@ Result<HybridEstimate> CostingProfile::EstimateImpl(
     fell_back = true;
   }
 
-  // Degradation ladder (DESIGN.md §12). An open breaker means the system
-  // has stopped answering, so its logical-op models are no longer receiving
-  // tuning feedback: prefer the analytical sub-op formulas, then the
-  // last-known-good value, and only then the possibly-stale model — always
-  // flagging the answer so no caller mistakes it for full fidelity.
+  // Degradation ladder (DESIGN.md §12, §17). An open breaker means the
+  // system has stopped answering, so its logical-op models are no longer
+  // receiving tuning feedback; an admission-degraded request must skip the
+  // expensive forward pass under overload. Either way: prefer the
+  // analytical sub-op formulas, then the last-known-good value, and only
+  // then the possibly-stale model — always flagging the answer so no
+  // caller mistakes it for full fidelity. The reason prefix names the
+  // cause (breaker wins when both apply: it is the stronger signal).
   const int type_idx = static_cast<int>(op.type);
   const bool lkg_ok = type_idx >= 0 && type_idx < kNumOperatorTypes &&
                       lkg_valid_[type_idx].load(std::memory_order_acquire);
+  const bool degraded_ctx = ctx.breaker_open || ctx.admission_degraded;
+  const char* degrade_cause =
+      ctx.breaker_open ? "breaker_open" : "admission_overload";
   std::string degraded_reason;
   bool serve_lkg = false;
-  if (ctx.breaker_open && use_logical) {
+  if (degraded_ctx && use_logical) {
     if (sub_op_.has_value()) {
       use_logical = false;
-      degraded_reason = "breaker_open:sub_op";
+      degraded_reason = std::string(degrade_cause) + ":sub_op";
     } else if (lkg_ok) {
       serve_lkg = true;
-      degraded_reason = "breaker_open:last_known_good";
+      degraded_reason = std::string(degrade_cause) + ":last_known_good";
     } else {
-      degraded_reason = "breaker_open:stale_model";
+      degraded_reason = std::string(degrade_cause) + ":stale_model";
     }
   }
 
@@ -357,12 +363,12 @@ Result<HybridEstimate> CostingProfile::EstimateImpl(
   } else {
     ISPHERE_ASSIGN_OR_RETURN(const SubOpCostEstimator* sub, sub_op());
     Result<SubOpEstimate> se_result = sub->Estimate(op, ctx.Under(root));
-    if (!se_result.ok() && ctx.breaker_open && lkg_ok) {
+    if (!se_result.ok() && degraded_ctx && lkg_ok) {
       // Bottom rung: the analytical path failed too, but we have a
       // previously-served good value for this operator type.
       est.seconds = lkg_seconds_[type_idx].load(std::memory_order_acquire);
       est.approach_used = CostingApproach::kSubOp;
-      est.fell_back_reason = "breaker_open:last_known_good";
+      est.fell_back_reason = std::string(degrade_cause) + ":last_known_good";
       if (degraded_reason.empty()) inst.degraded->Increment();
     } else {
       ISPHERE_ASSIGN_OR_RETURN(SubOpEstimate se, std::move(se_result));

@@ -61,10 +61,11 @@ struct HybridEstimate {
   /// was trained for this operator type.
   bool fell_back_to_sub_op = false;
   /// Why the estimate was degraded; empty for a full-fidelity estimate.
-  /// The ladder (DESIGN.md §12) records "breaker_open:sub_op",
-  /// "breaker_open:last_known_good", or "breaker_open:stale_model"; the
-  /// serving layer adds "breaker_open:served_stale". Degraded estimates
-  /// are never cached.
+  /// The ladder (DESIGN.md §12) records "<cause>:sub_op",
+  /// "<cause>:last_known_good", or "<cause>:stale_model", where <cause> is
+  /// "breaker_open" (backend fault) or "admission_overload" (serving-layer
+  /// overload, DESIGN.md §17); the serving layer adds
+  /// "<cause>:served_stale". Degraded estimates are never cached.
   std::string fell_back_reason;
   /// Algorithm candidates the applicability rules eliminated (sub-op path).
   /// The count is always maintained; the reason list is filled only when

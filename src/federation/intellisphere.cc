@@ -120,7 +120,23 @@ Status IntelliSphere::AttachEstimationService(
         "estimation service wraps a different CostEstimator than this "
         "facade's");
   }
+  if (admission_ != nullptr && admission_->service() != service) {
+    return Status::FailedPrecondition(
+        "an admission controller wrapping the current service is attached; "
+        "detach it before swapping the estimation service");
+  }
   serving_ = service;
+  return Status::OK();
+}
+
+Status IntelliSphere::AttachAdmissionController(
+    const serving::AdmissionController* admission) {
+  if (admission != nullptr && admission->service() != serving_) {
+    return Status::InvalidArgument(
+        "admission controller wraps a different EstimationService than the "
+        "one attached to this facade");
+  }
+  admission_ = admission;
   return Status::OK();
 }
 
@@ -159,8 +175,14 @@ std::vector<Result<core::HybridEstimate>> IntelliSphere::CostBatch(
       positions.push_back(i);
     }
     if (!remote.empty()) {
+      // With an admission controller attached, the remote batch passes its
+      // serve / serve-degraded / shed ladder first; shed batches surface
+      // as per-request ResourceExhausted / DeadlineExceeded, which aborts
+      // the plan search (BatchCostFn contract) — planning fails fast under
+      // overload instead of queueing behind the pool.
       std::vector<Result<core::HybridEstimate>> results =
-          serving_->EstimateBatch(remote, ctx);
+          admission_ != nullptr ? admission_->EstimateBatch(remote, ctx)
+                                : serving_->EstimateBatch(remote, ctx);
       for (size_t j = 0; j < positions.size() && j < results.size(); ++j) {
         out[positions[j]] = std::move(results[j]);
       }

@@ -22,6 +22,7 @@
 #include "relational/catalog.h"
 #include "relational/query.h"
 #include "remote/remote_system.h"
+#include "serving/admission.h"
 #include "serving/service.h"
 
 namespace intellisphere::fed {
@@ -202,6 +203,18 @@ class IntelliSphere {
   [[nodiscard]] Status AttachEstimationService(
       const serving::EstimationService* service);
 
+  /// Puts the attached estimation service behind an admission controller:
+  /// the planners' remote cost batches are admitted, degraded, or shed per
+  /// the controller's ladder (DESIGN.md §17), with tenant/priority/deadline
+  /// read from the planning EstimateContext. The controller must wrap the
+  /// currently attached service (InvalidArgument otherwise — attach the
+  /// service first) and must outlive the facade. Detach with nullptr.
+  /// A shed batch surfaces as the plan search's error (ResourceExhausted /
+  /// DeadlineExceeded): an overloaded serving layer fails planning fast
+  /// instead of stalling it.
+  [[nodiscard]] Status AttachAdmissionController(
+      const serving::AdmissionController* admission);
+
   core::CostEstimator& cost_estimator() { return estimator_; }
   const core::CostEstimator& cost_estimator() const { return estimator_; }
   QueryGrid& query_grid() { return grid_; }
@@ -224,6 +237,7 @@ class IntelliSphere {
   eng::LocalCostModel local_model_;
   core::CostEstimator estimator_;
   const serving::EstimationService* serving_ = nullptr;
+  const serving::AdmissionController* admission_ = nullptr;
   QueryGrid grid_;
   rel::Catalog catalog_;
   std::map<std::string, std::unique_ptr<remote::RemoteSystem>> systems_;

@@ -91,6 +91,7 @@ LifecycleManager::LifecycleManager(core::CostEstimator* estimator,
       retrain_completed_(metrics_->GetCounter("lifecycle.retrain.completed")),
       retrain_failed_(metrics_->GetCounter("lifecycle.retrain.failed")),
       retrain_deferred_(metrics_->GetCounter("lifecycle.retrain.deferred")),
+      retrain_yielded_(metrics_->GetCounter("lifecycle.retrain.yielded")),
       shadow_accepted_(metrics_->GetCounter("lifecycle.shadow.accepted")),
       shadow_rejected_(metrics_->GetCounter("lifecycle.shadow.rejected")),
       swap_applied_(metrics_->GetCounter("lifecycle.swap.applied")),
@@ -134,6 +135,18 @@ Result<core::HybridEstimate> LifecycleManager::Estimate(
     const core::EstimateContext& ctx) const {
   ReaderMutexLock lock(&gate_);
   return service.Estimate(request, ctx);
+}
+
+Result<core::HybridEstimate> LifecycleManager::Estimate(
+    const serving::AdmissionController& admission,
+    const serving::EstimateRequest& request,
+    const core::EstimateContext& ctx) const {
+  // Lifecycle probes are background-class by definition; a caller-set
+  // tenant survives, the priority does not.
+  core::EstimateContext background = ctx;
+  background.priority = core::RequestPriority::kBackground;
+  ReaderMutexLock lock(&gate_);
+  return admission.Estimate(request, background);
 }
 
 void LifecycleManager::IngestRecords(std::vector<ExecutionRecord> records) {
@@ -425,6 +438,16 @@ Status LifecycleManager::Tick(double now) {
         retrain_deferred_->Increment();
         continue;
       }
+      // Priority yield (DESIGN.md §17): retrains are background work; the
+      // serving layer under queue pressure keeps its capacity for
+      // foreground planners. Drift state persists, so the launch happens
+      // on the first uncongested tick.
+      if (opts_.admission != nullptr &&
+          opts_.admission->ShouldYieldBackground(now)) {
+        ++retrains_yielded_total_;
+        retrain_yielded_->Increment();
+        continue;
+      }
       to_launch.push_back(key);
     }
   }
@@ -459,6 +482,7 @@ LifecycleStats LifecycleManager::Stats() const {
   stats.retrains_completed = retrains_completed_total_;
   stats.retrains_failed = retrains_failed_total_;
   stats.retrains_deferred = retrains_deferred_total_;
+  stats.retrains_yielded = retrains_yielded_total_;
   stats.shadow_accepted = shadow_accepted_total_;
   stats.shadow_rejected = shadow_rejected_total_;
   stats.swaps_applied = swaps_applied_total_;
@@ -488,6 +512,7 @@ std::string LifecycleManager::ExplainJson() const {
          ", \"completed\": " + std::to_string(stats.retrains_completed) +
          ", \"failed\": " + std::to_string(stats.retrains_failed) +
          ", \"deferred\": " + std::to_string(stats.retrains_deferred) +
+         ", \"yielded\": " + std::to_string(stats.retrains_yielded) +
          ", \"in_flight\": " + std::to_string(stats.in_flight) + "},\n";
   out += "    \"shadow\": {\"fraction\": " +
          JsonNumberShort(opts_.shadow_fraction) +

@@ -32,6 +32,7 @@
 #include "lifecycle/drift_detector.h"
 #include "lifecycle/ingest_queue.h"
 #include "remote/health.h"
+#include "serving/admission.h"
 #include "serving/service.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -61,6 +62,13 @@ struct LifecycleOptions {
   /// are deferred (`lifecycle.retrain.deferred`): actuals collected
   /// during an outage are not trustworthy training signal.
   const remote::HealthRegistry* health = nullptr;
+  /// When set, Tick consults the admission controller before launching
+  /// background retrains: while the serving layer's virtual queue is past
+  /// its background threshold, launches are postponed
+  /// (`lifecycle.retrain.yielded`) so retrain traffic yields to
+  /// foreground planners (DESIGN.md §17). Drift state is retained, so a
+  /// yielded retrain launches on the first uncongested tick.
+  const serving::AdmissionController* admission = nullptr;
   /// Sink for the `lifecycle.retrain` / `lifecycle.shadow` spans.
   TraceSink* trace = nullptr;
   /// Counter registry; the process-global registry when null.
@@ -106,6 +114,7 @@ struct LifecycleStats {
   int64_t retrains_completed = 0;
   int64_t retrains_failed = 0;
   int64_t retrains_deferred = 0;
+  int64_t retrains_yielded = 0;
   int64_t shadow_accepted = 0;
   int64_t shadow_rejected = 0;
   int64_t swaps_applied = 0;
@@ -147,6 +156,15 @@ class LifecycleManager {
   /// The service must wrap the same estimator this manager owns.
   [[nodiscard]] Result<core::HybridEstimate> Estimate(
       const serving::EstimationService& service,
+      const serving::EstimateRequest& request,
+      const core::EstimateContext& ctx = {}) const;
+
+  /// Same, routed through an admission controller at background priority:
+  /// lifecycle estimate probes pass the full overload ladder and are the
+  /// first traffic shed under pressure. The controller's service must wrap
+  /// the same estimator this manager owns.
+  [[nodiscard]] Result<core::HybridEstimate> Estimate(
+      const serving::AdmissionController& admission,
       const serving::EstimateRequest& request,
       const core::EstimateContext& ctx = {}) const;
 
@@ -220,6 +238,7 @@ class LifecycleManager {
   Counter* const retrain_completed_;
   Counter* const retrain_failed_;
   Counter* const retrain_deferred_;
+  Counter* const retrain_yielded_;
   Counter* const shadow_accepted_;
   Counter* const shadow_rejected_;
   Counter* const swap_applied_;
@@ -245,6 +264,7 @@ class LifecycleManager {
   int64_t retrains_completed_total_ GUARDED_BY(mu_) = 0;
   int64_t retrains_failed_total_ GUARDED_BY(mu_) = 0;
   int64_t retrains_deferred_total_ GUARDED_BY(mu_) = 0;
+  int64_t retrains_yielded_total_ GUARDED_BY(mu_) = 0;
   int64_t shadow_accepted_total_ GUARDED_BY(mu_) = 0;
   int64_t shadow_rejected_total_ GUARDED_BY(mu_) = 0;
   int64_t swaps_applied_total_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,387 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/json.h"
+
+namespace intellisphere::serving {
+
+namespace {
+
+/// Cached serving.admission.* counter pointers (the hybrid.cc
+/// EstimationInstruments pattern): Global() resolves once per process, a
+/// context-supplied registry resolves per call.
+struct AdmissionInstruments {
+  Counter* admitted = nullptr;
+  Counter* degraded = nullptr;
+  Counter* shed_load = nullptr;
+  Counter* shed_deadline = nullptr;
+  Counter* tenant_throttled = nullptr;
+  Counter* background_yield = nullptr;
+
+  AdmissionInstruments() = default;
+  explicit AdmissionInstruments(MetricsRegistry& r)
+      : admitted(r.GetCounter("serving.admission.admitted")),
+        degraded(r.GetCounter("serving.admission.degraded")),
+        shed_load(r.GetCounter("serving.admission.shed_load")),
+        shed_deadline(r.GetCounter("serving.admission.shed_deadline")),
+        tenant_throttled(r.GetCounter("serving.admission.tenant_throttled")),
+        background_yield(r.GetCounter("serving.admission.background_yield")) {}
+};
+
+const AdmissionInstruments& GlobalAdmissionInstruments() {
+  static const AdmissionInstruments* instruments =
+      new AdmissionInstruments(MetricsRegistry::Global());
+  return *instruments;
+}
+
+void RecordDecision(const core::EstimateContext& ctx, size_t batch_size,
+                    const AdmissionDecision& decision) {
+  const AdmissionInstruments local =
+      ctx.metrics != nullptr ? AdmissionInstruments(*ctx.metrics)
+                             : AdmissionInstruments();
+  const AdmissionInstruments& inst =
+      ctx.metrics != nullptr ? local : GlobalAdmissionInstruments();
+  const int64_t n = static_cast<int64_t>(batch_size);
+  switch (decision.outcome) {
+    case AdmissionOutcome::kServe:
+      inst.admitted->Increment(n);
+      break;
+    case AdmissionOutcome::kServeDegraded:
+      inst.degraded->Increment(n);
+      break;
+    case AdmissionOutcome::kShedLoad:
+      inst.shed_load->Increment(n);
+      break;
+    case AdmissionOutcome::kShedDeadline:
+      inst.shed_deadline->Increment(n);
+      break;
+  }
+  if (decision.tenant_throttled) inst.tenant_throttled->Increment(n);
+  if (decision.background_yield) inst.background_yield->Increment(n);
+}
+
+/// The shed statuses. Fixed texts (no interpolated depths) so shed errors
+/// compare equal across runs and replicas.
+Status ShedStatus(AdmissionOutcome outcome) {
+  if (outcome == AdmissionOutcome::kShedDeadline) {
+    return Status::DeadlineExceeded(
+        "admission: queue model predicts completion past the request "
+        "deadline");
+  }
+  return Status::ResourceExhausted(
+      "admission: serving overloaded, request shed");
+}
+
+}  // namespace
+
+Result<AdmissionOptions> AdmissionOptions::FromProperties(
+    const Properties& props) {
+  AdmissionOptions opts;
+  if (props.Contains(kAdmissionEnabledKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.enabled,
+                             props.GetBool(kAdmissionEnabledKey));
+  }
+  if (props.Contains(kAdmissionTenantRateKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.tenant_rate,
+                             props.GetDouble(kAdmissionTenantRateKey));
+  }
+  if (props.Contains(kAdmissionTenantBurstKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.tenant_burst,
+                             props.GetDouble(kAdmissionTenantBurstKey));
+  }
+  if (props.Contains(kAdmissionMaxQueueKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t max_queue,
+                             props.GetInt(kAdmissionMaxQueueKey));
+    opts.max_queue = static_cast<int>(max_queue);
+  }
+  if (props.Contains(kAdmissionDegradeFractionKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.degrade_fraction,
+                             props.GetDouble(kAdmissionDegradeFractionKey));
+  }
+  if (props.Contains(kAdmissionBackgroundFractionKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        opts.background_fraction,
+        props.GetDouble(kAdmissionBackgroundFractionKey));
+  }
+  if (props.Contains(kAdmissionServiceSecondsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.service_seconds,
+                             props.GetDouble(kAdmissionServiceSecondsKey));
+  }
+  ISPHERE_RETURN_NOT_OK(opts.Validate());
+  return opts;
+}
+
+Status AdmissionOptions::Validate() const {
+  if (!(tenant_rate > 0.0)) {
+    return Status::InvalidArgument(
+        "serving.admission.tenant_rate must be > 0");
+  }
+  if (!(tenant_burst > 0.0)) {
+    return Status::InvalidArgument(
+        "serving.admission.tenant_burst must be > 0");
+  }
+  if (max_queue < 1) {
+    return Status::InvalidArgument(
+        "serving.admission.max_queue must be >= 1");
+  }
+  if (!(degrade_fraction > 0.0) || degrade_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "serving.admission.degrade_fraction must be in (0, 1]");
+  }
+  if (!(background_fraction > 0.0) || background_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "serving.admission.background_fraction must be in (0, 1]");
+  }
+  if (!(service_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "serving.admission.service_seconds must be > 0");
+  }
+  return Status::OK();
+}
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kServe:
+      return "serve";
+    case AdmissionOutcome::kServeDegraded:
+      return "serve_degraded";
+    case AdmissionOutcome::kShedLoad:
+      return "shed_load";
+    case AdmissionOutcome::kShedDeadline:
+      return "shed_deadline";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const EstimationService* service,
+                                         AdmissionOptions options)
+    : service_(service), options_(options) {}
+
+double AdmissionController::QueueDepthLocked(double now) const {
+  const double backlog = queue_clears_at_ - now;
+  if (backlog <= 0.0) return 0.0;
+  return backlog / options_.service_seconds;
+}
+
+AdmissionDecision AdmissionController::Admit(
+    size_t batch_size, double now, const core::EstimateContext& ctx) const {
+  AdmissionDecision decision;
+  if (!options_.enabled || batch_size == 0) {
+    if (batch_size > 0) {
+      MutexLock lock(&mu_);
+      tallies_.admitted += static_cast<int64_t>(batch_size);
+    }
+    return decision;
+  }
+  const double n = static_cast<double>(batch_size);
+  MutexLock lock(&mu_);
+  decision.queue_depth = QueueDepthLocked(now);
+
+  // Deadline feasibility first: if the queue model already proves the
+  // answer would arrive late, shed before burning tokens or queue slots.
+  if (ctx.deadline_seconds > 0.0) {
+    const double finish = std::max(queue_clears_at_, now) +
+                          n * options_.service_seconds;
+    if (finish > ctx.deadline_seconds) {
+      decision.outcome = AdmissionOutcome::kShedDeadline;
+      tallies_.shed_deadline += static_cast<int64_t>(batch_size);
+      return decision;
+    }
+  }
+
+  const double max_queue = static_cast<double>(options_.max_queue);
+  if (decision.queue_depth + n > max_queue) {
+    decision.outcome = AdmissionOutcome::kShedLoad;
+    tallies_.shed_load += static_cast<int64_t>(batch_size);
+    return decision;
+  }
+  if (ctx.priority == core::RequestPriority::kBackground &&
+      decision.queue_depth + n >
+          options_.background_fraction * max_queue) {
+    decision.outcome = AdmissionOutcome::kShedLoad;
+    decision.background_yield = true;
+    tallies_.shed_load += static_cast<int64_t>(batch_size);
+    tallies_.background_yield += static_cast<int64_t>(batch_size);
+    return decision;
+  }
+
+  // Token bucket, refilled on the deployment clock. The clock may read
+  // earlier than the last refill when concurrent tenants interleave;
+  // refill only moves forward.
+  Bucket* bucket;
+  if (auto it = buckets_.find(ctx.tenant); it != buckets_.end()) {
+    bucket = &it->second;
+  } else {
+    bucket = &buckets_[std::string(ctx.tenant)];
+    bucket->tokens = options_.tenant_burst;
+    bucket->last_refill = now;
+  }
+  if (now > bucket->last_refill) {
+    bucket->tokens =
+        std::min(options_.tenant_burst,
+                 bucket->tokens +
+                     (now - bucket->last_refill) * options_.tenant_rate);
+    bucket->last_refill = now;
+  }
+
+  bool degraded = false;
+  if (bucket->tokens >= n) {
+    bucket->tokens -= n;
+  } else {
+    degraded = true;
+    decision.tenant_throttled = true;
+    tallies_.tenant_throttled += static_cast<int64_t>(batch_size);
+  }
+  if (decision.queue_depth + n > options_.degrade_fraction * max_queue) {
+    degraded = true;
+  }
+
+  // Admitted: the virtual queue absorbs the batch (shed paths above never
+  // advance it — work that is not done does not occupy the server).
+  queue_clears_at_ =
+      std::max(queue_clears_at_, now) + n * options_.service_seconds;
+  if (degraded) {
+    decision.outcome = AdmissionOutcome::kServeDegraded;
+    tallies_.degraded += static_cast<int64_t>(batch_size);
+  } else {
+    tallies_.admitted += static_cast<int64_t>(batch_size);
+  }
+  return decision;
+}
+
+bool AdmissionController::ShouldYieldBackground(double now) const {
+  if (!options_.enabled) return false;
+  MutexLock lock(&mu_);
+  return QueueDepthLocked(now) >
+         options_.background_fraction *
+             static_cast<double>(options_.max_queue);
+}
+
+Result<core::HybridEstimate> AdmissionController::Estimate(
+    const EstimateRequest& request, const core::EstimateContext& ctx) const {
+  const AdmissionDecision decision = Admit(1, request.now, ctx);
+  RecordDecision(ctx, 1, decision);
+  TraceSpan span = ctx.StartSpan("admission");
+  if (span.enabled()) {
+    span.SetString("tenant", std::string(ctx.tenant))
+        .SetString("priority", core::RequestPriorityName(ctx.priority))
+        .SetString("outcome", AdmissionOutcomeName(decision.outcome))
+        .SetDouble("queue_depth", decision.queue_depth)
+        .SetInt("size", 1);
+  }
+  switch (decision.outcome) {
+    case AdmissionOutcome::kShedLoad:
+    case AdmissionOutcome::kShedDeadline:
+      return ShedStatus(decision.outcome);
+    case AdmissionOutcome::kServeDegraded: {
+      core::EstimateContext degraded = ctx.Under(span);
+      degraded.admission_degraded = true;
+      return service_->Estimate(request, degraded);
+    }
+    case AdmissionOutcome::kServe:
+      break;
+  }
+  // Rung one: forward with the caller's context untouched (modulo span
+  // nesting), so admitted-at-zero-load results are bit-identical to a
+  // direct service call.
+  return service_->Estimate(request, ctx.Under(span));
+}
+
+std::vector<Result<core::HybridEstimate>> AdmissionController::EstimateBatch(
+    std::span<const EstimateRequest> requests,
+    const core::EstimateContext& ctx) const {
+  if (requests.empty()) return {};
+  const double now = requests.front().now;
+  const AdmissionDecision decision = Admit(requests.size(), now, ctx);
+  RecordDecision(ctx, requests.size(), decision);
+  TraceSpan span = ctx.StartSpan("admission");
+  if (span.enabled()) {
+    span.SetString("tenant", std::string(ctx.tenant))
+        .SetString("priority", core::RequestPriorityName(ctx.priority))
+        .SetString("outcome", AdmissionOutcomeName(decision.outcome))
+        .SetDouble("queue_depth", decision.queue_depth)
+        .SetInt("size", static_cast<int64_t>(requests.size()));
+  }
+  switch (decision.outcome) {
+    case AdmissionOutcome::kShedLoad:
+    case AdmissionOutcome::kShedDeadline:
+      return std::vector<Result<core::HybridEstimate>>(
+          requests.size(),
+          Result<core::HybridEstimate>(ShedStatus(decision.outcome)));
+    case AdmissionOutcome::kServeDegraded: {
+      core::EstimateContext degraded = ctx.Under(span);
+      degraded.admission_degraded = true;
+      return service_->EstimateBatch(requests, degraded);
+    }
+    case AdmissionOutcome::kServe:
+      break;
+  }
+  return service_->EstimateBatch(requests, ctx.Under(span));
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  MutexLock lock(&mu_);
+  AdmissionStats stats = tallies_;
+  stats.tenants_tracked = static_cast<int64_t>(buckets_.size());
+  stats.queue_clears_at = queue_clears_at_;
+  return stats;
+}
+
+MetricsSnapshot AdmissionController::StatsSnapshot() const {
+  const AdmissionStats stats = Stats();
+  MetricsSnapshot snap;
+  snap.samples = {
+      {"serving.admission.admitted", static_cast<double>(stats.admitted),
+       "count"},
+      {"serving.admission.degraded", static_cast<double>(stats.degraded),
+       "count"},
+      {"serving.admission.shed_load", static_cast<double>(stats.shed_load),
+       "count"},
+      {"serving.admission.shed_deadline",
+       static_cast<double>(stats.shed_deadline), "count"},
+      {"serving.admission.tenant_throttled",
+       static_cast<double>(stats.tenant_throttled), "count"},
+      {"serving.admission.background_yield",
+       static_cast<double>(stats.background_yield), "count"},
+      {"serving.admission.tenants", static_cast<double>(stats.tenants_tracked),
+       "count"},
+  };
+  return snap;
+}
+
+std::string AdmissionController::ExplainJson() const {
+  const AdmissionStats stats = Stats();
+  std::string json = "{\n  \"admission\": {\n";
+  json += std::string("    \"enabled\": ") +
+          (options_.enabled ? "true" : "false") + ",\n";
+  json += "    \"tenant_rate\": " + JsonNumberShort(options_.tenant_rate) +
+          ",\n";
+  json += "    \"tenant_burst\": " + JsonNumberShort(options_.tenant_burst) +
+          ",\n";
+  json += "    \"max_queue\": " + std::to_string(options_.max_queue) + ",\n";
+  json += "    \"degrade_fraction\": " +
+          JsonNumberShort(options_.degrade_fraction) + ",\n";
+  json += "    \"background_fraction\": " +
+          JsonNumberShort(options_.background_fraction) + ",\n";
+  json += "    \"service_seconds\": " +
+          JsonNumberShort(options_.service_seconds) + ",\n";
+  json += "    \"queue_clears_at\": " +
+          JsonNumberShort(stats.queue_clears_at) + ",\n";
+  json += "    \"tenants\": " + std::to_string(stats.tenants_tracked) + ",\n";
+  json += "    \"counters\": {\n";
+  json += "      \"admitted\": " + std::to_string(stats.admitted) + ",\n";
+  json += "      \"degraded\": " + std::to_string(stats.degraded) + ",\n";
+  json += "      \"shed_load\": " + std::to_string(stats.shed_load) + ",\n";
+  json += "      \"shed_deadline\": " + std::to_string(stats.shed_deadline) +
+          ",\n";
+  json += "      \"tenant_throttled\": " +
+          std::to_string(stats.tenant_throttled) + ",\n";
+  json += "      \"background_yield\": " +
+          std::to_string(stats.background_yield) + "\n";
+  json += "    }\n  }\n}\n";
+  return json;
+}
+
+}  // namespace intellisphere::serving

@@ -146,6 +146,13 @@ core::EstimateContext EstimationService::RequestContext(
 
 Result<core::HybridEstimate> EstimationService::Estimate(
     const EstimateRequest& request, const core::EstimateContext& ctx) const {
+  // Deadline gate (DESIGN.md §17): a request whose deadline already passed
+  // on the deployment clock is rejected before the cache is touched — no
+  // probe, no fill — so expired work can neither publish into nor be
+  // answered from shared state.
+  if (ctx.DeadlineExpiredAt(request.now)) {
+    return Status::DeadlineExceeded("estimate deadline expired before serving");
+  }
   const CacheCounters counters = CountersFor(ctx);
   // The epoch is captured *before* the cache probe and the computation, so
   // a retrain racing this call can only make the stored entry stale, never
@@ -156,13 +163,19 @@ Result<core::HybridEstimate> EstimationService::Estimate(
       ctx.health != nullptr ? ctx.health : options_.health;
   const bool breaker_open =
       health != nullptr && health->IsOpen(request.system, request.now);
+  // A TTL-expired entry beats recomputing when the backend is unreachable
+  // (breaker open) or the serving layer itself is overloaded (admission
+  // degraded); the flag names whichever cause applies (breaker wins).
+  const bool allow_stale = breaker_open || ctx.admission_degraded;
   if (!key.empty()) {
     bool served_stale = false;
     if (auto hit = cache_.Get(key, epoch, request.now, counters,
-                              /*allow_stale=*/breaker_open, &served_stale)) {
+                              allow_stale, &served_stale)) {
       if (served_stale) {
         core::HybridEstimate est = *std::move(hit);
-        est.fell_back_reason = "breaker_open:served_stale";
+        est.fell_back_reason = breaker_open
+                                   ? "breaker_open:served_stale"
+                                   : "admission_overload:served_stale";
         return est;
       }
       return *std::move(hit);
@@ -173,8 +186,11 @@ Result<core::HybridEstimate> EstimationService::Estimate(
                            RequestContext(request, ctx));
   // Degraded results (non-empty fell_back_reason) are never cached: once
   // the breaker closes, callers should get the real estimate again, not a
-  // memoized fallback.
-  if (result.ok() && !key.empty() && result.value().fell_back_reason.empty()) {
+  // memoized fallback. Admission-degraded requests never fill the cache
+  // either, even when their answer happens to be full fidelity (sub-op
+  // profiles): overload outcomes must not become durable state.
+  if (result.ok() && !key.empty() &&
+      result.value().fell_back_reason.empty() && !ctx.admission_degraded) {
     cache_.Put(key, epoch, request.now, result.value(), counters);
   }
   return result;
@@ -208,6 +224,9 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
     /// Answered by a cache hit in pass 1: computed[g] already holds the
     /// value; pass 2 skips the group, pass 3 only fans out.
     bool from_cache = false;
+    /// Answered with an error in pass 1 (expired deadline): keyless, never
+    /// computed, never cached.
+    bool preanswered = false;
   };
   std::vector<MissGroup> groups;
   // One answer slot per group: cache hits land here in pass 1, computed
@@ -248,6 +267,19 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
   bool memo_breaker_open = false;
   int64_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
+    // Deadline gate, mirrored from Estimate(): an expired request gets a
+    // per-request DeadlineExceeded with no cache probe, no computation,
+    // and (keyless group) no pass-3 fill.
+    if (ctx.DeadlineExpiredAt(requests[i].now)) {
+      group_of[i] = static_cast<uint32_t>(groups.size());
+      MissGroup shed;
+      shed.first_index = i;
+      shed.preanswered = true;
+      groups.push_back(std::move(shed));
+      computed.emplace_back(
+          Status::DeadlineExceeded("estimate deadline expired before serving"));
+      continue;
+    }
     if (memo_system == nullptr || *memo_system != requests[i].system) {
       auto profile = estimator_->GetProfile(requests[i].system);
       memo_profile = profile.ok() ? profile.value() : nullptr;
@@ -290,9 +322,15 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
       }
       bool served_stale = false;
       hit = cache_.Get(scratch, epoch, requests[i].now, counters,
-                       /*allow_stale=*/memo_breaker_open, &served_stale);
+                       /*allow_stale=*/memo_breaker_open ||
+                           ctx.admission_degraded,
+                       &served_stale);
       if (hit) {
-        if (served_stale) hit->fell_back_reason = "breaker_open:served_stale";
+        if (served_stale) {
+          hit->fell_back_reason = memo_breaker_open
+                                      ? "breaker_open:served_stale"
+                                      : "admission_overload:served_stale";
+        }
         from_cache = true;
       }
     }
@@ -332,7 +370,8 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
         model_groups;
     std::vector<size_t> scalar_groups;
     for (size_t g = 0; g < num_groups; ++g) {
-      if (groups[g].from_cache) continue;  // already answered in pass 1
+      // Already answered in pass 1 (cache hit or expired deadline).
+      if (groups[g].from_cache || groups[g].preanswered) continue;
       const EstimateRequest& rep = requests[groups[g].first_index];
       const core::CostingProfile* p = groups[g].profile;
       if (p != nullptr && !groups[g].breaker_open &&
@@ -412,13 +451,15 @@ std::vector<Result<core::HybridEstimate>> EstimationService::EstimateBatch(
     if (unit.batched) batched_groups += static_cast<int64_t>(unit.gs.size());
   }
 
-  // Pass 3: fill the cache from freshly computed groups (degraded results
-  // — non-empty fell_back_reason — are never cached, see Estimate()), then
+  // Pass 3: fill the cache from freshly computed groups (degraded, shed,
+  // and admission-degraded results are never cached, see Estimate()), then
   // fan every group's answer out to its requests in one sequential sweep.
   for (size_t g = 0; g < num_groups; ++g) {
-    if (groups[g].from_cache) continue;  // answered in pass 1
+    // Answered in pass 1: a hit needs no refill, a shed must never fill.
+    if (groups[g].from_cache || groups[g].preanswered) continue;
     if (computed[g].ok() && !groups[g].key.empty() &&
-        computed[g].value().fell_back_reason.empty()) {
+        computed[g].value().fell_back_reason.empty() &&
+        !ctx.admission_degraded) {
       cache_.Put(groups[g].key, epoch,
                  requests[groups[g].first_index].now, computed[g].value(),
                  counters);

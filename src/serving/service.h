@@ -95,6 +95,11 @@ class EstimationService {
   /// Single-request path: cache lookup, then compute-and-fill on a miss.
   /// Cache hits return without invoking the estimator, so they emit no
   /// estimate.* spans or counters — serving.cache.hits is the signal.
+  /// A context whose deadline already passed at request.now is rejected
+  /// with DeadlineExceeded before the cache is touched; an
+  /// admission-degraded context may be answered from a stale entry
+  /// ("admission_overload:served_stale") and never fills the cache
+  /// (DESIGN.md §17).
   [[nodiscard]] Result<core::HybridEstimate> Estimate(
       const EstimateRequest& request,
       const core::EstimateContext& ctx = {}) const;
@@ -111,7 +116,9 @@ class EstimationService {
   /// would). Units are fanned out over the service's pool (inline when
   /// jobs = 1). Results are returned in request order, bit-identical to
   /// the single-request path; an estimator error for one request does not
-  /// fail the batch. Emits a `serving.batch` span with
+  /// fail the batch. Requests whose deadline already passed get a
+  /// per-request DeadlineExceeded with no cache traffic, exactly like the
+  /// scalar path. Emits a `serving.batch` span with
   /// size/hits/misses/unique_misses/deduped/batched attributes when the
   /// context has a trace sink.
   [[nodiscard]] std::vector<Result<core::HybridEstimate>> EstimateBatch(

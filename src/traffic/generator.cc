@@ -1,0 +1,183 @@
+#include "traffic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intellisphere::traffic {
+
+Result<TrafficOptions> TrafficOptions::FromProperties(
+    const Properties& props) {
+  TrafficOptions opts;
+  if (props.Contains(kTrafficTenantsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t tenants,
+                             props.GetInt(kTrafficTenantsKey));
+    opts.tenants = static_cast<int>(tenants);
+  }
+  if (props.Contains(kTrafficDurationKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.duration_seconds,
+                             props.GetDouble(kTrafficDurationKey));
+  }
+  if (props.Contains(kTrafficBaseRateKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.base_rate,
+                             props.GetDouble(kTrafficBaseRateKey));
+  }
+  if (props.Contains(kTrafficZipfExponentKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.zipf_exponent,
+                             props.GetDouble(kTrafficZipfExponentKey));
+  }
+  if (props.Contains(kTrafficDiurnalAmplitudeKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.diurnal_amplitude,
+                             props.GetDouble(kTrafficDiurnalAmplitudeKey));
+  }
+  if (props.Contains(kTrafficDiurnalPeriodKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.diurnal_period_seconds,
+                             props.GetDouble(kTrafficDiurnalPeriodKey));
+  }
+  if (props.Contains(kTrafficBurstFactorKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.burst_factor,
+                             props.GetDouble(kTrafficBurstFactorKey));
+  }
+  if (props.Contains(kTrafficBurstPeriodKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.burst_period_seconds,
+                             props.GetDouble(kTrafficBurstPeriodKey));
+  }
+  if (props.Contains(kTrafficBurstDutyKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.burst_duty,
+                             props.GetDouble(kTrafficBurstDutyKey));
+  }
+  if (props.Contains(kTrafficBackgroundFractionKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.background_fraction,
+                             props.GetDouble(kTrafficBackgroundFractionKey));
+  }
+  if (props.Contains(kTrafficDeadlineKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.deadline_seconds,
+                             props.GetDouble(kTrafficDeadlineKey));
+  }
+  if (props.Contains(kTrafficSloP99UsKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(opts.slo_p99_us,
+                             props.GetDouble(kTrafficSloP99UsKey));
+  }
+  if (props.Contains(kTrafficSeedKey)) {
+    ISPHERE_ASSIGN_OR_RETURN(int64_t seed, props.GetInt(kTrafficSeedKey));
+    opts.seed = static_cast<uint64_t>(seed);
+  }
+  ISPHERE_RETURN_NOT_OK(opts.Validate());
+  return opts;
+}
+
+Status TrafficOptions::Validate() const {
+  if (tenants < 1) {
+    return Status::InvalidArgument("traffic.tenants must be >= 1");
+  }
+  if (!(duration_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "traffic.duration_seconds must be > 0");
+  }
+  if (!(base_rate > 0.0)) {
+    return Status::InvalidArgument("traffic.base_rate must be > 0");
+  }
+  if (!(zipf_exponent > 0.0)) {
+    return Status::InvalidArgument("traffic.zipf_exponent must be > 0");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0) {
+    return Status::InvalidArgument(
+        "traffic.diurnal_amplitude must be in [0, 1)");
+  }
+  if (!(diurnal_period_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "traffic.diurnal_period_seconds must be > 0");
+  }
+  if (burst_factor < 1.0) {
+    return Status::InvalidArgument("traffic.burst_factor must be >= 1");
+  }
+  if (!(burst_period_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "traffic.burst_period_seconds must be > 0");
+  }
+  if (!(burst_duty > 0.0) || burst_duty > 1.0) {
+    return Status::InvalidArgument("traffic.burst_duty must be in (0, 1]");
+  }
+  if (background_fraction < 0.0 || background_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "traffic.background_fraction must be in [0, 1)");
+  }
+  if (deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "traffic.deadline_seconds must be >= 0");
+  }
+  if (!(slo_p99_us > 0.0)) {
+    return Status::InvalidArgument("traffic.slo_p99_us must be > 0");
+  }
+  return Status::OK();
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  cdf_.reserve(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->Uniform(0.0, 1.0);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ArrivalRateAt(const TrafficOptions& opts, double t) {
+  const double diurnal =
+      1.0 + opts.diurnal_amplitude *
+                std::sin(2.0 * M_PI * t / opts.diurnal_period_seconds);
+  const double phase =
+      t - opts.burst_period_seconds *
+              std::floor(t / opts.burst_period_seconds);
+  const double burst =
+      phase < opts.burst_duty * opts.burst_period_seconds ? opts.burst_factor
+                                                          : 1.0;
+  return opts.base_rate * diurnal * burst;
+}
+
+Result<std::vector<TrafficEvent>> GenerateTraffic(
+    const TrafficOptions& opts, int num_items) {
+  ISPHERE_RETURN_NOT_OK(opts.Validate());
+  if (num_items < 1) {
+    return Status::InvalidArgument(
+        "GenerateTraffic: num_items must be >= 1");
+  }
+  Rng rng(opts.seed);
+  const ZipfSampler tenant_sampler(opts.tenants, opts.zipf_exponent);
+  const ZipfSampler item_sampler(num_items, opts.zipf_exponent);
+  // First tenant index in the background (low-priority) band: the
+  // most-popular 1 - background_fraction of tenants are foreground.
+  const int first_background = static_cast<int>(std::ceil(
+      (1.0 - opts.background_fraction) * static_cast<double>(opts.tenants)));
+
+  // Ogata thinning: homogeneous candidates at the peak rate, each kept with
+  // probability rate(t) / rate_max.
+  const double rate_max =
+      opts.base_rate * (1.0 + opts.diurnal_amplitude) * opts.burst_factor;
+  std::vector<TrafficEvent> events;
+  events.reserve(static_cast<size_t>(opts.base_rate * opts.duration_seconds));
+  double t = 0.0;
+  while (true) {
+    // Exponential inter-arrival via inverse CDF; Uniform is [0, 1), so the
+    // log argument 1 - u is in (0, 1].
+    t += -std::log(1.0 - rng.Uniform(0.0, 1.0)) / rate_max;
+    if (t >= opts.duration_seconds) break;
+    if (!rng.Bernoulli(ArrivalRateAt(opts, t) / rate_max)) continue;
+    TrafficEvent ev;
+    ev.time = t;
+    ev.tenant = tenant_sampler.Sample(&rng);
+    ev.background = ev.tenant >= first_background;
+    ev.item = item_sampler.Sample(&rng);
+    events.push_back(ev);
+  }
+  return events;
+}
+
+}  // namespace intellisphere::traffic

@@ -1,0 +1,113 @@
+// Seeded deterministic load generation for the closed-loop serving harness
+// (DESIGN.md §17): N tenants with Zipfian popularity, Zipfian work-item
+// skew, and a non-homogeneous Poisson arrival process (diurnal sinusoid ×
+// periodic burst windows) sampled by thinning — all on the simulated
+// deployment clock, all driven by one util::Rng seed. The same options
+// produce byte-identical traces on every machine, which is what lets the
+// traffic bench pin shed/degraded fractions as regression gates.
+
+#ifndef INTELLISPHERE_TRAFFIC_GENERATOR_H_
+#define INTELLISPHERE_TRAFFIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/properties.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace intellisphere::traffic {
+
+/// Properties keys for the traffic generator (docs/CONFIG.md).
+inline constexpr char kTrafficTenantsKey[] = "traffic.tenants";
+inline constexpr char kTrafficDurationKey[] = "traffic.duration_seconds";
+inline constexpr char kTrafficBaseRateKey[] = "traffic.base_rate";
+inline constexpr char kTrafficZipfExponentKey[] = "traffic.zipf_exponent";
+inline constexpr char kTrafficDiurnalAmplitudeKey[] =
+    "traffic.diurnal_amplitude";
+inline constexpr char kTrafficDiurnalPeriodKey[] =
+    "traffic.diurnal_period_seconds";
+inline constexpr char kTrafficBurstFactorKey[] = "traffic.burst_factor";
+inline constexpr char kTrafficBurstPeriodKey[] =
+    "traffic.burst_period_seconds";
+inline constexpr char kTrafficBurstDutyKey[] = "traffic.burst_duty";
+inline constexpr char kTrafficBackgroundFractionKey[] =
+    "traffic.background_fraction";
+inline constexpr char kTrafficDeadlineKey[] = "traffic.deadline_seconds";
+inline constexpr char kTrafficSloP99UsKey[] = "traffic.slo_p99_us";
+inline constexpr char kTrafficSeedKey[] = "traffic.seed";
+
+struct TrafficOptions {
+  /// Number of tenants; tenant popularity is Zipf(zipf_exponent), so
+  /// tenant 0 dominates and the tail is sparse.
+  int tenants = 8;
+  /// Trace length on the deployment clock.
+  double duration_seconds = 60.0;
+  /// Mean arrival rate (requests/second) before diurnal/burst modulation.
+  double base_rate = 50.0;
+  /// Skew of both the tenant and the work-item distributions (> 0; larger
+  /// = more skewed; 0.99–1.2 is web-workload-like).
+  double zipf_exponent = 1.1;
+  /// Diurnal sinusoid: rate is scaled by 1 + amplitude*sin(2*pi*t/period).
+  /// Amplitude in [0, 1).
+  double diurnal_amplitude = 0.4;
+  double diurnal_period_seconds = 60.0;
+  /// Burst windows: within the first `burst_duty` fraction of every
+  /// `burst_period_seconds`, the rate is additionally multiplied by
+  /// `burst_factor` (>= 1; 1 = no bursts).
+  double burst_factor = 4.0;
+  double burst_period_seconds = 10.0;
+  double burst_duty = 0.2;
+  /// The most-popular `1 - background_fraction` of tenants are foreground
+  /// (planner traffic); the rest issue background-class requests
+  /// (lifecycle probes, warmers). In [0, 1).
+  double background_fraction = 0.25;
+  /// Relative per-request deadline on the deployment clock (0 = none);
+  /// the harness turns this into EstimateContext::deadline_seconds.
+  double deadline_seconds = 0.0;
+  /// Per-tenant p99 wall-latency SLO for *answered* requests, microseconds.
+  double slo_p99_us = 5000.0;
+  uint64_t seed = 1234;
+
+  /// Reads the traffic.* keys; absent keys keep their defaults.
+  [[nodiscard]] static Result<TrafficOptions> FromProperties(
+      const Properties& props);
+  [[nodiscard]] Status Validate() const;
+};
+
+/// One arrival in the generated trace.
+struct TrafficEvent {
+  double time = 0.0;  ///< deployment-clock arrival time
+  int tenant = 0;
+  bool background = false;  ///< priority class (from the tenant's index)
+  int item = 0;             ///< work-item index (Zipf-skewed)
+};
+
+/// A Zipf(s) sampler over {0, ..., n-1} via its precomputed CDF: rank r is
+/// drawn with probability proportional to 1/(r+1)^s. Deterministic given
+/// the caller's Rng.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1 and `s` > 0 (asserted by the generator's Validate).
+  ZipfSampler(int n, double s);
+  int Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The modulated arrival rate at deployment time `t` (requests/second):
+/// base_rate × diurnal(t) × burst(t). Exposed for tests and for benches
+/// that want to report the offered-load curve.
+double ArrivalRateAt(const TrafficOptions& opts, double t);
+
+/// Generates the arrival trace for `num_items` distinct work items:
+/// non-homogeneous Poisson arrivals over [0, duration) by thinning at the
+/// peak rate, each arrival assigned a Zipf tenant and Zipf item. Events
+/// are strictly ordered by time. Deterministic in (opts, num_items).
+[[nodiscard]] Result<std::vector<TrafficEvent>> GenerateTraffic(
+    const TrafficOptions& opts, int num_items);
+
+}  // namespace intellisphere::traffic
+
+#endif  // INTELLISPHERE_TRAFFIC_GENERATOR_H_

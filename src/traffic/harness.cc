@@ -1,0 +1,217 @@
+#include "traffic/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace intellisphere::traffic {
+
+namespace {
+
+/// True when any costed option carries degradation provenance — the plan
+/// was answered, but at least one placement's estimate came down a
+/// fallback rung (breaker or admission overload). The Teradata option is
+/// analytic and never falls back, so checking only best() would
+/// under-count degraded answers.
+bool PlanDegraded(const fed::PlacementPlan& plan) {
+  for (const auto& option : plan.options) {
+    if (!option.fell_back_reason.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  auto rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  return samples[rank];
+}
+
+Result<std::vector<ItemTruth>> ComputeOracle(
+    fed::IntelliSphere* sphere, const std::vector<WorkItem>& items) {
+  std::vector<ItemTruth> truth;
+  truth.reserve(items.size());
+  for (const WorkItem& item : items) {
+    ISPHERE_ASSIGN_OR_RETURN(
+        fed::PlacementPlan plan,
+        sphere->PlanAgg(item.table, item.group_column, item.num_aggregates));
+    if (plan.options.empty()) {
+      return Status::FailedPrecondition(
+          "ComputeOracle: no placement options for table " + item.table);
+    }
+    ItemTruth t;
+    t.oracle_seconds = std::numeric_limits<double>::infinity();
+    for (const auto& option : plan.options) {
+      double op_seconds = 0.0;
+      if (option.system == fed::kTeradataSystemName) {
+        ISPHERE_ASSIGN_OR_RETURN(op_seconds,
+                                 sphere->local_model().EstimateSeconds(plan.op));
+      } else {
+        ISPHERE_ASSIGN_OR_RETURN(remote::RemoteSystem * system,
+                                 sphere->GetSystem(option.system));
+        ISPHERE_ASSIGN_OR_RETURN(remote::QueryResult observed,
+                                 system->Execute(plan.op));
+        op_seconds = observed.elapsed_seconds;
+      }
+      const double total = option.transfer_seconds + op_seconds;
+      t.total_seconds[option.system] = total;
+      t.oracle_seconds = std::min(t.oracle_seconds, total);
+    }
+    truth.push_back(std::move(t));
+  }
+  return truth;
+}
+
+Result<TrafficReport> RunTraffic(const fed::IntelliSphere& sphere,
+                                 const std::vector<WorkItem>& items,
+                                 const std::vector<ItemTruth>& truth,
+                                 const TrafficOptions& opts) {
+  if (items.empty()) {
+    return Status::InvalidArgument("RunTraffic: items must be non-empty");
+  }
+  if (!truth.empty() && truth.size() != items.size()) {
+    return Status::InvalidArgument(
+        "RunTraffic: truth must be empty or one entry per work item");
+  }
+  ISPHERE_ASSIGN_OR_RETURN(
+      std::vector<TrafficEvent> events,
+      GenerateTraffic(opts, static_cast<int>(items.size())));
+
+  // Stable tenant-name storage: EstimateContext::tenant is a string_view
+  // into this vector for the whole run.
+  std::vector<std::string> tenant_names;
+  tenant_names.reserve(static_cast<size_t>(opts.tenants));
+  for (int i = 0; i < opts.tenants; ++i) {
+    tenant_names.push_back("tenant" + std::to_string(i));
+  }
+
+  struct TenantAccum {
+    bool background = false;
+    int64_t arrivals = 0;
+    int64_t answered = 0;
+    int64_t degraded = 0;
+    int64_t shed = 0;
+    std::vector<double> latencies_us;
+  };
+  std::vector<TenantAccum> accums(static_cast<size_t>(opts.tenants));
+
+  TrafficReport report;
+  std::vector<double> all_latencies_us;
+  all_latencies_us.reserve(events.size());
+  double regret_sum = 0.0;
+
+  for (const TrafficEvent& ev : events) {
+    TenantAccum& acc = accums[static_cast<size_t>(ev.tenant)];
+    acc.background = ev.background;
+    ++acc.arrivals;
+    ++report.arrivals;
+
+    core::EstimateContext ctx;
+    ctx.now = ev.time;
+    ctx.tenant = tenant_names[static_cast<size_t>(ev.tenant)];
+    ctx.priority = ev.background ? core::RequestPriority::kBackground
+                                 : core::RequestPriority::kForeground;
+    if (opts.deadline_seconds > 0.0) {
+      ctx.deadline_seconds = ev.time + opts.deadline_seconds;
+    }
+
+    const WorkItem& item = items[static_cast<size_t>(ev.item)];
+    const auto started = std::chrono::steady_clock::now();
+    const Result<fed::PlacementPlan> plan =
+        sphere.PlanAgg(item.table, item.group_column, item.num_aggregates,
+                       ctx);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    if (!plan.ok()) {
+      switch (plan.status().code()) {
+        case StatusCode::kResourceExhausted:
+          ++report.shed_load;
+          ++acc.shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++report.shed_deadline;
+          ++acc.shed;
+          break;
+        default:
+          ++report.planner_errors;
+          break;
+      }
+      continue;
+    }
+
+    ++acc.answered;
+    acc.latencies_us.push_back(latency_us);
+    all_latencies_us.push_back(latency_us);
+    if (PlanDegraded(plan.value())) {
+      ++report.answered_degraded;
+      ++acc.degraded;
+    } else {
+      ++report.answered_full;
+    }
+
+    if (!truth.empty()) {
+      const ItemTruth& t = truth[static_cast<size_t>(ev.item)];
+      ISPHERE_ASSIGN_OR_RETURN(fed::PlacementOption best,
+                               plan.value().best());
+      const auto chosen = t.total_seconds.find(best.system);
+      if (chosen != t.total_seconds.end() && t.oracle_seconds > 0.0) {
+        const double regret =
+            (chosen->second - t.oracle_seconds) / t.oracle_seconds;
+        regret_sum += regret;
+        report.max_regret = std::max(report.max_regret, regret);
+        ++report.regret_samples;
+      }
+    }
+  }
+
+  const int64_t answered = report.answered_full + report.answered_degraded;
+  const int64_t shed = report.shed_load + report.shed_deadline;
+  const int64_t non_shed = report.arrivals - shed;
+  report.availability =
+      non_shed > 0 ? static_cast<double>(answered) /
+                         static_cast<double>(non_shed)
+                   : 1.0;
+  if (report.arrivals > 0) {
+    report.shed_fraction = static_cast<double>(shed) /
+                           static_cast<double>(report.arrivals);
+    report.degraded_fraction =
+        static_cast<double>(report.answered_degraded) /
+        static_cast<double>(report.arrivals);
+  }
+  report.p50_us = Percentile(all_latencies_us, 0.50);
+  report.p99_us = Percentile(all_latencies_us, 0.99);
+  if (report.regret_samples > 0) {
+    report.mean_regret =
+        regret_sum / static_cast<double>(report.regret_samples);
+  }
+
+  for (int i = 0; i < opts.tenants; ++i) {
+    const TenantAccum& acc = accums[static_cast<size_t>(i)];
+    if (acc.arrivals == 0) continue;
+    TenantTrafficStats stats;
+    stats.tenant = tenant_names[static_cast<size_t>(i)];
+    stats.background = acc.background;
+    stats.arrivals = acc.arrivals;
+    stats.answered = acc.answered;
+    stats.degraded = acc.degraded;
+    stats.shed = acc.shed;
+    stats.p50_us = Percentile(acc.latencies_us, 0.50);
+    stats.p99_us = Percentile(acc.latencies_us, 0.99);
+    stats.slo_violated = acc.answered > 0 && stats.p99_us > opts.slo_p99_us;
+    if (stats.slo_violated) ++report.slo_violations;
+    report.tenants.push_back(std::move(stats));
+  }
+  return report;
+}
+
+}  // namespace intellisphere::traffic

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnavailable,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -77,17 +78,22 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// True for transient failures a caller may retry (the request might
-  /// succeed on another attempt): Unavailable and DeadlineExceeded.
+  /// succeed on another attempt): Unavailable, DeadlineExceeded, and
+  /// ResourceExhausted (an overloaded server may admit the retry later).
   /// Permanent errors (InvalidArgument, Unsupported, ...) are not retryable.
   [[nodiscard]] bool IsRetryable() const {
     return code_ == StatusCode::kUnavailable ||
-           code_ == StatusCode::kDeadlineExceeded;
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
   }
 
   /// Returns "OK" or "<CodeName>: <message>".

@@ -1,0 +1,255 @@
+// Tests for the traffic module (src/traffic/): options parsing, the Zipf
+// sampler's skew, the modulated arrival-rate function, trace generation
+// determinism and domain bounds, nearest-rank percentiles, and a
+// closed-loop harness smoke run (planner -> serving -> report) with the
+// regret oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/trainer.h"
+#include "federation/intellisphere.h"
+#include "relational/workload.h"
+#include "remote/hive_engine.h"
+#include "serving/service.h"
+#include "traffic/generator.h"
+#include "traffic/harness.h"
+#include "util/properties.h"
+#include "util/rng.h"
+
+namespace intellisphere {
+namespace {
+
+// --- TrafficOptions parsing ------------------------------------------------
+
+TEST(TrafficOptionsTest, FromPropertiesCoversEveryKey) {
+  Properties props;
+  props.SetInt(traffic::kTrafficTenantsKey, 12);
+  props.SetDouble(traffic::kTrafficDurationKey, 90.0);
+  props.SetDouble(traffic::kTrafficBaseRateKey, 75.0);
+  props.SetDouble(traffic::kTrafficZipfExponentKey, 0.9);
+  props.SetDouble(traffic::kTrafficDiurnalAmplitudeKey, 0.2);
+  props.SetDouble(traffic::kTrafficDiurnalPeriodKey, 120.0);
+  props.SetDouble(traffic::kTrafficBurstFactorKey, 2.5);
+  props.SetDouble(traffic::kTrafficBurstPeriodKey, 15.0);
+  props.SetDouble(traffic::kTrafficBurstDutyKey, 0.3);
+  props.SetDouble(traffic::kTrafficBackgroundFractionKey, 0.5);
+  props.SetDouble(traffic::kTrafficDeadlineKey, 0.25);
+  props.SetDouble(traffic::kTrafficSloP99UsKey, 9000.0);
+  props.SetInt(traffic::kTrafficSeedKey, 77);
+  auto opts = traffic::TrafficOptions::FromProperties(props).value();
+  EXPECT_EQ(opts.tenants, 12);
+  EXPECT_DOUBLE_EQ(opts.duration_seconds, 90.0);
+  EXPECT_DOUBLE_EQ(opts.base_rate, 75.0);
+  EXPECT_DOUBLE_EQ(opts.zipf_exponent, 0.9);
+  EXPECT_DOUBLE_EQ(opts.diurnal_amplitude, 0.2);
+  EXPECT_DOUBLE_EQ(opts.diurnal_period_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(opts.burst_factor, 2.5);
+  EXPECT_DOUBLE_EQ(opts.burst_period_seconds, 15.0);
+  EXPECT_DOUBLE_EQ(opts.burst_duty, 0.3);
+  EXPECT_DOUBLE_EQ(opts.background_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(opts.deadline_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(opts.slo_p99_us, 9000.0);
+  EXPECT_EQ(opts.seed, 77u);
+}
+
+TEST(TrafficOptionsTest, ValidateRejectsOutOfDomain) {
+  const auto reject = [](auto mutate) {
+    traffic::TrafficOptions opts;
+    mutate(&opts);
+    EXPECT_FALSE(opts.Validate().ok());
+  };
+  reject([](traffic::TrafficOptions* o) { o->tenants = 0; });
+  reject([](traffic::TrafficOptions* o) { o->duration_seconds = 0.0; });
+  reject([](traffic::TrafficOptions* o) { o->base_rate = -1.0; });
+  reject([](traffic::TrafficOptions* o) { o->zipf_exponent = 0.0; });
+  reject([](traffic::TrafficOptions* o) { o->diurnal_amplitude = 1.0; });
+  reject([](traffic::TrafficOptions* o) { o->diurnal_period_seconds = 0.0; });
+  reject([](traffic::TrafficOptions* o) { o->burst_factor = 0.5; });
+  reject([](traffic::TrafficOptions* o) { o->burst_period_seconds = 0.0; });
+  reject([](traffic::TrafficOptions* o) { o->burst_duty = 0.0; });
+  reject([](traffic::TrafficOptions* o) { o->background_fraction = 1.0; });
+  reject([](traffic::TrafficOptions* o) { o->deadline_seconds = -1.0; });
+  reject([](traffic::TrafficOptions* o) { o->slo_p99_us = 0.0; });
+}
+
+// --- ZipfSampler -----------------------------------------------------------
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanksAndStaysInDomain) {
+  traffic::ZipfSampler sampler(8, 1.1);
+  Rng rng(42);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const int s = sampler.Sample(&rng);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 8);
+    ++counts[static_cast<size_t>(s)];
+  }
+  // Rank 0 dominates and the tail is monotically rarer in aggregate.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 4 * counts[7]);
+  for (int c : counts) EXPECT_GT(c, 0);  // every rank is reachable
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysSamplesZero) {
+  traffic::ZipfSampler sampler(1, 2.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 0);
+}
+
+// --- ArrivalRateAt ---------------------------------------------------------
+
+TEST(ArrivalRateTest, ComposesDiurnalAndBurstModulation) {
+  traffic::TrafficOptions opts;
+  opts.base_rate = 100.0;
+  opts.diurnal_amplitude = 0.5;
+  opts.diurnal_period_seconds = 100.0;
+  opts.burst_factor = 3.0;
+  opts.burst_period_seconds = 10.0;
+  opts.burst_duty = 0.2;
+
+  // t = 25: diurnal peak (sin = 1), burst phase 5 of 10 is outside the
+  // 2-second burst window.
+  EXPECT_NEAR(traffic::ArrivalRateAt(opts, 25.0), 150.0, 1e-9);
+  // t = 50: diurnal node (sin = 0), burst phase 0 is inside the window.
+  EXPECT_NEAR(traffic::ArrivalRateAt(opts, 50.0), 300.0, 1e-9);
+  // t = 75: diurnal trough (sin = -1), no burst.
+  EXPECT_NEAR(traffic::ArrivalRateAt(opts, 75.0), 50.0, 1e-9);
+}
+
+// --- GenerateTraffic -------------------------------------------------------
+
+TEST(GenerateTrafficTest, DeterministicOrderedAndInDomain) {
+  traffic::TrafficOptions opts;
+  opts.tenants = 8;
+  opts.duration_seconds = 20.0;
+  opts.base_rate = 50.0;
+  opts.background_fraction = 0.25;  // tenants 6 and 7 are background
+  opts.seed = 99;
+
+  auto a = traffic::GenerateTraffic(opts, 5).value();
+  auto b = traffic::GenerateTraffic(opts, 5).value();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  double prev = -1.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);  // bit-identical trace
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_GT(a[i].time, prev);
+    prev = a[i].time;
+    EXPECT_LT(a[i].time, opts.duration_seconds);
+    EXPECT_GE(a[i].tenant, 0);
+    EXPECT_LT(a[i].tenant, opts.tenants);
+    EXPECT_GE(a[i].item, 0);
+    EXPECT_LT(a[i].item, 5);
+    EXPECT_EQ(a[i].background, a[i].tenant >= 6);
+  }
+
+  // A different seed produces a different trace.
+  opts.seed = 100;
+  auto c = traffic::GenerateTraffic(opts, 5).value();
+  EXPECT_TRUE(c.size() != a.size() || c[0].time != a[0].time);
+}
+
+TEST(GenerateTrafficTest, RejectsBadArguments) {
+  traffic::TrafficOptions opts;
+  EXPECT_FALSE(traffic::GenerateTraffic(opts, 0).ok());
+  opts.base_rate = 0.0;
+  EXPECT_FALSE(traffic::GenerateTraffic(opts, 5).ok());
+}
+
+// --- Percentile ------------------------------------------------------------
+
+TEST(PercentileTest, NearestRankOnKnownSamples) {
+  std::vector<double> samples = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(traffic::Percentile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(traffic::Percentile(samples, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(traffic::Percentile(samples, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(traffic::Percentile({}, 0.5), 0.0);
+}
+
+// --- Harness smoke ---------------------------------------------------------
+
+core::LogicalOpModel MakeCheapAggModel(remote::HiveEngine* hive) {
+  rel::AggWorkloadOptions wopts;
+  wopts.record_counts = {100000, 400000, 1000000};
+  wopts.record_sizes = {100};
+  wopts.num_aggregates = {1};
+  auto queries = rel::GenerateAggWorkload(wopts).value();
+  auto run = core::CollectAggTraining(hive, queries).value();
+  core::LogicalOpOptions opts;
+  opts.mlp.iterations = 1500;
+  opts.tuning_iterations = 300;
+  return core::LogicalOpModel::Train(rel::OperatorType::kAggregation,
+                                     run.data, core::AggDimensionNames(),
+                                     opts)
+      .value();
+}
+
+TEST(TrafficHarnessTest, ClosedLoopSmokeAnswersEverythingAtLightLoad) {
+  fed::IntelliSphere sphere;
+  auto hive = remote::HiveEngine::CreateDefault("hive", 321);
+  std::map<rel::OperatorType, core::LogicalOpModel> models;
+  models.emplace(rel::OperatorType::kAggregation,
+                 MakeCheapAggModel(hive.get()));
+  ASSERT_TRUE(sphere
+                  .RegisterRemoteSystem(
+                      std::move(hive),
+                      core::CostingProfile::LogicalOpOnly(std::move(models)),
+                      fed::ConnectorParams{})
+                  .ok());
+  auto t1 = rel::SyntheticTableDef(400000, 100).value();
+  t1.location = "hive";
+  auto t2 = rel::SyntheticTableDef(100000, 100).value();
+  t2.location = fed::kTeradataSystemName;
+  ASSERT_TRUE(sphere.RegisterTable(t1).ok());
+  ASSERT_TRUE(sphere.RegisterTable(t2).ok());
+
+  serving::EstimationService service(&sphere.cost_estimator());
+  ASSERT_TRUE(sphere.AttachEstimationService(&service).ok());
+
+  const std::vector<traffic::WorkItem> items = {{"T400000_100", "a10", 1},
+                                                {"T100000_100", "a10", 1}};
+  auto truth = traffic::ComputeOracle(&sphere, items).value();
+  ASSERT_EQ(truth.size(), items.size());
+  for (const auto& t : truth) {
+    EXPECT_GT(t.oracle_seconds, 0.0);
+    EXPECT_FALSE(t.total_seconds.empty());
+  }
+
+  traffic::TrafficOptions opts;
+  opts.tenants = 4;
+  opts.duration_seconds = 5.0;
+  opts.base_rate = 20.0;
+  opts.slo_p99_us = 1e9;  // smoke: classification, not machine speed
+  opts.seed = 11;
+  auto report = traffic::RunTraffic(sphere, items, truth, opts).value();
+  EXPECT_GT(report.arrivals, 0);
+  EXPECT_EQ(report.arrivals, report.answered_full);
+  EXPECT_EQ(report.answered_degraded, 0);
+  EXPECT_EQ(report.shed_load + report.shed_deadline, 0);
+  EXPECT_EQ(report.planner_errors, 0);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_EQ(report.regret_samples, report.arrivals);
+  EXPECT_GE(report.mean_regret, 0.0);
+  EXPECT_EQ(report.slo_violations, 0);
+  EXPECT_FALSE(report.tenants.empty());
+  int64_t tenant_arrivals = 0;
+  for (const auto& t : report.tenants) tenant_arrivals += t.arrivals;
+  EXPECT_EQ(tenant_arrivals, report.arrivals);
+
+  // Argument validation.
+  EXPECT_FALSE(traffic::RunTraffic(sphere, {}, truth, opts).ok());
+  EXPECT_FALSE(
+      traffic::RunTraffic(sphere, items, {truth[0], truth[0], truth[0]}, opts)
+          .ok());
+}
+
+}  // namespace
+}  // namespace intellisphere
